@@ -1,0 +1,32 @@
+"""Benchmark-suite configuration.
+
+Each bench regenerates one table or figure from the paper's evaluation
+(§6) with the quick protocol by default. Set ``REPRO_FULL=1`` for the
+paper-sized protocol (tens of minutes).
+
+Benches both *time* the experiment (pytest-benchmark) and *assert the
+reproduced shape* — who wins, directionality, rough factors — per the
+expectations in DESIGN.md §5. The rendered table is printed so the run log
+records paper-vs-measured numbers (collected into EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.harness import EvalSettings
+
+
+@pytest.fixture(scope="session")
+def settings() -> EvalSettings:
+    return EvalSettings.from_env()
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def by_model(result):
+    """Index an ExperimentResult's rows by their first column."""
+    return {row[0]: row[1:] for row in result.rows}

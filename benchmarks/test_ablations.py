@@ -1,0 +1,59 @@
+"""Ablation benches for the design choices DESIGN.md §6 calls out."""
+
+from conftest import by_model, run_once
+
+from repro.eval.ablations import (
+    ablation_finetune,
+    ablation_lstm_depth,
+    ablation_postprocessing,
+    ablation_resmodel,
+    ablation_trend_model,
+)
+
+
+def test_ablation_resmodel(benchmark, settings):
+    """Paper §4.2.1: DT chosen as the ResModel after trying all of Table 4."""
+    result = run_once(benchmark, lambda: ablation_resmodel(settings))
+    print("\n" + result.render())
+    rows = by_model(result)
+    # The paper found DT best on its hardware; on the simulator the learners
+    # are statistically close, so we require DT to be competitive: within
+    # 25 % of the best learner tried.
+    best = min(v[0] for v in rows.values())
+    assert rows["DT"][0] <= best * 1.25
+
+
+def test_ablation_postprocessing(benchmark, settings):
+    """Algorithm 1's fusion never loses badly to its best input."""
+    result = run_once(benchmark, lambda: ablation_postprocessing(settings))
+    print("\n" + result.render())
+    for row in result.rows:
+        fused, res_only, spline_only = row[1], row[2], row[3]
+        assert fused <= min(res_only, spline_only) * 1.3
+
+
+def test_ablation_finetune(benchmark, settings):
+    """Online fine-tuning must not hurt, and helps in aggregate."""
+    result = run_once(benchmark, lambda: ablation_finetune(settings))
+    print("\n" + result.render())
+    total_with = sum(r[1] for r in result.rows)
+    total_without = sum(r[2] for r in result.rows)
+    assert total_with <= total_without * 1.1
+
+
+def test_ablation_trend_model(benchmark, settings):
+    """The spline trend must match or beat linear interpolation."""
+    result = run_once(benchmark, lambda: ablation_trend_model(settings))
+    print("\n" + result.render())
+    rows = by_model(result)
+    assert rows["spline"][0] <= rows["linear"][0] * 1.05
+
+
+def test_ablation_lstm_depth(benchmark, settings):
+    """Paper §6.4.3: two layers are the sweet spot (1 and 4 are not better
+    by a wide margin)."""
+    result = run_once(benchmark, lambda: ablation_lstm_depth(settings))
+    print("\n" + result.render())
+    rows = by_model(result)
+    best = min(v[0] for v in rows.values())
+    assert rows[2][0] <= best * 1.25

@@ -1,0 +1,58 @@
+"""Extension bench — HighRPM in the capping loop.
+
+Not a paper table; quantifies the paper's §1 motivation end-to-end: with
+IPMI-rate sensing (PI = 10 s), a governor driven by DynamicTRR's live
+estimates should approach (or beat) the fast-sensing ideal, and clearly
+beat the stale-reading governor on cap violations.
+"""
+
+from conftest import run_once
+
+from repro.core import DynamicTRR, HighRPMConfig
+from repro.eval.harness import EvalSettings
+from repro.hardware import NodeSimulator, get_platform
+from repro.monitor import (
+    AssistedCapController,
+    CappingPolicy,
+    EnergyAccount,
+    run_assisted_capped,
+    run_capped,
+)
+from repro.workloads import default_catalog
+
+
+def _experiment(settings: EvalSettings):
+    spec = get_platform(settings.platform)
+    sim = NodeSimulator(spec, seed=17)
+    catalog = default_catalog(settings.seed)
+    workload = catalog.get("graph500_bfs")
+    train = [sim.run(catalog.get(n), duration_s=150)
+             for n in ("spec_gcc", "spec_mcf", "hpcc_hpl", "hpcc_stream",
+                       "parsec_ferret", "parsec_radix")]
+    trr = DynamicTRR(HighRPMConfig(miss_interval=10, lstm_iters=settings.lstm_iters))
+    trr.fit(train, p_bottom=spec.min_node_power_w, p_upper=spec.max_node_power_w)
+
+    cap, dur = 75.0, 300
+    fast, _ = run_capped(sim, workload, CappingPolicy(cap, 1, 1), duration_s=dur)
+    slow, _ = run_capped(sim, workload, CappingPolicy(cap, 10, 1), duration_s=dur)
+    ctl = AssistedCapController(spec, CappingPolicy(cap, 10, 1), trr)
+    assisted = run_assisted_capped(sim, workload, ctl, reading_interval_s=10,
+                                   duration_s=dur)
+    return {
+        label: EnergyAccount.from_trace(bundle.node, cap_w=cap)
+        for label, bundle in (("fast", fast), ("slow", slow),
+                              ("assisted", assisted))
+    }
+
+
+def test_assisted_capping(benchmark, settings):
+    accounts = run_once(benchmark, lambda: _experiment(settings))
+    for label, acc in accounts.items():
+        print(f"\n{label:>9}: peak={acc.peak_w:.1f}W mean={acc.mean_w:.1f}W "
+              f"energy={acc.energy_kj:.2f}kJ over_cap={acc.time_above_cap_s:.0f}s")
+
+    # The assisted governor must beat the stale-reading governor on cap
+    # violations, and come within 15 % of the fast-sensing ideal's energy.
+    assert accounts["assisted"].time_above_cap_s < accounts["slow"].time_above_cap_s
+    assert accounts["assisted"].energy_kj < accounts["fast"].energy_kj * 1.15
+    assert accounts["assisted"].peak_w <= accounts["slow"].peak_w * 1.05

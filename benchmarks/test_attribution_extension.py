@@ -1,0 +1,54 @@
+"""Extension bench — per-job power attribution on shared nodes.
+
+Not a paper table; pins the disaggregation extension's shape: attribution
+conserves the node total exactly, tracks each job's true share, and beats
+the naive equal split decisively.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.attribution import ColocationSimulator, PerJobAttributor
+from repro.hardware import ARM_PLATFORM, NodeSimulator
+from repro.ml import mape
+from repro.workloads import default_catalog
+
+
+def _experiment(settings):
+    catalog = default_catalog(settings.seed)
+    solo_sim = NodeSimulator(ARM_PLATFORM, seed=23)
+    solo = [solo_sim.run(catalog.get(n), duration_s=120)
+            for n in ("spec_gcc", "spec_mcf", "hpcc_hpl",
+                      "hpcc_stream", "parsec_ferret", "parsec_radix")]
+    attributor = PerJobAttributor(ARM_PLATFORM).fit(solo)
+
+    colo = ColocationSimulator(ARM_PLATFORM, seed=19)
+    results = []
+    for names in (["hpcc_hpl", "hpcc_stream"],
+                  ["spec_gcc", "hpcc_stream", "hpcg"]):
+        bundle = colo.run([catalog.get(n) for n in names], duration_s=200)
+        parts = attributor.attribute_bundle(bundle)
+        equal = bundle.cpu.values / bundle.n_jobs
+        model_err = np.mean([
+            mape(t.values, e) for t, e in zip(bundle.job_cpu_power, parts)
+        ])
+        equal_err = np.mean([
+            mape(t.values, equal) for t in bundle.job_cpu_power
+        ])
+        conserved = bool(np.allclose(np.sum(parts, axis=0), bundle.cpu.values))
+        results.append({
+            "mix": "+".join(names), "model_mape": float(model_err),
+            "equal_mape": float(equal_err), "conserved": conserved,
+        })
+    return results
+
+
+def test_attribution_extension(benchmark, settings):
+    results = run_once(benchmark, lambda: _experiment(settings))
+    for r in results:
+        print(f"\n{r['mix']}: model {r['model_mape']:.2f}% vs equal-split "
+              f"{r['equal_mape']:.2f}% (conserved={r['conserved']})")
+    for r in results:
+        assert r["conserved"]
+        assert r["model_mape"] < r["equal_mape"] * 0.8
+        assert r["model_mape"] < 25.0

@@ -1,0 +1,26 @@
+"""Fig. 1 — power capping under different PI / AI.
+
+Paper: raising AI from 1 s to 30 s lets the peak run higher/longer and adds
+~1.1 kJ of energy (37.3 -> 38.4 kJ); PI 1 s -> 10 s hides spikes.
+"""
+
+from conftest import by_model, run_once
+
+from repro.eval.figures import fig1
+
+
+def test_fig1_power_capping(benchmark, settings):
+    result = run_once(benchmark, lambda: fig1(settings))
+    print("\n" + result.render())
+    rows = by_model(result)
+    uncapped = rows["uncapped"]
+    fast = rows["PI=1  AI=1"]
+    slow = rows["PI=1  AI=30"]
+
+    # Capping works at all: energy and time-over-cap drop vs uncapped.
+    assert fast[2] < uncapped[2]  # energy kJ
+    assert fast[3] <= uncapped[3]  # time above cap
+
+    # The paper's direction: slower actions cost energy and mean power.
+    assert slow[2] > fast[2]
+    assert slow[1] >= fast[1]

@@ -1,0 +1,31 @@
+"""Fig. 2 — FFT vs Stream component breakdown.
+
+Paper: both benchmarks sit near the 90 W node line, peripherals a constant
+~25 W; CPU dominates FFT while RAM dominates Stream.
+"""
+
+from conftest import by_model, run_once
+
+from repro.eval.figures import fig2
+
+
+def test_fig2_component_divergence(benchmark, settings):
+    result = run_once(benchmark, lambda: fig2(settings))
+    print("\n" + result.render())
+    rows = by_model(result)
+    fft = rows["hpcc_fft"]  # (node, cpu, mem, other)
+    stream = rows["hpcc_stream"]
+
+    # Node power in the same broad band for both (the paper's ~90 W line).
+    assert 70 <= fft[0] <= 120
+    assert 70 <= stream[0] <= 120
+
+    # CPU dominates FFT by a wide margin.
+    assert fft[1] > 2.0 * fft[2]
+    # Memory rivals/dominates CPU on Stream, and far exceeds FFT's memory.
+    assert stream[2] >= stream[1] * 0.9
+    assert stream[2] > 1.3 * fft[2]
+
+    # Peripherals constant ~25 W on both runs.
+    assert abs(fft[3] - 25.0) < 1.0
+    assert abs(stream[3] - 25.0) < 1.0

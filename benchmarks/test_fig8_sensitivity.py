@@ -1,0 +1,21 @@
+"""Fig. 8 — HighRPM's sensitivity to miss_interval.
+
+Paper: node-power MAPE stays roughly consistent across 10–100 s intervals
+(splines carry the trend; active calibration does the rest).
+"""
+
+from conftest import by_model, run_once
+
+from repro.eval.figures import fig8
+
+
+def test_fig8_sensitivity(benchmark, settings):
+    result = run_once(benchmark, lambda: fig8(settings))
+    print("\n" + result.render())
+    rows = by_model(result)  # interval -> (MAPE,)
+
+    mapes = [rows[k][0] for k in ("10s", "30s", "60s", "100s")]
+    # Roughly flat: the worst interval is within a small factor of the best.
+    assert max(mapes) < 3.0 * min(mapes)
+    # And the whole sweep stays in a usable band.
+    assert max(mapes) < 15.0

@@ -1,0 +1,52 @@
+"""§6.4.4 extension bench — the methodology on a CPU+DRAM+GPU node.
+
+Not a paper table (the paper leaves GPUs to future work); this bench pins
+down that the extension behaves: TRR restores accelerated-node power
+unchanged, and the three-way SRR distributes the budget with usable error.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.core import DynamicTRR, HighRPMConfig
+from repro.gpu import AcceleratedNodeSimulator, GPUSRR, gpu_workload
+from repro.ml import mape
+from repro.sensors.base import SparseReadings
+
+
+def _experiment():
+    sim = AcceleratedNodeSimulator(seed=13)
+    train = [sim.run(gpu_workload(n, seed=4), duration_s=120)
+             for n in ("gemm", "stencil", "training_loop", "inference_serving")]
+    cfg = HighRPMConfig(miss_interval=10, lstm_iters=250, srr_iters=2500, seed=3)
+    trr = DynamicTRR(cfg)
+    trr.fit(train, p_bottom=sim.min_node_power_w, p_upper=sim.max_node_power_w)
+    srr = GPUSRR(cfg)
+    pmcs = np.vstack([b.pmcs.matrix for b in train])
+    srr.fit(
+        pmcs,
+        np.concatenate([b.node.values for b in train]),
+        np.concatenate([b.cpu.values for b in train]),
+        np.concatenate([b.mem.values for b in train]),
+        np.concatenate([b.gpu.values for b in train]),
+    )
+    test = sim.run(gpu_workload("fft_gpu", seed=9), duration_s=200)
+    idx = np.arange(10, len(test), 10)
+    readings = SparseReadings(idx, test.node.values[idx], 10, len(test))
+    p_node = trr.restore(test.pmcs.matrix, readings)
+    p_cpu, p_mem, p_gpu = srr.predict(test.pmcs.matrix, p_node)
+    return {
+        "node": mape(test.node.values, p_node),
+        "cpu": mape(test.cpu.values, p_cpu),
+        "mem": mape(test.mem.values, p_mem),
+        "gpu": mape(test.gpu.values, p_gpu),
+    }
+
+
+def test_gpu_extension(benchmark):
+    scores = run_once(benchmark, _experiment)
+    print("\nGPU-node restoration MAPE%:",
+          {k: round(v, 2) for k, v in scores.items()})
+    assert scores["node"] < 12.0
+    assert scores["gpu"] < 25.0
+    assert scores["cpu"] < 35.0

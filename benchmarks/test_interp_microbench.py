@@ -1,0 +1,44 @@
+"""Microbenchmarks for the interpolation substrate.
+
+StaticTRR fits one spline per trace per restoration and the evaluation
+harness calls it thousands of times per table — fit/eval throughput
+matters. The Thomas-algorithm spline should stay O(n) in the knot count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.interp import ARForecaster, ARIMAForecaster, CubicSplineInterpolator
+
+RNG = np.random.default_rng(3)
+KNOTS_X = np.sort(RNG.choice(100_000, size=2_000, replace=False)).astype(float)
+KNOTS_Y = 80.0 + 10.0 * np.sin(KNOTS_X / 500.0) + RNG.normal(0, 1.0, 2_000)
+QUERY = np.linspace(KNOTS_X[0], KNOTS_X[-1], 20_000)
+SERIES = 80.0 + np.cumsum(RNG.normal(0, 0.5, 5_000))
+
+
+def test_spline_fit(benchmark):
+    result = benchmark(lambda: CubicSplineInterpolator().fit(KNOTS_X, KNOTS_Y))
+    assert result.is_fitted
+
+
+def test_spline_predict(benchmark):
+    spline = CubicSplineInterpolator().fit(KNOTS_X, KNOTS_Y)
+    out = benchmark(lambda: spline.predict(QUERY))
+    assert np.isfinite(out).all()
+
+
+def test_ar_fit(benchmark):
+    model = benchmark.pedantic(
+        lambda: ARForecaster(order=8).fit(SERIES),
+        rounds=3, iterations=1, warmup_rounds=0,
+    )
+    assert model.is_fitted
+
+
+def test_arima_fit(benchmark):
+    model = benchmark.pedantic(
+        lambda: ARIMAForecaster(order=(2, 1, 1)).fit(SERIES[:1500]),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert model.is_fitted

@@ -1,0 +1,67 @@
+"""Microbenchmarks for the ML substrate (§6.4.5 adjacent).
+
+Fit/predict throughput for every Table-4 baseline on a campaign-sized
+dataset. These are the costs a deployment pays per cross-validation round;
+they also guard against performance regressions in the from-scratch
+implementations (e.g. the CART split search going quadratic).
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml import make_baseline
+from repro.ml.registry import SEQUENCE_MODELS, baseline_names
+
+RNG = np.random.default_rng(7)
+N_TRAIN, N_PRED, N_FEATURES = 2000, 1000, 10
+X_FLAT = RNG.uniform(0.0, 1.0, size=(N_TRAIN, N_FEATURES)) * np.logspace(
+    3, 11, N_FEATURES
+)
+Y_FLAT = 60.0 + 30.0 * X_FLAT[:, 0] / 1e11 + RNG.normal(0, 2.0, N_TRAIN)
+X_SEQ = RNG.normal(size=(400, 10, N_FEATURES))
+Y_SEQ = X_SEQ[:, :, 0].cumsum(axis=1)
+
+FLAT_MODELS = [n for n in baseline_names() if n not in SEQUENCE_MODELS]
+
+
+@pytest.mark.parametrize("name", FLAT_MODELS)
+def test_fit_flat_model(benchmark, name):
+    model = make_baseline(name)
+    if hasattr(model, "max_iter"):
+        model.set_params(max_iter=min(model.max_iter, 2000))
+    benchmark.pedantic(
+        lambda: make_baseline(name).fit(X_FLAT, Y_FLAT),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+
+
+@pytest.mark.parametrize("name", FLAT_MODELS)
+def test_predict_flat_model(benchmark, name):
+    model = make_baseline(name).fit(X_FLAT, Y_FLAT)
+    Xq = X_FLAT[:N_PRED]
+    result = benchmark.pedantic(
+        lambda: model.predict(Xq), rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert np.isfinite(result).all()
+
+
+@pytest.mark.parametrize("name", sorted(SEQUENCE_MODELS))
+def test_fit_rnn_model(benchmark, name):
+    def fit():
+        m = make_baseline(name)
+        m.set_params(max_iter=100)
+        return m.fit(X_SEQ, Y_SEQ)
+
+    benchmark.pedantic(fit, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.mark.parametrize("name", sorted(SEQUENCE_MODELS))
+def test_predict_rnn_model(benchmark, name):
+    model = make_baseline(name)
+    model.set_params(max_iter=50)
+    model.fit(X_SEQ, Y_SEQ)
+    result = benchmark.pedantic(
+        lambda: model.predict(X_SEQ[:100]), rounds=3, iterations=1,
+        warmup_rounds=1,
+    )
+    assert np.isfinite(result).all()

@@ -1,0 +1,26 @@
+"""§6.4.5 — training / fine-tuning / prediction overhead.
+
+Paper bounds: offline training < 10 min, online fine-tune < 2 s,
+prediction latency < 1 ms per sample at node and component level.
+"""
+
+from conftest import run_once
+
+from repro.eval.figures import overhead
+
+
+def test_overhead(benchmark, settings):
+    result = run_once(benchmark, lambda: overhead(settings))
+    print("\n" + result.render())
+    rows = {r[0]: r[1] for r in result.rows}
+
+    def seconds(cell: str) -> float:
+        value, unit = cell.split()
+        return float(value) / (1e3 if unit == "ms" else 1.0)
+
+    assert seconds(rows["offline training"]) < 600.0
+    assert seconds(rows["online fine-tune (1 reading)"]) < 2.0
+    # Our prediction path is pure NumPy: give it 10 ms of slack vs the
+    # paper's compiled deployment while still catching regressions.
+    assert seconds(rows["node prediction (1 sample)"]) < 0.010
+    assert seconds(rows["component prediction (1 sample)"]) < 0.010

@@ -1,0 +1,76 @@
+"""Extension bench — cluster scheduling under a cap, by demand source.
+
+Quantifies the paper's introduction end-to-end at cluster scale: a power
+budget is enforced by throttling, and the scheduler's demand signal comes
+from (a) oracle per-second power, (b) HighRPM-restored estimates at the
+same rate, or (c) IPMI-rate stale readings. Restored estimates should
+land near the oracle and beat stale sensing on makespan.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.core import HighRPM, HighRPMConfig
+from repro.hardware import ARM_PLATFORM
+from repro.hardware.cluster import ClusterSimulator
+from repro.monitor.scheduler import EnergyAwareScheduler, Job
+from repro.sensors import IPMISensor
+from repro.workloads import default_catalog
+
+
+def _experiment(settings):
+    catalog = default_catalog(settings.seed)
+    cluster = ClusterSimulator(ARM_PLATFORM, n_nodes=2, seed=7)
+
+    # Train HighRPM on node-0's campaign (shared service, §4.1).
+    train = [cluster.run("node-0", catalog.get(n), duration_s=120)
+             for n in ("spec_gcc", "spec_mcf", "hpcc_hpl",
+                       "hpcc_stream", "parsec_ferret", "parsec_radix")]
+    hr = HighRPM(HighRPMConfig(miss_interval=10, lstm_iters=settings.lstm_iters,
+                               srr_iters=settings.srr_iters),
+                 p_bottom=ARM_PLATFORM.min_node_power_w,
+                 p_upper=ARM_PLATFORM.max_node_power_w)
+    hr.fit_initial(train)
+
+    names = ["hpcg", "hpcc_fft", "spec_xz", "graph500_bfs"]
+    bundles = [cluster.run(f"node-{i % 2}", catalog.get(n), duration_s=100)
+               for i, n in enumerate(names)]
+    sensor = IPMISensor(ARM_PLATFORM, seed=41)
+    restored = [
+        hr.monitor_online(b.pmcs.matrix, sensor.sample(b)).p_node
+        for b in bundles
+    ]
+
+    floors = {"node-0": 45.0, "node-1": 45.0}
+    ceilings = {"node-0": 130.0, "node-1": 130.0}
+    cap = 175.0
+
+    def schedule(jobs, staleness):
+        sched = EnergyAwareScheduler(floors, ceilings, cap,
+                                     demand_staleness_s=staleness, seed=3)
+        return sched.run(jobs)
+
+    oracle = schedule([Job(f"j{i}", b) for i, b in enumerate(bundles)], 1)
+    highrpm = schedule(
+        [Job(f"j{i}", b, demand_estimates=r)
+         for i, (b, r) in enumerate(zip(bundles, restored))], 1,
+    )
+    stale = schedule([Job(f"j{i}", b) for i, b in enumerate(bundles)], 10)
+    return {"oracle": oracle, "highrpm": highrpm, "stale": stale}
+
+
+def test_scheduler_demand_sources(benchmark, settings):
+    outcomes = run_once(benchmark, lambda: _experiment(settings))
+    for label, o in outcomes.items():
+        print(f"\n{label:>8}: makespan={o.makespan_s}s throttle={o.mean_throttle:.3f} "
+              f"energy={o.energy_kj:.1f}kJ violations={o.cap_violations_s}s")
+
+    oracle, highrpm, stale = (outcomes[k] for k in ("oracle", "highrpm", "stale"))
+    # Everything completes.
+    assert len(oracle.completions) == len(highrpm.completions) == 4
+    # Restored demand lands close to the oracle on makespan...
+    assert highrpm.makespan_s <= oracle.makespan_s * 1.10
+    # ...and does not lose to IPMI-rate sensing.
+    assert highrpm.makespan_s <= stale.makespan_s * 1.02
+    # Cap violations from restored-estimate errors stay bounded.
+    assert highrpm.cap_violations_s <= stale.cap_violations_s + 10

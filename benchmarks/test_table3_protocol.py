@@ -1,0 +1,43 @@
+"""Table 3 — the seen/unseen split protocol itself, plus the per-suite
+breakdown behind the paper's averaged rows.
+
+Table 3 is experimental setup rather than a result, but reproducing the
+protocol exactly (seven rotations, ~1000 samples per set compiled in
+order, 90/10 seen splits) is what makes Tables 5-9 comparable; this bench
+pins it and prints the per-suite difficulty spread.
+"""
+
+from conftest import by_model, run_once
+
+from repro.eval.experiments import per_suite_breakdown
+from repro.eval.harness import EvalSettings, build_campaign, build_split
+from repro.workloads import SUITE_SIZES, default_catalog, table3_splits
+
+
+def test_table3_protocol(benchmark, settings):
+    result = run_once(benchmark, lambda: per_suite_breakdown(settings))
+    print("\n" + result.render())
+    rows = by_model(result)
+    assert set(rows) == set(settings.test_suites)
+    # every held-out suite restorable within a usable band
+    assert all(cells[0] < 15.0 for cells in rows.values())
+
+    # Protocol invariants from §5.3 / Table 3.
+    splits = table3_splits()
+    assert len(splits) == 7
+    assert {s.test_suite for s in splits} == set(SUITE_SIZES)
+
+    catalog = default_catalog(settings.seed)
+    campaign = build_campaign(settings, catalog)
+    split = build_split(settings, campaign, catalog, settings.test_suites[0])
+    held_out = settings.test_suites[0]
+    # unseen training pool excludes every benchmark of the held-out suite
+    held_names = {w.name for w in catalog.suite(held_out)}
+    assert not held_names & {b.workload for b in split.train_unseen}
+    # per-set budgets respected
+    for suite in catalog.suites:
+        total = sum(
+            len(b) for b in split.train_unseen + split.test_unseen
+            if b.workload in {w.name for w in catalog.suite(suite)}
+        )
+        assert total <= settings.samples_per_set

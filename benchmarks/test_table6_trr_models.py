@@ -1,0 +1,29 @@
+"""Table 6 — the three TRR variants against each other.
+
+Paper (seen MAPE): Spline 2.21 < StaticTRR 4.02 < DynamicTRR 4.46; the
+differences are small ("not statistically significant"), and the fitting
+methods edge out the forecaster because they see both sides of each gap.
+"""
+
+from conftest import by_model, run_once
+
+from repro.eval.experiments import table6
+
+
+def test_table6_trr_models(benchmark, settings):
+    result = run_once(benchmark, lambda: table6(settings))
+    print("\n" + result.render())
+    rows = by_model(result)
+    spline_seen = rows["Spline"][0]
+    static_seen = rows["StaticTRR"][0]
+    dynamic_seen = rows["DynamicTRR"][0]
+
+    # Claim 2 (DESIGN §5): spline <= StaticTRR <= DynamicTRR in seen MAPE,
+    # with slack because the paper itself calls the gaps insignificant.
+    assert spline_seen <= static_seen * 1.15
+    assert static_seen <= dynamic_seen * 1.15
+
+    # All three stay in the paper's few-percent band.
+    for name in ("Spline", "StaticTRR", "DynamicTRR"):
+        assert rows[name][0] < 8.0, f"{name} seen MAPE out of band"
+        assert rows[name][3] < 10.0, f"{name} unseen MAPE out of band"

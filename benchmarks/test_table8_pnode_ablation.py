@@ -1,0 +1,26 @@
+"""Table 8 — SRR with vs without the P_node feature.
+
+Paper: dropping P_node explodes the error (CPU 7.65 -> 30.46 % seen,
+MEM 5.31 -> 21.56 % seen; similar unseen). The node reading and its budget
+constraint are the heart of the bi-directional workflow.
+"""
+
+from conftest import by_model, run_once
+
+from repro.eval.experiments import table8
+
+
+def test_table8_pnode_ablation(benchmark, settings):
+    result = run_once(benchmark, lambda: table8(settings))
+    print("\n" + result.render())
+    rows = by_model(result)
+
+    # Every row: with-P_node MAPE below without-P_node MAPE.
+    for target, cells in rows.items():
+        with_mape, wo_mape = cells[0], cells[3]
+        assert with_mape < wo_mape, f"{target}: P_node did not help"
+
+    # Aggregate gap is substantial (paper ~3-4x; require >= 1.3x overall).
+    total_with = sum(c[0] for c in rows.values())
+    total_without = sum(c[3] for c in rows.values())
+    assert total_without > 1.3 * total_with

@@ -1,0 +1,63 @@
+"""Anomaly detection on restored power streams.
+
+The point of high-resolution monitoring is to *react*: spikes that a
+0.1 Sa/s log never shows can trip thermal limits, and level shifts flag
+phase changes or misbehaving jobs. This example restores a bursty Graph500
+run from slow IPMI readings and runs the spike/level-shift detector on the
+restored 1 Sa/s stream, comparing against what the raw IM log would catch.
+
+Run with:  python examples/anomaly_detection.py
+"""
+
+import numpy as np
+
+from repro.core import HighRPM, HighRPMConfig
+from repro.hardware import ARM_PLATFORM, NodeSimulator
+from repro.monitor.anomaly import PowerAnomalyDetector
+from repro.sensors import IPMISensor
+from repro.workloads import default_catalog
+
+
+def main() -> None:
+    catalog = default_catalog(seed=2023)
+    sim = NodeSimulator(ARM_PLATFORM, seed=29)
+    train = [sim.run(catalog.get(n), duration_s=150)
+             for n in ("spec_gcc", "spec_mcf", "hpcc_hpl",
+                       "hpcc_stream", "parsec_ferret", "parsec_radix")]
+    hr = HighRPM(HighRPMConfig(miss_interval=10),
+                 p_bottom=ARM_PLATFORM.min_node_power_w,
+                 p_upper=ARM_PLATFORM.max_node_power_w)
+    hr.fit_initial(train)
+
+    bundle = sim.run(catalog.get("graph500_bfs"), duration_s=400)
+    readings = IPMISensor(ARM_PLATFORM, seed=31).sample(bundle)
+    result = hr.monitor_online(bundle.pmcs.matrix, readings)
+
+    detector = PowerAnomalyDetector(spike_z=3.5, shift_w=8.0, window_s=15)
+    on_truth = detector.detect(bundle.node.values)
+    on_restored = detector.detect(result.p_node)
+    # What the raw 0.1 Sa/s log shows: hold-last-reading.
+    hold = np.repeat(readings.values, readings.interval_s)[: len(bundle)]
+    on_im_log = detector.detect(hold)
+
+    print(f"Graph500 BFS, {len(bundle)} s, cap-free run")
+    print(f"  anomalies in ground truth      : {len(on_truth)}")
+    print(f"  anomalies in restored stream   : {len(on_restored)}")
+    print(f"  anomalies visible in raw IM log: {len(on_im_log)}")
+
+    truth_spikes = {a.index for a in on_truth if a.kind == "spike"}
+    caught = sum(
+        1 for a in on_restored
+        if a.kind == "spike" and any(abs(a.index - t) <= 3 for t in truth_spikes)
+    )
+    if truth_spikes:
+        print(f"  restored stream caught {caught}/{len(truth_spikes)} "
+              f"ground-truth spikes (±3 s)")
+
+    print("\nfirst few restored-stream events:")
+    for a in on_restored[:6]:
+        print(f"  t={a.index:>3}s {a.kind:<11} {a.magnitude_w:+.1f} W")
+
+
+if __name__ == "__main__":
+    main()

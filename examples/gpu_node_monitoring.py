@@ -1,0 +1,62 @@
+"""GPU extension demo (paper §6.4.4): monitoring an accelerated node.
+
+The paper's future-work section argues the HighRPM methodology extends to
+any counter-instrumented peripheral. This example runs the whole story on
+a CPU+DRAM+GPU node: TRR restores the node power unchanged (it is
+component-agnostic), and a three-way SRR distributes the budget over CPU,
+DRAM, and GPU.
+
+Run with:  python examples/gpu_node_monitoring.py
+"""
+
+import numpy as np
+
+from repro.core import DynamicTRR, HighRPMConfig
+from repro.gpu import AcceleratedNodeSimulator, GPUSRR, gpu_workload
+from repro.ml import mape
+from repro.sensors.base import SparseReadings
+
+
+def ipmi_like(bundle, interval=10):
+    idx = np.arange(interval, len(bundle), interval)
+    return SparseReadings(idx, bundle.node.values[idx], interval, len(bundle))
+
+
+def main() -> None:
+    sim = AcceleratedNodeSimulator(seed=13)
+    train_names = ["gemm", "stencil", "training_loop", "inference_serving"]
+    print(f"training campaign: {train_names}")
+    train = [sim.run(gpu_workload(n, seed=4), duration_s=150) for n in train_names]
+
+    config = HighRPMConfig(miss_interval=10)
+    trr = DynamicTRR(config)
+    trr.fit(train, p_bottom=sim.min_node_power_w, p_upper=sim.max_node_power_w)
+
+    srr = GPUSRR(config)
+    pmcs = np.vstack([b.pmcs.matrix for b in train])
+    srr.fit(
+        pmcs,
+        np.concatenate([b.node.values for b in train]),
+        np.concatenate([b.cpu.values for b in train]),
+        np.concatenate([b.mem.values for b in train]),
+        np.concatenate([b.gpu.values for b in train]),
+    )
+
+    print(f"\n{'workload':>18} | {'node W':>7} | {'GPU W':>6} | {'CPU W':>6} | "
+          f"{'node MAPE%':>10} | {'GPU MAPE%':>9}")
+    print("-" * 72)
+    for name in ("graph_analytics", "fft_gpu"):
+        bundle = sim.run(gpu_workload(name, seed=9), duration_s=240)
+        readings = ipmi_like(bundle)
+        p_node = trr.restore(bundle.pmcs.matrix, readings)
+        p_cpu, p_mem, p_gpu = srr.predict(bundle.pmcs.matrix, p_node)
+        print(f"{name:>18} | {p_node.mean():7.1f} | {p_gpu.mean():6.1f} | "
+              f"{p_cpu.mean():6.1f} | {mape(bundle.node.values, p_node):10.2f} | "
+              f"{mape(bundle.gpu.values, p_gpu):9.2f}")
+
+    print("\nTRR ran unchanged on the accelerated node — the methodology is "
+          "component-agnostic,\nexactly the generality §6.4.4 claims.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Historical power-log analysis with StaticTRR (paper §4.2.1).
+
+Scenario: a cluster operator has weeks of coarse IPMI logs (one node-power
+reading every 10 s) plus the PMC stream from the monitoring daemon, and
+wants per-second energy/power characteristics of past jobs — spikes
+included. StaticTRR is the offline tool for exactly this: spline the
+readings for the trend, decision-tree residuals for the fluctuations, fuse
+with Algorithm 1.
+
+Run with:  python examples/historical_log_analysis.py
+"""
+
+import numpy as np
+
+from repro.core import HighRPMConfig, StaticTRR
+from repro.hardware import ARM_PLATFORM, NodeSimulator
+from repro.interp import CubicSplineInterpolator
+from repro.ml import mape
+from repro.monitor import EnergyAccount
+from repro.sensors import IPMISensor
+from repro.types import PowerTrace
+from repro.workloads import default_catalog
+
+
+def main() -> None:
+    catalog = default_catalog(seed=2023)
+    sim = NodeSimulator(ARM_PLATFORM, seed=3)
+    ipmi = IPMISensor(ARM_PLATFORM, seed=11)
+    config = HighRPMConfig(miss_interval=10)
+
+    jobs = ["graph500_bfs", "hpcc_fft", "spec_mcf", "parsec_canneal"]
+    print(f"{'job':>16} | {'IM-only kJ':>10} | {'restored kJ':>11} | "
+          f"{'true kJ':>8} | {'peak W':>7} | {'TRR MAPE%':>9} | {'spline MAPE%':>12}")
+    print("-" * 90)
+
+    for name in jobs:
+        bundle = sim.run(catalog.get(name), duration_s=400)
+        readings = ipmi.sample(bundle)
+
+        # What the operator had: hold-last-reading energy accounting.
+        hold = np.repeat(readings.values, 10)[: len(bundle)]
+        im_only = PowerTrace(np.maximum(hold, 0.0)).energy_joules() / 1e3
+
+        # StaticTRR restoration.
+        trr = StaticTRR(config, p_upper=ARM_PLATFORM.max_node_power_w,
+                        p_bottom=ARM_PLATFORM.min_node_power_w)
+        restored = trr.fit_restore(bundle.pmcs.matrix, readings)
+        account = EnergyAccount.from_trace(PowerTrace(restored.p_trr))
+
+        # Spline-only comparison (the trend without the ResModel).
+        spline = CubicSplineInterpolator().fit(
+            readings.indices.astype(float), readings.values
+        )
+        p_spline = spline.predict(np.arange(len(bundle), dtype=float))
+
+        truth = bundle.node
+        print(
+            f"{name:>16} | {im_only:10.2f} | {account.energy_kj:11.2f} | "
+            f"{truth.energy_joules() / 1e3:8.2f} | {account.peak_w:7.1f} | "
+            f"{mape(truth.values, restored.p_trr):9.2f} | "
+            f"{mape(truth.values, p_spline):12.2f}"
+        )
+
+    print(
+        "\nStaticTRR recovers per-second structure the 0.1 Sa/s log misses;\n"
+        "the ResModel column shows what the PMC residuals add over the spline."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Power-capping study: why temporal resolution matters (paper Fig. 1).
+
+Reruns the paper's motivating experiment: Graph500 (BFS) under a node-level
+power cap, sweeping the power-reading interval (PI) and the capping action
+interval (AI). Coarse readings hide spikes; slow actions stretch
+excursions; both cost peak power and energy.
+
+Run with:  python examples/power_capping_study.py
+"""
+
+from repro.hardware import ARM_PLATFORM, NodeSimulator
+from repro.monitor import CappingPolicy, EnergyAccount, run_capped
+from repro.workloads import default_catalog
+
+
+def main() -> None:
+    catalog = default_catalog(seed=2023)
+    sim = NodeSimulator(ARM_PLATFORM, seed=17)
+    workload = catalog.get("graph500_bfs")
+    cap_w = 75.0
+    duration = 300
+
+    configs = [
+        ("uncapped", None),
+        ("PI=1s  AI=1s ", CappingPolicy(cap_w, 1, 1)),
+        ("PI=10s AI=1s ", CappingPolicy(cap_w, 10, 1)),
+        ("PI=1s  AI=10s", CappingPolicy(cap_w, 1, 10)),
+        ("PI=1s  AI=30s", CappingPolicy(cap_w, 1, 30)),
+    ]
+
+    print(f"Graph500 BFS, {duration}s, cap {cap_w:.0f} W (node level)\n")
+    print(f"{'config':>14} | {'peak W':>7} | {'mean W':>7} | {'energy kJ':>9} | "
+          f"{'s over cap':>10} | {'DVFS actions':>12}")
+    print("-" * 75)
+
+    baseline_energy = None
+    for label, policy in configs:
+        if policy is None:
+            bundle = sim.run_controlled(
+                workload, lambda t, h: ARM_PLATFORM.default_freq_ghz,
+                duration_s=duration,
+            )
+            n_actions = 0
+        else:
+            bundle, controller = run_capped(sim, workload, policy, duration_s=duration)
+            n_actions = len(controller.actions)
+        account = EnergyAccount.from_trace(bundle.node, cap_w=cap_w)
+        if label.startswith("PI=1s  AI=1s"):
+            baseline_energy = account.energy_kj
+        print(f"{label:>14} | {account.peak_w:7.1f} | {account.mean_w:7.1f} | "
+              f"{account.energy_kj:9.2f} | {account.time_above_cap_s:10.0f} | "
+              f"{n_actions:12d}")
+
+    print(
+        "\nThe paper's observation reproduced: slowing the capping loop "
+        "(AI 1s -> 30s)\nraises peak power and total energy — the case for "
+        "high-resolution monitoring."
+    )
+    if baseline_energy is not None:
+        print(f"(fast-loop baseline energy: {baseline_energy:.2f} kJ)")
+
+
+if __name__ == "__main__":
+    main()

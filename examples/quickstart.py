@@ -1,0 +1,70 @@
+"""Quickstart: restore high-resolution power from slow IPMI readings.
+
+This walks the full HighRPM deployment story on a simulated ARM node:
+
+1. run an instrumented training campaign (direct measurement available);
+2. train the framework (initial learning stage);
+3. monitor a new, unseen benchmark from 0.1 Sa/s IPMI readings + PMCs;
+4. compare the restored 1 Sa/s estimates against ground truth.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.core import HighRPM, HighRPMConfig
+from repro.hardware import ARM_PLATFORM, NodeSimulator
+from repro.ml import score_report
+from repro.sensors import IPMISensor
+from repro.workloads import default_catalog
+
+
+def main() -> None:
+    catalog = default_catalog(seed=2023)
+    sim = NodeSimulator(ARM_PLATFORM, seed=1)
+
+    # ---- 1. instrumented training campaign --------------------------------
+    train_names = [
+        "spec_gcc", "spec_mcf", "spec_x264", "parsec_ferret",
+        "parsec_streamcluster", "hpcc_hpl", "hpcc_stream", "parsec_radix",
+    ]
+    print(f"running {len(train_names)} instrumented training benchmarks ...")
+    train = [sim.run(catalog.get(n), duration_s=150) for n in train_names]
+
+    # ---- 2. initial learning stage ----------------------------------------
+    config = HighRPMConfig(miss_interval=10)  # 0.1 Sa/s -> 1 Sa/s (10x)
+    highrpm = HighRPM(
+        config,
+        p_bottom=ARM_PLATFORM.min_node_power_w,
+        p_upper=ARM_PLATFORM.max_node_power_w,
+    )
+    print("training HighRPM (DynamicTRR + SRR) ...")
+    highrpm.fit_initial(train)
+
+    # ---- 3. monitor an unseen program --------------------------------------
+    target = catalog.get("hpcg")  # never seen during training
+    bundle = sim.run(target, duration_s=300)
+    ipmi = IPMISensor(ARM_PLATFORM, seed=9)
+    readings = ipmi.sample(bundle)
+    print(
+        f"monitoring {target.name}: {len(readings)} IPMI readings "
+        f"({ipmi.sample_rate_sa_s:.1f} Sa/s) over {len(bundle)} s"
+    )
+    result = highrpm.monitor_online(bundle.pmcs.matrix, readings)
+
+    # ---- 4. evaluate against ground truth ----------------------------------
+    print(f"\nrestored {len(result)} samples at 1 Sa/s "
+          f"({len(result) // len(readings)}x the IM rate)\n")
+    for label, truth, estimate in [
+        ("P_node", bundle.node.values, result.p_node),
+        ("P_cpu ", bundle.cpu.values, result.p_cpu),
+        ("P_mem ", bundle.mem.values, result.p_mem),
+    ]:
+        print(f"  {label}: {score_report(truth, estimate)}")
+
+    mean_w = result.p_node.mean()
+    print(f"\nmean node power {mean_w:.1f} W "
+          f"(CPU {result.p_cpu.mean():.1f} W, MEM {result.p_mem.mean():.1f} W, "
+          f"other {result.p_other.mean():.1f} W)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy shim: lets ``pip install -e .`` work on hosts without the
+``wheel`` package (offline clusters), falling back to setup.py develop."""
+
+from setuptools import setup
+
+setup()

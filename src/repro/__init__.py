@@ -1,0 +1,35 @@
+"""HighRPM reproduction: high-resolution power monitoring by combining
+integrated measurement with software power modeling (Qi et al., ICPP 2023).
+
+Public API tour
+---------------
+* :mod:`repro.core` — the paper's contribution: :class:`~repro.core.HighRPM`
+  (facade), :class:`~repro.core.StaticTRR`, :class:`~repro.core.DynamicTRR`,
+  :class:`~repro.core.SRR`;
+* :mod:`repro.hardware` / :mod:`repro.workloads` / :mod:`repro.sensors` —
+  the simulated measurement substrate (see DESIGN.md §2);
+* :mod:`repro.ml` — the from-scratch Table-4 baseline model zoo;
+* :mod:`repro.monitor` — power capping and the multi-node monitor service;
+* :mod:`repro.eval` — the paper's evaluation protocol (one entry point per
+  table/figure).
+"""
+
+from .core import SRR, DynamicTRR, HighRPM, HighRPMConfig, StaticTRR
+from .errors import ReproError
+from .types import PMC_EVENTS, PMCTrace, PowerTrace, TraceBundle
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HighRPM",
+    "HighRPMConfig",
+    "StaticTRR",
+    "DynamicTRR",
+    "SRR",
+    "ReproError",
+    "PowerTrace",
+    "PMCTrace",
+    "TraceBundle",
+    "PMC_EVENTS",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Per-job power attribution on shared nodes (disaggregation extension).
+
+HighRPM restores *component* power; operators billing or scheduling jobs
+need *per-job* power on nodes that run several jobs at once. This package
+extends the methodology one level further down, the same way SRR extends
+it from node to component:
+
+* :class:`ColocationSimulator` — runs several workloads on one node with
+  contention (activities saturate), producing per-job counter views and a
+  defensible per-job power ground truth (dynamic power proportional to
+  each job's effective activity; static power shared equally — the
+  standard attribution convention RAPL-based tools use);
+* :class:`PerJobAttributor` — trained on solo runs, it estimates each
+  job's dynamic demand from its own counters and distributes the restored
+  CPU power accordingly. The node/component readings pin the total, so
+  per-job errors cannot accumulate into the node bill.
+"""
+
+from .colocate import ColocatedBundle, ColocationSimulator
+from .model import PerJobAttributor
+
+__all__ = ["ColocatedBundle", "ColocationSimulator", "PerJobAttributor"]

@@ -1,0 +1,174 @@
+"""Co-location simulation: several jobs sharing one node.
+
+The node's CPU activity is the (saturating) sum of the jobs' demands; when
+demand exceeds the core budget every job is slowed proportionally
+(contention). Each job keeps its own PMC view (per-cgroup counters, which
+real kernels provide), while the node-level counter view is their sum —
+exactly the aggregation a monitoring daemon sees.
+
+Ground-truth per-job CPU power uses the standard attribution convention:
+dynamic power proportional to each job's effective activity, static/idle
+power divided equally among resident jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..hardware.node import NodeSimulator
+from ..hardware.platform import PlatformSpec
+from ..types import PMCTrace, PowerTrace
+from ..utils.rng import SeedSequenceFactory
+from ..workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class ColocatedBundle:
+    """Ground truth for one co-located run.
+
+    ``job_pmcs[j]`` is job j's own counter view; ``job_cpu_power[j]`` its
+    attributed CPU power; ``node``/``cpu``/``mem``/``other``/``pmcs`` are
+    the node-level aggregates (same shape as a normal bundle).
+    """
+
+    node: PowerTrace
+    cpu: PowerTrace
+    mem: PowerTrace
+    other: PowerTrace
+    pmcs: PMCTrace
+    job_names: tuple[str, ...]
+    job_pmcs: tuple[PMCTrace, ...]
+    job_cpu_power: tuple[PowerTrace, ...]
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.job_names) != len(self.job_pmcs) or \
+                len(self.job_names) != len(self.job_cpu_power):
+            raise ValidationError("per-job fields must align")
+        lengths = {len(self.node), len(self.cpu), len(self.pmcs)}
+        lengths |= {len(p) for p in self.job_pmcs}
+        if len(lengths) != 1:
+            raise ValidationError("co-located traces must share a length")
+
+    def __len__(self) -> int:
+        return len(self.node)
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.job_names)
+
+    def check_attribution_sums(self, atol: float = 1e-6) -> bool:
+        """Per-job CPU power must sum to the node's CPU power exactly."""
+        total = np.sum([p.values for p in self.job_cpu_power], axis=0)
+        return bool(np.allclose(total, self.cpu.values, atol=atol))
+
+
+class ColocationSimulator:
+    """Runs ``k`` workloads concurrently on one simulated node."""
+
+    def __init__(self, spec: PlatformSpec, seed: int = 0) -> None:
+        self.spec = spec
+        self._node = NodeSimulator(spec, seed=seed)
+        self._seeds = SeedSequenceFactory(seed).child("colocate")
+
+    def run(
+        self,
+        workloads: Sequence[Workload],
+        duration_s: int,
+        run_id: int = 0,
+    ) -> ColocatedBundle:
+        """Execute the workloads together for ``duration_s`` seconds."""
+        if len(workloads) < 2:
+            raise ValidationError("co-location needs at least two workloads")
+        names = [w.name for w in workloads]
+        if len(set(names)) != len(names):
+            raise ValidationError("duplicate workload names in the mix")
+        tag = "+".join(names)
+
+        # Per-job demanded activity.
+        demands, mems = [], []
+        for w in workloads:
+            g = self._seeds.generator(f"act.{tag}.{w.name}.{run_id}")
+            cpu, mem = w.synthesize(duration_s, g)
+            demands.append(cpu)
+            mems.append(mem)
+        demand = np.vstack(demands)  # (k, n)
+        mem_mix = np.clip(np.vstack(mems).sum(axis=0), 0.0, 1.0)
+
+        # Contention: the node saturates at activity 1; every job is scaled
+        # back proportionally when oversubscribed.
+        total_demand = demand.sum(axis=0)
+        scale = np.where(total_demand > 1.0, 1.0 / np.maximum(total_demand, 1e-9), 1.0)
+        effective = demand * scale  # (k, n), sums to <= 1 (modulo epsilon)
+        total_act = np.clip(effective.sum(axis=0), 0.0, 1.0)
+
+        # Node power: blended hidden power scale, weighted by contribution.
+        weights = effective.mean(axis=1)
+        weights = weights / max(weights.sum(), 1e-9)
+        cpu_scale = float(np.sum(
+            [w.traits.cpu_power_scale * wt for w, wt in zip(workloads, weights)]
+        ))
+        mem_scale = float(np.sum(
+            [w.traits.mem_power_scale * wt for w, wt in zip(workloads, weights)]
+        ))
+        rng_cpu = self._seeds.generator(f"cpu.{tag}.{run_id}")
+        condition = self._node._condition(
+            duration_s, self._seeds.generator(f"cond.{tag}.{run_id}")
+        )
+        p_cpu = self._node.cpu_model.power(
+            total_act, self.spec.default_freq_ghz, rng_cpu,
+            power_scale=cpu_scale, condition=condition,
+        )
+        rng_rest = self._seeds.generator(f"rest.{tag}.{run_id}")
+        p_mem = self._node.mem_model.power(
+            mem_mix, rng_rest, power_scale=mem_scale, condition=condition
+        )
+        p_other = self._node._other_power(duration_s, rng_rest)
+        p_node = p_cpu + p_mem + p_other
+
+        # Ground-truth attribution: static shared equally, dynamic by
+        # effective-activity share.
+        k = len(workloads)
+        rel = self.spec.default_freq_ghz / self.spec.f_max_ghz
+        static = self.spec.cpu_idle_w * (0.4 + 0.6 * rel)
+        dynamic = np.maximum(p_cpu - static, 0.0)
+        share = effective / np.maximum(total_act, 1e-9)
+        job_cpu = [
+            PowerTrace(static / k + dynamic * share[j], 1.0, f"cpu.{names[j]}")
+            for j in range(k)
+        ]
+        # Renormalise the tiny clamp slack so the invariant is exact.
+        total_attr = np.sum([p.values for p in job_cpu], axis=0)
+        correction = p_cpu / np.maximum(total_attr, 1e-9)
+        job_cpu = [
+            PowerTrace(p.values * correction, 1.0, p.label) for p in job_cpu
+        ]
+
+        # Per-job and aggregated counter views.
+        job_pmcs = []
+        for j, w in enumerate(workloads):
+            g = self._seeds.generator(f"pmc.{tag}.{w.name}.{run_id}")
+            matrix = self._node.pmu_model.counters(
+                effective[j], np.clip(mems[j], 0.0, 1.0),
+                self.spec.default_freq_ghz, w.traits, g,
+            )
+            job_pmcs.append(PMCTrace(matrix, sample_rate_hz=1.0))
+        node_pmcs = PMCTrace(
+            np.sum([p.matrix for p in job_pmcs], axis=0), sample_rate_hz=1.0
+        )
+
+        return ColocatedBundle(
+            node=PowerTrace(p_node, 1.0, "node"),
+            cpu=PowerTrace(p_cpu, 1.0, "cpu"),
+            mem=PowerTrace(p_mem, 1.0, "mem"),
+            other=PowerTrace(p_other, 1.0, "other"),
+            pmcs=node_pmcs,
+            job_names=tuple(names),
+            job_pmcs=tuple(job_pmcs),
+            job_cpu_power=tuple(job_cpu),
+            metadata={"effective_activity": effective},
+        )

@@ -1,0 +1,190 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro list-workloads
+    python -m repro experiment table5 [--full]
+    python -m repro experiment fig2
+    python -m repro ablation resmodel
+    python -m repro campaign --out campaign.npz [--platform x86] [--seconds 120]
+    python -m repro monitor --workload hpcg --out restored.csv
+
+``experiment`` regenerates one paper table/figure and prints it;
+``campaign`` archives a full 96-benchmark measurement campaign;
+``monitor`` trains a small model and writes restored estimates to CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from . import io as repro_io
+from .core import HighRPM, HighRPMConfig
+from .eval import ablations as ab
+from .eval import experiments as ex
+from .eval import figures as fg
+from .eval.harness import EvalSettings, build_campaign
+from .hardware import NodeSimulator, get_platform
+from .ml import score_report
+from .sensors import IPMISensor
+from .workloads import default_catalog
+
+EXPERIMENTS: dict[str, Callable] = {
+    "table5": ex.table5,
+    "table6": ex.table6,
+    "table7": ex.table7,
+    "table8": ex.table8,
+    "table9": ex.table9,
+    "fig1": fg.fig1,
+    "fig2": fg.fig2,
+    "fig7": fg.fig7,
+    "fig8": fg.fig8,
+    "fig9": fg.fig9,
+    "overhead": fg.overhead,
+    "per-suite": ex.per_suite_breakdown,
+}
+
+ABLATIONS: dict[str, Callable] = {
+    "resmodel": ab.ablation_resmodel,
+    "postprocessing": ab.ablation_postprocessing,
+    "finetune": ab.ablation_finetune,
+    "lstm-depth": ab.ablation_lstm_depth,
+    "trend-model": ab.ablation_trend_model,
+}
+
+
+def _settings(args) -> EvalSettings:
+    settings = EvalSettings.full() if args.full else EvalSettings.quick()
+    if getattr(args, "platform", None):
+        settings = settings.on_platform(args.platform)
+    return settings
+
+
+def cmd_list_workloads(args) -> int:
+    """Print the 96-benchmark catalog grouped by suite."""
+    catalog = default_catalog(args.seed)
+    for suite in catalog.suites:
+        names = [w.name for w in catalog.suite(suite)]
+        print(f"{suite} ({len(names)}):")
+        for name in names:
+            print(f"  {name}")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    """Regenerate one paper table/figure and print it."""
+    fn = EXPERIMENTS[args.name]
+    result = fn(_settings(args))
+    print(result.render())
+    return 0
+
+
+def cmd_ablation(args) -> int:
+    """Run one design-choice ablation and print it."""
+    fn = ABLATIONS[args.name]
+    result = fn(_settings(args))
+    print(result.render())
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    """Run and archive a full measurement campaign."""
+    settings = _settings(args)
+    if args.seconds:
+        from dataclasses import replace
+
+        settings = replace(settings, seconds_per_benchmark=args.seconds)
+    campaign = build_campaign(settings)
+    bundles = list(campaign.values())
+    repro_io.save_campaign(args.out, bundles)
+    total = sum(len(b) for b in bundles)
+    print(f"archived {len(bundles)} bundles ({total} samples) to {args.out}")
+    return 0
+
+
+def cmd_monitor(args) -> int:
+    """Train a small model, monitor one workload, export CSV."""
+    catalog = default_catalog(args.seed)
+    spec = get_platform(args.platform or "arm")
+    sim = NodeSimulator(spec, seed=args.seed)
+    train_names = ["spec_gcc", "spec_mcf", "parsec_ferret", "hpcc_hpl",
+                   "hpcc_stream", "parsec_radix"]
+    train = [sim.run(catalog.get(n), duration_s=120) for n in train_names]
+    hr = HighRPM(HighRPMConfig(miss_interval=args.interval),
+                 p_bottom=spec.min_node_power_w, p_upper=spec.max_node_power_w)
+    hr.fit_initial(train)
+    bundle = sim.run(catalog.get(args.workload), duration_s=args.seconds or 300)
+    readings = IPMISensor(spec, interval_s=args.interval, seed=args.seed).sample(bundle)
+    result = hr.monitor_online(bundle.pmcs.matrix, readings)
+    repro_io.export_monitor_csv(args.out, result.p_node, result.p_cpu, result.p_mem)
+    print(f"wrote {len(result)} restored samples to {args.out}")
+    print(f"node: {score_report(bundle.node.values, result.p_node)}")
+    print(f"cpu : {score_report(bundle.cpu.values, result.p_cpu)}")
+    print(f"mem : {score_report(bundle.mem.values, result.p_mem)}")
+    if args.plot:
+        from .eval.ascii_plot import strip_chart
+
+        print()
+        print(strip_chart({
+            "true node": bundle.node.values,
+            "restored": result.p_node,
+            "cpu": result.p_cpu,
+            "mem": result.p_mem,
+        }))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="HighRPM reproduction command line"
+    )
+    parser.add_argument("--seed", type=int, default=2023)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("list-workloads", help="print the 96-benchmark catalog")
+    p.set_defaults(func=cmd_list_workloads)
+
+    p = sub.add_parser("experiment", help="regenerate one paper table/figure")
+    p.add_argument("name", choices=sorted(EXPERIMENTS))
+    p.add_argument("--full", action="store_true",
+                   help="paper-sized protocol (slow)")
+    p.add_argument("--platform", choices=("arm", "x86"))
+    p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser("ablation", help="run one design-choice ablation")
+    p.add_argument("name", choices=sorted(ABLATIONS))
+    p.add_argument("--full", action="store_true")
+    p.add_argument("--platform", choices=("arm", "x86"))
+    p.set_defaults(func=cmd_ablation)
+
+    p = sub.add_parser("campaign", help="archive a measurement campaign")
+    p.add_argument("--out", required=True)
+    p.add_argument("--full", action="store_true")
+    p.add_argument("--platform", choices=("arm", "x86"))
+    p.add_argument("--seconds", type=int, help="seconds per benchmark")
+    p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser("monitor", help="train, monitor one workload, export CSV")
+    p.add_argument("--workload", required=True)
+    p.add_argument("--out", required=True)
+    p.add_argument("--platform", choices=("arm", "x86"))
+    p.add_argument("--interval", type=int, default=10)
+    p.add_argument("--seconds", type=int)
+    p.add_argument("--plot", action="store_true",
+                   help="render terminal sparklines of the restored traces")
+    p.set_defaults(func=cmd_monitor)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""Active-learning stage (paper Fig. 3, right half).
+
+After initial training, HighRPM combines the **initial samples** (labeled,
+from instrumented runs) with **restored samples** (pseudo-labeled by the
+TRR/SRR models on unlabeled runs) into one pool; a sampler draws random
+reinforcement samples from the pool, and the models are fine-tuned on them.
+This is what adapts a deployed instance to node-to-node power variation
+without re-instrumenting every node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..utils.rng import as_generator
+from ..utils.validation import check_consistent_length, check_fraction
+
+
+@dataclass(frozen=True)
+class SamplePool:
+    """Aligned sample arrays from which reinforcement batches are drawn."""
+
+    pmcs: np.ndarray
+    p_node: np.ndarray
+    p_cpu: np.ndarray
+    p_mem: np.ndarray
+    restored: np.ndarray  # bool: True for pseudo-labeled rows
+
+    def __post_init__(self) -> None:
+        check_consistent_length(
+            self.pmcs, self.p_node, self.p_cpu, self.p_mem, self.restored,
+            names=("pmcs", "p_node", "p_cpu", "p_mem", "restored"),
+        )
+
+    def __len__(self) -> int:
+        return int(self.pmcs.shape[0])
+
+    @staticmethod
+    def merge(initial: "SamplePool", restored: "SamplePool") -> "SamplePool":
+        return SamplePool(
+            pmcs=np.vstack([initial.pmcs, restored.pmcs]),
+            p_node=np.concatenate([initial.p_node, restored.p_node]),
+            p_cpu=np.concatenate([initial.p_cpu, restored.p_cpu]),
+            p_mem=np.concatenate([initial.p_mem, restored.p_mem]),
+            restored=np.concatenate([initial.restored, restored.restored]),
+        )
+
+
+class ReinforcementSampler:
+    """Draws random reinforcement batches from a sample pool.
+
+    ``restored_weight`` biases the draw toward pseudo-labeled samples
+    (they carry the target node's recent behaviour); 1.0 means uniform.
+    """
+
+    def __init__(
+        self,
+        fraction: float = 0.3,
+        restored_weight: float = 1.0,
+        rng: "int | np.random.Generator | None" = 0,
+    ) -> None:
+        check_fraction(fraction, "fraction")
+        if fraction == 0.0:
+            raise ValidationError("fraction must be positive")
+        if restored_weight <= 0:
+            raise ValidationError("restored_weight must be positive")
+        self.fraction = float(fraction)
+        self.restored_weight = float(restored_weight)
+        self._rng = as_generator(rng)
+
+    def draw(self, pool: SamplePool) -> SamplePool:
+        """One reinforcement batch (without replacement)."""
+        n = len(pool)
+        k = max(1, int(round(self.fraction * n)))
+        weights = np.where(pool.restored, self.restored_weight, 1.0)
+        weights = weights / weights.sum()
+        idx = self._rng.choice(n, size=min(k, n), replace=False, p=weights)
+        return SamplePool(
+            pmcs=pool.pmcs[idx],
+            p_node=pool.p_node[idx],
+            p_cpu=pool.p_cpu[idx],
+            p_mem=pool.p_mem[idx],
+            restored=pool.restored[idx],
+        )

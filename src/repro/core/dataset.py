@@ -1,0 +1,179 @@
+"""Dataset builders for TRR and SRR (paper §4.2.2, Fig. 4).
+
+Two shapes circulate:
+
+* **flat** rows ``[C_1 … C_m]`` (PMCs) with a power target — what the
+  Table-4 baselines and the SRR model consume;
+* **windows** of ``miss_interval`` consecutive rows ``[C_1 … C_m, P'_node]``
+  with per-step power labels — what DynamicTRR's LSTM consumes. The extra
+  feature column is the node power of the *previous* step (teacher-forced
+  from ground truth at training time; the model's own prediction or a real
+  IM reading online).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..types import TraceBundle
+from ..utils.validation import check_consistent_length
+
+
+@dataclass(frozen=True)
+class FlatDataset:
+    """PMC features plus the three power channels, row-aligned."""
+
+    X: np.ndarray  # (n, m) PMC matrix
+    p_node: np.ndarray
+    p_cpu: np.ndarray
+    p_mem: np.ndarray
+    workloads: tuple[str, ...]  # per-row provenance
+
+    def __post_init__(self) -> None:
+        check_consistent_length(
+            self.X, self.p_node, self.p_cpu, self.p_mem,
+            names=("X", "p_node", "p_cpu", "p_mem"),
+        )
+        if len(self.workloads) != self.X.shape[0]:
+            raise ValidationError("workloads must label every row")
+
+    def __len__(self) -> int:
+        return int(self.X.shape[0])
+
+    def subset(self, mask: np.ndarray) -> "FlatDataset":
+        return FlatDataset(
+            X=self.X[mask],
+            p_node=self.p_node[mask],
+            p_cpu=self.p_cpu[mask],
+            p_mem=self.p_mem[mask],
+            workloads=tuple(np.asarray(self.workloads, dtype=object)[mask]),
+        )
+
+    def limit(self, n: int) -> "FlatDataset":
+        """First ``n`` rows (the paper draws 1000 samples per suite set)."""
+        mask = np.zeros(len(self), dtype=bool)
+        mask[:n] = True
+        return self.subset(mask)
+
+
+def build_flat_dataset(bundles: Sequence[TraceBundle]) -> FlatDataset:
+    """Stack measurement bundles into one flat dataset."""
+    if not bundles:
+        raise ValidationError("need at least one bundle")
+    X = np.vstack([b.pmcs.matrix for b in bundles])
+    return FlatDataset(
+        X=X,
+        p_node=np.concatenate([b.node.values for b in bundles]),
+        p_cpu=np.concatenate([b.cpu.values for b in bundles]),
+        p_mem=np.concatenate([b.mem.values for b in bundles]),
+        workloads=tuple(
+            name for b in bundles for name in [b.workload] * len(b)
+        ),
+    )
+
+
+def build_windows(
+    pmcs: np.ndarray,
+    p_node: np.ndarray,
+    miss_interval: int,
+    stride: int = 1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fig.-4 window construction for DynamicTRR training.
+
+    Returns ``(X_seq, Y_seq)``:
+
+    * ``X_seq``: ``(k, miss_interval, m+1)`` — each step's features are its
+      PMCs plus the node power of the *previous* step (the first step of a
+      window uses the power just before the window; the leading window is
+      seeded with its own first power reading, the only sane cold-start);
+    * ``Y_seq``: ``(k, miss_interval)`` — true node power at each step,
+      i.e. the label vector ``<P(i), …, P(i+miss-1)>``.
+
+    ``k = floor((n - miss_interval) / stride) + 1``.
+    """
+    pmcs = np.asarray(pmcs, dtype=np.float64)
+    p = np.asarray(p_node, dtype=np.float64)
+    if pmcs.ndim != 2:
+        raise ValidationError(f"pmcs must be 2-D, got {pmcs.shape}")
+    check_consistent_length(pmcs, p, names=("pmcs", "p_node"))
+    n, m = pmcs.shape
+    w = int(miss_interval)
+    if w < 2:
+        raise ValidationError("miss_interval must be >= 2")
+    if n < w:
+        raise ValidationError(f"trace of {n} samples shorter than window {w}")
+    prev_power = np.concatenate([[p[0]], p[:-1]])
+    rows = np.column_stack([pmcs, prev_power])  # (n, m+1)
+    starts = np.arange(0, n - w + 1, stride)
+    X_seq = np.stack([rows[s : s + w] for s in starts])
+    Y_seq = np.stack([p[s : s + w] for s in starts])
+    return X_seq, Y_seq
+
+
+def windows_from_bundles(
+    bundles: Sequence[TraceBundle], miss_interval: int, stride: int = 1
+) -> tuple[np.ndarray, np.ndarray]:
+    """Window datasets per bundle, concatenated (windows never straddle
+    bundle boundaries — consecutive benchmarks are unrelated programs)."""
+    xs, ys = [], []
+    for b in bundles:
+        X_seq, Y_seq = build_windows(b.pmcs.matrix, b.node.values, miss_interval, stride)
+        xs.append(X_seq)
+        ys.append(Y_seq)
+    return np.concatenate(xs), np.concatenate(ys)
+
+
+def build_anchor_windows(
+    pmcs: np.ndarray,
+    p_node: np.ndarray,
+    miss_interval: int,
+    offsets: "Sequence[int] | None" = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Anchor-relative window construction for DynamicTRR.
+
+    Simulates the deployed sensing pattern: readings land every
+    ``miss_interval`` seconds starting at ``offset``; the power feature is
+    the **hold-last-reading** trace (the only power information genuinely
+    available online), and the label is the *deviation* of true power from
+    that held anchor. Because every window of width ``miss_interval``
+    contains exactly one reading (the paper's own invariant, §4.2.2), the
+    network learns to project power forward from a measured anchor using
+    the PMC evolution — absolute PMC→power mappings, which do not transfer
+    across programs, are never needed.
+
+    Returns ``(X_seq, Y_seq)`` with shapes ``(k, w, m+1)`` / ``(k, w)``.
+    """
+    pmcs = np.asarray(pmcs, dtype=np.float64)
+    p = np.asarray(p_node, dtype=np.float64)
+    if pmcs.ndim != 2:
+        raise ValidationError(f"pmcs must be 2-D, got {pmcs.shape}")
+    check_consistent_length(pmcs, p, names=("pmcs", "p_node"))
+    n = pmcs.shape[0]
+    w = int(miss_interval)
+    if w < 2:
+        raise ValidationError("miss_interval must be >= 2")
+    if n < 2 * w:
+        raise ValidationError(f"trace of {n} samples too short for window {w}")
+    if offsets is None:
+        offsets = range(0, w, max(1, w // 3))
+    xs, ys = [], []
+    for offset in offsets:
+        reading_idx = np.arange(offset, n, w)
+        if reading_idx.size == 0:
+            continue
+        positions = np.searchsorted(reading_idx, np.arange(n), side="right") - 1
+        positions = np.clip(positions, 0, reading_idx.size - 1)
+        hold = p[reading_idx[positions]]
+        rows = np.column_stack([pmcs, hold])
+        starts = np.arange(int(reading_idx[0]), n - w + 1)
+        if starts.size == 0:
+            continue
+        xs.append(np.stack([rows[s : s + w] for s in starts]))
+        ys.append(np.stack([(p - hold)[s : s + w] for s in starts]))
+    if not xs:
+        raise ValidationError("no anchor windows could be built")
+    return np.concatenate(xs), np.concatenate(ys)

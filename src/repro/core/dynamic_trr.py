@@ -1,0 +1,210 @@
+"""DynamicTRR: online temporal-resolution restoration (paper §4.2.2).
+
+StaticTRR is a *fitting* method — it needs readings on both sides of the
+gap. DynamicTRR is a *forecasting* method for live monitoring: between two
+IM readings, a compact two-layer LSTM predicts each second's node power
+from the window of recent ``(PMCs, P'_node)`` rows.
+
+The window construction follows the paper's invariant that every window of
+width ``miss_interval`` contains exactly one measured reading. The power
+feature channel is the **hold-last-reading** trace (the only power signal
+genuinely available online) and the network predicts the *deviation* of
+the current second's power from that held anchor. This anchor-relative
+formulation is what gives DynamicTRR its robustness on unseen applications
+(§6.1.1): projecting power forward from a measured anchor transfers across
+programs, whereas absolute PMC→power mappings do not.
+
+Whenever a real reading arrives, the model is fine-tuned on a replay
+buffer of recent measured windows (the paper's < 2 s online adjustment) at
+a reduced learning rate — gentle enough not to erase offline training.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from ..errors import NotFittedError, ValidationError
+from ..ml.recurrent import LSTMRegressor
+from ..sensors.base import SparseReadings
+from .config import HighRPMConfig
+from .dataset import build_anchor_windows
+
+
+class OnlineTRRSession:
+    """Streaming restoration for one monitored run.
+
+    Feed one second at a time with :meth:`step`. The session owns a private
+    copy of the offline model, so per-node fine-tuning never corrupts the
+    shared instance (each node adapts independently, §4.1).
+    """
+
+    #: replay-buffer capacity for fine-tuning windows.
+    BUFFER_CAP = 32
+
+    def __init__(self, trr: "DynamicTRR") -> None:
+        self._trr = trr
+        self._model = copy.deepcopy(trr.model_)
+        self._pmcs: list[np.ndarray] = []
+        self._hold: list[float] = []  # hold-last-reading feature channel
+        self._estimates: list[float] = []
+        self._measured_mask: list[bool] = []
+        self._buffer_X: list[np.ndarray] = []
+        self._buffer_y: list[np.ndarray] = []
+
+    @property
+    def estimates(self) -> np.ndarray:
+        """All node-power estimates produced so far (measured where known)."""
+        return np.asarray(self._estimates)
+
+    @property
+    def measured_mask(self) -> np.ndarray:
+        """True where the estimate came straight from an IM reading."""
+        return np.asarray(self._measured_mask)
+
+    def _window(self, t: int) -> np.ndarray:
+        w = self._trr.config.miss_interval
+        rows = [
+            np.concatenate([self._pmcs[i], [self._hold[i]]])
+            for i in range(max(0, t - w + 1), t + 1)
+        ]
+        while len(rows) < w:  # cold start: left-pad with the first row
+            rows.insert(0, rows[0])
+        return np.asarray(rows)[None, :, :]
+
+    def _fine_tune(self, X: np.ndarray, deviation: float) -> None:
+        """Replay-buffer fine-tuning when a reading lands."""
+        trr = self._trr
+        w = X.shape[1]
+        labels = np.full((1, w), np.nan)
+        labels[0, -1] = deviation
+        self._buffer_X.append(X[0])
+        self._buffer_y.append(labels[0])
+        if len(self._buffer_X) > self.BUFFER_CAP:
+            self._buffer_X.pop(0)
+            self._buffer_y.pop(0)
+        bx = np.stack(self._buffer_X)
+        by = np.stack(self._buffer_y)
+        old_lr = self._model.lr
+        self._model.lr = trr.finetune_lr
+        try:
+            self._model.partial_fit(bx, by, n_steps=trr.config.finetune_steps)
+        finally:
+            self._model.lr = old_lr
+
+    def step(self, pmc_row: np.ndarray, im_reading: "float | None" = None) -> float:
+        """Process one second; returns the node-power estimate for it.
+
+        ``im_reading`` is the IM value when the BMC produced one this second
+        (it then *is* the estimate, and triggers fine-tuning), else None.
+        """
+        trr = self._trr
+        pmc_row = np.asarray(pmc_row, dtype=np.float64).ravel()
+        if pmc_row.shape[0] != trr.n_pmcs_:
+            raise ValidationError(
+                f"expected {trr.n_pmcs_} PMCs per row, got {pmc_row.shape[0]}"
+            )
+        t = len(self._pmcs)
+        self._pmcs.append(pmc_row)
+        prev_hold = self._hold[-1] if self._hold else (
+            float(im_reading) if im_reading is not None else trr.train_power_mean_
+        )
+
+        if im_reading is not None:
+            estimate = float(im_reading)
+            # Anchor BEFORE updating the hold channel: the fine-tune label is
+            # the deviation of this reading from the previous anchor, which
+            # is exactly what the model predicts at gap-end positions.
+            self._hold.append(prev_hold)
+            X = self._window(t)
+            self._fine_tune(X, estimate - prev_hold)
+            self._hold[t] = estimate  # future windows hold the new reading
+            self._measured_mask.append(True)
+        else:
+            self._hold.append(prev_hold)
+            X = self._window(t)
+            deviation = float(self._model.predict(X)[0])
+            estimate = prev_hold + deviation
+            # Physical clamping: a forecast cannot leave the platform range.
+            estimate = float(np.clip(estimate, trr.p_bottom_, trr.p_upper_))
+            self._measured_mask.append(False)
+        self._estimates.append(estimate)
+        return estimate
+
+    def run(self, pmcs: np.ndarray, readings: SparseReadings) -> np.ndarray:
+        """Process a whole trace given its sparse IM readings."""
+        pmcs = np.asarray(pmcs, dtype=np.float64)
+        reading_at = dict(zip(readings.indices.tolist(), readings.values.tolist()))
+        for t in range(pmcs.shape[0]):
+            self.step(pmcs[t], reading_at.get(t))
+        return self.estimates
+
+
+class DynamicTRR:
+    """Offline-trained, online-fine-tuned LSTM restorer."""
+
+    def __init__(
+        self,
+        config: "HighRPMConfig | None" = None,
+        finetune_lr: float = 1e-3,
+    ) -> None:
+        self.config = config or HighRPMConfig()
+        self.finetune_lr = float(finetune_lr)
+        self.model_: "LSTMRegressor | None" = None
+        self.n_pmcs_: int = 0
+        self.train_power_mean_: float = 0.0
+        self.p_bottom_: float = -np.inf
+        self.p_upper_: float = np.inf
+
+    def fit(
+        self,
+        bundles,
+        p_bottom: "float | None" = None,
+        p_upper: "float | None" = None,
+    ) -> "DynamicTRR":
+        """Offline training on instrumented campaigns (dense node power)."""
+        cfg = self.config
+        xs, ys = [], []
+        for b in bundles:
+            if len(b) < 2 * cfg.miss_interval:
+                continue
+            X_seq, Y_seq = build_anchor_windows(
+                b.pmcs.matrix, b.node.values, cfg.miss_interval
+            )
+            xs.append(X_seq)
+            ys.append(Y_seq)
+        if not xs:
+            raise ValidationError("no training bundle is long enough")
+        X_seq = np.concatenate(xs)
+        Y_seq = np.concatenate(ys)
+        self.n_pmcs_ = X_seq.shape[2] - 1
+        # The anchor channel holds power readings; its mean is the campaign
+        # power level (used only for the cold-start hold value).
+        self.train_power_mean_ = float(X_seq[:, :, -1].mean())
+        self.p_bottom_ = (
+            float(p_bottom) if p_bottom is not None
+            else float(X_seq[:, :, -1].min()) * 0.7
+        )
+        self.p_upper_ = (
+            float(p_upper) if p_upper is not None
+            else float(X_seq[:, :, -1].max()) * 1.3
+        )
+        self.model_ = LSTMRegressor(
+            hidden_size=cfg.lstm_hidden,
+            num_layers=cfg.lstm_layers,
+            max_iter=cfg.lstm_iters,
+            random_state=cfg.seed,
+        )
+        self.model_.fit(X_seq, Y_seq)
+        return self
+
+    def session(self) -> OnlineTRRSession:
+        """A fresh streaming session with a private copy of the model."""
+        if self.model_ is None:
+            raise NotFittedError("DynamicTRR.session before fit")
+        return OnlineTRRSession(self)
+
+    def restore(self, pmcs: np.ndarray, readings: SparseReadings) -> np.ndarray:
+        """One-shot restoration of a full trace (runs a session over it)."""
+        return self.session().run(pmcs, readings)

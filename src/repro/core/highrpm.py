@@ -1,0 +1,157 @@
+"""The HighRPM facade: initial learning, active learning, monitoring.
+
+Typical use::
+
+    cfg = HighRPMConfig(miss_interval=10)
+    hr = HighRPM(cfg, p_bottom=spec.min_node_power_w, p_upper=spec.max_node_power_w)
+    hr.fit_initial(train_bundles)            # instrumented campaign
+    hr.active_learning([(pmcs, readings)])   # unlabeled runs on the target node
+    result = hr.monitor_online(pmcs, readings)
+    result.p_node, result.p_cpu, result.p_mem    # dense 1 Sa/s estimates
+
+``monitor_offline`` uses StaticTRR (historical log analysis);
+``monitor_online`` uses DynamicTRR (live prediction). Both then distribute
+the restored node power to components with SRR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import NotFittedError, ValidationError
+from ..sensors.base import SparseReadings
+from ..types import TraceBundle
+from .active_learning import ReinforcementSampler, SamplePool
+from .config import HighRPMConfig
+from .dataset import build_flat_dataset
+from .dynamic_trr import DynamicTRR
+from .srr import SRR
+from .static_trr import StaticTRR
+
+
+@dataclass(frozen=True)
+class MonitorResult:
+    """Dense restored power estimates for one run."""
+
+    p_node: np.ndarray
+    p_cpu: np.ndarray
+    p_mem: np.ndarray
+    mode: str  # "static" or "dynamic"
+
+    def __len__(self) -> int:
+        return int(self.p_node.shape[0])
+
+    @property
+    def p_other(self) -> np.ndarray:
+        """Residual peripheral power implied by the estimates."""
+        return self.p_node - self.p_cpu - self.p_mem
+
+
+class HighRPM:
+    """Temporal + spatial resolution restoration framework."""
+
+    def __init__(
+        self,
+        config: "HighRPMConfig | None" = None,
+        p_bottom: "float | None" = None,
+        p_upper: "float | None" = None,
+    ) -> None:
+        self.config = config or HighRPMConfig()
+        self.p_bottom = p_bottom
+        self.p_upper = p_upper
+        self.dynamic_trr = DynamicTRR(self.config)
+        self.srr = SRR(self.config)
+        self._initial_pool: "SamplePool | None" = None
+        self._fitted = False
+
+    # ---------------------------------------------------------------- stage 1
+    def fit_initial(self, bundles: Sequence[TraceBundle]) -> "HighRPM":
+        """Initial learning stage: train TRR and SRR on instrumented runs."""
+        if not bundles:
+            raise ValidationError("fit_initial needs at least one bundle")
+        flat = build_flat_dataset(bundles)
+        self.dynamic_trr.fit(bundles, p_bottom=self.p_bottom, p_upper=self.p_upper)
+        self.srr.fit(flat.X, flat.p_node, flat.p_cpu, flat.p_mem)
+        self._initial_pool = SamplePool(
+            pmcs=flat.X,
+            p_node=flat.p_node,
+            p_cpu=flat.p_cpu,
+            p_mem=flat.p_mem,
+            restored=np.zeros(len(flat), dtype=bool),
+        )
+        self._fitted = True
+        return self
+
+    # ---------------------------------------------------------------- stage 2
+    def active_learning(
+        self,
+        unlabeled: Sequence[tuple[np.ndarray, SparseReadings]],
+        rounds: "int | None" = None,
+    ) -> "HighRPM":
+        """Active learning: restore unlabeled runs, fine-tune on a mix.
+
+        ``unlabeled`` holds (pmc_matrix, sparse IM readings) pairs from the
+        deployment node. StaticTRR pseudo-labels the node power; the current
+        SRR pseudo-labels the components; a sampler draws reinforcement
+        batches; SRR is fine-tuned on each.
+        """
+        self._require_fitted()
+        if not unlabeled:
+            return self
+        restored_parts: list[SamplePool] = []
+        for pmcs, readings in unlabeled:
+            static = StaticTRR(
+                self.config, p_upper=self.p_upper, p_bottom=self.p_bottom
+            )
+            p_node = static.fit_restore(np.asarray(pmcs), readings).p_trr
+            p_cpu, p_mem = self.srr.predict(np.asarray(pmcs), p_node)
+            restored_parts.append(
+                SamplePool(
+                    pmcs=np.asarray(pmcs, dtype=np.float64),
+                    p_node=p_node,
+                    p_cpu=p_cpu,
+                    p_mem=p_mem,
+                    restored=np.ones(p_node.shape[0], dtype=bool),
+                )
+            )
+        pool = self._initial_pool
+        for part in restored_parts:
+            pool = SamplePool.merge(pool, part)
+        sampler = ReinforcementSampler(
+            fraction=self.config.reinforcement_fraction,
+            rng=self.config.seed,
+        )
+        n_rounds = self.config.active_rounds if rounds is None else int(rounds)
+        for _ in range(n_rounds):
+            batch = sampler.draw(pool)
+            self.srr.partial_fit(
+                batch.pmcs, batch.p_node, batch.p_cpu, batch.p_mem, n_steps=200
+            )
+        return self
+
+    # -------------------------------------------------------------- monitoring
+    def monitor_offline(
+        self, pmcs: np.ndarray, readings: SparseReadings
+    ) -> MonitorResult:
+        """Historical-log analysis: StaticTRR + SRR."""
+        self._require_fitted()
+        static = StaticTRR(self.config, p_upper=self.p_upper, p_bottom=self.p_bottom)
+        p_node = static.fit_restore(np.asarray(pmcs), readings).p_trr
+        p_cpu, p_mem = self.srr.predict(np.asarray(pmcs), p_node)
+        return MonitorResult(p_node=p_node, p_cpu=p_cpu, p_mem=p_mem, mode="static")
+
+    def monitor_online(
+        self, pmcs: np.ndarray, readings: SparseReadings
+    ) -> MonitorResult:
+        """Live monitoring: DynamicTRR session + SRR."""
+        self._require_fitted()
+        p_node = self.dynamic_trr.restore(np.asarray(pmcs), readings)
+        p_cpu, p_mem = self.srr.predict(np.asarray(pmcs), p_node)
+        return MonitorResult(p_node=p_node, p_cpu=p_cpu, p_mem=p_mem, mode="dynamic")
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError("HighRPM: call fit_initial first")

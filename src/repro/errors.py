@@ -1,0 +1,48 @@
+"""Exception hierarchy for the HighRPM reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument or data container failed validation."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model was used for prediction before :meth:`fit` was called."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver failed to converge within its iteration budget."""
+
+
+class SensorError(ReproError, RuntimeError):
+    """A sensor could not produce a reading (unavailable, disabled, failed)."""
+
+
+class SensorUnavailableError(SensorError):
+    """The requested sensor backend does not exist on this host."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The hardware/workload simulator was driven into an invalid state."""
+
+
+class WorkloadError(ReproError, ValueError):
+    """An unknown workload or suite was requested from the catalog."""
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """An evaluation experiment was misconfigured or produced no data."""
+
+
+class CappingError(ReproError, RuntimeError):
+    """The power-capping controller was given an unreachable constraint."""

@@ -1,0 +1,28 @@
+"""Evaluation harness: the paper's protocol (§5) as reusable code.
+
+``harness`` builds measurement campaigns and seen/unseen datasets per the
+Table-3 suite-rotation protocol; ``experiments`` defines one entry point per
+paper table/figure; ``tables`` renders results in the paper's row format.
+Benchmarks under ``benchmarks/`` are thin wrappers that call these and
+print the comparison against the paper's reported numbers.
+"""
+
+from .harness import (
+    EvalSettings,
+    SplitDatasets,
+    build_campaign,
+    build_split,
+    evaluate_flat_model,
+    evaluate_rnn_model,
+)
+from .tables import format_table
+
+__all__ = [
+    "EvalSettings",
+    "SplitDatasets",
+    "build_campaign",
+    "build_split",
+    "evaluate_flat_model",
+    "evaluate_rnn_model",
+    "format_table",
+]

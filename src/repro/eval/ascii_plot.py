@@ -1,0 +1,72 @@
+"""Terminal trace rendering: sparkline strips and block charts.
+
+Keeps the CLI self-contained on headless clusters — no matplotlib. Used by
+``python -m repro monitor --plot`` and handy in notebooks-over-ssh.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..utils.validation import check_1d
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width: int = 80) -> str:
+    """One-line unicode sparkline, resampled to ``width`` characters."""
+    x = check_1d(values, "values")
+    if x.shape[0] == 0:
+        raise ValidationError("cannot plot an empty series")
+    if width < 1:
+        raise ValidationError("width must be >= 1")
+    # Resample by block means.
+    idx = np.linspace(0, x.shape[0], width + 1).astype(int)
+    blocks = np.array([
+        x[a:b].mean() if b > a else x[min(a, x.shape[0] - 1)]
+        for a, b in zip(idx[:-1], idx[1:])
+    ])
+    lo, hi = float(blocks.min()), float(blocks.max())
+    if hi - lo < 1e-12:
+        return _SPARK_LEVELS[0] * width
+    scaled = ((blocks - lo) / (hi - lo) * (len(_SPARK_LEVELS) - 1)).round().astype(int)
+    return "".join(_SPARK_LEVELS[k] for k in scaled)
+
+
+def strip_chart(
+    series: dict[str, np.ndarray],
+    width: int = 72,
+    unit: str = "W",
+) -> str:
+    """Labelled multi-series sparkline strip with min/mean/max columns."""
+    if not series:
+        raise ValidationError("no series to plot")
+    label_w = max(len(k) for k in series)
+    lines = []
+    for label, values in series.items():
+        x = check_1d(values, label)
+        lines.append(
+            f"{label:>{label_w}} {sparkline(x, width)} "
+            f"min {x.min():7.1f}{unit}  mean {x.mean():7.1f}{unit}  "
+            f"max {x.max():7.1f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def histogram(values, bins: int = 10, width: int = 40, unit: str = "W") -> str:
+    """Horizontal block histogram."""
+    x = check_1d(values, "values")
+    if x.shape[0] == 0:
+        raise ValidationError("cannot plot an empty series")
+    if bins < 1 or width < 1:
+        raise ValidationError("bins and width must be >= 1")
+    counts, edges = np.histogram(x, bins=bins)
+    peak = counts.max() or 1
+    lines = []
+    for k in range(bins):
+        bar = "█" * int(round(counts[k] / peak * width))
+        lines.append(
+            f"{edges[k]:8.1f}-{edges[k + 1]:8.1f} {unit} | {bar} {counts[k]}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,277 @@
+"""Figure experiments (Figs. 1, 2, 7, 8, 9) and §6.4 discussion studies."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+import numpy as np
+
+from ..core.dynamic_trr import DynamicTRR
+from ..core.highrpm import HighRPM
+from ..core.static_trr import StaticTRR
+from ..errors import ExperimentError
+from ..hardware.node import NodeSimulator
+from ..hardware.platform import get_platform
+from ..interp.spline import CubicSplineInterpolator
+from ..ml.metrics import mape
+from ..monitor.capping import CappingPolicy, run_capped
+from ..monitor.energy import EnergyAccount
+from ..sensors.ipmi import IPMISensor
+from .experiments import ExperimentResult, _config
+from .harness import EvalSettings
+from ..workloads.catalog import default_catalog
+
+
+# --------------------------------------------------------------------------
+# Fig. 1 — power capping under different PI / AI
+# --------------------------------------------------------------------------
+
+def fig1(settings: "EvalSettings | None" = None,
+         duration_s: int = 240) -> ExperimentResult:
+    """Graph500 under a cap, sweeping reading and action intervals.
+
+    The paper's observation: PI 1 s→10 s hides the spikes; AI 1 s→30 s lets
+    the peak run to ~50 W (CPU) and costs ~1.1 kJ extra energy.
+    """
+    settings = settings or EvalSettings.from_env()
+    spec = get_platform(settings.platform)
+    sim = NodeSimulator(spec, seed=settings.seed)
+    workload = default_catalog(settings.seed).get("graph500_bfs")
+    cap_w = 75.0  # node-level cap that the BFS bursts routinely violate
+
+    configs = [
+        ("uncapped", None, None),
+        ("PI=1  AI=1", 1, 1),
+        ("PI=10 AI=1", 10, 1),
+        ("PI=1  AI=10", 1, 10),
+        ("PI=1  AI=30", 1, 30),
+    ]
+    rows = []
+    extras = {}
+    for label, pi, ai in configs:
+        if pi is None:
+            # Uncapped baseline through the same closed-loop path (identical
+            # activity and condition streams) with the governor pinned at max.
+            bundle = sim.run_controlled(
+                workload, lambda t, h: spec.default_freq_ghz, duration_s=duration_s
+            )
+        else:
+            policy = CappingPolicy(cap_w=cap_w, reading_interval_s=pi,
+                                   action_interval_s=ai)
+            bundle, _ = run_capped(sim, workload, policy, duration_s=duration_s)
+        account = EnergyAccount.from_trace(bundle.node, cap_w=cap_w)
+        rows.append([
+            label, account.peak_w, account.mean_w,
+            account.energy_kj, account.time_above_cap_s,
+        ])
+        extras[label] = account
+    return ExperimentResult(
+        title=f"Fig. 1 — Graph500 power capping at {cap_w:.0f} W "
+        f"(node level, {duration_s}s)",
+        columns=["Config", "Peak W", "Mean W", "Energy kJ", "Time>cap s"],
+        rows=rows,
+        notes="Paper: slower capping (AI 1->30 s) raises peak power and adds "
+        "~1.1 kJ (37.3->38.4 kJ).",
+        extras=extras,
+    )
+
+
+# --------------------------------------------------------------------------
+# Fig. 2 — FFT vs Stream component divergence
+# --------------------------------------------------------------------------
+
+def fig2(settings: "EvalSettings | None" = None,
+         duration_s: int = 200) -> ExperimentResult:
+    """FFT vs Stream component breakdown on the ARM node (paper Fig. 2)."""
+    settings = settings or EvalSettings.from_env()
+    spec = get_platform(settings.platform)
+    sim = NodeSimulator(spec, seed=settings.seed)
+    catalog = default_catalog(settings.seed)
+    rows = []
+    extras = {}
+    for name in ("hpcc_fft", "hpcc_stream"):
+        b = sim.run(catalog.get(name), duration_s=duration_s)
+        rows.append([
+            name, b.node.mean_power(), b.cpu.mean_power(),
+            b.mem.mean_power(), b.other.mean_power(),
+        ])
+        extras[name] = b
+    return ExperimentResult(
+        title="Fig. 2 — FFT vs Stream power breakdown (ARM node)",
+        columns=["Benchmark", "Node W", "CPU W", "MEM W", "Other W"],
+        rows=rows,
+        notes="Paper: both near the 90 W node line; CPU dominates FFT, RAM "
+        "dominates Stream; peripherals a constant ~25 W.",
+        extras=extras,
+    )
+
+
+# --------------------------------------------------------------------------
+# Figs. 7 & 8 — miss_interval sensitivity
+# --------------------------------------------------------------------------
+
+def fig7(settings: "EvalSettings | None" = None,
+         intervals: tuple[int, ...] = (10, 30, 60, 100),
+         duration_s: int = 600) -> ExperimentResult:
+    """Spline vs StaticTRR as the readings grow sparser."""
+    settings = settings or EvalSettings.from_env()
+    spec = get_platform(settings.platform)
+    sim = NodeSimulator(spec, seed=settings.seed)
+    catalog = default_catalog(settings.seed)
+    tests = [catalog.get(n) for n in ("spec_gcc", "parsec_ferret", "graph500_bfs")]
+    rows = []
+    for interval in intervals:
+        if duration_s < 6 * interval:
+            raise ExperimentError("duration too short for the widest interval")
+        spline_scores, static_scores = [], []
+        for w in tests:
+            bundle = sim.run(w, duration_s=duration_s)
+            sensor = IPMISensor(spec, interval_s=interval, seed=settings.seed + 3)
+            readings = sensor.sample(bundle)
+            t_all = np.arange(len(bundle), dtype=np.float64)
+            spline = CubicSplineInterpolator().fit(
+                readings.indices.astype(float), readings.values)
+            spline_scores.append(mape(bundle.node.values, spline.predict(t_all)))
+            cfg = replace(_config(settings), miss_interval=interval)
+            static = StaticTRR(cfg, p_upper=spec.max_node_power_w,
+                               p_bottom=spec.min_node_power_w)
+            p = static.fit_restore(bundle.pmcs.matrix, readings).p_trr
+            static_scores.append(mape(bundle.node.values, p))
+        rows.append([
+            f"{interval}s", float(np.mean(spline_scores)),
+            float(np.mean(static_scores)),
+        ])
+    return ExperimentResult(
+        title="Fig. 7 — impact of miss_interval on spline vs StaticTRR",
+        columns=["miss_interval", "Spline MAPE%", "StaticTRR MAPE%"],
+        rows=rows,
+        notes="Paper: spline most precise at 10 s; it degrades as the "
+        "interval grows while StaticTRR holds up.",
+    )
+
+
+def fig8(settings: "EvalSettings | None" = None,
+         intervals: tuple[int, ...] = (10, 30, 60, 100),
+         duration_s: int = 600) -> ExperimentResult:
+    """HighRPM (DynamicTRR) node MAPE across miss_intervals — roughly flat."""
+    settings = settings or EvalSettings.from_env()
+    spec = get_platform(settings.platform)
+    sim = NodeSimulator(spec, seed=settings.seed)
+    catalog = default_catalog(settings.seed)
+    train = [sim.run(catalog.get(n), duration_s=duration_s // 2)
+             for n in ("spec_gcc", "spec_mcf", "parsec_ferret",
+                       "hpcc_hpl", "hpcc_stream", "parsec_radix")]
+    test_w = catalog.get("hpcc_fft")
+    rows = []
+    for interval in intervals:
+        cfg = replace(_config(settings), miss_interval=interval)
+        dyn = DynamicTRR(cfg)
+        dyn.fit(train, p_bottom=spec.min_node_power_w, p_upper=spec.max_node_power_w)
+        bundle = sim.run(test_w, duration_s=duration_s)
+        sensor = IPMISensor(spec, interval_s=interval, seed=settings.seed + 5)
+        readings = sensor.sample(bundle)
+        p = dyn.restore(bundle.pmcs.matrix, readings)
+        rows.append([f"{interval}s", mape(bundle.node.values, p)])
+    return ExperimentResult(
+        title="Fig. 8 — HighRPM sensitivity to miss_interval",
+        columns=["miss_interval", "Node MAPE%"],
+        rows=rows,
+        notes="Paper: MAPE stays roughly consistent over 10-100 s.",
+    )
+
+
+# --------------------------------------------------------------------------
+# Fig. 9 — CPU frequency sensitivity
+# --------------------------------------------------------------------------
+
+def fig9(settings: "EvalSettings | None" = None,
+         duration_s: int = 240) -> ExperimentResult:
+    """Graph500 at min/mid/max frequency: component MAPE per level."""
+    settings = settings or EvalSettings.from_env()
+    spec = get_platform(settings.platform)
+    sim = NodeSimulator(spec, seed=settings.seed)
+    catalog = default_catalog(settings.seed)
+    train_names = ("spec_gcc", "spec_mcf", "parsec_ferret", "hpcc_hpl",
+                   "hpcc_stream", "parsec_radix", "spec_lbm", "hpcc_dgemm")
+    # Mixed-frequency training campaign so the models see the DVFS law.
+    train = [
+        sim.run(catalog.get(n), duration_s=duration_s // 2, freq_ghz=f, run_id=i)
+        for i, n in enumerate(train_names)
+        for f in spec.freq_levels_ghz
+    ]
+    cfg = _config(settings)
+    hr = HighRPM(cfg, p_bottom=spec.min_node_power_w * 0.7,
+                 p_upper=spec.max_node_power_w)
+    hr.fit_initial(train)
+    sensor = IPMISensor(spec, seed=settings.seed + 7)
+    workload = catalog.get("graph500_bfs")
+    rows = []
+    for level, freq in zip(("min", "mid", "max"), sorted(spec.freq_levels_ghz)):
+        bundle = sim.run(workload, duration_s=duration_s, freq_ghz=freq)
+        readings = sensor.sample(bundle)
+        result = hr.monitor_online(bundle.pmcs.matrix, readings)
+        rows.append([
+            f"{level} ({freq} GHz)",
+            mape(bundle.cpu.values, result.p_cpu),
+            mape(bundle.mem.values, result.p_mem),
+            mape(bundle.node.values, result.p_node),
+        ])
+    return ExperimentResult(
+        title="Fig. 9 — HighRPM accuracy across CPU frequency levels "
+        "(Graph500)",
+        columns=["Frequency", "Pcpu MAPE%", "Pmem MAPE%", "Pnode MAPE%"],
+        rows=rows,
+        notes="Paper: accuracy drops as frequency rises, but stays <=10% CPU "
+        "and <=14% MEM.",
+    )
+
+
+# --------------------------------------------------------------------------
+# §6.4.5 — training / fine-tuning / prediction overhead
+# --------------------------------------------------------------------------
+
+def overhead(settings: "EvalSettings | None" = None) -> ExperimentResult:
+    """Training / fine-tuning / prediction latency vs the paper bounds (§6.4.5)."""
+    settings = settings or EvalSettings.from_env()
+    spec = get_platform(settings.platform)
+    sim = NodeSimulator(spec, seed=settings.seed)
+    catalog = default_catalog(settings.seed)
+    train = [sim.run(catalog.get(n), duration_s=150)
+             for n in ("spec_gcc", "spec_mcf", "parsec_ferret", "hpcc_hpl")]
+    test = sim.run(catalog.get("hpcc_fft"), duration_s=150)
+    cfg = _config(settings)
+    hr = HighRPM(cfg, p_bottom=spec.min_node_power_w, p_upper=spec.max_node_power_w)
+
+    t0 = time.perf_counter()
+    hr.fit_initial(train)
+    train_s = time.perf_counter() - t0
+
+    sensor = IPMISensor(spec, seed=settings.seed)
+    readings = sensor.sample(test)
+    session = hr.dynamic_trr.session()
+    # Fine-tune latency: one measured step.
+    for t in range(cfg.miss_interval):
+        session.step(test.pmcs.matrix[t])
+    t0 = time.perf_counter()
+    session.step(test.pmcs.matrix[cfg.miss_interval], im_reading=float(readings.values[0]))
+    finetune_s = time.perf_counter() - t0
+    # Prediction latency: one unmeasured step plus one SRR row.
+    t0 = time.perf_counter()
+    session.step(test.pmcs.matrix[cfg.miss_interval + 1])
+    predict_node_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    hr.srr.predict(test.pmcs.matrix[:1], np.array([test.node.values[0]]))
+    predict_comp_s = time.perf_counter() - t0
+
+    rows = [
+        ["offline training", f"{train_s:.2f} s", "< 10 min"],
+        ["online fine-tune (1 reading)", f"{finetune_s * 1e3:.1f} ms", "< 2 s"],
+        ["node prediction (1 sample)", f"{predict_node_s * 1e3:.2f} ms", "< 1 ms"],
+        ["component prediction (1 sample)", f"{predict_comp_s * 1e3:.2f} ms", "< 1 ms"],
+    ]
+    return ExperimentResult(
+        title="§6.4.5 — HighRPM overhead",
+        columns=["Operation", "Measured", "Paper bound"],
+        rows=rows,
+    )

@@ -1,0 +1,62 @@
+"""Plain-text table rendering in the paper's row format."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..ml.metrics import ScoreReport
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Render a fixed-width table with a title banner."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(r[i]) for r in str_rows)) if str_rows else len(str(col))
+        for i, col in enumerate(columns)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    header = " | ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    body = "\n".join(
+        " | ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in str_rows
+    )
+    banner = "=" * len(sep)
+    return f"{banner}\n{title}\n{banner}\n{header}\n{sep}\n{body}"
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def score_row(name: str, seen: "ScoreReport | None", unseen: "ScoreReport | None") -> list[object]:
+    """One Table-5/7 style row: model, seen MAPE/RMSE/MAE, unseen ditto."""
+    def cols(r: "ScoreReport | None") -> list[object]:
+        return ["-", "-", "-"] if r is None else [r.mape, r.rmse, r.mae]
+
+    return [name, *cols(seen), *cols(unseen)]
+
+
+def metric_columns(prefixes: Sequence[str]) -> list[str]:
+    """['Model', '<p> MAPE%', '<p> RMSE', '<p> MAE', ...] column headers."""
+    cols = ["Model"]
+    for p in prefixes:
+        cols.extend([f"{p} MAPE%", f"{p} RMSE", f"{p} MAE"])
+    return cols
+
+
+def mean_report(reports: Sequence[ScoreReport]) -> ScoreReport:
+    """Average metric bundle across splits (the paper reports averages)."""
+    if not reports:
+        raise ValueError("cannot average zero reports")
+    n = len(reports)
+    return ScoreReport(
+        mape=sum(r.mape for r in reports) / n,
+        rmse=sum(r.rmse for r in reports) / n,
+        mae=sum(r.mae for r in reports) / n,
+        r2=sum(r.r2 for r in reports) / n,
+    )

@@ -1,0 +1,34 @@
+"""GPU extension (paper §6.4.4).
+
+The paper's future-work section argues the HighRPM methodology carries over
+to any peripheral with performance counters, GPUs first among them: swap
+the monitored events, collect training data on the target platform, keep
+the training/usage methodology. This package is that extension:
+
+* :class:`GPUSpec` / :class:`GPUPowerModel` / :class:`GPUPMUModel` — an
+  accelerator power model (SM utilisation × DVFS law, device-memory power,
+  hidden drift) and its counter set;
+* :class:`AcceleratedNodeSimulator` — a node with CPU + DRAM + GPU, whose
+  node power is the exact component sum (plus peripherals);
+* :class:`GPUSRR` — three-way spatial restoration: the node reading is
+  distributed over (CPU, DRAM, GPU) with a softmax-share MLP, the natural
+  generalisation of the two-way SRR budget split.
+
+TRR needs no changes at all — node power is node power — which is exactly
+the paper's point about the methodology's generality.
+"""
+
+from .hardware import AcceleratedNodeSimulator, GPUPMUModel, GPUPowerModel, GPUSpec, GPUTraceBundle
+from .srr import GPUSRR
+from .workloads import GPU_WORKLOAD_NAMES, gpu_workload
+
+__all__ = [
+    "GPUSpec",
+    "GPUPowerModel",
+    "GPUPMUModel",
+    "GPUTraceBundle",
+    "AcceleratedNodeSimulator",
+    "GPUSRR",
+    "gpu_workload",
+    "GPU_WORKLOAD_NAMES",
+]

@@ -1,0 +1,231 @@
+"""GPU hardware model and the accelerated-node simulator.
+
+The GPU mirrors the CPU model's structure — idle + dynamic·util·(f/f_max)^e
+with a hidden energy-per-work drift — because that is the structure the
+restoration models exploit. Counters are the usual profiling set
+(SM cycles, warps, device-memory traffic), noisy and trait-scaled like
+their CPU counterparts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..hardware.node import NodeSimulator
+from ..hardware.platform import ARM_PLATFORM, PlatformSpec
+from ..types import PMCTrace, PowerTrace
+from ..utils.rng import SeedSequenceFactory, as_generator
+from ..utils.validation import check_1d, check_consistent_length
+from .workloads import GPUWorkload
+
+#: GPU performance counters monitored by the extension.
+GPU_PMC_EVENTS: tuple[str, ...] = (
+    "SM_ACTIVE_CYCLES",
+    "WARPS_LAUNCHED",
+    "INST_EXECUTED",
+    "DRAM_READ_BYTES",
+    "DRAM_WRITE_BYTES",
+    "L2_ACCESSES",
+)
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of one accelerator."""
+
+    name: str = "gpu-accel"
+    n_sms: int = 80
+    freq_ghz: float = 1.4
+    idle_w: float = 25.0
+    dyn_w: float = 175.0
+    mem_dyn_w: float = 50.0
+    freq_exponent: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.n_sms < 1 or self.freq_ghz <= 0:
+            raise ValidationError("invalid GPU spec")
+        for w in (self.idle_w, self.dyn_w, self.mem_dyn_w):
+            if w < 0:
+                raise ValidationError("power constants must be non-negative")
+
+    @property
+    def max_power_w(self) -> float:
+        return self.idle_w + self.dyn_w + self.mem_dyn_w
+
+
+class GPUPowerModel:
+    """Instantaneous GPU board power from SM / device-memory utilisation."""
+
+    def __init__(
+        self,
+        spec: GPUSpec,
+        noise_w: float = 0.5,
+        intensity_sigma: float = 0.12,
+        intensity_tau_s: float = 120.0,
+    ) -> None:
+        self.spec = spec
+        self.noise_w = float(noise_w)
+        self.intensity_sigma = float(intensity_sigma)
+        self.intensity_tau_s = float(intensity_tau_s)
+
+    def power(
+        self,
+        sm_util: np.ndarray,
+        mem_util: np.ndarray,
+        rng: "int | np.random.Generator | None" = None,
+        power_scale: float = 1.0,
+        condition: "np.ndarray | float" = 0.0,
+    ) -> np.ndarray:
+        u = check_1d(sm_util, "sm_util")
+        m = check_1d(mem_util, "mem_util")
+        check_consistent_length(u, m, names=("sm_util", "mem_util"))
+        if ((u < 0) | (u > 1)).any() or ((m < 0) | (m > 1)).any():
+            raise ValidationError("utilisations must lie in [0, 1]")
+        g = as_generator(rng)
+        spec = self.spec
+        rho = np.exp(-1.0 / self.intensity_tau_s)
+        eps = g.normal(0.0, self.intensity_sigma * np.sqrt(1 - rho**2), size=u.shape)
+        drift = np.empty_like(u)
+        acc = 0.0
+        for i in range(u.shape[0]):
+            acc = rho * acc + eps[i]
+            drift[i] = acc
+        drift = np.clip(drift, -0.35, 0.35)
+        cond = np.broadcast_to(np.asarray(condition, dtype=np.float64), u.shape)
+        raw = (
+            spec.idle_w
+            + spec.dyn_w * u * power_scale * (1.0 + drift) * (1.0 + cond)
+            + spec.mem_dyn_w * (m**0.9) * power_scale * (1.0 + cond)
+        )
+        if self.noise_w > 0:
+            raw = raw + g.normal(0.0, self.noise_w, size=u.shape)
+        return np.maximum(raw, 1.0)
+
+
+class GPUPMUModel:
+    """Synthetic GPU profiling counters."""
+
+    def __init__(self, spec: GPUSpec, sample_noise: float = 0.07) -> None:
+        self.spec = spec
+        self.sample_noise = float(sample_noise)
+
+    def counters(
+        self,
+        sm_util: np.ndarray,
+        mem_util: np.ndarray,
+        rng: "int | np.random.Generator | None" = None,
+        ipc_scale: float = 1.0,
+    ) -> np.ndarray:
+        u = check_1d(sm_util, "sm_util")
+        m = check_1d(mem_util, "mem_util")
+        g = as_generator(rng)
+        spec = self.spec
+        hz = spec.freq_ghz * 1e9
+        cycles = spec.n_sms * hz * (0.1 + 0.9 * u)
+        warps = cycles * 0.02 * ipc_scale * (0.1 + 0.9 * u)
+        inst = warps * 24.0
+        reads = 4e11 * (m**1.05) + 1e9
+        writes = reads * 0.45
+        l2 = reads * 1.8 + inst * 0.05
+        matrix = np.column_stack([cycles, warps, inst, reads, writes, l2])
+        if self.sample_noise > 0:
+            matrix = matrix * np.exp(g.normal(0.0, self.sample_noise, size=matrix.shape))
+        return np.maximum(matrix, 0.0)
+
+
+@dataclass(frozen=True)
+class GPUTraceBundle:
+    """Ground truth for one accelerated run: four components + counters.
+
+    ``pmcs`` concatenates the ten CPU events with the six GPU events.
+    """
+
+    node: PowerTrace
+    cpu: PowerTrace
+    mem: PowerTrace
+    gpu: PowerTrace
+    other: PowerTrace
+    pmcs: PMCTrace
+    workload: str = "unknown"
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        lengths = {len(self.node), len(self.cpu), len(self.mem),
+                   len(self.gpu), len(self.other), len(self.pmcs)}
+        if len(lengths) != 1:
+            raise ValidationError(f"bundle members have mismatched lengths: {lengths}")
+
+    def __len__(self) -> int:
+        return len(self.node)
+
+    def check_additivity(self, atol: float = 1e-6) -> bool:
+        total = (self.cpu.values + self.mem.values + self.gpu.values
+                 + self.other.values)
+        return bool(np.allclose(self.node.values, total, atol=atol))
+
+
+class AcceleratedNodeSimulator:
+    """A compute node with CPU + DRAM + GPU.
+
+    Reuses the standard :class:`~repro.hardware.node.NodeSimulator` for the
+    host side and layers the accelerator on top; node power is the exact
+    four-way component sum.
+    """
+
+    def __init__(
+        self,
+        host_spec: PlatformSpec = ARM_PLATFORM,
+        gpu_spec: "GPUSpec | None" = None,
+        seed: int = 0,
+    ) -> None:
+        self.host_spec = host_spec
+        self.gpu_spec = gpu_spec or GPUSpec()
+        self._host = NodeSimulator(host_spec, seed=seed)
+        self._seeds = SeedSequenceFactory(seed).child(f"gpu.{self.gpu_spec.name}")
+        self.gpu_power_model = GPUPowerModel(self.gpu_spec)
+        self.gpu_pmu_model = GPUPMUModel(self.gpu_spec)
+
+    @property
+    def max_node_power_w(self) -> float:
+        return self.host_spec.max_node_power_w + self.gpu_spec.max_power_w
+
+    @property
+    def min_node_power_w(self) -> float:
+        return self.host_spec.min_node_power_w + self.gpu_spec.idle_w
+
+    def run(self, workload: GPUWorkload, duration_s: "int | None" = None,
+            run_id: int = 0) -> GPUTraceBundle:
+        """Execute an accelerated workload; returns the four-way bundle."""
+        host_bundle = self._host.run(workload.host, duration_s, run_id=run_id)
+        n = len(host_bundle)
+        g = self._seeds.generator(f"run.{workload.name}.{run_id}")
+        sm_util, gmem_util = workload.synthesize_gpu(n, g)
+        p_gpu = self.gpu_power_model.power(
+            sm_util, gmem_util,
+            self._seeds.generator(f"pwr.{workload.name}.{run_id}"),
+            power_scale=workload.gpu_power_scale,
+        )
+        gpu_pmcs = self.gpu_pmu_model.counters(
+            sm_util, gmem_util,
+            self._seeds.generator(f"pmc.{workload.name}.{run_id}"),
+            ipc_scale=workload.gpu_ipc_scale,
+        )
+        p_node = host_bundle.node.values + p_gpu
+        events = host_bundle.pmcs.events + GPU_PMC_EVENTS
+        pmcs = PMCTrace(
+            np.hstack([host_bundle.pmcs.matrix, gpu_pmcs]), events, 1.0
+        )
+        return GPUTraceBundle(
+            node=PowerTrace(p_node, 1.0, "node"),
+            cpu=host_bundle.cpu,
+            mem=host_bundle.mem,
+            gpu=PowerTrace(p_gpu, 1.0, "gpu"),
+            other=host_bundle.other,
+            pmcs=pmcs,
+            workload=workload.name,
+            metadata={"sm_util": sm_util, "gpu_mem_util": gmem_util},
+        )

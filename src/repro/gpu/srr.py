@@ -1,0 +1,72 @@
+"""Three-way spatial restoration: distribute node power over CPU/DRAM/GPU.
+
+The natural generalisation of :class:`repro.core.srr.SRR`'s budget split:
+an MLP maps ``(P_node, PMCs) → softmax shares`` over the three components,
+and each share is multiplied by the measured budget ``P_node − P_other``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import HighRPMConfig
+from ..errors import NotFittedError
+from ..ml.neural import MLPRegressor
+from ..utils.validation import check_1d, check_2d, check_consistent_length
+
+
+class GPUSRR:
+    """Node-to-(CPU, DRAM, GPU) power distribution."""
+
+    COMPONENTS = ("cpu", "mem", "gpu")
+
+    def __init__(self, config: "HighRPMConfig | None" = None) -> None:
+        self.config = config or HighRPMConfig()
+        self.model_: "MLPRegressor | None" = None
+        self.other_w_: float = 0.0
+
+    @staticmethod
+    def _softmax(z: np.ndarray) -> np.ndarray:
+        z = z - z.max(axis=1, keepdims=True)
+        e = np.exp(z)
+        return e / e.sum(axis=1, keepdims=True)
+
+    def fit(self, pmcs, p_node, p_cpu, p_mem, p_gpu) -> "GPUSRR":
+        pmcs = check_2d(pmcs, "pmcs")
+        p_node = check_1d(p_node, "p_node")
+        p_cpu = check_1d(p_cpu, "p_cpu")
+        p_mem = check_1d(p_mem, "p_mem")
+        p_gpu = check_1d(p_gpu, "p_gpu")
+        check_consistent_length(pmcs, p_node, p_cpu, p_mem, p_gpu,
+                                names=("pmcs", "p_node", "p_cpu", "p_mem", "p_gpu"))
+        self.other_w_ = float(np.median(p_node - p_cpu - p_mem - p_gpu))
+        total = np.maximum(p_cpu + p_mem + p_gpu, 1e-9)
+        shares = np.column_stack([p_cpu, p_mem, p_gpu]) / total[:, None]
+        # Targets are log-shares (softmax is shift-invariant, so plain log
+        # works as the inverse link up to a constant).
+        logits = np.log(np.clip(shares, 1e-4, 1.0))
+        X = np.column_stack([p_node, pmcs])
+        cfg = self.config
+        self.model_ = MLPRegressor(
+            hidden_layer_sizes=cfg.srr_hidden,
+            max_iter=cfg.srr_iters,
+            random_state=cfg.seed,
+        )
+        self.model_.fit(X, logits)
+        return self
+
+    def predict(self, pmcs, p_node) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(P_CPU, P_MEM, P_GPU); always sums to ``p_node − other_w_``."""
+        if self.model_ is None:
+            raise NotFittedError("GPUSRR.predict before fit")
+        pmcs = check_2d(pmcs, "pmcs")
+        p_node = check_1d(p_node, "p_node")
+        check_consistent_length(pmcs, p_node, names=("pmcs", "p_node"))
+        X = np.column_stack([p_node, pmcs])
+        shares = self._softmax(self.model_.predict(X))
+        budget = np.maximum(p_node - self.other_w_, 0.0)
+        return (
+            shares[:, 0] * budget,
+            shares[:, 1] * budget,
+            shares[:, 2] * budget,
+        )

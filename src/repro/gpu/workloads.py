@@ -1,0 +1,102 @@
+"""Accelerated workloads: a host workload plus GPU utilisation channels.
+
+Each GPU workload pairs a (usually light) host-side program — the launch
+and staging code — with SM / device-memory utilisation traces built from
+the same phase machinery as the host catalog. The mix spans the usual
+suspects: dense GEMM (compute-bound), stencils (balanced), graph analytics
+(bursty, memory-heavy), and training-style steady loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..hardware.pmu import WorkloadTraits
+from ..utils.rng import as_generator
+from ..workloads.base import Workload
+from ..workloads.phases import Phase, burst_train, constant, periodic
+
+
+@dataclass(frozen=True)
+class GPUWorkload:
+    """Host program + GPU activity program."""
+
+    name: str
+    host: Workload
+    gpu_phases: tuple[Phase, ...]
+    gpu_power_scale: float = 1.0
+    gpu_ipc_scale: float = 1.0
+
+    def synthesize_gpu(
+        self, duration_s: int, rng: "int | np.random.Generator | None" = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(sm_util, device_mem_util) arrays at 1 Sa/s.
+
+        GPU phases reuse the host Phase machinery: the ``cpu`` channel maps
+        to SM utilisation, the ``mem`` channel to device-memory traffic.
+        """
+        g = as_generator(rng)
+        sm_parts, mem_parts = [], []
+        produced = 0
+        while produced < duration_s:
+            for phase in self.gpu_phases:
+                s, m = phase.synthesize(g)
+                sm_parts.append(s)
+                mem_parts.append(m)
+                produced += phase.duration_s
+                if produced >= duration_s:
+                    break
+        return (
+            np.concatenate(sm_parts)[:duration_s],
+            np.concatenate(mem_parts)[:duration_s],
+        )
+
+
+def _host_stub(name: str, rng) -> Workload:
+    """Launch/staging host program: light CPU, moderate memory."""
+    phases = (
+        constant(int(rng.integers(3, 7)), 0.3, 0.25, wander=0.01),
+        periodic(int(rng.integers(80, 140)), 0.35, 0.3,
+                 cpu_amp=0.05, mem_amp=0.05, period_s=rng.uniform(30, 60)),
+    )
+    return Workload(f"{name}_host", "GPU", phases, WorkloadTraits.random(rng))
+
+
+_GPU_PROFILES: dict[str, tuple[tuple[float, float], float]] = {
+    # name: ((sm_util, mem_util), burstiness)
+    "gemm": ((0.95, 0.35), 1.0),
+    "stencil": ((0.7, 0.6), 2.0),
+    "graph_analytics": ((0.5, 0.85), 14.0),
+    "training_loop": ((0.85, 0.55), 3.0),
+    "inference_serving": ((0.45, 0.4), 10.0),
+    "fft_gpu": ((0.8, 0.65), 2.0),
+}
+
+GPU_WORKLOAD_NAMES: tuple[str, ...] = tuple(_GPU_PROFILES)
+
+
+def gpu_workload(name: str, seed: int = 0) -> GPUWorkload:
+    """Build one named accelerated workload deterministically."""
+    if name not in _GPU_PROFILES:
+        raise WorkloadError(
+            f"unknown GPU workload {name!r}; known: {sorted(_GPU_PROFILES)}"
+        )
+    rng = as_generator(seed + hash(name) % 100003)
+    (sm, mem), burst = _GPU_PROFILES[name]
+    gpu_phases = (
+        constant(int(rng.integers(3, 8)), 0.05, 0.05, wander=0.01),  # H2D staging
+        burst_train(
+            int(rng.integers(90, 150)), sm, mem,
+            burst_rate=burst, burst_mag=0.3, wander=0.03,
+        ),
+    )
+    return GPUWorkload(
+        name=name,
+        host=_host_stub(name, rng),
+        gpu_phases=gpu_phases,
+        gpu_power_scale=float(np.exp(rng.normal(0.0, 0.1))),
+        gpu_ipc_scale=float(np.exp(rng.normal(0.0, 0.12))),
+    )

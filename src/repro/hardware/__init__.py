@@ -1,0 +1,36 @@
+"""Hardware simulation substrate.
+
+The paper's measurement host — a 64-core ARMv8 board with a BMC power chip
+and jumper-wire probes, plus a Xeon E5-2660 v2 cluster with RAPL — is not
+available here, so this package provides a parametric node simulator that
+reproduces the *statistical structure* HighRPM exploits:
+
+* node power is exactly the sum of component power (CPU + DRAM + a nearly
+  constant ~25 W of peripherals);
+* CPU power follows workload activity scaled by a DVFS frequency law;
+* DRAM power follows memory-access intensity over a narrow dynamic range;
+* PMC readings are noisy, benchmark-dependent nonlinear transforms of the
+  underlying activity, so PMC-only power models are plausibly mediocre
+  while IM-informed models can be much better.
+
+See DESIGN.md §2 for the full substitution rationale.
+"""
+
+from .cluster import ClusterSimulator
+from .cpu import CPUPowerModel
+from .memory import MemoryPowerModel
+from .node import NodeSimulator
+from .platform import ARM_PLATFORM, X86_PLATFORM, PlatformSpec, get_platform
+from .pmu import PMUModel
+
+__all__ = [
+    "ClusterSimulator",
+    "CPUPowerModel",
+    "MemoryPowerModel",
+    "NodeSimulator",
+    "PMUModel",
+    "PlatformSpec",
+    "ARM_PLATFORM",
+    "X86_PLATFORM",
+    "get_platform",
+]

@@ -1,0 +1,94 @@
+"""Multi-node cluster simulation with per-node manufacturing variation.
+
+The paper deploys HighRPM as a shared service because "power variations
+between nodes" make per-node calibration valuable (§4.1). This module
+supplies that heterogeneity: each node of a cluster gets its own simulator
+whose platform constants are perturbed by a manufacturing lottery (silicon
+quality shifts idle and dynamic power a few percent), plus its own sensor
+noise realisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..types import TraceBundle
+from ..utils.rng import SeedSequenceFactory
+from ..workloads.base import Workload
+from .node import NodeSimulator
+from .platform import PlatformSpec
+
+
+class ClusterSimulator:
+    """``n_nodes`` heterogeneous instances of one platform.
+
+    Parameters
+    ----------
+    spec:
+        Nominal platform; each node perturbs its power constants.
+    variation:
+        Std-dev of the lognormal manufacturing factor applied to the CPU
+        idle/dynamic power (silicon lottery, typically a few percent).
+    """
+
+    def __init__(
+        self,
+        spec: PlatformSpec,
+        n_nodes: int = 4,
+        variation: float = 0.04,
+        seed: int = 0,
+    ) -> None:
+        if n_nodes < 1:
+            raise ValidationError("n_nodes must be >= 1")
+        if variation < 0:
+            raise ValidationError("variation must be >= 0")
+        self.spec = spec
+        self.n_nodes = int(n_nodes)
+        self.variation = float(variation)
+        self._seeds = SeedSequenceFactory(seed).child(f"cluster.{spec.name}")
+        self._nodes: dict[str, NodeSimulator] = {}
+        self._specs: dict[str, PlatformSpec] = {}
+        for k in range(self.n_nodes):
+            node_id = f"node-{k}"
+            g = self._seeds.generator(f"mfg.{node_id}")
+            factor_idle = float(np.exp(g.normal(0.0, self.variation)))
+            factor_dyn = float(np.exp(g.normal(0.0, self.variation)))
+            node_spec = replace(
+                spec,
+                name=f"{spec.name}/{node_id}",
+                cpu_idle_w=spec.cpu_idle_w * factor_idle,
+                cpu_dyn_w=spec.cpu_dyn_w * factor_dyn,
+            )
+            self._specs[node_id] = node_spec
+            self._nodes[node_id] = NodeSimulator(
+                node_spec, seed=int(g.integers(0, 2**31 - 1))
+            )
+
+    @property
+    def node_ids(self) -> tuple[str, ...]:
+        return tuple(self._nodes)
+
+    def node(self, node_id: str) -> NodeSimulator:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise ValidationError(
+                f"unknown node {node_id!r}; have {sorted(self._nodes)}"
+            ) from None
+
+    def node_spec(self, node_id: str) -> PlatformSpec:
+        self.node(node_id)
+        return self._specs[node_id]
+
+    def run(self, node_id: str, workload: Workload,
+            duration_s: "int | None" = None, run_id: int = 0) -> TraceBundle:
+        """Run a workload on one node."""
+        return self.node(node_id).run(workload, duration_s, run_id=run_id)
+
+    def idle_power_spread_w(self) -> float:
+        """Max − min idle CPU power across nodes (heterogeneity measure)."""
+        idles = [s.cpu_idle_w for s in self._specs.values()]
+        return float(max(idles) - min(idles))

@@ -1,0 +1,144 @@
+"""CPU power model: activity × DVFS law plus thermal leakage drift.
+
+The shape matters more than the constants: power capping experiments (Fig. 1)
+work by dropping frequency, so the model must respond superlinearly to
+frequency; the TRR experiments need realistic short-term structure, supplied
+by the leakage drift (a slow thermal state) and white supply-ripple noise.
+
+Two entry points share one implementation:
+
+* :meth:`CPUPowerModel.power` — vectorised, for open-loop trace synthesis;
+* :meth:`CPUPowerModel.make_stepper` — one-sample-at-a-time, for closed-loop
+  simulation where a controller changes the frequency in response to
+  observed power (power capping).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..utils.rng import as_generator
+from ..utils.validation import check_1d
+from .platform import PlatformSpec
+
+
+class _CPUStepper:
+    """Stateful per-second evaluator (thermal + latent intensity states)."""
+
+    def __init__(self, model: "CPUPowerModel", rng, power_scale: float = 1.0) -> None:
+        self._model = model
+        self._rng = rng
+        self._power_scale = float(power_scale)
+        self._thermal = 0.0
+        self._intensity = 0.0  # latent AR(1) energy-per-work modulation
+        self._started = False
+
+    def step(self, activity: float, freq_ghz: float, condition: float = 0.0) -> float:
+        """True CPU power for one second of execution.
+
+        ``condition`` is the node-wide platform-condition drift (voltage
+        regulator efficiency, ambient temperature) supplied by the node
+        simulator; it multiplies the dynamic term like the local intensity
+        drift does.
+        """
+        if not 0.0 <= activity <= 1.0:
+            raise ValidationError(f"activity must lie in [0, 1], got {activity}")
+        if freq_ghz <= 0:
+            raise ValidationError("frequency must be positive")
+        model, spec = self._model, self._model.spec
+        if not self._started:
+            # Cold start: thermal state begins at the first activity level.
+            self._thermal = activity
+            self._started = True
+        alpha = 1.0 / model.thermal_tau_s
+        self._thermal += alpha * (activity - self._thermal)
+        # Latent instruction-intensity drift: vector-width / port-pressure
+        # phases change watts-per-event without changing counter readings.
+        rho = np.exp(-1.0 / model.intensity_tau_s)
+        self._intensity = rho * self._intensity + float(
+            self._rng.normal(0.0, model.intensity_sigma * np.sqrt(1 - rho**2))
+        )
+        intensity = float(np.clip(self._intensity, -0.45, 0.45))
+        rel = freq_ghz / spec.f_max_ghz
+        base = spec.cpu_idle_w * (0.4 + 0.6 * rel)
+        dynamic = (
+            spec.cpu_dyn_w * activity * rel**spec.freq_exponent
+            * self._power_scale * (1.0 + intensity) * (1.0 + condition)
+        )
+        raw = (base + dynamic) * (1.0 + model.leakage_gain * self._thermal)
+        if model.noise_w > 0:
+            raw += float(self._rng.normal(0.0, model.noise_w))
+        return max(raw, 0.1)
+
+
+class CPUPowerModel:
+    """Instantaneous CPU power from activity and frequency traces.
+
+    Parameters
+    ----------
+    spec:
+        Platform constants.
+    thermal_tau_s:
+        Time constant of the leakage drift: the chip heats under load and
+        leakage rises a few percent, which is what makes power "trend"
+        beyond raw activity.
+    noise_w:
+        White noise amplitude on the *true* power (supply ripple — sensors
+        add their own error on top).
+    """
+
+    def __init__(
+        self,
+        spec: PlatformSpec,
+        thermal_tau_s: float = 30.0,
+        leakage_gain: float = 0.05,
+        noise_w: float = 0.25,
+        intensity_sigma: float = 0.15,
+        intensity_tau_s: float = 180.0,
+    ) -> None:
+        if thermal_tau_s <= 0 or intensity_tau_s <= 0:
+            raise ValidationError("time constants must be positive")
+        if intensity_sigma < 0:
+            raise ValidationError("intensity_sigma must be >= 0")
+        self.spec = spec
+        self.thermal_tau_s = float(thermal_tau_s)
+        self.leakage_gain = float(leakage_gain)
+        self.noise_w = float(noise_w)
+        self.intensity_sigma = float(intensity_sigma)
+        self.intensity_tau_s = float(intensity_tau_s)
+
+    def make_stepper(
+        self,
+        rng: "int | np.random.Generator | None" = None,
+        power_scale: float = 1.0,
+    ) -> _CPUStepper:
+        """A fresh closed-loop evaluator (own thermal/intensity state).
+
+        ``power_scale`` is the benchmark's hidden energy-per-work trait.
+        """
+        return _CPUStepper(self, as_generator(rng), power_scale)
+
+    def power(
+        self,
+        activity: np.ndarray,
+        freq_ghz: "np.ndarray | float",
+        rng: "int | np.random.Generator | None" = None,
+        power_scale: float = 1.0,
+        condition: "np.ndarray | float" = 0.0,
+    ) -> np.ndarray:
+        """Per-second CPU power for an activity trace in [0, 1].
+
+        ``freq_ghz`` may be scalar (fixed frequency) or a per-sample array;
+        ``condition`` likewise (the node-wide platform drift).
+        """
+        a = check_1d(activity, "activity")
+        if ((a < 0) | (a > 1)).any():
+            raise ValidationError("activity must lie in [0, 1]")
+        f = np.broadcast_to(np.asarray(freq_ghz, dtype=np.float64), a.shape)
+        c = np.broadcast_to(np.asarray(condition, dtype=np.float64), a.shape)
+        stepper = self.make_stepper(rng, power_scale)
+        out = np.empty_like(a)
+        for i in range(a.shape[0]):
+            out[i] = stepper.step(float(a[i]), float(f[i]), float(c[i]))
+        return out

@@ -1,0 +1,73 @@
+"""DRAM power model.
+
+Memory power has a *narrow* dynamic range (the paper leans on this to explain
+why P_MEM MAPE is volatile: small absolute errors are large relative ones).
+Activate/precharge energy tracks the access intensity; background/refresh
+power is constant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..utils.rng import as_generator
+from ..utils.validation import check_1d
+from .platform import PlatformSpec
+
+
+class MemoryPowerModel:
+    """Instantaneous DRAM power from a memory-intensity trace in [0, 1].
+
+    Like the CPU model, a latent AR(1) process modulates the dynamic term:
+    row-buffer hit rates and refresh pressure change joules-per-access in
+    ways the bus/access counters do not expose.
+    """
+
+    def __init__(
+        self,
+        spec: PlatformSpec,
+        noise_w: float = 0.08,
+        intensity_sigma: float = 0.10,
+        intensity_tau_s: float = 180.0,
+    ) -> None:
+        if intensity_tau_s <= 0:
+            raise ValidationError("intensity_tau_s must be positive")
+        if intensity_sigma < 0:
+            raise ValidationError("intensity_sigma must be >= 0")
+        self.spec = spec
+        self.noise_w = float(noise_w)
+        self.intensity_sigma = float(intensity_sigma)
+        self.intensity_tau_s = float(intensity_tau_s)
+
+    def power(
+        self,
+        mem_intensity: np.ndarray,
+        rng: "int | np.random.Generator | None" = None,
+        power_scale: float = 1.0,
+        condition: "np.ndarray | float" = 0.0,
+    ) -> np.ndarray:
+        m = check_1d(mem_intensity, "mem_intensity")
+        if ((m < 0) | (m > 1)).any():
+            raise ValidationError("mem_intensity must lie in [0, 1]")
+        g = as_generator(rng)
+        spec = self.spec
+        # Latent joules-per-access drift (stationary AR(1)).
+        rho = np.exp(-1.0 / self.intensity_tau_s)
+        eps = g.normal(0.0, self.intensity_sigma * np.sqrt(1 - rho**2), size=m.shape)
+        drift = np.empty_like(m)
+        acc = 0.0
+        for i in range(m.shape[0]):
+            acc = rho * acc + eps[i]
+            drift[i] = acc
+        drift = np.clip(drift, -0.4, 0.4)
+        # Mild saturation: row-buffer locality makes the first accesses the
+        # expensive ones, so power rises sub-linearly near full intensity.
+        cond = np.broadcast_to(np.asarray(condition, dtype=np.float64), m.shape)
+        raw = (
+            spec.mem_idle_w
+            + spec.mem_dyn_w * (m**0.85) * power_scale * (1.0 + drift) * (1.0 + cond)
+        )
+        if self.noise_w > 0:
+            raw = raw + g.normal(0.0, self.noise_w, size=m.shape)
+        return np.maximum(raw, 0.1)

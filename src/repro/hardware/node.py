@@ -1,0 +1,222 @@
+"""Whole-node simulator: workload → ground-truth TraceBundle.
+
+The simulator enforces the additivity invariant the SRR model exploits:
+``P_node(t) = P_cpu(t) + P_mem(t) + P_other(t)`` exactly, with P_other
+hovering around the platform's ~25 W peripheral budget ("varies very
+little, within just under 1 W" — §5.2).
+
+Two modes:
+
+* :meth:`run` — open loop, fixed frequency (or per-sample frequency array);
+* :meth:`run_controlled` — closed loop, a controller callback sets the
+  frequency each second from the power it has *observed so far* (this is
+  how the Fig. 1 power-capping experiment drives the node).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from ..errors import SimulationError, ValidationError
+from ..types import PMCTrace, PowerTrace, TraceBundle
+from ..utils.rng import SeedSequenceFactory
+
+if TYPE_CHECKING:  # avoid a workloads<->hardware import cycle at runtime
+    from ..workloads.base import Workload
+from .cpu import CPUPowerModel
+from .memory import MemoryPowerModel
+from .platform import PlatformSpec
+from .pmu import PMUModel
+
+#: Controller signature for closed-loop runs: (t_seconds, node_power_history)
+#: → frequency in GHz for the *next* second. The history array holds true
+#: node power for seconds [0, t); the controller typically looks only at its
+#: own sensor's readings of it.
+FrequencyController = Callable[[int, np.ndarray], float]
+
+
+class NodeSimulator:
+    """Simulates one compute node of a given platform."""
+
+    def __init__(
+        self,
+        spec: PlatformSpec,
+        seed: int = 0,
+        cpu_model: "CPUPowerModel | None" = None,
+        mem_model: "MemoryPowerModel | None" = None,
+        pmu_model: "PMUModel | None" = None,
+    ) -> None:
+        self.spec = spec
+        self._seeds = SeedSequenceFactory(seed).child(f"node.{spec.name}")
+        self.cpu_model = cpu_model or CPUPowerModel(spec)
+        self.mem_model = mem_model or MemoryPowerModel(spec)
+        self.pmu_model = pmu_model or PMUModel(spec)
+
+    # ------------------------------------------------------------------ runs
+    def _condition(self, n: int, rng) -> np.ndarray:
+        """Node-wide platform-condition drift (VR efficiency, ambient temp).
+
+        A slow AR(1) that multiplies every domain's dynamic power. It is
+        invisible to the PMCs — the common-mode part of the error that
+        PMC-only power models cannot remove, but that IM readings expose.
+        """
+        sigma, tau = 0.30, 150.0
+        rho = np.exp(-1.0 / tau)
+        eps = rng.normal(0.0, sigma * np.sqrt(1 - rho**2), size=n)
+        drift = np.empty(n)
+        acc = float(rng.normal(0.0, sigma))  # start in steady state
+        for i in range(n):
+            acc = rho * acc + eps[i]
+            drift[i] = acc
+        return np.clip(drift, -0.5, 0.5)
+
+    def _other_power(self, n: int, rng) -> np.ndarray:
+        """Peripheral power: slow random walk in a tight band around other_w."""
+        spec = self.spec
+        eps = rng.normal(0.0, spec.other_jitter_w * 0.2, size=n)
+        walk = np.empty(n)
+        acc = 0.0
+        for i in range(n):
+            acc = 0.95 * acc + eps[i]
+            walk[i] = acc
+        walk = np.clip(walk, -spec.other_jitter_w, spec.other_jitter_w)
+        return spec.other_w + walk
+
+    def _bundle(
+        self,
+        workload: Workload,
+        cpu_act: np.ndarray,
+        mem_int: np.ndarray,
+        freq: np.ndarray,
+        p_cpu: np.ndarray,
+        run_rng_name: str,
+        condition: np.ndarray,
+    ) -> TraceBundle:
+        rng = self._seeds.generator(run_rng_name + ".rest")
+        p_mem = self.mem_model.power(
+            mem_int, rng, power_scale=workload.traits.mem_power_scale,
+            condition=condition,
+        )
+        p_other = self._other_power(len(cpu_act), rng)
+        p_node = p_cpu + p_mem + p_other
+        pmcs = self.pmu_model.counters(cpu_act, mem_int, freq, workload.traits, rng)
+        rate = 1.0
+        return TraceBundle(
+            node=PowerTrace(p_node, rate, "node"),
+            cpu=PowerTrace(p_cpu, rate, "cpu"),
+            mem=PowerTrace(p_mem, rate, "mem"),
+            other=PowerTrace(p_other, rate, "other"),
+            pmcs=PMCTrace(pmcs, sample_rate_hz=rate),
+            workload=workload.name,
+            platform=self.spec.name,
+            metadata={
+                "freq_ghz": freq.copy(),
+                "cpu_activity": cpu_act.copy(),
+                "mem_intensity": mem_int.copy(),
+            },
+        )
+
+    def run(
+        self,
+        workload: Workload,
+        duration_s: "int | None" = None,
+        freq_ghz: "float | np.ndarray | None" = None,
+        run_id: int = 0,
+    ) -> TraceBundle:
+        """Execute a workload open-loop and return the ground-truth bundle.
+
+        ``run_id`` distinguishes repeated runs of the same benchmark (the
+        paper validates over five runs per configuration); each id yields a
+        different but reproducible realisation.
+        """
+        rng_name = f"run.{workload.name}.{run_id}"
+        act_rng = self._seeds.generator(rng_name + ".activity")
+        cpu_act, mem_int = workload.synthesize(duration_s, act_rng)
+        n = cpu_act.shape[0]
+        if freq_ghz is None:
+            freq = np.full(n, self.spec.default_freq_ghz)
+        elif np.isscalar(freq_ghz):
+            self.spec.validate_frequency(float(freq_ghz))
+            freq = np.full(n, float(freq_ghz))
+        else:
+            freq = np.asarray(freq_ghz, dtype=np.float64)
+            if freq.shape != (n,):
+                raise ValidationError(
+                    f"frequency array must have shape ({n},), got {freq.shape}"
+                )
+        condition = self._condition(
+            n, self._seeds.generator(rng_name + ".condition")
+        )
+        p_cpu = self.cpu_model.power(
+            cpu_act, freq, self._seeds.generator(rng_name + ".cpu"),
+            power_scale=workload.traits.cpu_power_scale,
+            condition=condition,
+        )
+        return self._bundle(
+            workload, cpu_act, mem_int, freq, p_cpu, rng_name, condition
+        )
+
+    def run_controlled(
+        self,
+        workload: Workload,
+        controller: FrequencyController,
+        duration_s: "int | None" = None,
+        run_id: int = 0,
+    ) -> TraceBundle:
+        """Closed-loop run: the controller picks the frequency each second.
+
+        The controller sees the history of *true node power* up to (not
+        including) the current second; capping policies wrap this with their
+        own sensing interval (they only look at every PI-th sample).
+        """
+        rng_name = f"ctl.{workload.name}.{run_id}"
+        act_rng = self._seeds.generator(rng_name + ".activity")
+        cpu_act, mem_int = workload.synthesize(duration_s, act_rng)
+        n = cpu_act.shape[0]
+        stepper = self.cpu_model.make_stepper(
+            self._seeds.generator(rng_name + ".cpu"),
+            power_scale=workload.traits.cpu_power_scale,
+        )
+        rest_rng = self._seeds.generator(rng_name + ".rest.preview")
+        condition = self._condition(
+            n, self._seeds.generator(rng_name + ".condition")
+        )
+        # Memory + other power do not depend on frequency, so they can be
+        # synthesised up front; node history fed to the controller includes
+        # them for realism.
+        p_mem = self.mem_model.power(
+            mem_int, rest_rng, power_scale=workload.traits.mem_power_scale,
+            condition=condition,
+        )
+        p_other = self._other_power(n, rest_rng)
+        p_cpu = np.empty(n)
+        p_node = np.empty(n)
+        freq = np.empty(n)
+        for t in range(n):
+            f = float(controller(t, p_node[:t]))
+            self.spec.validate_frequency(f)
+            freq[t] = f
+            p_cpu[t] = stepper.step(float(cpu_act[t]), f, float(condition[t]))
+            p_node[t] = p_cpu[t] + p_mem[t] + p_other[t]
+        if not np.isfinite(p_node).all():
+            raise SimulationError("controller produced non-finite power")
+        rng = self._seeds.generator(rng_name + ".pmc")
+        pmcs = self.pmu_model.counters(cpu_act, mem_int, freq, workload.traits, rng)
+        rate = 1.0
+        return TraceBundle(
+            node=PowerTrace(p_node, rate, "node"),
+            cpu=PowerTrace(p_cpu, rate, "cpu"),
+            mem=PowerTrace(p_mem, rate, "mem"),
+            other=PowerTrace(p_other, rate, "other"),
+            pmcs=PMCTrace(pmcs, sample_rate_hz=rate),
+            workload=workload.name,
+            platform=self.spec.name,
+            metadata={
+                "freq_ghz": freq.copy(),
+                "cpu_activity": cpu_act.copy(),
+                "mem_intensity": mem_int.copy(),
+                "controlled": True,
+            },
+        )

@@ -1,0 +1,144 @@
+"""Platform specifications for the two evaluation systems.
+
+``ARM_PLATFORM`` models the paper's 64-core ARMv8 development board with a
+BMC (IPMI readings at 0.1 Sa/s, jumper-wire direct measurement at 1 Sa/s).
+``X86_PLATFORM`` models a Tianhe-1A-like node with Intel Xeon E5-2660 v2
+processors (RAPL energy counters via perf). Constants are chosen to land in
+the wattage ranges the paper plots (node ≈ 90 W under load on ARM, Fig. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ValidationError
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Static description of one compute-node type.
+
+    Power model constants
+    ---------------------
+    CPU power at frequency ``f`` and activity ``a ∈ [0, 1]``:
+    ``P = cpu_idle_w·(0.4 + 0.6·f/f_max) + cpu_dyn_w · a · (f/f_max)^freq_exponent``
+    (idle power has a frequency-dependent part: voltage scales with f).
+    Memory power: ``P = mem_idle_w + mem_dyn_w · m`` for access intensity m.
+    """
+
+    name: str
+    arch: str  # "arm" or "x86"
+    n_cores: int
+    freq_levels_ghz: tuple[float, ...]
+    default_freq_ghz: float
+    cpu_idle_w: float
+    cpu_dyn_w: float
+    mem_idle_w: float
+    mem_dyn_w: float
+    other_w: float = 25.0
+    other_jitter_w: float = 0.3  # "varies very little, within just under 1W"
+    freq_exponent: float = 2.2
+    ipc_base: float = 1.6  # nominal instructions per cycle at a=1
+    ipmi_interval_s: int = 10  # 0.1 Sa/s integrated measurement
+    ipmi_noise_w: float = 0.4
+    ipmi_quantum_w: float = 1.0  # vendor tools quantise to 1 W
+    direct_noise_w: float = 0.1  # jumper-wire method: 0.1 W error
+    rapl_available: bool = False
+
+    def __post_init__(self) -> None:
+        if self.arch not in ("arm", "x86"):
+            raise ValidationError(f"arch must be 'arm' or 'x86', got {self.arch!r}")
+        if self.n_cores < 1:
+            raise ValidationError("n_cores must be >= 1")
+        if not self.freq_levels_ghz:
+            raise ValidationError("need at least one frequency level")
+        if self.default_freq_ghz not in self.freq_levels_ghz:
+            raise ValidationError(
+                f"default frequency {self.default_freq_ghz} not in levels "
+                f"{self.freq_levels_ghz}"
+            )
+        for w in (self.cpu_idle_w, self.cpu_dyn_w, self.mem_idle_w, self.mem_dyn_w):
+            if w < 0:
+                raise ValidationError("power constants must be non-negative")
+
+    @property
+    def f_max_ghz(self) -> float:
+        return max(self.freq_levels_ghz)
+
+    @property
+    def max_node_power_w(self) -> float:
+        """Upper power bound (P_upper in Algorithm 1 terms)."""
+        return (
+            self.cpu_idle_w
+            + self.cpu_dyn_w
+            + self.mem_idle_w
+            + self.mem_dyn_w
+            + self.other_w
+            + 3.0 * self.other_jitter_w
+        )
+
+    @property
+    def min_node_power_w(self) -> float:
+        """Lower power bound (P_bottom in Algorithm 1 terms)."""
+        return (
+            self.cpu_idle_w * 0.4
+            + self.mem_idle_w
+            + self.other_w
+            - 3.0 * self.other_jitter_w
+        )
+
+    def validate_frequency(self, freq_ghz: float) -> float:
+        if freq_ghz not in self.freq_levels_ghz:
+            raise ValidationError(
+                f"{self.name} supports frequencies {self.freq_levels_ghz}, "
+                f"got {freq_ghz}"
+            )
+        return freq_ghz
+
+
+#: The paper's ARM evaluation board: 64-core ARMv8, 128 GB DDR4, BMC/IPMI at
+#: 0.1 Sa/s, DVFS levels 1.4 / 1.8 / 2.2 GHz (§5.1, §6.4.2). Constants put a
+#: fully-loaded node near 90 W with ~25 W of peripherals (Fig. 2).
+ARM_PLATFORM = PlatformSpec(
+    name="arm-v8-board",
+    arch="arm",
+    n_cores=64,
+    freq_levels_ghz=(1.4, 1.8, 2.2),
+    default_freq_ghz=2.2,
+    cpu_idle_w=18.0,
+    cpu_dyn_w=34.0,
+    mem_idle_w=6.0,  # 128 GB of DDR4 idles warm
+    mem_dyn_w=26.0,
+)
+
+#: Tianhe-1A-like x86 node: Xeon E5-2660 v2 (2.2 GHz base / 2.6 GHz with
+#: turbo active in the paper's text), RAPL energy counters available. Higher
+#: frequency and TDP ⇒ larger absolute errors, as Table 9 observes.
+X86_PLATFORM = PlatformSpec(
+    name="x86-tianhe-node",
+    arch="x86",
+    n_cores=20,  # dual-socket E5-2660 v2: 2 × 10 cores
+    freq_levels_ghz=(1.6, 2.2, 2.6),
+    default_freq_ghz=2.6,
+    cpu_idle_w=40.0,
+    cpu_dyn_w=150.0,
+    mem_idle_w=10.0,
+    mem_dyn_w=40.0,
+    other_w=45.0,
+    other_jitter_w=0.5,
+    freq_exponent=2.4,
+    ipc_base=2.2,
+    rapl_available=True,
+)
+
+_PLATFORMS = {"arm": ARM_PLATFORM, "x86": X86_PLATFORM}
+
+
+def get_platform(name: str) -> PlatformSpec:
+    """Look up a built-in platform by short name (``"arm"`` / ``"x86"``)."""
+    try:
+        return _PLATFORMS[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown platform {name!r}; known: {sorted(_PLATFORMS)}"
+        ) from None

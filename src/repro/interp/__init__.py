@@ -1,0 +1,23 @@
+"""Interpolation and short-horizon forecasting substrate.
+
+StaticTRR's long-term-trend component is a natural cubic spline fitted to
+the sparse integrated-measurement readings (paper §4.2.1). We implement the
+spline from scratch (tridiagonal solve) rather than calling
+``scipy.interpolate`` so the whole contribution is self-contained; the test
+suite cross-checks against SciPy.
+
+An AR(p) forecaster is included as the classic statistical alternative the
+paper mentions (ARIMA-style trend completion) and is used in ablations.
+"""
+
+from .ar import ARForecaster
+from .arima import ARIMAForecaster
+from .linear import LinearInterpolator
+from .spline import CubicSplineInterpolator
+
+__all__ = [
+    "ARForecaster",
+    "ARIMAForecaster",
+    "LinearInterpolator",
+    "CubicSplineInterpolator",
+]

@@ -1,0 +1,47 @@
+"""Piecewise-linear interpolation with the estimator interface.
+
+Used as the cheap baseline trend model and in tests as a sanity reference
+(the spline must beat it on smooth signals).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import NotFittedError, ValidationError
+from ..utils.validation import check_1d, check_consistent_length
+
+
+class LinearInterpolator:
+    """Connect-the-dots interpolation over sparse ``(x, y)`` readings."""
+
+    def __init__(self) -> None:
+        self._x: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._x is not None
+
+    def fit(self, x, y) -> "LinearInterpolator":
+        x = check_1d(x, "x")
+        y = check_1d(y, "y")
+        check_consistent_length(x, y, names=("x", "y"))
+        if x.shape[0] < 1:
+            raise ValidationError("need at least one reading")
+        order = np.argsort(x)
+        x, y = x[order], y[order]
+        if np.any(np.diff(x) <= 0):
+            raise ValidationError("x values must be distinct")
+        self._x, self._y = x, y
+        return self
+
+    def predict(self, xq) -> np.ndarray:
+        if self._x is None:
+            raise NotFittedError("LinearInterpolator.predict before fit")
+        xq = check_1d(np.atleast_1d(xq), "xq")
+        # np.interp clamps outside the range, matching 'clamp' extrapolation.
+        return np.interp(xq, self._x, self._y)
+
+    def fit_predict(self, x, y, xq) -> np.ndarray:
+        return self.fit(x, y).predict(xq)

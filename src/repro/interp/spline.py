@@ -1,0 +1,131 @@
+"""Natural cubic spline interpolation, implemented from scratch.
+
+Given knots ``(x_k, y_k)`` the natural cubic spline is the C² piecewise
+cubic with zero second derivative at both ends. Its second derivatives at
+the knots solve a symmetric tridiagonal system, which we solve with the
+Thomas algorithm in O(n) — no dense linear algebra.
+
+This is the trend model inside StaticTRR: the sparse IPMI readings are the
+knots, and evaluating the spline at 1 Sa/s restores the long-term power
+trend (:class:`repro.core.static_trr.StaticTRR` adds the residual model on
+top for short-term fluctuations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import NotFittedError, ValidationError
+from ..utils.validation import check_1d, check_consistent_length
+
+
+def _thomas_solve(lower: np.ndarray, diag: np.ndarray, upper: np.ndarray,
+                  rhs: np.ndarray) -> np.ndarray:
+    """Solve a tridiagonal system in O(n) (Thomas algorithm).
+
+    ``lower[i]`` multiplies ``x[i-1]`` in row ``i``; ``upper[i]`` multiplies
+    ``x[i+1]``. The matrix must be diagonally dominant (true for the spline
+    system, whose diagonal is 2·(h_i + h_{i+1}) against off-diagonals h).
+    """
+    n = diag.shape[0]
+    c = np.empty(n)
+    d = np.empty(n)
+    c[0] = upper[0] / diag[0]
+    d[0] = rhs[0] / diag[0]
+    for i in range(1, n):
+        denom = diag[i] - lower[i] * c[i - 1]
+        c[i] = upper[i] / denom if i < n - 1 else 0.0
+        d[i] = (rhs[i] - lower[i] * d[i - 1]) / denom
+    x = np.empty(n)
+    x[-1] = d[-1]
+    for i in range(n - 2, -1, -1):
+        x[i] = d[i] - c[i] * x[i + 1]
+    return x
+
+
+class CubicSplineInterpolator:
+    """Natural cubic spline through ``(x, y)`` knots.
+
+    Follows the estimator convention of the rest of the library:
+    :meth:`fit` then :meth:`predict`. Evaluation outside the knot range is
+    clamped to the boundary cubic's linear extension (constant second
+    derivative zero ⇒ linear extrapolation), which keeps extrapolated power
+    finite — important because StaticTRR post-processing clamps against
+    physical power limits anyway.
+    """
+
+    def __init__(self, extrapolate: str = "linear") -> None:
+        if extrapolate not in ("linear", "clamp"):
+            raise ValidationError("extrapolate must be 'linear' or 'clamp'")
+        self.extrapolate = extrapolate
+        self._x: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self._m: np.ndarray | None = None  # second derivatives at the knots
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._x is not None
+
+    def fit(self, x, y) -> "CubicSplineInterpolator":
+        """Compute knot second derivatives from sparse readings."""
+        x = check_1d(x, "x")
+        y = check_1d(y, "y")
+        check_consistent_length(x, y, names=("x", "y"))
+        if x.shape[0] < 2:
+            raise ValidationError("spline needs at least two knots")
+        order = np.argsort(x)
+        x, y = x[order], y[order]
+        if np.any(np.diff(x) <= 0):
+            raise ValidationError("spline knots must have distinct x values")
+        n = x.shape[0]
+        m = np.zeros(n)
+        if n > 2:
+            h = np.diff(x)
+            # Interior rows of the tridiagonal system for second derivatives:
+            # row k (knot i=k+1): h[k]·M_k + 2(h[k]+h[k+1])·M_{k+1} + h[k+1]·M_{k+2}.
+            lower = np.concatenate(([0.0], h[1:-1]))
+            diag = 2.0 * (h[:-1] + h[1:])
+            upper = np.concatenate((h[1:-1], [0.0]))
+            rhs = 6.0 * ((y[2:] - y[1:-1]) / h[1:] - (y[1:-1] - y[:-2]) / h[:-1])
+            m[1:-1] = _thomas_solve(lower, diag, upper, rhs)
+        self._x, self._y, self._m = x, y, m
+        return self
+
+    def predict(self, xq) -> np.ndarray:
+        """Evaluate the spline at query points ``xq`` (vectorised)."""
+        if self._x is None:
+            raise NotFittedError("CubicSplineInterpolator.predict before fit")
+        xq = check_1d(np.atleast_1d(xq), "xq")
+        x, y, m = self._x, self._y, self._m
+        n = x.shape[0]
+        idx = np.clip(np.searchsorted(x, xq) - 1, 0, n - 2)
+        h = x[idx + 1] - x[idx]
+        a = (x[idx + 1] - xq) / h
+        b = (xq - x[idx]) / h
+        out = (
+            a * y[idx]
+            + b * y[idx + 1]
+            + ((a**3 - a) * m[idx] + (b**3 - b) * m[idx + 1]) * h**2 / 6.0
+        )
+        below = xq < x[0]
+        above = xq > x[-1]
+        if below.any() or above.any():
+            if self.extrapolate == "clamp":
+                out[below] = y[0]
+                out[above] = y[-1]
+            else:
+                out[below] = y[0] + self._slope_at(0) * (xq[below] - x[0])
+                out[above] = y[-1] + self._slope_at(n - 1) * (xq[above] - x[-1])
+        return out
+
+    def fit_predict(self, x, y, xq) -> np.ndarray:
+        return self.fit(x, y).predict(xq)
+
+    def _slope_at(self, k: int) -> float:
+        """First derivative of the spline at knot ``k`` (for extrapolation)."""
+        x, y, m = self._x, self._y, self._m
+        if k == 0:
+            h = x[1] - x[0]
+            return float((y[1] - y[0]) / h - h * (2 * m[0] + m[1]) / 6.0)
+        h = x[k] - x[k - 1]
+        return float((y[k] - y[k - 1]) / h + h * (2 * m[k] + m[k - 1]) / 6.0)

@@ -1,0 +1,161 @@
+"""Campaign persistence: save/load trace bundles and sparse readings.
+
+Measurement campaigns are expensive on real hardware, so the library can
+archive them. The format is a plain ``.npz`` (one per bundle, or one per
+campaign with name-spaced keys) — no pickles, so archives are portable and
+safe to share. Monitoring logs additionally export to CSV for spreadsheet
+consumption.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .errors import ValidationError
+from .sensors.base import SparseReadings
+from .types import PMCTrace, PowerTrace, TraceBundle
+
+_FORMAT_VERSION = 1
+
+
+def _bundle_arrays(bundle: TraceBundle, prefix: str = "") -> dict[str, np.ndarray]:
+    return {
+        f"{prefix}node": np.asarray(bundle.node.values),
+        f"{prefix}cpu": np.asarray(bundle.cpu.values),
+        f"{prefix}mem": np.asarray(bundle.mem.values),
+        f"{prefix}other": np.asarray(bundle.other.values),
+        f"{prefix}pmcs": np.asarray(bundle.pmcs.matrix),
+        f"{prefix}events": np.array(bundle.pmcs.events, dtype=np.str_),
+        f"{prefix}meta": np.array(
+            [bundle.workload, bundle.platform, str(bundle.sample_rate_hz)],
+            dtype=np.str_,
+        ),
+    }
+
+
+def save_bundle(path: str, bundle: TraceBundle) -> None:
+    """Archive one bundle to ``path`` (``.npz`` appended if missing)."""
+    if not path.endswith(".npz"):
+        path += ".npz"
+    np.savez_compressed(
+        path, format_version=np.array([_FORMAT_VERSION]), **_bundle_arrays(bundle)
+    )
+
+
+def _bundle_from(arrays: Mapping[str, np.ndarray], prefix: str = "") -> TraceBundle:
+    try:
+        meta = arrays[f"{prefix}meta"]
+        rate = float(str(meta[2]))
+        events = tuple(str(e) for e in arrays[f"{prefix}events"])
+        return TraceBundle(
+            node=PowerTrace(arrays[f"{prefix}node"], rate, "node"),
+            cpu=PowerTrace(arrays[f"{prefix}cpu"], rate, "cpu"),
+            mem=PowerTrace(arrays[f"{prefix}mem"], rate, "mem"),
+            other=PowerTrace(arrays[f"{prefix}other"], rate, "other"),
+            pmcs=PMCTrace(arrays[f"{prefix}pmcs"], events, rate),
+            workload=str(meta[0]),
+            platform=str(meta[1]),
+        )
+    except KeyError as exc:
+        raise ValidationError(f"archive is missing key {exc}") from exc
+
+
+def load_bundle(path: str) -> TraceBundle:
+    """Load one bundle archived by :func:`save_bundle`."""
+    if not os.path.exists(path) and os.path.exists(path + ".npz"):
+        path += ".npz"
+    with np.load(path, allow_pickle=False) as arrays:
+        version = int(arrays["format_version"][0])
+        if version > _FORMAT_VERSION:
+            raise ValidationError(
+                f"archive format v{version} is newer than this library (v{_FORMAT_VERSION})"
+            )
+        return _bundle_from(arrays)
+
+
+def save_campaign(path: str, bundles: Sequence[TraceBundle]) -> None:
+    """Archive a whole campaign (bundles keyed by position) to one file."""
+    if not bundles:
+        raise ValidationError("cannot archive an empty campaign")
+    if not path.endswith(".npz"):
+        path += ".npz"
+    arrays: dict[str, np.ndarray] = {
+        "format_version": np.array([_FORMAT_VERSION]),
+        "n_bundles": np.array([len(bundles)]),
+    }
+    for i, bundle in enumerate(bundles):
+        arrays.update(_bundle_arrays(bundle, prefix=f"b{i}."))
+    np.savez_compressed(path, **arrays)
+
+
+def load_campaign(path: str) -> list[TraceBundle]:
+    """Load a campaign archived by :func:`save_campaign`."""
+    if not os.path.exists(path) and os.path.exists(path + ".npz"):
+        path += ".npz"
+    with np.load(path, allow_pickle=False) as arrays:
+        n = int(arrays["n_bundles"][0])
+        return [_bundle_from(arrays, prefix=f"b{i}.") for i in range(n)]
+
+
+def save_readings(path: str, readings: SparseReadings) -> None:
+    """Archive sparse IM readings."""
+    if not path.endswith(".npz"):
+        path += ".npz"
+    np.savez_compressed(
+        path,
+        format_version=np.array([_FORMAT_VERSION]),
+        indices=readings.indices,
+        values=readings.values,
+        shape=np.array([readings.interval_s, readings.n_dense]),
+    )
+
+
+def load_readings(path: str) -> SparseReadings:
+    """Load readings archived by :func:`save_readings`."""
+    if not os.path.exists(path) and os.path.exists(path + ".npz"):
+        path += ".npz"
+    with np.load(path, allow_pickle=False) as arrays:
+        interval, n_dense = (int(v) for v in arrays["shape"])
+        return SparseReadings(
+            indices=arrays["indices"],
+            values=arrays["values"],
+            interval_s=interval,
+            n_dense=n_dense,
+        )
+
+
+def export_monitor_csv(path: str, p_node, p_cpu, p_mem,
+                       sample_rate_hz: float = 1.0) -> None:
+    """Write restored estimates as CSV: t_s, p_node_w, p_cpu_w, p_mem_w."""
+    p_node = np.asarray(p_node, dtype=np.float64)
+    p_cpu = np.asarray(p_cpu, dtype=np.float64)
+    p_mem = np.asarray(p_mem, dtype=np.float64)
+    if not (p_node.shape == p_cpu.shape == p_mem.shape):
+        raise ValidationError("estimate arrays must share a shape")
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["t_s", "p_node_w", "p_cpu_w", "p_mem_w"])
+        for i in range(p_node.shape[0]):
+            writer.writerow([
+                f"{i / sample_rate_hz:.3f}", f"{p_node[i]:.4f}",
+                f"{p_cpu[i]:.4f}", f"{p_mem[i]:.4f}",
+            ])
+
+
+def import_monitor_csv(path: str) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Read back a CSV written by :func:`export_monitor_csv`."""
+    node, cpu, mem = [], [], []
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        required = {"p_node_w", "p_cpu_w", "p_mem_w"}
+        if reader.fieldnames is None or not required <= set(reader.fieldnames):
+            raise ValidationError(f"CSV must have columns {sorted(required)}")
+        for row in reader:
+            node.append(float(row["p_node_w"]))
+            cpu.append(float(row["p_cpu_w"]))
+            mem.append(float(row["p_mem_w"]))
+    return np.asarray(node), np.asarray(cpu), np.asarray(mem)

@@ -1,0 +1,64 @@
+"""From-scratch NumPy machine-learning substrate.
+
+The paper compares HighRPM against 12 baseline regressors (Table 4): four
+linear models, six classic nonlinear models, and two recurrent networks. No
+ML framework is assumed to be installed, so every one of them is implemented
+here on top of NumPy, along with the supporting infrastructure the paper's
+protocol needs (scalers, metrics, K-fold cross-validation, grid search).
+
+All estimators follow one tiny contract (:class:`repro.ml.base.Regressor`):
+``fit(X, y) -> self`` and ``predict(X) -> ndarray``, with ``get_params`` /
+``set_params`` / ``clone`` for model selection.
+"""
+
+from .base import Regressor, clone
+from .ensemble import GradientBoostingRegressor, RandomForestRegressor
+from .linear import (
+    LassoRegression,
+    LinearRegression,
+    RidgeRegression,
+    SGDRegressor,
+)
+from .metrics import mae, mape, r2_score, rmse, score_report
+from .model_selection import GridSearchCV, KFold, train_test_split
+from .neighbors import KNeighborsRegressor
+from .neural import MLPRegressor
+from .diagnostics import learning_curve, permutation_importance
+from .preprocessing import MinMaxScaler, PolynomialFeatures, StandardScaler
+from .recurrent import GRURegressor, LSTMRegressor
+from .registry import BASELINE_MODELS, make_baseline, baseline_names
+from .svm import SVR
+from .tree import DecisionTreeRegressor
+
+__all__ = [
+    "Regressor",
+    "clone",
+    "LinearRegression",
+    "LassoRegression",
+    "RidgeRegression",
+    "SGDRegressor",
+    "DecisionTreeRegressor",
+    "RandomForestRegressor",
+    "GradientBoostingRegressor",
+    "KNeighborsRegressor",
+    "SVR",
+    "MLPRegressor",
+    "GRURegressor",
+    "LSTMRegressor",
+    "StandardScaler",
+    "MinMaxScaler",
+    "PolynomialFeatures",
+    "learning_curve",
+    "permutation_importance",
+    "KFold",
+    "GridSearchCV",
+    "train_test_split",
+    "mape",
+    "rmse",
+    "mae",
+    "r2_score",
+    "score_report",
+    "BASELINE_MODELS",
+    "make_baseline",
+    "baseline_names",
+]

@@ -1,0 +1,86 @@
+"""Estimator contract shared by every model in :mod:`repro.ml`.
+
+Mirrors the parts of the scikit-learn API the paper's protocol actually
+uses — ``fit``/``predict``/``get_params``/``set_params`` — so the grid
+search and cross-validation in :mod:`repro.ml.model_selection` work with
+any model, including the recurrent ones.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any
+
+import numpy as np
+
+from ..errors import NotFittedError
+from ..utils.validation import check_1d, check_2d, check_consistent_length
+
+
+class Regressor:
+    """Base class: parameter introspection + input validation helpers.
+
+    Subclasses implement ``fit`` and ``predict``. Constructor arguments must
+    all be stored on ``self`` under the same name (enforced by
+    :meth:`get_params`), which is what makes :func:`clone` trivial.
+    """
+
+    def get_params(self) -> dict[str, Any]:
+        """Constructor parameters, read back from the instance."""
+        sig = inspect.signature(type(self).__init__)
+        names = [
+            p.name
+            for p in sig.parameters.values()
+            if p.name != "self" and p.kind != p.VAR_KEYWORD
+        ]
+        missing = [n for n in names if not hasattr(self, n)]
+        if missing:
+            raise AttributeError(
+                f"{type(self).__name__} must store constructor args as "
+                f"attributes; missing {missing}"
+            )
+        return {n: getattr(self, n) for n in names}
+
+    def set_params(self, **params: Any) -> "Regressor":
+        valid = self.get_params()
+        for key, value in params.items():
+            if key not in valid:
+                raise ValueError(
+                    f"invalid parameter {key!r} for {type(self).__name__}; "
+                    f"valid: {sorted(valid)}"
+                )
+            setattr(self, key, value)
+        return self
+
+    # -- validation helpers -------------------------------------------------
+    @staticmethod
+    def _validate_xy(X, y) -> tuple[np.ndarray, np.ndarray]:
+        X = check_2d(X, "X")
+        y = check_1d(y, "y")
+        check_consistent_length(X, y, names=("X", "y"))
+        return X, y
+
+    def _check_fitted(self, attr: str) -> None:
+        if getattr(self, attr, None) is None:
+            raise NotFittedError(
+                f"{type(self).__name__} is not fitted; call fit() first"
+            )
+
+    # -- sklearn-style conveniences ------------------------------------------
+    def fit_predict(self, X, y) -> np.ndarray:
+        return self.fit(X, y).predict(X)
+
+    def score(self, X, y) -> float:
+        """Coefficient of determination R² on the given data."""
+        from .metrics import r2_score
+
+        return r2_score(check_1d(y, "y"), self.predict(X))
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in sorted(self.get_params().items()))
+        return f"{type(self).__name__}({params})"
+
+
+def clone(estimator: Regressor) -> Regressor:
+    """A fresh, unfitted estimator with identical constructor parameters."""
+    return type(estimator)(**estimator.get_params())

@@ -1,0 +1,108 @@
+"""Model diagnostics: feature importance and learning curves.
+
+The paper notes that PMC-based model precision "relies heavily on
+ingeniously designed feature engineering" (§6.1.2) while HighRPM uses the
+same raw counters everywhere. These tools quantify that: permutation
+importance shows which Table-2 events actually carry power information,
+and learning curves show how much campaign data each model needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..utils.rng import as_generator
+from ..utils.validation import check_1d, check_2d, check_consistent_length
+from .base import Regressor, clone
+from .metrics import mape
+
+
+@dataclass(frozen=True)
+class FeatureImportance:
+    """Permutation importance per feature: error increase when shuffled."""
+
+    names: tuple[str, ...]
+    base_score: float
+    increases: np.ndarray  # same order as names; higher = more important
+
+    def ranked(self) -> list[tuple[str, float]]:
+        order = np.argsort(self.increases)[::-1]
+        return [(self.names[i], float(self.increases[i])) for i in order]
+
+
+def permutation_importance(
+    model: Regressor,
+    X,
+    y,
+    feature_names: "Sequence[str] | None" = None,
+    n_repeats: int = 3,
+    scorer: Callable = mape,
+    rng: "int | np.random.Generator | None" = 0,
+) -> FeatureImportance:
+    """Error increase when each (fitted) model input column is shuffled.
+
+    The model must already be fitted on data of the same shape; scoring is
+    done on ``(X, y)`` as given (use a held-out set for honest numbers).
+    """
+    X = check_2d(X, "X")
+    y = check_1d(y, "y")
+    check_consistent_length(X, y, names=("X", "y"))
+    if n_repeats < 1:
+        raise ValidationError("n_repeats must be >= 1")
+    names = tuple(feature_names) if feature_names else tuple(
+        f"f{i}" for i in range(X.shape[1])
+    )
+    if len(names) != X.shape[1]:
+        raise ValidationError("feature_names length must match X columns")
+    g = as_generator(rng)
+    base = scorer(y, model.predict(X))
+    increases = np.zeros(X.shape[1])
+    for j in range(X.shape[1]):
+        bumps = []
+        for _ in range(n_repeats):
+            Xp = X.copy()
+            g.shuffle(Xp[:, j])
+            bumps.append(scorer(y, model.predict(Xp)) - base)
+        increases[j] = float(np.mean(bumps))
+    return FeatureImportance(names=names, base_score=float(base), increases=increases)
+
+
+@dataclass(frozen=True)
+class LearningCurve:
+    """Held-out error as a function of training-set size."""
+
+    sizes: np.ndarray
+    scores: np.ndarray  # one score per size (lower = better for MAPE)
+
+
+def learning_curve(
+    model: Regressor,
+    X_train,
+    y_train,
+    X_test,
+    y_test,
+    fractions: Sequence[float] = (0.1, 0.25, 0.5, 1.0),
+    scorer: Callable = mape,
+    rng: "int | np.random.Generator | None" = 0,
+) -> LearningCurve:
+    """Fit clones on growing prefixes of a shuffled training set."""
+    X_train = check_2d(X_train, "X_train")
+    y_train = check_1d(y_train, "y_train")
+    check_consistent_length(X_train, y_train, names=("X_train", "y_train"))
+    if not fractions or any(not 0 < f <= 1 for f in fractions):
+        raise ValidationError("fractions must lie in (0, 1]")
+    g = as_generator(rng)
+    order = g.permutation(X_train.shape[0])
+    sizes, scores = [], []
+    for frac in fractions:
+        k = max(2, int(round(frac * X_train.shape[0])))
+        idx = order[:k]
+        est = clone(model)
+        est.fit(X_train[idx], y_train[idx])
+        sizes.append(k)
+        scores.append(scorer(y_test, est.predict(X_test)))
+    return LearningCurve(sizes=np.asarray(sizes), scores=np.asarray(scores))

@@ -1,0 +1,130 @@
+"""Tree ensembles from Table 4: random forest and gradient boosting.
+
+Both use ``#trees = 10`` in the paper's baseline configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.rng import as_generator
+from ..utils.validation import check_2d, check_positive
+from .base import Regressor
+from .tree import DecisionTreeRegressor
+
+
+class RandomForestRegressor(Regressor):
+    """Bagged CART trees with per-split feature subsampling."""
+
+    def __init__(
+        self,
+        n_estimators: int = 10,
+        max_depth: "int | None" = None,
+        min_samples_leaf: int = 1,
+        max_features: "int | float | None" = 0.7,
+        random_state: "int | None" = 0,
+    ) -> None:
+        check_positive(n_estimators, "n_estimators")
+        self.n_estimators = int(n_estimators)
+        self.max_depth = max_depth
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.max_features = max_features
+        self.random_state = random_state
+        self.estimators_: "list[DecisionTreeRegressor] | None" = None
+
+    def fit(self, X, y) -> "RandomForestRegressor":
+        X, y = self._validate_xy(X, y)
+        rng = as_generator(self.random_state)
+        n = X.shape[0]
+        trees = []
+        for _ in range(self.n_estimators):
+            idx = rng.integers(0, n, size=n)  # bootstrap sample
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                random_state=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(X[idx], y[idx])
+            trees.append(tree)
+        self.estimators_ = trees
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("estimators_")
+        X = check_2d(X, "X")
+        preds = np.stack([t.predict(X) for t in self.estimators_])
+        return preds.mean(axis=0)
+
+
+class GradientBoostingRegressor(Regressor):
+    """Least-squares gradient boosting on shallow CART trees.
+
+    Each stage fits the residual of the running prediction; shrinkage
+    (``learning_rate``) trades stage count against overfitting.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 10,
+        learning_rate: float = 0.3,
+        max_depth: int = 3,
+        min_samples_leaf: int = 1,
+        subsample: float = 1.0,
+        random_state: "int | None" = 0,
+    ) -> None:
+        check_positive(n_estimators, "n_estimators")
+        check_positive(learning_rate, "learning_rate")
+        check_positive(max_depth, "max_depth")
+        if not 0.0 < subsample <= 1.0:
+            raise ValueError(f"subsample must lie in (0, 1], got {subsample}")
+        self.n_estimators = int(n_estimators)
+        self.learning_rate = float(learning_rate)
+        self.max_depth = int(max_depth)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.subsample = float(subsample)
+        self.random_state = random_state
+        self.estimators_: "list[DecisionTreeRegressor] | None" = None
+        self.init_: float = 0.0
+
+    def fit(self, X, y) -> "GradientBoostingRegressor":
+        X, y = self._validate_xy(X, y)
+        rng = as_generator(self.random_state)
+        n = X.shape[0]
+        self.init_ = float(y.mean())
+        current = np.full(n, self.init_)
+        trees = []
+        for _ in range(self.n_estimators):
+            residual = y - current
+            if self.subsample < 1.0:
+                k = max(1, int(round(self.subsample * n)))
+                idx = rng.choice(n, size=k, replace=False)
+            else:
+                idx = slice(None)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                random_state=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(X[idx], residual[idx])
+            current += self.learning_rate * tree.predict(X)
+            trees.append(tree)
+        self.estimators_ = trees
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("estimators_")
+        X = check_2d(X, "X")
+        out = np.full(X.shape[0], self.init_)
+        for tree in self.estimators_:
+            out += self.learning_rate * tree.predict(X)
+        return out
+
+    def staged_predict(self, X):
+        """Yield predictions after each boosting stage (for diagnostics)."""
+        self._check_fitted("estimators_")
+        X = check_2d(X, "X")
+        out = np.full(X.shape[0], self.init_)
+        for tree in self.estimators_:
+            out = out + self.learning_rate * tree.predict(X)
+            yield out.copy()

@@ -1,0 +1,209 @@
+"""Linear baselines from Table 4: LR, Lasso, Ridge, SGD.
+
+* :class:`LinearRegression` — ordinary least squares via ``lstsq`` (SVD),
+  robust to rank deficiency.
+* :class:`RidgeRegression` — closed-form Tikhonov solution.
+* :class:`LassoRegression` — cyclical coordinate descent with soft
+  thresholding, the standard solver.
+* :class:`SGDRegressor` — minibatch SGD on squared error, matching the
+  paper's ``squared_error, max_iter=10000`` configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConvergenceError
+from ..utils.rng import as_generator
+from ..utils.validation import check_2d, check_positive
+from .base import Regressor
+
+
+class LinearRegression(Regressor):
+    """Ordinary least squares, ``y ≈ X @ coef_ + intercept_``."""
+
+    def __init__(self, fit_intercept: bool = True) -> None:
+        self.fit_intercept = fit_intercept
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, X, y) -> "LinearRegression":
+        X, y = self._validate_xy(X, y)
+        if self.fit_intercept:
+            Xb = np.column_stack([X, np.ones(X.shape[0])])
+        else:
+            Xb = X
+        beta, *_ = np.linalg.lstsq(Xb, y, rcond=None)
+        if self.fit_intercept:
+            self.coef_, self.intercept_ = beta[:-1], float(beta[-1])
+        else:
+            self.coef_, self.intercept_ = beta, 0.0
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("coef_")
+        X = check_2d(X, "X")
+        return X @ self.coef_ + self.intercept_
+
+
+class RidgeRegression(Regressor):
+    """L2-regularised least squares (closed form).
+
+    The intercept is never penalised: data is centred before solving.
+    """
+
+    def __init__(self, alpha: float = 1.0, fit_intercept: bool = True) -> None:
+        check_positive(alpha, "alpha", strict=False)
+        self.alpha = float(alpha)
+        self.fit_intercept = fit_intercept
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, X, y) -> "RidgeRegression":
+        X, y = self._validate_xy(X, y)
+        if self.fit_intercept:
+            x_mean, y_mean = X.mean(axis=0), y.mean()
+            Xc, yc = X - x_mean, y - y_mean
+        else:
+            x_mean, y_mean = np.zeros(X.shape[1]), 0.0
+            Xc, yc = X, y
+        n_features = X.shape[1]
+        gram = Xc.T @ Xc + self.alpha * np.eye(n_features)
+        self.coef_ = np.linalg.solve(gram, Xc.T @ yc)
+        self.intercept_ = float(y_mean - x_mean @ self.coef_)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("coef_")
+        X = check_2d(X, "X")
+        return X @ self.coef_ + self.intercept_
+
+
+class LassoRegression(Regressor):
+    """L1-regularised least squares via cyclical coordinate descent.
+
+    Objective: ``(1/2n)||y - Xb||² + alpha ||b||₁``. Features are used as
+    given; callers should scale them (the registry wraps models in a
+    StandardScaler pipeline).
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.1,
+        max_iter: int = 1000,
+        tol: float = 1e-6,
+        fit_intercept: bool = True,
+    ) -> None:
+        check_positive(alpha, "alpha", strict=False)
+        check_positive(max_iter, "max_iter")
+        self.alpha = float(alpha)
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.fit_intercept = fit_intercept
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+        self.n_iter_: int = 0
+
+    def fit(self, X, y) -> "LassoRegression":
+        X, y = self._validate_xy(X, y)
+        n, d = X.shape
+        if self.fit_intercept:
+            x_mean, y_mean = X.mean(axis=0), y.mean()
+            Xc, yc = X - x_mean, y - y_mean
+        else:
+            x_mean, y_mean = np.zeros(d), 0.0
+            Xc, yc = X, y
+        col_sq = (Xc**2).sum(axis=0)
+        beta = np.zeros(d)
+        resid = yc.copy()  # resid = yc - Xc @ beta, maintained incrementally
+        thresh = self.alpha * n
+        for it in range(self.max_iter):
+            max_delta = 0.0
+            for j in range(d):
+                if col_sq[j] == 0.0:
+                    continue
+                rho = Xc[:, j] @ resid + col_sq[j] * beta[j]
+                new = np.sign(rho) * max(abs(rho) - thresh, 0.0) / col_sq[j]
+                delta = new - beta[j]
+                if delta != 0.0:
+                    resid -= delta * Xc[:, j]
+                    beta[j] = new
+                    max_delta = max(max_delta, abs(delta))
+            if max_delta < self.tol:
+                break
+        self.n_iter_ = it + 1
+        self.coef_ = beta
+        self.intercept_ = float(y_mean - x_mean @ beta)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("coef_")
+        X = check_2d(X, "X")
+        return X @ self.coef_ + self.intercept_
+
+
+class SGDRegressor(Regressor):
+    """Minibatch SGD on squared error with inverse-scaling learning rate.
+
+    Matches Table 4's ``squared_error, max_iter=10000`` setup. An optional
+    L2 penalty stabilises the walk on collinear PMC features.
+    """
+
+    def __init__(
+        self,
+        max_iter: int = 10000,
+        eta0: float = 0.01,
+        alpha: float = 1e-4,
+        batch_size: int = 32,
+        tol: float = 1e-8,
+        random_state: "int | None" = 0,
+        fit_intercept: bool = True,
+    ) -> None:
+        check_positive(max_iter, "max_iter")
+        check_positive(eta0, "eta0")
+        check_positive(batch_size, "batch_size")
+        self.max_iter = int(max_iter)
+        self.eta0 = float(eta0)
+        self.alpha = float(alpha)
+        self.batch_size = int(batch_size)
+        self.tol = float(tol)
+        self.random_state = random_state
+        self.fit_intercept = fit_intercept
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+        self.n_iter_: int = 0
+
+    def fit(self, X, y) -> "SGDRegressor":
+        X, y = self._validate_xy(X, y)
+        rng = as_generator(self.random_state)
+        n, d = X.shape
+        w = np.zeros(d)
+        b = 0.0
+        prev_loss = np.inf
+        bs = min(self.batch_size, n)
+        for it in range(self.max_iter):
+            idx = rng.integers(0, n, size=bs)
+            Xb, yb = X[idx], y[idx]
+            err = Xb @ w + b - yb
+            eta = self.eta0 / (1.0 + 0.01 * it)
+            grad_w = Xb.T @ err / bs + self.alpha * w
+            w -= eta * grad_w
+            if self.fit_intercept:
+                b -= eta * float(err.mean())
+            if it % 200 == 0:
+                loss = float(np.mean((X @ w + b - y) ** 2))
+                if not np.isfinite(loss):
+                    raise ConvergenceError(
+                        "SGD diverged; lower eta0 or scale the features"
+                    )
+                if abs(prev_loss - loss) < self.tol:
+                    break
+                prev_loss = loss
+        self.n_iter_ = it + 1
+        self.coef_, self.intercept_ = w, float(b)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("coef_")
+        X = check_2d(X, "X")
+        return X @ self.coef_ + self.intercept_

@@ -1,0 +1,91 @@
+"""Regression metrics used throughout the paper's evaluation (§5.5).
+
+MAPE and RMSE measure relative error, MAE absolute error, and R² model
+robustness — exactly the four the paper reports for TRR and SRR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..utils.validation import check_1d, check_consistent_length
+
+
+def _pair(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    t = check_1d(y_true, "y_true")
+    p = check_1d(y_pred, "y_pred")
+    check_consistent_length(t, p, names=("y_true", "y_pred"))
+    if t.shape[0] == 0:
+        raise ValidationError("metrics need at least one sample")
+    return t, p
+
+
+def mape(y_true, y_pred, eps: float = 1e-12) -> float:
+    """Mean absolute percentage error, in percent.
+
+    ``eps`` guards division when a true value is zero (never the case for
+    power readings, which have a positive floor, but property tests exercise
+    arbitrary series).
+    """
+    t, p = _pair(y_true, y_pred)
+    denom = np.maximum(np.abs(t), eps)
+    return float(np.mean(np.abs(t - p) / denom) * 100.0)
+
+
+def rmse(y_true, y_pred) -> float:
+    """Root mean squared error, in the units of the target."""
+    t, p = _pair(y_true, y_pred)
+    return float(np.sqrt(np.mean((t - p) ** 2)))
+
+
+def mae(y_true, y_pred) -> float:
+    """Mean absolute error, in the units of the target."""
+    t, p = _pair(y_true, y_pred)
+    return float(np.mean(np.abs(t - p)))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination. 1.0 is perfect; 0.0 matches the mean.
+
+    For a constant true series the score is 1.0 on an exact match and 0.0
+    otherwise (the 0/0 convention scikit-learn uses).
+    """
+    t, p = _pair(y_true, y_pred)
+    ss_res = float(np.sum((t - p) ** 2))
+    ss_tot = float(np.sum((t - t.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+@dataclass(frozen=True)
+class ScoreReport:
+    """The paper's four-metric bundle for one prediction task."""
+
+    mape: float
+    rmse: float
+    mae: float
+    r2: float
+
+    def as_row(self) -> tuple[float, float, float]:
+        """(MAPE %, RMSE, MAE) — the columns printed in Tables 5–9."""
+        return (self.mape, self.rmse, self.mae)
+
+    def __str__(self) -> str:
+        return (
+            f"MAPE={self.mape:.2f}% RMSE={self.rmse:.2f} "
+            f"MAE={self.mae:.2f} R2={self.r2:.3f}"
+        )
+
+
+def score_report(y_true, y_pred) -> ScoreReport:
+    """Compute all four paper metrics at once."""
+    return ScoreReport(
+        mape=mape(y_true, y_pred),
+        rmse=rmse(y_true, y_pred),
+        mae=mae(y_true, y_pred),
+        r2=r2_score(y_true, y_pred),
+    )

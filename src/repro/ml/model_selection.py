@@ -1,0 +1,161 @@
+"""Model-selection utilities: K-fold CV, train/test split, grid search.
+
+The paper's protocol (§5.3–5.4) uses 5-fold cross-validation and GridSearch
+for the RNN baselines' hyperparameters; these are the minimal pieces needed
+to run it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..utils.rng import as_generator
+from ..utils.validation import check_fraction, check_positive
+from .base import Regressor, clone
+from .metrics import mape
+
+
+class KFold:
+    """Deterministic (optionally shuffled) K-fold index generator."""
+
+    def __init__(
+        self,
+        n_splits: int = 5,
+        shuffle: bool = False,
+        random_state: "int | None" = 0,
+    ) -> None:
+        if n_splits < 2:
+            raise ValidationError("n_splits must be >= 2")
+        self.n_splits = int(n_splits)
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, n_samples: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        check_positive(n_samples, "n_samples")
+        if n_samples < self.n_splits:
+            raise ValidationError(
+                f"cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            as_generator(self.random_state).shuffle(indices)
+        folds = np.array_split(indices, self.n_splits)
+        for k in range(self.n_splits):
+            test = folds[k]
+            train = np.concatenate([folds[j] for j in range(self.n_splits) if j != k])
+            yield train, test
+
+
+def train_test_split(
+    *arrays,
+    test_size: float = 0.25,
+    shuffle: bool = True,
+    random_state: "int | None" = 0,
+):
+    """Split any number of same-length arrays into train/test parts.
+
+    Returns ``train_a, test_a, train_b, test_b, ...`` in sklearn order.
+    """
+    if not arrays:
+        raise ValidationError("need at least one array")
+    check_fraction(test_size, "test_size")
+    n = np.asarray(arrays[0]).shape[0]
+    for a in arrays[1:]:
+        if np.asarray(a).shape[0] != n:
+            raise ValidationError("arrays must share first-dimension length")
+    n_test = int(round(n * test_size))
+    if not 0 < n_test < n:
+        raise ValidationError(
+            f"test_size={test_size} leaves an empty split for n={n}"
+        )
+    indices = np.arange(n)
+    if shuffle:
+        as_generator(random_state).shuffle(indices)
+    test_idx, train_idx = indices[:n_test], indices[n_test:]
+    out = []
+    for a in arrays:
+        arr = np.asarray(a)
+        out.extend([arr[train_idx], arr[test_idx]])
+    return tuple(out)
+
+
+def cross_val_score(
+    model: Regressor,
+    X,
+    y,
+    cv: "KFold | int" = 5,
+    scorer: Callable = mape,
+) -> np.ndarray:
+    """Per-fold scores (default scorer: MAPE, lower is better)."""
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    kf = KFold(cv) if isinstance(cv, int) else cv
+    scores = []
+    for train, test in kf.split(X.shape[0]):
+        est = clone(model)
+        est.fit(X[train], y[train])
+        scores.append(scorer(y[test], est.predict(X[test])))
+    return np.asarray(scores)
+
+
+@dataclass
+class GridSearchResult:
+    params: dict
+    score: float
+
+
+class GridSearchCV:
+    """Exhaustive hyperparameter search with K-fold CV (lower score wins).
+
+    Matches the paper's use of GridSearch to tune the RNN baselines in each
+    cross-validation round.
+    """
+
+    def __init__(
+        self,
+        model: Regressor,
+        param_grid: Mapping[str, Sequence],
+        cv: "KFold | int" = 5,
+        scorer: Callable = mape,
+    ) -> None:
+        if not param_grid:
+            raise ValidationError("param_grid must be non-empty")
+        self.model = model
+        self.param_grid = {k: list(v) for k, v in param_grid.items()}
+        self.cv = cv
+        self.scorer = scorer
+        self.results_: list[GridSearchResult] = []
+        self.best_params_: "dict | None" = None
+        self.best_score_: float = np.inf
+        self.best_estimator_: "Regressor | None" = None
+
+    def _candidates(self) -> Iterator[dict]:
+        keys = sorted(self.param_grid)
+        for combo in itertools.product(*(self.param_grid[k] for k in keys)):
+            yield dict(zip(keys, combo))
+
+    def fit(self, X, y) -> "GridSearchCV":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        self.results_ = []
+        for params in self._candidates():
+            est = clone(self.model).set_params(**params)
+            scores = cross_val_score(est, X, y, cv=self.cv, scorer=self.scorer)
+            mean_score = float(scores.mean())
+            self.results_.append(GridSearchResult(params, mean_score))
+            if mean_score < self.best_score_:
+                self.best_score_ = mean_score
+                self.best_params_ = params
+        self.best_estimator_ = clone(self.model).set_params(**self.best_params_)
+        self.best_estimator_.fit(X, y)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if self.best_estimator_ is None:
+            raise ValidationError("GridSearchCV.predict before fit")
+        return self.best_estimator_.predict(X)

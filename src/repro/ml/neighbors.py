@@ -1,0 +1,70 @@
+"""K-nearest-neighbour regression (Table 4: ``#neighbors=3``).
+
+Brute-force Euclidean search, chunked so the pairwise-distance workspace
+stays cache-friendly instead of materialising an (n_query × n_train) matrix
+for large campaigns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.validation import check_2d, check_positive
+from .base import Regressor
+
+
+class KNeighborsRegressor(Regressor):
+    """Mean (or inverse-distance-weighted) target of the k nearest points."""
+
+    def __init__(
+        self,
+        n_neighbors: int = 3,
+        weights: str = "uniform",
+        chunk_size: int = 2048,
+    ) -> None:
+        check_positive(n_neighbors, "n_neighbors")
+        if weights not in ("uniform", "distance"):
+            raise ValueError("weights must be 'uniform' or 'distance'")
+        self.n_neighbors = int(n_neighbors)
+        self.weights = weights
+        self.chunk_size = int(chunk_size)
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    def fit(self, X, y) -> "KNeighborsRegressor":
+        X, y = self._validate_xy(X, y)
+        if X.shape[0] < self.n_neighbors:
+            raise ValueError(
+                f"need at least n_neighbors={self.n_neighbors} training rows"
+            )
+        self._X, self._y = X, y
+        # Precompute the squared norms once (used in every query chunk).
+        self._sq_norms = (X**2).sum(axis=1)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("_X")
+        Xq = check_2d(X, "X")
+        k = self.n_neighbors
+        out = np.empty(Xq.shape[0])
+        for start in range(0, Xq.shape[0], self.chunk_size):
+            chunk = Xq[start : start + self.chunk_size]
+            # ||a-b||² = ||a||² - 2 a·b + ||b||², computed without sqrt until
+            # the weighting step needs real distances.
+            d2 = (
+                (chunk**2).sum(axis=1)[:, None]
+                - 2.0 * chunk @ self._X.T
+                + self._sq_norms[None, :]
+            )
+            np.maximum(d2, 0.0, out=d2)
+            nn = np.argpartition(d2, k - 1, axis=1)[:, :k]
+            rows = np.arange(chunk.shape[0])[:, None]
+            if self.weights == "uniform":
+                out[start : start + chunk.shape[0]] = self._y[nn].mean(axis=1)
+            else:
+                dist = np.sqrt(d2[rows, nn])
+                w = 1.0 / np.maximum(dist, 1e-12)
+                out[start : start + chunk.shape[0]] = (
+                    (w * self._y[nn]).sum(axis=1) / w.sum(axis=1)
+                )
+        return out

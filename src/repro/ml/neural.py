@@ -1,0 +1,192 @@
+"""Multi-layer perceptron regression with Adam.
+
+This single class serves three roles in the reproduction:
+
+* the **NN baseline** from Table 4 (``hidden_size=30, max_iter=10000``),
+  standing in for the BP-ANN / FFNN prior work;
+* the **SRR model** (paper §4.3) — a shallow MLP mapping
+  ``(P_node, PMCs) → (P_CPU, P_MEM)``; SRR uses ``n_outputs=2``;
+* a building block for hyperparameter sweeps (§6.4.3).
+
+Multi-output support is native: ``fit`` accepts a 1-D target or an
+``(n, k)`` matrix, and ``predict`` returns the matching shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConvergenceError, ValidationError
+from ..utils.rng import as_generator
+from ..utils.validation import check_2d, check_consistent_length, check_positive
+from .base import Regressor
+
+
+def _relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def _tanh(x: np.ndarray) -> np.ndarray:
+    return np.tanh(x)
+
+
+_ACTIVATIONS = {
+    "relu": (_relu, lambda a: (a > 0).astype(a.dtype)),
+    "tanh": (_tanh, lambda a: 1.0 - a**2),
+}
+
+
+class MLPRegressor(Regressor):
+    """Fully-connected network trained with minibatch Adam on MSE.
+
+    ``hidden_layer_sizes`` may be an int (one hidden layer) or a tuple.
+    Inputs/targets are standardised internally so callers can feed raw
+    PMC counts; predictions are returned in original units.
+    """
+
+    def __init__(
+        self,
+        hidden_layer_sizes: "int | tuple[int, ...]" = 30,
+        activation: str = "relu",
+        max_iter: int = 10000,
+        lr: float = 1e-3,
+        batch_size: int = 64,
+        alpha: float = 1e-5,
+        tol: float = 1e-7,
+        n_iter_no_change: int = 20,
+        random_state: "int | None" = 0,
+    ) -> None:
+        if isinstance(hidden_layer_sizes, int):
+            hidden_layer_sizes = (hidden_layer_sizes,)
+        if not hidden_layer_sizes or any(h < 1 for h in hidden_layer_sizes):
+            raise ValidationError("hidden_layer_sizes must be positive ints")
+        if activation not in _ACTIVATIONS:
+            raise ValidationError(f"unknown activation {activation!r}")
+        check_positive(max_iter, "max_iter")
+        check_positive(lr, "lr")
+        check_positive(batch_size, "batch_size")
+        self.hidden_layer_sizes = tuple(int(h) for h in hidden_layer_sizes)
+        self.activation = activation
+        self.max_iter = int(max_iter)
+        self.lr = float(lr)
+        self.batch_size = int(batch_size)
+        self.alpha = float(alpha)
+        self.tol = float(tol)
+        self.n_iter_no_change = int(n_iter_no_change)
+        self.random_state = random_state
+        self.weights_: "list[np.ndarray] | None" = None
+        self.biases_: "list[np.ndarray] | None" = None
+        self.loss_curve_: list[float] = []
+        self.n_iter_: int = 0
+        self._x_mean = self._x_scale = None
+        self._y_mean = self._y_scale = None
+        self._single_output = True
+
+    # ------------------------------------------------------------------ fit
+    def _init_params(self, sizes: list[int], rng) -> None:
+        self.weights_, self.biases_ = [], []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            limit = np.sqrt(6.0 / (fan_in + fan_out))  # Glorot uniform
+            self.weights_.append(rng.uniform(-limit, limit, size=(fan_in, fan_out)))
+            self.biases_.append(np.zeros(fan_out))
+
+    def fit(self, X, y, warm_start: bool = False, max_iter: "int | None" = None) -> "MLPRegressor":
+        """Train the network.
+
+        ``warm_start=True`` continues from current weights — this is how the
+        active-learning stage fine-tunes SRR with reinforcement samples.
+        """
+        X = check_2d(X, "X")
+        y_arr = np.asarray(y, dtype=np.float64)
+        self._single_output = y_arr.ndim == 1
+        Y = y_arr.reshape(-1, 1) if self._single_output else y_arr
+        check_consistent_length(X, Y, names=("X", "y"))
+        rng = as_generator(self.random_state)
+
+        if not (warm_start and self.weights_ is not None):
+            self._x_mean = X.mean(axis=0)
+            xs = X.std(axis=0)
+            xs[xs == 0.0] = 1.0
+            self._x_scale = xs
+            self._y_mean = Y.mean(axis=0)
+            ys = Y.std(axis=0)
+            ys[ys == 0.0] = 1.0
+            self._y_scale = ys
+            sizes = [X.shape[1], *self.hidden_layer_sizes, Y.shape[1]]
+            self._init_params(sizes, rng)
+            self.loss_curve_ = []
+
+        Xs = (X - self._x_mean) / self._x_scale
+        Ys = (Y - self._y_mean) / self._y_scale
+        act, act_grad = _ACTIVATIONS[self.activation]
+        W, B = self.weights_, self.biases_
+        mw = [np.zeros_like(w) for w in W]
+        vw = [np.zeros_like(w) for w in W]
+        mb = [np.zeros_like(b) for b in B]
+        vb = [np.zeros_like(b) for b in B]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+
+        n = Xs.shape[0]
+        bs = min(self.batch_size, n)
+        best_loss, stall = np.inf, 0
+        iters = self.max_iter if max_iter is None else int(max_iter)
+        for it in range(iters):
+            idx = rng.integers(0, n, size=bs)
+            xb, yb = Xs[idx], Ys[idx]
+            # Forward
+            activations = [xb]
+            for li, (w, b) in enumerate(zip(W, B)):
+                z = activations[-1] @ w + b
+                activations.append(act(z) if li < len(W) - 1 else z)
+            pred = activations[-1]
+            err = pred - yb
+            loss = float(np.mean(err**2))
+            if not np.isfinite(loss):
+                raise ConvergenceError("MLP training diverged (loss is not finite)")
+            self.loss_curve_.append(loss)
+            # Backward
+            delta = 2.0 * err / (bs * yb.shape[1])
+            for li in range(len(W) - 1, -1, -1):
+                a_prev = activations[li]
+                gw = a_prev.T @ delta + self.alpha * W[li]
+                gb = delta.sum(axis=0)
+                if li > 0:
+                    delta = (delta @ W[li].T) * act_grad(activations[li])
+                t = len(self.loss_curve_)
+                mw[li] = beta1 * mw[li] + (1 - beta1) * gw
+                vw[li] = beta2 * vw[li] + (1 - beta2) * gw**2
+                mb[li] = beta1 * mb[li] + (1 - beta1) * gb
+                vb[li] = beta2 * vb[li] + (1 - beta2) * gb**2
+                W[li] -= self.lr * (mw[li] / (1 - beta1**t)) / (
+                    np.sqrt(vw[li] / (1 - beta2**t)) + eps
+                )
+                B[li] -= self.lr * (mb[li] / (1 - beta1**t)) / (
+                    np.sqrt(vb[li] / (1 - beta2**t)) + eps
+                )
+            # Early stopping on smoothed minibatch loss.
+            if it % 50 == 0:
+                recent = float(np.mean(self.loss_curve_[-50:]))
+                if recent < best_loss - self.tol:
+                    best_loss, stall = recent, 0
+                else:
+                    stall += 1
+                    if stall >= self.n_iter_no_change:
+                        break
+        self.n_iter_ = it + 1
+        return self
+
+    def partial_fit(self, X, y, n_steps: int = 100) -> "MLPRegressor":
+        """Fine-tune with a small step budget (active-learning stage)."""
+        return self.fit(X, y, warm_start=True, max_iter=n_steps)
+
+    # -------------------------------------------------------------- predict
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("weights_")
+        X = check_2d(X, "X")
+        act, _ = _ACTIVATIONS[self.activation]
+        a = (X - self._x_mean) / self._x_scale
+        for li, (w, b) in enumerate(zip(self.weights_, self.biases_)):
+            z = a @ w + b
+            a = act(z) if li < len(self.weights_) - 1 else z
+        out = a * self._y_scale + self._y_mean
+        return out.ravel() if self._single_output else out

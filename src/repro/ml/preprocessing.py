@@ -1,0 +1,160 @@
+"""Feature scaling.
+
+PMC counts span ~9 orders of magnitude (cycles vs. branch mispredictions),
+so every gradient-based model in the registry is wrapped with a scaler.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import NotFittedError, ValidationError
+from ..utils.validation import check_2d
+
+
+class StandardScaler:
+    """Zero-mean unit-variance scaling, column-wise.
+
+    Columns with zero variance are left centred but unscaled (divide by 1)
+    so constant features don't produce NaNs.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X) -> "StandardScaler":
+        X = check_2d(X, "X")
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        std[std == 0.0] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.mean_ is None:
+            raise NotFittedError("StandardScaler.transform before fit")
+        X = check_2d(X, "X")
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        if self.mean_ is None:
+            raise NotFittedError("StandardScaler.inverse_transform before fit")
+        X = check_2d(X, "X")
+        return X * self.scale_ + self.mean_
+
+
+class MinMaxScaler:
+    """Scale each column into ``[lo, hi]`` (default [0, 1]).
+
+    Constant columns map to ``lo``.
+    """
+
+    def __init__(self, feature_range: tuple[float, float] = (0.0, 1.0)) -> None:
+        lo, hi = feature_range
+        if not lo < hi:
+            raise ValueError(f"feature_range must be increasing, got {feature_range}")
+        self.feature_range = (float(lo), float(hi))
+        self.min_: np.ndarray | None = None
+        self.range_: np.ndarray | None = None
+
+    def fit(self, X) -> "MinMaxScaler":
+        X = check_2d(X, "X")
+        self.min_ = X.min(axis=0)
+        rng = X.max(axis=0) - self.min_
+        rng[rng == 0.0] = 1.0
+        self.range_ = rng
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.min_ is None:
+            raise NotFittedError("MinMaxScaler.transform before fit")
+        X = check_2d(X, "X")
+        lo, hi = self.feature_range
+        unit = (X - self.min_) / self.range_
+        return unit * (hi - lo) + lo
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        if self.min_ is None:
+            raise NotFittedError("MinMaxScaler.inverse_transform before fit")
+        X = check_2d(X, "X")
+        lo, hi = self.feature_range
+        unit = (X - lo) / (hi - lo)
+        return unit * self.range_ + self.min_
+
+
+class PolynomialFeatures:
+    """Degree-2 feature expansion: [x, x², optional pairwise products].
+
+    Classic power-modeling trick — dynamic power is quadratic-ish in
+    voltage/activity proxies — used to give linear models a nonlinear
+    reach without changing the solver.
+    """
+
+    def __init__(self, interaction: bool = False) -> None:
+        self.interaction = bool(interaction)
+        self.n_input_features_: "int | None" = None
+
+    def fit(self, X) -> "PolynomialFeatures":
+        X = check_2d(X, "X")
+        self.n_input_features_ = X.shape[1]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.n_input_features_ is None:
+            raise NotFittedError("PolynomialFeatures.transform before fit")
+        X = check_2d(X, "X")
+        if X.shape[1] != self.n_input_features_:
+            raise ValidationError(
+                f"expected {self.n_input_features_} features, got {X.shape[1]}"
+            )
+        parts = [X, X**2]
+        if self.interaction:
+            d = X.shape[1]
+            pairs = [X[:, i] * X[:, j] for i in range(d) for j in range(i + 1, d)]
+            if pairs:
+                parts.append(np.column_stack(pairs))
+        return np.hstack(parts)
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def n_output_features(self) -> int:
+        """Number of columns the transform produces."""
+        if self.n_input_features_ is None:
+            raise NotFittedError("PolynomialFeatures not fitted")
+        d = self.n_input_features_
+        out = 2 * d
+        if self.interaction:
+            out += d * (d - 1) // 2
+        return out
+
+
+class TargetScaler:
+    """1-D convenience wrapper around :class:`StandardScaler` for targets."""
+
+    def __init__(self) -> None:
+        self._scaler = StandardScaler()
+
+    def fit(self, y) -> "TargetScaler":
+        self._scaler.fit(np.asarray(y, dtype=np.float64).reshape(-1, 1))
+        return self
+
+    def transform(self, y) -> np.ndarray:
+        return self._scaler.transform(
+            np.asarray(y, dtype=np.float64).reshape(-1, 1)
+        ).ravel()
+
+    def fit_transform(self, y) -> np.ndarray:
+        return self.fit(y).transform(y)
+
+    def inverse_transform(self, y) -> np.ndarray:
+        return self._scaler.inverse_transform(
+            np.asarray(y, dtype=np.float64).reshape(-1, 1)
+        ).ravel()

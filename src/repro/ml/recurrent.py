@@ -1,0 +1,353 @@
+"""Recurrent regressors: LSTM and GRU with full backpropagation through time.
+
+DynamicTRR (paper §4.2.2) is a compact LSTM — an input layer, two hidden
+(recurrent) layers, and a fully-connected head — trained on sliding windows
+of ``(PMCs, P'_node)`` rows and fine-tuned online whenever a real IM reading
+arrives. The GRU variant is the second RNN baseline from Table 4.
+
+Both networks share one implementation skeleton: stacked recurrent layers
+over sequences shaped ``(batch, time, features)``, a linear head applied to
+every timestep, MSE loss averaged over predicted steps, Adam updates, and
+input/target standardisation handled internally.
+
+The time loop is a Python loop over ``T`` steps (windows are short —
+``miss_interval`` ≈ 10), with everything inside vectorised over the batch,
+per the HPC guide's "vectorise the hot axis" rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConvergenceError, ValidationError
+from ..utils.rng import as_generator
+from ..utils.validation import check_positive
+from .base import Regressor
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def _check_sequences(X) -> np.ndarray:
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 3:
+        raise ValidationError(
+            f"recurrent models need (batch, time, features) input, got shape {X.shape}"
+        )
+    return X
+
+
+class _RecurrentBase(Regressor):
+    """Shared training loop; subclasses provide cell forward/backward."""
+
+    #: gates per cell (4 for LSTM, 3 for GRU); set by subclass.
+    _n_gates: int = 0
+
+    def __init__(
+        self,
+        hidden_size: int = 16,
+        num_layers: int = 2,
+        max_iter: int = 400,
+        lr: float = 5e-3,
+        batch_size: int = 64,
+        alpha: float = 1e-6,
+        clip: float = 5.0,
+        random_state: "int | None" = 0,
+    ) -> None:
+        check_positive(hidden_size, "hidden_size")
+        check_positive(num_layers, "num_layers")
+        check_positive(max_iter, "max_iter")
+        self.hidden_size = int(hidden_size)
+        self.num_layers = int(num_layers)
+        self.max_iter = int(max_iter)
+        self.lr = float(lr)
+        self.batch_size = int(batch_size)
+        self.alpha = float(alpha)
+        self.clip = float(clip)
+        self.random_state = random_state
+        self.params_: "list[dict[str, np.ndarray]] | None" = None
+        self.head_w_: np.ndarray | None = None
+        self.head_b_: float = 0.0
+        self.loss_curve_: list[float] = []
+        self._x_mean = self._x_scale = None
+        self._y_mean = self._y_scale = 1.0
+
+    # -- subclass hooks ------------------------------------------------------
+    def _cell_forward(self, layer, x_t, state):
+        raise NotImplementedError
+
+    def _cell_backward(self, layer, cache, d_h, d_state, grads):
+        raise NotImplementedError
+
+    def _zero_state(self, layer_idx: int, batch: int):
+        raise NotImplementedError
+
+    # -- parameter management --------------------------------------------------
+    def _init_params(self, n_features: int, rng) -> None:
+        self.params_ = []
+        for layer in range(self.num_layers):
+            d_in = n_features if layer == 0 else self.hidden_size
+            h = self.hidden_size
+            scale_w = 1.0 / np.sqrt(d_in)
+            scale_u = 1.0 / np.sqrt(h)
+            self.params_.append(
+                {
+                    "W": rng.uniform(-scale_w, scale_w, size=(d_in, self._n_gates * h)),
+                    "U": rng.uniform(-scale_u, scale_u, size=(h, self._n_gates * h)),
+                    "b": np.zeros(self._n_gates * h),
+                }
+            )
+        scale = 1.0 / np.sqrt(self.hidden_size)
+        self.head_w_ = rng.uniform(-scale, scale, size=self.hidden_size)
+        self.head_b_ = 0.0
+
+    def _flat_params(self) -> list[np.ndarray]:
+        flat = []
+        for p in self.params_:
+            flat.extend([p["W"], p["U"], p["b"]])
+        flat.append(self.head_w_)
+        return flat
+
+    # -- forward over a batch of sequences -------------------------------------
+    def _forward(self, X: np.ndarray, collect: bool = False):
+        """Run the stack; returns per-step predictions (batch, T) and caches."""
+        batch, T, _ = X.shape
+        h_all = X
+        caches: list[list] = [[] for _ in range(self.num_layers)]
+        for layer in range(self.num_layers):
+            state = self._zero_state(layer, batch)
+            outs = np.empty((batch, T, self.hidden_size))
+            for t in range(T):
+                h_t, state, cache = self._cell_forward(layer, h_all[:, t, :], state)
+                outs[:, t, :] = h_t
+                if collect:
+                    caches[layer].append(cache)
+            h_all = outs
+        preds = h_all @ self.head_w_ + self.head_b_  # (batch, T)
+        return preds, h_all, caches
+
+    # -- training ---------------------------------------------------------------
+    def fit(self, X, y, warm_start: bool = False, max_iter: "int | None" = None):
+        """Train on sequences ``X (n, T, d)``.
+
+        ``y`` may be ``(n,)`` (label = power at the final step) or ``(n, T)``
+        (full per-step labels, the DynamicTRR construction from Fig. 4).
+        """
+        X = _check_sequences(X)
+        y_arr = np.asarray(y, dtype=np.float64)
+        n, T, d = X.shape
+        if y_arr.ndim == 1:
+            Y = np.full((n, T), np.nan)
+            Y[:, -1] = y_arr
+        elif y_arr.shape == (n, T):
+            Y = y_arr.copy()
+        else:
+            raise ValidationError(
+                f"y must have shape ({n},) or ({n},{T}); got {y_arr.shape}"
+            )
+        rng = as_generator(self.random_state)
+        if not (warm_start and self.params_ is not None):
+            self._x_mean = X.reshape(-1, d).mean(axis=0)
+            xs = X.reshape(-1, d).std(axis=0)
+            xs[xs == 0.0] = 1.0
+            self._x_scale = xs
+            finite = Y[np.isfinite(Y)]
+            self._y_mean = float(finite.mean())
+            ysc = float(finite.std())
+            self._y_scale = ysc if ysc > 0 else 1.0
+            self._init_params(d, rng)
+            self.loss_curve_ = []
+
+        Xs = (X - self._x_mean) / self._x_scale
+        Ys = (Y - self._y_mean) / self._y_scale
+        label_mask = np.isfinite(Ys)
+
+        flat = self._flat_params()
+        m1 = [np.zeros_like(p) for p in flat] + [0.0]
+        m2 = [np.zeros_like(p) for p in flat] + [0.0]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        bs = min(self.batch_size, n)
+        iters = self.max_iter if max_iter is None else int(max_iter)
+        step = 0
+        for it in range(iters):
+            idx = rng.integers(0, n, size=bs)
+            xb, yb, mb = Xs[idx], Ys[idx], label_mask[idx]
+            preds, h_all, caches = self._forward(xb, collect=True)
+            err = np.where(mb, preds - np.where(mb, yb, 0.0), 0.0)
+            n_labels = int(mb.sum())
+            loss = float((err**2).sum() / max(n_labels, 1))
+            if not np.isfinite(loss):
+                raise ConvergenceError("RNN training diverged")
+            self.loss_curve_.append(loss)
+
+            # Backward.
+            d_pred = 2.0 * err / max(n_labels, 1)  # (batch, T)
+            grads = [
+                {k: np.zeros_like(v) for k, v in p.items()} for p in self.params_
+            ]
+            g_head_w = np.einsum("bt,bth->h", d_pred, h_all)
+            g_head_b = float(d_pred.sum())
+            d_h_top = d_pred[:, :, None] * self.head_w_[None, None, :]
+            T_steps = xb.shape[1]
+            d_below = d_h_top
+            for layer in range(self.num_layers - 1, -1, -1):
+                d_state = self._zero_state(layer, bs)
+                d_x_seq = np.empty(
+                    (bs, T_steps, self.params_[layer]["W"].shape[0])
+                )
+                for t in range(T_steps - 1, -1, -1):
+                    d_x, d_state = self._cell_backward(
+                        layer, caches[layer][t], d_below[:, t, :], d_state,
+                        grads[layer],
+                    )
+                    d_x_seq[:, t, :] = d_x
+                d_below = d_x_seq
+
+            # L2 penalty.
+            for p, g in zip(self.params_, grads):
+                for k in p:
+                    g[k] += self.alpha * p[k]
+
+            # Gradient clipping by global norm.
+            flat_grads = []
+            for g in grads:
+                flat_grads.extend([g["W"], g["U"], g["b"]])
+            flat_grads.append(g_head_w)
+            norm = np.sqrt(sum(float((g**2).sum()) for g in flat_grads) + g_head_b**2)
+            if norm > self.clip:
+                scale = self.clip / norm
+                flat_grads = [g * scale for g in flat_grads]
+                g_head_b *= scale
+
+            # Adam.
+            step += 1
+            flat = self._flat_params()
+            for i, (p, g) in enumerate(zip(flat, flat_grads)):
+                m1[i] = beta1 * m1[i] + (1 - beta1) * g
+                m2[i] = beta2 * m2[i] + (1 - beta2) * g**2
+                p -= self.lr * (m1[i] / (1 - beta1**step)) / (
+                    np.sqrt(m2[i] / (1 - beta2**step)) + eps
+                )
+            m1[-1] = beta1 * m1[-1] + (1 - beta1) * g_head_b
+            m2[-1] = beta2 * m2[-1] + (1 - beta2) * g_head_b**2
+            self.head_b_ -= self.lr * (m1[-1] / (1 - beta1**step)) / (
+                np.sqrt(m2[-1] / (1 - beta2**step)) + eps
+            )
+        return self
+
+    def partial_fit(self, X, y, n_steps: int = 20):
+        """Online fine-tuning with a small step budget (DynamicTRR §4.2.2)."""
+        return self.fit(X, y, warm_start=True, max_iter=n_steps)
+
+    # -- inference ----------------------------------------------------------------
+    def predict(self, X, return_sequences: bool = False) -> np.ndarray:
+        """Predict power for each window; last step by default."""
+        self._check_fitted("params_")
+        X = _check_sequences(X)
+        Xs = (X - self._x_mean) / self._x_scale
+        preds, _, _ = self._forward(Xs, collect=True)
+        preds = preds * self._y_scale + self._y_mean
+        return preds if return_sequences else preds[:, -1]
+
+
+class LSTMRegressor(_RecurrentBase):
+    """Stacked LSTM (Table 4: ``#units=2`` — two recurrent layers)."""
+
+    _n_gates = 4
+
+    def _zero_state(self, layer_idx: int, batch: int):
+        h = np.zeros((batch, self.hidden_size))
+        c = np.zeros((batch, self.hidden_size))
+        return (h, c)
+
+    def _cell_forward(self, layer, x_t, state):
+        h_prev, c_prev = state
+        p = self.params_[layer]
+        H = self.hidden_size
+        z = x_t @ p["W"] + h_prev @ p["U"] + p["b"]
+        i = _sigmoid(z[:, :H])
+        f = _sigmoid(z[:, H : 2 * H])
+        g = np.tanh(z[:, 2 * H : 3 * H])
+        o = _sigmoid(z[:, 3 * H :])
+        c = f * c_prev + i * g
+        tanh_c = np.tanh(c)
+        h = o * tanh_c
+        cache = (x_t, h_prev, c_prev, i, f, g, o, c, tanh_c)
+        return h, (h, c), cache
+
+    def _cell_backward(self, layer, cache, d_h_ext, d_state, grads):
+        x_t, h_prev, c_prev, i, f, g, o, c, tanh_c = cache
+        d_h_rec, d_c_rec = d_state
+        d_h = d_h_ext + d_h_rec
+        p = self.params_[layer]
+        H = self.hidden_size
+        d_o = d_h * tanh_c
+        d_c = d_h * o * (1.0 - tanh_c**2) + d_c_rec
+        d_f = d_c * c_prev
+        d_i = d_c * g
+        d_g = d_c * i
+        d_c_prev = d_c * f
+        dz = np.empty((x_t.shape[0], 4 * H))
+        dz[:, :H] = d_i * i * (1 - i)
+        dz[:, H : 2 * H] = d_f * f * (1 - f)
+        dz[:, 2 * H : 3 * H] = d_g * (1 - g**2)
+        dz[:, 3 * H :] = d_o * o * (1 - o)
+        grads["W"] += x_t.T @ dz
+        grads["U"] += h_prev.T @ dz
+        grads["b"] += dz.sum(axis=0)
+        d_x = dz @ p["W"].T
+        d_h_prev = dz @ p["U"].T
+        return d_x, (d_h_prev, d_c_prev)
+
+
+class GRURegressor(_RecurrentBase):
+    """Stacked GRU (the second RNN baseline in Table 4)."""
+
+    _n_gates = 3
+
+    def _zero_state(self, layer_idx: int, batch: int):
+        return np.zeros((batch, self.hidden_size))
+
+    def _cell_forward(self, layer, x_t, state):
+        h_prev = state
+        p = self.params_[layer]
+        H = self.hidden_size
+        zx = x_t @ p["W"] + p["b"]
+        zh = h_prev @ p["U"]
+        r = _sigmoid(zx[:, :H] + zh[:, :H])
+        u = _sigmoid(zx[:, H : 2 * H] + zh[:, H : 2 * H])
+        n = np.tanh(zx[:, 2 * H :] + r * zh[:, 2 * H :])
+        h = (1.0 - u) * n + u * h_prev
+        cache = (x_t, h_prev, r, u, n, zh[:, 2 * H :])
+        return h, h, cache
+
+    def _cell_backward(self, layer, cache, d_h_ext, d_state, grads):
+        x_t, h_prev, r, u, n, zh_n = cache
+        d_h = d_h_ext + d_state
+        p = self.params_[layer]
+        H = self.hidden_size
+        d_u = d_h * (h_prev - n)
+        d_n = d_h * (1.0 - u)
+        d_h_prev = d_h * u
+        d_n_pre = d_n * (1.0 - n**2)
+        d_r = d_n_pre * zh_n
+        dzx = np.empty((x_t.shape[0], 3 * H))
+        dzh = np.empty_like(dzx)
+        dzx[:, :H] = d_r * r * (1 - r)
+        dzx[:, H : 2 * H] = d_u * u * (1 - u)
+        dzx[:, 2 * H :] = d_n_pre
+        dzh[:, :H] = dzx[:, :H]
+        dzh[:, H : 2 * H] = dzx[:, H : 2 * H]
+        dzh[:, 2 * H :] = d_n_pre * r
+        grads["W"] += x_t.T @ dzx
+        grads["U"] += h_prev.T @ dzh
+        grads["b"] += dzx.sum(axis=0)
+        d_x = dzx @ p["W"].T
+        d_h_prev = d_h_prev + dzh @ p["U"].T
+        return d_x, d_h_prev

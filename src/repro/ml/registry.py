@@ -1,0 +1,108 @@
+"""The Table-4 baseline model zoo.
+
+Twelve regressors, keyed by the paper's abbreviations, each constructed with
+the hyperparameters from Table 4. Gradient-sensitive models are wrapped in a
+:class:`ScaledRegressor` (standardise features, fit, predict) — the paper's
+"automatic options" imply sklearn's internal scaling-friendly defaults, and
+raw PMC counts span nine orders of magnitude.
+
+The two RNN entries consume sequence input ``(n, T, d)``; the benchmark
+harness routes windowed datasets to them and flat datasets to the rest (see
+``SEQUENCE_MODELS``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..utils.validation import check_2d
+from .base import Regressor
+from .ensemble import GradientBoostingRegressor, RandomForestRegressor
+from .linear import LassoRegression, LinearRegression, RidgeRegression, SGDRegressor
+from .neighbors import KNeighborsRegressor
+from .neural import MLPRegressor
+from .preprocessing import StandardScaler
+from .recurrent import GRURegressor, LSTMRegressor
+from .svm import SVR
+from .tree import DecisionTreeRegressor
+
+
+class ScaledRegressor(Regressor):
+    """Minimal pipeline: StandardScaler on X, then the wrapped regressor."""
+
+    def __init__(self, inner: Regressor) -> None:
+        self.inner = inner
+        self._scaler: StandardScaler | None = None
+
+    def fit(self, X, y) -> "ScaledRegressor":
+        X = check_2d(X, "X")
+        self._scaler = StandardScaler().fit(X)
+        self.inner.fit(self._scaler.transform(X), np.asarray(y, dtype=np.float64))
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if self._scaler is None:
+            raise ValidationError("ScaledRegressor.predict before fit")
+        return self.inner.predict(self._scaler.transform(check_2d(X, "X")))
+
+    def get_params(self):
+        # Hand out an unfitted copy so clone() yields a genuinely fresh
+        # pipeline (cross-validation clones before every fold).
+        from .base import clone as _clone
+
+        return {"inner": _clone(self.inner)}
+
+
+#: Table-4 configurations. Values are zero-arg factories so every call hands
+#: out a fresh, unfitted estimator.
+BASELINE_MODELS: dict[str, Callable[[], Regressor]] = {
+    # -- linear ------------------------------------------------------------
+    "LR": lambda: LinearRegression(),
+    "LaR": lambda: ScaledRegressor(LassoRegression(alpha=0.01)),
+    "RR": lambda: ScaledRegressor(RidgeRegression(alpha=1.0)),
+    "SGD": lambda: ScaledRegressor(SGDRegressor(max_iter=10000)),
+    # -- nonlinear ---------------------------------------------------------
+    "DT": lambda: DecisionTreeRegressor(min_samples_leaf=2),
+    "RF": lambda: RandomForestRegressor(n_estimators=10, random_state=7),
+    "GB": lambda: GradientBoostingRegressor(n_estimators=10, random_state=7),
+    "KNN": lambda: ScaledRegressor(KNeighborsRegressor(n_neighbors=3)),
+    "SVM": lambda: ScaledRegressor(SVR(gamma="scale")),
+    "NN": lambda: MLPRegressor(hidden_layer_sizes=30, max_iter=10000),
+    # -- recurrent ----------------------------------------------------------
+    "GRU": lambda: GRURegressor(num_layers=2, random_state=7),
+    "LSTM": lambda: LSTMRegressor(num_layers=2, random_state=7),
+}
+
+#: Models that take (batch, time, features) windows instead of flat rows.
+SEQUENCE_MODELS: frozenset[str] = frozenset({"GRU", "LSTM"})
+
+#: Paper's grouping, used for table formatting.
+MODEL_GROUPS: dict[str, tuple[str, ...]] = {
+    "Linear": ("LR", "LaR", "RR", "SGD"),
+    "Nonlinear": ("DT", "RF", "GB", "KNN", "SVM", "NN"),
+    "RNN": ("GRU", "LSTM"),
+}
+
+
+def baseline_names() -> tuple[str, ...]:
+    """All twelve abbreviations, in Table-4 order."""
+    return tuple(BASELINE_MODELS)
+
+
+def make_baseline(name: str) -> Regressor:
+    """A fresh estimator for one Table-4 abbreviation."""
+    try:
+        factory = BASELINE_MODELS[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown baseline {name!r}; known: {sorted(BASELINE_MODELS)}"
+        ) from None
+    return factory()
+
+
+def is_sequence_model(name: str) -> bool:
+    """True when the abbreviation names an RNN baseline (window input)."""
+    return name in SEQUENCE_MODELS

@@ -1,0 +1,176 @@
+"""CART regression tree (squared-error criterion).
+
+This is the ResModel learner StaticTRR uses (the paper tried every Table-4
+model and found the decision tree best for residual prediction) and the base
+learner for the forest/boosting ensembles.
+
+Split search is vectorised: for each feature the candidate thresholds are
+scanned with cumulative sums, so finding the best split of a node costs
+O(d · n log n) with no Python-level inner loop over samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils.rng import as_generator
+from ..utils.validation import check_2d, check_positive
+from .base import Regressor
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves have ``feature == -1``."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    value: float = 0.0
+    left: "int" = -1
+    right: "int" = -1
+
+
+def _best_split_for_feature(
+    x: np.ndarray, y: np.ndarray, min_leaf: int
+) -> tuple[float, float]:
+    """Best (score gain proxy, threshold) splitting on one feature.
+
+    Returns ``(weighted_sse, threshold)`` where weighted_sse is the sum of
+    child SSEs (lower is better), or ``(inf, nan)`` when no valid split
+    exists. Uses the identity SSE = Σy² − (Σy)²/n over prefix sums.
+    """
+    order = np.argsort(x, kind="stable")
+    xs, ys = x[order], y[order]
+    n = xs.shape[0]
+    # Candidate split positions: between distinct consecutive x values,
+    # respecting the minimum leaf size.
+    csum = np.cumsum(ys)
+    csum_sq = np.cumsum(ys**2)
+    total, total_sq = csum[-1], csum_sq[-1]
+    k = np.arange(1, n)  # left child sizes
+    valid = (xs[1:] != xs[:-1]) & (k >= min_leaf) & ((n - k) >= min_leaf)
+    if not valid.any():
+        return np.inf, np.nan
+    left_sum, left_sq = csum[:-1], csum_sq[:-1]
+    right_sum, right_sq = total - left_sum, total_sq - left_sq
+    sse = (left_sq - left_sum**2 / k) + (right_sq - right_sum**2 / (n - k))
+    sse = np.where(valid, sse, np.inf)
+    best = int(np.argmin(sse))
+    threshold = 0.5 * (xs[best] + xs[best + 1])
+    return float(sse[best]), float(threshold)
+
+
+class DecisionTreeRegressor(Regressor):
+    """Binary regression tree grown depth-first with squared-error splits.
+
+    Parameters mirror the scikit-learn names used in Table 4. When
+    ``max_features`` is set, each split considers a random feature subset
+    (used by :class:`repro.ml.ensemble.RandomForestRegressor`).
+    """
+
+    def __init__(
+        self,
+        max_depth: "int | None" = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: "int | float | None" = None,
+        random_state: "int | None" = None,
+    ) -> None:
+        if max_depth is not None:
+            check_positive(max_depth, "max_depth")
+        check_positive(min_samples_split, "min_samples_split")
+        check_positive(min_samples_leaf, "min_samples_leaf")
+        self.max_depth = max_depth
+        self.min_samples_split = int(min_samples_split)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.max_features = max_features
+        self.random_state = random_state
+        self._nodes: "list[_Node] | None" = None
+        self.n_features_: int = 0
+
+    # `coef_`-style fitted marker for _check_fitted
+    @property
+    def nodes_(self):
+        return self._nodes
+
+    def _n_split_features(self, d: int, rng) -> np.ndarray:
+        if self.max_features is None:
+            return np.arange(d)
+        if isinstance(self.max_features, float):
+            k = max(1, int(round(self.max_features * d)))
+        else:
+            k = max(1, min(int(self.max_features), d))
+        return rng.choice(d, size=k, replace=False)
+
+    def fit(self, X, y) -> "DecisionTreeRegressor":
+        X, y = self._validate_xy(X, y)
+        rng = as_generator(self.random_state)
+        self.n_features_ = X.shape[1]
+        nodes: list[_Node] = []
+        max_depth = self.max_depth if self.max_depth is not None else np.inf
+
+        def grow(indices: np.ndarray, depth: int) -> int:
+            node_id = len(nodes)
+            node = _Node(value=float(y[indices].mean()))
+            nodes.append(node)
+            n_here = indices.shape[0]
+            if (
+                depth >= max_depth
+                or n_here < self.min_samples_split
+                or n_here < 2 * self.min_samples_leaf
+                or np.ptp(y[indices]) == 0.0
+            ):
+                return node_id
+            best_sse, best_feat, best_thr = np.inf, -1, np.nan
+            for j in self._n_split_features(self.n_features_, rng):
+                sse, thr = _best_split_for_feature(
+                    X[indices, j], y[indices], self.min_samples_leaf
+                )
+                if sse < best_sse:
+                    best_sse, best_feat, best_thr = sse, int(j), thr
+            if best_feat < 0:
+                return node_id
+            mask = X[indices, best_feat] <= best_thr
+            node.feature = best_feat
+            node.threshold = best_thr
+            node.left = grow(indices[mask], depth + 1)
+            node.right = grow(indices[~mask], depth + 1)
+            return node_id
+
+        grow(np.arange(X.shape[0]), 0)
+        self._nodes = nodes
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("_nodes")
+        X = check_2d(X, "X")
+        nodes = self._nodes
+        out = np.empty(X.shape[0])
+        # Iterative descent per sample; trees are shallow in practice and
+        # this avoids recursion. Batched level-order descent buys little for
+        # the tree sizes used here.
+        for i in range(X.shape[0]):
+            node = nodes[0]
+            while node.feature >= 0:
+                node = nodes[node.left if X[i, node.feature] <= node.threshold else node.right]
+            out[i] = node.value
+        return out
+
+    @property
+    def depth_(self) -> int:
+        """Realised depth of the fitted tree."""
+        self._check_fitted("_nodes")
+
+        def depth_of(nid: int) -> int:
+            node = self._nodes[nid]
+            if node.feature < 0:
+                return 0
+            return 1 + max(depth_of(node.left), depth_of(node.right))
+
+        return depth_of(0)
+
+    @property
+    def n_leaves_(self) -> int:
+        self._check_fitted("_nodes")
+        return sum(1 for n in self._nodes if n.feature < 0)

@@ -1,0 +1,39 @@
+"""Monitoring runtime: energy accounting, power capping, and the deployable
+monitor service.
+
+The capping controller reproduces the paper's motivation experiment
+(Fig. 1): with slow power readings (large PI) and slow enforcement (large
+AI), spikes are missed, peak power grows, and total energy rises.
+"""
+
+from .anomaly import Anomaly, PowerAnomalyDetector
+from .assisted import AssistedCapController, run_assisted_capped
+from .budget import ClusterPowerBudget, NodeDemand
+from .capping import CappingPolicy, PowerCapController, run_capped
+from .energy import EnergyAccount, energy_of, peak_of
+from .report import RunSummary, render_node_report, summarise_runs
+from .scheduler import EnergyAwareScheduler, Job, ScheduleOutcome
+from .service import MonitorLog, PowerMonitorService
+
+__all__ = [
+    "Anomaly",
+    "PowerAnomalyDetector",
+    "AssistedCapController",
+    "run_assisted_capped",
+    "CappingPolicy",
+    "PowerCapController",
+    "run_capped",
+    "EnergyAccount",
+    "energy_of",
+    "peak_of",
+    "MonitorLog",
+    "PowerMonitorService",
+    "ClusterPowerBudget",
+    "NodeDemand",
+    "EnergyAwareScheduler",
+    "Job",
+    "ScheduleOutcome",
+    "RunSummary",
+    "render_node_report",
+    "summarise_runs",
+]

@@ -1,0 +1,145 @@
+"""Model-assisted power capping: HighRPM in the control loop.
+
+Fig. 1 shows what slow readings cost a capping governor. The obvious next
+step — and the reason HighRPM exists (§1: "power readings help the system
+quickly respond to changes") — is to put the restored estimates *in the
+loop*: the BMC still reports once every ``miss_interval`` seconds, but the
+governor acts every second on DynamicTRR's live estimate instead of the
+stale reading.
+
+:class:`AssistedCapController` wraps a :class:`~repro.core.dynamic_trr`
+online session: each second it feeds the PMC row (and the IM reading when
+one arrives), gets the restored node-power estimate, and applies the same
+threshold policy as the plain governor. The bench compares the three
+regimes the paper's motivation implies:
+
+* fast sensing (PI = 1 s) — the unaffordable ideal;
+* slow sensing (PI = miss_interval) — what IPMI gives you;
+* slow sensing + HighRPM — the paper's proposition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.dynamic_trr import DynamicTRR
+from ..errors import CappingError, ValidationError
+from ..hardware.node import NodeSimulator
+from ..hardware.platform import PlatformSpec
+from ..types import TraceBundle
+from ..workloads.base import Workload
+from .capping import CappingPolicy
+
+
+class AssistedCapController:
+    """DVFS governor driven by live restored power estimates.
+
+    Not a plain :data:`FrequencyController` — it needs the PMC row each
+    second, so it is driven by :func:`run_assisted_capped` rather than
+    ``NodeSimulator.run_controlled``.
+    """
+
+    def __init__(self, spec: PlatformSpec, policy: CappingPolicy,
+                 trr: DynamicTRR) -> None:
+        if policy.cap_w <= spec.min_node_power_w:
+            raise CappingError(
+                f"cap {policy.cap_w} W is below the platform floor"
+            )
+        if trr.model_ is None:
+            raise ValidationError("DynamicTRR must be fitted")
+        self.spec = spec
+        self.policy = policy
+        self._session = trr.session()
+        self._levels = sorted(spec.freq_levels_ghz)
+        self._level_idx = len(self._levels) - 1
+        self.actions: list[tuple[int, float]] = []
+        self.estimates: list[float] = []
+
+    @property
+    def current_freq_ghz(self) -> float:
+        return self._levels[self._level_idx]
+
+    def step(self, t: int, pmc_row: np.ndarray,
+             im_reading: "float | None") -> float:
+        """Advance one second; returns the frequency for the *next* second."""
+        estimate = self._session.step(pmc_row, im_reading)
+        self.estimates.append(estimate)
+        pol = self.policy
+        if t > 0 and t % pol.action_interval_s == 0:
+            if estimate > pol.cap_w and self._level_idx > 0:
+                self._level_idx -= 1
+                self.actions.append((t, self.current_freq_ghz))
+            elif (estimate < pol.cap_w - pol.headroom_w
+                  and self._level_idx < len(self._levels) - 1):
+                self._level_idx += 1
+                self.actions.append((t, self.current_freq_ghz))
+        return self.current_freq_ghz
+
+
+def run_assisted_capped(
+    sim: NodeSimulator,
+    workload: Workload,
+    controller: AssistedCapController,
+    reading_interval_s: int = 10,
+    duration_s: "int | None" = None,
+    run_id: int = 0,
+    sensor_noise_w: float = 0.4,
+    sensor_seed: int = 0,
+) -> TraceBundle:
+    """Closed-loop run where the governor sees restored estimates.
+
+    The simulation is stepwise like ``run_controlled``, but each second the
+    controller additionally receives the PMC row for the *previous* second
+    (counters for second ``t`` are only complete once it has elapsed) and,
+    every ``reading_interval_s`` seconds, a noisy IM reading of it.
+    """
+    rng_name = f"acap.{workload.name}.{run_id}"
+    act_rng = sim._seeds.generator(rng_name + ".activity")
+    cpu_act, mem_int = workload.synthesize(duration_s, act_rng)
+    n = cpu_act.shape[0]
+    stepper = sim.cpu_model.make_stepper(
+        sim._seeds.generator(rng_name + ".cpu"),
+        power_scale=workload.traits.cpu_power_scale,
+    )
+    rest_rng = sim._seeds.generator(rng_name + ".rest.preview")
+    condition = sim._condition(n, sim._seeds.generator(rng_name + ".condition"))
+    p_mem = sim.mem_model.power(
+        mem_int, rest_rng, power_scale=workload.traits.mem_power_scale,
+        condition=condition,
+    )
+    p_other = sim._other_power(n, rest_rng)
+    noise_rng = np.random.default_rng(sensor_seed)
+
+    p_cpu = np.empty(n)
+    p_node = np.empty(n)
+    freq = np.empty(n)
+    current_freq = controller.current_freq_ghz
+    from ..types import PMC_EVENTS
+
+    pmcs = np.zeros((n, len(PMC_EVENTS)))
+    pmc_rng = sim._seeds.generator(rng_name + ".pmc")
+    for t in range(n):
+        freq[t] = current_freq
+        p_cpu[t] = stepper.step(float(cpu_act[t]), current_freq, float(condition[t]))
+        p_node[t] = p_cpu[t] + p_mem[t] + p_other[t]
+        pmcs[t] = sim.pmu_model.counters(
+            cpu_act[t : t + 1], mem_int[t : t + 1], current_freq,
+            workload.traits, pmc_rng,
+        )[0]
+        reading = None
+        if t % reading_interval_s == 0:
+            reading = float(p_node[t] + noise_rng.normal(0.0, sensor_noise_w))
+        current_freq = controller.step(t, pmcs[t], reading)
+
+    from ..types import PMCTrace, PowerTrace
+
+    return TraceBundle(
+        node=PowerTrace(p_node, 1.0, "node"),
+        cpu=PowerTrace(p_cpu, 1.0, "cpu"),
+        mem=PowerTrace(p_mem, 1.0, "mem"),
+        other=PowerTrace(p_other, 1.0, "other"),
+        pmcs=PMCTrace(pmcs, sample_rate_hz=1.0),
+        workload=workload.name,
+        platform=sim.spec.name,
+        metadata={"freq_ghz": freq.copy(), "assisted": True},
+    )

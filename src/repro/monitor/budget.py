@@ -1,0 +1,104 @@
+"""Cluster-level power budgeting on restored estimates.
+
+The paper's introduction motivates power monitoring with cluster energy
+management: a facility cap must be divided across nodes, and the quality
+of that division depends on how current each node's power picture is.
+:class:`ClusterPowerBudget` implements proportional water-filling:
+
+* each node gets at least its floor (idle power — you cannot allocate
+  below what the hardware draws);
+* the remaining budget is split proportionally to *restored demand* (the
+  node's recent HighRPM estimate), iterating so no node exceeds its cap.
+
+This is deliberately simple — the point is that its inputs are per-second
+restored power, which only HighRPM-style monitoring can provide at IPMI
+deployment cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import CappingError, ValidationError
+
+
+@dataclass(frozen=True)
+class NodeDemand:
+    """One node's allocation request."""
+
+    node_id: str
+    demand_w: float  # restored recent power (what it wants)
+    floor_w: float  # idle draw (what it gets no matter what)
+    ceiling_w: float  # its own physical/administrative cap
+
+    def __post_init__(self) -> None:
+        if self.demand_w < 0 or self.floor_w < 0:
+            raise ValidationError("demand and floor must be non-negative")
+        if self.ceiling_w < self.floor_w:
+            raise ValidationError(
+                f"{self.node_id}: ceiling {self.ceiling_w} below floor {self.floor_w}"
+            )
+
+
+class ClusterPowerBudget:
+    """Water-filling allocator over :class:`NodeDemand` entries."""
+
+    def __init__(self, total_budget_w: float) -> None:
+        if total_budget_w <= 0:
+            raise ValidationError("total budget must be positive")
+        self.total_budget_w = float(total_budget_w)
+
+    def allocate(self, demands: "list[NodeDemand]") -> dict[str, float]:
+        """Per-node power allocations summing to ≤ the total budget.
+
+        Raises :class:`CappingError` when the floors alone exceed the
+        budget — the cluster cannot run at this cap.
+        """
+        if not demands:
+            raise ValidationError("no nodes to allocate")
+        ids = [d.node_id for d in demands]
+        if len(set(ids)) != len(ids):
+            raise ValidationError("duplicate node ids")
+        floors = np.array([d.floor_w for d in demands])
+        ceilings = np.array([d.ceiling_w for d in demands])
+        demand = np.array([max(d.demand_w, d.floor_w) for d in demands])
+        demand = np.minimum(demand, ceilings)
+
+        if floors.sum() > self.total_budget_w:
+            raise CappingError(
+                f"node floors ({floors.sum():.0f} W) exceed the cluster "
+                f"budget ({self.total_budget_w:.0f} W)"
+            )
+        # Everyone fits at full demand: grant it.
+        if demand.sum() <= self.total_budget_w:
+            return dict(zip(ids, demand.astype(float)))
+
+        # Water-filling: grant floors, then split the surplus proportionally
+        # to (demand - floor), iterating as nodes hit their ceilings.
+        alloc = floors.astype(float).copy()
+        active = np.ones(len(demands), dtype=bool)
+        remaining = self.total_budget_w - alloc.sum()
+        for _ in range(len(demands) + 1):
+            want = np.where(active, np.maximum(demand - alloc, 0.0), 0.0)
+            total_want = want.sum()
+            if total_want <= 1e-9 or remaining <= 1e-9:
+                break
+            grant = want / total_want * min(remaining, total_want)
+            headroom = ceilings - alloc
+            grant = np.minimum(grant, headroom)
+            alloc += grant
+            remaining = self.total_budget_w - alloc.sum()
+            newly_capped = (ceilings - alloc) <= 1e-9
+            active &= ~newly_capped
+        return dict(zip(ids, alloc))
+
+    def throttle_factors(self, demands: "list[NodeDemand]") -> dict[str, float]:
+        """Allocation ÷ demand per node (1.0 = unthrottled)."""
+        alloc = self.allocate(demands)
+        out = {}
+        for d in demands:
+            want = max(d.demand_w, d.floor_w)
+            out[d.node_id] = min(alloc[d.node_id] / want, 1.0) if want > 0 else 1.0
+        return out

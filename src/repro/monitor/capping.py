@@ -1,0 +1,101 @@
+"""Power capping via DVFS, driven by (possibly slow) power readings.
+
+Reproduces the Fig. 1 experiment setup: the node's power is read once per
+**PI** seconds (power-reading interval) and the capping policy may act once
+per **AI** seconds (action interval). When the last reading exceeds the cap
+the policy steps the frequency down one level; when it is comfortably under
+the cap, it steps back up. Large PI hides spikes; large AI lets excursions
+run long — both raise peak power and total energy, which is exactly the
+paper's motivation for high-resolution monitoring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import CappingError, ValidationError
+from ..hardware.node import NodeSimulator
+from ..hardware.platform import PlatformSpec
+from ..types import TraceBundle
+from ..workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class CappingPolicy:
+    """Cap + timing configuration.
+
+    ``reading_interval_s`` is the paper's PI, ``action_interval_s`` its AI.
+    ``headroom_w`` is how far below the cap a reading must be before the
+    policy dares to raise frequency again.
+    """
+
+    cap_w: float
+    reading_interval_s: int = 1
+    action_interval_s: int = 1
+    headroom_w: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.cap_w <= 0:
+            raise ValidationError("cap_w must be positive")
+        if self.reading_interval_s < 1 or self.action_interval_s < 1:
+            raise ValidationError("intervals must be >= 1 s")
+        if self.headroom_w < 0:
+            raise ValidationError("headroom_w must be >= 0")
+
+
+class PowerCapController:
+    """Stateful DVFS governor implementing :class:`CappingPolicy`.
+
+    Instances are valid :data:`repro.hardware.node.FrequencyController`
+    callables: ``controller(t, node_power_history) -> freq_ghz``.
+    """
+
+    def __init__(self, spec: PlatformSpec, policy: CappingPolicy) -> None:
+        if policy.cap_w <= spec.min_node_power_w:
+            raise CappingError(
+                f"cap {policy.cap_w} W is below the platform floor "
+                f"{spec.min_node_power_w:.1f} W — unreachable"
+            )
+        self.spec = spec
+        self.policy = policy
+        self._levels = sorted(spec.freq_levels_ghz)
+        self._level_idx = len(self._levels) - 1  # start at max frequency
+        self._last_reading: "float | None" = None
+        self.actions: list[tuple[int, float]] = []  # (t, new_freq) log
+
+    @property
+    def current_freq_ghz(self) -> float:
+        return self._levels[self._level_idx]
+
+    def __call__(self, t: int, history: np.ndarray) -> float:
+        pol = self.policy
+        # Sensor path: a new reading becomes visible every PI seconds.
+        if t > 0 and (t % pol.reading_interval_s == 0) and history.shape[0] > 0:
+            self._last_reading = float(history[-1])
+        # Actuation path: the governor may act every AI seconds.
+        if t > 0 and (t % pol.action_interval_s == 0) and self._last_reading is not None:
+            if self._last_reading > pol.cap_w and self._level_idx > 0:
+                self._level_idx -= 1
+                self.actions.append((t, self.current_freq_ghz))
+            elif (
+                self._last_reading < pol.cap_w - pol.headroom_w
+                and self._level_idx < len(self._levels) - 1
+            ):
+                self._level_idx += 1
+                self.actions.append((t, self.current_freq_ghz))
+        return self.current_freq_ghz
+
+
+def run_capped(
+    sim: NodeSimulator,
+    workload: Workload,
+    policy: CappingPolicy,
+    duration_s: "int | None" = None,
+    run_id: int = 0,
+) -> tuple[TraceBundle, PowerCapController]:
+    """Run a workload under a capping policy; returns (bundle, controller)."""
+    controller = PowerCapController(sim.spec, policy)
+    bundle = sim.run_controlled(workload, controller, duration_s, run_id=run_id)
+    return bundle, controller

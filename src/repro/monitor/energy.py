@@ -1,0 +1,48 @@
+"""Energy accounting over power traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ValidationError
+from ..types import PowerTrace
+
+
+def energy_of(trace: PowerTrace) -> float:
+    """Total energy in joules."""
+    return trace.energy_joules()
+
+
+def peak_of(trace: PowerTrace) -> float:
+    """Peak power in watts."""
+    return trace.peak_power()
+
+
+@dataclass(frozen=True)
+class EnergyAccount:
+    """Summary statistics for one run, as the Fig. 1 analysis reports them."""
+
+    energy_j: float
+    mean_w: float
+    peak_w: float
+    time_above_cap_s: float
+    cap_w: "float | None" = None
+
+    @staticmethod
+    def from_trace(trace: PowerTrace, cap_w: "float | None" = None) -> "EnergyAccount":
+        if len(trace) == 0:
+            raise ValidationError("cannot account an empty trace")
+        above = 0.0
+        if cap_w is not None:
+            above = float((trace.values > cap_w).sum() / trace.sample_rate_hz)
+        return EnergyAccount(
+            energy_j=trace.energy_joules(),
+            mean_w=trace.mean_power(),
+            peak_w=trace.peak_power(),
+            time_above_cap_s=above,
+            cap_w=cap_w,
+        )
+
+    @property
+    def energy_kj(self) -> float:
+        return self.energy_j / 1e3

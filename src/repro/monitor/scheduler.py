@@ -1,0 +1,208 @@
+"""Energy-aware job scheduling under a cluster power cap.
+
+The end application the paper's introduction gestures at: a facility cap
+must be enforced while jobs make progress, and the enforcement quality
+depends on how current each node's power picture is. The scheduler here:
+
+* assigns queued jobs to idle nodes (first fit);
+* every second, collects each node's power *demand* — either the true
+  value (oracle), a stale IM reading (hold-last), or a HighRPM-restored
+  estimate — and asks :class:`~repro.monitor.budget.ClusterPowerBudget`
+  for allocations;
+* throttles nodes whose allocation is below demand; a throttled job makes
+  proportionally less progress that second (DVFS-style slowdown), so cap
+  pressure shows up as makespan.
+
+The accompanying bench compares demand sources: better power information
+⇒ less unnecessary throttling ⇒ shorter makespan at equal cap compliance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..types import TraceBundle
+from ..utils.validation import check_positive
+from .budget import ClusterPowerBudget, NodeDemand
+
+
+@dataclass
+class Job:
+    """One queued job: a pre-simulated bundle to 'execute'.
+
+    ``demand_estimates`` optionally supplies what the *monitoring stack
+    believes* the job draws at each second of progress (e.g. HighRPM
+    restored power); when absent the scheduler senses true power. True
+    power is always what is billed and checked against the cap.
+    """
+
+    job_id: str
+    bundle: TraceBundle
+    demand_estimates: "np.ndarray | None" = None
+
+    def __post_init__(self) -> None:
+        if self.demand_estimates is not None:
+            est = np.asarray(self.demand_estimates, dtype=np.float64)
+            if est.shape != (len(self.bundle),):
+                raise ValidationError(
+                    "demand_estimates must have one value per bundle sample"
+                )
+            self.demand_estimates = est
+
+    @property
+    def work_s(self) -> int:
+        return len(self.bundle)
+
+
+@dataclass
+class _Running:
+    job: Job
+    progress_s: float = 0.0  # fractional seconds of work completed
+
+    @property
+    def done(self) -> bool:
+        return self.progress_s >= self.job.work_s - 1e-9
+
+    def _idx(self) -> int:
+        return min(int(self.progress_s), self.job.work_s - 1)
+
+    def power_now(self) -> float:
+        return float(self.job.bundle.node.values[self._idx()])
+
+    def sensed_demand(self) -> float:
+        if self.job.demand_estimates is not None:
+            return float(self.job.demand_estimates[self._idx()])
+        return self.power_now()
+
+
+@dataclass(frozen=True)
+class ScheduleOutcome:
+    """Result of one scheduling run."""
+
+    makespan_s: int
+    energy_kj: float
+    cap_violations_s: int
+    mean_throttle: float
+    completions: tuple[str, ...]
+
+
+class EnergyAwareScheduler:
+    """Discrete-time scheduler with budgeted throttling.
+
+    Parameters
+    ----------
+    node_floors / node_ceilings:
+        Per-node idle draw and per-node cap, keyed by node id.
+    cluster_cap_w:
+        The facility budget enforced every second.
+    demand_staleness_s:
+        How old the demand signal is: 1 models HighRPM-style per-second
+        estimates; 10 models raw IPMI (the reading only refreshes every
+        10 s). ``demand_error_w`` adds estimation noise on top.
+    """
+
+    def __init__(
+        self,
+        node_floors: dict[str, float],
+        node_ceilings: dict[str, float],
+        cluster_cap_w: float,
+        demand_staleness_s: int = 1,
+        demand_error_w: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if set(node_floors) != set(node_ceilings):
+            raise ValidationError("floors and ceilings must cover the same nodes")
+        check_positive(cluster_cap_w, "cluster_cap_w")
+        check_positive(demand_staleness_s, "demand_staleness_s")
+        self.node_floors = dict(node_floors)
+        self.node_ceilings = dict(node_ceilings)
+        self.budget = ClusterPowerBudget(cluster_cap_w)
+        self.cluster_cap_w = float(cluster_cap_w)
+        self.demand_staleness_s = int(demand_staleness_s)
+        self.demand_error_w = float(demand_error_w)
+        self._rng = np.random.default_rng(seed)
+
+    def run(self, jobs: "list[Job]", max_seconds: int = 10000) -> ScheduleOutcome:
+        """Execute the queue to completion (or the time limit)."""
+        if not jobs:
+            raise ValidationError("no jobs to schedule")
+        queue = list(jobs)
+        running: dict[str, _Running] = {}
+        cached_demand: dict[str, float] = {
+            n: self.node_floors[n] for n in self.node_floors
+        }
+        energy_j = 0.0
+        violations = 0
+        throttles: list[float] = []
+        completions: list[str] = []
+
+        for t in range(max_seconds):
+            # Dispatch: fill idle nodes first-fit.
+            for node_id in self.node_floors:
+                if node_id not in running and queue:
+                    running[node_id] = _Running(queue.pop(0))
+            if not running and not queue:
+                return ScheduleOutcome(
+                    makespan_s=t,
+                    energy_kj=energy_j / 1e3,
+                    cap_violations_s=violations,
+                    mean_throttle=float(np.mean(throttles)) if throttles else 1.0,
+                    completions=tuple(completions),
+                )
+
+            # Demand signal: refresh per staleness, with estimation error.
+            if t % self.demand_staleness_s == 0:
+                for node_id in self.node_floors:
+                    sensed = (
+                        running[node_id].sensed_demand()
+                        if node_id in running
+                        else self.node_floors[node_id]
+                    )
+                    err = (
+                        self._rng.normal(0.0, self.demand_error_w)
+                        if self.demand_error_w > 0
+                        else 0.0
+                    )
+                    cached_demand[node_id] = max(sensed + err, 0.0)
+
+            demands = [
+                NodeDemand(n, cached_demand[n], self.node_floors[n],
+                           self.node_ceilings[n])
+                for n in self.node_floors
+            ]
+            allocations = self.budget.allocate(demands)
+
+            # Advance running jobs under their allocations. A node throttled
+            # to ``alloc`` watts runs at progress factor f such that its
+            # power ``floor + f·(p − floor)`` equals the allocation — the
+            # idle floor is not throttleable.
+            busy_now = set(running)
+            total_power = 0.0
+            for node_id in list(running):
+                state = running[node_id]
+                p = state.power_now()
+                floor = self.node_floors[node_id]
+                alloc = allocations[node_id]
+                dyn = max(p - floor, 1e-9)
+                f = float(np.clip((alloc - floor) / dyn, 0.0, 1.0))
+                throttles.append(f)
+                total_power += floor + f * (p - floor)
+                state.progress_s += f
+                if state.done:
+                    completions.append(state.job.job_id)
+                    del running[node_id]
+            # Nodes idle this whole second draw their floor.
+            total_power += sum(
+                self.node_floors[n] for n in self.node_floors if n not in busy_now
+            )
+            energy_j += total_power
+            if total_power > self.cluster_cap_w:
+                violations += 1
+
+        raise ValidationError(
+            f"schedule did not finish within {max_seconds} s "
+            f"({len(queue)} queued, {len(running)} running)"
+        )

@@ -1,0 +1,93 @@
+"""Deployable monitoring service.
+
+The paper deploys HighRPM "as a service on the control node ... shared with
+other computing nodes" (§4.1). :class:`PowerMonitorService` is that service:
+one trained HighRPM instance, many registered nodes, each with its own
+sensors; ``observe_run`` ingests a node's run and appends restored
+high-resolution estimates to that node's log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.highrpm import HighRPM, MonitorResult
+from ..errors import ValidationError
+from ..hardware.platform import PlatformSpec
+from ..sensors.ipmi import IPMISensor
+from ..types import TraceBundle
+
+
+@dataclass
+class MonitorLog:
+    """Accumulated restored estimates for one node."""
+
+    node_id: str
+    p_node: np.ndarray = field(default_factory=lambda: np.empty(0))
+    p_cpu: np.ndarray = field(default_factory=lambda: np.empty(0))
+    p_mem: np.ndarray = field(default_factory=lambda: np.empty(0))
+    runs: list[str] = field(default_factory=list)
+
+    def append(self, result: MonitorResult, workload: str) -> None:
+        self.p_node = np.concatenate([self.p_node, result.p_node])
+        self.p_cpu = np.concatenate([self.p_cpu, result.p_cpu])
+        self.p_mem = np.concatenate([self.p_mem, result.p_mem])
+        self.runs.append(workload)
+
+    def __len__(self) -> int:
+        return int(self.p_node.shape[0])
+
+
+class PowerMonitorService:
+    """One HighRPM model serving many nodes.
+
+    Nodes are registered with their own IPMI sensor (per-node BMCs differ in
+    noise and offset); runs are observed either online (DynamicTRR) or
+    offline (StaticTRR).
+    """
+
+    def __init__(self, model: HighRPM, spec: PlatformSpec) -> None:
+        model._require_fitted()
+        self.model = model
+        self.spec = spec
+        self._nodes: dict[str, IPMISensor] = {}
+        self._logs: dict[str, MonitorLog] = {}
+
+    def register_node(self, node_id: str, sensor: "IPMISensor | None" = None,
+                      seed: int = 0) -> None:
+        if node_id in self._nodes:
+            raise ValidationError(f"node {node_id!r} already registered")
+        self._nodes[node_id] = sensor or IPMISensor(self.spec, seed=seed)
+        self._logs[node_id] = MonitorLog(node_id)
+
+    @property
+    def node_ids(self) -> tuple[str, ...]:
+        return tuple(self._nodes)
+
+    def log(self, node_id: str) -> MonitorLog:
+        try:
+            return self._logs[node_id]
+        except KeyError:
+            raise ValidationError(f"unknown node {node_id!r}") from None
+
+    def observe_run(
+        self, node_id: str, bundle: TraceBundle, online: bool = True
+    ) -> MonitorResult:
+        """Ingest one run from a node; returns the restored estimates."""
+        if node_id not in self._nodes:
+            raise ValidationError(f"unknown node {node_id!r}; register it first")
+        sensor = self._nodes[node_id]
+        readings = sensor.sample(bundle)
+        monitor = self.model.monitor_online if online else self.model.monitor_offline
+        result = monitor(bundle.pmcs.matrix, readings)
+        self._logs[node_id].append(result, bundle.workload)
+        return result
+
+    def adapt(self, node_id: str, bundle: TraceBundle) -> None:
+        """Active-learning round on one node's unlabeled run (§4.1)."""
+        if node_id not in self._nodes:
+            raise ValidationError(f"unknown node {node_id!r}; register it first")
+        readings = self._nodes[node_id].sample(bundle)
+        self.model.active_learning([(bundle.pmcs.matrix, readings)])

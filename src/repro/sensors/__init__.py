@@ -1,0 +1,33 @@
+"""Measurement substrate: every way power data enters the pipeline.
+
+Emulates the paper's three acquisition paths (§5.2, Fig. 6):
+
+* :class:`IPMISensor` — BMC/IPMI integrated measurement: node-level power
+  at one reading per ``miss_interval`` seconds (0.1 Sa/s by default), with
+  quantisation, noise, and readout delay;
+* :class:`DirectPowerSensor` — the jumper-wire direct measurement used as
+  ground truth: per-component power at 1 Sa/s with 0.1 W error;
+* :class:`PMCCollector` — the kernel-module counter sampler (occasional
+  missed samples, held at the last value);
+* :class:`RAPLEmulator` — Intel RAPL energy counters (``energy-pkg`` /
+  ``energy-ram``) with microjoule quantisation and 32-bit wraparound, read
+  at 1 Sa/s via a perf-like diff (used for the x86 evaluation, Table 9);
+* :class:`repro.sensors.hosts.RAPLHostReader` — a best-effort reader of a
+  *real* RAPL sysfs tree, so the library runs unchanged on hosts that have
+  one (it raises :class:`~repro.errors.SensorUnavailableError` here).
+"""
+
+from .base import SparseReadings
+from .direct import DirectPowerSensor
+from .ipmi import IPMISensor
+from .pmc import PMCCollector
+from .rapl import RAPLEmulator, RAPLSample
+
+__all__ = [
+    "SparseReadings",
+    "DirectPowerSensor",
+    "IPMISensor",
+    "PMCCollector",
+    "RAPLEmulator",
+    "RAPLSample",
+]

@@ -1,0 +1,52 @@
+"""Shared sensor types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ValidationError
+
+
+@dataclass(frozen=True)
+class SparseReadings:
+    """Low-rate sensor output aligned to a dense 1 Sa/s timebase.
+
+    ``indices[k]`` is the dense-sample index at which ``values[k]`` became
+    available; ``interval_s`` is the nominal spacing (the paper's
+    ``miss_interval``); ``n_dense`` the length of the underlying dense trace.
+    """
+
+    indices: np.ndarray
+    values: np.ndarray
+    interval_s: int
+    n_dense: int
+
+    def __post_init__(self) -> None:
+        idx = np.asarray(self.indices, dtype=np.int64)
+        vals = np.asarray(self.values, dtype=np.float64)
+        if idx.ndim != 1 or vals.ndim != 1 or idx.shape != vals.shape:
+            raise ValidationError("indices and values must be equal-length 1-D")
+        if idx.shape[0] == 0:
+            raise ValidationError("sparse readings cannot be empty")
+        if (np.diff(idx) <= 0).any():
+            raise ValidationError("indices must be strictly increasing")
+        if idx[0] < 0 or idx[-1] >= self.n_dense:
+            raise ValidationError("indices out of range for n_dense")
+        object.__setattr__(self, "indices", idx)
+        object.__setattr__(self, "values", vals)
+
+    def __len__(self) -> int:
+        return int(self.indices.shape[0])
+
+    @property
+    def times_s(self) -> np.ndarray:
+        """Reading timestamps in seconds (dense timebase is 1 Sa/s)."""
+        return self.indices.astype(np.float64)
+
+    def coverage_mask(self) -> np.ndarray:
+        """Boolean mask over the dense timebase: True where a reading exists."""
+        mask = np.zeros(self.n_dense, dtype=bool)
+        mask[self.indices] = True
+        return mask

@@ -1,0 +1,47 @@
+"""Jumper-wire direct measurement emulation.
+
+On the paper's ARM board, the CPU and power supply are cascaded with a
+jumper wire so registers 0x8b/0x8c expose per-voltage-domain current at
+1 Sa/s with 0.1 W error (§5.2) — an order of magnitude better than the
+vendor tools' 1 W. This is the *ground truth* channel used to train and
+evaluate SRR; it is explicitly not deployable at scale, which is the whole
+reason HighRPM exists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hardware.platform import PlatformSpec
+from ..types import PowerTrace, TraceBundle
+from ..utils.rng import as_generator
+
+
+class DirectPowerSensor:
+    """Reads component power with small gaussian error at full rate."""
+
+    def __init__(
+        self,
+        spec: PlatformSpec,
+        noise_w: "float | None" = None,
+        seed: "int | np.random.Generator | None" = 0,
+    ) -> None:
+        self.spec = spec
+        self.noise_w = float(noise_w if noise_w is not None else spec.direct_noise_w)
+        self._rng = as_generator(seed)
+
+    def _measure(self, trace: PowerTrace) -> PowerTrace:
+        noisy = trace.values + self._rng.normal(0.0, self.noise_w, size=len(trace))
+        return PowerTrace(np.maximum(noisy, 0.0), trace.sample_rate_hz, trace.label)
+
+    def measure_cpu(self, bundle: TraceBundle) -> PowerTrace:
+        """P_CPU at 1 Sa/s with the register-read error."""
+        return self._measure(bundle.cpu)
+
+    def measure_mem(self, bundle: TraceBundle) -> PowerTrace:
+        """P_MEM at 1 Sa/s with the register-read error."""
+        return self._measure(bundle.mem)
+
+    def measure(self, bundle: TraceBundle) -> tuple[PowerTrace, PowerTrace]:
+        """(P_CPU, P_MEM) measured traces."""
+        return self.measure_cpu(bundle), self.measure_mem(bundle)

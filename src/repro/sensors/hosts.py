@@ -1,0 +1,92 @@
+"""Best-effort readers for *real* measurement hosts.
+
+When the library runs on a machine that actually has RAPL (the repro band
+notes the paper "needs a RAPL/perf-counter host"), these readers let the
+same pipeline consume real data. On hosts without the sysfs tree — like the
+container this reproduction was built in — they raise
+:class:`~repro.errors.SensorUnavailableError` and callers fall back to the
+emulators.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from ..errors import SensorUnavailableError
+
+RAPL_SYSFS_ROOT = "/sys/class/powercap"
+
+
+def rapl_available(root: str = RAPL_SYSFS_ROOT) -> bool:
+    """True when an intel-rapl powercap tree exists and is readable."""
+    try:
+        entries = os.listdir(root)
+    except OSError:
+        return False
+    return any(e.startswith("intel-rapl") for e in entries)
+
+
+class RAPLHostReader:
+    """Reads package/DRAM energy from the powercap sysfs interface.
+
+    Each domain exposes ``energy_uj`` (microjoules, wrapping at
+    ``max_energy_range_uj``). ``read_power_w`` takes two reads ``dt`` apart
+    and differentiates, exactly like the emulator's conversion.
+    """
+
+    def __init__(self, root: str = RAPL_SYSFS_ROOT) -> None:
+        if not rapl_available(root):
+            raise SensorUnavailableError(
+                f"no intel-rapl domains under {root!r}; use RAPLEmulator instead"
+            )
+        self.root = root
+        self._domains = self._discover()
+
+    def _discover(self) -> dict[str, str]:
+        domains: dict[str, str] = {}
+        for entry in sorted(os.listdir(self.root)):
+            if not entry.startswith("intel-rapl:"):
+                continue
+            path = os.path.join(self.root, entry)
+            name_file = os.path.join(path, "name")
+            try:
+                with open(name_file) as fh:
+                    name = fh.read().strip()
+            except OSError:
+                continue
+            domains[name] = path
+        if not domains:
+            raise SensorUnavailableError("intel-rapl tree present but unreadable")
+        return domains
+
+    @property
+    def domains(self) -> tuple[str, ...]:
+        return tuple(self._domains)
+
+    def read_energy_uj(self, domain: str) -> int:
+        try:
+            path = self._domains[domain]
+        except KeyError:
+            raise SensorUnavailableError(
+                f"no RAPL domain {domain!r}; have {sorted(self._domains)}"
+            ) from None
+        try:
+            with open(os.path.join(path, "energy_uj")) as fh:
+                return int(fh.read().strip())
+        except (OSError, ValueError) as exc:
+            raise SensorUnavailableError(f"failed reading {domain}: {exc}") from exc
+
+    def read_power_w(self, domain: str, dt_s: float = 1.0) -> float:
+        """Average power over a ``dt_s`` window (blocks for that long)."""
+        e0 = self.read_energy_uj(domain)
+        time.sleep(dt_s)
+        e1 = self.read_energy_uj(domain)
+        if e1 < e0:  # wrapped
+            max_path = os.path.join(self._domains[domain], "max_energy_range_uj")
+            try:
+                with open(max_path) as fh:
+                    e1 += int(fh.read().strip())
+            except (OSError, ValueError):
+                return 0.0
+        return (e1 - e0) / 1e6 / dt_s

@@ -1,0 +1,83 @@
+"""IPMI/BMC integrated-measurement emulation.
+
+GIM solutions read node power through the BMC at ≥10 s intervals (§2.2).
+This sensor models the three error sources the paper attributes to them:
+
+* **low rate** — one reading per ``interval_s`` (default: the platform's
+  ``ipmi_interval_s``, i.e. 0.1 Sa/s);
+* **readout delay** — the value returned at time t is the power-chip
+  accumulator from ``delay_s`` earlier;
+* **coarse reporting** — vendor tools quantise to ~1 W and carry ~0.4 W of
+  chain noise.
+
+Optionally, ``jitter_prob`` drops individual readings (network congestion,
+the §6.4.6 failure mode) so robustness tests can exercise ragged intervals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..hardware.platform import PlatformSpec
+from ..types import TraceBundle
+from ..utils.rng import as_generator
+from ..utils.validation import check_positive
+from .base import SparseReadings
+
+
+class IPMISensor:
+    """Samples node power from a ground-truth bundle the way a BMC would."""
+
+    def __init__(
+        self,
+        spec: PlatformSpec,
+        interval_s: "int | None" = None,
+        noise_w: "float | None" = None,
+        quantum_w: "float | None" = None,
+        delay_s: int = 1,
+        jitter_prob: float = 0.0,
+        seed: "int | np.random.Generator | None" = 0,
+    ) -> None:
+        self.spec = spec
+        self.interval_s = int(interval_s if interval_s is not None else spec.ipmi_interval_s)
+        check_positive(self.interval_s, "interval_s")
+        self.noise_w = float(noise_w if noise_w is not None else spec.ipmi_noise_w)
+        self.quantum_w = float(quantum_w if quantum_w is not None else spec.ipmi_quantum_w)
+        self.delay_s = int(delay_s)
+        if self.delay_s < 0:
+            raise ValidationError("delay_s must be >= 0")
+        if not 0.0 <= jitter_prob < 1.0:
+            raise ValidationError("jitter_prob must lie in [0, 1)")
+        self.jitter_prob = float(jitter_prob)
+        self._rng = as_generator(seed)
+
+    @property
+    def sample_rate_sa_s(self) -> float:
+        """Nominal rate in samples per second (0.1 Sa/s at interval 10)."""
+        return 1.0 / self.interval_s
+
+    def sample(self, bundle: TraceBundle, offset: int = 0) -> SparseReadings:
+        """Produce the sparse node-power readings for one run."""
+        n = len(bundle)
+        if n <= self.delay_s:
+            raise ValidationError(
+                f"trace of {n} samples is shorter than the readout delay"
+            )
+        indices = np.arange(offset, n, self.interval_s, dtype=np.int64)
+        indices = indices[indices >= self.delay_s]
+        if indices.size == 0:
+            raise ValidationError(
+                "no IPMI readings fall inside the trace; lengthen the run"
+            )
+        if self.jitter_prob > 0.0:
+            keep = self._rng.random(indices.shape) >= self.jitter_prob
+            keep[0] = True  # never lose the first reading
+            indices = indices[keep]
+        # Readout delay: the BMC reports the accumulator from delay_s ago.
+        true_vals = bundle.node.values[indices - self.delay_s]
+        vals = true_vals + self._rng.normal(0.0, self.noise_w, size=true_vals.shape)
+        if self.quantum_w > 0:
+            vals = np.round(vals / self.quantum_w) * self.quantum_w
+        vals = np.maximum(vals, 0.0)
+        return SparseReadings(indices=indices, values=vals, interval_s=self.interval_s, n_dense=n)

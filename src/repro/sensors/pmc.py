@@ -1,0 +1,40 @@
+"""Kernel-module PMC collector emulation.
+
+The PMU model already injects counting noise; the collector layer models
+*acquisition* faults: occasionally a 1 s sampling tick is missed (the module
+lost the race with a frequency transition or an NMI) and the previous
+reading is repeated — a hold-last artifact real campaigns exhibit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..types import PMCTrace, TraceBundle
+from ..utils.rng import as_generator
+
+
+class PMCCollector:
+    """Delivers the PMC matrix as the monitoring stack would observe it."""
+
+    def __init__(
+        self,
+        miss_prob: float = 0.01,
+        seed: "int | np.random.Generator | None" = 0,
+    ) -> None:
+        if not 0.0 <= miss_prob < 1.0:
+            raise ValidationError("miss_prob must lie in [0, 1)")
+        self.miss_prob = float(miss_prob)
+        self._rng = as_generator(seed)
+
+    def collect(self, bundle: TraceBundle) -> PMCTrace:
+        """PMC readings with hold-last dropouts applied."""
+        matrix = np.array(bundle.pmcs.matrix)  # writable copy
+        if self.miss_prob > 0.0 and matrix.shape[0] > 1:
+            missed = self._rng.random(matrix.shape[0]) < self.miss_prob
+            missed[0] = False
+            # Hold-last: propagate the previous row into missed ticks.
+            for i in np.flatnonzero(missed):
+                matrix[i] = matrix[i - 1]
+        return PMCTrace(matrix, bundle.pmcs.events, bundle.pmcs.sample_rate_hz)

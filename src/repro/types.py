@@ -1,0 +1,266 @@
+"""Core data containers shared across the library.
+
+The whole pipeline moves three kinds of time series around:
+
+* component/node **power traces** (:class:`PowerTrace`) sampled at a fixed
+  rate, in watts;
+* **PMC traces** (:class:`PMCTrace`) — one row per sample, one column per
+  hardware event from Table 2 of the paper;
+* joint **trace bundles** (:class:`TraceBundle`) as emitted by the node
+  simulator or a measurement campaign: dense ground truth power for node,
+  CPU, and memory plus the aligned PMC matrix.
+
+Containers are immutable views over ``numpy`` arrays (arrays are stored
+read-only) so that models and sensors can share them without defensive
+copies — an idiom the HPC guides insist on (views, not copies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from .errors import ValidationError
+
+#: Hardware performance-counter events used by HighRPM (paper Table 2).
+PMC_EVENTS: tuple[str, ...] = (
+    "CPU_CYCLES",
+    "INST_RETIRED",
+    "BR_PRED",
+    "UOP_RETIRED",
+    "L1I_CACHE_LD",
+    "L1I_CACHE_ST",
+    "LXD_CACHE_LD",
+    "LXD_CACHE_ST",
+    "BUS_ACCESS",
+    "MEM_ACCESS",
+)
+
+
+def _as_readonly(a: np.ndarray, dtype=np.float64, ndim: int = 1) -> np.ndarray:
+    arr = np.asarray(a, dtype=dtype)
+    if arr.ndim != ndim:
+        raise ValidationError(f"expected a {ndim}-D array, got shape {arr.shape}")
+    arr = arr.copy() if arr.flags.writeable and not arr.flags.owndata else np.array(arr)
+    arr.setflags(write=False)
+    return arr
+
+
+@dataclass(frozen=True)
+class PowerTrace:
+    """A uniformly-sampled power time series.
+
+    Parameters
+    ----------
+    values:
+        Power readings in watts, one per sample.
+    sample_rate_hz:
+        Samples per second (the paper works at 1 Sa/s ground truth and
+        0.1 Sa/s IPMI readings).
+    label:
+        Free-form name, e.g. ``"node"``, ``"cpu"``, ``"mem"``.
+    """
+
+    values: np.ndarray
+    sample_rate_hz: float = 1.0
+    label: str = "power"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", _as_readonly(self.values))
+        if not np.isfinite(self.values).all():
+            raise ValidationError(f"power trace {self.label!r} contains non-finite values")
+        if (self.values < 0).any():
+            raise ValidationError(f"power trace {self.label!r} contains negative power")
+        if self.sample_rate_hz <= 0:
+            raise ValidationError("sample_rate_hz must be positive")
+
+    def __len__(self) -> int:
+        return int(self.values.shape[0])
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.values)
+
+    @property
+    def duration_s(self) -> float:
+        """Trace duration in seconds."""
+        return len(self) / self.sample_rate_hz
+
+    @property
+    def times(self) -> np.ndarray:
+        """Sample timestamps in seconds, starting at 0."""
+        return np.arange(len(self)) / self.sample_rate_hz
+
+    def energy_joules(self) -> float:
+        """Total energy via left-Riemann integration of the power curve."""
+        return float(self.values.sum() / self.sample_rate_hz)
+
+    def mean_power(self) -> float:
+        if len(self) == 0:
+            raise ValidationError("empty trace has no mean power")
+        return float(self.values.mean())
+
+    def peak_power(self) -> float:
+        if len(self) == 0:
+            raise ValidationError("empty trace has no peak power")
+        return float(self.values.max())
+
+    def slice(self, start: int, stop: int) -> "PowerTrace":
+        """Return a sub-trace over sample indices ``[start, stop)``."""
+        return PowerTrace(self.values[start:stop], self.sample_rate_hz, self.label)
+
+    def decimate(self, factor: int) -> "PowerTrace":
+        """Keep every ``factor``-th sample (models a slow sensor readout)."""
+        if factor < 1:
+            raise ValidationError("decimation factor must be >= 1")
+        return PowerTrace(
+            self.values[::factor], self.sample_rate_hz / factor, self.label
+        )
+
+    def with_values(self, values: np.ndarray) -> "PowerTrace":
+        """Same metadata, new samples."""
+        return replace(self, values=values)
+
+
+@dataclass(frozen=True)
+class PMCTrace:
+    """Aligned per-sample hardware performance-counter readings.
+
+    ``matrix`` has one row per time step and one column per event in
+    ``events`` (default: the Table-2 event list).
+    """
+
+    matrix: np.ndarray
+    events: tuple[str, ...] = PMC_EVENTS
+    sample_rate_hz: float = 1.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "matrix", _as_readonly(self.matrix, ndim=2))
+        object.__setattr__(self, "events", tuple(self.events))
+        if self.matrix.shape[1] != len(self.events):
+            raise ValidationError(
+                f"PMC matrix has {self.matrix.shape[1]} columns but "
+                f"{len(self.events)} event names"
+            )
+        if not np.isfinite(self.matrix).all():
+            raise ValidationError("PMC matrix contains non-finite values")
+        if (self.matrix < 0).any():
+            raise ValidationError("PMC counts cannot be negative")
+        if self.sample_rate_hz <= 0:
+            raise ValidationError("sample_rate_hz must be positive")
+
+    def __len__(self) -> int:
+        return int(self.matrix.shape[0])
+
+    @property
+    def n_events(self) -> int:
+        return len(self.events)
+
+    def column(self, event: str) -> np.ndarray:
+        """Readings for a single named event."""
+        try:
+            idx = self.events.index(event)
+        except ValueError as exc:
+            raise ValidationError(f"unknown PMC event {event!r}") from exc
+        return self.matrix[:, idx]
+
+    def slice(self, start: int, stop: int) -> "PMCTrace":
+        return PMCTrace(self.matrix[start:stop], self.events, self.sample_rate_hz)
+
+    def select(self, events: Sequence[str]) -> "PMCTrace":
+        """Project onto a subset of events, in the given order."""
+        cols = [self.events.index(e) if e in self.events else -1 for e in events]
+        if any(c < 0 for c in cols):
+            missing = [e for e, c in zip(events, cols) if c < 0]
+            raise ValidationError(f"unknown PMC events: {missing}")
+        return PMCTrace(self.matrix[:, cols], tuple(events), self.sample_rate_hz)
+
+
+@dataclass(frozen=True)
+class TraceBundle:
+    """Everything a measurement campaign yields for one benchmark run.
+
+    All member traces share the same sample rate and length: the dense
+    (1 Sa/s) ground truth. Sparse IM readings are derived downstream by
+    :mod:`repro.sensors`.
+    """
+
+    node: PowerTrace
+    cpu: PowerTrace
+    mem: PowerTrace
+    other: PowerTrace
+    pmcs: PMCTrace
+    workload: str = "unknown"
+    platform: str = "arm"
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        lengths = {len(self.node), len(self.cpu), len(self.mem), len(self.other), len(self.pmcs)}
+        if len(lengths) != 1:
+            raise ValidationError(f"trace bundle members have mismatched lengths: {lengths}")
+        rates = {
+            self.node.sample_rate_hz,
+            self.cpu.sample_rate_hz,
+            self.mem.sample_rate_hz,
+            self.other.sample_rate_hz,
+            self.pmcs.sample_rate_hz,
+        }
+        if len(rates) != 1:
+            raise ValidationError(f"trace bundle members have mismatched rates: {rates}")
+
+    def __len__(self) -> int:
+        return len(self.node)
+
+    @property
+    def sample_rate_hz(self) -> float:
+        return self.node.sample_rate_hz
+
+    def slice(self, start: int, stop: int) -> "TraceBundle":
+        return TraceBundle(
+            node=self.node.slice(start, stop),
+            cpu=self.cpu.slice(start, stop),
+            mem=self.mem.slice(start, stop),
+            other=self.other.slice(start, stop),
+            pmcs=self.pmcs.slice(start, stop),
+            workload=self.workload,
+            platform=self.platform,
+            metadata=dict(self.metadata),
+        )
+
+    def check_additivity(self, atol: float = 1e-6) -> bool:
+        """True when node power equals the sum of component power.
+
+        The simulator guarantees this by construction; measured bundles may
+        carry sensor noise, hence the tolerance.
+        """
+        total = self.cpu.values + self.mem.values + self.other.values
+        return bool(np.allclose(self.node.values, total, atol=atol))
+
+
+def concat_bundles(bundles: Sequence[TraceBundle], workload: str = "concat") -> TraceBundle:
+    """Concatenate bundles end-to-end into one long campaign bundle."""
+    if not bundles:
+        raise ValidationError("cannot concatenate zero bundles")
+    rates = {b.sample_rate_hz for b in bundles}
+    if len(rates) != 1:
+        raise ValidationError(f"bundles have mismatched sample rates: {rates}")
+    events = {b.pmcs.events for b in bundles}
+    if len(events) != 1:
+        raise ValidationError("bundles have mismatched PMC event sets")
+    rate = bundles[0].sample_rate_hz
+    ev = bundles[0].pmcs.events
+
+    def cat(select) -> np.ndarray:
+        return np.concatenate([select(b) for b in bundles])
+
+    return TraceBundle(
+        node=PowerTrace(cat(lambda b: b.node.values), rate, "node"),
+        cpu=PowerTrace(cat(lambda b: b.cpu.values), rate, "cpu"),
+        mem=PowerTrace(cat(lambda b: b.mem.values), rate, "mem"),
+        other=PowerTrace(cat(lambda b: b.other.values), rate, "other"),
+        pmcs=PMCTrace(np.vstack([b.pmcs.matrix for b in bundles]), ev, rate),
+        workload=workload,
+        platform=bundles[0].platform,
+        metadata={"parts": [b.workload for b in bundles]},
+    )

@@ -1,0 +1,32 @@
+"""Shared helpers: seeded RNG plumbing, time-series ops, validation."""
+
+from .rng import SeedSequenceFactory, as_generator
+from .timeseries import (
+    decimate_indices,
+    masked_from_decimation,
+    moving_average,
+    piecewise_hold,
+    sliding_windows,
+)
+from .validation import (
+    check_1d,
+    check_2d,
+    check_consistent_length,
+    check_fraction,
+    check_positive,
+)
+
+__all__ = [
+    "SeedSequenceFactory",
+    "as_generator",
+    "decimate_indices",
+    "masked_from_decimation",
+    "moving_average",
+    "piecewise_hold",
+    "sliding_windows",
+    "check_1d",
+    "check_2d",
+    "check_consistent_length",
+    "check_fraction",
+    "check_positive",
+]

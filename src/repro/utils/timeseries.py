@@ -1,0 +1,78 @@
+"""Time-series primitives used by the TRR dataset builders and sensors.
+
+These are all vectorised (stride-trick windows, boolean masks) per the HPC
+guide: no per-sample Python loops on hot paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from ..errors import ValidationError
+from .validation import check_1d, check_positive
+
+
+def sliding_windows(a: np.ndarray, width: int, step: int = 1) -> np.ndarray:
+    """Overlapping windows over the leading axis, as a zero-copy view.
+
+    Returns shape ``(n_windows, width, *a.shape[1:])``. The result is a view;
+    callers that mutate must copy first.
+    """
+    check_positive(width, "width")
+    check_positive(step, "step")
+    a = np.asarray(a)
+    if a.shape[0] < width:
+        raise ValidationError(
+            f"series of length {a.shape[0]} is shorter than window width {width}"
+        )
+    view = sliding_window_view(a, width, axis=0)
+    # sliding_window_view puts the window axis last; move it after axis 0.
+    view = np.moveaxis(view, -1, 1)
+    return view[::step]
+
+
+def decimate_indices(n: int, interval: int, offset: int = 0) -> np.ndarray:
+    """Indices a slow sensor would sample: every ``interval``-th of ``n``."""
+    check_positive(interval, "interval")
+    if not 0 <= offset < interval:
+        raise ValidationError(f"offset must lie in [0, {interval}), got {offset}")
+    return np.arange(offset, n, interval)
+
+
+def masked_from_decimation(n: int, interval: int, offset: int = 0) -> np.ndarray:
+    """Boolean mask over ``n`` samples: True where the slow sensor observed."""
+    mask = np.zeros(n, dtype=bool)
+    mask[decimate_indices(n, interval, offset)] = True
+    return mask
+
+
+def moving_average(a: np.ndarray, width: int) -> np.ndarray:
+    """Centred moving average with edge shrinkage (same length as input)."""
+    x = check_1d(a, "series")
+    check_positive(width, "width")
+    if width == 1:
+        return x.copy()
+    kernel = np.ones(width)
+    num = np.convolve(x, kernel, mode="same")
+    den = np.convolve(np.ones_like(x), kernel, mode="same")
+    return num / den
+
+
+def piecewise_hold(values: np.ndarray, indices: np.ndarray, n: int) -> np.ndarray:
+    """Zero-order hold: extend sparse readings forward to a dense series.
+
+    ``values[k]`` is held over ``[indices[k], indices[k+1])``; samples before
+    the first index take the first value.
+    """
+    idx = np.asarray(indices, dtype=np.int64)
+    vals = check_1d(values, "values")
+    if idx.shape[0] != vals.shape[0]:
+        raise ValidationError("values and indices must have equal length")
+    if idx.shape[0] == 0:
+        raise ValidationError("need at least one reading to hold")
+    out = np.empty(n, dtype=np.float64)
+    positions = np.searchsorted(idx, np.arange(n), side="right") - 1
+    positions = np.clip(positions, 0, len(vals) - 1)
+    out[:] = vals[positions]
+    return out

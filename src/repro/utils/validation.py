@@ -1,0 +1,51 @@
+"""Argument validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+
+
+def check_1d(a, name: str = "array") -> np.ndarray:
+    """Coerce to a 1-D float array; raise :class:`ValidationError` otherwise."""
+    arr = np.asarray(a, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be 1-D, got shape {arr.shape}")
+    return arr
+
+
+def check_2d(a, name: str = "array") -> np.ndarray:
+    """Coerce to a 2-D float array; raise :class:`ValidationError` otherwise."""
+    arr = np.asarray(a, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise ValidationError(f"{name} must be 2-D, got shape {arr.shape}")
+    return arr
+
+
+def check_consistent_length(*arrays, names: "tuple[str, ...] | None" = None) -> None:
+    """All arrays must share the same first-dimension length."""
+    lengths = [np.asarray(a).shape[0] for a in arrays]
+    if len(set(lengths)) > 1:
+        label = names if names else tuple(f"arg{i}" for i in range(len(arrays)))
+        pairs = ", ".join(f"{n}={l}" for n, l in zip(label, lengths))
+        raise ValidationError(f"inconsistent lengths: {pairs}")
+
+
+def check_positive(value, name: str = "value", strict: bool = True):
+    """Validate a (strictly) positive scalar; returns the value."""
+    if strict and not value > 0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
+    if not strict and not value >= 0:
+        raise ValidationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_fraction(value, name: str = "fraction") -> float:
+    """Validate a scalar in the closed interval [0, 1]."""
+    v = float(value)
+    if not 0.0 <= v <= 1.0:
+        raise ValidationError(f"{name} must lie in [0, 1], got {value!r}")
+    return v

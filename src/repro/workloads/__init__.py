@@ -1,0 +1,32 @@
+"""Synthetic benchmarking workloads.
+
+Stands in for the paper's 96 real benchmarks (§5.3): 43 SPEC CPU 2017,
+36 PARSEC, 12 HPCC, 2 Graph500, plus HPL-AI, SMG2000, and HPCG. Each
+catalog entry is a phase-structured activity program with hidden
+microarchitectural traits, so suites differ in distribution — which is what
+the Table-3 seen/unseen protocol actually relies on.
+"""
+
+from .base import Workload
+from .catalog import (
+    BenchmarkCatalog,
+    SUITE_SIZES,
+    default_catalog,
+    table3_splits,
+)
+from .phases import Phase, burst_train, constant, periodic
+from .traces import TraceWorkload, load_trace_csv
+
+__all__ = [
+    "Workload",
+    "Phase",
+    "constant",
+    "periodic",
+    "burst_train",
+    "BenchmarkCatalog",
+    "SUITE_SIZES",
+    "default_catalog",
+    "table3_splits",
+    "TraceWorkload",
+    "load_trace_csv",
+]

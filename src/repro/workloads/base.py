@@ -1,0 +1,84 @@
+"""Workload: a named sequence of phases plus hidden traits.
+
+``synthesize`` walks the phase program, repeating it if the requested
+duration exceeds one pass (benchmarks in the paper run 60 s to an hour and
+are loop-dominated, so repetition is the realistic extension).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import numpy as np
+
+from ..errors import ValidationError
+from ..hardware.pmu import WorkloadTraits
+from ..utils.rng import as_generator
+from .phases import Phase
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A benchmark's activity program.
+
+    Attributes
+    ----------
+    name / suite:
+        Catalog identity, e.g. ``("spec_gcc_03", "SPEC")``.
+    phases:
+        The phase program, executed in order and repeated as needed.
+    traits:
+        Hidden microarchitectural character (drives PMC generation).
+    """
+
+    name: str
+    suite: str
+    phases: tuple[Phase, ...]
+    traits: WorkloadTraits = field(default_factory=WorkloadTraits)
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValidationError(f"workload {self.name!r} has no phases")
+        object.__setattr__(self, "phases", tuple(self.phases))
+
+    @property
+    def nominal_duration_s(self) -> int:
+        """Length of one pass through the phase program."""
+        return sum(p.duration_s for p in self.phases)
+
+    def synthesize(
+        self,
+        duration_s: "int | None" = None,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(cpu_activity, mem_intensity) arrays at 1 Sa/s.
+
+        When ``duration_s`` is None, one pass of the program is produced.
+        Longer requests repeat the program with fresh randomness per pass
+        (run-to-run variation of the same benchmark).
+        """
+        g = as_generator(rng)
+        total = self.nominal_duration_s if duration_s is None else int(duration_s)
+        if total < 1:
+            raise ValidationError("duration_s must be >= 1")
+        cpu_parts: list[np.ndarray] = []
+        mem_parts: list[np.ndarray] = []
+        produced = 0
+        while produced < total:
+            for phase in self.phases:
+                c, m = phase.synthesize(g)
+                cpu_parts.append(c)
+                mem_parts.append(m)
+                produced += phase.duration_s
+                if produced >= total:
+                    break
+        cpu = np.concatenate(cpu_parts)[:total]
+        mem = np.concatenate(mem_parts)[:total]
+        return cpu, mem
+
+
+def mean_intensities(workload: Workload) -> tuple[float, float]:
+    """Duration-weighted mean (cpu, mem) baselines of the phase program."""
+    total = workload.nominal_duration_s
+    cpu = sum(p.cpu * p.duration_s for p in workload.phases) / total
+    mem = sum(p.mem * p.duration_s for p in workload.phases) / total
+    return cpu, mem

@@ -1,0 +1,125 @@
+"""The 96-benchmark catalog and the Table-3 seen/unseen split protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import WorkloadError
+from ..utils.rng import SeedSequenceFactory
+from .base import Workload
+from .suites import build_suite
+
+#: Benchmark counts per suite (§5.3 of the paper).
+SUITE_SIZES: dict[str, int] = {
+    "SPEC": 43,
+    "PARSEC": 36,
+    "HPCC": 12,
+    "Graph500": 2,
+    "HPL-AI": 1,
+    "SMG2000": 1,
+    "HPCG": 1,
+}
+
+#: Suite rotation order used in Table 3 (each row holds one suite out as the
+#: unseen test set).
+TABLE3_TEST_SUITES: tuple[str, ...] = (
+    "HPCG",
+    "SMG2000",
+    "HPL-AI",
+    "Graph500",
+    "HPCC",
+    "PARSEC",
+    "SPEC",
+)
+
+
+@dataclass(frozen=True)
+class SuiteSplit:
+    """One Table-3 row: the held-out suite and the remaining training pool."""
+
+    test_suite: str
+    train_suites: tuple[str, ...]
+
+
+def table3_splits() -> tuple[SuiteSplit, ...]:
+    """The seven train/test suite combinations from Table 3."""
+    all_suites = tuple(SUITE_SIZES)
+    return tuple(
+        SuiteSplit(
+            test_suite=t,
+            train_suites=tuple(s for s in all_suites if s != t),
+        )
+        for t in TABLE3_TEST_SUITES
+    )
+
+
+class BenchmarkCatalog:
+    """The full 96-benchmark collection, built deterministically from a seed.
+
+    The catalog is the single source of workload identity for the whole
+    evaluation: experiments ask it for suites or individual benchmarks and
+    derive measurement seeds from its factory, so two runs with the same
+    root seed produce byte-identical campaigns.
+    """
+
+    def __init__(self, seed: int = 2023) -> None:
+        self._seeds = SeedSequenceFactory(seed).child("catalog")
+        self._by_suite: dict[str, list[Workload]] = {
+            suite: build_suite(suite, self._seeds) for suite in SUITE_SIZES
+        }
+        for suite, expected in SUITE_SIZES.items():
+            actual = len(self._by_suite[suite])
+            if actual != expected:
+                raise WorkloadError(
+                    f"suite {suite} built {actual} workloads, expected {expected}"
+                )
+        self._by_name: dict[str, Workload] = {}
+        for workloads in self._by_suite.values():
+            for w in workloads:
+                if w.name in self._by_name:
+                    raise WorkloadError(f"duplicate workload name {w.name!r}")
+                self._by_name[w.name] = w
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __iter__(self):
+        return iter(self._by_name.values())
+
+    @property
+    def suites(self) -> tuple[str, ...]:
+        return tuple(self._by_suite)
+
+    def suite(self, name: str) -> list[Workload]:
+        """All workloads in one suite."""
+        try:
+            return list(self._by_suite[name])
+        except KeyError:
+            raise WorkloadError(
+                f"unknown suite {name!r}; known: {sorted(self._by_suite)}"
+            ) from None
+
+    def get(self, name: str) -> Workload:
+        """One workload by its catalog name (e.g. ``"hpcc_fft"``)."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise WorkloadError(f"unknown workload {name!r}") from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._by_name)
+
+    def split(self, test_suite: str) -> tuple[list[Workload], list[Workload]]:
+        """(train, test) workload lists for one Table-3 row."""
+        if test_suite not in self._by_suite:
+            raise WorkloadError(f"unknown suite {test_suite!r}")
+        train: list[Workload] = []
+        for s, workloads in self._by_suite.items():
+            if s != test_suite:
+                train.extend(workloads)
+        return train, list(self._by_suite[test_suite])
+
+
+def default_catalog(seed: int = 2023) -> BenchmarkCatalog:
+    """The catalog used by all examples and benchmarks."""
+    return BenchmarkCatalog(seed)

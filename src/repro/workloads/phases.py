@@ -1,0 +1,151 @@
+"""Phase primitives: the building blocks of a workload's activity program.
+
+A phase describes a stretch of execution with a characteristic CPU/memory
+intensity, optional periodic modulation (program loops ⇒ the long-term
+trends TRR's spline captures) and optional bursts (phase changes ⇒ the
+short-term fluctuations the ResModel captures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..utils.rng import as_generator
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One homogeneous region of a workload.
+
+    Parameters
+    ----------
+    duration_s:
+        Length of the phase in seconds (samples at 1 Sa/s).
+    cpu, mem:
+        Baseline CPU activity and memory intensity, both in [0, 1].
+    cpu_amp, mem_amp:
+        Amplitude of sinusoidal modulation (program main-loop breathing).
+    period_s:
+        Modulation period; ignored when both amplitudes are 0.
+    burst_rate:
+        Expected bursts per 100 s (Poisson). Bursts are short ±spikes.
+    burst_mag:
+        Burst magnitude in activity units.
+    wander:
+        Std-dev of the AR(1) random walk layered on the baseline.
+    """
+
+    duration_s: int
+    cpu: float
+    mem: float
+    cpu_amp: float = 0.0
+    mem_amp: float = 0.0
+    period_s: float = 40.0
+    burst_rate: float = 2.0
+    burst_mag: float = 0.25
+    wander: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.duration_s < 1:
+            raise ValidationError("phase duration must be >= 1 s")
+        for name in ("cpu", "mem"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValidationError(f"{name} must lie in [0, 1], got {v}")
+        if self.period_s <= 0:
+            raise ValidationError("period_s must be positive")
+        if self.burst_rate < 0 or self.burst_mag < 0 or self.wander < 0:
+            raise ValidationError("burst/wander parameters must be non-negative")
+
+    def synthesize(
+        self, rng: "int | np.random.Generator | None" = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-second (cpu_activity, mem_intensity) arrays for this phase."""
+        g = as_generator(rng)
+        n = self.duration_s
+        t = np.arange(n, dtype=np.float64)
+        phase0 = g.uniform(0, 2 * np.pi)
+
+        def channel(base: float, amp: float, anti: bool) -> np.ndarray:
+            wave = amp * np.sin(2 * np.pi * t / self.period_s + phase0 + (np.pi if anti else 0.0))
+            # Slow AR(1) wander with stationary std = self.wander: activity
+            # meanders smoothly at the seconds scale (abrupt changes come
+            # from bursts and phase boundaries, not from this term).
+            rho = 0.97
+            eps = g.normal(0.0, self.wander * np.sqrt(1 - rho**2), size=n)
+            drift = np.empty(n)
+            acc = 0.0
+            for i in range(n):
+                acc = rho * acc + eps[i]
+                drift[i] = acc
+            return base + wave + drift
+
+        cpu = channel(self.cpu, self.cpu_amp, anti=False)
+        # Memory modulation runs in anti-phase with CPU: loop bodies
+        # alternate compute-heavy and data-movement regions.
+        mem = channel(self.mem, self.mem_amp, anti=True)
+
+        # Bursts: Poisson arrivals of 1–3 s spikes on one or both channels.
+        n_bursts = g.poisson(self.burst_rate * n / 100.0)
+        for _ in range(n_bursts):
+            start = int(g.integers(0, n))
+            width = int(g.integers(1, 4))
+            sign = 1.0 if g.random() < 0.5 else -1.0
+            mag = self.burst_mag * g.uniform(0.5, 1.5)
+            target = g.random()
+            if target < 0.45:
+                cpu[start : start + width] += sign * mag
+            elif target < 0.9:
+                mem[start : start + width] += sign * mag
+            else:
+                cpu[start : start + width] += sign * mag
+                mem[start : start + width] -= sign * mag * 0.5
+        return np.clip(cpu, 0.0, 1.0), np.clip(mem, 0.0, 1.0)
+
+
+def constant(duration_s: int, cpu: float, mem: float, **kw) -> Phase:
+    """A flat phase (idle regions, fixed kernels)."""
+    return Phase(duration_s=duration_s, cpu=cpu, mem=mem, **kw)
+
+
+def periodic(
+    duration_s: int,
+    cpu: float,
+    mem: float,
+    cpu_amp: float = 0.15,
+    mem_amp: float = 0.1,
+    period_s: float = 40.0,
+    **kw,
+) -> Phase:
+    """A loop-dominated phase with visible power breathing."""
+    return Phase(
+        duration_s=duration_s,
+        cpu=cpu,
+        mem=mem,
+        cpu_amp=cpu_amp,
+        mem_amp=mem_amp,
+        period_s=period_s,
+        **kw,
+    )
+
+
+def burst_train(
+    duration_s: int,
+    cpu: float,
+    mem: float,
+    burst_rate: float = 12.0,
+    burst_mag: float = 0.35,
+    **kw,
+) -> Phase:
+    """A spiky phase (BFS frontier expansion, GC pauses, I/O waits)."""
+    return Phase(
+        duration_s=duration_s,
+        cpu=cpu,
+        mem=mem,
+        burst_rate=burst_rate,
+        burst_mag=burst_mag,
+        **kw,
+    )

@@ -1,0 +1,103 @@
+"""Replay externally-recorded activity traces as workloads.
+
+Users with real utilisation logs (e.g. exported from collectd or a job
+profiler) can replay them through the simulator instead of the synthetic
+catalog: a CSV with ``cpu`` and ``mem`` columns in [0, 1] becomes a
+:class:`TraceWorkload` usable anywhere a catalog workload is.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ValidationError, WorkloadError
+from ..hardware.pmu import WorkloadTraits
+from ..utils.rng import as_generator
+from ..utils.validation import check_1d, check_consistent_length
+
+
+@dataclass(frozen=True)
+class TraceWorkload:
+    """A workload defined by recorded per-second activity arrays.
+
+    Duck-types the parts of :class:`repro.workloads.base.Workload` the
+    simulator uses (``name``, ``traits``, ``synthesize``,
+    ``nominal_duration_s``). Replays are deterministic; requests longer
+    than the recording loop it.
+    """
+
+    name: str
+    cpu_activity: np.ndarray
+    mem_intensity: np.ndarray
+    traits: WorkloadTraits = field(default_factory=WorkloadTraits)
+    suite: str = "TRACE"
+
+    def __post_init__(self) -> None:
+        cpu = check_1d(self.cpu_activity, "cpu_activity")
+        mem = check_1d(self.mem_intensity, "mem_intensity")
+        check_consistent_length(cpu, mem, names=("cpu_activity", "mem_intensity"))
+        if cpu.shape[0] < 1:
+            raise ValidationError("trace must contain at least one sample")
+        for label, a in (("cpu_activity", cpu), ("mem_intensity", mem)):
+            if ((a < 0) | (a > 1)).any():
+                raise ValidationError(f"{label} must lie in [0, 1]")
+        object.__setattr__(self, "cpu_activity", cpu)
+        object.__setattr__(self, "mem_intensity", mem)
+
+    @property
+    def nominal_duration_s(self) -> int:
+        return int(self.cpu_activity.shape[0])
+
+    def synthesize(
+        self,
+        duration_s: "int | None" = None,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Replay (looped/truncated to ``duration_s``); rng is unused —
+        recorded traces are replayed verbatim."""
+        total = self.nominal_duration_s if duration_s is None else int(duration_s)
+        if total < 1:
+            raise ValidationError("duration_s must be >= 1")
+        reps = -(-total // self.nominal_duration_s)  # ceil division
+        cpu = np.tile(self.cpu_activity, reps)[:total]
+        mem = np.tile(self.mem_intensity, reps)[:total]
+        return cpu.copy(), mem.copy()
+
+
+def load_trace_csv(
+    path: str,
+    name: "str | None" = None,
+    traits_seed: "int | None" = None,
+) -> TraceWorkload:
+    """Build a :class:`TraceWorkload` from a CSV with cpu/mem columns.
+
+    Values outside [0, 1] are rejected (normalise utilisation before
+    export). When ``traits_seed`` is given, hidden microarchitectural
+    traits are drawn for the replay; otherwise neutral defaults are used.
+    """
+    cpu, mem = [], []
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames is None or not {"cpu", "mem"} <= set(reader.fieldnames):
+            raise WorkloadError("trace CSV needs 'cpu' and 'mem' columns")
+        for row in reader:
+            cpu.append(float(row["cpu"]))
+            mem.append(float(row["mem"]))
+    if not cpu:
+        raise WorkloadError(f"trace CSV {path!r} has no rows")
+    traits = (
+        WorkloadTraits.random(as_generator(traits_seed))
+        if traits_seed is not None
+        else WorkloadTraits()
+    )
+    import os
+
+    return TraceWorkload(
+        name=name or os.path.splitext(os.path.basename(path))[0],
+        cpu_activity=np.asarray(cpu),
+        mem_intensity=np.asarray(mem),
+        traits=traits,
+    )

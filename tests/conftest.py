@@ -1,0 +1,54 @@
+"""Shared fixtures: a small deterministic campaign every suite can reuse.
+
+Session-scoped so the simulator runs once; tests must not mutate the
+returned bundles (their arrays are read-only by construction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware import ARM_PLATFORM, X86_PLATFORM, NodeSimulator
+from repro.sensors import IPMISensor
+from repro.workloads import default_catalog
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    return default_catalog(seed=77)
+
+
+@pytest.fixture(scope="session")
+def arm_sim():
+    return NodeSimulator(ARM_PLATFORM, seed=11)
+
+
+@pytest.fixture(scope="session")
+def x86_sim():
+    return NodeSimulator(X86_PLATFORM, seed=12)
+
+
+@pytest.fixture(scope="session")
+def small_bundle(arm_sim, catalog):
+    """One 150 s FFT run on the ARM platform."""
+    return arm_sim.run(catalog.get("hpcc_fft"), duration_s=150)
+
+
+@pytest.fixture(scope="session")
+def train_bundles(arm_sim, catalog):
+    """Six 120 s runs spanning compute- and memory-bound behaviour."""
+    names = ["spec_gcc", "spec_mcf", "parsec_ferret", "hpcc_hpl",
+             "hpcc_stream", "parsec_radix"]
+    return [arm_sim.run(catalog.get(n), duration_s=120) for n in names]
+
+
+@pytest.fixture(scope="session")
+def ipmi_readings(small_bundle):
+    sensor = IPMISensor(ARM_PLATFORM, seed=5)
+    return sensor.sample(small_bundle)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(123)

@@ -1,0 +1,81 @@
+"""Repository-quality gates: docstrings and public API hygiene."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro", "repro.attribution", "repro.core", "repro.eval", "repro.gpu",
+    "repro.hardware", "repro.interp", "repro.ml", "repro.monitor",
+    "repro.sensors", "repro.utils", "repro.workloads",
+]
+
+
+def _all_modules():
+    seen = []
+    for pkg_name in PACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        seen.append(pkg)
+        if hasattr(pkg, "__path__"):
+            for info in pkgutil.iter_modules(pkg.__path__):
+                seen.append(importlib.import_module(f"{pkg_name}.{info.name}"))
+    return {m.__name__: m for m in seen}.values()
+
+
+class TestDocstrings:
+    def test_every_module_documented(self):
+        undocumented = [
+            m.__name__ for m in _all_modules() if not (m.__doc__ or "").strip()
+        ]
+        assert undocumented == []
+
+    def test_every_public_class_documented(self):
+        missing = []
+        for module in _all_modules():
+            for name, obj in vars(module).items():
+                if name.startswith("_") or not inspect.isclass(obj):
+                    continue
+                if obj.__module__ != module.__name__:
+                    continue  # re-export
+                if not (obj.__doc__ or "").strip():
+                    missing.append(f"{module.__name__}.{name}")
+        assert missing == []
+
+    def test_every_public_function_documented(self):
+        missing = []
+        for module in _all_modules():
+            for name, obj in vars(module).items():
+                if name.startswith("_") or not inspect.isfunction(obj):
+                    continue
+                if obj.__module__ != module.__name__:
+                    continue
+                if not (obj.__doc__ or "").strip():
+                    missing.append(f"{module.__name__}.{name}")
+        assert missing == []
+
+
+class TestPublicAPI:
+    def test_top_level_all_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_all_resolves(self):
+        for pkg_name in PACKAGES[1:]:
+            pkg = importlib.import_module(pkg_name)
+            for name in getattr(pkg, "__all__", []):
+                assert hasattr(pkg, name), f"{pkg_name}.{name}"
+
+    def test_version_present(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_exceptions_share_base(self):
+        from repro import errors
+
+        for name, obj in vars(errors).items():
+            if inspect.isclass(obj) and issubclass(obj, Exception) \
+                    and obj is not errors.ReproError:
+                assert issubclass(obj, errors.ReproError), name

@@ -1,0 +1,81 @@
+"""Tests for the ARIMA forecaster."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError, ValidationError
+from repro.interp import ARIMAForecaster
+from repro.interp.arima import difference, undifference
+
+
+class TestDifferencing:
+    def test_difference_roundtrip(self, rng):
+        y = rng.normal(size=30).cumsum() + 50
+        z = difference(y, 1)
+        back = undifference(z, y[:1], 1)
+        np.testing.assert_allclose(back, y[1:], atol=1e-10)
+
+    def test_second_difference(self):
+        y = np.array([1.0, 4.0, 9.0, 16.0, 25.0])  # squares
+        z = difference(y, 2)
+        np.testing.assert_allclose(z, 2.0)  # constant second difference
+
+
+class TestARIMA:
+    def test_recovers_ar1_on_stationary_series(self, rng):
+        n = 800
+        y = np.zeros(n)
+        for i in range(1, n):
+            y[i] = 5.0 + 0.7 * y[i - 1] + rng.normal(0, 0.3)
+        model = ARIMAForecaster(order=(1, 0, 0)).fit(y)
+        assert model.phi_[0] == pytest.approx(0.7, abs=0.07)
+
+    def test_forecast_constant_series_with_d1(self):
+        model = ARIMAForecaster(order=(1, 1, 0)).fit(np.full(60, 42.0))
+        np.testing.assert_allclose(model.forecast(5), 42.0, atol=1e-6)
+
+    def test_forecast_linear_trend_with_d1(self):
+        y = 10.0 + 2.0 * np.arange(80.0)
+        model = ARIMAForecaster(order=(1, 1, 0)).fit(y)
+        fc = model.forecast(4)
+        expect = 10.0 + 2.0 * np.arange(80, 84)
+        np.testing.assert_allclose(fc, expect, rtol=0.05)
+
+    def test_forecast_length_and_finiteness(self, rng):
+        y = 50 + rng.normal(size=120).cumsum()
+        model = ARIMAForecaster(order=(2, 1, 1)).fit(y)
+        fc = model.forecast(12)
+        assert fc.shape == (12,)
+        assert np.isfinite(fc).all()
+
+    def test_in_sample_tracks_smooth_signal(self):
+        t = np.linspace(0, 6 * np.pi, 300)
+        y = 80 + 10 * np.sin(t)
+        model = ARIMAForecaster(order=(2, 1, 0)).fit(y)
+        fitted = model.predict_in_sample()
+        assert np.abs(fitted - y[1:]).mean() < 1.0
+
+    def test_ma_component_fits_noise_structure(self, rng):
+        # MA(1): y_t = eps_t + 0.6 eps_{t-1}
+        eps = rng.normal(0, 1.0, 600)
+        y = eps[1:] + 0.6 * eps[:-1]
+        model = ARIMAForecaster(order=(0, 0, 1)).fit(y)
+        assert model.theta_[0] == pytest.approx(0.6, abs=0.12)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ARIMAForecaster(order=(0, 0, 0))
+        with pytest.raises(ValidationError):
+            ARIMAForecaster(order=(-1, 0, 1))
+        with pytest.raises(ValidationError):
+            ARIMAForecaster(order=(2, 1, 1)).fit(np.arange(4.0))
+
+    def test_forecast_before_fit(self):
+        with pytest.raises(NotFittedError):
+            ARIMAForecaster().forecast(3)
+
+    def test_d2_in_sample_unsupported(self, rng):
+        y = rng.normal(size=60).cumsum().cumsum()
+        model = ARIMAForecaster(order=(1, 2, 0)).fit(y)
+        with pytest.raises(ValidationError):
+            model.predict_in_sample()

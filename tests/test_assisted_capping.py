@@ -1,0 +1,63 @@
+"""Tests for the model-assisted capping controller."""
+
+import numpy as np
+import pytest
+
+from repro.core import DynamicTRR, HighRPMConfig
+from repro.errors import CappingError, ValidationError
+from repro.hardware import ARM_PLATFORM, NodeSimulator
+from repro.monitor import AssistedCapController, CappingPolicy, run_assisted_capped
+
+
+@pytest.fixture(scope="module")
+def trained_trr(arm_sim, catalog):
+    train = [arm_sim.run(catalog.get(n), duration_s=120)
+             for n in ("spec_gcc", "spec_mcf", "hpcc_hpl", "hpcc_stream")]
+    trr = DynamicTRR(HighRPMConfig(miss_interval=10, lstm_iters=200, seed=5))
+    trr.fit(train, p_bottom=ARM_PLATFORM.min_node_power_w,
+            p_upper=ARM_PLATFORM.max_node_power_w)
+    return trr
+
+
+class TestAssistedController:
+    def test_requires_fitted_model(self):
+        with pytest.raises(ValidationError):
+            AssistedCapController(ARM_PLATFORM, CappingPolicy(75.0), DynamicTRR())
+
+    def test_unreachable_cap_rejected(self, trained_trr):
+        with pytest.raises(CappingError):
+            AssistedCapController(
+                ARM_PLATFORM,
+                CappingPolicy(ARM_PLATFORM.min_node_power_w - 1), trained_trr,
+            )
+
+    def test_downshifts_on_high_estimate(self, trained_trr, small_bundle):
+        ctl = AssistedCapController(ARM_PLATFORM, CappingPolicy(40.0), trained_trr)
+        # Feed a few seconds with a reading far above the (low) cap.
+        f = ctl.current_freq_ghz
+        for t in range(3):
+            f = ctl.step(t, small_bundle.pmcs.matrix[t], 95.0 if t == 0 else None)
+        assert f < ARM_PLATFORM.default_freq_ghz
+        assert len(ctl.actions) >= 1
+
+    def test_run_assisted_produces_valid_bundle(self, trained_trr, catalog):
+        sim = NodeSimulator(ARM_PLATFORM, seed=33)
+        ctl = AssistedCapController(ARM_PLATFORM, CappingPolicy(75.0), trained_trr)
+        bundle = run_assisted_capped(
+            sim, catalog.get("graph500_bfs"), ctl,
+            reading_interval_s=10, duration_s=120,
+        )
+        assert len(bundle) == 120
+        assert bundle.check_additivity(atol=1e-9)
+        assert bundle.metadata["assisted"] is True
+        assert len(ctl.estimates) == 120
+
+    def test_capping_actually_engages(self, trained_trr, catalog):
+        sim = NodeSimulator(ARM_PLATFORM, seed=33)
+        ctl = AssistedCapController(ARM_PLATFORM, CappingPolicy(70.0), trained_trr)
+        bundle = run_assisted_capped(
+            sim, catalog.get("graph500_bfs"), ctl,
+            reading_interval_s=10, duration_s=150,
+        )
+        freqs = bundle.metadata["freq_ghz"]
+        assert (freqs < ARM_PLATFORM.default_freq_ghz).any()

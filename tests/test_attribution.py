@@ -1,0 +1,116 @@
+"""Tests for co-location simulation and per-job power attribution."""
+
+import numpy as np
+import pytest
+
+from repro.attribution import ColocationSimulator, PerJobAttributor
+from repro.errors import NotFittedError, ValidationError
+from repro.hardware import ARM_PLATFORM
+from repro.ml import mape
+
+
+@pytest.fixture(scope="module")
+def colo_sim():
+    return ColocationSimulator(ARM_PLATFORM, seed=19)
+
+
+@pytest.fixture(scope="module")
+def mix(colo_sim, catalog):
+    pair = [catalog.get("hpcc_hpl"), catalog.get("hpcc_stream")]
+    return colo_sim.run(pair, duration_s=150)
+
+
+@pytest.fixture(scope="module")
+def attributor(arm_sim, catalog):
+    solo = [arm_sim.run(catalog.get(n), duration_s=120)
+            for n in ("spec_gcc", "spec_mcf", "hpcc_hpl",
+                      "hpcc_stream", "parsec_ferret", "parsec_radix")]
+    return PerJobAttributor(ARM_PLATFORM).fit(solo)
+
+
+class TestColocationSimulator:
+    def test_attribution_sums_to_cpu_power(self, mix):
+        assert mix.check_attribution_sums(atol=1e-9)
+
+    def test_node_additivity(self, mix):
+        total = mix.cpu.values + mix.mem.values + mix.other.values
+        np.testing.assert_allclose(mix.node.values, total, atol=1e-9)
+
+    def test_node_pmcs_are_job_sums(self, mix):
+        summed = np.sum([p.matrix for p in mix.job_pmcs], axis=0)
+        np.testing.assert_allclose(mix.pmcs.matrix, summed, atol=1e-6)
+
+    def test_contention_saturates_activity(self, mix):
+        effective = mix.metadata["effective_activity"]
+        assert (effective.sum(axis=0) <= 1.0 + 1e-9).all()
+
+    def test_cpu_heavy_job_gets_more_power(self, mix):
+        # hpl (compute) should be attributed more CPU power than stream.
+        hpl, stream = mix.job_cpu_power
+        assert hpl.values.mean() > stream.values.mean()
+
+    def test_needs_two_workloads(self, colo_sim, catalog):
+        with pytest.raises(ValidationError):
+            colo_sim.run([catalog.get("hpcg")], duration_s=30)
+
+    def test_duplicate_names_rejected(self, colo_sim, catalog):
+        w = catalog.get("hpcg")
+        with pytest.raises(ValidationError):
+            colo_sim.run([w, w], duration_s=30)
+
+    def test_three_way_mix(self, colo_sim, catalog):
+        mix3 = colo_sim.run(
+            [catalog.get("spec_gcc"), catalog.get("hpcc_stream"),
+             catalog.get("hpcg")], duration_s=80,
+        )
+        assert mix3.n_jobs == 3
+        assert mix3.check_attribution_sums(atol=1e-9)
+
+
+class TestPerJobAttributor:
+    def test_attribution_conserves_total(self, attributor, mix):
+        parts = attributor.attribute_bundle(mix)
+        total = np.sum(parts, axis=0)
+        np.testing.assert_allclose(total, mix.cpu.values, atol=1e-9)
+
+    def test_accuracy_against_ground_truth(self, attributor, mix):
+        parts = attributor.attribute_bundle(mix)
+        for est, truth in zip(parts, mix.job_cpu_power):
+            assert mape(truth.values, est) < 30.0
+
+    def test_better_than_equal_split(self, attributor, mix):
+        parts = attributor.attribute_bundle(mix)
+        equal = mix.cpu.values / mix.n_jobs
+        model_err = sum(
+            mape(t.values, e) for t, e in zip(mix.job_cpu_power, parts)
+        )
+        equal_err = sum(
+            mape(t.values, equal) for t in mix.job_cpu_power
+        )
+        assert model_err < equal_err
+
+    def test_demand_nonnegative(self, attributor, mix):
+        d = attributor.demand(mix.job_pmcs[0].matrix)
+        assert (d >= 0).all()
+
+    def test_with_restored_cpu_power(self, attributor, mix, rng):
+        # Restored totals carry error; attribution must still conserve them.
+        restored = mix.cpu.values * (1 + rng.normal(0, 0.03, len(mix)))
+        restored = np.maximum(restored, 0.0)
+        parts = attributor.attribute_bundle(mix, p_cpu=restored)
+        np.testing.assert_allclose(np.sum(parts, axis=0), restored, atol=1e-9)
+
+    def test_unfitted_rejected(self, mix):
+        fresh = PerJobAttributor(ARM_PLATFORM)
+        with pytest.raises(NotFittedError):
+            fresh.attribute_bundle(mix)
+
+    def test_fit_needs_bundles(self):
+        with pytest.raises(ValidationError):
+            PerJobAttributor(ARM_PLATFORM).fit([])
+
+    def test_length_mismatch_rejected(self, attributor, mix):
+        with pytest.raises(ValidationError):
+            attributor.attribute(
+                [mix.job_pmcs[0].matrix], mix.cpu.values[:-5]
+            )

@@ -1,0 +1,86 @@
+"""Tests for the cluster power-budget allocator."""
+
+import pytest
+
+from repro.errors import CappingError, ValidationError
+from repro.monitor.budget import ClusterPowerBudget, NodeDemand
+
+
+def node(i, demand, floor=40.0, ceiling=120.0):
+    return NodeDemand(f"n{i}", demand, floor, ceiling)
+
+
+class TestNodeDemand:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            NodeDemand("x", -1.0, 10.0, 50.0)
+        with pytest.raises(ValidationError):
+            NodeDemand("x", 50.0, 60.0, 50.0)  # ceiling below floor
+
+
+class TestAllocate:
+    def test_full_grant_when_budget_ample(self):
+        alloc = ClusterPowerBudget(1000.0).allocate([node(0, 80), node(1, 90)])
+        assert alloc == {"n0": 80.0, "n1": 90.0}
+
+    def test_total_never_exceeded(self):
+        budget = ClusterPowerBudget(200.0)
+        alloc = budget.allocate([node(i, 100) for i in range(3)])
+        assert sum(alloc.values()) <= 200.0 + 1e-9
+
+    def test_floors_always_met(self):
+        budget = ClusterPowerBudget(130.0)
+        alloc = budget.allocate([node(0, 100, floor=40), node(1, 100, floor=40)])
+        assert all(v >= 40.0 for v in alloc.values())
+
+    def test_proportional_to_demand(self):
+        budget = ClusterPowerBudget(180.0)
+        alloc = budget.allocate([
+            node(0, 120, floor=40), node(1, 60, floor=40),
+        ])
+        # surplus = 100; wants are 80 and 20 -> granted 80%, 20%
+        assert alloc["n0"] > alloc["n1"]
+        assert alloc["n0"] - 40 == pytest.approx(4 * (alloc["n1"] - 40), rel=0.01)
+
+    def test_ceiling_respected_and_redistributed(self):
+        budget = ClusterPowerBudget(250.0)
+        alloc = budget.allocate([
+            node(0, 200, floor=40, ceiling=90),  # capped at 90
+            node(1, 200, floor=40, ceiling=300),
+        ])
+        assert alloc["n0"] <= 90.0 + 1e-9
+        assert alloc["n1"] == pytest.approx(250.0 - alloc["n0"], abs=1e-6)
+
+    def test_infeasible_floors_raise(self):
+        with pytest.raises(CappingError):
+            ClusterPowerBudget(50.0).allocate([node(0, 80), node(1, 80)])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValidationError):
+            ClusterPowerBudget(500.0).allocate([node(0, 80), node(0, 80)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            ClusterPowerBudget(500.0).allocate([])
+
+    def test_demand_below_floor_lifted(self):
+        alloc = ClusterPowerBudget(500.0).allocate([node(0, 10.0, floor=40)])
+        assert alloc["n0"] == 40.0
+
+
+class TestThrottleFactors:
+    def test_unthrottled_when_ample(self):
+        f = ClusterPowerBudget(1000.0).throttle_factors([node(0, 80)])
+        assert f["n0"] == 1.0
+
+    def test_throttled_under_pressure(self):
+        f = ClusterPowerBudget(150.0).throttle_factors(
+            [node(0, 100), node(1, 100)]
+        )
+        assert all(0 < v < 1.0 for v in f.values())
+
+    def test_factors_at_most_one(self):
+        f = ClusterPowerBudget(400.0).throttle_factors(
+            [node(0, 100), node(1, 50)]
+        )
+        assert all(v <= 1.0 for v in f.values())

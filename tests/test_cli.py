@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import ABLATIONS, EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_all_experiments_registered(self):
+        expected = {"table5", "table6", "table7", "table8", "table9",
+                    "fig1", "fig2", "fig7", "fig8", "fig9", "overhead",
+                    "per-suite"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_all_ablations_registered(self):
+        assert set(ABLATIONS) == {"resmodel", "postprocessing", "finetune",
+                                  "lstm-depth", "trend-model"}
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table42"])
+
+    def test_platform_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig2", "--platform", "mips"])
+
+
+class TestCommands:
+    def test_list_workloads(self, capsys):
+        assert main(["list-workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "SPEC (43):" in out
+        assert "hpcc_fft" in out
+
+    def test_fig2_experiment_runs(self, capsys):
+        assert main(["experiment", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out and "hpcc_stream" in out
+
+    def test_campaign_roundtrip(self, tmp_path, capsys):
+        out_path = str(tmp_path / "camp.npz")
+        assert main(["campaign", "--out", out_path, "--seconds", "40"]) == 0
+        from repro.io import load_campaign
+
+        bundles = load_campaign(out_path)
+        assert len(bundles) == 96
+
+    def test_monitor_writes_csv(self, tmp_path, capsys):
+        out_path = str(tmp_path / "restored.csv")
+        assert main(["monitor", "--workload", "hpcg", "--out", out_path,
+                     "--seconds", "150"]) == 0
+        text = (tmp_path / "restored.csv").read_text()
+        assert text.startswith("t_s,p_node_w,p_cpu_w,p_mem_w")
+        assert len(text.splitlines()) == 151

@@ -1,0 +1,106 @@
+"""Tests for the cluster simulator and the energy-aware scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.hardware import ARM_PLATFORM
+from repro.hardware.cluster import ClusterSimulator
+from repro.monitor.scheduler import EnergyAwareScheduler, Job, ScheduleOutcome
+
+
+class TestClusterSimulator:
+    def test_node_count_and_ids(self):
+        cluster = ClusterSimulator(ARM_PLATFORM, n_nodes=3, seed=1)
+        assert cluster.node_ids == ("node-0", "node-1", "node-2")
+
+    def test_manufacturing_variation(self):
+        cluster = ClusterSimulator(ARM_PLATFORM, n_nodes=6, variation=0.05, seed=1)
+        idles = {cluster.node_spec(n).cpu_idle_w for n in cluster.node_ids}
+        assert len(idles) == 6  # all distinct
+        assert cluster.idle_power_spread_w() > 0
+
+    def test_zero_variation_identical_specs(self):
+        cluster = ClusterSimulator(ARM_PLATFORM, n_nodes=3, variation=0.0, seed=1)
+        assert cluster.idle_power_spread_w() == pytest.approx(0.0)
+
+    def test_runs_workloads_per_node(self, catalog):
+        cluster = ClusterSimulator(ARM_PLATFORM, n_nodes=2, seed=2)
+        a = cluster.run("node-0", catalog.get("spec_gcc"), duration_s=60)
+        b = cluster.run("node-1", catalog.get("spec_gcc"), duration_s=60)
+        assert not np.allclose(a.node.values, b.node.values)  # different nodes
+
+    def test_unknown_node(self, catalog):
+        cluster = ClusterSimulator(ARM_PLATFORM, n_nodes=2, seed=2)
+        with pytest.raises(ValidationError):
+            cluster.run("node-9", catalog.get("spec_gcc"), duration_s=10)
+
+    def test_deterministic(self, catalog):
+        a = ClusterSimulator(ARM_PLATFORM, n_nodes=2, seed=5)
+        b = ClusterSimulator(ARM_PLATFORM, n_nodes=2, seed=5)
+        ba = a.run("node-1", catalog.get("hpcg"), duration_s=40)
+        bb = b.run("node-1", catalog.get("hpcg"), duration_s=40)
+        np.testing.assert_allclose(ba.node.values, bb.node.values)
+
+
+@pytest.fixture(scope="module")
+def job_set(catalog):
+    cluster = ClusterSimulator(ARM_PLATFORM, n_nodes=2, seed=7)
+    names = ["spec_gcc", "hpcc_stream", "hpcg", "spec_xz"]
+    return [
+        Job(f"job-{i}", cluster.run(f"node-{i % 2}", catalog.get(n), duration_s=80))
+        for i, n in enumerate(names)
+    ]
+
+
+def make_scheduler(cap, staleness=1, error=0.0, seed=0):
+    floors = {"node-0": 45.0, "node-1": 45.0}
+    ceilings = {"node-0": 130.0, "node-1": 130.0}
+    return EnergyAwareScheduler(floors, ceilings, cap,
+                                demand_staleness_s=staleness,
+                                demand_error_w=error, seed=seed)
+
+
+class TestScheduler:
+    def test_completes_all_jobs(self, job_set):
+        outcome = make_scheduler(cap=400.0).run(job_set)
+        assert sorted(outcome.completions) == sorted(j.job_id for j in job_set)
+
+    def test_unconstrained_runs_at_full_speed(self, job_set):
+        outcome = make_scheduler(cap=1000.0).run(job_set)
+        # two nodes, four 80 s jobs -> makespan about 160 s
+        assert outcome.makespan_s <= 165
+        assert outcome.mean_throttle == pytest.approx(1.0, abs=1e-6)
+
+    def test_tight_cap_stretches_makespan(self, job_set):
+        free = make_scheduler(cap=1000.0).run(job_set)
+        tight = make_scheduler(cap=170.0).run(job_set)
+        assert tight.makespan_s > free.makespan_s
+        assert tight.mean_throttle < 1.0
+
+    def test_stale_demand_hurts(self, job_set):
+        """The monitoring claim: per-second demand (HighRPM-style) finishes
+        sooner than IPMI-rate demand at the same cap — stale readings
+        over/under-throttle."""
+        fresh = make_scheduler(cap=175.0, staleness=1).run(job_set)
+        stale = make_scheduler(cap=175.0, staleness=10).run(job_set)
+        assert fresh.makespan_s <= stale.makespan_s
+        assert fresh.mean_throttle >= stale.mean_throttle
+
+    def test_outcome_fields(self, job_set):
+        outcome = make_scheduler(cap=300.0).run(job_set)
+        assert isinstance(outcome, ScheduleOutcome)
+        assert outcome.energy_kj > 0
+        assert outcome.makespan_s > 0
+
+    def test_empty_queue_rejected(self):
+        with pytest.raises(ValidationError):
+            make_scheduler(cap=300.0).run([])
+
+    def test_time_limit_enforced(self, job_set):
+        with pytest.raises(ValidationError):
+            make_scheduler(cap=400.0).run(job_set, max_seconds=10)
+
+    def test_mismatched_nodes_rejected(self):
+        with pytest.raises(ValidationError):
+            EnergyAwareScheduler({"a": 40.0}, {"b": 100.0}, 200.0)

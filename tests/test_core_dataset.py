@@ -1,0 +1,137 @@
+"""Tests for the TRR/SRR dataset builders (Fig. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import (
+    FlatDataset,
+    build_anchor_windows,
+    build_flat_dataset,
+    build_windows,
+    windows_from_bundles,
+)
+from repro.errors import ValidationError
+
+
+class TestFlatDataset:
+    def test_from_bundles(self, train_bundles):
+        flat = build_flat_dataset(train_bundles)
+        assert len(flat) == sum(len(b) for b in train_bundles)
+        assert flat.X.shape[1] == train_bundles[0].pmcs.n_events
+        assert len(flat.workloads) == len(flat)
+
+    def test_workload_provenance(self, train_bundles):
+        flat = build_flat_dataset(train_bundles[:2])
+        names = set(flat.workloads)
+        assert names == {train_bundles[0].workload, train_bundles[1].workload}
+
+    def test_subset(self, train_bundles):
+        flat = build_flat_dataset(train_bundles[:1])
+        mask = np.zeros(len(flat), dtype=bool)
+        mask[:10] = True
+        sub = flat.subset(mask)
+        assert len(sub) == 10
+
+    def test_limit(self, train_bundles):
+        flat = build_flat_dataset(train_bundles[:1])
+        assert len(flat.limit(7)) == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            build_flat_dataset([])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            FlatDataset(
+                X=np.ones((5, 2)), p_node=np.ones(4), p_cpu=np.ones(5),
+                p_mem=np.ones(5), workloads=("w",) * 5,
+            )
+
+
+class TestBuildWindows:
+    def test_shapes(self):
+        pmcs = np.arange(40).reshape(20, 2).astype(float)
+        p = np.arange(20).astype(float)
+        X, Y = build_windows(pmcs, p, miss_interval=5)
+        assert X.shape == (16, 5, 3)
+        assert Y.shape == (16, 5)
+
+    def test_prev_power_feature(self):
+        pmcs = np.zeros((10, 1))
+        p = np.arange(10).astype(float)
+        X, _ = build_windows(pmcs, p, miss_interval=3)
+        # the power feature at step t is p[t-1]
+        np.testing.assert_allclose(X[1, :, -1], [0.0, 1.0, 2.0])
+
+    def test_first_window_seeds_with_first_power(self):
+        pmcs = np.zeros((6, 1))
+        p = np.array([5.0, 6.0, 7.0, 8.0, 9.0, 10.0])
+        X, _ = build_windows(pmcs, p, miss_interval=3)
+        assert X[0, 0, -1] == 5.0  # cold start uses p[0]
+
+    def test_labels_are_power(self):
+        pmcs = np.zeros((8, 1))
+        p = np.arange(8).astype(float)
+        _, Y = build_windows(pmcs, p, miss_interval=4)
+        np.testing.assert_allclose(Y[0], [0, 1, 2, 3])
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValidationError):
+            build_windows(np.zeros((3, 1)), np.zeros(3), miss_interval=5)
+
+    def test_stride(self):
+        pmcs = np.zeros((20, 1))
+        p = np.zeros(20)
+        X, _ = build_windows(pmcs, p, miss_interval=5, stride=5)
+        assert X.shape[0] == 4
+
+    def test_bundles_do_not_straddle(self, train_bundles):
+        X, Y = windows_from_bundles(train_bundles[:2], 10)
+        per_bundle = sum(len(b) - 10 + 1 for b in train_bundles[:2])
+        assert X.shape[0] == per_bundle
+
+
+class TestAnchorWindows:
+    def test_shapes(self):
+        pmcs = np.random.default_rng(0).random((50, 3))
+        p = np.linspace(50, 60, 50)
+        X, Y = build_anchor_windows(pmcs, p, miss_interval=10, offsets=[0])
+        assert X.shape[1:] == (10, 4)
+        assert Y.shape[1] == 10
+
+    def test_hold_channel_is_last_reading(self):
+        pmcs = np.zeros((20, 1))
+        p = np.arange(20).astype(float)
+        X, _ = build_anchor_windows(pmcs, p, miss_interval=5, offsets=[0])
+        # window starting at 0: readings at 0; hold = p[0] for steps 0..4
+        np.testing.assert_allclose(X[0, :, -1], [0, 0, 0, 0, 0])
+        # window starting at 3 spans steps 3..7; reading at 5 switches hold
+        np.testing.assert_allclose(X[3, :, -1], [0, 0, 5, 5, 5])
+
+    def test_labels_are_deviation_from_hold(self):
+        pmcs = np.zeros((20, 1))
+        p = np.arange(20).astype(float)
+        X, Y = build_anchor_windows(pmcs, p, miss_interval=5, offsets=[0])
+        np.testing.assert_allclose(Y[0], [0, 1, 2, 3, 4])
+
+    def test_deviation_zero_at_reading_instants(self):
+        pmcs = np.zeros((30, 1))
+        p = np.random.default_rng(1).uniform(50, 90, 30)
+        X, Y = build_anchor_windows(pmcs, p, miss_interval=6, offsets=[0])
+        # At every reading instant (step multiple of 6), deviation is 0.
+        for k in range(X.shape[0]):
+            for j in range(6):
+                t = k + j  # windows start at 0 with stride 1
+                if t % 6 == 0:
+                    assert Y[k, j] == pytest.approx(0.0)
+
+    def test_multiple_offsets_multiply_windows(self):
+        pmcs = np.zeros((40, 2))
+        p = np.zeros(40)
+        X1, _ = build_anchor_windows(pmcs, p, 10, offsets=[0])
+        X2, _ = build_anchor_windows(pmcs, p, 10, offsets=[0, 5])
+        assert X2.shape[0] > X1.shape[0]
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValidationError):
+            build_anchor_windows(np.zeros((12, 1)), np.zeros(12), 10)

@@ -1,0 +1,142 @@
+"""Tests for the HighRPM facade, config, and active learning."""
+
+import numpy as np
+import pytest
+
+from repro.core import HighRPM, HighRPMConfig
+from repro.core.active_learning import ReinforcementSampler, SamplePool
+from repro.errors import NotFittedError, ValidationError
+from repro.hardware import ARM_PLATFORM
+from repro.ml import mape
+from repro.sensors import IPMISensor
+
+
+@pytest.fixture(scope="module")
+def train_bundles(arm_sim, catalog):
+    names = ["spec_gcc", "spec_mcf", "parsec_ferret", "hpcc_hpl",
+             "hpcc_stream", "parsec_radix"]
+    return [arm_sim.run(catalog.get(n), duration_s=120) for n in names]
+
+
+@pytest.fixture(scope="module")
+def fitted(train_bundles):
+    cfg = HighRPMConfig(miss_interval=10, lstm_iters=300, srr_iters=2500, seed=2)
+    hr = HighRPM(cfg, p_bottom=ARM_PLATFORM.min_node_power_w,
+                 p_upper=ARM_PLATFORM.max_node_power_w)
+    return hr.fit_initial(train_bundles)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        HighRPMConfig()
+
+    def test_miss_interval_bound(self):
+        with pytest.raises(ValidationError):
+            HighRPMConfig(miss_interval=1)
+
+    def test_alpha_beta_order(self):
+        with pytest.raises(ValidationError):
+            HighRPMConfig(alpha=0.3, beta=0.2)
+
+    def test_limit_order(self):
+        with pytest.raises(ValidationError):
+            HighRPMConfig(p_upper=10.0, p_bottom=20.0)
+
+    def test_fraction_bound(self):
+        with pytest.raises(ValidationError):
+            HighRPMConfig(reinforcement_fraction=0.0)
+
+
+class TestHighRPM:
+    def test_monitor_offline(self, fitted, small_bundle, ipmi_readings):
+        result = fitted.monitor_offline(small_bundle.pmcs.matrix, ipmi_readings)
+        assert result.mode == "static"
+        assert len(result) == len(small_bundle)
+        assert mape(small_bundle.node.values, result.p_node) < 12.0
+
+    def test_monitor_online(self, fitted, small_bundle, ipmi_readings):
+        result = fitted.monitor_online(small_bundle.pmcs.matrix, ipmi_readings)
+        assert result.mode == "dynamic"
+        assert mape(small_bundle.node.values, result.p_node) < 15.0
+        assert mape(small_bundle.cpu.values, result.p_cpu) < 25.0
+
+    def test_p_other_residual(self, fitted, small_bundle, ipmi_readings):
+        result = fitted.monitor_offline(small_bundle.pmcs.matrix, ipmi_readings)
+        # implied peripheral power should hover near the 25 W budget
+        assert np.median(result.p_other) == pytest.approx(25.0, abs=3.0)
+
+    def test_requires_fit(self, small_bundle, ipmi_readings):
+        hr = HighRPM()
+        with pytest.raises(NotFittedError):
+            hr.monitor_offline(small_bundle.pmcs.matrix, ipmi_readings)
+
+    def test_fit_needs_bundles(self):
+        with pytest.raises(ValidationError):
+            HighRPM().fit_initial([])
+
+    def test_active_learning_runs_and_keeps_accuracy(
+        self, fitted, arm_sim, catalog, small_bundle, ipmi_readings
+    ):
+        import copy
+
+        hr = copy.deepcopy(fitted)
+        extra = arm_sim.run(catalog.get("parsec_canneal"), duration_s=120)
+        sensor = IPMISensor(ARM_PLATFORM, seed=77)
+        readings = sensor.sample(extra)
+        before = mape(
+            small_bundle.cpu.values,
+            hr.monitor_offline(small_bundle.pmcs.matrix, ipmi_readings).p_cpu,
+        )
+        hr.active_learning([(extra.pmcs.matrix, readings)])
+        after = mape(
+            small_bundle.cpu.values,
+            hr.monitor_offline(small_bundle.pmcs.matrix, ipmi_readings).p_cpu,
+        )
+        assert after < before * 1.5  # adaptation must not wreck the model
+
+    def test_active_learning_noop_without_data(self, fitted):
+        assert fitted.active_learning([]) is fitted
+
+
+class TestReinforcementSampler:
+    def make_pool(self, n=100, restored_frac=0.5):
+        k = int(n * restored_frac)
+        return SamplePool(
+            pmcs=np.random.default_rng(0).random((n, 3)),
+            p_node=np.full(n, 80.0),
+            p_cpu=np.full(n, 40.0),
+            p_mem=np.full(n, 15.0),
+            restored=np.array([False] * (n - k) + [True] * k),
+        )
+
+    def test_draw_size(self):
+        pool = self.make_pool()
+        batch = ReinforcementSampler(fraction=0.3, rng=1).draw(pool)
+        assert len(batch) == 30
+
+    def test_draw_without_replacement(self):
+        pool = self.make_pool(10)
+        batch = ReinforcementSampler(fraction=1.0, rng=1).draw(pool)
+        assert len(batch) == 10
+
+    def test_restored_weighting_biases_draw(self):
+        pool = self.make_pool(1000, restored_frac=0.5)
+        heavy = ReinforcementSampler(fraction=0.2, restored_weight=10.0, rng=1)
+        batch = heavy.draw(pool)
+        assert batch.restored.mean() > 0.7
+
+    def test_zero_fraction_rejected(self):
+        with pytest.raises(ValidationError):
+            ReinforcementSampler(fraction=0.0)
+
+    def test_merge(self):
+        a, b = self.make_pool(10), self.make_pool(20)
+        merged = SamplePool.merge(a, b)
+        assert len(merged) == 30
+
+    def test_pool_validates_lengths(self):
+        with pytest.raises(ValidationError):
+            SamplePool(
+                pmcs=np.ones((5, 2)), p_node=np.ones(4), p_cpu=np.ones(5),
+                p_mem=np.ones(5), restored=np.zeros(5, dtype=bool),
+            )

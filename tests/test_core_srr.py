@@ -1,0 +1,101 @@
+"""Tests for the SRR spatial-resolution model."""
+
+import numpy as np
+import pytest
+
+from repro.core import SRR, HighRPMConfig
+from repro.core.dataset import build_flat_dataset
+from repro.errors import NotFittedError, ValidationError
+from repro.ml import mape
+
+
+@pytest.fixture(scope="module")
+def train_bundles(arm_sim, catalog):
+    names = ["spec_gcc", "spec_mcf", "parsec_ferret", "hpcc_hpl",
+             "hpcc_stream", "parsec_radix"]
+    return [arm_sim.run(catalog.get(n), duration_s=120) for n in names]
+
+
+@pytest.fixture(scope="module")
+def fitted_srr(train_bundles):
+    flat = build_flat_dataset(train_bundles)
+    cfg = HighRPMConfig(srr_iters=2500, seed=1)
+    return SRR(cfg).fit(flat.X, flat.p_node, flat.p_cpu, flat.p_mem)
+
+
+class TestSRR:
+    def test_predict_shapes(self, fitted_srr, small_bundle):
+        p_cpu, p_mem = fitted_srr.predict(
+            small_bundle.pmcs.matrix, small_bundle.node.values
+        )
+        assert p_cpu.shape == (len(small_bundle),)
+        assert p_mem.shape == (len(small_bundle),)
+
+    def test_budget_constraint(self, fitted_srr, small_bundle):
+        """Components always sum to node power minus the learned P_other."""
+        p_cpu, p_mem = fitted_srr.predict(
+            small_bundle.pmcs.matrix, small_bundle.node.values
+        )
+        total = p_cpu + p_mem + fitted_srr.other_w_
+        np.testing.assert_allclose(total, small_bundle.node.values, rtol=1e-9)
+
+    def test_other_w_learned_near_25(self, fitted_srr):
+        assert fitted_srr.other_w_ == pytest.approx(25.0, abs=1.5)
+
+    def test_accuracy_with_true_pnode(self, fitted_srr, small_bundle):
+        p_cpu, p_mem = fitted_srr.predict(
+            small_bundle.pmcs.matrix, small_bundle.node.values
+        )
+        assert mape(small_bundle.cpu.values, p_cpu) < 20.0
+        assert mape(small_bundle.mem.values, p_mem) < 35.0
+
+    def test_pnode_required_when_enabled(self, fitted_srr, small_bundle):
+        with pytest.raises(ValidationError):
+            fitted_srr.predict(small_bundle.pmcs.matrix)
+
+    def test_ablation_mode_runs_without_pnode(self, train_bundles, small_bundle):
+        flat = build_flat_dataset(train_bundles)
+        srr = SRR(HighRPMConfig(srr_iters=1500, seed=1), use_pnode=False)
+        srr.fit(flat.X, flat.p_node, flat.p_cpu, flat.p_mem)
+        p_cpu, p_mem = srr.predict(small_bundle.pmcs.matrix)
+        assert np.isfinite(p_cpu).all() and np.isfinite(p_mem).all()
+
+    def test_pnode_beats_ablation(self, fitted_srr, train_bundles, small_bundle):
+        """Table 8's direction: the budget constraint must help."""
+        flat = build_flat_dataset(train_bundles)
+        ablated = SRR(HighRPMConfig(srr_iters=2500, seed=1), use_pnode=False)
+        ablated.fit(flat.X, flat.p_node, flat.p_cpu, flat.p_mem)
+        with_cpu, with_mem = fitted_srr.predict(
+            small_bundle.pmcs.matrix, small_bundle.node.values
+        )
+        wo_cpu, wo_mem = ablated.predict(small_bundle.pmcs.matrix)
+        with_err = mape(small_bundle.cpu.values, with_cpu) + mape(
+            small_bundle.mem.values, with_mem)
+        wo_err = mape(small_bundle.cpu.values, wo_cpu) + mape(
+            small_bundle.mem.values, wo_mem)
+        assert with_err < wo_err
+
+    def test_partial_fit_runs(self, fitted_srr, small_bundle):
+        import copy
+
+        srr = copy.deepcopy(fitted_srr)
+        srr.partial_fit(
+            small_bundle.pmcs.matrix,
+            small_bundle.node.values,
+            small_bundle.cpu.values,
+            small_bundle.mem.values,
+            n_steps=50,
+        )
+        p_cpu, _ = srr.predict(small_bundle.pmcs.matrix, small_bundle.node.values)
+        assert np.isfinite(p_cpu).all()
+
+    def test_predict_before_fit(self, small_bundle):
+        with pytest.raises(NotFittedError):
+            SRR().predict(small_bundle.pmcs.matrix, small_bundle.node.values)
+
+    def test_nonnegative_outputs(self, fitted_srr, small_bundle):
+        # Even with a tiny node reading the split cannot go negative.
+        pmcs = small_bundle.pmcs.matrix[:5]
+        p_node = np.full(5, 1.0)  # below other_w_
+        p_cpu, p_mem = fitted_srr.predict(pmcs, p_node)
+        assert (p_cpu >= 0).all() and (p_mem >= 0).all()

@@ -1,0 +1,88 @@
+"""Tests for model diagnostics (permutation importance, learning curves)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.ml import LinearRegression, RandomForestRegressor
+from repro.ml.diagnostics import learning_curve, permutation_importance
+
+
+@pytest.fixture()
+def informative_data(rng):
+    # y depends strongly on feature 0, weakly on 1, not at all on 2.
+    X = rng.normal(size=(400, 3))
+    y = 100.0 + 10.0 * X[:, 0] + 1.0 * X[:, 1] + 0.05 * rng.normal(size=400)
+    return X, y
+
+
+class TestPermutationImportance:
+    def test_ranks_informative_feature_first(self, informative_data):
+        X, y = informative_data
+        model = LinearRegression().fit(X, y)
+        imp = permutation_importance(model, X, y, n_repeats=3, rng=0)
+        ranked = imp.ranked()
+        assert ranked[0][0] == "f0"
+        assert ranked[-1][0] == "f2"
+
+    def test_uninformative_feature_near_zero(self, informative_data):
+        X, y = informative_data
+        model = LinearRegression().fit(X, y)
+        imp = permutation_importance(model, X, y, rng=0)
+        assert abs(imp.increases[2]) < 0.2
+
+    def test_custom_names(self, informative_data):
+        X, y = informative_data
+        model = LinearRegression().fit(X, y)
+        imp = permutation_importance(
+            model, X, y, feature_names=["cycles", "inst", "noise"], rng=0
+        )
+        assert imp.ranked()[0][0] == "cycles"
+
+    def test_name_length_checked(self, informative_data):
+        X, y = informative_data
+        model = LinearRegression().fit(X, y)
+        with pytest.raises(ValidationError):
+            permutation_importance(model, X, y, feature_names=["a"], rng=0)
+
+    def test_works_on_pmc_features(self, train_bundles):
+        """Importance over real Table-2 counters for node power."""
+        from repro.core.dataset import build_flat_dataset
+
+        flat = build_flat_dataset(train_bundles)
+        model = RandomForestRegressor(n_estimators=5, random_state=0)
+        model.fit(flat.X, flat.p_node)
+        imp = permutation_importance(
+            model, flat.X[:500], flat.p_node[:500],
+            feature_names=train_bundles[0].pmcs.events, n_repeats=2, rng=0,
+        )
+        # cycles/instructions should matter for node power
+        top = {name for name, _ in imp.ranked()[:4]}
+        assert top & {"CPU_CYCLES", "INST_RETIRED", "UOP_RETIRED", "MEM_ACCESS",
+                      "BUS_ACCESS", "LXD_CACHE_LD"}
+
+
+class TestLearningCurve:
+    def test_error_decreases_with_data(self, rng):
+        X = rng.normal(size=(600, 4))
+        y = 50.0 + X @ np.array([3.0, -2.0, 1.0, 0.5]) + 0.5 * rng.normal(size=600)
+        curve = learning_curve(
+            LinearRegression(), X[:500], y[:500], X[500:], y[500:],
+            fractions=(0.05, 1.0), rng=0,
+        )
+        assert curve.scores[-1] <= curve.scores[0]
+
+    def test_sizes_monotone(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = X[:, 0] + 10.0
+        curve = learning_curve(
+            LinearRegression(), X[:80], y[:80], X[80:], y[80:],
+            fractions=(0.2, 0.6, 1.0), rng=0,
+        )
+        assert (np.diff(curve.sizes) > 0).all()
+
+    def test_invalid_fraction(self, rng):
+        X = rng.normal(size=(50, 2))
+        y = X[:, 0]
+        with pytest.raises(ValidationError):
+            learning_curve(LinearRegression(), X, y, X, y, fractions=(0.0,))

@@ -1,0 +1,128 @@
+"""Tests for the evaluation harness and table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.eval import (
+    EvalSettings,
+    build_campaign,
+    build_split,
+    evaluate_flat_model,
+    evaluate_rnn_model,
+    format_table,
+)
+from repro.eval.tables import mean_report, metric_columns, score_row
+from repro.ml.metrics import ScoreReport
+from repro.workloads import default_catalog
+
+
+@pytest.fixture(scope="module")
+def tiny_settings():
+    return EvalSettings(
+        seconds_per_benchmark=60,
+        samples_per_set=120,
+        test_suites=("HPCG",),
+        rnn_iters=60,
+        lstm_iters=60,
+        srr_iters=300,
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_campaign(tiny_settings):
+    catalog = default_catalog(tiny_settings.seed)
+    return catalog, build_campaign(tiny_settings, catalog)
+
+
+class TestSettings:
+    def test_quick_smaller_than_full(self):
+        q, f = EvalSettings.quick(), EvalSettings.full()
+        assert q.samples_per_set < f.samples_per_set
+        assert len(q.test_suites) < len(f.test_suites)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert EvalSettings.from_env().samples_per_set == EvalSettings.quick().samples_per_set
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert EvalSettings.from_env().samples_per_set == 1000
+
+    def test_on_platform(self):
+        assert EvalSettings.quick().on_platform("x86").platform == "x86"
+
+
+class TestCampaignAndSplit:
+    def test_campaign_covers_catalog(self, tiny_campaign):
+        catalog, campaign = tiny_campaign
+        assert set(campaign) == set(catalog.names())
+
+    def test_split_protocols(self, tiny_settings, tiny_campaign):
+        catalog, campaign = tiny_campaign
+        split = build_split(tiny_settings, campaign, catalog, "HPCG")
+        # unseen test bundles all come from the held-out suite
+        assert all(b.workload == "hpcg" for b in split.test_unseen)
+        assert all(b.workload != "hpcg" or True for b in split.train_unseen)
+        train_names = {b.workload for b in split.train_unseen}
+        assert "hpcg" not in train_names
+        # seen protocol has matching train/test tails
+        assert len(split.test_seen) == len(split.seen_pairs)
+
+    def test_sample_budget_respected(self, tiny_settings, tiny_campaign):
+        catalog, campaign = tiny_campaign
+        split = build_split(tiny_settings, campaign, catalog, "HPCG")
+        spec_total = sum(
+            len(b) for b in split.train_unseen
+            if b.workload.startswith("spec_")
+        )
+        assert spec_total <= tiny_settings.samples_per_set
+
+    def test_unknown_suite_rejected(self, tiny_settings, tiny_campaign):
+        catalog, campaign = tiny_campaign
+        with pytest.raises(ExperimentError):
+            build_split(tiny_settings, campaign, catalog, "NPB")
+
+    def test_flat_alignment(self, tiny_settings, tiny_campaign):
+        catalog, campaign = tiny_campaign
+        split = build_split(tiny_settings, campaign, catalog, "HPCG")
+        train, test = split.flat(False)
+        assert len(train) == sum(len(b) for b in split.train_unseen)
+        assert len(test) == sum(len(b) for b in split.test_unseen)
+
+
+class TestModelEvaluation:
+    def test_flat_model(self, tiny_settings, tiny_campaign):
+        catalog, campaign = tiny_campaign
+        split = build_split(tiny_settings, campaign, catalog, "HPCG")
+        train, test = split.flat(False)
+        report = evaluate_flat_model("LR", train, test, "p_node")
+        assert 0 < report.mape < 100
+
+    def test_rnn_model(self, tiny_settings, tiny_campaign):
+        catalog, campaign = tiny_campaign
+        split = build_split(tiny_settings, campaign, catalog, "HPCG")
+        report = evaluate_rnn_model(
+            "GRU", split.train_unseen[:3], split.test_unseen, tiny_settings
+        )
+        assert np.isfinite(report.mape)
+
+
+class TestTables:
+    def test_format_table_renders(self):
+        text = format_table("T", ["A", "B"], [[1.234567, "x"], [2.0, "y"]])
+        assert "T" in text and "1.23" in text and "y" in text
+
+    def test_score_row_handles_none(self):
+        row = score_row("m", None, ScoreReport(1, 2, 3, 0.9))
+        assert row[:4] == ["m", "-", "-", "-"]
+
+    def test_metric_columns(self):
+        cols = metric_columns(["seen", "unseen"])
+        assert cols[0] == "Model" and len(cols) == 7
+
+    def test_mean_report(self):
+        r = mean_report([ScoreReport(2, 4, 6, 1.0), ScoreReport(4, 8, 10, 0.0)])
+        assert (r.mape, r.rmse, r.mae, r.r2) == (3, 6, 8, 0.5)
+
+    def test_mean_report_empty(self):
+        with pytest.raises(ValueError):
+            mean_report([])

@@ -1,0 +1,85 @@
+"""Smoke tests for the experiment entry points with micro settings.
+
+The benches run these at realistic sizes; here we only guard that every
+entry point executes end-to-end and produces structurally sound results,
+so a refactor cannot silently break an experiment that only the (slow)
+bench suite exercises.
+"""
+
+import pytest
+
+from repro.eval import ablations as ab
+from repro.eval import experiments as ex
+from repro.eval import figures as fg
+from repro.eval import limitations as lim
+from repro.eval.harness import EvalSettings
+from repro.ml.registry import baseline_names
+
+
+@pytest.fixture(scope="module")
+def micro():
+    return EvalSettings(
+        seconds_per_benchmark=60,
+        samples_per_set=120,
+        test_suites=("HPCG",),
+        rnn_iters=40,
+        lstm_iters=60,
+        srr_iters=300,
+    )
+
+
+class TestTableSmoke:
+    def test_table5(self, micro):
+        result = ex.table5(micro)
+        assert len(result.rows) == len(baseline_names()) + 1
+        assert all(isinstance(r[1], float) for r in result.rows)
+
+    def test_table6(self, micro):
+        result = ex.table6(micro)
+        assert [r[0] for r in result.rows] == ["Spline", "StaticTRR", "DynamicTRR"]
+
+    def test_table8(self, micro):
+        result = ex.table8(micro)
+        assert len(result.rows) == 4  # seen/unseen x cpu/mem
+
+    def test_render_has_title_and_notes(self, micro):
+        result = ex.table6(micro)
+        text = result.render()
+        assert "Table 6" in text and "Paper" in text
+
+
+class TestFigureSmoke:
+    def test_fig1(self, micro):
+        result = fg.fig1(micro, duration_s=120)
+        assert len(result.rows) == 5
+
+    def test_fig2(self, micro):
+        result = fg.fig2(micro, duration_s=80)
+        assert {r[0] for r in result.rows} == {"hpcc_fft", "hpcc_stream"}
+
+    def test_fig7(self, micro):
+        result = fg.fig7(micro, intervals=(10, 20), duration_s=150)
+        assert len(result.rows) == 2
+
+    def test_fig8(self, micro):
+        result = fg.fig8(micro, intervals=(10,), duration_s=120)
+        assert len(result.rows) == 1
+
+    def test_overhead(self, micro):
+        result = fg.overhead(micro)
+        assert len(result.rows) == 4
+
+    def test_limitations(self, micro):
+        result = lim.jitter_robustness(micro, drop_probs=(0.0, 0.3),
+                                       duration_s=150)
+        assert len(result.rows) == 2
+
+
+class TestAblationSmoke:
+    def test_postprocessing(self, micro):
+        result = ab.ablation_postprocessing(micro)
+        assert len(result.rows) == 4  # one per fixture benchmark
+
+    def test_trend_model(self, micro):
+        result = ab.ablation_trend_model(micro)
+        assert {r[0] for r in result.rows} == {"spline", "linear"}

@@ -1,0 +1,130 @@
+"""Tests for the GPU extension (paper §6.4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DynamicTRR, HighRPMConfig
+from repro.errors import NotFittedError, ValidationError, WorkloadError
+from repro.gpu import (
+    GPU_WORKLOAD_NAMES,
+    AcceleratedNodeSimulator,
+    GPUPowerModel,
+    GPUSpec,
+    GPUSRR,
+    gpu_workload,
+)
+from repro.gpu.hardware import GPU_PMC_EVENTS
+from repro.ml import mape
+from repro.sensors import IPMISensor
+from repro.sensors.base import SparseReadings
+from repro.types import PMC_EVENTS
+
+
+@pytest.fixture(scope="module")
+def gpu_sim():
+    return AcceleratedNodeSimulator(seed=13)
+
+
+@pytest.fixture(scope="module")
+def gemm_bundle(gpu_sim):
+    return gpu_sim.run(gpu_workload("gemm", seed=1), duration_s=150)
+
+
+class TestGPUSpec:
+    def test_defaults_valid(self):
+        spec = GPUSpec()
+        assert spec.max_power_w > spec.idle_w
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            GPUSpec(n_sms=0)
+        with pytest.raises(ValidationError):
+            GPUSpec(dyn_w=-1.0)
+
+
+class TestGPUPowerModel:
+    def test_monotone_in_utilisation(self):
+        m = GPUPowerModel(GPUSpec(), noise_w=0.0, intensity_sigma=0.0)
+        lo = m.power(np.full(20, 0.1), np.full(20, 0.1), rng=0).mean()
+        hi = m.power(np.full(20, 0.9), np.full(20, 0.9), rng=0).mean()
+        assert hi > lo
+
+    def test_bounds_checked(self):
+        m = GPUPowerModel(GPUSpec())
+        with pytest.raises(ValidationError):
+            m.power(np.array([1.2]), np.array([0.5]))
+
+
+class TestAcceleratedNode:
+    def test_four_way_additivity(self, gemm_bundle):
+        assert gemm_bundle.check_additivity(atol=1e-9)
+
+    def test_combined_pmc_events(self, gemm_bundle):
+        assert gemm_bundle.pmcs.events == PMC_EVENTS + GPU_PMC_EVENTS
+
+    def test_gemm_is_gpu_dominated(self, gemm_bundle):
+        assert gemm_bundle.gpu.mean_power() > gemm_bundle.cpu.mean_power()
+
+    def test_all_catalog_workloads_run(self, gpu_sim):
+        for name in GPU_WORKLOAD_NAMES:
+            b = gpu_sim.run(gpu_workload(name, seed=2), duration_s=40)
+            assert len(b) == 40 and b.check_additivity(atol=1e-9)
+
+    def test_unknown_workload(self):
+        with pytest.raises(WorkloadError):
+            gpu_workload("crysis")
+
+    def test_deterministic(self):
+        a = AcceleratedNodeSimulator(seed=5).run(gpu_workload("stencil", 3), 60)
+        b = AcceleratedNodeSimulator(seed=5).run(gpu_workload("stencil", 3), 60)
+        np.testing.assert_allclose(a.node.values, b.node.values)
+
+
+class TestGPUSRR:
+    @pytest.fixture(scope="class")
+    def fitted(self, gpu_sim):
+        train = [gpu_sim.run(gpu_workload(n, seed=4), duration_s=120)
+                 for n in ("gemm", "stencil", "training_loop", "inference_serving")]
+        pmcs = np.vstack([b.pmcs.matrix for b in train])
+        srr = GPUSRR(HighRPMConfig(srr_iters=2500, seed=3))
+        srr.fit(
+            pmcs,
+            np.concatenate([b.node.values for b in train]),
+            np.concatenate([b.cpu.values for b in train]),
+            np.concatenate([b.mem.values for b in train]),
+            np.concatenate([b.gpu.values for b in train]),
+        )
+        return srr
+
+    def test_budget_constraint(self, fitted, gemm_bundle):
+        cpu, mem, gpu = fitted.predict(gemm_bundle.pmcs.matrix,
+                                       gemm_bundle.node.values)
+        total = cpu + mem + gpu + fitted.other_w_
+        np.testing.assert_allclose(total, gemm_bundle.node.values, rtol=1e-9)
+
+    def test_reasonable_accuracy(self, fitted, gpu_sim):
+        test = gpu_sim.run(gpu_workload("fft_gpu", seed=9), duration_s=150)
+        cpu, mem, gpu = fitted.predict(test.pmcs.matrix, test.node.values)
+        assert mape(test.gpu.values, gpu) < 30.0
+        assert mape(test.cpu.values, cpu) < 35.0
+
+    def test_predict_before_fit(self, gemm_bundle):
+        with pytest.raises(NotFittedError):
+            GPUSRR().predict(gemm_bundle.pmcs.matrix, gemm_bundle.node.values)
+
+
+class TestGPUTemporalRestoration:
+    def test_trr_works_unchanged_on_accelerated_nodes(self, gpu_sim):
+        """The paper's generality claim: TRR is component-agnostic."""
+        train = [gpu_sim.run(gpu_workload(n, seed=6), duration_s=120)
+                 for n in ("gemm", "stencil", "training_loop")]
+        cfg = HighRPMConfig(miss_interval=10, lstm_iters=250, seed=4)
+        dyn = DynamicTRR(cfg)
+        dyn.fit(train, p_bottom=gpu_sim.min_node_power_w,
+                p_upper=gpu_sim.max_node_power_w)
+        test = gpu_sim.run(gpu_workload("graph_analytics", seed=8), duration_s=150)
+        # Build IPMI-style readings over the accelerated node's power.
+        idx = np.arange(10, len(test), 10)
+        readings = SparseReadings(idx, test.node.values[idx], 10, len(test))
+        restored = dyn.restore(test.pmcs.matrix, readings)
+        assert mape(test.node.values, restored) < 15.0

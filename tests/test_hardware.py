@@ -1,0 +1,212 @@
+"""Tests for the hardware simulation substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError, ValidationError
+from repro.hardware import (
+    ARM_PLATFORM,
+    X86_PLATFORM,
+    CPUPowerModel,
+    MemoryPowerModel,
+    NodeSimulator,
+    PMUModel,
+    get_platform,
+)
+from repro.hardware.pmu import WorkloadTraits
+from repro.types import PMC_EVENTS
+
+
+class TestPlatformSpec:
+    def test_builtin_lookup(self):
+        assert get_platform("arm") is ARM_PLATFORM
+        assert get_platform("x86") is X86_PLATFORM
+
+    def test_unknown_platform(self):
+        with pytest.raises(ValidationError):
+            get_platform("riscv")
+
+    def test_arm_matches_paper_config(self):
+        # §5.1/§6.4.2: 0.1 Sa/s IPMI, DVFS levels 1.4/1.8/2.2 GHz.
+        assert ARM_PLATFORM.ipmi_interval_s == 10
+        assert ARM_PLATFORM.freq_levels_ghz == (1.4, 1.8, 2.2)
+        assert ARM_PLATFORM.other_w == 25.0
+
+    def test_x86_has_rapl(self):
+        assert X86_PLATFORM.rapl_available
+        assert not ARM_PLATFORM.rapl_available
+
+    def test_power_bounds_ordered(self):
+        for spec in (ARM_PLATFORM, X86_PLATFORM):
+            assert spec.min_node_power_w < spec.max_node_power_w
+
+    def test_validate_frequency(self):
+        assert ARM_PLATFORM.validate_frequency(1.8) == 1.8
+        with pytest.raises(ValidationError):
+            ARM_PLATFORM.validate_frequency(3.0)
+
+    def test_invalid_default_freq_rejected(self):
+        from repro.hardware.platform import PlatformSpec
+
+        with pytest.raises(ValidationError):
+            PlatformSpec(
+                name="bad", arch="arm", n_cores=4,
+                freq_levels_ghz=(1.0,), default_freq_ghz=2.0,
+                cpu_idle_w=1, cpu_dyn_w=1, mem_idle_w=1, mem_dyn_w=1,
+            )
+
+
+class TestCPUPowerModel:
+    def test_monotone_in_activity(self):
+        m = CPUPowerModel(ARM_PLATFORM, noise_w=0.0, intensity_sigma=0.0)
+        low = m.power(np.full(30, 0.1), 2.2, rng=0).mean()
+        high = m.power(np.full(30, 0.9), 2.2, rng=0).mean()
+        assert high > low
+
+    def test_superlinear_in_frequency(self):
+        m = CPUPowerModel(ARM_PLATFORM, noise_w=0.0, intensity_sigma=0.0)
+        a = np.full(20, 0.8)
+        p14 = m.power(a, 1.4, rng=0).mean()
+        p22 = m.power(a, 2.2, rng=0).mean()
+        # dynamic part should scale faster than linearly with f
+        assert p22 / p14 > 2.2 / 1.4 * 0.9
+
+    def test_activity_bounds_checked(self):
+        m = CPUPowerModel(ARM_PLATFORM)
+        with pytest.raises(ValidationError):
+            m.power(np.array([1.5]), 2.2)
+
+    def test_stepper_matches_vector_path(self):
+        m = CPUPowerModel(ARM_PLATFORM)
+        a = np.linspace(0.2, 0.9, 40)
+        vec = m.power(a, 2.2, rng=7)
+        stepper = m.make_stepper(rng=7)
+        step = np.array([stepper.step(float(x), 2.2) for x in a])
+        np.testing.assert_allclose(vec, step)
+
+    def test_power_scale_raises_dynamic_power(self):
+        m = CPUPowerModel(ARM_PLATFORM, noise_w=0.0, intensity_sigma=0.0)
+        a = np.full(20, 0.8)
+        base = m.power(a, 2.2, rng=0).mean()
+        scaled = m.power(a, 2.2, rng=0, power_scale=1.3).mean()
+        assert scaled > base
+
+    def test_always_positive(self):
+        m = CPUPowerModel(ARM_PLATFORM, noise_w=50.0)
+        p = m.power(np.zeros(200), 1.4, rng=3)
+        assert (p > 0).all()
+
+
+class TestMemoryPowerModel:
+    def test_monotone_in_intensity(self):
+        m = MemoryPowerModel(ARM_PLATFORM, noise_w=0.0, intensity_sigma=0.0)
+        low = m.power(np.full(30, 0.1), rng=0).mean()
+        high = m.power(np.full(30, 0.9), rng=0).mean()
+        assert high > low
+
+    def test_narrow_range(self):
+        # DRAM range is narrow relative to CPU (the paper leans on this).
+        m = MemoryPowerModel(ARM_PLATFORM, noise_w=0.0, intensity_sigma=0.0)
+        span = m.power(np.array([1.0]), rng=0)[0] - m.power(np.array([0.0]), rng=0)[0]
+        assert span < ARM_PLATFORM.cpu_dyn_w
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValidationError):
+            MemoryPowerModel(ARM_PLATFORM).power(np.array([-0.1]))
+
+
+class TestPMUModel:
+    def make(self, n=50, traits=None, **kw):
+        pmu = PMUModel(ARM_PLATFORM, **kw)
+        a = np.linspace(0.2, 0.9, n)
+        m = np.linspace(0.1, 0.8, n)
+        return pmu.counters(a, m, 2.2, traits or WorkloadTraits(), rng=0)
+
+    def test_shape(self):
+        assert self.make(30).shape == (30, len(PMC_EVENTS))
+
+    def test_nonnegative(self):
+        assert (self.make(100) >= 0).all()
+
+    def test_cycles_track_activity(self):
+        counters = self.make(50, sample_noise=0.0, multiplex_drop=0.0)
+        cycles = counters[:, 0]
+        assert cycles[-1] > cycles[0]  # activity ramps up
+
+    def test_mem_access_tracks_memory(self):
+        counters = self.make(50, sample_noise=0.0, multiplex_drop=0.0)
+        mem = counters[:, -1]
+        assert mem[-1] > mem[0]
+
+    def test_traits_shift_instruction_mix(self):
+        heavy = WorkloadTraits(branch_ratio=0.4)
+        light = WorkloadTraits(branch_ratio=0.05)
+        ch = self.make(20, traits=heavy, sample_noise=0.0, multiplex_drop=0.0)
+        cl = self.make(20, traits=light, sample_noise=0.0, multiplex_drop=0.0)
+        assert ch[:, 2].mean() > cl[:, 2].mean()
+
+    def test_traits_validation(self):
+        with pytest.raises(ValidationError):
+            WorkloadTraits(ipc_scale=0.0)
+        with pytest.raises(ValidationError):
+            WorkloadTraits(locality=1.5)
+
+    def test_random_traits_deterministic(self):
+        a = WorkloadTraits.random(np.random.default_rng(1))
+        b = WorkloadTraits.random(np.random.default_rng(1))
+        assert a == b
+
+
+class TestNodeSimulator:
+    def test_additivity_invariant(self, small_bundle):
+        assert small_bundle.check_additivity(atol=1e-9)
+
+    def test_other_power_band(self, small_bundle):
+        other = small_bundle.other.values
+        assert np.all(np.abs(other - 25.0) < 1.0)  # "just under 1 W"
+
+    def test_deterministic_runs(self, catalog):
+        w = catalog.get("spec_gcc")
+        a = NodeSimulator(ARM_PLATFORM, seed=5).run(w, duration_s=60)
+        b = NodeSimulator(ARM_PLATFORM, seed=5).run(w, duration_s=60)
+        np.testing.assert_allclose(a.node.values, b.node.values)
+
+    def test_run_ids_differ(self, catalog, arm_sim):
+        w = catalog.get("spec_gcc")
+        a = arm_sim.run(w, duration_s=60, run_id=0)
+        b = arm_sim.run(w, duration_s=60, run_id=1)
+        assert not np.allclose(a.node.values, b.node.values)
+
+    def test_lower_frequency_lowers_power(self, catalog):
+        sim = NodeSimulator(ARM_PLATFORM, seed=5)
+        w = catalog.get("hpcc_hpl")
+        hi = sim.run(w, duration_s=80, freq_ghz=2.2)
+        lo = sim.run(w, duration_s=80, freq_ghz=1.4)
+        assert lo.cpu.mean_power() < hi.cpu.mean_power()
+
+    def test_invalid_frequency_rejected(self, catalog, arm_sim):
+        with pytest.raises(ValidationError):
+            arm_sim.run(catalog.get("spec_gcc"), duration_s=30, freq_ghz=9.9)
+
+    def test_controlled_run_obeys_controller(self, catalog):
+        sim = NodeSimulator(ARM_PLATFORM, seed=5)
+        w = catalog.get("hpcc_hpl")
+        freqs = []
+
+        def controller(t, history):
+            f = 1.4 if t > 40 else 2.2
+            freqs.append(f)
+            return f
+
+        b = sim.run_controlled(w, controller, duration_s=80)
+        meta = b.metadata["freq_ghz"]
+        assert (meta[:40] == 2.2).all()
+        assert (meta[41:] == 1.4).all()
+        # power drops after the downshift
+        assert b.cpu.values[50:].mean() < b.cpu.values[10:40].mean()
+
+    def test_controlled_rejects_bad_frequency(self, catalog, arm_sim):
+        with pytest.raises(ValidationError):
+            arm_sim.run_controlled(
+                catalog.get("spec_gcc"), lambda t, h: 7.7, duration_s=20
+            )

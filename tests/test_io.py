@@ -1,0 +1,98 @@
+"""Tests for campaign persistence and CSV export."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.io import (
+    export_monitor_csv,
+    import_monitor_csv,
+    load_bundle,
+    load_campaign,
+    load_readings,
+    save_bundle,
+    save_campaign,
+    save_readings,
+)
+from repro.sensors import IPMISensor, SparseReadings
+from repro.hardware import ARM_PLATFORM
+
+
+class TestBundleRoundtrip:
+    def test_single_bundle(self, small_bundle, tmp_path):
+        path = str(tmp_path / "bundle.npz")
+        save_bundle(path, small_bundle)
+        loaded = load_bundle(path)
+        np.testing.assert_allclose(loaded.node.values, small_bundle.node.values)
+        np.testing.assert_allclose(loaded.pmcs.matrix, small_bundle.pmcs.matrix)
+        assert loaded.workload == small_bundle.workload
+        assert loaded.platform == small_bundle.platform
+        assert loaded.pmcs.events == small_bundle.pmcs.events
+        assert loaded.check_additivity(atol=1e-9)
+
+    def test_extension_appended(self, small_bundle, tmp_path):
+        path = str(tmp_path / "noext")
+        save_bundle(path, small_bundle)
+        loaded = load_bundle(path)  # finds noext.npz
+        assert len(loaded) == len(small_bundle)
+
+    def test_campaign_roundtrip(self, train_bundles, tmp_path):
+        path = str(tmp_path / "campaign.npz")
+        save_campaign(path, train_bundles)
+        loaded = load_campaign(path)
+        assert len(loaded) == len(train_bundles)
+        for a, b in zip(loaded, train_bundles):
+            assert a.workload == b.workload
+            np.testing.assert_allclose(a.node.values, b.node.values)
+
+    def test_empty_campaign_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            save_campaign(str(tmp_path / "x.npz"), [])
+
+    def test_future_version_rejected(self, small_bundle, tmp_path):
+        path = str(tmp_path / "bundle.npz")
+        save_bundle(path, small_bundle)
+        import numpy as np2
+
+        with np2.load(path) as arrays:
+            data = {k: arrays[k] for k in arrays.files}
+        data["format_version"] = np2.array([99])
+        np2.savez(path, **data)
+        with pytest.raises(ValidationError):
+            load_bundle(path)
+
+
+class TestReadingsRoundtrip:
+    def test_roundtrip(self, small_bundle, tmp_path):
+        readings = IPMISensor(ARM_PLATFORM, seed=1).sample(small_bundle)
+        path = str(tmp_path / "readings.npz")
+        save_readings(path, readings)
+        loaded = load_readings(path)
+        np.testing.assert_array_equal(loaded.indices, readings.indices)
+        np.testing.assert_allclose(loaded.values, readings.values)
+        assert loaded.interval_s == readings.interval_s
+        assert loaded.n_dense == readings.n_dense
+
+
+class TestCSV:
+    def test_roundtrip(self, tmp_path, rng):
+        node = rng.uniform(60, 110, 50)
+        cpu = rng.uniform(20, 60, 50)
+        mem = rng.uniform(5, 35, 50)
+        path = str(tmp_path / "log.csv")
+        export_monitor_csv(path, node, cpu, mem)
+        n2, c2, m2 = import_monitor_csv(path)
+        np.testing.assert_allclose(n2, node, atol=1e-4)
+        np.testing.assert_allclose(c2, cpu, atol=1e-4)
+        np.testing.assert_allclose(m2, mem, atol=1e-4)
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            export_monitor_csv(str(tmp_path / "x.csv"),
+                               np.ones(3), np.ones(4), np.ones(3))
+
+    def test_bad_csv_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValidationError):
+            import_monitor_csv(str(path))

@@ -1,0 +1,71 @@
+"""Edge-case sweep across modules: empty inputs, boundary shapes, errors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.eval.tables import format_table
+from repro.gpu import gpu_workload
+from repro.interp import CubicSplineInterpolator
+from repro.ml import KFold, LinearRegression, mape
+from repro.sensors import SparseReadings
+from repro.types import PowerTrace
+from repro.utils.timeseries import sliding_windows
+
+
+class TestBoundaryShapes:
+    def test_format_table_no_rows(self):
+        text = format_table("empty", ["A", "B"], [])
+        assert "empty" in text and "A" in text
+
+    def test_spline_exact_minimum_knots(self):
+        s = CubicSplineInterpolator().fit([0.0, 1.0], [10.0, 20.0])
+        assert s.predict([0.5])[0] == pytest.approx(15.0)
+
+    def test_single_sample_window(self):
+        w = sliding_windows(np.array([1.0]), 1)
+        assert w.shape == (1, 1)
+
+    def test_single_row_regression(self):
+        m = LinearRegression().fit(np.array([[1.0, 2.0]]), np.array([3.0]))
+        assert np.isfinite(m.predict(np.array([[1.0, 2.0]]))).all()
+
+    def test_kfold_exact_n_splits(self):
+        folds = list(KFold(n_splits=5).split(5))
+        assert all(len(test) == 1 for _, test in folds)
+
+    def test_power_trace_single_sample(self):
+        t = PowerTrace(np.array([42.0]))
+        assert t.energy_joules() == 42.0
+        assert t.peak_power() == t.mean_power() == 42.0
+
+    def test_sparse_readings_single(self):
+        r = SparseReadings(np.array([0]), np.array([50.0]), 10, 5)
+        assert len(r) == 1
+
+
+class TestGPUWorkloadEdges:
+    def test_synthesize_deterministic_given_rng(self):
+        w = gpu_workload("gemm", seed=4)
+        a = w.synthesize_gpu(50, np.random.default_rng(1))
+        b = w.synthesize_gpu(50, np.random.default_rng(1))
+        np.testing.assert_allclose(a[0], b[0])
+
+    def test_gpu_utilisation_bounds(self):
+        w = gpu_workload("graph_analytics", seed=4)
+        sm, mem = w.synthesize_gpu(200, np.random.default_rng(2))
+        assert (sm >= 0).all() and (sm <= 1).all()
+        assert (mem >= 0).all() and (mem <= 1).all()
+
+    def test_seeded_workloads_reproducible(self):
+        a = gpu_workload("stencil", seed=7)
+        b = gpu_workload("stencil", seed=7)
+        assert a.gpu_power_scale == b.gpu_power_scale
+
+
+class TestMetricEdges:
+    def test_mape_huge_values(self):
+        assert mape([1e12], [1.1e12]) == pytest.approx(10.0)
+
+    def test_mape_tiny_values(self):
+        assert np.isfinite(mape([1e-15], [2e-15]))

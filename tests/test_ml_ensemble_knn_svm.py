@@ -1,0 +1,127 @@
+"""Tests for ensembles, KNN, and SVR."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    DecisionTreeRegressor,
+    GradientBoostingRegressor,
+    KNeighborsRegressor,
+    RandomForestRegressor,
+    SVR,
+    rmse,
+)
+
+
+@pytest.fixture()
+def noisy_nonlinear(rng):
+    X = rng.uniform(-2, 2, size=(400, 2))
+    y = np.sin(2 * X[:, 0]) + 0.5 * X[:, 1] ** 2 + 0.05 * rng.normal(size=400)
+    return X[:300], y[:300], X[300:], y[300:]
+
+
+class TestRandomForest:
+    def test_beats_single_noisy_tree_out_of_sample(self, noisy_nonlinear, rng):
+        Xtr, ytr, Xte, yte = noisy_nonlinear
+        tree = DecisionTreeRegressor().fit(Xtr, ytr)
+        forest = RandomForestRegressor(n_estimators=10, random_state=0).fit(Xtr, ytr)
+        assert rmse(yte, forest.predict(Xte)) <= rmse(yte, tree.predict(Xte)) * 1.1
+
+    def test_deterministic_given_seed(self, noisy_nonlinear):
+        Xtr, ytr, Xte, _ = noisy_nonlinear
+        a = RandomForestRegressor(random_state=3).fit(Xtr, ytr).predict(Xte)
+        b = RandomForestRegressor(random_state=3).fit(Xtr, ytr).predict(Xte)
+        np.testing.assert_allclose(a, b)
+
+    def test_n_estimators_respected(self, noisy_nonlinear):
+        Xtr, ytr, _, _ = noisy_nonlinear
+        m = RandomForestRegressor(n_estimators=4).fit(Xtr, ytr)
+        assert len(m.estimators_) == 4
+
+
+class TestGradientBoosting:
+    def test_training_error_decreases_with_stages(self, noisy_nonlinear):
+        Xtr, ytr, _, _ = noisy_nonlinear
+        m = GradientBoostingRegressor(n_estimators=10, learning_rate=0.3).fit(Xtr, ytr)
+        errors = [rmse(ytr, p) for p in m.staged_predict(Xtr)]
+        assert errors[-1] < errors[0]
+
+    def test_fits_constant_immediately(self, rng):
+        X = rng.normal(size=(50, 2))
+        y = np.full(50, 4.0)
+        m = GradientBoostingRegressor(n_estimators=2).fit(X, y)
+        np.testing.assert_allclose(m.predict(X), 4.0, atol=1e-9)
+
+    def test_subsample_valid_range(self):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(subsample=0.0)
+
+    def test_beats_mean_baseline(self, noisy_nonlinear):
+        Xtr, ytr, Xte, yte = noisy_nonlinear
+        m = GradientBoostingRegressor(n_estimators=10).fit(Xtr, ytr)
+        assert rmse(yte, m.predict(Xte)) < rmse(yte, np.full_like(yte, ytr.mean()))
+
+
+class TestKNN:
+    def test_exact_on_training_points_k1(self, rng):
+        X = rng.normal(size=(40, 3))
+        y = rng.normal(size=40)
+        m = KNeighborsRegressor(n_neighbors=1).fit(X, y)
+        np.testing.assert_allclose(m.predict(X), y, atol=1e-9)
+
+    def test_k3_averages(self):
+        X = np.array([[0.0], [1.0], [2.0], [10.0]])
+        y = np.array([0.0, 1.0, 2.0, 50.0])
+        m = KNeighborsRegressor(n_neighbors=3).fit(X, y)
+        assert m.predict(np.array([[1.0]]))[0] == pytest.approx(1.0)
+
+    def test_distance_weighting_prefers_closer(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0.0, 10.0])
+        m = KNeighborsRegressor(n_neighbors=2, weights="distance").fit(X, y)
+        assert m.predict(np.array([[0.1]]))[0] < 5.0
+
+    def test_chunked_matches_unchunked(self, rng):
+        X = rng.normal(size=(300, 4))
+        y = rng.normal(size=300)
+        Xq = rng.normal(size=(100, 4))
+        big = KNeighborsRegressor(chunk_size=10000).fit(X, y).predict(Xq)
+        small = KNeighborsRegressor(chunk_size=7).fit(X, y).predict(Xq)
+        np.testing.assert_allclose(big, small, atol=1e-10)
+
+    def test_too_few_training_rows(self):
+        with pytest.raises(ValueError):
+            KNeighborsRegressor(n_neighbors=5).fit(np.ones((3, 1)), np.ones(3))
+
+
+class TestSVR:
+    def test_fits_linear_trend(self, rng):
+        X = rng.uniform(-1, 1, size=(200, 2))
+        y = 3.0 * X[:, 0] - X[:, 1] + 5.0
+        m = SVR(C=10.0, epsilon=0.01, max_iter=800, random_state=0).fit(X, y)
+        assert rmse(y, m.predict(X)) < 0.6
+
+    def test_predictions_finite(self, rng):
+        X = rng.normal(size=(150, 3))
+        y = np.sin(X[:, 0])
+        m = SVR(random_state=0).fit(X, y)
+        assert np.isfinite(m.predict(X)).all()
+
+    def test_anchor_budget_respected(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = rng.normal(size=100)
+        m = SVR(max_anchors=20, random_state=0).fit(X, y)
+        assert m.anchors_.shape[0] == 20
+
+    def test_n_support_reported(self, rng):
+        X = rng.normal(size=(80, 2))
+        y = X[:, 0]
+        m = SVR(random_state=0).fit(X, y)
+        assert 0 < m.n_support_ <= 80
+
+    def test_deterministic(self, rng):
+        X = rng.normal(size=(60, 2))
+        y = X[:, 0]
+        a = SVR(random_state=2).fit(X, y).predict(X)
+        b = SVR(random_state=2).fit(X, y).predict(X)
+        np.testing.assert_allclose(a, b)

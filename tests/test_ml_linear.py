@@ -1,0 +1,109 @@
+"""Tests for the linear model family."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.ml import (
+    LassoRegression,
+    LinearRegression,
+    RidgeRegression,
+    SGDRegressor,
+    rmse,
+)
+
+
+@pytest.fixture()
+def linear_data(rng):
+    X = rng.normal(size=(300, 5))
+    w = np.array([2.0, -1.0, 0.5, 0.0, 3.0])
+    y = X @ w + 1.5 + 0.01 * rng.normal(size=300)
+    return X, y, w
+
+
+class TestLinearRegression:
+    def test_recovers_coefficients(self, linear_data):
+        X, y, w = linear_data
+        m = LinearRegression().fit(X, y)
+        np.testing.assert_allclose(m.coef_, w, atol=0.02)
+        assert m.intercept_ == pytest.approx(1.5, abs=0.02)
+
+    def test_no_intercept(self, linear_data):
+        X, y, _ = linear_data
+        m = LinearRegression(fit_intercept=False).fit(X, y)
+        assert m.intercept_ == 0.0
+
+    def test_rank_deficient_is_stable(self, rng):
+        x = rng.normal(size=(50, 1))
+        X = np.column_stack([x, x, x])  # perfectly collinear
+        y = x.ravel() * 3.0
+        m = LinearRegression().fit(X, y)
+        assert np.isfinite(m.predict(X)).all()
+        assert rmse(y, m.predict(X)) < 1e-8
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            LinearRegression().predict(np.ones((2, 2)))
+
+
+class TestRidge:
+    def test_matches_ols_at_zero_alpha(self, linear_data):
+        X, y, _ = linear_data
+        ols = LinearRegression().fit(X, y)
+        ridge = RidgeRegression(alpha=0.0).fit(X, y)
+        np.testing.assert_allclose(ridge.coef_, ols.coef_, atol=1e-8)
+
+    def test_shrinks_with_alpha(self, linear_data):
+        X, y, _ = linear_data
+        small = RidgeRegression(alpha=0.1).fit(X, y)
+        large = RidgeRegression(alpha=1e4).fit(X, y)
+        assert np.linalg.norm(large.coef_) < np.linalg.norm(small.coef_)
+
+    def test_intercept_not_penalised(self, rng):
+        y = rng.normal(100.0, 0.1, size=60)
+        X = rng.normal(size=(60, 2))
+        m = RidgeRegression(alpha=1e6).fit(X, y)
+        assert m.intercept_ == pytest.approx(100.0, abs=0.5)
+
+
+class TestLasso:
+    def test_sparsifies(self, linear_data):
+        X, y, w = linear_data
+        m = LassoRegression(alpha=0.05).fit(X, y)
+        # the truly-zero coefficient should be (near) zero
+        assert abs(m.coef_[3]) < 0.05
+
+    def test_zero_alpha_close_to_ols(self, linear_data):
+        X, y, w = linear_data
+        m = LassoRegression(alpha=1e-8, max_iter=3000).fit(X, y)
+        np.testing.assert_allclose(m.coef_, w, atol=0.05)
+
+    def test_huge_alpha_kills_all(self, linear_data):
+        X, y, _ = linear_data
+        m = LassoRegression(alpha=1e4).fit(X, y)
+        np.testing.assert_allclose(m.coef_, 0.0, atol=1e-10)
+
+    def test_converges(self, linear_data):
+        X, y, _ = linear_data
+        m = LassoRegression(alpha=0.01).fit(X, y)
+        assert m.n_iter_ < m.max_iter
+
+
+class TestSGD:
+    def test_fits_scaled_data(self, linear_data):
+        X, y, _ = linear_data
+        m = SGDRegressor(max_iter=5000, random_state=0).fit(X, y)
+        assert rmse(y, m.predict(X)) < 0.4
+
+    def test_deterministic_given_seed(self, linear_data):
+        X, y, _ = linear_data
+        a = SGDRegressor(max_iter=500, random_state=1).fit(X, y).predict(X)
+        b = SGDRegressor(max_iter=500, random_state=1).fit(X, y).predict(X)
+        np.testing.assert_allclose(a, b)
+
+    def test_get_set_params_roundtrip(self):
+        m = SGDRegressor(eta0=0.5)
+        params = m.get_params()
+        assert params["eta0"] == 0.5
+        m.set_params(eta0=0.1)
+        assert m.eta0 == 0.1

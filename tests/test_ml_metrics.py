@@ -1,0 +1,77 @@
+"""Tests for the paper's four evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.ml import mae, mape, r2_score, rmse, score_report
+
+
+class TestMape:
+    def test_perfect_prediction(self):
+        assert mape([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_known_value(self):
+        # 50% off on one of two samples -> 25% mean
+        assert mape([2.0, 2.0], [2.0, 3.0]) == pytest.approx(25.0)
+
+    def test_symmetric_in_error_sign(self):
+        assert mape([10.0], [9.0]) == mape([10.0], [11.0])
+
+    def test_zero_truth_guard(self):
+        assert np.isfinite(mape([0.0, 1.0], [1.0, 1.0]))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            mape([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            mape([], [])
+
+
+class TestRmseMae:
+    def test_rmse_known(self):
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+
+    def test_mae_known(self):
+        assert mae([0.0, 0.0], [3.0, -4.0]) == pytest.approx(3.5)
+
+    def test_rmse_at_least_mae(self, rng):
+        t = rng.normal(size=100)
+        p = t + rng.normal(size=100)
+        assert rmse(t, p) >= mae(t, p)
+
+
+class TestR2:
+    def test_perfect(self):
+        assert r2_score([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 1.0
+
+    def test_mean_prediction_is_zero(self):
+        t = np.array([1.0, 2.0, 3.0])
+        assert r2_score(t, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_worse_than_mean_is_negative(self):
+        assert r2_score([1.0, 2.0, 3.0], [3.0, 3.0, 0.0]) < 0.0
+
+    def test_constant_truth_conventions(self):
+        assert r2_score([2.0, 2.0], [2.0, 2.0]) == 1.0
+        assert r2_score([2.0, 2.0], [1.0, 3.0]) == 0.0
+
+
+class TestScoreReport:
+    def test_bundles_all_four(self, rng):
+        t = rng.uniform(50, 100, 50)
+        p = t + rng.normal(0, 2, 50)
+        r = score_report(t, p)
+        assert r.mape == pytest.approx(mape(t, p))
+        assert r.rmse == pytest.approx(rmse(t, p))
+        assert r.mae == pytest.approx(mae(t, p))
+        assert r.r2 == pytest.approx(r2_score(t, p))
+
+    def test_as_row(self):
+        r = score_report([1.0, 2.0], [1.0, 2.0])
+        assert r.as_row() == (0.0, 0.0, 0.0)
+
+    def test_str_contains_metrics(self):
+        assert "MAPE" in str(score_report([1.0], [1.0]))

@@ -1,0 +1,94 @@
+"""Tests for K-fold, train/test split, and grid search."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.ml import GridSearchCV, KFold, RidgeRegression, train_test_split
+from repro.ml.model_selection import cross_val_score
+
+
+class TestKFold:
+    def test_partitions_everything_once(self):
+        kf = KFold(n_splits=4)
+        seen = []
+        for train, test in kf.split(20):
+            seen.extend(test.tolist())
+            assert set(train) & set(test) == set()
+        assert sorted(seen) == list(range(20))
+
+    def test_split_count(self):
+        assert len(list(KFold(5).split(50))) == 5
+
+    def test_shuffle_is_deterministic(self):
+        a = [t.tolist() for _, t in KFold(3, shuffle=True, random_state=1).split(12)]
+        b = [t.tolist() for _, t in KFold(3, shuffle=True, random_state=1).split(12)]
+        assert a == b
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValidationError):
+            list(KFold(5).split(3))
+
+    def test_min_splits(self):
+        with pytest.raises(ValidationError):
+            KFold(1)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, rng):
+        X = rng.normal(size=(40, 2))
+        y = rng.normal(size=40)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, test_size=0.25, random_state=0)
+        assert Xtr.shape == (30, 2) and Xte.shape == (10, 2)
+        assert ytr.shape == (30,) and yte.shape == (10,)
+
+    def test_rows_stay_aligned(self, rng):
+        X = np.arange(20).reshape(20, 1).astype(float)
+        y = np.arange(20).astype(float)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, random_state=3)
+        np.testing.assert_allclose(Xtr.ravel(), ytr)
+        np.testing.assert_allclose(Xte.ravel(), yte)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValidationError):
+            train_test_split(np.ones(5), np.ones(6))
+
+    def test_degenerate_split(self):
+        with pytest.raises(ValidationError):
+            train_test_split(np.ones(3), test_size=0.0)
+
+
+class TestCrossValScore:
+    def test_returns_per_fold(self, rng):
+        X = rng.normal(size=(50, 3))
+        y = X @ np.ones(3) + 100.0  # keep targets away from zero (MAPE scorer)
+        scores = cross_val_score(RidgeRegression(), X, y, cv=5)
+        assert scores.shape == (5,)
+        assert (scores < 1.0).all()  # near-perfect linear fit
+
+
+class TestGridSearch:
+    def test_finds_better_alpha(self, rng):
+        X = rng.normal(size=(100, 8))
+        y = X[:, 0] + 0.01 * rng.normal(size=100)
+        gs = GridSearchCV(
+            RidgeRegression(), {"alpha": [1e-4, 1e4]}, cv=KFold(4)
+        ).fit(X, y)
+        assert gs.best_params_["alpha"] == 1e-4
+        assert len(gs.results_) == 2
+
+    def test_best_estimator_refit_on_all_data(self, rng):
+        X = rng.normal(size=(60, 2))
+        y = X[:, 0]
+        gs = GridSearchCV(RidgeRegression(), {"alpha": [0.1]}, cv=3).fit(X, y)
+        assert gs.best_estimator_.coef_ is not None
+        assert np.isfinite(gs.predict(X)).all()
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValidationError):
+            GridSearchCV(RidgeRegression(), {})
+
+    def test_predict_before_fit(self):
+        gs = GridSearchCV(RidgeRegression(), {"alpha": [1.0]})
+        with pytest.raises(ValidationError):
+            gs.predict(np.ones((2, 2)))

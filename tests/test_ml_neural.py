@@ -1,0 +1,81 @@
+"""Tests for the MLP (NN baseline + SRR model)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, NotFittedError, ValidationError
+from repro.ml import MLPRegressor, rmse
+
+
+class TestMLP:
+    def test_fits_linear_function(self, rng):
+        X = rng.normal(size=(400, 3))
+        y = X @ np.array([1.0, -2.0, 0.5]) + 3.0
+        m = MLPRegressor(hidden_layer_sizes=16, max_iter=3000, random_state=0)
+        m.fit(X, y)
+        assert rmse(y, m.predict(X)) < 0.35
+
+    def test_fits_nonlinear_function(self, rng):
+        X = rng.uniform(-2, 2, size=(600, 1))
+        y = np.sin(2 * X[:, 0])
+        m = MLPRegressor(hidden_layer_sizes=(32, 16), max_iter=5000, random_state=0)
+        m.fit(X, y)
+        assert rmse(y, m.predict(X)) < 0.25
+
+    def test_multi_output(self, rng):
+        X = rng.normal(size=(300, 4))
+        Y = np.column_stack([X[:, 0] * 2.0 + 1.0, X[:, 1] - X[:, 2]])
+        m = MLPRegressor(hidden_layer_sizes=24, max_iter=4000, random_state=0)
+        m.fit(X, Y)
+        pred = m.predict(X)
+        assert pred.shape == (300, 2)
+        assert rmse(Y[:, 0], pred[:, 0]) < 0.4
+        assert rmse(Y[:, 1], pred[:, 1]) < 0.4
+
+    def test_output_shape_1d(self, rng):
+        X = rng.normal(size=(50, 2))
+        m = MLPRegressor(max_iter=100, random_state=0).fit(X, X[:, 0])
+        assert m.predict(X).shape == (50,)
+
+    def test_deterministic_given_seed(self, rng):
+        X = rng.normal(size=(80, 2))
+        y = X[:, 0]
+        a = MLPRegressor(max_iter=300, random_state=4).fit(X, y).predict(X)
+        b = MLPRegressor(max_iter=300, random_state=4).fit(X, y).predict(X)
+        np.testing.assert_allclose(a, b)
+
+    def test_warm_start_continues(self, rng):
+        X = rng.normal(size=(300, 2))
+        y = X[:, 0] * 3.0
+        m = MLPRegressor(max_iter=200, random_state=0).fit(X, y)
+        err_before = rmse(y, m.predict(X))
+        m.partial_fit(X, y, n_steps=2000)
+        assert rmse(y, m.predict(X)) <= err_before
+
+    def test_raw_pmcs_scale_handled(self, rng):
+        # Features spanning 1e0..1e9, like real counters.
+        X = np.column_stack([
+            rng.uniform(0, 1, 200) * 1e9,
+            rng.uniform(0, 1, 200) * 1e3,
+        ])
+        y = X[:, 0] / 1e9 + X[:, 1] / 1e3
+        m = MLPRegressor(hidden_layer_sizes=16, max_iter=3000, random_state=0)
+        m.fit(X, y)
+        assert rmse(y, m.predict(X)) < 0.3
+
+    def test_invalid_activation(self):
+        with pytest.raises(ValidationError):
+            MLPRegressor(activation="softplus")
+
+    def test_invalid_hidden_sizes(self):
+        with pytest.raises(ValidationError):
+            MLPRegressor(hidden_layer_sizes=(0,))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            MLPRegressor().predict(np.ones((2, 2)))
+
+    def test_loss_curve_recorded(self, rng):
+        X = rng.normal(size=(60, 2))
+        m = MLPRegressor(max_iter=50, random_state=0).fit(X, X[:, 0])
+        assert len(m.loss_curve_) > 0

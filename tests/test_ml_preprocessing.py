@@ -1,0 +1,104 @@
+"""Tests for scalers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.ml import MinMaxScaler, StandardScaler
+from repro.errors import ValidationError
+from repro.ml.preprocessing import PolynomialFeatures, TargetScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_var(self, rng):
+        X = rng.normal(5, 3, size=(200, 4))
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(Z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_roundtrip(self, rng):
+        X = rng.normal(size=(50, 3))
+        s = StandardScaler().fit(X)
+        np.testing.assert_allclose(s.inverse_transform(s.transform(X)), X, atol=1e-12)
+
+    def test_constant_column_no_nan(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.isfinite(Z).all()
+        np.testing.assert_allclose(Z[:, 0], 0.0)
+
+    def test_transform_before_fit(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+
+class TestMinMaxScaler:
+    def test_range(self, rng):
+        X = rng.normal(size=(100, 3))
+        Z = MinMaxScaler().fit_transform(X)
+        assert Z.min() >= 0.0 and Z.max() <= 1.0
+        np.testing.assert_allclose(Z.min(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(Z.max(axis=0), 1.0, atol=1e-12)
+
+    def test_custom_range(self, rng):
+        X = rng.normal(size=(50, 2))
+        Z = MinMaxScaler(feature_range=(-1, 1)).fit_transform(X)
+        np.testing.assert_allclose(Z.min(axis=0), -1.0, atol=1e-12)
+
+    def test_roundtrip(self, rng):
+        X = rng.normal(size=(30, 2))
+        s = MinMaxScaler().fit(X)
+        np.testing.assert_allclose(s.inverse_transform(s.transform(X)), X, atol=1e-12)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler(feature_range=(1, 1))
+
+    def test_constant_column_maps_to_lo(self):
+        X = np.full((5, 1), 7.0)
+        Z = MinMaxScaler(feature_range=(0.2, 0.8)).fit_transform(X)
+        np.testing.assert_allclose(Z, 0.2)
+
+
+class TestTargetScaler:
+    def test_roundtrip_1d(self, rng):
+        y = rng.uniform(20, 90, 40)
+        s = TargetScaler().fit(y)
+        np.testing.assert_allclose(s.inverse_transform(s.transform(y)), y, atol=1e-12)
+
+
+class TestPolynomialFeatures:
+    def test_squares_appended(self):
+        X = np.array([[2.0, 3.0]])
+        Z = PolynomialFeatures().fit_transform(X)
+        np.testing.assert_allclose(Z, [[2.0, 3.0, 4.0, 9.0]])
+
+    def test_interactions(self):
+        X = np.array([[2.0, 3.0, 4.0]])
+        pf = PolynomialFeatures(interaction=True)
+        Z = pf.fit_transform(X)
+        assert Z.shape == (1, pf.n_output_features())
+        np.testing.assert_allclose(Z[0, -3:], [6.0, 8.0, 12.0])
+
+    def test_column_count(self):
+        pf = PolynomialFeatures(interaction=True).fit(np.ones((2, 4)))
+        assert pf.n_output_features() == 8 + 6
+
+    def test_feature_count_checked(self):
+        pf = PolynomialFeatures().fit(np.ones((2, 3)))
+        with pytest.raises(ValidationError):
+            pf.transform(np.ones((2, 4)))
+
+    def test_transform_before_fit(self):
+        from repro.errors import NotFittedError
+        with pytest.raises(NotFittedError):
+            PolynomialFeatures().transform(np.ones((1, 2)))
+
+    def test_helps_linear_model_on_quadratic_data(self, rng):
+        from repro.ml import LinearRegression, rmse
+        X = rng.uniform(-2, 2, size=(300, 1))
+        y = 3.0 * X[:, 0] ** 2 + 1.0
+        plain = LinearRegression().fit(X, y)
+        Z = PolynomialFeatures().fit_transform(X)
+        poly = LinearRegression().fit(Z, y)
+        assert rmse(y, poly.predict(Z)) < rmse(y, plain.predict(X)) * 0.2

@@ -1,0 +1,93 @@
+"""Tests for the Table-4 model zoo and the base estimator contract."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.ml import BASELINE_MODELS, baseline_names, clone, make_baseline
+from repro.ml.base import Regressor
+from repro.ml.registry import MODEL_GROUPS, SEQUENCE_MODELS, is_sequence_model
+
+
+class TestRegistry:
+    def test_twelve_models(self):
+        assert len(baseline_names()) == 12
+
+    def test_paper_abbreviations_present(self):
+        expected = {"LR", "LaR", "RR", "SGD", "DT", "RF", "GB", "KNN", "SVM",
+                    "NN", "GRU", "LSTM"}
+        assert set(baseline_names()) == expected
+
+    def test_groups_cover_all(self):
+        grouped = [n for names in MODEL_GROUPS.values() for n in names]
+        assert sorted(grouped) == sorted(baseline_names())
+
+    def test_sequence_models(self):
+        assert SEQUENCE_MODELS == {"GRU", "LSTM"}
+        assert is_sequence_model("LSTM") and not is_sequence_model("LR")
+
+    def test_factories_return_fresh_instances(self):
+        a = make_baseline("DT")
+        b = make_baseline("DT")
+        assert a is not b
+
+    def test_unknown_name(self):
+        with pytest.raises(ValidationError):
+            make_baseline("XGB")
+
+    @pytest.mark.parametrize("name", [n for n in BASELINE_MODELS if n not in SEQUENCE_MODELS])
+    def test_flat_models_fit_predict(self, name, rng):
+        X = rng.uniform(0, 1, size=(120, 4)) * np.array([1e9, 1e6, 1e3, 1.0])
+        y = 40.0 + 30.0 * X[:, 0] / 1e9 + rng.normal(0, 0.5, 120)
+        m = make_baseline(name)
+        m.fit(X[:90], y[:90])
+        pred = m.predict(X[90:])
+        assert pred.shape == (30,)
+        assert np.isfinite(pred).all()
+
+    @pytest.mark.parametrize("name", sorted(SEQUENCE_MODELS))
+    def test_sequence_models_fit_predict(self, name, rng):
+        X = rng.normal(size=(60, 5, 3))
+        y = X[:, -1, 0] * 2.0
+        m = make_baseline(name)
+        m.set_params(max_iter=60)
+        m.fit(X[:45], y[:45])
+        pred = m.predict(X[45:])
+        assert pred.shape == (15,)
+        assert np.isfinite(pred).all()
+
+
+class TestEstimatorContract:
+    def test_clone_resets_fit_state(self, rng):
+        from repro.ml import DecisionTreeRegressor
+
+        X = rng.normal(size=(30, 2))
+        m = DecisionTreeRegressor(max_depth=2).fit(X, X[:, 0])
+        c = clone(m)
+        assert c.max_depth == 2
+        assert c.nodes_ is None
+
+    def test_set_params_rejects_unknown(self):
+        from repro.ml import RidgeRegression
+
+        with pytest.raises(ValueError):
+            RidgeRegression().set_params(bogus=1)
+
+    def test_repr_contains_params(self):
+        from repro.ml import KNeighborsRegressor
+
+        assert "n_neighbors=3" in repr(KNeighborsRegressor())
+
+    def test_score_is_r2(self, rng):
+        from repro.ml import LinearRegression
+
+        X = rng.normal(size=(50, 2))
+        y = X @ np.array([1.0, 2.0])
+        m = LinearRegression().fit(X, y)
+        assert m.score(X, y) == pytest.approx(1.0, abs=1e-9)
+
+    def test_scaled_wrapper_clone_is_fresh(self):
+        m = make_baseline("SVM")
+        c = clone(m)
+        assert c is not m
+        assert c.inner is not m.inner

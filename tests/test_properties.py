@@ -1,0 +1,153 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.interp import CubicSplineInterpolator, LinearInterpolator
+from repro.ml import mae, mape, r2_score, rmse
+from repro.ml.preprocessing import MinMaxScaler, StandardScaler
+from repro.types import PowerTrace
+from repro.utils.timeseries import piecewise_hold, sliding_windows
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+power_floats = st.floats(min_value=0.1, max_value=1e4, allow_nan=False)
+
+
+@st.composite
+def power_series(draw, min_size=1, max_size=60):
+    n = draw(st.integers(min_size, max_size))
+    return draw(
+        arrays(np.float64, n, elements=power_floats)
+    )
+
+
+@st.composite
+def paired_series(draw, min_size=1, max_size=60):
+    n = draw(st.integers(min_size, max_size))
+    a = draw(arrays(np.float64, n, elements=power_floats))
+    b = draw(arrays(np.float64, n, elements=power_floats))
+    return a, b
+
+
+class TestMetricsProperties:
+    @given(paired_series())
+    def test_metrics_nonnegative(self, pair):
+        t, p = pair
+        assert mape(t, p) >= 0
+        assert rmse(t, p) >= 0
+        assert mae(t, p) >= 0
+
+    @given(power_series())
+    def test_perfect_prediction_zero_error(self, series):
+        assert mape(series, series) == 0.0
+        assert rmse(series, series) == 0.0
+        assert mae(series, series) == 0.0
+        assert r2_score(series, series) == 1.0
+
+    @given(paired_series())
+    def test_rmse_dominates_mae(self, pair):
+        t, p = pair
+        assert rmse(t, p) >= mae(t, p) - 1e-9
+
+    @given(paired_series())
+    def test_r2_at_most_one(self, pair):
+        t, p = pair
+        assert r2_score(t, p) <= 1.0 + 1e-12
+
+    @given(paired_series(), st.floats(min_value=0.1, max_value=10))
+    def test_mape_scale_invariant(self, pair, scale):
+        t, p = pair
+        assert mape(t, p) == pytest.approx(mape(t * scale, p * scale), rel=1e-6)
+
+
+class TestScalerProperties:
+    @given(arrays(np.float64, st.tuples(st.integers(2, 40), st.integers(1, 5)),
+                  elements=finite_floats))
+    @settings(max_examples=50)
+    def test_standard_roundtrip(self, X):
+        s = StandardScaler().fit(X)
+        back = s.inverse_transform(s.transform(X))
+        np.testing.assert_allclose(back, X, atol=1e-6 * (1 + np.abs(X).max()))
+
+    @given(arrays(np.float64, st.tuples(st.integers(2, 40), st.integers(1, 5)),
+                  elements=finite_floats))
+    @settings(max_examples=50)
+    def test_minmax_bounds(self, X):
+        Z = MinMaxScaler().fit_transform(X)
+        assert Z.min() >= -1e-9 and Z.max() <= 1.0 + 1e-9
+
+
+class TestSplineProperties:
+    @given(st.integers(2, 25), st.integers(0, 1000))
+    @settings(max_examples=50)
+    def test_interpolates_knots(self, n_knots, seed):
+        rng = np.random.default_rng(seed)
+        x = np.sort(rng.choice(np.arange(1000), size=n_knots, replace=False)).astype(float)
+        y = rng.uniform(10, 100, n_knots)
+        s = CubicSplineInterpolator().fit(x, y)
+        np.testing.assert_allclose(s.predict(x), y, atol=1e-6)
+
+    @given(st.integers(3, 20), st.integers(0, 1000))
+    @settings(max_examples=50)
+    def test_linear_data_reproduced_exactly(self, n_knots, seed):
+        rng = np.random.default_rng(seed)
+        x = np.sort(rng.choice(np.arange(500), size=n_knots, replace=False)).astype(float)
+        y = 3.0 * x + 7.0
+        s = CubicSplineInterpolator().fit(x, y)
+        xq = np.linspace(x[0], x[-1], 50)
+        np.testing.assert_allclose(s.predict(xq), 3.0 * xq + 7.0, atol=1e-6)
+
+    @given(st.integers(2, 15), st.integers(0, 500))
+    @settings(max_examples=50)
+    def test_matches_linear_interpolator_at_knots(self, n_knots, seed):
+        rng = np.random.default_rng(seed)
+        x = np.sort(rng.choice(np.arange(200), size=n_knots, replace=False)).astype(float)
+        y = rng.uniform(0, 50, n_knots)
+        cs = CubicSplineInterpolator().fit(x, y).predict(x)
+        li = LinearInterpolator().fit(x, y).predict(x)
+        np.testing.assert_allclose(cs, li, atol=1e-6)
+
+
+class TestTimeseriesProperties:
+    @given(power_series(min_size=5, max_size=50), st.integers(2, 5))
+    def test_windows_cover_all_rows(self, series, width):
+        if series.shape[0] < width:
+            return
+        w = sliding_windows(series, width)
+        assert w.shape == (series.shape[0] - width + 1, width)
+        np.testing.assert_allclose(w[:, 0], series[: w.shape[0]])
+
+    @given(st.integers(1, 10), st.integers(10, 60))
+    def test_piecewise_hold_only_emits_reading_values(self, n_readings, n):
+        rng = np.random.default_rng(n_readings * 1000 + n)
+        idx = np.sort(rng.choice(n, size=min(n_readings, n), replace=False))
+        vals = rng.uniform(1, 10, size=idx.shape[0])
+        out = piecewise_hold(vals, idx, n)
+        assert set(np.unique(out)) <= set(vals)
+
+
+class TestPowerTraceProperties:
+    @given(power_series(min_size=1))
+    def test_energy_additive_under_split(self, series):
+        t = PowerTrace(series)
+        k = len(series) // 2
+        left, right = t.slice(0, k), t.slice(k, len(series))
+        assert left.energy_joules() + right.energy_joules() == pytest.approx(
+            t.energy_joules(), rel=1e-9, abs=1e-9
+        )
+
+    @given(power_series(min_size=2), st.integers(2, 5))
+    def test_decimation_preserves_first_sample(self, series, factor):
+        t = PowerTrace(series)
+        assert t.decimate(factor).values[0] == series[0]
+
+    @given(power_series(min_size=1))
+    def test_peak_bounds_mean(self, series):
+        t = PowerTrace(series)
+        # Relative tolerance: np.mean of a constant array can exceed its max
+        # by a few ULPs through pairwise-summation rounding.
+        tol = 1e-9 * max(1.0, abs(t.mean_power()))
+        assert t.peak_power() >= t.mean_power() - tol

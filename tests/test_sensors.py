@@ -1,0 +1,165 @@
+"""Tests for the measurement substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SensorUnavailableError, ValidationError
+from repro.hardware import ARM_PLATFORM
+from repro.sensors import (
+    DirectPowerSensor,
+    IPMISensor,
+    PMCCollector,
+    RAPLEmulator,
+    SparseReadings,
+)
+from repro.sensors.hosts import RAPLHostReader, rapl_available
+from repro.sensors.rapl import RAPL_WRAP, RAPLSample
+
+
+class TestSparseReadings:
+    def test_basic(self):
+        r = SparseReadings(np.array([0, 10, 20]), np.array([50.0, 60.0, 55.0]), 10, 25)
+        assert len(r) == 3
+        assert r.coverage_mask().sum() == 3
+
+    def test_rejects_decreasing_indices(self):
+        with pytest.raises(ValidationError):
+            SparseReadings(np.array([10, 5]), np.array([1.0, 2.0]), 10, 20)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            SparseReadings(np.array([0, 30]), np.array([1.0, 2.0]), 10, 20)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            SparseReadings(np.array([], dtype=int), np.array([]), 10, 20)
+
+
+class TestIPMISensor:
+    def test_rate_matches_platform(self, small_bundle):
+        sensor = IPMISensor(ARM_PLATFORM, seed=1)
+        assert sensor.sample_rate_sa_s == pytest.approx(0.1)
+        readings = sensor.sample(small_bundle)
+        assert readings.interval_s == 10
+        np.testing.assert_array_equal(np.diff(readings.indices), 10)
+
+    def test_values_near_truth(self, small_bundle):
+        sensor = IPMISensor(ARM_PLATFORM, seed=1)
+        readings = sensor.sample(small_bundle)
+        truth = small_bundle.node.values[readings.indices - sensor.delay_s]
+        assert np.abs(readings.values - truth).max() < 3.0
+
+    def test_quantisation(self, small_bundle):
+        sensor = IPMISensor(ARM_PLATFORM, quantum_w=1.0, seed=1)
+        readings = sensor.sample(small_bundle)
+        np.testing.assert_allclose(readings.values, np.round(readings.values))
+
+    def test_custom_interval(self, small_bundle):
+        sensor = IPMISensor(ARM_PLATFORM, interval_s=30, seed=1)
+        readings = sensor.sample(small_bundle)
+        assert readings.interval_s == 30
+        np.testing.assert_array_equal(np.diff(readings.indices), 30)
+
+    def test_jitter_drops_readings(self, small_bundle):
+        dense = IPMISensor(ARM_PLATFORM, seed=1).sample(small_bundle)
+        ragged = IPMISensor(ARM_PLATFORM, jitter_prob=0.5, seed=1).sample(small_bundle)
+        assert len(ragged) < len(dense)
+
+    def test_trace_shorter_than_delay_rejected(self, small_bundle):
+        sensor = IPMISensor(ARM_PLATFORM, delay_s=5, seed=1)
+        with pytest.raises(ValidationError):
+            sensor.sample(small_bundle.slice(0, 4))
+
+    def test_invalid_jitter(self):
+        with pytest.raises(ValidationError):
+            IPMISensor(ARM_PLATFORM, jitter_prob=1.0)
+
+
+class TestDirectSensor:
+    def test_error_within_spec(self, small_bundle):
+        sensor = DirectPowerSensor(ARM_PLATFORM, seed=2)
+        p_cpu, p_mem = sensor.measure(small_bundle)
+        # 0.1 W gaussian error -> mean abs error ~0.08 W
+        assert np.abs(p_cpu.values - small_bundle.cpu.values).mean() < 0.15
+        assert np.abs(p_mem.values - small_bundle.mem.values).mean() < 0.15
+
+    def test_full_rate(self, small_bundle):
+        sensor = DirectPowerSensor(ARM_PLATFORM, seed=2)
+        p_cpu = sensor.measure_cpu(small_bundle)
+        assert len(p_cpu) == len(small_bundle)
+        assert p_cpu.sample_rate_hz == small_bundle.sample_rate_hz
+
+
+class TestPMCCollector:
+    def test_no_dropout_is_identity(self, small_bundle):
+        out = PMCCollector(miss_prob=0.0, seed=1).collect(small_bundle)
+        np.testing.assert_allclose(out.matrix, small_bundle.pmcs.matrix)
+
+    def test_dropout_holds_last(self, small_bundle):
+        out = PMCCollector(miss_prob=0.3, seed=1).collect(small_bundle)
+        held = (out.matrix[1:] == out.matrix[:-1]).all(axis=1)
+        assert held.any()
+
+    def test_invalid_prob(self):
+        with pytest.raises(ValidationError):
+            PMCCollector(miss_prob=1.0)
+
+
+class TestRAPLEmulator:
+    def test_roundtrip_accuracy(self, small_bundle):
+        rapl = RAPLEmulator(seed=3)
+        p_pkg, p_ram = rapl.measure(small_bundle)
+        assert len(p_pkg) == len(small_bundle)
+        assert np.abs(p_pkg.values - small_bundle.cpu.values).mean() < 0.01
+        assert np.abs(p_ram.values - small_bundle.mem.values).mean() < 0.01
+
+    def test_wraparound_handled(self):
+        rapl = RAPLEmulator(noise_units=0.0, seed=0)
+        samples = [
+            RAPLSample(0, RAPL_WRAP - 100, RAPL_WRAP - 50),
+            RAPLSample(1, 100, 150),
+        ]
+        p_pkg, p_ram = rapl.power_from_counters(samples)
+        assert p_pkg.values[0] == pytest.approx(200 * rapl.energy_unit_j)
+        assert p_ram.values[0] == pytest.approx(200 * rapl.energy_unit_j)
+
+    def test_counters_monotone_modulo_wrap(self, small_bundle):
+        rapl = RAPLEmulator(noise_units=0.0, seed=3)
+        samples = rapl.read_series(small_bundle, start_pkg=0, start_ram=0)
+        pkg = np.array([s.pkg_counter for s in samples])
+        assert (np.diff(pkg) >= 0).all()  # no wrap when starting at 0
+
+    def test_needs_two_reads(self):
+        with pytest.raises(ValidationError):
+            RAPLEmulator().power_from_counters([RAPLSample(0, 1, 1)])
+
+    def test_non_increasing_timestamps_rejected(self):
+        with pytest.raises(ValidationError):
+            RAPLEmulator().power_from_counters(
+                [RAPLSample(1, 1, 1), RAPLSample(1, 2, 2)]
+            )
+
+
+class TestHostReader:
+    def test_unavailable_in_container(self, tmp_path):
+        # An empty directory has no intel-rapl domains.
+        assert not rapl_available(str(tmp_path))
+        with pytest.raises(SensorUnavailableError):
+            RAPLHostReader(str(tmp_path))
+
+    def test_reads_fake_sysfs_tree(self, tmp_path):
+        dom = tmp_path / "intel-rapl:0"
+        dom.mkdir()
+        (dom / "name").write_text("package-0\n")
+        (dom / "energy_uj").write_text("123456\n")
+        reader = RAPLHostReader(str(tmp_path))
+        assert reader.domains == ("package-0",)
+        assert reader.read_energy_uj("package-0") == 123456
+
+    def test_unknown_domain(self, tmp_path):
+        dom = tmp_path / "intel-rapl:0"
+        dom.mkdir()
+        (dom / "name").write_text("package-0\n")
+        reader = RAPLHostReader(str(tmp_path))
+        with pytest.raises(SensorUnavailableError):
+            reader.read_energy_uj("dram")

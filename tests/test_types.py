@@ -1,0 +1,148 @@
+"""Tests for the shared trace containers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.types import PMC_EVENTS, PMCTrace, PowerTrace, TraceBundle, concat_bundles
+
+
+def make_trace(n=20, rate=1.0, label="node"):
+    return PowerTrace(np.linspace(10, 30, n), rate, label)
+
+
+def make_pmcs(n=20):
+    return PMCTrace(np.abs(np.arange(n * len(PMC_EVENTS)).reshape(n, -1)) + 1.0)
+
+
+class TestPowerTrace:
+    def test_basic_properties(self):
+        t = make_trace(10, rate=2.0)
+        assert len(t) == 10
+        assert t.duration_s == 5.0
+        assert t.times[1] == 0.5
+
+    def test_values_are_readonly(self):
+        t = make_trace()
+        with pytest.raises(ValueError):
+            t.values[0] = 99.0
+
+    def test_energy_is_sum_over_rate(self):
+        t = PowerTrace(np.full(10, 100.0), sample_rate_hz=2.0)
+        assert t.energy_joules() == pytest.approx(500.0)
+
+    def test_mean_and_peak(self):
+        t = PowerTrace(np.array([1.0, 5.0, 3.0]))
+        assert t.mean_power() == pytest.approx(3.0)
+        assert t.peak_power() == 5.0
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ValidationError):
+            PowerTrace(np.array([1.0, -2.0]))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            PowerTrace(np.array([1.0, np.nan]))
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValidationError):
+            PowerTrace(np.ones(3), sample_rate_hz=0.0)
+
+    def test_slice(self):
+        t = make_trace(10)
+        s = t.slice(2, 5)
+        assert len(s) == 3
+        np.testing.assert_allclose(s.values, t.values[2:5])
+
+    def test_decimate_halves_rate(self):
+        t = make_trace(10, rate=1.0)
+        d = t.decimate(2)
+        assert len(d) == 5
+        assert d.sample_rate_hz == 0.5
+
+    def test_decimate_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            make_trace().decimate(0)
+
+    def test_empty_trace_mean_raises(self):
+        t = PowerTrace(np.empty(0))
+        with pytest.raises(ValidationError):
+            t.mean_power()
+
+
+class TestPMCTrace:
+    def test_shape_and_events(self):
+        p = make_pmcs(5)
+        assert len(p) == 5
+        assert p.n_events == len(PMC_EVENTS)
+
+    def test_column_lookup(self):
+        p = make_pmcs(5)
+        np.testing.assert_allclose(p.column("CPU_CYCLES"), p.matrix[:, 0])
+
+    def test_column_unknown_event(self):
+        with pytest.raises(ValidationError):
+            make_pmcs().column("NOT_AN_EVENT")
+
+    def test_select_projects_and_orders(self):
+        p = make_pmcs(4)
+        sub = p.select(["MEM_ACCESS", "CPU_CYCLES"])
+        assert sub.events == ("MEM_ACCESS", "CPU_CYCLES")
+        np.testing.assert_allclose(sub.matrix[:, 1], p.column("CPU_CYCLES"))
+
+    def test_select_unknown(self):
+        with pytest.raises(ValidationError):
+            make_pmcs().select(["NOPE"])
+
+    def test_rejects_mismatched_names(self):
+        with pytest.raises(ValidationError):
+            PMCTrace(np.ones((3, 2)), events=("A",))
+
+    def test_rejects_negative_counts(self):
+        m = np.ones((3, len(PMC_EVENTS)))
+        m[0, 0] = -1
+        with pytest.raises(ValidationError):
+            PMCTrace(m)
+
+
+class TestTraceBundle:
+    def make(self, n=20):
+        return TraceBundle(
+            node=PowerTrace(np.full(n, 60.0), label="node"),
+            cpu=PowerTrace(np.full(n, 25.0), label="cpu"),
+            mem=PowerTrace(np.full(n, 10.0), label="mem"),
+            other=PowerTrace(np.full(n, 25.0), label="other"),
+            pmcs=make_pmcs(n),
+            workload="w",
+        )
+
+    def test_additivity_check(self):
+        assert self.make().check_additivity()
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValidationError):
+            TraceBundle(
+                node=make_trace(5),
+                cpu=make_trace(6),
+                mem=make_trace(5),
+                other=make_trace(5),
+                pmcs=make_pmcs(5),
+            )
+
+    def test_slice_preserves_invariants(self):
+        b = self.make(20).slice(5, 15)
+        assert len(b) == 10
+        assert b.check_additivity()
+
+    def test_concat(self):
+        b = self.make(10)
+        cat = concat_bundles([b, b])
+        assert len(cat) == 20
+        assert cat.check_additivity()
+
+    def test_concat_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            concat_bundles([])
+
+    def test_simulated_bundle_is_additive(self, small_bundle):
+        assert small_bundle.check_additivity(atol=1e-9)

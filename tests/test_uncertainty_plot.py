@@ -1,0 +1,101 @@
+"""Tests for the DynamicTRR ensemble and the ASCII plot helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import HighRPMConfig
+from repro.core.uncertainty import DynamicTRREnsemble, UncertainRestoration
+from repro.errors import NotFittedError, ValidationError
+from repro.eval.ascii_plot import histogram, sparkline, strip_chart
+from repro.hardware import ARM_PLATFORM
+
+
+@pytest.fixture(scope="module")
+def train_bundles(arm_sim, catalog):
+    names = ["spec_gcc", "spec_mcf", "hpcc_hpl", "hpcc_stream"]
+    return [arm_sim.run(catalog.get(n), duration_s=100) for n in names]
+
+
+@pytest.fixture(scope="module")
+def restoration(train_bundles, small_bundle, ipmi_readings):
+    ens = DynamicTRREnsemble(
+        HighRPMConfig(miss_interval=10, lstm_iters=120, seed=9), k=3
+    )
+    ens.fit(train_bundles, p_bottom=ARM_PLATFORM.min_node_power_w,
+            p_upper=ARM_PLATFORM.max_node_power_w)
+    return ens.restore(small_bundle.pmcs.matrix, ipmi_readings)
+
+
+class TestEnsemble:
+    def test_shapes(self, restoration, small_bundle):
+        assert len(restoration) == len(small_bundle)
+        assert restoration.members.shape == (3, len(small_bundle))
+        assert (restoration.std >= 0).all()
+
+    def test_spread_collapses_at_readings(self, restoration, ipmi_readings):
+        measured = restoration.std[ipmi_readings.indices]
+        unmeasured_mask = np.ones(len(restoration), dtype=bool)
+        unmeasured_mask[ipmi_readings.indices] = False
+        assert measured.mean() <= restoration.std[unmeasured_mask].mean()
+
+    def test_interval_ordering(self, restoration):
+        lo, hi = restoration.interval(z=2.0)
+        assert (lo <= hi).all()
+
+    def test_coverage_monotone_in_z(self, restoration, small_bundle):
+        truth = small_bundle.node.values
+        assert restoration.coverage(truth, z=4.0) >= restoration.coverage(truth, z=1.0)
+
+    def test_coverage_validates_length(self, restoration):
+        with pytest.raises(ValidationError):
+            restoration.coverage(np.ones(3))
+
+    def test_needs_two_members(self):
+        with pytest.raises(ValidationError):
+            DynamicTRREnsemble(k=1)
+
+    def test_restore_before_fit(self, small_bundle, ipmi_readings):
+        with pytest.raises(NotFittedError):
+            DynamicTRREnsemble(k=2).restore(
+                small_bundle.pmcs.matrix, ipmi_readings)
+
+    def test_members_differ(self, restoration):
+        assert not np.allclose(restoration.members[0], restoration.members[1])
+
+
+class TestAsciiPlot:
+    def test_sparkline_width(self, rng):
+        s = sparkline(rng.uniform(0, 1, 500), width=40)
+        assert len(s) == 40
+
+    def test_sparkline_constant_series(self):
+        s = sparkline(np.full(100, 5.0), width=20)
+        assert s == "▁" * 20
+
+    def test_sparkline_monotone_ramp(self):
+        s = sparkline(np.arange(100.0), width=8)
+        levels = ["▁▂▃▄▅▆▇█".index(c) for c in s]
+        assert levels == sorted(levels)
+
+    def test_sparkline_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            sparkline(np.empty(0))
+
+    def test_strip_chart_contains_labels(self, rng):
+        text = strip_chart({"node": rng.uniform(60, 90, 100),
+                            "cpu": rng.uniform(20, 50, 100)})
+        assert "node" in text and "cpu" in text and "mean" in text
+
+    def test_strip_chart_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            strip_chart({})
+
+    def test_histogram_row_count(self, rng):
+        text = histogram(rng.normal(80, 5, 1000), bins=7)
+        assert len(text.splitlines()) == 7
+
+    def test_histogram_counts_sum(self, rng):
+        x = rng.normal(0, 1, 200)
+        text = histogram(x, bins=5)
+        total = sum(int(line.rsplit(" ", 1)[1]) for line in text.splitlines())
+        assert total == 200

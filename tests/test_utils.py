@@ -1,0 +1,153 @@
+"""Tests for repro.utils: rng plumbing, time-series ops, validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils import (
+    SeedSequenceFactory,
+    as_generator,
+    check_1d,
+    check_2d,
+    check_consistent_length,
+    check_fraction,
+    check_positive,
+    decimate_indices,
+    masked_from_decimation,
+    moving_average,
+    piecewise_hold,
+    sliding_windows,
+)
+
+
+class TestRng:
+    def test_as_generator_accepts_seed(self):
+        g = as_generator(42)
+        assert isinstance(g, np.random.Generator)
+
+    def test_as_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_factory_same_name_same_stream(self):
+        f = SeedSequenceFactory(1)
+        a = f.generator("x").random(5)
+        b = f.generator("x").random(5)
+        np.testing.assert_allclose(a, b)
+
+    def test_factory_distinct_names_distinct_streams(self):
+        f = SeedSequenceFactory(1)
+        a = f.generator("x").random(5)
+        b = f.generator("y").random(5)
+        assert not np.allclose(a, b)
+
+    def test_factory_child_is_deterministic(self):
+        a = SeedSequenceFactory(1).child("sub").generator("z").random(3)
+        b = SeedSequenceFactory(1).child("sub").generator("z").random(3)
+        np.testing.assert_allclose(a, b)
+
+    def test_different_root_seeds_differ(self):
+        a = SeedSequenceFactory(1).generator("x").random(4)
+        b = SeedSequenceFactory(2).generator("x").random(4)
+        assert not np.allclose(a, b)
+
+
+class TestSlidingWindows:
+    def test_shape(self):
+        w = sliding_windows(np.arange(10), 3)
+        assert w.shape == (8, 3)
+
+    def test_contents(self):
+        w = sliding_windows(np.arange(5), 2)
+        np.testing.assert_array_equal(w[0], [0, 1])
+        np.testing.assert_array_equal(w[-1], [3, 4])
+
+    def test_2d_input(self):
+        a = np.arange(12).reshape(6, 2)
+        w = sliding_windows(a, 3)
+        assert w.shape == (4, 3, 2)
+        np.testing.assert_array_equal(w[1], a[1:4])
+
+    def test_step(self):
+        w = sliding_windows(np.arange(10), 3, step=2)
+        assert w.shape == (4, 3)
+        np.testing.assert_array_equal(w[1], [2, 3, 4])
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValidationError):
+            sliding_windows(np.arange(2), 5)
+
+
+class TestDecimation:
+    def test_indices(self):
+        np.testing.assert_array_equal(decimate_indices(25, 10), [0, 10, 20])
+
+    def test_offset(self):
+        np.testing.assert_array_equal(decimate_indices(25, 10, 3), [3, 13, 23])
+
+    def test_bad_offset(self):
+        with pytest.raises(ValidationError):
+            decimate_indices(25, 10, 10)
+
+    def test_mask_matches_indices(self):
+        mask = masked_from_decimation(25, 10)
+        assert mask.sum() == 3
+        assert mask[0] and mask[10] and mask[20]
+
+
+class TestMovingAverage:
+    def test_constant_series_unchanged(self):
+        x = np.full(10, 3.0)
+        np.testing.assert_allclose(moving_average(x, 3), x)
+
+    def test_width_one_is_identity(self):
+        x = np.arange(5.0)
+        np.testing.assert_allclose(moving_average(x, 1), x)
+
+    def test_smooths_spike(self):
+        x = np.zeros(11)
+        x[5] = 9.0
+        sm = moving_average(x, 3)
+        assert sm[5] == pytest.approx(3.0)
+        assert sm[4] == pytest.approx(3.0)
+
+
+class TestPiecewiseHold:
+    def test_holds_forward(self):
+        out = piecewise_hold(np.array([1.0, 2.0]), np.array([0, 3]), 6)
+        np.testing.assert_allclose(out, [1, 1, 1, 2, 2, 2])
+
+    def test_before_first_reading_uses_first(self):
+        out = piecewise_hold(np.array([5.0]), np.array([2]), 4)
+        np.testing.assert_allclose(out, [5, 5, 5, 5])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            piecewise_hold(np.array([1.0]), np.array([0, 1]), 5)
+
+
+class TestValidation:
+    def test_check_1d_accepts_list(self):
+        assert check_1d([1, 2, 3]).dtype == np.float64
+
+    def test_check_1d_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            check_1d(np.ones((2, 2)))
+
+    def test_check_2d_promotes_1d(self):
+        assert check_2d([1.0, 2.0]).shape == (2, 1)
+
+    def test_check_consistent_length(self):
+        with pytest.raises(ValidationError):
+            check_consistent_length(np.ones(3), np.ones(4))
+
+    def test_check_positive(self):
+        assert check_positive(2) == 2
+        with pytest.raises(ValidationError):
+            check_positive(0)
+        assert check_positive(0, strict=False) == 0
+
+    def test_check_fraction(self):
+        assert check_fraction(0.5) == 0.5
+        with pytest.raises(ValidationError):
+            check_fraction(1.5)

@@ -1,0 +1,73 @@
+"""Statistical tests on the workload catalog: the suite-level distinctions
+the Table-3 protocol depends on actually hold in simulated power."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import ARM_PLATFORM, NodeSimulator
+from repro.workloads import default_catalog
+from repro.workloads.base import mean_intensities
+
+
+@pytest.fixture(scope="module")
+def suite_power(catalog):
+    """Mean cpu/mem power per suite over a few representative runs each."""
+    sim = NodeSimulator(ARM_PLATFORM, seed=31)
+    stats = {}
+    for suite in catalog.suites:
+        workloads = catalog.suite(suite)[:4]
+        cpus, mems, bursts = [], [], []
+        for w in workloads:
+            b = sim.run(w, duration_s=100)
+            cpus.append(b.cpu.mean_power())
+            mems.append(b.mem.mean_power())
+            bursts.append(np.abs(np.diff(b.node.values)).mean())
+        stats[suite] = {
+            "cpu": float(np.mean(cpus)),
+            "mem": float(np.mean(mems)),
+            "volatility": float(np.mean(bursts)),
+        }
+    return stats
+
+
+class TestSuiteCharacter:
+    def test_spec_is_compute_leaning(self, catalog):
+        cpus, mems = zip(*(mean_intensities(w) for w in catalog.suite("SPEC")))
+        assert np.mean(cpus) > np.mean(mems)
+
+    def test_hpcg_is_memory_leaning(self, catalog):
+        cpu, mem = mean_intensities(catalog.get("hpcg"))
+        assert mem > cpu
+
+    def test_graph500_most_volatile(self, suite_power):
+        g500 = suite_power["Graph500"]["volatility"]
+        others = [v["volatility"] for k, v in suite_power.items()
+                  if k != "Graph500"]
+        assert g500 > np.median(others)
+
+    def test_suites_have_distinct_power_profiles(self, suite_power):
+        # The seen/unseen protocol only discriminates if suites differ.
+        cpu_means = [v["cpu"] for v in suite_power.values()]
+        assert max(cpu_means) - min(cpu_means) > 3.0
+
+    def test_all_suites_within_platform_budget(self, suite_power):
+        for suite, v in suite_power.items():
+            assert v["cpu"] < ARM_PLATFORM.cpu_idle_w + ARM_PLATFORM.cpu_dyn_w * 2
+            assert v["mem"] < ARM_PLATFORM.mem_idle_w + ARM_PLATFORM.mem_dyn_w * 2
+
+
+class TestTraitDistributions:
+    def test_traits_vary_across_benchmarks(self, catalog):
+        scales = [w.traits.cpu_power_scale for w in catalog]
+        assert np.std(scales) > 0.03  # the hidden lottery is actually on
+
+    def test_memory_suites_have_low_locality(self, catalog):
+        stream = catalog.get("hpcc_stream").traits.locality
+        hpl = catalog.get("hpcc_hpl").traits.locality
+        assert stream < hpl
+
+    def test_mean_durations_realistic(self, catalog):
+        # §5.3: benchmarks run 60 s up; one program pass lands around there.
+        durations = [w.nominal_duration_s for w in catalog]
+        assert min(durations) >= 60
+        assert np.mean(durations) < 600

@@ -1,0 +1,141 @@
+"""Tests for the workload substrate and Table-3 protocol."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError, WorkloadError
+from repro.workloads import (
+    SUITE_SIZES,
+    BenchmarkCatalog,
+    Phase,
+    Workload,
+    burst_train,
+    constant,
+    default_catalog,
+    periodic,
+    table3_splits,
+)
+from repro.workloads.base import mean_intensities
+
+
+class TestPhase:
+    def test_activity_in_bounds(self, rng):
+        p = periodic(120, 0.7, 0.4, cpu_amp=0.3, burst_rate=20.0, burst_mag=0.5)
+        cpu, mem = p.synthesize(rng)
+        assert cpu.shape == (120,)
+        assert (cpu >= 0).all() and (cpu <= 1).all()
+        assert (mem >= 0).all() and (mem <= 1).all()
+
+    def test_constant_phase_is_flat(self, rng):
+        p = constant(100, 0.5, 0.3, burst_rate=0.0, wander=0.0)
+        cpu, _ = p.synthesize(rng)
+        np.testing.assert_allclose(cpu, 0.5, atol=1e-9)
+
+    def test_periodic_phase_oscillates(self, rng):
+        p = periodic(200, 0.5, 0.3, cpu_amp=0.2, period_s=40, burst_rate=0.0, wander=0.0)
+        cpu, _ = p.synthesize(rng)
+        assert cpu.std() > 0.1
+
+    def test_bursts_add_spikes(self):
+        quiet = burst_train(400, 0.5, 0.5, burst_rate=0.0, wander=0.0)
+        spiky = burst_train(400, 0.5, 0.5, burst_rate=40.0, burst_mag=0.4, wander=0.0)
+        g1, g2 = np.random.default_rng(0), np.random.default_rng(0)
+        cq, _ = quiet.synthesize(g1)
+        cs, _ = spiky.synthesize(g2)
+        assert np.abs(np.diff(cs)).max() > np.abs(np.diff(cq)).max()
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            Phase(duration_s=0, cpu=0.5, mem=0.5)
+        with pytest.raises(ValidationError):
+            Phase(duration_s=10, cpu=1.5, mem=0.5)
+        with pytest.raises(ValidationError):
+            Phase(duration_s=10, cpu=0.5, mem=0.5, period_s=0)
+
+
+class TestWorkload:
+    def test_duration_honoured(self, catalog, rng):
+        w = catalog.get("spec_gcc")
+        cpu, mem = w.synthesize(333, rng)
+        assert cpu.shape == (333,) and mem.shape == (333,)
+
+    def test_default_duration_is_program_length(self, catalog, rng):
+        w = catalog.get("hpcg")
+        cpu, _ = w.synthesize(rng=rng)
+        assert cpu.shape[0] == w.nominal_duration_s
+
+    def test_repeats_for_long_requests(self, catalog, rng):
+        w = catalog.get("hpcc_fft")
+        cpu, _ = w.synthesize(w.nominal_duration_s * 3, rng)
+        assert cpu.shape[0] == w.nominal_duration_s * 3
+
+    def test_empty_phases_rejected(self):
+        with pytest.raises(ValidationError):
+            Workload("w", "S", ())
+
+    def test_mean_intensities(self):
+        w = Workload("w", "S", (constant(10, 0.2, 0.4), constant(30, 0.6, 0.8)))
+        cpu, mem = mean_intensities(w)
+        assert cpu == pytest.approx(0.5)
+        assert mem == pytest.approx(0.7)
+
+
+class TestCatalog:
+    def test_total_is_96(self, catalog):
+        assert len(catalog) == 96
+
+    def test_suite_sizes_match_paper(self, catalog):
+        for suite, size in SUITE_SIZES.items():
+            assert len(catalog.suite(suite)) == size
+
+    def test_paper_suite_counts(self):
+        assert SUITE_SIZES == {
+            "SPEC": 43, "PARSEC": 36, "HPCC": 12, "Graph500": 2,
+            "HPL-AI": 1, "SMG2000": 1, "HPCG": 1,
+        }
+
+    def test_names_unique(self, catalog):
+        names = catalog.names()
+        assert len(names) == len(set(names))
+
+    def test_lookup(self, catalog):
+        w = catalog.get("hpcc_stream")
+        assert w.suite == "HPCC"
+
+    def test_unknown_lookup(self, catalog):
+        with pytest.raises(WorkloadError):
+            catalog.get("doom_eternal")
+        with pytest.raises(WorkloadError):
+            catalog.suite("NPB")
+
+    def test_deterministic_given_seed(self):
+        a = BenchmarkCatalog(3).get("spec_gcc")
+        b = BenchmarkCatalog(3).get("spec_gcc")
+        assert a.traits == b.traits
+
+    def test_different_seeds_differ(self):
+        a = BenchmarkCatalog(3).get("spec_gcc")
+        b = BenchmarkCatalog(4).get("spec_gcc")
+        assert a.traits != b.traits
+
+    def test_split_partitions(self, catalog):
+        train, test = catalog.split("HPCC")
+        assert len(test) == 12
+        assert len(train) == 96 - 12
+        assert not {w.name for w in train} & {w.name for w in test}
+
+    def test_fft_is_compute_stream_is_memory(self, catalog):
+        fft = catalog.get("hpcc_fft")
+        stream = catalog.get("hpcc_stream")
+        fft_cpu, fft_mem = mean_intensities(fft)
+        st_cpu, st_mem = mean_intensities(stream)
+        assert fft_cpu > fft_mem
+        assert st_mem > st_cpu
+
+    def test_table3_has_seven_rotations(self):
+        splits = table3_splits()
+        assert len(splits) == 7
+        assert {s.test_suite for s in splits} == set(SUITE_SIZES)
+        for s in splits:
+            assert s.test_suite not in s.train_suites
+            assert len(s.train_suites) == 6
