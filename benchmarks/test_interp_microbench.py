@@ -6,7 +6,6 @@ matters. The Thomas-algorithm spline should stay O(n) in the knot count.
 """
 
 import numpy as np
-import pytest
 
 from repro.interp import ARForecaster, ARIMAForecaster, CubicSplineInterpolator
 

@@ -7,7 +7,6 @@ same rate, or (c) IPMI-rate stale readings. Restored estimates should
 land near the oracle and beat stale sensing on makespan.
 """
 
-import numpy as np
 from conftest import run_once
 
 from repro.core import HighRPM, HighRPMConfig

@@ -10,7 +10,7 @@ pins it and prints the per-suite difficulty spread.
 from conftest import by_model, run_once
 
 from repro.eval.experiments import per_suite_breakdown
-from repro.eval.harness import EvalSettings, build_campaign, build_split
+from repro.eval.harness import build_campaign, build_split
 from repro.workloads import SUITE_SIZES, default_catalog, table3_splits
 
 

@@ -1,0 +1,39 @@
+"""``repro-lint``: project-specific static analysis.
+
+The HighRPM reproduction depends on invariants that ordinary linters do not
+know about: all stochasticity flows through seeded generators, traces are
+read-only numpy views, the package layering forms a DAG, and numerics never
+read the wall clock. This package enforces them with an AST-based rule
+engine:
+
+* ``python -m repro.analysis [paths...]`` — lint, exit non-zero on findings;
+* :func:`lint_paths` — the same as a library call (used by the test suite).
+
+Rules are registered in :mod:`repro.analysis.rules`; each has a stable ID
+(``RL001``…) and a mnemonic name, both usable in config and in
+``# repro-lint: disable=...`` suppression comments. See
+``docs/static_analysis.md`` for the full catalogue and rationale.
+
+This package deliberately imports nothing from the rest of :mod:`repro` so
+it can lint a broken tree (and so it sits outside the layer DAG it checks).
+"""
+
+from __future__ import annotations
+
+from .config import LintConfig, load_config
+from .diagnostics import Diagnostic
+from .engine import LintEngine, lint_paths
+from .registry import Rule, all_rules, get_rule, register
+from . import rules  # noqa: F401  (import registers the built-in rule set)
+
+__all__ = [
+    "Diagnostic",
+    "LintConfig",
+    "LintEngine",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "load_config",
+    "register",
+]

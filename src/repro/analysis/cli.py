@@ -1,0 +1,100 @@
+"""``repro-lint`` command line (also ``python -m repro.analysis``).
+
+Exit codes: 0 clean, 1 findings, 2 usage/config error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+from . import rules as _rules  # noqa: F401  (import registers the rule set)
+from .config import load_config
+from .engine import LintEngine, iter_python_files
+from .registry import all_rules, normalize_rule_keys
+from .reporters import render_json, render_text
+
+DEFAULT_PATHS = ("src", "examples", "benchmarks", "scripts")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Project-specific static analysis for the HighRPM reproduction",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src examples benchmarks scripts)",
+    )
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument(
+        "--select", help="comma-separated rule ids/names to run exclusively"
+    )
+    parser.add_argument("--ignore", help="comma-separated rule ids/names to skip")
+    parser.add_argument(
+        "--config-root", type=Path, default=None,
+        help="directory whose pyproject.toml supplies [tool.repro-lint] "
+        "(default: discovered from cwd)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for cls in all_rules():
+            print(f"{cls.id}  {cls.name:<20} {cls.description}")
+        return 0
+
+    config = load_config(args.config_root)
+    try:
+        if args.select:
+            config.select = tuple(s for s in args.select.split(",") if s.strip())
+            normalize_rule_keys(list(config.select))
+        if args.ignore:
+            config.disable = tuple(config.disable) + tuple(
+                s for s in args.ignore.split(",") if s.strip()
+            )
+            normalize_rule_keys(list(config.disable))
+    except KeyError as exc:
+        print(f"repro-lint: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    paths = [Path(p) for p in args.paths] if args.paths else [
+        Path(p) for p in DEFAULT_PATHS if Path(p).exists()
+    ]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"repro-lint: no such path: {missing[0]}", file=sys.stderr)
+        return 2
+    if not paths:
+        print("repro-lint: nothing to lint", file=sys.stderr)
+        return 2
+
+    engine = LintEngine(config)
+    files = iter_python_files(paths, config)
+    diagnostics = []
+    for f in files:
+        diagnostics.extend(engine.lint_file(f))
+    diagnostics.sort()
+
+    render = render_json if args.format == "json" else render_text
+    try:
+        print(render(diagnostics, len(files)))
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit with the right code
+        # instead of a traceback. Detach stdout so interpreter shutdown
+        # doesn't trip over the closed descriptor.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+    return 1 if diagnostics else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

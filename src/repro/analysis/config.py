@@ -1,0 +1,119 @@
+"""Lint configuration: defaults plus ``[tool.repro-lint]`` from pyproject.
+
+Everything has a sensible built-in default so the tool runs with no config
+file at all; a ``pyproject.toml`` section can narrow/extend it:
+
+.. code-block:: toml
+
+    [tool.repro-lint]
+    exclude = ["tests/fixtures"]
+    disable = ["RL005"]
+
+    [tool.repro-lint.rules.boundary-validation]
+    packages = ["repro.core", "repro.sensors"]
+
+Per-rule tables are passed through verbatim as ``RuleContext.options``.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: The declared layer DAG, lowest first. Imports may only point to the same
+#: layer or below; anything upward is a layering violation (RL002). Keys are
+#: the first path component under ``repro`` (a sub-package or a top-level
+#: module). Intra-layer imports are allowed — the simulator's deliberate
+#: hardware<->workloads and monitor<->eval lazy cycles live within a layer.
+DEFAULT_LAYERS: "dict[str, int]" = {
+    "types": 0,
+    "errors": 0,
+    "utils": 0,
+    "interp": 1,
+    "ml": 1,
+    "core": 2,
+    "sensors": 2,
+    "workloads": 2,
+    "hardware": 2,
+    "monitor": 3,
+    "attribution": 3,
+    "gpu": 3,
+    "eval": 3,
+    "io": 3,
+    "cli": 4,
+    "analysis": 4,
+    "__init__": 4,
+    "__main__": 4,
+}
+
+DEFAULT_EXCLUDE: tuple = (
+    ".git",
+    "__pycache__",
+    ".ruff_cache",
+    ".pytest_cache",
+    "build",
+    "dist",
+    "fixtures",
+)
+
+
+@dataclass
+class LintConfig:
+    """Engine-level settings shared by every rule."""
+
+    #: Directory/file basenames (or relative path fragments) to skip.
+    exclude: "tuple[str, ...]" = DEFAULT_EXCLUDE
+    #: Rule ids/names disabled globally.
+    disable: "tuple[str, ...]" = ()
+    #: Rule ids/names to run exclusively (empty = all registered).
+    select: "tuple[str, ...]" = ()
+    #: Layer map for RL002.
+    layers: "dict[str, int]" = field(default_factory=lambda: dict(DEFAULT_LAYERS))
+    #: Per-rule option tables keyed by rule name.
+    rule_options: "dict[str, dict]" = field(default_factory=dict)
+
+    def options_for(self, rule_name: str) -> dict:
+        return dict(self.rule_options.get(rule_name, {}))
+
+    def is_excluded(self, path: Path) -> bool:
+        text = str(path)
+        return any(part in path.parts or part in text for part in self.exclude)
+
+
+def load_config(start: "Path | None" = None) -> LintConfig:
+    """Build a config from the nearest ``pyproject.toml`` at/above ``start``.
+
+    Missing file or missing ``[tool.repro-lint]`` table yields pure defaults.
+    """
+    cfg = LintConfig()
+    root = (start or Path.cwd()).resolve()
+    candidates = [root, *root.parents] if root.is_dir() else list(root.parents)
+    for directory in candidates:
+        pyproject = directory / "pyproject.toml"
+        if pyproject.is_file():
+            return _merge_pyproject(cfg, pyproject)
+    return cfg
+
+
+def _merge_pyproject(cfg: LintConfig, pyproject: Path) -> LintConfig:
+    try:
+        with pyproject.open("rb") as fh:
+            data = tomllib.load(fh)
+    except (OSError, tomllib.TOMLDecodeError):
+        return cfg
+    table = data.get("tool", {}).get("repro-lint", {})
+    if not isinstance(table, dict):
+        return cfg
+    if "exclude" in table:
+        cfg.exclude = tuple(cfg.exclude) + tuple(table["exclude"])
+    if "disable" in table:
+        cfg.disable = tuple(table["disable"])
+    if "select" in table:
+        cfg.select = tuple(table["select"])
+    if isinstance(table.get("layers"), dict):
+        cfg.layers.update({str(k): int(v) for k, v in table["layers"].items()})
+    rules = table.get("rules", {})
+    if isinstance(rules, dict):
+        cfg.rule_options.update({str(k): dict(v) for k, v in rules.items() if isinstance(v, dict)})
+    return cfg

@@ -1,0 +1,38 @@
+"""Diagnostic records emitted by lint rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: a rule violated at a specific source location.
+
+    Ordering is (path, line, col, rule) so reports group naturally by file.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    rule_name: str
+    message: str
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (stable schema, see docs)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule_id": self.rule_id,
+            "rule_name": self.rule_name,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """One-line human-readable form, editor-clickable."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} [{self.rule_name}] {self.message}"
+        )

@@ -1,0 +1,163 @@
+"""The lint engine: file discovery, suppression comments, rule dispatch.
+
+Suppression grammar (comments, matched with the ``tokenize`` module so
+strings containing the marker are never misread):
+
+* ``# repro-lint: disable=RL001,layering`` — suppress those rules on the
+  physical line carrying the comment (trailing comment) or, for a comment
+  on its own line, on the next code line;
+* ``# repro-lint: disable-file=RL005`` — suppress for the whole file;
+* rule names and ids are interchangeable; ``all`` suppresses every rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .config import LintConfig, load_config
+from .diagnostics import Diagnostic
+from .registry import RuleContext, all_rules, normalize_rule_keys
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable(?:-file)?)\s*=\s*(?P<rules>[\w\-, ]+)"
+)
+
+
+@dataclass
+class Suppressions:
+    """Parsed suppression comments for one file."""
+
+    file_level: "set[str]" = field(default_factory=set)
+    #: line number -> set of rule ids suppressed on that line
+    by_line: "dict[int, set[str]]" = field(default_factory=dict)
+
+    def allows(self, diag: Diagnostic) -> bool:
+        """True when ``diag`` survives (is *not* suppressed)."""
+        if diag.rule_id in self.file_level:
+            return False
+        return diag.rule_id not in self.by_line.get(diag.line, set())
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract suppression directives from comment tokens."""
+    sup = Suppressions()
+    pending: "set[str]" = set()  # own-line comments apply to the next code line
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return sup
+    for tok in tokens:
+        if tok.type == tokenize.COMMENT:
+            m = _SUPPRESS_RE.search(tok.string)
+            if not m:
+                continue
+            try:
+                ids = normalize_rule_keys([r for r in m.group("rules").split(",") if r.strip()])
+            except KeyError:
+                continue  # unknown rule in directive: ignore rather than crash
+            if m.group("kind") == "disable-file":
+                sup.file_level.update(ids)
+            else:
+                line_start = source.splitlines()[tok.start[0] - 1] if source else ""
+                own_line = line_start.lstrip().startswith("#")
+                if own_line:
+                    pending |= ids
+                else:
+                    sup.by_line.setdefault(tok.start[0], set()).update(ids)
+        elif tok.type in (tokenize.NL, tokenize.NEWLINE, tokenize.INDENT, tokenize.DEDENT):
+            continue
+        elif pending and tok.type not in (tokenize.COMMENT, tokenize.ENCODING):
+            sup.by_line.setdefault(tok.start[0], set()).update(pending)
+            pending = set()
+    return sup
+
+
+def module_name_for(path: Path) -> "str | None":
+    """Dotted module name when ``path`` sits inside a ``repro`` package tree.
+
+    Works for the canonical ``src/repro/...`` layout and for any temporary
+    tree that contains a ``repro`` directory (as the tests do).
+    """
+    parts = list(path.resolve().parts)
+    if "repro" not in parts:
+        return None
+    idx = len(parts) - 1 - parts[::-1].index("repro")
+    rel = parts[idx:]
+    if rel[-1].endswith(".py"):
+        rel[-1] = rel[-1][:-3]
+    return ".".join(rel)
+
+
+def iter_python_files(paths: Sequence[Path], config: LintConfig) -> "list[Path]":
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    out: "set[Path]" = set()
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                if not config.is_excluded(f.relative_to(p)):
+                    out.add(f)
+        elif p.suffix == ".py":
+            out.add(p)
+    return sorted(out)
+
+
+class LintEngine:
+    """Runs the enabled rule set over files and collects diagnostics."""
+
+    def __init__(self, config: "LintConfig | None" = None) -> None:
+        self.config = config or load_config()
+        enabled = all_rules()
+        if self.config.select:
+            keep = normalize_rule_keys(list(self.config.select))
+            enabled = [r for r in enabled if r.id in keep]
+        if self.config.disable:
+            drop = normalize_rule_keys(list(self.config.disable))
+            enabled = [r for r in enabled if r.id not in drop]
+        self.rules = [cls() for cls in enabled]
+
+    def lint_file(self, path: Path) -> "list[Diagnostic]":
+        path = Path(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            return [
+                Diagnostic(str(path), 1, 1, "RL000", "unreadable", f"cannot read file: {exc}")
+            ]
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            return [
+                Diagnostic(
+                    str(path), exc.lineno or 1, (exc.offset or 0) + 1,
+                    "RL000", "syntax-error", f"cannot parse file: {exc.msg}",
+                )
+            ]
+        sup = parse_suppressions(source)
+        ctx_base = dict(path=path, module=module_name_for(path), tree=tree,
+                        source=source, config=self.config)
+        found: "list[Diagnostic]" = []
+        for rule in self.rules:
+            ctx = RuleContext(options=self.config.options_for(rule.name), **ctx_base)
+            found.extend(d for d in rule.check(ctx) if sup.allows(d))
+        return sorted(found)
+
+    def lint_paths(self, paths: "Iterable[Path | str]") -> "list[Diagnostic]":
+        files = iter_python_files([Path(p) for p in paths], self.config)
+        out: "list[Diagnostic]" = []
+        for f in files:
+            out.extend(self.lint_file(f))
+        return out
+
+
+def lint_paths(
+    paths: "Iterable[Path | str]", config: "LintConfig | None" = None
+) -> "list[Diagnostic]":
+    """Convenience wrapper: lint ``paths`` with ``config`` (or discovered)."""
+    return LintEngine(config).lint_paths(paths)

@@ -1,0 +1,106 @@
+"""Rule base class and registry.
+
+Rules self-register at import time via the :func:`register` decorator;
+importing :mod:`repro.analysis.rules` populates the registry. Each rule has
+
+* a stable ``id`` (``RLnnn``) used in reports and suppression comments,
+* a mnemonic ``name`` (kebab-case) accepted anywhere the id is,
+* a ``check(ctx)`` generator yielding :class:`Diagnostic` objects.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Type
+
+from .config import LintConfig
+from .diagnostics import Diagnostic
+
+
+@dataclass
+class RuleContext:
+    """Everything a rule may inspect for one file."""
+
+    path: Path
+    #: Dotted module name (``repro.core.srr``) when the file belongs to the
+    #: ``repro`` package, else ``None`` (examples, benchmarks, scripts).
+    module: "str | None"
+    tree: ast.Module
+    source: str
+    config: LintConfig
+    #: Per-rule option mapping from ``[tool.repro-lint.rules.<name>]``.
+    options: dict = field(default_factory=dict)
+
+    @property
+    def relpath(self) -> str:
+        try:
+            return str(self.path.relative_to(Path.cwd()))
+        except ValueError:
+            return str(self.path)
+
+
+class Rule:
+    """Base class for lint rules; subclass and decorate with ``@register``."""
+
+    id: str = "RL000"
+    name: str = "unnamed"
+    description: str = ""
+
+    def check(self, ctx: RuleContext) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def diagnostic(self, ctx: RuleContext, node: ast.AST, message: str) -> Diagnostic:
+        """Build a Diagnostic anchored at ``node``."""
+        return Diagnostic(
+            path=ctx.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.id,
+            rule_name=self.name,
+            message=message,
+        )
+
+
+_REGISTRY: "dict[str, Type[Rule]]" = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    for key in (cls.id, cls.name):
+        if key in _REGISTRY and _REGISTRY[key] is not cls:
+            raise ValueError(f"duplicate rule key {key!r}")
+    _REGISTRY[cls.id] = cls
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_rule(key: str) -> Type[Rule]:
+    """Look up a rule class by id or name (case-insensitive)."""
+    k = key.strip()
+    if k in _REGISTRY:
+        return _REGISTRY[k]
+    lowered = {r.lower(): c for r, c in _REGISTRY.items()}
+    if k.lower() in lowered:
+        return lowered[k.lower()]
+    raise KeyError(f"unknown rule {key!r}")
+
+
+def all_rules() -> "list[Type[Rule]]":
+    """Registered rule classes, sorted by id, deduplicated."""
+    seen: dict[str, Type[Rule]] = {}
+    for cls in _REGISTRY.values():
+        seen.setdefault(cls.id, cls)
+    return [seen[k] for k in sorted(seen)]
+
+
+def normalize_rule_keys(keys: "list[str] | tuple[str, ...]") -> "set[str]":
+    """Map a mixed list of ids/names (or ``all``) to a set of rule ids."""
+    out: set[str] = set()
+    for key in keys:
+        if key.strip().lower() == "all":
+            out.update(cls.id for cls in all_rules())
+        else:
+            out.add(get_rule(key).id)
+    return out

@@ -1,0 +1,43 @@
+"""Text and JSON reporters for lint diagnostics."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Sequence
+
+from .diagnostics import Diagnostic
+
+#: Stable schema version for the JSON reporter; bump on breaking changes.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(diagnostics: Sequence[Diagnostic], files_checked: int) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [d.render() for d in diagnostics]
+    if diagnostics:
+        by_rule = Counter(d.rule_id for d in diagnostics)
+        breakdown = ", ".join(f"{rid}: {n}" for rid, n in sorted(by_rule.items()))
+        lines.append("")
+        lines.append(
+            f"found {len(diagnostics)} problem(s) in {files_checked} file(s) "
+            f"({breakdown})"
+        )
+    else:
+        lines.append(f"ok: {files_checked} file(s) lint clean")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: Sequence[Diagnostic], files_checked: int) -> str:
+    """Machine-readable report with a stable, versioned schema."""
+    by_rule = Counter(d.rule_id for d in diagnostics)
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "summary": {
+            "files_checked": files_checked,
+            "diagnostics": len(diagnostics),
+            "by_rule": dict(sorted(by_rule.items())),
+        },
+        "diagnostics": [d.to_dict() for d in diagnostics],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

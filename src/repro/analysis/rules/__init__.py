@@ -1,0 +1,18 @@
+"""Built-in rule set; importing this package registers every rule.
+
+| id    | name                | summary                                         |
+|-------|---------------------|-------------------------------------------------|
+| RL001 | rng-discipline      | no global-state RNG outside ``utils/rng.py``    |
+| RL002 | layering            | imports must respect the declared layer DAG     |
+| RL003 | wall-clock          | no wall-clock reads inside numeric packages     |
+| RL004 | frozen-mutation     | no in-place writes to frozen trace attributes   |
+| RL005 | boundary-validation | array params of public core/sensors functions   |
+|       |                     | must be validated                               |
+| RL006 | swallowed-error     | no bare/blanket excepts that swallow errors     |
+"""
+
+from __future__ import annotations
+
+from . import boundaries, exceptions, layering, mutation, rng, wallclock
+
+__all__ = ["boundaries", "exceptions", "layering", "mutation", "rng", "wallclock"]

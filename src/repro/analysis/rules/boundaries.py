@@ -1,0 +1,143 @@
+"""RL005 — validation at package boundaries.
+
+Public entry points of ``repro.core`` and ``repro.sensors`` accept arrays
+from user code (campaign matrices, sparse readings); the paper's restoration
+math assumes those are finite, correctly shaped, consistent-length arrays.
+Every public function/method taking an array-annotated parameter must call a
+:mod:`repro.utils.validation` helper (``check_1d``/``check_2d``/...), wrap
+inputs into a validating container (``PowerTrace``/``PMCTrace``/...), or
+call ``_as_readonly`` — otherwise a malformed input fails deep inside the
+numerics with an unhelpful error (or worse, silently).
+
+The rule is intentionally shallow: it looks for a *direct* call to a known
+validator inside the function body (delegation to another checked public
+function of the same class counts — see ``delegates``). Hot-path per-sample
+methods that are validated once upstream may carry a suppression comment
+with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..diagnostics import Diagnostic
+from ..registry import Rule, RuleContext, register
+
+DEFAULT_PACKAGES = ("repro.core", "repro.sensors")
+
+#: Callable names that count as validating their input.
+DEFAULT_VALIDATORS = (
+    "check_1d",
+    "check_2d",
+    "check_consistent_length",
+    "check_positive",
+    "check_fraction",
+    "_as_readonly",
+    "as_readonly",
+    # Constructors whose __post_init__ validates (repro.types / sensors.base).
+    "PowerTrace",
+    "PMCTrace",
+    "TraceBundle",
+    "SparseReadings",
+)
+
+#: Annotation substrings identifying array-like parameters.
+ARRAY_MARKERS = ("ndarray", "ArrayLike", "NDArray")
+
+
+def _is_array_annotation(ann: "ast.expr | None") -> bool:
+    if ann is None:
+        return False
+    text = ast.unparse(ann) if not isinstance(ann, ast.Constant) else str(ann.value)
+    return any(marker in text for marker in ARRAY_MARKERS)
+
+
+def _called_names(fn: ast.AST) -> "set[str]":
+    """Bare and attribute-tail names of everything called inside ``fn``."""
+    names: "set[str]" = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            f = node.func
+            if isinstance(f, ast.Name):
+                names.add(f.id)
+            elif isinstance(f, ast.Attribute):
+                names.add(f.attr)
+    return names
+
+
+def _is_stub(fn: ast.AST) -> bool:
+    """True for docstring-only bodies, ``...``, and NotImplementedError stubs."""
+    body = list(fn.body)
+    if body and isinstance(body[0], ast.Expr) and isinstance(body[0].value, ast.Constant):
+        body = body[1:]  # drop docstring
+    if not body:
+        return True
+    if len(body) == 1:
+        stmt = body[0]
+        if isinstance(stmt, ast.Pass):
+            return True
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            return True  # bare ``...``
+        if isinstance(stmt, ast.Raise):
+            return True  # abstract: raise NotImplementedError
+    return False
+
+
+@register
+class BoundaryValidationRule(Rule):
+    id = "RL005"
+    name = "boundary-validation"
+    description = (
+        "Public core/sensors functions with array parameters must validate "
+        "them (utils.validation helper, trace constructor, or _as_readonly)."
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Diagnostic]:
+        packages = tuple(ctx.options.get("packages", DEFAULT_PACKAGES))
+        if ctx.module is None or not ctx.module.startswith(packages):
+            return
+        validators = set(ctx.options.get("validators", DEFAULT_VALIDATORS))
+        validators |= set(ctx.options.get("extra_validators", ()))
+        # First pass: public functions that DO validate, so delegation to
+        # them (``self.fit_restore(...)`` inside ``restore``) also counts.
+        checked: "set[str]" = set()
+        # Only module-level functions and class methods form the public
+        # boundary; helpers nested inside a function body are internal.
+        funcs: "list[ast.FunctionDef | ast.AsyncFunctionDef]" = []
+        for top in ctx.tree.body:
+            if isinstance(top, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                funcs.append(top)
+            elif isinstance(top, ast.ClassDef):
+                funcs.extend(
+                    n for n in top.body
+                    if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+                )
+        for fn in funcs:
+            if _called_names(fn) & validators:
+                checked.add(fn.name)
+        for fn in funcs:
+            if fn.name.startswith("_") or _is_stub(fn):
+                continue
+            skip_decorators = ("property", "abstractmethod", "setter", "cached_property")
+            if any(
+                (isinstance(d, ast.Name) and d.id in skip_decorators)
+                or (isinstance(d, ast.Attribute) and d.attr in skip_decorators)
+                for d in fn.decorator_list
+            ):
+                continue
+            args = fn.args
+            params = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+            array_params = [a.arg for a in params if _is_array_annotation(a.annotation)]
+            if not array_params:
+                continue
+            called = _called_names(fn)
+            if called & validators or called & (checked - {fn.name}):
+                continue
+            plural = "s" if len(array_params) > 1 else ""
+            yield self.diagnostic(
+                ctx, fn,
+                f"public function '{fn.name}' takes array parameter{plural} "
+                f"({', '.join(array_params)}) but never calls a validation "
+                "helper (utils.validation / _as_readonly / trace constructor)",
+            )

@@ -1,0 +1,77 @@
+"""RL006 — naked excepts and swallowed errors.
+
+A power monitor that swallows exceptions reports confident nonsense: a
+sensor read that failed silently becomes a zero-watt sample in a table. The
+RAPL-overhead literature stresses auditable measurement pipelines — failures
+must surface or be logged, never discarded. Flagged:
+
+* ``except:`` (bare) — also catches KeyboardInterrupt/SystemExit;
+* ``except Exception`` / ``except BaseException`` whose handler only
+  ``pass``es (or is ``...``) — the error vanishes.
+
+Fault-tolerant monitor paths that intentionally degrade (e.g. a service
+loop that must survive a flaky sensor) carry an inline
+``# repro-lint: disable=swallowed-error`` with the justification next to it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..diagnostics import Diagnostic
+from ..registry import Rule, RuleContext, register
+
+BLANKET = ("Exception", "BaseException")
+
+
+def _is_noop_body(body: "list[ast.stmt]") -> bool:
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or ``...``
+        return False
+    return True
+
+
+@register
+class SwallowedErrorRule(Rule):
+    id = "RL006"
+    name = "swallowed-error"
+    description = "No bare excepts; no blanket excepts whose body swallows the error."
+
+    def check(self, ctx: RuleContext) -> Iterator[Diagnostic]:
+        exempt = tuple(ctx.options.get("exempt_modules", ()))
+        if ctx.module is not None and ctx.module.startswith(exempt) and exempt:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.diagnostic(
+                    ctx, node,
+                    "bare 'except:' also catches KeyboardInterrupt/SystemExit; "
+                    "name the exception type",
+                )
+                continue
+            names = self._exception_names(node.type)
+            if any(n in BLANKET for n in names) and _is_noop_body(node.body):
+                yield self.diagnostic(
+                    ctx, node,
+                    "'except Exception: pass' swallows the error; handle, log, "
+                    "or re-raise it",
+                )
+
+    @staticmethod
+    def _exception_names(expr: ast.expr) -> "list[str]":
+        if isinstance(expr, ast.Name):
+            return [expr.id]
+        if isinstance(expr, ast.Attribute):
+            return [expr.attr]
+        if isinstance(expr, ast.Tuple):
+            out: "list[str]" = []
+            for el in expr.elts:
+                out.extend(SwallowedErrorRule._exception_names(el))
+            return out
+        return []

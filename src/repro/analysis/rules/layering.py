@@ -1,0 +1,91 @@
+"""RL002 — package layering.
+
+The package is layered so hot paths and numerics never grow upward
+dependencies on orchestration code::
+
+    types / errors / utils          (0)
+      < interp / ml                 (1)
+      < core / sensors / workloads / hardware  (2)
+      < monitor / attribution / gpu / eval / io  (3)
+      < cli / analysis              (4)
+
+An import is legal when the importer's layer is >= the imported layer
+(intra-layer imports allowed). The map lives in
+:data:`repro.analysis.config.DEFAULT_LAYERS` and can be overridden from
+``[tool.repro-lint.layers]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..diagnostics import Diagnostic
+from ..registry import Rule, RuleContext, register
+
+
+def _layer_key(dotted: str) -> "str | None":
+    """First component under ``repro`` of a dotted module path."""
+    parts = dotted.split(".")
+    if not parts or parts[0] != "repro":
+        return None
+    return parts[1] if len(parts) > 1 else "__init__"
+
+
+def _resolve_relative(module: str, node: ast.ImportFrom) -> "list[str]":
+    """Absolute dotted targets of a (possibly relative) ``from`` import."""
+    if node.level == 0:
+        base = node.module or ""
+    else:
+        # Within package P, level=1 -> P, level=2 -> parent of P, ...
+        pkg_parts = module.split(".")[:-1]  # containing package of this file
+        if node.level - 1 >= len(pkg_parts) + 1:
+            return []
+        base_parts = pkg_parts[: len(pkg_parts) - (node.level - 1)]
+        base = ".".join(base_parts)
+        if node.module:
+            base = f"{base}.{node.module}" if base else node.module
+    if not base:
+        return [a.name for a in node.names]
+    # ``from repro.core import HighRPM`` and ``from repro import core`` must
+    # both resolve to the sub-package actually crossed, so append each name.
+    return [f"{base}.{a.name}" for a in node.names] or [base]
+
+
+@register
+class LayeringRule(Rule):
+    id = "RL002"
+    name = "layering"
+    description = "Imports must not point to a higher layer of the package DAG."
+
+    def check(self, ctx: RuleContext) -> Iterator[Diagnostic]:
+        if ctx.module is None or not ctx.module.startswith("repro"):
+            return  # out-of-package files (examples, scripts) import freely
+        layers = dict(ctx.config.layers)
+        layers.update(ctx.options.get("layers", {}))
+        own_key = _layer_key(ctx.module)
+        if own_key is None or own_key not in layers:
+            return
+        own_layer = layers[own_key]
+        for node in ast.walk(ctx.tree):
+            targets: "list[str]" = []
+            if isinstance(node, ast.Import):
+                targets = [a.name for a in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                targets = _resolve_relative(ctx.module, node)
+            for target in targets:
+                key = _layer_key(target)
+                if key is None:
+                    continue  # third-party / stdlib
+                # Importing a symbol from ``repro`` itself (``from repro
+                # import x``) resolves to repro.<x>; unknown keys (e.g. a
+                # symbol name, not a submodule) are skipped.
+                target_layer = layers.get(key)
+                if target_layer is None or key == own_key:
+                    continue
+                if target_layer > own_layer:
+                    yield self.diagnostic(
+                        ctx, node,
+                        f"layer violation: {own_key} (layer {own_layer}) must "
+                        f"not import {key} (layer {target_layer})",
+                    )

@@ -1,0 +1,128 @@
+"""RL004 — mutation safety for frozen trace containers.
+
+:mod:`repro.types` stores every array read-only (``_as_readonly``) so that
+models, sensors and the eval harness can share views without defensive
+copies. Writing through an attribute of those frozen dataclasses — or
+re-enabling writability with ``setflags(write=True)`` — corrupts data that
+other components believe immutable. Numpy raises at runtime for read-only
+writes, but only on the code path that executes; this rule finds the write
+statically.
+
+Heuristic scope: attribute names that correspond to frozen trace fields
+(``values``, ``matrix``, ...) — configurable via
+``[tool.repro-lint.rules.frozen-mutation] fields = [...]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..diagnostics import Diagnostic
+from ..registry import Rule, RuleContext, register
+
+#: Array-valued fields of the frozen dataclasses in ``repro/types.py``
+#: (PowerTrace.values, PMCTrace.matrix) plus the trace members of
+#: TraceBundle through which those arrays are reached.
+DEFAULT_FIELDS = ("values", "matrix")
+
+
+def _attr_chain_tail(node: ast.AST) -> "str | None":
+    """``b.pmcs.matrix`` -> ``matrix`` (None when not an attribute access)."""
+    return node.attr if isinstance(node, ast.Attribute) else None
+
+
+@register
+class FrozenMutationRule(Rule):
+    id = "RL004"
+    name = "frozen-mutation"
+    description = (
+        "In-place writes to frozen trace attributes (values/matrix) or "
+        "setflags(write=True) are banned."
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Diagnostic]:
+        fields = frozenset(ctx.options.get("fields", DEFAULT_FIELDS))
+        exempt = tuple(ctx.options.get("exempt_modules", ("repro.types",)))
+        if ctx.module in exempt:
+            return  # types.py itself freezes arrays via setflags
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    yield from self._check_write_target(ctx, target, fields)
+            elif isinstance(node, ast.AugAssign):
+                yield from self._check_aug(ctx, node, fields)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node, fields)
+
+    def _check_write_target(
+        self, ctx: RuleContext, target: ast.AST, fields: frozenset
+    ) -> Iterator[Diagnostic]:
+        # ``x.values[...] = ...`` / ``bundle.pmcs.matrix[i, j] = ...``
+        if isinstance(target, ast.Subscript):
+            attr = _attr_chain_tail(target.value)
+            if attr in fields:
+                yield self.diagnostic(
+                    ctx, target,
+                    f"in-place write through frozen trace attribute "
+                    f"'.{attr}[...]'; build a new trace (e.g. with_values) "
+                    "instead",
+                )
+
+    def _check_aug(
+        self, ctx: RuleContext, node: ast.AugAssign, fields: frozenset
+    ) -> Iterator[Diagnostic]:
+        target = node.target
+        # ``x.values += ...`` and ``x.values[...] += ...``
+        attr = _attr_chain_tail(target)
+        if attr is None and isinstance(target, ast.Subscript):
+            attr = _attr_chain_tail(target.value)
+        if attr in fields:
+            yield self.diagnostic(
+                ctx, node,
+                f"augmented assignment mutates frozen trace attribute "
+                f"'.{attr}' in place; compute a new array and rewrap",
+            )
+
+    def _check_call(
+        self, ctx: RuleContext, node: ast.Call, fields: frozenset
+    ) -> Iterator[Diagnostic]:
+        fn = node.func
+        if not isinstance(fn, ast.Attribute):
+            return
+        # ``anything.setflags(write=True)`` — defeats the read-only contract.
+        if fn.attr == "setflags":
+            for kw in node.keywords:
+                truthy = isinstance(kw.value, ast.Constant) and bool(kw.value.value)
+                if kw.arg == "write" and truthy:
+                    yield self.diagnostic(
+                        ctx, node,
+                        "setflags(write=True) re-enables writes on a shared "
+                        "read-only array; copy instead",
+                    )
+        # ``x.values.sort()`` / ``x.matrix.partition(...)`` — ndarray methods
+        # that mutate in place.
+        elif fn.attr in ("sort", "partition", "fill", "put", "itemset", "resize"):
+            owner_attr = _attr_chain_tail(fn.value)
+            if owner_attr in fields:
+                yield self.diagnostic(
+                    ctx, node,
+                    f"ndarray.{fn.attr}() mutates frozen trace attribute "
+                    f"'.{owner_attr}' in place; use the np.{fn.attr} copy "
+                    "variant" if fn.attr in ("sort", "partition")
+                    else f"ndarray.{fn.attr}() mutates frozen trace attribute "
+                    f"'.{owner_attr}' in place",
+                )
+        # ``np.ndarray.sort(x.values)`` unbound-method spelling.
+        if (
+            fn.attr in ("sort", "partition", "fill", "put", "resize")
+            and _attr_chain_tail(fn.value) == "ndarray"
+            and node.args
+            and _attr_chain_tail(node.args[0]) in fields
+        ):
+            yield self.diagnostic(
+                ctx, node,
+                f"np.ndarray.{fn.attr}(...) mutates a frozen trace attribute "
+                "in place; operate on a copy",
+            )

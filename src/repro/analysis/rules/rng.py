@@ -1,0 +1,130 @@
+"""RL001 — RNG discipline.
+
+The paper's tables are reproducible only because every stochastic component
+draws from a seeded ``numpy`` Generator handed out by
+:class:`repro.utils.rng.SeedSequenceFactory`. Global-state RNG — either
+numpy's legacy ``np.random.*`` module functions or the stdlib ``random``
+module — silently couples streams across components and breaks that
+guarantee, so both are banned everywhere except ``utils/rng.py`` itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..diagnostics import Diagnostic
+from ..registry import Rule, RuleContext, register
+
+#: ``np.random`` attributes that do NOT touch global state (constructors of
+#: explicit generators / seed plumbing). Everything else is flagged.
+SAFE_NP_RANDOM = frozenset(
+    {
+        "Generator",
+        "default_rng",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+
+def _numpy_aliases(tree: ast.Module) -> "tuple[set[str], set[str]]":
+    """(aliases of the numpy module, aliases of numpy.random) in this file."""
+    np_alias: "set[str]" = set()
+    npr_alias: "set[str]" = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                if a.name == "numpy":
+                    np_alias.add(a.asname or "numpy")
+                elif a.name == "numpy.random":
+                    if a.asname:  # ``import numpy.random as npr`` -> npr.rand
+                        npr_alias.add(a.asname)
+                    else:  # ``import numpy.random`` binds ``numpy``
+                        np_alias.add("numpy")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "numpy":
+                for a in node.names:
+                    if a.name == "random":
+                        npr_alias.add(a.asname or "random")
+    return np_alias, npr_alias
+
+
+@register
+class RngDisciplineRule(Rule):
+    id = "RL001"
+    name = "rng-discipline"
+    description = (
+        "Global-state RNG (np.random.* module functions, stdlib random) is "
+        "banned outside utils/rng.py; use seeded Generators."
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Diagnostic]:
+        exempt = tuple(ctx.options.get("exempt_modules", ("repro.utils.rng",)))
+        if ctx.module in exempt:
+            return
+        np_alias, npr_alias = _numpy_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            yield from self._check_imports(ctx, node)
+            if isinstance(node, ast.Attribute):
+                yield from self._check_attribute(ctx, node, np_alias, npr_alias)
+
+    def _check_imports(self, ctx: RuleContext, node: ast.AST) -> Iterator[Diagnostic]:
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                if a.name == "random" or a.name.startswith("random."):
+                    yield self.diagnostic(
+                        ctx, node,
+                        "stdlib 'random' uses hidden global state; draw from a "
+                        "seeded numpy Generator (utils/rng.py) instead",
+                    )
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module == "random":
+                yield self.diagnostic(
+                    ctx, node,
+                    "importing from stdlib 'random' is banned; use seeded "
+                    "numpy Generators (utils/rng.py)",
+                )
+            elif node.module == "numpy.random":
+                for a in node.names:
+                    if a.name not in SAFE_NP_RANDOM and a.name != "random":
+                        yield self.diagnostic(
+                            ctx, node,
+                            f"'from numpy.random import {a.name}' pulls a "
+                            "global-state function; use a Generator method",
+                        )
+
+    def _check_attribute(
+        self, ctx: RuleContext, node: ast.Attribute,
+        np_alias: "set[str]", npr_alias: "set[str]",
+    ) -> Iterator[Diagnostic]:
+        # np.random.<attr> — flag unless <attr> is a generator constructor.
+        inner = node.value
+        if (
+            isinstance(inner, ast.Attribute)
+            and inner.attr == "random"
+            and isinstance(inner.value, ast.Name)
+            and inner.value.id in np_alias
+            and node.attr not in SAFE_NP_RANDOM
+        ):
+            yield self.diagnostic(
+                ctx, node,
+                f"np.random.{node.attr} mutates numpy's hidden global RNG "
+                "state; use a seeded np.random.Generator",
+            )
+        # <npr_alias>.<attr> from ``from numpy import random`` style imports.
+        elif (
+            isinstance(inner, ast.Name)
+            and inner.id in npr_alias
+            and node.attr not in SAFE_NP_RANDOM
+        ):
+            yield self.diagnostic(
+                ctx, node,
+                f"numpy.random.{node.attr} mutates global RNG state; use a "
+                "seeded np.random.Generator",
+            )

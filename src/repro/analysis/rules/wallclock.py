@@ -1,0 +1,114 @@
+"""RL003 — wall-clock reads in numeric code.
+
+The restoration pipeline (``core``), the model zoo (``ml``), and the
+interpolators (``interp``) must be pure functions of their inputs and seeds:
+the paper's tables are regenerated bit-for-bit from archived campaigns.
+A ``time.time()`` or ``datetime.now()`` inside those packages makes results
+depend on when they ran — timing instrumentation belongs in ``eval`` (the
+harness layer), where it is allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..diagnostics import Diagnostic
+from ..registry import Rule, RuleContext, register
+
+#: Functions of the ``time`` module that read a clock.
+TIME_FUNCS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "localtime",
+        "gmtime",
+    }
+)
+#: Clock-reading constructors/classmethods of ``datetime`` objects.
+DATETIME_FUNCS = frozenset({"now", "utcnow", "today", "fromtimestamp"})
+
+DEFAULT_PACKAGES = ("repro.core", "repro.ml", "repro.interp")
+
+
+@register
+class WallClockRule(Rule):
+    id = "RL003"
+    name = "wall-clock"
+    description = "Numeric packages (core/ml/interp) must not read wall clocks."
+
+    def check(self, ctx: RuleContext) -> Iterator[Diagnostic]:
+        packages = tuple(ctx.options.get("packages", DEFAULT_PACKAGES))
+        if ctx.module is None or not ctx.module.startswith(packages):
+            return
+        time_aliases, dt_aliases, from_names = self._aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = node.func
+            if isinstance(fn, ast.Attribute) and isinstance(fn.value, ast.Name):
+                owner, attr = fn.value.id, fn.attr
+                if owner in time_aliases and attr in TIME_FUNCS:
+                    yield self.diagnostic(
+                        ctx, node,
+                        f"wall-clock read time.{attr}() in numeric code; pass "
+                        "timestamps in as data (eval/ may time things)",
+                    )
+                elif owner in dt_aliases and attr in DATETIME_FUNCS:
+                    yield self.diagnostic(
+                        ctx, node,
+                        f"wall-clock read datetime.{attr}() in numeric code; "
+                        "pass timestamps in as data",
+                    )
+            elif (
+                isinstance(fn, ast.Attribute)
+                and isinstance(fn.value, ast.Attribute)
+                and isinstance(fn.value.value, ast.Name)
+                and fn.value.value.id in dt_aliases
+                and fn.value.attr in ("datetime", "date")
+                and fn.attr in DATETIME_FUNCS
+            ):
+                # ``import datetime; datetime.datetime.now()`` spelling.
+                yield self.diagnostic(
+                    ctx, node,
+                    f"wall-clock read datetime.{fn.value.attr}.{fn.attr}() in "
+                    "numeric code; pass timestamps in as data",
+                )
+            elif isinstance(fn, ast.Name) and fn.id in from_names:
+                yield self.diagnostic(
+                    ctx, node,
+                    f"wall-clock read {from_names[fn.id]}() in numeric code; "
+                    "pass timestamps in as data",
+                )
+
+    @staticmethod
+    def _aliases(tree: ast.Module):
+        """Aliases of the time module, datetime-ish names, clock functions."""
+        time_aliases: "set[str]" = set()
+        dt_aliases: "set[str]" = set()
+        from_names: "dict[str, str]" = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for a in node.names:
+                    if a.name == "time":
+                        time_aliases.add(a.asname or "time")
+                    elif a.name == "datetime":
+                        dt_aliases.add(a.asname or "datetime")
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "time":
+                    for a in node.names:
+                        if a.name in TIME_FUNCS:
+                            from_names[a.asname or a.name] = f"time.{a.name}"
+                elif node.module == "datetime":
+                    for a in node.names:
+                        # ``from datetime import datetime/date`` -> class with
+                        # .now()/.today() classmethods.
+                        if a.name in ("datetime", "date"):
+                            dt_aliases.add(a.asname or a.name)
+        return time_aliases, dt_aliases, from_names

@@ -45,6 +45,11 @@ class FlatDataset:
         return int(self.X.shape[0])
 
     def subset(self, mask: np.ndarray) -> "FlatDataset":
+        mask = np.asarray(mask)
+        if mask.dtype == bool:
+            # A boolean mask must label every row; integer index arrays may
+            # be any length (they select with repetition).
+            check_consistent_length(self.X, mask, names=("X", "mask"))
         return FlatDataset(
             X=self.X[mask],
             p_node=self.p_node[mask],

@@ -28,6 +28,7 @@ import numpy as np
 from ..errors import NotFittedError, ValidationError
 from ..ml.recurrent import LSTMRegressor
 from ..sensors.base import SparseReadings
+from ..utils.validation import check_2d
 from .config import HighRPMConfig
 from .dataset import build_anchor_windows
 
@@ -93,6 +94,10 @@ class OnlineTRRSession:
         finally:
             self._model.lr = old_lr
 
+    # Hot path (called once per monitored second): shape-checked inline
+    # against the fitted n_pmcs_ below; whole-trace entry points validate
+    # via check_2d in run().
+    # repro-lint: disable=boundary-validation
     def step(self, pmc_row: np.ndarray, im_reading: "float | None" = None) -> float:
         """Process one second; returns the node-power estimate for it.
 
@@ -134,7 +139,7 @@ class OnlineTRRSession:
 
     def run(self, pmcs: np.ndarray, readings: SparseReadings) -> np.ndarray:
         """Process a whole trace given its sparse IM readings."""
-        pmcs = np.asarray(pmcs, dtype=np.float64)
+        pmcs = check_2d(pmcs, "pmcs")
         reading_at = dict(zip(readings.indices.tolist(), readings.values.tolist()))
         for t in range(pmcs.shape[0]):
             self.step(pmcs[t], reading_at.get(t))

@@ -24,6 +24,7 @@ import numpy as np
 from ..errors import NotFittedError, ValidationError
 from ..sensors.base import SparseReadings
 from ..types import TraceBundle
+from ..utils.validation import check_2d
 from .active_learning import ReinforcementSampler, SamplePool
 from .config import HighRPMConfig
 from .dataset import build_flat_dataset
@@ -103,14 +104,15 @@ class HighRPM:
             return self
         restored_parts: list[SamplePool] = []
         for pmcs, readings in unlabeled:
+            pmcs = check_2d(pmcs, "pmcs")
             static = StaticTRR(
                 self.config, p_upper=self.p_upper, p_bottom=self.p_bottom
             )
-            p_node = static.fit_restore(np.asarray(pmcs), readings).p_trr
-            p_cpu, p_mem = self.srr.predict(np.asarray(pmcs), p_node)
+            p_node = static.fit_restore(pmcs, readings).p_trr
+            p_cpu, p_mem = self.srr.predict(pmcs, p_node)
             restored_parts.append(
                 SamplePool(
-                    pmcs=np.asarray(pmcs, dtype=np.float64),
+                    pmcs=pmcs,
                     p_node=p_node,
                     p_cpu=p_cpu,
                     p_mem=p_mem,
@@ -138,9 +140,10 @@ class HighRPM:
     ) -> MonitorResult:
         """Historical-log analysis: StaticTRR + SRR."""
         self._require_fitted()
+        pmcs = check_2d(pmcs, "pmcs")
         static = StaticTRR(self.config, p_upper=self.p_upper, p_bottom=self.p_bottom)
-        p_node = static.fit_restore(np.asarray(pmcs), readings).p_trr
-        p_cpu, p_mem = self.srr.predict(np.asarray(pmcs), p_node)
+        p_node = static.fit_restore(pmcs, readings).p_trr
+        p_cpu, p_mem = self.srr.predict(pmcs, p_node)
         return MonitorResult(p_node=p_node, p_cpu=p_cpu, p_mem=p_mem, mode="static")
 
     def monitor_online(
@@ -148,8 +151,9 @@ class HighRPM:
     ) -> MonitorResult:
         """Live monitoring: DynamicTRR session + SRR."""
         self._require_fitted()
-        p_node = self.dynamic_trr.restore(np.asarray(pmcs), readings)
-        p_cpu, p_mem = self.srr.predict(np.asarray(pmcs), p_node)
+        pmcs = check_2d(pmcs, "pmcs")
+        p_node = self.dynamic_trr.restore(pmcs, readings)
+        p_cpu, p_mem = self.srr.predict(pmcs, p_node)
         return MonitorResult(p_node=p_node, p_cpu=p_cpu, p_mem=p_mem, mode="dynamic")
 
     def _require_fitted(self) -> None:

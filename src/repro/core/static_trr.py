@@ -34,6 +34,7 @@ from ..errors import ValidationError
 from ..interp.spline import CubicSplineInterpolator
 from ..ml.tree import DecisionTreeRegressor
 from ..sensors.base import SparseReadings
+from ..utils.validation import check_2d
 from .config import HighRPMConfig
 
 
@@ -101,9 +102,7 @@ class StaticTRR:
         self, pmcs: np.ndarray, readings: SparseReadings
     ) -> StaticTRRResult:
         """Fit on one trace's sparse readings and restore it to 1 Sa/s."""
-        pmcs = np.asarray(pmcs, dtype=np.float64)
-        if pmcs.ndim != 2:
-            raise ValidationError(f"pmcs must be 2-D, got shape {pmcs.shape}")
+        pmcs = check_2d(pmcs, "pmcs")
         n = pmcs.shape[0]
         if readings.n_dense != n:
             raise ValidationError(

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..errors import NotFittedError, ValidationError
 from ..sensors.base import SparseReadings
+from ..utils.validation import check_1d, check_2d
 from .config import HighRPMConfig
 from .dynamic_trr import DynamicTRR
 
@@ -38,7 +39,7 @@ class UncertainRestoration:
 
     def coverage(self, truth: np.ndarray, z: float = 2.0) -> float:
         """Fraction of true samples inside the ±z band."""
-        truth = np.asarray(truth, dtype=np.float64)
+        truth = check_1d(truth, "truth")
         if truth.shape != self.mean.shape:
             raise ValidationError("truth must match the restoration length")
         lo, hi = self.interval(z)
@@ -69,6 +70,7 @@ class DynamicTRREnsemble:
     def restore(self, pmcs: np.ndarray, readings: SparseReadings) -> UncertainRestoration:
         if not self._fitted:
             raise NotFittedError("DynamicTRREnsemble.restore before fit")
+        pmcs = check_2d(pmcs, "pmcs")
         stack = np.stack([m.restore(pmcs, readings) for m in self.members])
         # Ensemble spread understates total uncertainty at measured points
         # (all members return the reading there); floor it at sensor scale.

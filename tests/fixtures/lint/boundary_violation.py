@@ -1,0 +1,15 @@
+"""Fixture: RL005 boundary violation (1 expected when placed in core/)."""
+
+import numpy as np
+
+
+def restore(pmcs: np.ndarray) -> np.ndarray:  # RL005: no validation call
+    return pmcs * 2.0
+
+
+def _helper(pmcs: np.ndarray) -> np.ndarray:  # allowed: private
+    return pmcs + 1.0
+
+
+def scale(factor: float) -> float:  # allowed: no array parameters
+    return factor * 2.0

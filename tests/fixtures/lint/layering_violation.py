@@ -1,0 +1,9 @@
+"""Fixture: RL002 layering violations (2 expected when placed in ml/)."""
+
+from repro.monitor.budget import PowerBudget  # RL002: ml -> monitor (upward)
+
+from ..core.config import HighRPMConfig  # RL002: ml -> core (upward)
+
+from ..utils.rng import as_generator  # allowed: ml -> utils (downward)
+
+__all__ = ["PowerBudget", "HighRPMConfig", "as_generator"]

@@ -1,0 +1,16 @@
+"""Fixture: RL004 frozen-mutation violations (5 expected)."""
+
+
+def clobber(trace, bundle):
+    trace.values[0] = 0.0  # RL004: subscript write through frozen field
+    trace.values += 1.0  # RL004: augmented assignment
+    bundle.pmcs.matrix[1, 2] = 3.0  # RL004: nested attribute chain
+    trace.values.sort()  # RL004: in-place ndarray method
+    arr = trace.values.copy()
+    arr.setflags(write=True)  # RL004: re-enables writes
+    return arr
+
+
+def fine(trace):
+    fresh = trace.values + 1.0  # allowed: builds a new array
+    return trace.with_values(fresh)

@@ -1,0 +1,16 @@
+"""Fixture: RL001 rng-discipline violations (3 expected)."""
+
+import random  # noqa  -- RL001: stdlib random import
+
+import numpy as np
+
+
+def draw():
+    random.seed(0)
+    np.random.seed(0)  # RL001: global-state seed
+    return np.random.rand(3)  # RL001: legacy global sampler
+
+
+def fine(seed: int):
+    rng = np.random.default_rng(seed)  # allowed: explicit generator
+    return rng.normal(size=3)

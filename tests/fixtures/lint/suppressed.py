@@ -1,0 +1,16 @@
+"""Fixture: violations silenced by suppression comments (0 expected)."""
+
+import numpy as np
+
+
+def sampler():
+    np.random.seed(0)  # repro-lint: disable=RL001
+    # repro-lint: disable=rng-discipline
+    return np.random.rand(2)
+
+
+def swallow():
+    try:
+        return 1
+    except Exception:  # repro-lint: disable=swallowed-error
+        pass

@@ -1,0 +1,17 @@
+"""Fixture: file-level suppression (0 expected)."""
+
+# repro-lint: disable-file=swallowed-error
+
+
+def a():
+    try:
+        return 1
+    except:
+        pass
+
+
+def b():
+    try:
+        return 2
+    except Exception:
+        pass

@@ -1,0 +1,22 @@
+"""Fixture: RL006 swallowed-error violations (2 expected)."""
+
+
+def risky():
+    try:
+        return 1 // 0
+    except:  # RL006: bare except
+        pass
+
+
+def quiet(path):
+    try:
+        return open(path)
+    except Exception:  # RL006: blanket except that swallows
+        pass
+
+
+def fine(path):
+    try:
+        return open(path)
+    except OSError:
+        return None

@@ -1,0 +1,15 @@
+"""Fixture: RL003 wall-clock violations (3 expected when placed in core/)."""
+
+import time
+from datetime import datetime
+
+from time import perf_counter
+
+
+def stamp():
+    t = time.time()  # RL003
+    return t, datetime.now()  # RL003
+
+
+def measure():
+    return perf_counter()  # RL003 (imported-name spelling)

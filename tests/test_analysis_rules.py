@@ -1,0 +1,218 @@
+"""Tests for the ``repro.analysis`` static-analysis engine.
+
+Fixture files with known violations live in ``tests/fixtures/lint``;
+path-sensitive rules (layering, wall-clock, boundary-validation) are
+exercised by copying fixtures into a temporary ``repro`` package tree so the
+engine resolves their module names exactly as it does for the real package.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Diagnostic, LintConfig, LintEngine, all_rules, lint_paths
+from repro.analysis.cli import main as lint_main
+from repro.analysis.engine import module_name_for, parse_suppressions
+from repro.analysis.reporters import JSON_SCHEMA_VERSION, render_json
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+
+#: Fixture -> (destination inside a fake repro tree, expected rule id, count).
+PLACEMENTS = {
+    "rng_violation.py": ("repro/workloads/bad_rng.py", "RL001", 3),
+    "layering_violation.py": ("repro/ml/bad_layer.py", "RL002", 2),
+    "wallclock_violation.py": ("repro/core/bad_clock.py", "RL003", 3),
+    "mutation_violation.py": ("repro/monitor/bad_mutation.py", "RL004", 5),
+    "boundary_violation.py": ("repro/core/bad_boundary.py", "RL005", 1),
+    "swallowed_violation.py": ("repro/eval/bad_except.py", "RL006", 2),
+}
+
+
+def place(tmp_path: Path, fixture: str) -> Path:
+    dest = tmp_path / PLACEMENTS[fixture][0]
+    dest.parent.mkdir(parents=True, exist_ok=True)
+    shutil.copy(FIXTURES / fixture, dest)
+    return dest
+
+
+@pytest.fixture()
+def engine() -> LintEngine:
+    return LintEngine(LintConfig())
+
+
+class TestRuleDetection:
+    @pytest.mark.parametrize("fixture", sorted(PLACEMENTS))
+    def test_fixture_triggers_expected_rule(self, tmp_path, engine, fixture):
+        _, rule_id, count = PLACEMENTS[fixture]
+        diags = engine.lint_file(place(tmp_path, fixture))
+        assert [d.rule_id for d in diags] == [rule_id] * count
+
+    def test_each_rule_has_fixture_coverage(self):
+        covered = {rule_id for _, rule_id, _ in PLACEMENTS.values()}
+        assert covered == {cls.id for cls in all_rules()}
+
+    def test_messages_carry_location_and_names(self, tmp_path, engine):
+        diags = engine.lint_file(place(tmp_path, "rng_violation.py"))
+        for d in diags:
+            assert d.line > 0 and d.col > 0
+            assert d.rule_name == "rng-discipline"
+            assert "bad_rng.py" in d.path
+
+    def test_rules_silent_outside_their_packages(self, tmp_path, engine):
+        # Wall-clock reads are legal in eval/ (the timing harness layer).
+        dest = tmp_path / "repro" / "eval" / "timing.py"
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copy(FIXTURES / "wallclock_violation.py", dest)
+        assert engine.lint_file(dest) == []
+
+    def test_downward_imports_pass_layering(self, tmp_path, engine):
+        dest = tmp_path / "repro" / "eval" / "ok_layer.py"
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        dest.write_text(
+            "from ..core.highrpm import HighRPM\n"
+            "from ..ml.base import Regressor\n"
+            "from repro.types import PowerTrace\n"
+        )
+        assert engine.lint_file(dest) == []
+
+
+class TestSuppressions:
+    def test_inline_and_next_line_suppressions(self, tmp_path, engine):
+        dest = tmp_path / "repro" / "workloads" / "sup.py"
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copy(FIXTURES / "suppressed.py", dest)
+        assert engine.lint_file(dest) == []
+
+    def test_file_level_suppression(self, tmp_path, engine):
+        dest = tmp_path / "repro" / "workloads" / "supfile.py"
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copy(FIXTURES / "suppressed_file.py", dest)
+        assert engine.lint_file(dest) == []
+
+    def test_suppression_is_rule_specific(self, tmp_path, engine):
+        dest = tmp_path / "repro" / "workloads" / "wrong_rule.py"
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        dest.write_text(
+            "import numpy as np\n\n"
+            "def f():\n"
+            "    np.random.seed(0)  # repro-lint: disable=swallowed-error\n"
+        )
+        diags = engine.lint_file(dest)
+        assert [d.rule_id for d in diags] == ["RL001"]
+
+    def test_parse_suppressions_directives(self):
+        sup = parse_suppressions(
+            "# repro-lint: disable-file=RL001\n"
+            "x = 1  # repro-lint: disable=RL004,swallowed-error\n"
+        )
+        assert sup.file_level == {"RL001"}
+        assert sup.by_line[2] == {"RL004", "RL006"}
+
+
+class TestConfig:
+    def test_select_restricts_rules(self, tmp_path):
+        engine = LintEngine(LintConfig(select=("RL004",)))
+        diags = engine.lint_file(place(tmp_path, "mutation_violation.py"))
+        assert {d.rule_id for d in diags} == {"RL004"}
+        assert engine.lint_file(place(tmp_path, "rng_violation.py")) == []
+
+    def test_disable_drops_rule(self, tmp_path):
+        engine = LintEngine(LintConfig(disable=("rng-discipline",)))
+        assert engine.lint_file(place(tmp_path, "rng_violation.py")) == []
+
+    def test_layer_override(self, tmp_path):
+        # Promote ml to the top of the DAG and both of the fixture's
+        # upward imports (monitor, core) become legal.
+        cfg = LintConfig()
+        cfg.layers["ml"] = 9
+        engine = LintEngine(cfg)
+        diags = engine.lint_file(place(tmp_path, "layering_violation.py"))
+        assert diags == []
+
+    def test_rule_options_override_packages(self, tmp_path):
+        cfg = LintConfig(rule_options={"wall-clock": {"packages": ["repro.eval"]}})
+        engine = LintEngine(cfg)
+        dest = tmp_path / "repro" / "eval" / "timing.py"
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copy(FIXTURES / "wallclock_violation.py", dest)
+        assert {d.rule_id for d in engine.lint_file(dest)} == {"RL003"}
+
+
+class TestEngineMechanics:
+    def test_module_name_resolution(self):
+        assert module_name_for(Path("src/repro/core/srr.py")) == "repro.core.srr"
+        assert module_name_for(Path("examples/quickstart.py")) is None
+
+    def test_syntax_error_reported_not_raised(self, tmp_path, engine):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        diags = engine.lint_file(bad)
+        assert [d.rule_id for d in diags] == ["RL000"]
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        for fixture in PLACEMENTS:
+            place(tmp_path, fixture)
+        diags = lint_paths([tmp_path], LintConfig())
+        expected = sum(count for _, _, count in PLACEMENTS.values())
+        assert len(diags) == expected
+
+
+class TestReporters:
+    def test_json_schema(self, tmp_path, engine):
+        diags = engine.lint_file(place(tmp_path, "mutation_violation.py"))
+        payload = json.loads(render_json(diags, files_checked=1))
+        assert payload["version"] == JSON_SCHEMA_VERSION
+        assert payload["summary"]["files_checked"] == 1
+        assert payload["summary"]["diagnostics"] == len(diags)
+        assert payload["summary"]["by_rule"] == {"RL004": len(diags)}
+        for entry in payload["diagnostics"]:
+            assert set(entry) == {"path", "line", "col", "rule_id", "rule_name", "message"}
+
+    def test_diagnostic_render_is_clickable(self):
+        d = Diagnostic("a/b.py", 3, 7, "RL001", "rng-discipline", "boom")
+        assert d.render().startswith("a/b.py:3:7: RL001")
+
+
+class TestCli:
+    def test_exit_one_on_violation_tree(self, tmp_path, capsys):
+        # A tree containing one violation of *each* rule must fail the lint.
+        for fixture in PLACEMENTS:
+            place(tmp_path, fixture)
+        rc = lint_main([str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        for cls in all_rules():
+            assert cls.id in out
+
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        (tmp_path / "clean.py").write_text("x = 1\n")
+        assert lint_main([str(tmp_path)]) == 0
+        assert "lint clean" in capsys.readouterr().out
+
+    def test_exit_two_on_unknown_rule(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path), "--select", "NOPE"]) == 2
+
+    def test_exit_two_on_missing_path(self, tmp_path):
+        assert lint_main([str(tmp_path / "absent")]) == 2
+
+    def test_json_output_mode(self, tmp_path, capsys):
+        place(tmp_path, "swallowed_violation.py")
+        rc = lint_main([str(tmp_path), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert payload["summary"]["by_rule"] == {"RL006": 2}
+
+    def test_ignore_flag(self, tmp_path, capsys):
+        place(tmp_path, "swallowed_violation.py")
+        rc = lint_main([str(tmp_path), "--ignore", "RL006"])
+        assert rc == 0
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for cls in all_rules():
+            assert cls.id in out

@@ -1,6 +1,5 @@
 """Tests for the model-assisted capping controller."""
 
-import numpy as np
 import pytest
 
 from repro.core import DynamicTRR, HighRPMConfig

@@ -7,7 +7,6 @@ from repro.core import DynamicTRR, HighRPMConfig
 from repro.errors import NotFittedError, ValidationError
 from repro.hardware import ARM_PLATFORM
 from repro.ml import mape
-from repro.sensors import IPMISensor
 
 
 @pytest.fixture(scope="module")

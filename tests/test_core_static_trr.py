@@ -7,7 +7,7 @@ from repro.core import HighRPMConfig, StaticTRR
 from repro.errors import ValidationError
 from repro.hardware import ARM_PLATFORM
 from repro.ml import mape
-from repro.sensors import IPMISensor, SparseReadings
+from repro.sensors import SparseReadings
 
 
 @pytest.fixture()

@@ -15,7 +15,6 @@ from repro.gpu import (
 )
 from repro.gpu.hardware import GPU_PMC_EVENTS
 from repro.ml import mape
-from repro.sensors import IPMISensor
 from repro.sensors.base import SparseReadings
 from repro.types import PMC_EVENTS
 

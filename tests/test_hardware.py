@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import SimulationError, ValidationError
+from repro.errors import ValidationError
 from repro.hardware import (
     ARM_PLATFORM,
     X86_PLATFORM,

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core import HighRPM, HighRPMConfig
 from repro.hardware import ARM_PLATFORM, X86_PLATFORM, NodeSimulator
-from repro.interp import CubicSplineInterpolator
 from repro.ml import make_baseline, mape
 from repro.monitor import CappingPolicy, PowerMonitorService, run_capped
 from repro.sensors import IPMISensor, RAPLEmulator

@@ -14,7 +14,7 @@ from repro.io import (
     save_campaign,
     save_readings,
 )
-from repro.sensors import IPMISensor, SparseReadings
+from repro.sensors import IPMISensor
 from repro.hardware import ARM_PLATFORM
 
 

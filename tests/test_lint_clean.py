@@ -1,0 +1,24 @@
+"""Tier-1 gate: the codebase must satisfy its own static-analysis suite.
+
+Every future PR runs through here — a new global-RNG call, upward import,
+wall-clock read in numerics, frozen-trace mutation, unvalidated boundary, or
+swallowed exception fails this test with the offending file:line in the
+assertion message.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import LintEngine, load_config
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+LINTED = ("src/repro", "examples", "benchmarks", "scripts")
+
+
+def test_codebase_lints_clean():
+    engine = LintEngine(load_config(REPO_ROOT))
+    paths = [REPO_ROOT / p for p in LINTED if (REPO_ROOT / p).exists()]
+    diagnostics = engine.lint_paths(paths)
+    report = "\n".join(d.render() for d in diagnostics)
+    assert not diagnostics, f"repro-lint found violations:\n{report}"

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.errors import ValidationError
 from repro.eval.tables import format_table
 from repro.gpu import gpu_workload
 from repro.interp import CubicSplineInterpolator

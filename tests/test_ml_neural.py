@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import ConvergenceError, NotFittedError, ValidationError
+from repro.errors import NotFittedError, ValidationError
 from repro.ml import MLPRegressor, rmse
 
 

@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import ValidationError
 from repro.ml import BASELINE_MODELS, baseline_names, clone, make_baseline
-from repro.ml.base import Regressor
 from repro.ml.registry import MODEL_GROUPS, SEQUENCE_MODELS, is_sequence_model
 
 

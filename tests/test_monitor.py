@@ -9,7 +9,6 @@ from repro.hardware import ARM_PLATFORM, NodeSimulator
 from repro.monitor import (
     CappingPolicy,
     EnergyAccount,
-    MonitorLog,
     PowerCapController,
     PowerMonitorService,
     energy_of,

@@ -1,11 +1,10 @@
 """Tests for the operator report generator."""
 
-import numpy as np
 import pytest
 
 from repro.core.highrpm import MonitorResult
 from repro.errors import ValidationError
-from repro.monitor.report import RunSummary, render_node_report, summarise_runs
+from repro.monitor.report import render_node_report, summarise_runs
 from repro.monitor.service import MonitorLog
 
 

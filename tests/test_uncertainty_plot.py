@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import HighRPMConfig
-from repro.core.uncertainty import DynamicTRREnsemble, UncertainRestoration
+from repro.core.uncertainty import DynamicTRREnsemble
 from repro.errors import NotFittedError, ValidationError
 from repro.eval.ascii_plot import histogram, sparkline, strip_chart
 from repro.hardware import ARM_PLATFORM

@@ -5,7 +5,6 @@ import numpy as np
 import pytest
 
 from repro.hardware import ARM_PLATFORM, NodeSimulator
-from repro.workloads import default_catalog
 from repro.workloads.base import mean_intensities
 
 

@@ -11,7 +11,6 @@ from repro.workloads import (
     Workload,
     burst_train,
     constant,
-    default_catalog,
     periodic,
     table3_splits,
 )
