@@ -45,6 +45,31 @@ def test_predict_flat_model(benchmark, name):
     assert np.isfinite(result).all()
 
 
+# Walk-vs-compiled pairs: the estimators whose predict now routes through
+# the repro.perf flat-array layer, timed against the seed's reference path.
+COMPILED_MODELS = {
+    "DT": "_predict_walk",
+    "RF": "_predict_walk",
+    "GB": "_predict_walk",
+    "NN": "_predict_reference",
+}
+
+
+@pytest.mark.parametrize("name", sorted(COMPILED_MODELS))
+@pytest.mark.parametrize("path", ["walk", "compiled"])
+def test_predict_walk_vs_compiled(benchmark, name, path):
+    model = make_baseline(name)
+    if hasattr(model, "max_iter"):
+        model.set_params(max_iter=min(model.max_iter, 2000))
+    model.fit(X_FLAT, Y_FLAT)
+    Xq = X_FLAT[:N_PRED]
+    fn = getattr(model, COMPILED_MODELS[name]) if path == "walk" else model.predict
+    result = benchmark.pedantic(
+        lambda: fn(Xq), rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert np.isfinite(result).all()
+
+
 @pytest.mark.parametrize("name", sorted(SEQUENCE_MODELS))
 def test_fit_rnn_model(benchmark, name):
     def fit():

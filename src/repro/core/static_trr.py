@@ -33,6 +33,7 @@ import numpy as np
 from ..errors import ValidationError
 from ..interp.spline import CubicSplineInterpolator
 from ..ml.tree import DecisionTreeRegressor
+from ..perf import precompile
 from ..sensors.base import SparseReadings
 from ..utils.validation import check_2d
 from .config import HighRPMConfig
@@ -138,6 +139,10 @@ class StaticTRR:
 
         self.res_model_ = self._res_model_factory()
         self.res_model_.fit(pmcs[idx], residual_targets)
+        # Flatten the freshly fitted ResModel eagerly: the dense prediction
+        # below (and any later re-restore) runs over the whole trace, which
+        # is exactly the batch shape the compiled descent is built for.
+        precompile(self.res_model_)
         residual_hat = self.res_model_.predict(pmcs)
         if not self.config.residual_signed:
             # Unsigned mode (the paper's ABS target): apply the magnitude in

@@ -31,9 +31,11 @@ class RandomForestRegressor(Regressor):
         self.max_features = max_features
         self.random_state = random_state
         self.estimators_: "list[DecisionTreeRegressor] | None" = None
+        self._compiled = None  # stacked flat-array predictor (repro.perf)
 
     def fit(self, X, y) -> "RandomForestRegressor":
         X, y = self._validate_xy(X, y)
+        self._compiled = None
         rng = as_generator(self.random_state)
         n = X.shape[0]
         trees = []
@@ -53,7 +55,17 @@ class RandomForestRegressor(Regressor):
     def predict(self, X) -> np.ndarray:
         self._check_fitted("estimators_")
         X = check_2d(X, "X")
-        preds = np.stack([t.predict(X) for t in self.estimators_])
+        if self._compiled is None:
+            from ..perf import compile_forest  # lazy: perf and ml are peers
+
+            self._compiled = compile_forest(self)
+        return self._compiled.predict(X)
+
+    def _predict_walk(self, X) -> np.ndarray:
+        """Reference path: per-tree object walk, then the bagged mean."""
+        self._check_fitted("estimators_")
+        X = check_2d(X, "X")
+        preds = np.stack([t._predict_walk(X) for t in self.estimators_])
         return preds.mean(axis=0)
 
 
@@ -86,9 +98,11 @@ class GradientBoostingRegressor(Regressor):
         self.random_state = random_state
         self.estimators_: "list[DecisionTreeRegressor] | None" = None
         self.init_: float = 0.0
+        self._compiled = None  # stacked flat-array predictor (repro.perf)
 
     def fit(self, X, y) -> "GradientBoostingRegressor":
         X, y = self._validate_xy(X, y)
+        self._compiled = None
         rng = as_generator(self.random_state)
         n = X.shape[0]
         self.init_ = float(y.mean())
@@ -112,19 +126,29 @@ class GradientBoostingRegressor(Regressor):
         self.estimators_ = trees
         return self
 
+    def _compile(self):
+        if self._compiled is None:
+            from ..perf import compile_boosting  # lazy: perf and ml are peers
+
+            self._compiled = compile_boosting(self)
+        return self._compiled
+
     def predict(self, X) -> np.ndarray:
         self._check_fitted("estimators_")
         X = check_2d(X, "X")
-        out = np.full(X.shape[0], self.init_)
-        for tree in self.estimators_:
-            out += self.learning_rate * tree.predict(X)
-        return out
+        return self._compile().predict(X)
 
     def staged_predict(self, X):
         """Yield predictions after each boosting stage (for diagnostics)."""
         self._check_fitted("estimators_")
         X = check_2d(X, "X")
+        yield from self._compile().staged(X)
+
+    def _predict_walk(self, X) -> np.ndarray:
+        """Reference path: sequential shrinkage sum of per-tree walks."""
+        self._check_fitted("estimators_")
+        X = check_2d(X, "X")
         out = np.full(X.shape[0], self.init_)
         for tree in self.estimators_:
-            out = out + self.learning_rate * tree.predict(X)
-            yield out.copy()
+            out += self.learning_rate * tree._predict_walk(X)
+        return out

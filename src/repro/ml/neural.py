@@ -81,6 +81,11 @@ class MLPRegressor(Regressor):
         self._x_mean = self._x_scale = None
         self._y_mean = self._y_scale = None
         self._single_output = True
+        # Adam state (moment buffers + step counter) persists across warm
+        # starts so fine-tuning continues the optimiser trajectory instead of
+        # re-zeroing moments against a stale bias-correction step.
+        self._adam_state: "tuple | None" = None
+        self._compiled = None  # fused forward pass, built lazily (repro.perf)
 
     # ------------------------------------------------------------------ fit
     def _init_params(self, sizes: list[int], rng) -> None:
@@ -102,6 +107,7 @@ class MLPRegressor(Regressor):
         Y = y_arr.reshape(-1, 1) if self._single_output else y_arr
         check_consistent_length(X, Y, names=("X", "y"))
         rng = as_generator(self.random_state)
+        self._compiled = None  # weights are about to change
 
         if not (warm_start and self.weights_ is not None):
             self._x_mean = X.mean(axis=0)
@@ -115,21 +121,27 @@ class MLPRegressor(Regressor):
             sizes = [X.shape[1], *self.hidden_layer_sizes, Y.shape[1]]
             self._init_params(sizes, rng)
             self.loss_curve_ = []
+            self._adam_state = None
 
         Xs = (X - self._x_mean) / self._x_scale
         Ys = (Y - self._y_mean) / self._y_scale
         act, act_grad = _ACTIVATIONS[self.activation]
         W, B = self.weights_, self.biases_
-        mw = [np.zeros_like(w) for w in W]
-        vw = [np.zeros_like(w) for w in W]
-        mb = [np.zeros_like(b) for b in B]
-        vb = [np.zeros_like(b) for b in B]
+        if self._adam_state is not None:
+            mw, vw, mb, vb, t0 = self._adam_state
+        else:
+            mw = [np.zeros_like(w) for w in W]
+            vw = [np.zeros_like(w) for w in W]
+            mb = [np.zeros_like(b) for b in B]
+            vb = [np.zeros_like(b) for b in B]
+            t0 = 0
         beta1, beta2, eps = 0.9, 0.999, 1e-8
 
         n = Xs.shape[0]
         bs = min(self.batch_size, n)
         best_loss, stall = np.inf, 0
         iters = self.max_iter if max_iter is None else int(max_iter)
+        it = -1
         for it in range(iters):
             idx = rng.integers(0, n, size=bs)
             xb, yb = Xs[idx], Ys[idx]
@@ -146,13 +158,16 @@ class MLPRegressor(Regressor):
             self.loss_curve_.append(loss)
             # Backward
             delta = 2.0 * err / (bs * yb.shape[1])
+            # Bias-correction step: one Adam update has happened per recorded
+            # minibatch loss *of this optimiser run*; t0 carries the count
+            # across warm starts so the moments and the correction agree.
+            t = t0 + it + 1
             for li in range(len(W) - 1, -1, -1):
                 a_prev = activations[li]
                 gw = a_prev.T @ delta + self.alpha * W[li]
                 gb = delta.sum(axis=0)
                 if li > 0:
                     delta = (delta @ W[li].T) * act_grad(activations[li])
-                t = len(self.loss_curve_)
                 mw[li] = beta1 * mw[li] + (1 - beta1) * gw
                 vw[li] = beta2 * vw[li] + (1 - beta2) * gw**2
                 mb[li] = beta1 * mb[li] + (1 - beta1) * gb
@@ -173,6 +188,7 @@ class MLPRegressor(Regressor):
                     if stall >= self.n_iter_no_change:
                         break
         self.n_iter_ = it + 1
+        self._adam_state = (mw, vw, mb, vb, t0 + it + 1)
         return self
 
     def partial_fit(self, X, y, n_steps: int = 100) -> "MLPRegressor":
@@ -181,6 +197,21 @@ class MLPRegressor(Regressor):
 
     # -------------------------------------------------------------- predict
     def predict(self, X) -> np.ndarray:
+        self._check_fitted("weights_")
+        X = check_2d(X, "X")
+        if self._compiled is None:
+            from ..perf import compile_mlp  # lazy: perf and ml are peers
+
+            self._compiled = compile_mlp(self)
+        return self._compiled.predict(X)
+
+    def _predict_reference(self, X) -> np.ndarray:
+        """Unfused forward pass (standardise → matmuls → de-standardise).
+
+        Ground truth for the compiled fast path's equivalence suite; the
+        fused pass reassociates the affine folds, so agreement is ~1e-13
+        relative rather than bit-exact.
+        """
         self._check_fitted("weights_")
         X = check_2d(X, "X")
         act, _ = _ACTIVATIONS[self.activation]

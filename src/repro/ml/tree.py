@@ -87,6 +87,7 @@ class DecisionTreeRegressor(Regressor):
         self.max_features = max_features
         self.random_state = random_state
         self._nodes: "list[_Node] | None" = None
+        self._compiled = None  # flat-array predictor, built lazily (repro.perf)
         self.n_features_: int = 0
 
     # `coef_`-style fitted marker for _check_fitted
@@ -105,6 +106,7 @@ class DecisionTreeRegressor(Regressor):
 
     def fit(self, X, y) -> "DecisionTreeRegressor":
         X, y = self._validate_xy(X, y)
+        self._compiled = None
         rng = as_generator(self.random_state)
         self.n_features_ = X.shape[1]
         nodes: list[_Node] = []
@@ -112,26 +114,31 @@ class DecisionTreeRegressor(Regressor):
 
         def grow(indices: np.ndarray, depth: int) -> int:
             node_id = len(nodes)
-            node = _Node(value=float(y[indices].mean()))
+            # One gather per node; the per-feature split search below reuses
+            # these views instead of re-slicing X[indices, j] / y[indices]
+            # for every candidate feature.
+            X_node = X[indices]
+            y_node = y[indices]
+            node = _Node(value=float(y_node.mean()))
             nodes.append(node)
             n_here = indices.shape[0]
             if (
                 depth >= max_depth
                 or n_here < self.min_samples_split
                 or n_here < 2 * self.min_samples_leaf
-                or np.ptp(y[indices]) == 0.0
+                or np.ptp(y_node) == 0.0
             ):
                 return node_id
             best_sse, best_feat, best_thr = np.inf, -1, np.nan
             for j in self._n_split_features(self.n_features_, rng):
                 sse, thr = _best_split_for_feature(
-                    X[indices, j], y[indices], self.min_samples_leaf
+                    X_node[:, j], y_node, self.min_samples_leaf
                 )
                 if sse < best_sse:
                     best_sse, best_feat, best_thr = sse, int(j), thr
             if best_feat < 0:
                 return node_id
-            mask = X[indices, best_feat] <= best_thr
+            mask = X_node[:, best_feat] <= best_thr
             node.feature = best_feat
             node.threshold = best_thr
             node.left = grow(indices[mask], depth + 1)
@@ -145,11 +152,23 @@ class DecisionTreeRegressor(Regressor):
     def predict(self, X) -> np.ndarray:
         self._check_fitted("_nodes")
         X = check_2d(X, "X")
+        if self._compiled is None:
+            from ..perf import compile_tree  # lazy: perf and ml are peers
+
+            self._compiled = compile_tree(self)
+        return self._compiled.predict(X)
+
+    def _predict_walk(self, X) -> np.ndarray:
+        """Reference object-walk descent (per-sample Python loop).
+
+        Kept as the ground truth the compiled flat-array path is verified
+        against (tests/test_perf_compiled.py) and as the "before" arm of the
+        benchmark trajectory.
+        """
+        self._check_fitted("_nodes")
+        X = check_2d(X, "X")
         nodes = self._nodes
         out = np.empty(X.shape[0])
-        # Iterative descent per sample; trees are shallow in practice and
-        # this avoids recursion. Batched level-order descent buys little for
-        # the tree sizes used here.
         for i in range(X.shape[0]):
             node = nodes[0]
             while node.feature >= 0:

@@ -16,6 +16,7 @@ import numpy as np
 from ..core.highrpm import HighRPM, MonitorResult
 from ..errors import ValidationError
 from ..hardware.platform import PlatformSpec
+from ..perf import precompile
 from ..sensors.ipmi import IPMISensor
 from ..types import TraceBundle
 
@@ -52,6 +53,10 @@ class PowerMonitorService:
         model._require_fitted()
         self.model = model
         self.spec = spec
+        # Compile the SRR forward pass up front: it serves every observe_run
+        # on every node, so the one-time flatten cost should not land on the
+        # first monitored trace.
+        precompile(model.srr.model_)
         self._nodes: dict[str, IPMISensor] = {}
         self._logs: dict[str, MonitorLog] = {}
 

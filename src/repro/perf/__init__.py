@@ -1,0 +1,44 @@
+"""Model compilation and benchmark tracking for the inference hot paths.
+
+Two halves:
+
+* :mod:`repro.perf.compile` / :mod:`repro.perf.flat_tree` /
+  :mod:`repro.perf.flat_mlp` — convert fitted estimators into
+  contiguous-array predictors (vectorised frontier descent for trees,
+  stacked batched traversal for ensembles, affine-folded buffered forward
+  for the MLP). The :mod:`repro.ml` estimators build these lazily on first
+  ``predict``, so every caller — StaticTRR's ResModel, the Table-4/5
+  baselines, SRR, ``PowerMonitorService.observe_run`` — gets the fast path
+  with no API change.
+* :mod:`repro.perf.bench` — the ``repro-bench`` runner that times the
+  ml/interp microbenches and writes the machine-readable ``BENCH_*.json``
+  regression trajectory.
+
+See ``docs/performance.md`` for the cache-invalidation contract and the
+benchmark protocol.
+"""
+
+from .compile import (
+    compile_boosting,
+    compile_forest,
+    compile_mlp,
+    compile_model,
+    compile_tree,
+    precompile,
+)
+from .flat_mlp import CompiledMLP
+from .flat_tree import CompiledBoosting, CompiledForest, CompiledTree, CompiledTreeEnsemble
+
+__all__ = [
+    "CompiledBoosting",
+    "CompiledForest",
+    "CompiledMLP",
+    "CompiledTree",
+    "CompiledTreeEnsemble",
+    "compile_boosting",
+    "compile_forest",
+    "compile_mlp",
+    "compile_model",
+    "compile_tree",
+    "precompile",
+]

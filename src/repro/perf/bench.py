@@ -1,0 +1,182 @@
+"""``repro-bench``: regression tracking for the inference hot paths.
+
+Times each hot operation twice — the seed's reference implementation
+("before": the per-sample object walk, the unfused MLP forward) and the
+compiled flat-array path ("after") — and writes a machine-readable JSON
+trajectory so perf regressions show up as diffs, not anecdotes.
+
+Protocol
+--------
+Every op is measured as the **minimum over R repeats after two warmup
+calls**. The minimum is the standard microbenchmark estimator (`timeit`
+docs): slower repeats measure machine noise, not the code. Warmups build
+the lazily-compiled predictor and fault in the workspace so the steady
+state — a monitor restoring trace after trace — is what gets timed.
+Before timing, each op's two paths are checked for agreement, so the
+recorded speedups always compare implementations with identical outputs.
+
+Run ``python -m repro.perf.bench`` (or the ``repro-bench`` console script)
+from the repo root; ``--smoke`` shrinks sizes/repeats for CI. See
+``docs/performance.md`` for how to read and update ``BENCH_*.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..interp.spline import CubicSplineInterpolator
+from ..ml.ensemble import GradientBoostingRegressor, RandomForestRegressor
+from ..ml.neural import MLPRegressor
+from ..ml.tree import DecisionTreeRegressor
+
+SCHEMA = "repro-bench/1"
+DEFAULT_OUTPUT = "BENCH_PR2.json"
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One op: a reference ("before") and an optimised ("after") callable."""
+
+    name: str
+    after: "callable"
+    before: "callable | None"  # None: tracked op with no compiled form
+    n_samples: int
+    #: max |after - before| tolerated by the pre-timing agreement check;
+    #: 0.0 demands bit-identical outputs.
+    atol: float = 0.0
+
+
+def _make_regression(n_train: int, n_pred: int, d: int):
+    """Synthetic PMC-like regression task shared by every model op."""
+    rng = np.random.default_rng(7)
+    X = rng.uniform(0.0, 1.0, size=(n_train, d))
+    y = np.sin(3.0 * X[:, 0]) + 2.0 * X[:, 1] + rng.normal(0.0, 0.1, size=n_train)
+    Xq = rng.uniform(0.0, 1.0, size=(n_pred, d))
+    return X, y, Xq
+
+
+def build_cases(smoke: bool = False) -> "list[BenchCase]":
+    """Fit the hot-path models and pair each reference with its fast path.
+
+    The full protocol matches the acceptance batch: 10-tree ensembles
+    trained on 2000×16 and predicting a 10000×16 batch.
+    """
+    n_train, n_pred, d = (400, 1000, 8) if smoke else (2000, 10000, 16)
+    X, y, Xq = _make_regression(n_train, n_pred, d)
+
+    tree = DecisionTreeRegressor().fit(X, y)
+    forest = RandomForestRegressor(n_estimators=10, random_state=7).fit(X, y)
+    boost = GradientBoostingRegressor(n_estimators=10, random_state=7).fit(X, y)
+    mlp = MLPRegressor(max_iter=200 if smoke else 500).fit(X, y)
+
+    knots = np.linspace(0.0, float(n_pred - 1), num=max(8, n_pred // 50))
+    spline = CubicSplineInterpolator().fit(knots, np.sin(knots / 40.0) + 2.0)
+    t_dense = np.arange(n_pred, dtype=np.float64)
+
+    return [
+        BenchCase("tree_predict", lambda: tree.predict(Xq),
+                  lambda: tree._predict_walk(Xq), n_pred),
+        BenchCase("forest_predict", lambda: forest.predict(Xq),
+                  lambda: forest._predict_walk(Xq), n_pred),
+        BenchCase("boosting_predict", lambda: boost.predict(Xq),
+                  lambda: boost._predict_walk(Xq), n_pred),
+        # The fused MLP reassociates the affine folds, so agreement is tight
+        # float tolerance rather than bit-exact.
+        BenchCase("mlp_predict", lambda: mlp.predict(Xq),
+                  lambda: mlp._predict_reference(Xq), n_pred, atol=1e-9),
+        # Trend restoration has a single implementation; tracked for the
+        # trajectory only.
+        BenchCase("spline_predict", lambda: spline.predict(t_dense), None, n_pred),
+    ]
+
+
+def _check_agreement(case: BenchCase) -> None:
+    if case.before is None:
+        return
+    a, b = case.after(), case.before()
+    gap = float(np.max(np.abs(np.asarray(a) - np.asarray(b)), initial=0.0))
+    if gap > case.atol:
+        raise AssertionError(
+            f"{case.name}: compiled path disagrees with reference "
+            f"(max abs diff {gap:.3e} > atol {case.atol:.1e})"
+        )
+
+
+def _best_of(fn, repeats: int, warmup: int = 2) -> float:
+    """Minimum wall-clock seconds over ``repeats`` calls after warmups."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run(cases: "list[BenchCase]", repeats: int) -> "dict[str, dict]":
+    """Measure every case; returns ``{op: result}`` with ns/sample figures."""
+    results: "dict[str, dict]" = {}
+    for case in cases:
+        _check_agreement(case)
+        after_ns = _best_of(case.after, repeats) * 1e9 / case.n_samples
+        entry = {
+            "ns_per_sample": round(after_ns, 2),
+            "ns_per_sample_before": None,
+            "speedup": None,
+            "n_samples": case.n_samples,
+            "repeats": repeats,
+        }
+        if case.before is not None:
+            before_ns = _best_of(case.before, repeats) * 1e9 / case.n_samples
+            entry["ns_per_sample_before"] = round(before_ns, 2)
+            entry["speedup"] = round(before_ns / after_ns, 2)
+        results[case.name] = entry
+    return results
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Time the inference hot paths and write a BENCH_*.json trajectory.",
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sizes and few repeats (CI smoke subset)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repeats per op (default: 3 smoke, 7 full)")
+    parser.add_argument("--output", type=Path, default=Path(DEFAULT_OUTPUT),
+                        help=f"output JSON path (default: {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+    repeats = args.repeats if args.repeats is not None else (3 if args.smoke else 7)
+
+    results = run(build_cases(smoke=args.smoke), repeats=repeats)
+    payload = {
+        "schema": SCHEMA,
+        "protocol": {
+            "mode": "smoke" if args.smoke else "full",
+            "timer": "min over repeats after 2 warmups (perf_counter)",
+            "repeats": repeats,
+        },
+        "results": results,
+    }
+    args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    width = max(len(name) for name in results)
+    for name, entry in results.items():
+        line = f"{name:<{width}}  {entry['ns_per_sample']:>10.1f} ns/sample"
+        if entry["speedup"] is not None:
+            line += (f"  (before {entry['ns_per_sample_before']:.1f}, "
+                     f"speedup {entry['speedup']:.1f}x)")
+        print(line)
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

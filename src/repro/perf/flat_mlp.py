@@ -1,0 +1,91 @@
+"""Fused-forward MLP predictor (the SRR hot path).
+
+``MLPRegressor.predict`` runs standardise → matmul chain → de-standardise,
+allocating a fresh intermediate at every step. SRR calls it once per
+observed run with the same batch shape over and over (one row per monitored
+second), so the allocations and the separate standardisation passes are
+pure overhead.
+
+:class:`CompiledMLP` folds the input standardisation into the first weight
+matrix (``W0' = W0 / σx``, ``b0' = b0 − (µx/σx)·W0``) and the target
+de-standardisation into the last (``WL' = WL·σy``, ``bL' = bL·σy + µy``),
+then runs the forward pass through preallocated hidden-layer buffers with
+``np.matmul(..., out=...)`` and in-place activations. Buffers are keyed by
+batch size and rebuilt only when it changes — the steady-state monitor
+shape reuses them on every call.
+
+The output layer always writes to a *fresh* array (callers may keep or
+mutate predictions), so only hidden activations are recycled. Folding the
+affine maps reassociates a handful of float operations; predictions agree
+with the reference forward pass to ~1e-13 relative (the equivalence suite
+pins this down).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _relu_inplace(buf: np.ndarray) -> None:
+    np.maximum(buf, 0.0, out=buf)
+
+
+def _tanh_inplace(buf: np.ndarray) -> None:
+    np.tanh(buf, out=buf)
+
+
+_INPLACE_ACTIVATIONS = {"relu": _relu_inplace, "tanh": _tanh_inplace}
+
+
+class CompiledMLP:
+    """Affine-folded, buffer-reusing forward pass of a fitted MLP.
+
+    ``predict`` takes a validated ``(n, d)`` float64 matrix — callers own
+    input checking, exactly as with the compiled trees.
+    """
+
+    __slots__ = ("weights", "biases", "activation", "single_output", "_buf_n", "_bufs")
+
+    def __init__(
+        self,
+        weights: "list[np.ndarray]",
+        biases: "list[np.ndarray]",
+        x_mean: np.ndarray,
+        x_scale: np.ndarray,
+        y_mean: np.ndarray,
+        y_scale: np.ndarray,
+        activation: str,
+        single_output: bool,
+    ) -> None:
+        inv = 1.0 / np.asarray(x_scale, dtype=np.float64)
+        W = [np.array(w, dtype=np.float64) for w in weights]
+        b = [np.array(v, dtype=np.float64) for v in biases]
+        b[0] = b[0] - (np.asarray(x_mean) * inv) @ W[0]
+        W[0] = W[0] * inv[:, None]
+        W[-1] = W[-1] * np.asarray(y_scale)[None, :]
+        b[-1] = b[-1] * np.asarray(y_scale) + np.asarray(y_mean)
+        self.weights = W
+        self.biases = b
+        self.activation = _INPLACE_ACTIVATIONS[activation]
+        self.single_output = bool(single_output)
+        self._buf_n = -1
+        self._bufs: "list[np.ndarray]" = []
+
+    def _buffers(self, n: int) -> "list[np.ndarray]":
+        if self._buf_n != n:
+            self._bufs = [np.empty((n, w.shape[1])) for w in self.weights[:-1]]
+            self._buf_n = n
+        return self._bufs
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        bufs = self._buffers(X.shape[0])
+        a = X
+        last = len(self.weights) - 1
+        for li, (w, bias) in enumerate(zip(self.weights, self.biases)):
+            out = np.empty((X.shape[0], w.shape[1])) if li == last else bufs[li]
+            np.matmul(a, w, out=out)
+            out += bias
+            if li < last:
+                self.activation(out)
+            a = out
+        return a.ravel() if self.single_output else a

@@ -52,6 +52,32 @@ class TestMLP:
         m.partial_fit(X, y, n_steps=2000)
         assert rmse(y, m.predict(X)) <= err_before
 
+    def test_partial_fit_resumes_adam_state(self, rng):
+        # Regression: warm starts used to re-zero the Adam moments while the
+        # bias-correction step kept counting, so the correction factors were
+        # ~1 against empty moments and fine-tuning steps were crippled. The
+        # moments and step counter must persist across warm starts.
+        X = rng.uniform(-2, 2, size=(400, 1))
+        y = np.sin(2 * X[:, 0])
+        m = MLPRegressor(hidden_layer_sizes=16, max_iter=150, random_state=0)
+        m.fit(X, y)
+        assert m._adam_state is not None
+        assert m._adam_state[4] == len(m.loss_curve_)  # one update per recorded loss
+        loss_before = float(np.mean(m.loss_curve_[-20:]))
+        m.partial_fit(X, y, n_steps=1500)
+        assert m._adam_state[4] == len(m.loss_curve_)  # counter advanced, not reset
+        loss_after = float(np.mean(m.loss_curve_[-20:]))
+        # 150 iterations leave plenty of headroom: fine-tuning must actually
+        # move the loss, which the broken optimiser state did not.
+        assert loss_after < 0.5 * loss_before
+
+    def test_cold_fit_resets_adam_state(self, rng):
+        X = rng.normal(size=(100, 2))
+        m = MLPRegressor(max_iter=50, random_state=0).fit(X, X[:, 0])
+        t_first = m._adam_state[4]
+        m.fit(X, X[:, 1])  # fresh fit, not a warm start
+        assert m._adam_state[4] == t_first == 50
+
     def test_raw_pmcs_scale_handled(self, rng):
         # Features spanning 1e0..1e9, like real counters.
         X = np.column_stack([
