@@ -1,0 +1,45 @@
+"""Regenerate the golden monitor-service regression fixture.
+
+Usage:  PYTHONPATH=src python scripts/make_golden_monitor.py
+
+Runs the chaos harness's fixed-seed reference service (smoke sizes) over
+two observations of the same test run — one through a healthy IM feed,
+one through a feed with a mid-run outage — and stores the restored
+``p_node``/``p_cpu``/``p_mem`` traces plus provenance under
+``tests/fixtures/golden_monitor.npz``. ``tests/test_golden_monitor.py``
+replays the identical construction and compares against this file, so any
+behavioural drift in the sensor, fault, restoration, or service layers
+shows up as a diff in the golden traces.
+
+Only rerun this script when a change *intends* to alter restoration
+output; commit the refreshed fixture together with that change.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import numpy as np
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+GOLDEN_PATH = REPO / "tests" / "fixtures" / "golden_monitor.npz"
+
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.faults.golden import golden_traces  # noqa: E402
+
+
+def main() -> int:
+    traces = golden_traces()
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(GOLDEN_PATH, **traces)
+    size = GOLDEN_PATH.stat().st_size
+    print(f"wrote {GOLDEN_PATH} ({size} bytes):")
+    for key, arr in traces.items():
+        print(f"  {key}: shape={arr.shape} dtype={arr.dtype}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,6 +44,7 @@ EXPERIMENTS: dict[str, Callable] = {
     "fig9": fg.fig9,
     "overhead": fg.overhead,
     "per-suite": ex.per_suite_breakdown,
+    "chaos": ex.chaos_robustness,
 }
 
 ABLATIONS: dict[str, Callable] = {

@@ -19,7 +19,14 @@ Three models and a facade:
 from .config import HighRPMConfig
 from .dataset import FlatDataset, build_flat_dataset, build_windows
 from .dynamic_trr import DynamicTRR, OnlineTRRSession
-from .highrpm import HighRPM, MonitorResult
+from .highrpm import (
+    PROV_MEASURED,
+    PROV_MODEL_ONLY,
+    PROV_RESTORED,
+    HighRPM,
+    MonitorResult,
+    provenance_from_readings,
+)
 from .srr import SRR
 from .static_trr import StaticTRR, StaticTRRResult
 from .uncertainty import DynamicTRREnsemble, UncertainRestoration
@@ -36,6 +43,10 @@ __all__ = [
     "SRR",
     "HighRPM",
     "MonitorResult",
+    "PROV_MEASURED",
+    "PROV_RESTORED",
+    "PROV_MODEL_ONLY",
+    "provenance_from_readings",
     "DynamicTRREnsemble",
     "UncertainRestoration",
 ]

@@ -40,6 +40,12 @@ class HighRPMConfig:
     reinforcement_fraction / active_rounds:
         Active-learning stage: fraction of the combined (initial ∪ restored)
         sample set drawn as reinforcement samples, and number of rounds.
+    resync_gap_factor:
+        A reading arriving more than ``resync_gap_factor · miss_interval``
+        seconds after the previous one means the IM feed was down and has
+        recovered; the online session re-syncs with a boosted fine-tune.
+        The same threshold classifies samples as model-only in the
+        per-sample provenance flags.
     seed:
         Root seed for all stochastic pieces.
     """
@@ -59,6 +65,7 @@ class HighRPMConfig:
     finetune_steps: int = 10
     reinforcement_fraction: float = 0.3
     active_rounds: int = 2
+    resync_gap_factor: float = 2.0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -77,3 +84,5 @@ class HighRPMConfig:
                 raise ValidationError(f"{name} must be >= 1")
         if not 0.0 < self.reinforcement_fraction <= 1.0:
             raise ValidationError("reinforcement_fraction must lie in (0, 1]")
+        if self.resync_gap_factor < 1.0:
+            raise ValidationError("resync_gap_factor must be >= 1")

@@ -43,6 +43,9 @@ class OnlineTRRSession:
 
     #: replay-buffer capacity for fine-tuning windows.
     BUFFER_CAP = 32
+    #: fine-tune budget multiplier when the IM feed recovers from an outage
+    #: (the model drifted unanchored and needs a stronger correction).
+    RESYNC_BOOST = 3
 
     def __init__(self, trr: "DynamicTRR") -> None:
         self._trr = trr
@@ -53,6 +56,9 @@ class OnlineTRRSession:
         self._measured_mask: list[bool] = []
         self._buffer_X: list[np.ndarray] = []
         self._buffer_y: list[np.ndarray] = []
+        self._last_reading_t: "int | None" = None
+        #: timestamps at which the feed recovered after an outage gap.
+        self.resyncs: list[int] = []
 
     @property
     def estimates(self) -> np.ndarray:
@@ -74,7 +80,7 @@ class OnlineTRRSession:
             rows.insert(0, rows[0])
         return np.asarray(rows)[None, :, :]
 
-    def _fine_tune(self, X: np.ndarray, deviation: float) -> None:
+    def _fine_tune(self, X: np.ndarray, deviation: float, boost: int = 1) -> None:
         """Replay-buffer fine-tuning when a reading lands."""
         trr = self._trr
         w = X.shape[1]
@@ -90,7 +96,9 @@ class OnlineTRRSession:
         old_lr = self._model.lr
         self._model.lr = trr.finetune_lr
         try:
-            self._model.partial_fit(bx, by, n_steps=trr.config.finetune_steps)
+            self._model.partial_fit(
+                bx, by, n_steps=int(boost) * trr.config.finetune_steps
+            )
         finally:
             self._model.lr = old_lr
 
@@ -118,14 +126,26 @@ class OnlineTRRSession:
 
         if im_reading is not None:
             estimate = float(im_reading)
+            # Re-sync: a reading after an outage-length silence means the
+            # feed recovered; the session drifted unanchored meanwhile, so
+            # fine-tune harder to pull the model back onto the feed.
+            gap_limit = trr.config.resync_gap_factor * trr.config.miss_interval
+            recovered = (
+                self._last_reading_t is not None
+                and t - self._last_reading_t > gap_limit
+            )
+            if recovered:
+                self.resyncs.append(t)
             # Anchor BEFORE updating the hold channel: the fine-tune label is
             # the deviation of this reading from the previous anchor, which
             # is exactly what the model predicts at gap-end positions.
             self._hold.append(prev_hold)
             X = self._window(t)
-            self._fine_tune(X, estimate - prev_hold)
+            self._fine_tune(X, estimate - prev_hold,
+                            boost=self.RESYNC_BOOST if recovered else 1)
             self._hold[t] = estimate  # future windows hold the new reading
             self._measured_mask.append(True)
+            self._last_reading_t = t
         else:
             self._hold.append(prev_hold)
             X = self._window(t)
@@ -137,10 +157,19 @@ class OnlineTRRSession:
         self._estimates.append(estimate)
         return estimate
 
-    def run(self, pmcs: np.ndarray, readings: SparseReadings) -> np.ndarray:
-        """Process a whole trace given its sparse IM readings."""
+    def run(self, pmcs: np.ndarray, readings: "SparseReadings | None") -> np.ndarray:
+        """Process a whole trace given its sparse IM readings.
+
+        ``readings=None`` runs the session anchorless (model-only): every
+        second is a clamped forecast from the training-campaign power level
+        — the degraded mode used during a full IM outage.
+        """
         pmcs = check_2d(pmcs, "pmcs")
-        reading_at = dict(zip(readings.indices.tolist(), readings.values.tolist()))
+        reading_at = (
+            {}
+            if readings is None
+            else dict(zip(readings.indices.tolist(), readings.values.tolist()))
+        )
         for t in range(pmcs.shape[0]):
             self.step(pmcs[t], reading_at.get(t))
         return self.estimates
@@ -210,6 +239,8 @@ class DynamicTRR:
             raise NotFittedError("DynamicTRR.session before fit")
         return OnlineTRRSession(self)
 
-    def restore(self, pmcs: np.ndarray, readings: SparseReadings) -> np.ndarray:
+    def restore(
+        self, pmcs: np.ndarray, readings: "SparseReadings | None"
+    ) -> np.ndarray:
         """One-shot restoration of a full trace (runs a session over it)."""
         return self.session().run(pmcs, readings)

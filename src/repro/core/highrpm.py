@@ -33,6 +33,54 @@ from .srr import SRR
 from .static_trr import StaticTRR
 
 
+#: Per-sample provenance codes: the estimate is a direct IM measurement, a
+#: TRR restoration anchored by nearby readings, or a pure model forecast
+#: produced with no usable reading in reach (IM outage).
+PROV_MEASURED = np.uint8(0)
+PROV_RESTORED = np.uint8(1)
+PROV_MODEL_ONLY = np.uint8(2)
+
+#: Confidence attached to each provenance class (measurements are trusted,
+#: restorations are the paper's validated operating point, unanchored
+#: forecasts drift with outage length).
+PROVENANCE_CONFIDENCE = {
+    int(PROV_MEASURED): 1.0,
+    int(PROV_RESTORED): 0.8,
+    int(PROV_MODEL_ONLY): 0.4,
+}
+
+
+def provenance_from_readings(
+    n: int,
+    readings: SparseReadings,
+    interval_s: "int | None" = None,
+    outage_factor: float = 2.0,
+) -> np.ndarray:
+    """Per-sample provenance codes for a restoration over ``readings``.
+
+    A sample is ``PROV_MEASURED`` at a reading instant, ``PROV_RESTORED``
+    when the nearest reading is within ``outage_factor · interval_s``
+    seconds (normal restoration reach), and ``PROV_MODEL_ONLY`` beyond that
+    — inside an outage the estimator is extrapolating without an anchor.
+    """
+    interval = int(readings.interval_s if interval_s is None else interval_s)
+    idx = readings.indices
+    t = np.arange(n, dtype=np.int64)
+    far = np.int64(n + 1)
+    right_pos = np.searchsorted(idx, t, side="right")
+    prev_dist = np.where(right_pos > 0, t - idx[np.maximum(right_pos - 1, 0)], far)
+    left_pos = np.searchsorted(idx, t, side="left")
+    next_dist = np.where(
+        left_pos < idx.size, idx[np.minimum(left_pos, idx.size - 1)] - t, far
+    )
+    nearest = np.minimum(prev_dist, next_dist)
+    prov = np.where(
+        nearest > outage_factor * interval, PROV_MODEL_ONLY, PROV_RESTORED
+    ).astype(np.uint8)
+    prov[idx[idx < n]] = PROV_MEASURED
+    return prov
+
+
 @dataclass(frozen=True)
 class MonitorResult:
     """Dense restored power estimates for one run."""
@@ -40,7 +88,9 @@ class MonitorResult:
     p_node: np.ndarray
     p_cpu: np.ndarray
     p_mem: np.ndarray
-    mode: str  # "static" or "dynamic"
+    mode: str  # "static", "dynamic", or "model_only"
+    #: Per-sample provenance codes (``PROV_*``); None for legacy callers.
+    provenance: "np.ndarray | None" = None
 
     def __len__(self) -> int:
         return int(self.p_node.shape[0])
@@ -49,6 +99,22 @@ class MonitorResult:
     def p_other(self) -> np.ndarray:
         """Residual peripheral power implied by the estimates."""
         return self.p_node - self.p_cpu - self.p_mem
+
+    @property
+    def model_only_mask(self) -> np.ndarray:
+        """True where the estimate ran without a usable IM anchor."""
+        if self.provenance is None:
+            return np.zeros(len(self), dtype=bool)
+        return self.provenance == PROV_MODEL_ONLY
+
+    def confidence(self) -> np.ndarray:
+        """Per-sample confidence in [0, 1] derived from provenance."""
+        if self.provenance is None:
+            return np.full(len(self), PROVENANCE_CONFIDENCE[int(PROV_RESTORED)])
+        out = np.empty(len(self), dtype=np.float64)
+        for code, conf in PROVENANCE_CONFIDENCE.items():
+            out[self.provenance == code] = conf
+        return out
 
 
 class HighRPM:
@@ -144,7 +210,10 @@ class HighRPM:
         static = StaticTRR(self.config, p_upper=self.p_upper, p_bottom=self.p_bottom)
         p_node = static.fit_restore(pmcs, readings).p_trr
         p_cpu, p_mem = self.srr.predict(pmcs, p_node)
-        return MonitorResult(p_node=p_node, p_cpu=p_cpu, p_mem=p_mem, mode="static")
+        return MonitorResult(
+            p_node=p_node, p_cpu=p_cpu, p_mem=p_mem, mode="static",
+            provenance=self._provenance(pmcs.shape[0], readings),
+        )
 
     def monitor_online(
         self, pmcs: np.ndarray, readings: SparseReadings
@@ -154,7 +223,34 @@ class HighRPM:
         pmcs = check_2d(pmcs, "pmcs")
         p_node = self.dynamic_trr.restore(pmcs, readings)
         p_cpu, p_mem = self.srr.predict(pmcs, p_node)
-        return MonitorResult(p_node=p_node, p_cpu=p_cpu, p_mem=p_mem, mode="dynamic")
+        return MonitorResult(
+            p_node=p_node, p_cpu=p_cpu, p_mem=p_mem, mode="dynamic",
+            provenance=self._provenance(pmcs.shape[0], readings),
+        )
+
+    def monitor_model_only(self, pmcs: np.ndarray) -> MonitorResult:
+        """Degraded monitoring with no IM feed at all (full outage).
+
+        DynamicTRR runs an anchorless session: the hold channel starts at
+        the training-campaign power level and the LSTM projects deviations
+        forward, clamped to the physical power range. Accuracy degrades
+        with outage length — every sample is flagged ``PROV_MODEL_ONLY``.
+        """
+        self._require_fitted()
+        pmcs = check_2d(pmcs, "pmcs")
+        p_node = self.dynamic_trr.restore(pmcs, readings=None)
+        p_cpu, p_mem = self.srr.predict(pmcs, p_node)
+        return MonitorResult(
+            p_node=p_node, p_cpu=p_cpu, p_mem=p_mem, mode="model_only",
+            provenance=np.full(pmcs.shape[0], PROV_MODEL_ONLY, dtype=np.uint8),
+        )
+
+    def _provenance(self, n: int, readings: SparseReadings) -> np.ndarray:
+        # The readings carry their own nominal spacing (a sensor configured
+        # at 30 s is not "in outage" between its regular ticks).
+        return provenance_from_readings(
+            n, readings, outage_factor=self.config.resync_gap_factor
+        )
 
     def _require_fitted(self) -> None:
         if not self._fitted:

@@ -32,6 +32,19 @@ class SensorUnavailableError(SensorError):
     """The requested sensor backend does not exist on this host."""
 
 
+class TransientSensorError(SensorError):
+    """A sensor read failed in a way that may succeed on retry (bus timeout,
+    BMC busy, dropped IPMI response). Consumers should retry with backoff."""
+
+
+class SensorOutageError(SensorError):
+    """The sensor feed is down for the whole request: no reading survived.
+
+    Raised instead of returning an (invalid) empty :class:`SparseReadings`
+    when fault injection or a real outage drops every reading of a run.
+    Consumers degrade to model-only restoration rather than retrying."""
+
+
 class SimulationError(ReproError, RuntimeError):
     """The hardware/workload simulator was driven into an invalid state."""
 

@@ -1,0 +1,51 @@
+"""Deterministic fault injection for the measurement substrate.
+
+HighRPM's premise is fusing an *unreliable-but-accurate* IM feed with an
+always-on PMC model, so the reproduction needs the unreliability too. The
+paper's §6.4.6 failure mode (jittered/missed BMC readings) and the stalls
+and glitches documented for real integrated-measurement channels are
+modelled here as composable, seeded fault models applied to a sensor's
+output *after* the fact — the wrapped sensor and the underlying
+:class:`~repro.types.TraceBundle` are never mutated.
+
+* :mod:`repro.faults.models` — the fault vocabulary (:class:`OutageWindow`,
+  :class:`RandomDropout`, :class:`StuckAt`, :class:`SpikeOutlier`,
+  :class:`ClockJitter`, :class:`DelayedArrival`);
+* :mod:`repro.faults.inject` — :class:`FaultInjector` composes models over
+  :class:`~repro.sensors.SparseReadings`; :class:`FaultySensor`,
+  :class:`FaultyPMCCollector` and :class:`FaultyRAPLEmulator` wrap the
+  concrete sensors behind their existing interfaces;
+* :mod:`repro.faults.chaos` — the chaos harness
+  (``python -m repro.faults.chaos``): sweeps fault scenarios through a
+  :class:`~repro.monitor.PowerMonitorService` and reports per-scenario
+  restoration MAPE. (Imported lazily — not re-exported here — because it
+  sits above the monitor service in the import graph.)
+
+The consumer-side resilience policies that make these faults survivable
+live in :mod:`repro.monitor.resilience`.
+"""
+
+from .inject import FaultInjector, FaultyPMCCollector, FaultyRAPLEmulator, FaultySensor
+from .models import (
+    ClockJitter,
+    DelayedArrival,
+    FaultModel,
+    OutageWindow,
+    RandomDropout,
+    SpikeOutlier,
+    StuckAt,
+)
+
+__all__ = [
+    "FaultModel",
+    "OutageWindow",
+    "RandomDropout",
+    "StuckAt",
+    "SpikeOutlier",
+    "ClockJitter",
+    "DelayedArrival",
+    "FaultInjector",
+    "FaultySensor",
+    "FaultyPMCCollector",
+    "FaultyRAPLEmulator",
+]

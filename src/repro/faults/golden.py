@@ -1,0 +1,71 @@
+"""Golden traces for the end-to-end monitor regression fixture.
+
+One fixed-seed reference service (the chaos harness's smoke-sized
+``reference_run``) observes the same test run twice: through a healthy IM
+feed and through a feed with a full mid-run BMC outage. Everything
+downstream of the seeds is deterministic, so the restored traces are a
+behavioural fingerprint of the whole stack — simulator, sensor, fault
+chain, gating, restoration, provenance.
+
+``scripts/make_golden_monitor.py`` stores them under
+``tests/fixtures/golden_monitor.npz``; ``tests/test_golden_monitor.py``
+regenerates and compares.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hardware.platform import get_platform
+from ..sensors.ipmi import IPMISensor
+from .chaos import ChaosSettings, reference_run
+from .inject import FaultySensor
+from .models import OutageWindow
+
+#: Seed offsets for the two golden sensors (relative to ``settings.seed``).
+_HEALTHY_SENSOR_SEED = 500
+_OUTAGE_SENSOR_SEED = 501
+_OUTAGE_CHAIN_SEED = 502
+
+
+def golden_outage_window(test_seconds: int) -> tuple[int, int]:
+    """The fixture's outage span: the middle third of the run."""
+    start = test_seconds // 3
+    return start, 2 * test_seconds // 3
+
+
+def golden_traces(reference=None) -> dict[str, np.ndarray]:
+    """Compute the golden healthy/outage traces (smoke-sized settings).
+
+    ``reference`` may carry an existing ``(service, bundle)`` pair from
+    :func:`~repro.faults.chaos.reference_run` with smoke settings — the
+    test suite passes its shared one to skip retraining. Node names are
+    chosen to not collide with the chaos or resilience suites.
+    """
+    settings = ChaosSettings.smoke()
+    service, bundle = reference if reference is not None else reference_run(settings)
+    spec = get_platform(settings.platform)
+    start, stop = golden_outage_window(settings.test_seconds)
+
+    service.register_node(
+        "golden-healthy",
+        sensor=IPMISensor(spec, seed=settings.seed + _HEALTHY_SENSOR_SEED),
+    )
+    service.register_node(
+        "golden-outage",
+        sensor=FaultySensor(
+            IPMISensor(spec, seed=settings.seed + _OUTAGE_SENSOR_SEED),
+            faults=(OutageWindow(start, stop - start),),
+            seed=settings.seed + _OUTAGE_CHAIN_SEED,
+        ),
+    )
+    healthy = service.observe_run("golden-healthy", bundle, online=True)
+    outage = service.observe_run("golden-outage", bundle, online=True)
+
+    traces: dict[str, np.ndarray] = {"truth_p_node": bundle.node.values}
+    for name, result in (("healthy", healthy), ("outage", outage)):
+        traces[f"{name}_p_node"] = result.p_node
+        traces[f"{name}_p_cpu"] = result.p_cpu
+        traces[f"{name}_p_mem"] = result.p_mem
+        traces[f"{name}_provenance"] = result.provenance
+    return traces

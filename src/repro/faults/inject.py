@@ -1,0 +1,209 @@
+"""Composition and sensor wrapping for fault models.
+
+:class:`FaultInjector` applies an ordered list of :class:`FaultModel`\\ s to
+a :class:`~repro.sensors.SparseReadings` stream. Determinism contract: two
+injectors built with the same ``(faults, seed)`` produce bit-identical
+output for the same call sequence — every model gets its own named child
+generator from a :class:`~repro.utils.rng.SeedSequenceFactory`, keyed by
+call number, position and model name, so adding a model never perturbs the
+streams the other models see.
+
+:class:`FaultySensor` puts an injector behind the existing ``sample()``
+interface of any IM sensor (:class:`~repro.sensors.IPMISensor` or anything
+shaped like it), optionally failing whole reads transiently;
+:class:`FaultyPMCCollector` and :class:`FaultyRAPLEmulator` do the same for
+the dense acquisition paths. None of them ever mutates the wrapped sensor's
+output arrays or the ground-truth bundle.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import SensorOutageError, TransientSensorError, ValidationError
+from ..sensors.base import SparseReadings
+from ..utils.rng import SeedSequenceFactory
+from ..utils.validation import check_2d
+from .models import FaultModel
+
+
+class FaultInjector:
+    """Apply an ordered fault-model chain to sparse reading streams."""
+
+    def __init__(self, faults: Sequence[FaultModel], seed: int = 0) -> None:
+        self.faults = tuple(faults)
+        for f in self.faults:
+            if not isinstance(f, FaultModel):
+                raise ValidationError(f"not a FaultModel: {f!r}")
+        self._factory = SeedSequenceFactory(int(seed))
+        self._calls = 0
+
+    def inject(self, readings: SparseReadings) -> SparseReadings:
+        """Faulted copy of ``readings``; raises on a whole-stream outage."""
+        idx = readings.indices
+        vals = readings.values
+        call = self._calls
+        self._calls += 1
+        for pos, fault in enumerate(self.faults):
+            rng = self._factory.generator(f"call{call}.{pos}.{fault.name}")
+            idx, vals = fault.apply(idx, vals, rng, readings.n_dense)
+            if idx.shape[0] == 0:
+                raise SensorOutageError(
+                    f"fault {fault.name!r} dropped every reading of the run"
+                )
+        return SparseReadings(
+            indices=idx,
+            values=vals,
+            interval_s=readings.interval_s,
+            n_dense=readings.n_dense,
+        )
+
+
+class FaultySensor:
+    """An IM sensor with a fault chain behind the same ``sample()`` call.
+
+    ``fail_prob`` models transient whole-read failures (BMC busy, IPMI
+    timeout): with that probability ``sample`` raises
+    :class:`~repro.errors.TransientSensorError` before touching the wrapped
+    sensor, which is what the service's retry-with-backoff path exercises.
+    ``fail_first`` fails that many leading ``sample()`` calls
+    deterministically — the reproducible variant for retry tests and chaos
+    scenarios. Attributes not defined here (``interval_s``, ``spec``, ...)
+    are delegated to the wrapped sensor.
+    """
+
+    def __init__(
+        self,
+        sensor,
+        faults: Sequence[FaultModel] = (),
+        seed: int = 0,
+        fail_prob: float = 0.0,
+        fail_first: int = 0,
+    ) -> None:
+        if not 0.0 <= fail_prob < 1.0:
+            raise ValidationError("fail_prob must lie in [0, 1)")
+        if fail_first < 0:
+            raise ValidationError("fail_first must be >= 0")
+        self.sensor = sensor
+        self.injector = FaultInjector(faults, seed=seed)
+        self.fail_prob = float(fail_prob)
+        self._fail_remaining = int(fail_first)
+        self._fail_rng = SeedSequenceFactory(int(seed)).generator("transient-failures")
+
+    def __getattr__(self, name: str):
+        return getattr(self.sensor, name)
+
+    def sample(self, bundle, offset: int = 0) -> SparseReadings:
+        if self._fail_remaining > 0:
+            self._fail_remaining -= 1
+            raise TransientSensorError("sensor read timed out (injected, scripted)")
+        if self.fail_prob > 0.0 and self._fail_rng.random() < self.fail_prob:
+            raise TransientSensorError("sensor read timed out (injected)")
+        return self.injector.inject(self.sensor.sample(bundle, offset=offset))
+
+
+def apply_dense_faults(
+    matrix: np.ndarray,
+    rng: np.random.Generator,
+    stuck_windows: Sequence[tuple[int, int]] = (),
+    spike_prob: float = 0.0,
+    spike_scale: float = 3.0,
+) -> np.ndarray:
+    """Dense-stream variants of the fault vocabulary, on a fresh array.
+
+    ``stuck_windows`` holds ``(start_s, duration_s)`` pairs whose rows are
+    frozen at the last pre-window row; ``spike_prob`` multiplies individual
+    rows by ``spike_scale`` (counter overcount glitches).
+    """
+    out = np.array(matrix)  # fresh writable copy, never a view
+    n = out.shape[0]
+    for start, duration in stuck_windows:
+        start = int(start)
+        stop = min(n, start + int(duration))
+        if start < 0 or duration <= 0:
+            raise ValidationError("stuck window needs start>=0 and duration>0")
+        if start >= n or stop <= start:
+            continue
+        out[start:stop] = out[max(start - 1, 0)]
+    if spike_prob > 0.0:
+        hit = rng.random(n) < spike_prob
+        out[hit] = out[hit] * float(spike_scale)
+    return out
+
+
+class FaultyPMCCollector:
+    """A :class:`~repro.sensors.PMCCollector` with acquisition faults."""
+
+    def __init__(
+        self,
+        collector,
+        stuck_windows: Sequence[tuple[int, int]] = (),
+        spike_prob: float = 0.0,
+        spike_scale: float = 3.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= spike_prob < 1.0:
+            raise ValidationError("spike_prob must lie in [0, 1)")
+        self.collector = collector
+        self.stuck_windows = tuple((int(s), int(d)) for s, d in stuck_windows)
+        self.spike_prob = float(spike_prob)
+        self.spike_scale = float(spike_scale)
+        self._rng_factory = SeedSequenceFactory(int(seed))
+        self._calls = 0
+
+    def collect(self, bundle):
+        trace = self.collector.collect(bundle)
+        rng = self._rng_factory.generator(f"pmc.call{self._calls}")
+        self._calls += 1
+        matrix = apply_dense_faults(
+            check_2d(trace.matrix, "pmc matrix"),
+            rng,
+            stuck_windows=self.stuck_windows,
+            spike_prob=self.spike_prob,
+            spike_scale=self.spike_scale,
+        )
+        return type(trace)(matrix, trace.events, trace.sample_rate_hz)
+
+
+class FaultyRAPLEmulator:
+    """A :class:`~repro.sensors.RAPLEmulator` whose watt traces glitch.
+
+    Faults are applied to the *derived power traces* (the post-diff view a
+    perf collector hands upward), matching where OCC-style stalls surface
+    in practice: the counter freezes, so the differentiated power sticks.
+    """
+
+    def __init__(
+        self,
+        emulator,
+        stuck_windows: Sequence[tuple[int, int]] = (),
+        spike_prob: float = 0.0,
+        spike_scale: float = 3.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= spike_prob < 1.0:
+            raise ValidationError("spike_prob must lie in [0, 1)")
+        self.emulator = emulator
+        self.stuck_windows = tuple((int(s), int(d)) for s, d in stuck_windows)
+        self.spike_prob = float(spike_prob)
+        self.spike_scale = float(spike_scale)
+        self._rng_factory = SeedSequenceFactory(int(seed))
+        self._calls = 0
+
+    def measure(self, bundle):
+        pkg, ram = self.emulator.measure(bundle)
+        out = []
+        for trace in (pkg, ram):
+            rng = self._rng_factory.generator(f"rapl.call{self._calls}.{trace.label}")
+            faulted = apply_dense_faults(
+                trace.values[:, None],
+                rng,
+                stuck_windows=self.stuck_windows,
+                spike_prob=self.spike_prob,
+                spike_scale=self.spike_scale,
+            )[:, 0]
+            out.append(trace.with_values(faulted))
+        self._calls += 1
+        return tuple(out)

@@ -1,0 +1,186 @@
+"""Fault models over sparse sensor streams.
+
+Each model is a pure transformation of one reading stream
+``(indices, values)`` on a dense 1 Sa/s timebase of ``n_dense`` samples:
+``apply`` returns **new** arrays and never writes through its inputs, so a
+stream can be re-injected under different seeds and the clean stream stays
+intact. Stochastic models draw only from the generator they are handed —
+composition order and seeding are owned by
+:class:`repro.faults.inject.FaultInjector`.
+
+The vocabulary covers the failure modes reported for real IM channels:
+
+* :class:`OutageWindow` — a full BMC outage for a contiguous window
+  (firmware update, fabric partition);
+* :class:`RandomDropout` — i.i.d. lost readings (congestion, the paper's
+  §6.4.6 jitter experiment);
+* :class:`StuckAt` — the power chip reports a frozen accumulator for a
+  window while timestamps keep advancing;
+* :class:`SpikeOutlier` — occasional wild values from readout glitches
+  (caught downstream by plausibility gating);
+* :class:`ClockJitter` — reading timestamps wander around the nominal tick;
+* :class:`DelayedArrival` — readings arrive late and are attributed to a
+  later tick (stale value at a shifted timestamp).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..utils.validation import check_fraction, check_positive
+
+
+def _dedupe_sorted(indices: np.ndarray, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sort by index and keep the first reading at each duplicate index."""
+    order = np.argsort(indices, kind="stable")
+    idx = indices[order]
+    vals = values[order]
+    keep = np.ones(idx.shape[0], dtype=bool)
+    keep[1:] = idx[1:] != idx[:-1]
+    return idx[keep], vals[keep]
+
+
+class FaultModel:
+    """Base class: a named, seeded transformation of one reading stream."""
+
+    #: Stable identifier used for per-model RNG sub-streams and reports.
+    name: str = "fault"
+
+    def apply(
+        self,
+        indices: np.ndarray,
+        values: np.ndarray,
+        rng: np.random.Generator,
+        n_dense: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return the faulted ``(indices, values)`` as fresh arrays."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        params = {k: v for k, v in vars(self).items() if not k.startswith("_")}
+        inner = ", ".join(f"{k}={v!r}" for k, v in params.items())
+        return f"{type(self).__name__}({inner})"
+
+
+class OutageWindow(FaultModel):
+    """Drop every reading inside ``[start_s, start_s + duration_s)``."""
+
+    name = "outage"
+
+    def __init__(self, start_s: int, duration_s: int) -> None:
+        self.start_s = int(start_s)
+        self.duration_s = int(duration_s)
+        if self.start_s < 0:
+            raise ValidationError("start_s must be >= 0")
+        check_positive(self.duration_s, "duration_s")
+
+    def apply(self, indices, values, rng, n_dense):
+        stop = self.start_s + self.duration_s
+        keep = (indices < self.start_s) | (indices >= stop)
+        return indices[keep].copy(), values[keep].copy()
+
+
+class RandomDropout(FaultModel):
+    """Drop each reading independently with probability ``prob``."""
+
+    name = "dropout"
+
+    def __init__(self, prob: float) -> None:
+        self.prob = check_fraction(prob, "prob")
+
+    def apply(self, indices, values, rng, n_dense):
+        keep = rng.random(indices.shape[0]) >= self.prob
+        return indices[keep].copy(), values[keep].copy()
+
+
+class StuckAt(FaultModel):
+    """Freeze the reported value over ``[start_s, start_s + duration_s)``.
+
+    Readings inside the window repeat the last value reported before it (or
+    the first in-window value when the outage starts the stream) — the
+    classic stalled-accumulator glitch: timestamps advance, power does not.
+    """
+
+    name = "stuck"
+
+    def __init__(self, start_s: int, duration_s: int) -> None:
+        self.start_s = int(start_s)
+        self.duration_s = int(duration_s)
+        if self.start_s < 0:
+            raise ValidationError("start_s must be >= 0")
+        check_positive(self.duration_s, "duration_s")
+
+    def apply(self, indices, values, rng, n_dense):
+        stop = self.start_s + self.duration_s
+        in_window = (indices >= self.start_s) & (indices < stop)
+        vals = values.copy()
+        if in_window.any():
+            before = np.flatnonzero(indices < self.start_s)
+            anchor = vals[before[-1]] if before.size else vals[np.flatnonzero(in_window)[0]]
+            vals[in_window] = anchor
+        return indices.copy(), vals
+
+
+class SpikeOutlier(FaultModel):
+    """Replace readings with implausible spikes with probability ``prob``.
+
+    Spikes are ``± magnitude_w`` around the true value (sign drawn per
+    spike), floored at zero like any physical power readout.
+    """
+
+    name = "spike"
+
+    def __init__(self, prob: float, magnitude_w: float = 200.0) -> None:
+        self.prob = check_fraction(prob, "prob")
+        self.magnitude_w = float(magnitude_w)
+        check_positive(self.magnitude_w, "magnitude_w")
+
+    def apply(self, indices, values, rng, n_dense):
+        hit = rng.random(values.shape[0]) < self.prob
+        sign = np.where(rng.random(values.shape[0]) < 0.5, -1.0, 1.0)
+        vals = values.copy()
+        vals[hit] = np.maximum(vals[hit] + sign[hit] * self.magnitude_w, 0.0)
+        return indices.copy(), vals
+
+
+class ClockJitter(FaultModel):
+    """Shift each reading's timestamp by up to ``± max_shift_s`` ticks.
+
+    Shifted indices are clipped to the trace and de-duplicated (first
+    reading at a tick wins), so the output is always a valid stream.
+    """
+
+    name = "jitter"
+
+    def __init__(self, max_shift_s: int) -> None:
+        self.max_shift_s = int(max_shift_s)
+        check_positive(self.max_shift_s, "max_shift_s")
+
+    def apply(self, indices, values, rng, n_dense):
+        shift = rng.integers(-self.max_shift_s, self.max_shift_s + 1, size=indices.shape[0])
+        idx = np.clip(indices + shift, 0, n_dense - 1)
+        return _dedupe_sorted(idx, values.copy())
+
+
+class DelayedArrival(FaultModel):
+    """Deliver readings ``delay_s`` ticks late with probability ``prob``.
+
+    The *value* is unchanged (it is the stale measurement) but it is
+    attributed to the arrival tick — the §6.4.6 ragged-interval artefact.
+    """
+
+    name = "delay"
+
+    def __init__(self, delay_s: int, prob: float = 1.0) -> None:
+        self.delay_s = int(delay_s)
+        check_positive(self.delay_s, "delay_s")
+        if not 0.0 < prob <= 1.0:
+            raise ValidationError("prob must lie in (0, 1]")
+        self.prob = float(prob)
+
+    def apply(self, indices, values, rng, n_dense):
+        late = rng.random(indices.shape[0]) < self.prob
+        idx = indices + np.where(late, self.delay_s, 0)
+        keep = idx < n_dense  # a reading delayed past the run is lost
+        return _dedupe_sorted(idx[keep], values[keep].copy())

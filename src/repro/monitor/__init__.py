@@ -12,6 +12,7 @@ from .budget import ClusterPowerBudget, NodeDemand
 from .capping import CappingPolicy, PowerCapController, run_capped
 from .energy import EnergyAccount, energy_of, peak_of
 from .report import RunSummary, render_node_report, summarise_runs
+from .resilience import DEGRADED, HEALTHY, OUTAGE, NodeHealth, ResiliencePolicy
 from .scheduler import EnergyAwareScheduler, Job, ScheduleOutcome
 from .service import MonitorLog, PowerMonitorService
 
@@ -28,6 +29,11 @@ __all__ = [
     "peak_of",
     "MonitorLog",
     "PowerMonitorService",
+    "NodeHealth",
+    "ResiliencePolicy",
+    "HEALTHY",
+    "DEGRADED",
+    "OUTAGE",
     "ClusterPowerBudget",
     "NodeDemand",
     "EnergyAwareScheduler",

@@ -5,6 +5,15 @@ other computing nodes" (§4.1). :class:`PowerMonitorService` is that service:
 one trained HighRPM instance, many registered nodes, each with its own
 sensors; ``observe_run`` ingests a node's run and appends restored
 high-resolution estimates to that node's log.
+
+The IM feed is the unreliable half of the paper's fusion, so ``observe_run``
+is defensive end to end (see :mod:`repro.monitor.resilience` and
+``docs/robustness.md``): transient sensor failures are retried with
+backoff, implausible readings are gated against the Algorithm-1 power
+clamps, and a dead feed — a full outage, a run shorter than the IM
+interval, or a fully-gated stream — degrades to model-only restoration
+with every sample flagged in the log's provenance channel instead of
+failing the run.
 """
 
 from __future__ import annotations
@@ -13,12 +22,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.highrpm import HighRPM, MonitorResult
-from ..errors import ValidationError
+from ..core.highrpm import PROV_MODEL_ONLY, PROV_RESTORED, HighRPM, MonitorResult
+from ..errors import SensorError, ValidationError
 from ..hardware.platform import PlatformSpec
 from ..perf import precompile
+from ..sensors.base import SparseReadings
 from ..sensors.ipmi import IPMISensor
 from ..types import TraceBundle
+from .resilience import NodeHealth, ResiliencePolicy, gate_readings, sample_with_retry
 
 
 @dataclass
@@ -29,16 +40,46 @@ class MonitorLog:
     p_node: np.ndarray = field(default_factory=lambda: np.empty(0))
     p_cpu: np.ndarray = field(default_factory=lambda: np.empty(0))
     p_mem: np.ndarray = field(default_factory=lambda: np.empty(0))
+    provenance: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.uint8))
     runs: list[str] = field(default_factory=list)
+    modes: list[str] = field(default_factory=list)
 
     def append(self, result: MonitorResult, workload: str) -> None:
+        n = len(result)
+        for name in ("p_cpu", "p_mem"):
+            if getattr(result, name).shape[0] != n:
+                raise ValidationError(
+                    f"monitor result is inconsistent: {name} has "
+                    f"{getattr(result, name).shape[0]} samples, p_node has {n}"
+                )
+        prov = result.provenance
+        if prov is None:
+            prov = np.full(n, PROV_RESTORED, dtype=np.uint8)
+        elif prov.shape[0] != n:
+            raise ValidationError(
+                f"monitor result is inconsistent: provenance has "
+                f"{prov.shape[0]} samples, p_node has {n}"
+            )
         self.p_node = np.concatenate([self.p_node, result.p_node])
         self.p_cpu = np.concatenate([self.p_cpu, result.p_cpu])
         self.p_mem = np.concatenate([self.p_mem, result.p_mem])
+        self.provenance = np.concatenate([self.provenance, prov.astype(np.uint8)])
         self.runs.append(workload)
+        self.modes.append(result.mode)
 
     def __len__(self) -> int:
         return int(self.p_node.shape[0])
+
+    @property
+    def model_only_mask(self) -> np.ndarray:
+        """True where the logged estimate ran without a usable IM anchor."""
+        return self.provenance == PROV_MODEL_ONLY
+
+    def model_only_fraction(self) -> float:
+        """Share of logged samples produced without IM backing."""
+        if len(self) == 0:
+            return 0.0
+        return float(self.model_only_mask.mean())
 
 
 class PowerMonitorService:
@@ -46,19 +87,28 @@ class PowerMonitorService:
 
     Nodes are registered with their own IPMI sensor (per-node BMCs differ in
     noise and offset); runs are observed either online (DynamicTRR) or
-    offline (StaticTRR).
+    offline (StaticTRR). ``policy`` governs how a failing feed is handled —
+    the default retries transients, gates implausible readings, and
+    degrades to model-only restoration rather than raising.
     """
 
-    def __init__(self, model: HighRPM, spec: PlatformSpec) -> None:
+    def __init__(
+        self,
+        model: HighRPM,
+        spec: PlatformSpec,
+        policy: "ResiliencePolicy | None" = None,
+    ) -> None:
         model._require_fitted()
         self.model = model
         self.spec = spec
+        self.policy = policy or ResiliencePolicy()
         # Compile the SRR forward pass up front: it serves every observe_run
         # on every node, so the one-time flatten cost should not land on the
         # first monitored trace.
         precompile(model.srr.model_)
         self._nodes: dict[str, IPMISensor] = {}
         self._logs: dict[str, MonitorLog] = {}
+        self._health: dict[str, NodeHealth] = {}
 
     def register_node(self, node_id: str, sensor: "IPMISensor | None" = None,
                       seed: int = 0) -> None:
@@ -66,6 +116,7 @@ class PowerMonitorService:
             raise ValidationError(f"node {node_id!r} already registered")
         self._nodes[node_id] = sensor or IPMISensor(self.spec, seed=seed)
         self._logs[node_id] = MonitorLog(node_id)
+        self._health[node_id] = NodeHealth(node_id)
 
     @property
     def node_ids(self) -> tuple[str, ...]:
@@ -77,17 +128,115 @@ class PowerMonitorService:
         except KeyError:
             raise ValidationError(f"unknown node {node_id!r}") from None
 
+    def health(self, node_id: str) -> NodeHealth:
+        try:
+            return self._health[node_id]
+        except KeyError:
+            raise ValidationError(f"unknown node {node_id!r}") from None
+
+    # ------------------------------------------------------------ clamps
+    def _clamps(self) -> tuple[float, float]:
+        """Physical power range used for plausibility gating."""
+        lo = self.model.p_bottom
+        hi = self.model.p_upper
+        if lo is None:
+            lo = self.spec.min_node_power_w
+        if hi is None:
+            hi = self.spec.max_node_power_w
+        return float(lo), float(hi)
+
+    # --------------------------------------------------------- observation
     def observe_run(
         self, node_id: str, bundle: TraceBundle, online: bool = True
     ) -> MonitorResult:
-        """Ingest one run from a node; returns the restored estimates."""
+        """Ingest one run from a node; returns the restored estimates.
+
+        Never raises for a *failing feed* under the default policy: sensor
+        outages, short bundles, and fully-gated streams degrade to
+        model-only restoration (``result.mode == "model_only"``, samples
+        flagged in ``provenance``). With
+        ``ResiliencePolicy(degrade_to_model_only=False)`` those conditions
+        raise instead — outages as :class:`~repro.errors.SensorError`,
+        unusable runs as :class:`~repro.errors.ValidationError`.
+        """
         if node_id not in self._nodes:
             raise ValidationError(f"unknown node {node_id!r}; register it first")
         sensor = self._nodes[node_id]
-        readings = sensor.sample(bundle)
+        health = self._health[node_id]
+        policy = self.policy
+
+        readings: "SparseReadings | None"
+        transients_before = health.transient_failures
+        try:
+            readings = sample_with_retry(sensor, bundle, policy, health)
+        except SensorError as exc:
+            # Outage (possibly injected): retries exhausted or every
+            # reading dropped at the source.
+            if not policy.degrade_to_model_only:
+                health.record_outage_run(str(exc))
+                raise
+            return self._observe_model_only(
+                node_id, bundle, reason=f"sensor outage: {exc}"
+            )
+        except ValidationError as exc:
+            # The sensor cannot cover this bundle at all (run shorter than
+            # the IM interval / readout delay).
+            if not policy.degrade_to_model_only:
+                health.record_outage_run(str(exc))
+                raise ValidationError(
+                    f"bundle {bundle.workload!r} ({len(bundle)} samples) is too "
+                    f"short for node {node_id!r}'s IM sensor "
+                    f"(interval {sensor.interval_s} s): {exc}"
+                ) from exc
+            return self._observe_model_only(
+                node_id, bundle,
+                reason=f"run too short for the IM interval: {exc}",
+            )
+
+        gated = 0
+        if policy.gate_readings:
+            lo, hi = self._clamps()
+            readings, gated = gate_readings(
+                readings, lo, hi, policy.gate_margin_fraction
+            )
+            health.gated_readings += gated
+
+        if readings is None or len(readings) < policy.min_readings(online):
+            n_left = 0 if readings is None else len(readings)
+            reason = (
+                f"only {n_left} plausible reading(s) survived "
+                f"({gated} gated); "
+                f"{'dynamic' if online else 'static'} restoration needs "
+                f">= {policy.min_readings(online)}"
+            )
+            if not policy.degrade_to_model_only:
+                health.record_outage_run(reason)
+                raise ValidationError(
+                    f"node {node_id!r}, run {bundle.workload!r}: {reason}"
+                )
+            return self._observe_model_only(node_id, bundle, reason=reason)
+
         monitor = self.model.monitor_online if online else self.model.monitor_offline
         result = monitor(bundle.pmcs.matrix, readings)
         self._logs[node_id].append(result, bundle.workload)
+        retried = health.transient_failures - transients_before
+        gap_samples = int(result.model_only_mask.sum())
+        if gated or retried or gap_samples:
+            health.record_degraded_run(
+                f"{gated} reading(s) gated, {retried} transient failure(s) "
+                f"retried, {gap_samples} sample(s) restored without an anchor"
+            )
+        else:
+            health.record_healthy_run()
+        return result
+
+    def _observe_model_only(
+        self, node_id: str, bundle: TraceBundle, reason: str
+    ) -> MonitorResult:
+        """Degraded path: restore from the model alone and flag the log."""
+        result = self.model.monitor_model_only(bundle.pmcs.matrix)
+        self._logs[node_id].append(result, bundle.workload)
+        self._health[node_id].record_outage_run(reason)
         return result
 
     def adapt(self, node_id: str, bundle: TraceBundle) -> None:

@@ -49,6 +49,20 @@ def ipmi_readings(small_bundle):
     return sensor.sample(small_bundle)
 
 
+@pytest.fixture(scope="session")
+def chaos_reference():
+    """The chaos harness's trained service + test bundle (smoke sizes).
+
+    Shared by the resilience and golden-regression suites so the LSTM/MLP
+    training cost is paid once. Tests must only *observe* runs on it —
+    never ``adapt`` (which mutates the shared SRR) — and must register
+    their own uniquely-named nodes.
+    """
+    from repro.faults.chaos import ChaosSettings, reference_run
+
+    return reference_run(ChaosSettings.smoke())
+
+
 @pytest.fixture()
 def rng():
     return np.random.default_rng(123)

@@ -1,0 +1,203 @@
+"""Tests for the fault-injection layer (models, injector, sensor wrappers)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SensorOutageError, TransientSensorError, ValidationError
+from repro.faults import (
+    ClockJitter,
+    DelayedArrival,
+    FaultInjector,
+    FaultyPMCCollector,
+    FaultyRAPLEmulator,
+    FaultySensor,
+    OutageWindow,
+    RandomDropout,
+    SpikeOutlier,
+    StuckAt,
+)
+from repro.hardware import ARM_PLATFORM
+from repro.sensors import IPMISensor, PMCCollector, RAPLEmulator, SparseReadings
+
+
+def stream(n_dense=200, interval=10):
+    idx = np.arange(10, n_dense, interval, dtype=np.int64)
+    vals = 80.0 + 10.0 * np.sin(idx / 17.0)
+    return SparseReadings(idx, vals, interval, n_dense)
+
+
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestFaultModels:
+    def test_outage_drops_window_only(self):
+        r = stream()
+        idx, vals = OutageWindow(50, 60).apply(r.indices, r.values, rng(), r.n_dense)
+        assert not ((idx >= 50) & (idx < 110)).any()
+        np.testing.assert_array_equal(idx, r.indices[(r.indices < 50) | (r.indices >= 110)])
+        assert idx.shape == vals.shape
+
+    def test_outage_validation(self):
+        with pytest.raises(ValidationError):
+            OutageWindow(-1, 10)
+        with pytest.raises(ValidationError):
+            OutageWindow(5, 0)
+
+    def test_dropout_removes_about_prob(self):
+        r = stream(n_dense=5000, interval=5)
+        idx, _ = RandomDropout(0.5).apply(r.indices, r.values, rng(), r.n_dense)
+        frac = idx.shape[0] / r.indices.shape[0]
+        assert 0.35 < frac < 0.65
+
+    def test_dropout_prob_validated(self):
+        with pytest.raises(ValidationError):
+            RandomDropout(1.5)
+
+    def test_stuck_freezes_at_pre_window_value(self):
+        r = stream()
+        idx, vals = StuckAt(50, 60).apply(r.indices, r.values, rng(), r.n_dense)
+        np.testing.assert_array_equal(idx, r.indices)
+        in_win = (idx >= 50) & (idx < 110)
+        anchor = r.values[r.indices < 50][-1]
+        np.testing.assert_array_equal(vals[in_win], anchor)
+        np.testing.assert_array_equal(vals[~in_win], r.values[~in_win])
+
+    def test_stuck_at_stream_start_uses_first_window_value(self):
+        r = stream()
+        idx, vals = StuckAt(0, 40).apply(r.indices, r.values, rng(), r.n_dense)
+        in_win = idx < 40
+        np.testing.assert_array_equal(vals[in_win], r.values[in_win][0])
+
+    def test_spike_bounded_below_by_zero(self):
+        r = stream()
+        _, vals = SpikeOutlier(0.9, magnitude_w=500.0).apply(
+            r.indices, r.values, rng(), r.n_dense
+        )
+        assert (vals >= 0.0).all()
+        # Some spikes landed and they are either huge or clipped to zero.
+        changed = vals != r.values
+        assert changed.any()
+        assert ((vals[changed] == 0.0) | (vals[changed] > 400.0)).all()
+
+    def test_jitter_keeps_stream_valid(self):
+        r = stream()
+        idx, vals = ClockJitter(3).apply(r.indices, r.values, rng(), r.n_dense)
+        assert (np.diff(idx) > 0).all()
+        assert idx[0] >= 0 and idx[-1] < r.n_dense
+        assert idx.shape == vals.shape
+        assert np.abs(idx - r.indices[: idx.shape[0]]).max() <= 2 * 3 + 1
+
+    def test_delay_shifts_later_and_drops_overflow(self):
+        r = stream()
+        idx, _ = DelayedArrival(15, prob=1.0).apply(r.indices, r.values, rng(), r.n_dense)
+        np.testing.assert_array_equal(idx, r.indices[r.indices + 15 < r.n_dense] + 15)
+
+    def test_models_never_mutate_inputs(self):
+        r = stream()
+        idx_copy, val_copy = r.indices.copy(), r.values.copy()
+        for model in (
+            OutageWindow(50, 60), RandomDropout(0.5), StuckAt(50, 60),
+            SpikeOutlier(0.9, 100.0), ClockJitter(3), DelayedArrival(7),
+        ):
+            model.apply(r.indices, r.values, rng(), r.n_dense)
+            np.testing.assert_array_equal(r.indices, idx_copy)
+            np.testing.assert_array_equal(r.values, val_copy)
+
+
+class TestFaultInjector:
+    def test_same_seed_bit_identical(self):
+        r = stream()
+        faults = lambda: [RandomDropout(0.3), SpikeOutlier(0.3, 120.0), ClockJitter(2)]  # noqa: E731
+        a = FaultInjector(faults(), seed=9).inject(r)
+        b = FaultInjector(faults(), seed=9).inject(r)
+        np.testing.assert_array_equal(a.indices, b.indices)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_different_seed_differs(self):
+        r = stream(n_dense=2000, interval=5)
+        a = FaultInjector([RandomDropout(0.4)], seed=1).inject(r)
+        b = FaultInjector([RandomDropout(0.4)], seed=2).inject(r)
+        assert a.indices.shape != b.indices.shape or (a.indices != b.indices).any()
+
+    def test_repeated_calls_draw_fresh_streams(self):
+        r = stream(n_dense=2000, interval=5)
+        inj = FaultInjector([RandomDropout(0.4)], seed=3)
+        a, b = inj.inject(r), inj.inject(r)
+        assert a.indices.shape != b.indices.shape or (a.indices != b.indices).any()
+
+    def test_total_outage_raises(self):
+        r = stream()
+        inj = FaultInjector([OutageWindow(0, 10_000)], seed=0)
+        with pytest.raises(SensorOutageError):
+            inj.inject(r)
+
+    def test_rejects_non_fault(self):
+        with pytest.raises(ValidationError):
+            FaultInjector([object()], seed=0)
+
+    def test_metadata_preserved(self):
+        r = stream()
+        out = FaultInjector([OutageWindow(50, 20)], seed=0).inject(r)
+        assert out.interval_s == r.interval_s
+        assert out.n_dense == r.n_dense
+
+
+class TestFaultySensor:
+    def test_delegates_to_wrapped_sensor(self, small_bundle):
+        s = FaultySensor(IPMISensor(ARM_PLATFORM, seed=1))
+        assert s.interval_s == 10
+        assert s.sample_rate_sa_s == pytest.approx(0.1)
+
+    def test_no_faults_passthrough(self, small_bundle):
+        clean = IPMISensor(ARM_PLATFORM, seed=1).sample(small_bundle)
+        wrapped = FaultySensor(IPMISensor(ARM_PLATFORM, seed=1)).sample(small_bundle)
+        np.testing.assert_array_equal(clean.indices, wrapped.indices)
+        np.testing.assert_array_equal(clean.values, wrapped.values)
+
+    def test_fail_first_is_transient_then_recovers(self, small_bundle):
+        s = FaultySensor(IPMISensor(ARM_PLATFORM, seed=1), fail_first=2)
+        with pytest.raises(TransientSensorError):
+            s.sample(small_bundle)
+        with pytest.raises(TransientSensorError):
+            s.sample(small_bundle)
+        assert len(s.sample(small_bundle)) > 0
+
+    def test_outage_chain_raises_sensor_outage(self, small_bundle):
+        s = FaultySensor(
+            IPMISensor(ARM_PLATFORM, seed=1), [OutageWindow(0, 10_000)]
+        )
+        with pytest.raises(SensorOutageError):
+            s.sample(small_bundle)
+
+    def test_fail_prob_validated(self):
+        with pytest.raises(ValidationError):
+            FaultySensor(IPMISensor(ARM_PLATFORM, seed=1), fail_prob=1.0)
+
+
+class TestDenseWrappers:
+    def test_pmc_stuck_window_freezes_rows(self, small_bundle):
+        wrapped = FaultyPMCCollector(
+            PMCCollector(miss_prob=0.0, seed=1), stuck_windows=[(40, 20)], seed=2
+        )
+        trace = wrapped.collect(small_bundle)
+        base = small_bundle.pmcs.matrix
+        np.testing.assert_array_equal(trace.matrix[40:60], np.tile(base[39], (20, 1)))
+        np.testing.assert_array_equal(trace.matrix[:40], base[:40])
+
+    def test_pmc_bundle_not_mutated(self, small_bundle):
+        before = small_bundle.pmcs.matrix.copy()
+        FaultyPMCCollector(
+            PMCCollector(miss_prob=0.0, seed=1), spike_prob=0.5, seed=2
+        ).collect(small_bundle)
+        np.testing.assert_array_equal(small_bundle.pmcs.matrix, before)
+        assert not small_bundle.pmcs.matrix.flags.writeable
+
+    def test_rapl_traces_glitch_but_stay_valid(self, small_bundle):
+        base = RAPLEmulator(seed=3).measure(small_bundle)
+        wrapped = FaultyRAPLEmulator(
+            RAPLEmulator(seed=3), stuck_windows=[(30, 10)], spike_prob=0.1, seed=4
+        )
+        pkg, ram = wrapped.measure(small_bundle)
+        assert len(pkg) == len(base[0]) and len(ram) == len(base[1])
+        assert (pkg.values >= 0).all() and (ram.values >= 0).all()

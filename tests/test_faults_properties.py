@@ -1,0 +1,153 @@
+"""Property-based tests for the fault-injection layer (hypothesis).
+
+Three invariants, each tied to a project rule:
+
+* determinism — the same (faults, seed) pair produces bit-identical
+  injected streams, call for call (RL001: all randomness flows through
+  seeded generators);
+* validity — whatever survives injection is still a well-formed sparse
+  stream: strictly increasing indices inside ``[0, n_dense)``,
+  non-negative power, metadata preserved;
+* immutability — injection never mutates its inputs, and a wrapped
+  sensor never mutates the trace bundle (RL004: frozen trace arrays).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SensorOutageError
+from repro.faults import (
+    ClockJitter,
+    DelayedArrival,
+    FaultInjector,
+    FaultySensor,
+    OutageWindow,
+    RandomDropout,
+    SpikeOutlier,
+    StuckAt,
+)
+from repro.hardware import ARM_PLATFORM
+from repro.sensors import IPMISensor, SparseReadings
+
+N_DENSE = 400
+
+fault_st = st.one_of(
+    st.builds(
+        OutageWindow,
+        start_s=st.integers(0, N_DENSE - 20),
+        duration_s=st.integers(1, N_DENSE),
+    ),
+    st.builds(RandomDropout, prob=st.floats(0.0, 0.9)),
+    st.builds(
+        StuckAt,
+        start_s=st.integers(0, N_DENSE - 20),
+        duration_s=st.integers(1, N_DENSE),
+    ),
+    st.builds(
+        SpikeOutlier,
+        prob=st.floats(0.0, 1.0),
+        magnitude_w=st.floats(1.0, 500.0),
+    ),
+    st.builds(ClockJitter, max_shift_s=st.integers(1, 5)),
+    st.builds(
+        DelayedArrival,
+        delay_s=st.integers(1, 30),
+        prob=st.floats(0.1, 1.0),
+    ),
+)
+
+chain_st = st.lists(fault_st, min_size=1, max_size=3)
+
+
+def make_stream(interval=10):
+    idx = np.arange(5, N_DENSE, interval, dtype=np.int64)
+    vals = 90.0 + 15.0 * np.sin(idx / 23.0)
+    return SparseReadings(idx, vals, interval, N_DENSE)
+
+
+@settings(max_examples=40, deadline=None)
+@given(faults=chain_st, seed=st.integers(0, 2**31 - 1))
+def test_same_seed_bit_identical_streams(faults, seed):
+    stream = make_stream()
+    outs = []
+    for _ in range(2):
+        try:
+            out = FaultInjector(faults, seed=seed).inject(stream)
+        except SensorOutageError:
+            outs.append(None)
+        else:
+            outs.append((out.indices, out.values))
+    if outs[0] is None:
+        assert outs[1] is None
+    else:
+        np.testing.assert_array_equal(outs[0][0], outs[1][0])
+        np.testing.assert_array_equal(outs[0][1], outs[1][1])
+
+
+@settings(max_examples=40, deadline=None)
+@given(faults=chain_st, seed=st.integers(0, 2**31 - 1))
+def test_injected_stream_stays_valid(faults, seed):
+    stream = make_stream()
+    try:
+        out = FaultInjector(faults, seed=seed).inject(stream)
+    except SensorOutageError:
+        return  # emptied stream is a declared outage, not a bad stream
+    assert out.indices.shape == out.values.shape
+    assert out.indices.shape[0] >= 1
+    assert (np.diff(out.indices) > 0).all(), "indices must stay strictly increasing"
+    assert out.indices[0] >= 0 and out.indices[-1] < N_DENSE
+    assert (out.values >= 0.0).all(), "power cannot go negative"
+    assert out.interval_s == stream.interval_s
+    assert out.n_dense == stream.n_dense
+
+
+@settings(max_examples=40, deadline=None)
+@given(faults=chain_st, seed=st.integers(0, 2**31 - 1))
+def test_injection_never_mutates_source_stream(faults, seed):
+    stream = make_stream()
+    idx_copy = stream.indices.copy()
+    val_copy = stream.values.copy()
+    try:
+        FaultInjector(faults, seed=seed).inject(stream)
+    except SensorOutageError:
+        pass
+    np.testing.assert_array_equal(stream.indices, idx_copy)
+    np.testing.assert_array_equal(stream.values, val_copy)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 99])
+def test_wrapped_sensor_never_mutates_bundle(small_bundle, seed):
+    # Deterministic spot-check plus the hypothesis chain below: the bundle's
+    # arrays are frozen (RL004) and must come out untouched.
+    node_copy = small_bundle.node.values.copy()
+    pmc_copy = small_bundle.pmcs.matrix.copy()
+    sensor = FaultySensor(
+        IPMISensor(ARM_PLATFORM, seed=seed),
+        faults=[RandomDropout(0.4), SpikeOutlier(0.5, 300.0), ClockJitter(2)],
+        seed=seed,
+    )
+    for _ in range(3):
+        try:
+            sensor.sample(small_bundle)
+        except SensorOutageError:
+            pass
+    np.testing.assert_array_equal(small_bundle.node.values, node_copy)
+    np.testing.assert_array_equal(small_bundle.pmcs.matrix, pmc_copy)
+    assert not small_bundle.node.values.flags.writeable
+    assert not small_bundle.pmcs.matrix.flags.writeable
+
+
+@settings(max_examples=15, deadline=None)
+@given(faults=chain_st, seed=st.integers(0, 1000))
+def test_wrapped_sensor_property_no_bundle_mutation(small_bundle, faults, seed):
+    node_copy = small_bundle.node.values.copy()
+    pmc_copy = small_bundle.pmcs.matrix.copy()
+    sensor = FaultySensor(IPMISensor(ARM_PLATFORM, seed=7), faults=faults, seed=seed)
+    try:
+        sensor.sample(small_bundle)
+    except SensorOutageError:
+        pass
+    np.testing.assert_array_equal(small_bundle.node.values, node_copy)
+    np.testing.assert_array_equal(small_bundle.pmcs.matrix, pmc_copy)

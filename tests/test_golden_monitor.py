@@ -1,0 +1,84 @@
+"""Golden end-to-end regression: fixed-seed service run vs stored traces.
+
+The fixture (``tests/fixtures/golden_monitor.npz``, written by
+``scripts/make_golden_monitor.py``) pins the restored power traces of one
+healthy and one mid-run-outage observation through the reference service.
+Any behavioural change anywhere in the stack — simulator, sensor noise,
+fault chain, gating, LSTM/MLP restoration, provenance — moves these
+numbers. If a change *intends* to move them, regenerate the fixture with
+the script and commit both together.
+"""
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.core import PROV_MEASURED, PROV_MODEL_ONLY
+from repro.faults.golden import golden_outage_window, golden_traces
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "fixtures" / "golden_monitor.npz"
+
+# Loose enough to survive BLAS/numpy build differences, tight enough that
+# any real behavioural change (reseeding, reordering draws, altered
+# gating) trips it.
+RTOL, ATOL = 1e-3, 1e-2
+
+
+@pytest.fixture(scope="module")
+def golden():
+    assert GOLDEN_PATH.exists(), (
+        f"{GOLDEN_PATH} missing - run scripts/make_golden_monitor.py"
+    )
+    with np.load(GOLDEN_PATH) as data:
+        return {k: data[k] for k in data.files}
+
+
+@pytest.fixture(scope="module")
+def regenerated(chaos_reference):
+    return golden_traces(reference=chaos_reference)
+
+
+def test_fixture_is_complete(golden):
+    expected = {"truth_p_node"} | {
+        f"{run}_{ch}"
+        for run in ("healthy", "outage")
+        for ch in ("p_node", "p_cpu", "p_mem", "provenance")
+    }
+    assert set(golden) == expected
+
+
+def test_truth_trace_matches(golden, regenerated):
+    np.testing.assert_allclose(
+        regenerated["truth_p_node"], golden["truth_p_node"], rtol=RTOL, atol=ATOL
+    )
+
+
+@pytest.mark.parametrize("run", ["healthy", "outage"])
+@pytest.mark.parametrize("channel", ["p_node", "p_cpu", "p_mem"])
+def test_restored_traces_match(golden, regenerated, run, channel):
+    key = f"{run}_{channel}"
+    np.testing.assert_allclose(
+        regenerated[key], golden[key], rtol=RTOL, atol=ATOL,
+        err_msg=f"{key} drifted from the golden fixture "
+                "(regenerate via scripts/make_golden_monitor.py if intended)",
+    )
+
+
+@pytest.mark.parametrize("run", ["healthy", "outage"])
+def test_provenance_matches_exactly(golden, regenerated, run):
+    np.testing.assert_array_equal(
+        regenerated[f"{run}_provenance"], golden[f"{run}_provenance"]
+    )
+
+
+def test_golden_outage_shape(golden):
+    start, stop = golden_outage_window(golden["truth_p_node"].shape[0])
+    prov_out = golden["outage_provenance"]
+    prov_ok = golden["healthy_provenance"]
+    # The outage run lost its anchors mid-run; the healthy run never did.
+    assert (prov_out[(start + stop) // 2] == PROV_MODEL_ONLY)
+    assert not (prov_ok == PROV_MODEL_ONLY).any()
+    # Both runs keep measured anchors outside the outage window.
+    assert (prov_out == PROV_MEASURED).sum() > 0
+    assert (prov_ok == PROV_MEASURED).sum() > (prov_out == PROV_MEASURED).sum()
