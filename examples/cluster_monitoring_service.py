@@ -13,12 +13,16 @@ from repro.core import HighRPM, HighRPMConfig
 from repro.hardware import ARM_PLATFORM, NodeSimulator
 from repro.ml import mape
 from repro.monitor import PowerMonitorService
+from repro.obs import MetricsRegistry, render_prometheus
 from repro.sensors import IPMISensor
 from repro.workloads import default_catalog
 
 
 def main() -> None:
     catalog = default_catalog(seed=2023)
+    # Collect everything the service emits — counters, pipeline spans,
+    # self-overhead — into one registry, printed at the end of the run.
+    registry = MetricsRegistry()
 
     # ---- control node: train the shared model -----------------------------
     control_sim = NodeSimulator(ARM_PLATFORM, seed=100)
@@ -31,7 +35,7 @@ def main() -> None:
         p_upper=ARM_PLATFORM.max_node_power_w,
     )
     highrpm.fit_initial(train)
-    service = PowerMonitorService(highrpm, ARM_PLATFORM)
+    service = PowerMonitorService(highrpm, ARM_PLATFORM, registry=registry)
 
     # ---- compute nodes: distinct hardware realisations --------------------
     node_sims = {
@@ -80,6 +84,19 @@ def main() -> None:
 
     print()
     print(render_node_report(service.log("node-0"), run_lengths=[200, 200]))
+
+    # ---- what the instrumentation saw (docs/observability.md) --------------
+    print("\nmetrics snapshot (exposition excerpt):")
+    excerpt = [
+        line for line in render_prometheus(registry).splitlines()
+        if line.startswith(("repro_monitor_runs_total",
+                            "repro_monitor_samples_total",
+                            "repro_monitor_overhead_budget_fraction"))
+    ]
+    print("\n".join(excerpt))
+    print()
+    print(service.tracer.render())
+    print(service.profiler.render())
 
 
 if __name__ == "__main__":

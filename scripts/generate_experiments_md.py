@@ -1,14 +1,17 @@
 """Regenerate EXPERIMENTS.md by running every experiment.
 
-Usage:  python scripts/generate_experiments_md.py [--full]
+Usage:  python scripts/generate_experiments_md.py [--full] [--output PATH]
 
 Runs the entire per-table/per-figure experiment suite (quick protocol by
 default) and writes the rendered outputs, alongside the paper's reported
-numbers, into EXPERIMENTS.md.
+numbers, into EXPERIMENTS.md (or ``--output``, which is how the docs
+drift gate — ``scripts/check_docs.py --experiments`` — regenerates into a
+scratch file for comparison).
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
 
@@ -67,8 +70,8 @@ Protocol: `{protocol}` (regenerate with
 """
 
 
-def main() -> int:
-    full = "--full" in sys.argv
+def build_markdown(full: bool = False) -> str:
+    """Run every experiment and return the EXPERIMENTS.md content."""
     settings = EvalSettings.full() if full else EvalSettings.quick()
     sections: list[tuple[str, str, object]] = [
         ("fig1", "Fig. 1 — power capping (motivation)", fg.fig1),
@@ -112,10 +115,19 @@ def main() -> int:
         result = fn(settings)
         parts.append(f"### {title}\n\n```\n{result.render()}\n```\n"
                      f"_(ran in {time.time() - t0:.0f}s)_\n")
+    return "\n".join(parts)
 
-    with open("EXPERIMENTS.md", "w") as fh:
-        fh.write("\n".join(parts))
-    print("wrote EXPERIMENTS.md")
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--full", action="store_true",
+                        help="paper-sized protocol (slow)")
+    parser.add_argument("--output", default="EXPERIMENTS.md", metavar="PATH")
+    args = parser.parse_args()
+    content = build_markdown(full=args.full)
+    with open(args.output, "w") as fh:
+        fh.write(content)
+    print(f"wrote {args.output}")
     return 0
 
 

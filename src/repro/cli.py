@@ -121,6 +121,15 @@ def cmd_monitor(args) -> int:
     result = hr.monitor_online(bundle.pmcs.matrix, readings)
     repro_io.export_monitor_csv(args.out, result.p_node, result.p_cpu, result.p_mem)
     print(f"wrote {len(result)} restored samples to {args.out}")
+    if result.provenance is not None:
+        from .core import PROV_MEASURED, PROV_MODEL_ONLY, PROV_RESTORED
+
+        prov = result.provenance
+        print(
+            f"provenance: {int((prov == PROV_MEASURED).sum())} measured, "
+            f"{int((prov == PROV_RESTORED).sum())} restored, "
+            f"{int((prov == PROV_MODEL_ONLY).sum())} model-only"
+        )
     print(f"node: {score_report(bundle.node.values, result.p_node)}")
     print(f"cpu : {score_report(bundle.cpu.values, result.p_cpu)}")
     print(f"mem : {score_report(bundle.mem.values, result.p_mem)}")

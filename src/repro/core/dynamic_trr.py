@@ -27,6 +27,7 @@ import numpy as np
 
 from ..errors import NotFittedError, ValidationError
 from ..ml.recurrent import LSTMRegressor
+from ..obs import current_tracer, get_registry
 from ..sensors.base import SparseReadings
 from ..utils.validation import check_2d
 from .config import HighRPMConfig
@@ -95,10 +96,15 @@ class OnlineTRRSession:
         by = np.stack(self._buffer_y)
         old_lr = self._model.lr
         self._model.lr = trr.finetune_lr
+        get_registry().counter(
+            "repro_online_finetune_total",
+            "Online fine-tune rounds by trigger.", ("kind",),
+        ).labels(kind="resync" if boost > 1 else "regular").inc()
         try:
-            self._model.partial_fit(
-                bx, by, n_steps=int(boost) * trr.config.finetune_steps
-            )
+            with current_tracer().span("trr.finetune"):
+                self._model.partial_fit(
+                    bx, by, n_steps=int(boost) * trr.config.finetune_steps
+                )
         finally:
             self._model.lr = old_lr
 
@@ -136,6 +142,10 @@ class OnlineTRRSession:
             )
             if recovered:
                 self.resyncs.append(t)
+                get_registry().counter(
+                    "repro_online_resyncs_total",
+                    "IM-feed recoveries after an outage-length gap.",
+                ).inc()
             # Anchor BEFORE updating the hold channel: the fine-tune label is
             # the deviation of this reading from the previous anchor, which
             # is exactly what the model predicts at gap-end positions.
@@ -170,8 +180,9 @@ class OnlineTRRSession:
             if readings is None
             else dict(zip(readings.indices.tolist(), readings.values.tolist()))
         )
-        for t in range(pmcs.shape[0]):
-            self.step(pmcs[t], reading_at.get(t))
+        with current_tracer().span("trr.dynamic"):
+            for t in range(pmcs.shape[0]):
+                self.step(pmcs[t], reading_at.get(t))
         return self.estimates
 
 

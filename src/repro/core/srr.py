@@ -22,6 +22,7 @@ import numpy as np
 
 from ..errors import NotFittedError, ValidationError
 from ..ml.neural import MLPRegressor
+from ..obs import current_tracer
 from ..utils.validation import check_1d, check_2d, check_consistent_length
 from .config import HighRPMConfig
 
@@ -132,10 +133,11 @@ class SRR:
         if self.model_ is None:
             raise NotFittedError("SRR.predict before fit")
         pmcs, p_node = self._check_inputs(pmcs, p_node)
-        if self.use_pnode:
-            X = np.column_stack([p_node, pmcs])
-            share = self._sigmoid(self.model_.predict(X))
-            budget = np.maximum(p_node - self.other_w_, 0.0)
-            return share * budget, (1.0 - share) * budget
-        out = self.model_.predict(pmcs)
-        return np.maximum(out[:, 0], 0.0), np.maximum(out[:, 1], 0.0)
+        with current_tracer().span("srr.split"):
+            if self.use_pnode:
+                X = np.column_stack([p_node, pmcs])
+                share = self._sigmoid(self.model_.predict(X))
+                budget = np.maximum(p_node - self.other_w_, 0.0)
+                return share * budget, (1.0 - share) * budget
+            out = self.model_.predict(pmcs)
+            return np.maximum(out[:, 0], 0.0), np.maximum(out[:, 1], 0.0)

@@ -33,6 +33,7 @@ import numpy as np
 from ..errors import ValidationError
 from ..interp.spline import CubicSplineInterpolator
 from ..ml.tree import DecisionTreeRegressor
+from ..obs import current_tracer
 from ..perf import precompile
 from ..sensors.base import SparseReadings
 from ..utils.validation import check_2d
@@ -115,47 +116,52 @@ class StaticTRR:
         vals = readings.values
         self._lo, self._hi = self._limits(readings)
         t_all = np.arange(n, dtype=np.float64)
+        tracer = current_tracer()
 
         # Step 1: trend from all readings.
-        self.spline_ = self._trend_factory().fit(idx.astype(float), vals)
-        p_splined = self.spline_.predict(t_all)
+        with tracer.span("trr.spline"):
+            self.spline_ = self._trend_factory().fit(idx.astype(float), vals)
+            p_splined = self.spline_.predict(t_all)
 
         # Step 2: cross-fitted residual targets at the labeled points.
-        residual_targets = np.empty(len(readings))
-        for fold in (0, 1):
-            train_sel = np.arange(len(readings)) % 2 == fold
-            # Guard the degenerate two-knot minimum.
-            if train_sel.sum() < 2:
-                train_sel = np.ones(len(readings), dtype=bool)
-            fold_spline = self._trend_factory().fit(
-                idx[train_sel].astype(float), vals[train_sel]
-            )
-            out_sel = ~train_sel if train_sel.sum() < len(readings) else train_sel
-            residual_targets[out_sel] = vals[out_sel] - fold_spline.predict(
-                idx[out_sel].astype(float)
-            )
-        if not self.config.residual_signed:
-            residual_targets = np.abs(residual_targets)
+        with tracer.span("trr.resmodel"):
+            residual_targets = np.empty(len(readings))
+            for fold in (0, 1):
+                train_sel = np.arange(len(readings)) % 2 == fold
+                # Guard the degenerate two-knot minimum.
+                if train_sel.sum() < 2:
+                    train_sel = np.ones(len(readings), dtype=bool)
+                fold_spline = self._trend_factory().fit(
+                    idx[train_sel].astype(float), vals[train_sel]
+                )
+                out_sel = ~train_sel if train_sel.sum() < len(readings) else train_sel
+                residual_targets[out_sel] = vals[out_sel] - fold_spline.predict(
+                    idx[out_sel].astype(float)
+                )
+            if not self.config.residual_signed:
+                residual_targets = np.abs(residual_targets)
 
-        self.res_model_ = self._res_model_factory()
-        self.res_model_.fit(pmcs[idx], residual_targets)
-        # Flatten the freshly fitted ResModel eagerly: the dense prediction
-        # below (and any later re-restore) runs over the whole trace, which
-        # is exactly the batch shape the compiled descent is built for.
-        precompile(self.res_model_)
-        residual_hat = self.res_model_.predict(pmcs)
-        if not self.config.residual_signed:
-            # Unsigned mode (the paper's ABS target): apply the magnitude in
-            # the direction of the local spline curvature error proxy.
-            residual_hat = residual_hat * np.sign(
-                np.gradient(p_splined) + 1e-12
-            )
-        p_residual = p_splined + residual_hat
+            self.res_model_ = self._res_model_factory()
+            self.res_model_.fit(pmcs[idx], residual_targets)
+            # Flatten the freshly fitted ResModel eagerly: the dense
+            # prediction below (and any later re-restore) runs over the whole
+            # trace, which is exactly the batch shape the compiled descent is
+            # built for.
+            precompile(self.res_model_)
+            residual_hat = self.res_model_.predict(pmcs)
+            if not self.config.residual_signed:
+                # Unsigned mode (the paper's ABS target): apply the magnitude
+                # in the direction of the local spline curvature error proxy.
+                residual_hat = residual_hat * np.sign(
+                    np.gradient(p_splined) + 1e-12
+                )
+            p_residual = p_splined + residual_hat
 
         # Step 3: Algorithm-1 fusion.
-        p_trr = self._post_process(p_splined.copy(), p_residual.copy())
-        # Observed instants keep their readings — they are measurements.
-        p_trr[idx] = vals
+        with tracer.span("trr.fusion"):
+            p_trr = self._post_process(p_splined.copy(), p_residual.copy())
+            # Observed instants keep their readings — they are measurements.
+            p_trr[idx] = vals
         return StaticTRRResult(
             p_splined=p_splined,
             p_residual=p_residual,

@@ -108,7 +108,7 @@ def ablation_finetune(settings: "EvalSettings | None" = None) -> ExperimentResul
     for bundle, r in zip(tests, readings):
         with_ft = mape(bundle.node.values, dyn.restore(bundle.pmcs.matrix, r))
         session = dyn.session()
-        session._fine_tune = lambda X, d: None  # disable adaptation
+        session._fine_tune = lambda X, d, boost=1: None  # disable adaptation
         without = mape(bundle.node.values, session.run(bundle.pmcs.matrix, r))
         rows.append([bundle.workload, with_ft, without])
     return ExperimentResult(

@@ -521,13 +521,20 @@ def chaos_robustness(settings: "EvalSettings | None" = None) -> ExperimentResult
     )
     report = run_chaos(chaos_settings)
     rows = [o.row() for o in report.outcomes]
+    from ..obs import render_overhead
+
+    notes = [
+        report.degradation_summary() + ".",
+        render_overhead(report.self_overhead) + ".",
+        "Graceful degradation gate: during a mid-run outage the "
+        "fault-window MAPE must stay within 2x the healthy-window MAPE, "
+        "and a dead feed must degrade to model-only restoration instead "
+        "of failing the run.",
+    ]
     return ExperimentResult(
         title=f"Chaos sweep — IM-feed fault scenarios ({report.platform})",
         columns=list(chaos_columns),
         rows=rows,
-        notes="Graceful degradation gate: during a mid-run outage the "
-        "fault-window MAPE must stay within 2x the healthy-window MAPE, "
-        "and a dead feed must degrade to model-only restoration instead "
-        "of failing the run.",
+        notes=" ".join(notes),
         extras={"report": report},
     )

@@ -32,6 +32,7 @@ from ..hardware.node import NodeSimulator
 from ..hardware.platform import get_platform
 from ..ml.metrics import mape
 from ..monitor import PowerMonitorService, ResiliencePolicy
+from ..obs import MetricsRegistry, render_overhead, use_registry
 from ..sensors.ipmi import IPMISensor
 from ..workloads.catalog import default_catalog
 from .inject import FaultySensor
@@ -71,6 +72,19 @@ class ChaosSettings:
             test_seconds=150,
             lstm_iters=150,
             srr_iters=1000,
+        )
+
+    @staticmethod
+    def tiny() -> "ChaosSettings":
+        """Seconds-sized settings for demos that only need a *live* service
+        (``python -m repro.obs.dump``, the ``repro-bench`` overhead probe) —
+        the model is under-trained and its accuracy is meaningless."""
+        return ChaosSettings(
+            train_benchmarks=("spec_gcc", "hpcc_stream"),
+            train_seconds=60,
+            test_seconds=60,
+            lstm_iters=20,
+            srr_iters=100,
         )
 
 
@@ -142,12 +156,29 @@ class ChaosReport:
     platform: str
     settings: ChaosSettings
     outcomes: list[ScenarioOutcome] = field(default_factory=list)
+    #: :meth:`~repro.obs.OverheadProfiler.report` of the swept service.
+    self_overhead: dict = field(default_factory=dict)
+    #: :meth:`~repro.obs.MetricsRegistry.snapshot` of everything the sweep
+    #: emitted (service counters, pipeline spans, perf dispatch mix).
+    metrics: dict = field(default_factory=dict)
 
     def outcome(self, scenario: str) -> ScenarioOutcome:
         for o in self.outcomes:
             if o.scenario == scenario:
                 return o
         raise KeyError(f"no scenario {scenario!r} in this report")
+
+    def degradation_summary(self) -> str:
+        """One line of sweep-wide resilience totals (no JSON spelunking)."""
+        retries = sum(o.retries for o in self.outcomes)
+        gated = sum(o.gated_readings for o in self.outcomes)
+        outages = sum(1 for o in self.outcomes if o.health == "outage")
+        degraded = sum(1 for o in self.outcomes if o.health == "degraded")
+        return (
+            f"degradation: {retries} retr{'y' if retries == 1 else 'ies'}, "
+            f"{gated} gated reading(s), {degraded} degraded and "
+            f"{outages} outage run(s) across {len(self.outcomes)} scenario(s)"
+        )
 
     def render(self) -> str:
         rows = [o.row() for o in self.outcomes]
@@ -165,6 +196,9 @@ class ChaosReport:
             fmt(["-" * w for w in widths]),
         ]
         lines += [fmt(r) for r in rows]
+        lines.append(self.degradation_summary())
+        if self.self_overhead:
+            lines.append(render_overhead(self.self_overhead))
         return "\n".join(lines)
 
     def to_json(self) -> str:
@@ -172,6 +206,8 @@ class ChaosReport:
             "platform": self.platform,
             "settings": asdict(self.settings),
             "scenarios": [asdict(o) for o in self.outcomes],
+            "self_overhead": self.self_overhead,
+            "metrics": self.metrics,
         }
         return json.dumps(payload, indent=2, default=str)
 
@@ -215,13 +251,34 @@ def reference_run(settings: "ChaosSettings | None" = None):
 def run_chaos(
     settings: "ChaosSettings | None" = None,
     scenarios: "tuple[ChaosScenario, ...] | None" = None,
+    registry: "MetricsRegistry | None" = None,
 ) -> ChaosReport:
-    """Train one service, run every scenario through it, report MAPE."""
+    """Train one service, run every scenario through it, report MAPE.
+
+    The sweep collects its instrumentation (service counters, pipeline
+    spans, self-overhead) into ``registry`` — its own private one by
+    default, so back-to-back sweeps do not pollute each other — and embeds
+    the snapshot in the report.
+    """
     settings = settings or ChaosSettings()
     scenarios = scenarios if scenarios is not None else default_scenarios(
         settings.test_seconds
     )
-    service, bundle = reference_run(settings)
+    registry = registry if registry is not None else MetricsRegistry()
+    with use_registry(registry):
+        service, bundle = reference_run(settings)
+        report = _sweep(service, bundle, settings, scenarios)
+    report.self_overhead = service.profiler.report()
+    report.metrics = registry.snapshot()
+    return report
+
+
+def _sweep(
+    service: PowerMonitorService,
+    bundle,
+    settings: ChaosSettings,
+    scenarios: "tuple[ChaosScenario, ...]",
+) -> ChaosReport:
     spec = get_platform(settings.platform)
     truth = bundle.node.values
     report = ChaosReport(platform=settings.platform, settings=settings)

@@ -65,6 +65,9 @@ class RandomForestRegressor(Regressor):
         """Reference path: per-tree object walk, then the bagged mean."""
         self._check_fitted("estimators_")
         X = check_2d(X, "X")
+        from ..perf.telemetry import record_predict  # lazy: perf and ml are peers
+
+        record_predict("forest", "walk", X.shape[0])
         preds = np.stack([t._predict_walk(X) for t in self.estimators_])
         return preds.mean(axis=0)
 
@@ -148,6 +151,9 @@ class GradientBoostingRegressor(Regressor):
         """Reference path: sequential shrinkage sum of per-tree walks."""
         self._check_fitted("estimators_")
         X = check_2d(X, "X")
+        from ..perf.telemetry import record_predict  # lazy: perf and ml are peers
+
+        record_predict("boosting", "walk", X.shape[0])
         out = np.full(X.shape[0], self.init_)
         for tree in self.estimators_:
             out += self.learning_rate * tree._predict_walk(X)

@@ -214,6 +214,9 @@ class MLPRegressor(Regressor):
         """
         self._check_fitted("weights_")
         X = check_2d(X, "X")
+        from ..perf.telemetry import record_predict  # lazy: perf and ml are peers
+
+        record_predict("mlp", "walk", X.shape[0])
         act, _ = _ACTIVATIONS[self.activation]
         a = (X - self._x_mean) / self._x_scale
         for li, (w, b) in enumerate(zip(self.weights_, self.biases_)):

@@ -167,6 +167,9 @@ class DecisionTreeRegressor(Regressor):
         """
         self._check_fitted("_nodes")
         X = check_2d(X, "X")
+        from ..perf.telemetry import record_predict  # lazy: perf and ml are peers
+
+        record_predict("tree", "walk", X.shape[0])
         nodes = self._nodes
         out = np.empty(X.shape[0])
         for i in range(X.shape[0]):

@@ -22,14 +22,41 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.highrpm import PROV_MODEL_ONLY, PROV_RESTORED, HighRPM, MonitorResult
+from ..core.highrpm import (
+    PROV_MEASURED,
+    PROV_MODEL_ONLY,
+    PROV_RESTORED,
+    HighRPM,
+    MonitorResult,
+)
 from ..errors import SensorError, ValidationError
 from ..hardware.platform import PlatformSpec
+from ..obs import (
+    DEFAULT_SAMPLE_PERIOD_S,
+    MetricsRegistry,
+    OverheadProfiler,
+    Tracer,
+    get_registry,
+    system_clock,
+    use_registry,
+    use_tracer,
+)
 from ..perf import precompile
 from ..sensors.base import SparseReadings
 from ..sensors.ipmi import IPMISensor
 from ..types import TraceBundle
 from .resilience import NodeHealth, ResiliencePolicy, gate_readings, sample_with_retry
+
+#: Human-readable provenance labels for the sample-mix counter.
+_PROV_LABELS = {
+    PROV_MEASURED: "measured",
+    PROV_RESTORED: "restored",
+    PROV_MODEL_ONLY: "model_only",
+}
+
+#: IM readings that survive per run: a smoke trace keeps a handful, a
+#: campaign trace a few hundred.
+_READINGS_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 1024.0)
 
 
 @dataclass
@@ -81,6 +108,19 @@ class MonitorLog:
             return 0.0
         return float(self.model_only_mask.mean())
 
+    def summary(self) -> "dict[str, object]":
+        """Headline counters for one node's log (runs, sample provenance)."""
+        prov = self.provenance
+        return {
+            "node_id": self.node_id,
+            "runs": len(self.runs),
+            "samples": len(self),
+            "measured": int((prov == PROV_MEASURED).sum()),
+            "restored": int((prov == PROV_RESTORED).sum()),
+            "model_only": int((prov == PROV_MODEL_ONLY).sum()),
+            "model_only_fraction": self.model_only_fraction(),
+        }
+
 
 class PowerMonitorService:
     """One HighRPM model serving many nodes.
@@ -97,11 +137,26 @@ class PowerMonitorService:
         model: HighRPM,
         spec: PlatformSpec,
         policy: "ResiliencePolicy | None" = None,
+        registry: "MetricsRegistry | None" = None,
+        clock=None,
     ) -> None:
         model._require_fitted()
         self.model = model
         self.spec = spec
         self.policy = policy or ResiliencePolicy()
+        # Observability: metrics land in the given registry (default: the
+        # ambient one at construction time), pipeline spans are timed with
+        # the given clock (default: the process monotonic clock; tests pass
+        # a ManualClock), and the profiler prices each observe_run against
+        # the paper's 1 Sa/s sampling budget.
+        self.registry = registry if registry is not None else get_registry()
+        self.clock = clock if clock is not None else system_clock()
+        self.tracer = Tracer(clock=self.clock, registry=self.registry)
+        self.profiler = OverheadProfiler(
+            clock=self.clock,
+            sample_period_s=DEFAULT_SAMPLE_PERIOD_S,
+            registry=self.registry,
+        )
         # Compile the SRR forward pass up front: it serves every observe_run
         # on every node, so the one-time flatten cost should not land on the
         # first monitored trace.
@@ -161,14 +216,42 @@ class PowerMonitorService:
         """
         if node_id not in self._nodes:
             raise ValidationError(f"unknown node {node_id!r}; register it first")
+        health = self._health[node_id]
+        before = (health.retries, health.gated_readings,
+                  health.outages, health.degraded_runs)
+        # Route the pipeline's ambient instrumentation (TRR/SRR spans, the
+        # online fine-tune counters, the perf dispatch mix) into this
+        # service's registry and tracer for the duration of the run, and
+        # price the whole observation against the sampling budget.
+        with use_registry(self.registry), use_tracer(self.tracer), \
+                self.profiler.measure() as cost:
+            try:
+                with self.tracer.span("monitor.observe_run"):
+                    result = self._observe(node_id, bundle, online)
+            except Exception:
+                self.registry.counter(
+                    "repro_monitor_failed_runs_total",
+                    "observe_run calls that raised.", ("node",),
+                ).labels(node=node_id).inc()
+                raise
+            cost.samples = len(result)
+        self._emit_run_metrics(node_id, result, before)
+        return result
+
+    def _observe(
+        self, node_id: str, bundle: TraceBundle, online: bool
+    ) -> MonitorResult:
+        """The undecorated observation logic (retry → gate → restore)."""
         sensor = self._nodes[node_id]
         health = self._health[node_id]
         policy = self.policy
+        tracer = self.tracer
 
         readings: "SparseReadings | None"
         transients_before = health.transient_failures
         try:
-            readings = sample_with_retry(sensor, bundle, policy, health)
+            with tracer.span("monitor.im_sample"):
+                readings = sample_with_retry(sensor, bundle, policy, health)
         except SensorError as exc:
             # Outage (possibly injected): retries exhausted or every
             # reading dropped at the source.
@@ -196,9 +279,10 @@ class PowerMonitorService:
         gated = 0
         if policy.gate_readings:
             lo, hi = self._clamps()
-            readings, gated = gate_readings(
-                readings, lo, hi, policy.gate_margin_fraction
-            )
+            with tracer.span("monitor.gate"):
+                readings, gated = gate_readings(
+                    readings, lo, hi, policy.gate_margin_fraction
+                )
             health.gated_readings += gated
 
         if readings is None or len(readings) < policy.min_readings(online):
@@ -217,8 +301,10 @@ class PowerMonitorService:
             return self._observe_model_only(node_id, bundle, reason=reason)
 
         monitor = self.model.monitor_online if online else self.model.monitor_offline
-        result = monitor(bundle.pmcs.matrix, readings)
-        self._logs[node_id].append(result, bundle.workload)
+        with tracer.span("monitor.restore"):
+            result = monitor(bundle.pmcs.matrix, readings)
+        with tracer.span("monitor.log_append"):
+            self._logs[node_id].append(result, bundle.workload)
         retried = health.transient_failures - transients_before
         gap_samples = int(result.model_only_mask.sum())
         if gated or retried or gap_samples:
@@ -234,10 +320,56 @@ class PowerMonitorService:
         self, node_id: str, bundle: TraceBundle, reason: str
     ) -> MonitorResult:
         """Degraded path: restore from the model alone and flag the log."""
-        result = self.model.monitor_model_only(bundle.pmcs.matrix)
-        self._logs[node_id].append(result, bundle.workload)
+        with self.tracer.span("monitor.restore"):
+            result = self.model.monitor_model_only(bundle.pmcs.matrix)
+        with self.tracer.span("monitor.log_append"):
+            self._logs[node_id].append(result, bundle.workload)
         self._health[node_id].record_outage_run(reason)
         return result
+
+    def _emit_run_metrics(
+        self, node_id: str, result: MonitorResult, before: tuple
+    ) -> None:
+        """Publish one finished run's counters from the health deltas."""
+        registry = self.registry
+        health = self._health[node_id]
+        registry.counter(
+            "repro_monitor_runs_total",
+            "Observed runs by node and restoration mode.", ("node", "mode"),
+        ).labels(node=node_id, mode=result.mode).inc()
+        deltas = (
+            ("repro_monitor_retries_total",
+             "IM sample retries after transient failures.", health.retries),
+            ("repro_monitor_gated_readings_total",
+             "IM readings dropped by the plausibility gate.",
+             health.gated_readings),
+            ("repro_monitor_outage_runs_total",
+             "Runs degraded to model-only restoration.", health.outages),
+            ("repro_monitor_degraded_runs_total",
+             "Runs that needed retries, gating, or anchorless samples.",
+             health.degraded_runs),
+        )
+        for (name, help_text, after_value), before_value in zip(deltas, before):
+            if after_value > before_value:
+                registry.counter(name, help_text, ("node",)).labels(
+                    node=node_id
+                ).inc(after_value - before_value)
+        prov = result.provenance
+        if prov is None:
+            prov = np.full(len(result), PROV_RESTORED, dtype=np.uint8)
+        counts = np.bincount(prov, minlength=max(_PROV_LABELS) + 1)
+        samples = registry.counter(
+            "repro_monitor_samples_total",
+            "Logged samples by provenance.", ("provenance",),
+        )
+        for code, label in _PROV_LABELS.items():
+            if counts[code]:
+                samples.labels(provenance=label).inc(int(counts[code]))
+        registry.histogram(
+            "repro_monitor_readings_per_run",
+            "Measured IM readings surviving per observed run.",
+            buckets=_READINGS_BUCKETS,
+        ).observe(int(counts[PROV_MEASURED]))
 
     def adapt(self, node_id: str, bundle: TraceBundle) -> None:
         """Active-learning round on one node's unlabeled run (§4.1)."""

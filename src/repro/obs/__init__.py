@@ -1,0 +1,68 @@
+"""Observability substrate: metrics, tracing, self-overhead profiling.
+
+HighRPM is itself a monitoring system, so this reproduction measures
+itself the way it measures nodes: a dependency-free metrics registry
+(:mod:`~repro.obs.metrics`), a span tracer for the restoration pipeline
+(:mod:`~repro.obs.tracing`), a self-overhead profiler reporting the
+monitor's cost per restored sample (:mod:`~repro.obs.overhead`), and a
+Prometheus-style text exposition with a checked round-trip parser
+(:mod:`~repro.obs.exposition`). ``python -m repro.obs.dump`` renders it
+all from the command line.
+
+The package sits at layer 0 of the lint DAG — everything above may import
+it — and is deterministic by construction: no wall-clock reads anywhere;
+durations only exist when an orchestration layer injects a clock
+(:mod:`~repro.obs.clock`). The metric catalog and span taxonomy live in
+``docs/observability.md``.
+"""
+
+from .clock import Clock, ManualClock, system_clock
+from .exposition import parse_prometheus, render_prometheus
+from .metrics import (
+    DEFAULT_BUCKETS,
+    GLOBAL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    get_registry,
+    use_registry,
+)
+from .overhead import DEFAULT_SAMPLE_PERIOD_S, OverheadProfiler, render_overhead
+from .tracing import (
+    NULL_TRACER,
+    NullTracer,
+    SpanRecord,
+    SpanStats,
+    Tracer,
+    current_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Clock",
+    "ManualClock",
+    "system_clock",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "GLOBAL_REGISTRY",
+    "get_registry",
+    "use_registry",
+    "render_prometheus",
+    "parse_prometheus",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "SpanRecord",
+    "SpanStats",
+    "current_tracer",
+    "use_tracer",
+    "OverheadProfiler",
+    "render_overhead",
+    "DEFAULT_SAMPLE_PERIOD_S",
+]

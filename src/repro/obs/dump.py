@@ -1,0 +1,143 @@
+"""Render collected observability data from the command line.
+
+Two modes::
+
+    python -m repro.obs.dump                     # live demo
+    python -m repro.obs.dump report.json         # re-render saved data
+
+With no input file the tool trains a deliberately tiny monitor service
+(:meth:`~repro.faults.chaos.ChaosSettings.tiny` — seconds of work, useless
+accuracy), observes one run on a healthy and a flaky node, and prints what
+the instrumentation saw: the Prometheus exposition, the span table, and
+the self-overhead line. That is the fastest way to see every metric name
+in ``docs/observability.md`` with real values attached.
+
+With an input file it re-renders saved data without running anything: the
+file may be a bare ``MetricsRegistry.snapshot()`` dict, a wrapped
+``repro-obs/1`` payload (what ``--output`` writes), or a chaos report
+(``python -m repro.faults.chaos --output``), whose embedded ``metrics``
+snapshot is used.
+
+``--format prom`` (default) prints text exposition; ``--format json``
+prints the wrapped JSON payload. ``--output PATH`` writes instead of
+printing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .exposition import render_prometheus
+from .metrics import MetricsRegistry, use_registry
+from .overhead import render_overhead
+
+#: Wrapped payload schema written by ``--format json`` / ``--output``.
+SCHEMA = "repro-obs/1"
+
+
+def demo_payload() -> "dict[str, object]":
+    """Run the tiny instrumented demo and return its wrapped payload."""
+    # Upward imports (monitor/faults sit above obs in the layer DAG) are
+    # confined to this CLI entry point, which nothing imports back.
+    from ..faults.chaos import ChaosSettings, reference_run  # repro-lint: disable=layering
+    from ..faults.inject import FaultySensor  # repro-lint: disable=layering
+    from ..sensors.ipmi import IPMISensor  # repro-lint: disable=layering
+
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        service, bundle = reference_run(ChaosSettings.tiny())
+        service.register_node("demo-healthy")
+        service.register_node(
+            "demo-flaky",
+            sensor=FaultySensor(
+                IPMISensor(service.spec, seed=11), seed=12, fail_first=2
+            ),
+        )
+        service.observe_run("demo-healthy", bundle)
+        service.observe_run("demo-flaky", bundle)
+    return {
+        "schema": SCHEMA,
+        "metrics": registry.snapshot(),
+        "spans": service.tracer.snapshot(),
+        "self_overhead": service.profiler.report(),
+    }
+
+
+def load_payload(path: str) -> "dict[str, object]":
+    """Read a saved payload: wrapped, bare snapshot, or chaos report."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict):
+        raise SystemExit(f"{path}: expected a JSON object")
+    if data.get("schema") == SCHEMA:
+        return data
+    if "metrics" in data and "scenarios" in data:  # a chaos report
+        return {
+            "schema": SCHEMA,
+            "metrics": data["metrics"],
+            "spans": {},
+            "self_overhead": data.get("self_overhead", {}),
+        }
+    # Bare MetricsRegistry.snapshot(): {name: {type, help, ...}, ...}
+    return {"schema": SCHEMA, "metrics": data, "spans": {},
+            "self_overhead": {}}
+
+
+def _render_spans(spans: "dict[str, dict]") -> str:
+    rows = [
+        (name, str(s["count"]),
+         f"{s['total_s'] * 1e3:.2f}" if s.get("timed") else "-",
+         f"{s['mean_s'] * 1e6:.1f}" if s.get("timed") else "-")
+        for name, s in sorted(spans.items())
+    ]
+    header = ("span", "count", "total ms", "mean us")
+    widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+              for i, h in enumerate(header)]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
+    lines += ["  ".join(c.ljust(w) for c, w in zip(r, widths)) for r in rows]
+    return "\n".join(lines)
+
+
+def render_text(payload: "dict[str, object]") -> str:
+    """Exposition + span table + overhead line, for humans."""
+    parts = [render_prometheus(payload["metrics"])]
+    if payload.get("spans"):
+        parts.append(_render_spans(payload["spans"]) + "\n")
+    if payload.get("self_overhead"):
+        parts.append(render_overhead(payload["self_overhead"]) + "\n")
+    return "\n".join(parts)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.dump",
+        description="Render collected metrics/spans/self-overhead "
+                    "(live demo when no input file is given).",
+    )
+    parser.add_argument("snapshot", nargs="?", default=None, metavar="PATH",
+                        help="saved payload, registry snapshot, or chaos "
+                             "report JSON (omit to run the live demo)")
+    parser.add_argument("--format", choices=("prom", "json"), default="prom",
+                        help="text exposition (default) or wrapped JSON")
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="write instead of printing")
+    args = parser.parse_args(argv)
+
+    payload = load_payload(args.snapshot) if args.snapshot else demo_payload()
+    if args.format == "json":
+        text = json.dumps(payload, indent=2) + "\n"
+    else:
+        text = render_text(payload)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

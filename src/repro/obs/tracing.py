@@ -1,0 +1,192 @@
+"""Span-based tracing for the restoration pipeline.
+
+A :class:`Tracer` records nested *spans* — named sections of the pipeline
+(``monitor.observe_run`` > ``monitor.restore`` > ``trr.spline`` …) — with
+parent links and, when the tracer carries a :mod:`~repro.obs.clock`,
+durations. Library code never holds a tracer: it asks for the ambient one
+with :func:`current_tracer`, which is a no-op :data:`NULL_TRACER` unless a
+harness has installed a real tracer via :func:`use_tracer`. That keeps the
+numeric layers deterministic (an unclocked tracer records *counts* only,
+which are a pure function of the inputs) and makes the instrumentation
+free when nobody is looking.
+
+A tracer wired to a :class:`~repro.obs.metrics.MetricsRegistry` also emits
+``repro_span_total{span=...}`` on every span and
+``repro_span_seconds{span=...}`` when clocked, so span statistics ride
+along in the same exposition/snapshot as the counters.
+
+Span taxonomy (see ``docs/observability.md`` for the full table):
+
+===================== ====================================================
+``monitor.*``         service orchestration (observe_run, im_sample, gate,
+                      restore, log_append)
+``trr.*``             temporal restoration (static, spline, resmodel,
+                      fusion, dynamic, finetune)
+``srr.split``         spatial restoration (node -> CPU/MEM split)
+===================== ====================================================
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from .clock import Clock
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One closed span."""
+
+    name: str
+    parent: "str | None"
+    depth: int
+    duration_s: "float | None"  # None when the tracer has no clock
+
+
+@dataclass
+class SpanStats:
+    """Aggregate over every closed span of one name."""
+
+    count: int = 0
+    total_s: float = 0.0
+    max_s: float = 0.0
+    timed: bool = False
+
+    def add(self, duration_s: "float | None") -> None:
+        self.count += 1
+        if duration_s is not None:
+            self.timed = True
+            self.total_s += duration_s
+            self.max_s = max(self.max_s, duration_s)
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+
+class NullTracer:
+    """The ambient default: spans cost one dict-free context switch."""
+
+    records: "tuple[SpanRecord, ...]" = ()
+
+    @contextmanager
+    def span(self, name: str):
+        yield
+
+    def stats(self) -> "dict[str, SpanStats]":
+        return {}
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Records nested spans; optionally timed, optionally metric-emitting.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument seconds source. ``None`` records span counts and
+        nesting but no durations — the deterministic mode core code sees
+        under test.
+    registry:
+        When given, every closed span increments ``repro_span_total`` and
+        (if clocked) observes ``repro_span_seconds``.
+    max_records:
+        The flat span log is capped so a long-lived service cannot grow
+        without bound; aggregated :meth:`stats` keep counting past the cap.
+    """
+
+    def __init__(
+        self,
+        clock: "Clock | None" = None,
+        registry=None,
+        max_records: int = 4096,
+    ) -> None:
+        self.clock = clock
+        self.registry = registry
+        self.max_records = int(max_records)
+        self.records: "list[SpanRecord]" = []
+        self._stack: "list[str]" = []
+        self._stats: "dict[str, SpanStats]" = {}
+
+    @contextmanager
+    def span(self, name: str):
+        parent = self._stack[-1] if self._stack else None
+        depth = len(self._stack)
+        self._stack.append(name)
+        start = self.clock() if self.clock is not None else None
+        try:
+            yield
+        finally:
+            self._stack.pop()
+            duration = self.clock() - start if start is not None else None
+            record = SpanRecord(name=name, parent=parent, depth=depth,
+                                duration_s=duration)
+            if len(self.records) < self.max_records:
+                self.records.append(record)
+            self._stats.setdefault(name, SpanStats()).add(duration)
+            if self.registry is not None:
+                self.registry.counter(
+                    "repro_span_total", "Closed pipeline spans.", ("span",)
+                ).labels(span=name).inc()
+                if duration is not None:
+                    self.registry.histogram(
+                        "repro_span_seconds", "Span durations.", ("span",)
+                    ).labels(span=name).observe(duration)
+
+    # ------------------------------------------------------------- reading
+    def stats(self) -> "dict[str, SpanStats]":
+        return dict(self._stats)
+
+    def snapshot(self) -> "dict[str, dict]":
+        """JSON-able per-span aggregates."""
+        return {
+            name: {
+                "count": s.count,
+                "total_s": s.total_s,
+                "mean_s": s.mean_s,
+                "max_s": s.max_s,
+                "timed": s.timed,
+            }
+            for name, s in sorted(self._stats.items())
+        }
+
+    def render(self) -> str:
+        """A fixed-width per-span summary table."""
+        rows = [
+            (name, str(s.count),
+             f"{s.total_s * 1e3:.2f}" if s.timed else "-",
+             f"{s.mean_s * 1e6:.1f}" if s.timed else "-")
+            for name, s in sorted(self._stats.items())
+        ]
+        header = ("span", "count", "total ms", "mean us")
+        widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+                  for i, h in enumerate(header)]
+        lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
+        lines += ["  ".join(c.ljust(w) for c, w in zip(r, widths)) for r in rows]
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self.records.clear()
+        self._stats.clear()
+
+
+# --------------------------------------------------------------- ambient
+_tracer_stack: "list[Tracer]" = []
+
+
+def current_tracer() -> "Tracer | NullTracer":
+    """The innermost :func:`use_tracer` override, else the no-op tracer."""
+    return _tracer_stack[-1] if _tracer_stack else NULL_TRACER
+
+
+@contextmanager
+def use_tracer(tracer: Tracer):
+    """Route spans opened in this block into ``tracer``."""
+    _tracer_stack.append(tracer)
+    try:
+        yield tracer
+    finally:
+        _tracer_stack.pop()

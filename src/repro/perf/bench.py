@@ -141,6 +141,27 @@ def run(cases: "list[BenchCase]", repeats: int) -> "dict[str, dict]":
     return results
 
 
+def measure_monitor_overhead() -> "dict[str, float | int | bool]":
+    """End-to-end self-overhead: one tiny service observing one run.
+
+    The per-op cases above time isolated predict calls; this probe prices
+    the whole ``observe_run`` pipeline against the paper's 1 s sampling
+    budget, the same figure the chaos report and ``repro.obs.dump`` show.
+    The tiny training budget makes the *model* useless but leaves the
+    per-sample restoration cost representative.
+    """
+    # Upward import (faults sits above perf): confined to this CLI probe,
+    # which nothing imports back.
+    from ..faults.chaos import ChaosSettings, reference_run  # repro-lint: disable=layering
+    from ..obs import MetricsRegistry, use_registry
+
+    with use_registry(MetricsRegistry()):
+        service, bundle = reference_run(ChaosSettings.tiny())
+        service.register_node("bench")
+        service.observe_run("bench", bundle)
+    return service.profiler.report()
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -150,6 +171,8 @@ def main(argv: "list[str] | None" = None) -> int:
                         help="small sizes and few repeats (CI smoke subset)")
     parser.add_argument("--repeats", type=int, default=None,
                         help="timing repeats per op (default: 3 smoke, 7 full)")
+    parser.add_argument("--no-monitor", action="store_true",
+                        help="skip the end-to-end monitor self-overhead probe")
     parser.add_argument("--output", type=Path, default=Path(DEFAULT_OUTPUT),
                         help=f"output JSON path (default: {DEFAULT_OUTPUT})")
     args = parser.parse_args(argv)
@@ -165,6 +188,8 @@ def main(argv: "list[str] | None" = None) -> int:
         },
         "results": results,
     }
+    if not args.no_monitor:
+        payload["self_overhead"] = measure_monitor_overhead()
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
     width = max(len(name) for name in results)
@@ -174,6 +199,10 @@ def main(argv: "list[str] | None" = None) -> int:
             line += (f"  (before {entry['ns_per_sample_before']:.1f}, "
                      f"speedup {entry['speedup']:.1f}x)")
         print(line)
+    if "self_overhead" in payload:
+        from ..obs import render_overhead
+
+        print(render_overhead(payload["self_overhead"]))
     print(f"wrote {args.output}")
     return 0
 

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from .telemetry import record_predict
+
 
 def _relu_inplace(buf: np.ndarray) -> None:
     np.maximum(buf, 0.0, out=buf)
@@ -78,6 +80,7 @@ class CompiledMLP:
         return self._bufs
 
     def predict(self, X: np.ndarray) -> np.ndarray:
+        record_predict("mlp", "compiled", X.shape[0])
         bufs = self._buffers(X.shape[0])
         a = X
         last = len(self.weights) - 1

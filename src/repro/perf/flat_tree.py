@@ -39,6 +39,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import NotFittedError
+from .telemetry import record_predict
 
 # Levels descended between leaf checks. Checking every level pays a gather
 # + count + compaction per level; never checking runs every sample to
@@ -180,6 +181,7 @@ class CompiledTree:
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Vectorised frontier descent: one numpy step per tree level."""
         n, _ = X.shape
+        record_predict("tree", "compiled", n)
         out = np.empty(n)
         if n == 0:
             return out
@@ -229,6 +231,7 @@ class CompiledForest(CompiledTreeEnsemble):
     """Bagged-mean reduction over the stacked leaf values."""
 
     def predict(self, X: np.ndarray) -> np.ndarray:
+        record_predict("forest", "compiled", X.shape[0])
         return self.leaf_values(X).mean(axis=0)
 
 
@@ -242,6 +245,7 @@ class CompiledBoosting(CompiledTreeEnsemble):
         self.learning_rate = float(learning_rate)
 
     def predict(self, X: np.ndarray) -> np.ndarray:
+        record_predict("boosting", "compiled", X.shape[0])
         values = self.leaf_values(X)
         out = np.full(X.shape[0], self.init)
         for row in values:

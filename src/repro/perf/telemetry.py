@@ -1,0 +1,35 @@
+"""Dispatch counters for the inference hot paths.
+
+Every compiled predictor (``CompiledTree``/``Forest``/``Boosting``/``MLP``)
+and every reference walk (``_predict_walk``/``_predict_reference``) reports
+each call here, so the ambient :mod:`repro.obs` registry records *which*
+path served *how many* samples — the walk-vs-compiled dispatch mix and the
+batch-size distribution the flat-array layer was tuned for. One call costs
+two dict lookups and a float add; the predictors it annotates run matmuls
+and frontier descents, so the overhead is noise even at smoke batch sizes.
+"""
+
+from __future__ import annotations
+
+from ..obs import get_registry
+
+#: Batch-size buckets: single rows (online steps) through campaign batches.
+BATCH_BUCKETS: "tuple[float, ...]" = (
+    1.0, 8.0, 64.0, 512.0, 4096.0, 32768.0, 262144.0,
+)
+
+
+def record_predict(model: str, path: str, n_samples: int) -> None:
+    """Count one predict call of ``model`` via ``path`` over ``n_samples``."""
+    registry = get_registry()
+    registry.counter(
+        "repro_perf_predict_total",
+        "Predict calls by model and dispatch path (compiled vs walk).",
+        ("model", "path"),
+    ).labels(model=model, path=path).inc()
+    registry.histogram(
+        "repro_perf_batch_size",
+        "Samples per predict call.",
+        ("model", "path"),
+        buckets=BATCH_BUCKETS,
+    ).labels(model=model, path=path).observe(n_samples)

@@ -1,0 +1,133 @@
+"""Service-level observability: observe_run emits the metrics it promises.
+
+Uses the shared ``chaos_reference`` fixture (one trained service); each
+test registers its own uniquely-named nodes and asserts on counter
+*deltas*, so ordering against the other suites sharing the fixture does
+not matter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PROV_MEASURED, PROV_MODEL_ONLY, PROV_RESTORED
+from repro.faults.inject import FaultySensor
+from repro.obs import parse_prometheus, render_prometheus
+from repro.sensors.ipmi import IPMISensor
+
+
+def _counter_value(registry, name, **labels) -> float:
+    fam = registry.get(name)
+    if fam is None:
+        return 0.0
+    for sample_labels, child in fam.samples():
+        if sample_labels == labels:
+            return child.value
+    return 0.0
+
+
+@pytest.fixture()
+def service_and_bundle(chaos_reference):
+    return chaos_reference
+
+
+class TestObserveRunMetrics:
+    def test_provenance_mix_matches_result(self, service_and_bundle):
+        service, bundle = service_and_bundle
+        reg = service.registry
+        before = {
+            label: _counter_value(reg, "repro_monitor_samples_total",
+                                  provenance=label)
+            for label in ("measured", "restored", "model_only")
+        }
+        service.register_node("obs-healthy")
+        result = service.observe_run("obs-healthy", bundle)
+        prov = result.provenance
+        assert prov is not None
+        expected = {
+            "measured": int((prov == PROV_MEASURED).sum()),
+            "restored": int((prov == PROV_RESTORED).sum()),
+            "model_only": int((prov == PROV_MODEL_ONLY).sum()),
+        }
+        for label, count in expected.items():
+            delta = _counter_value(
+                reg, "repro_monitor_samples_total", provenance=label
+            ) - before[label]
+            assert delta == count, label
+        assert _counter_value(reg, "repro_monitor_runs_total",
+                              node="obs-healthy", mode=result.mode) == 1.0
+
+    def test_retry_counter_counts_transient_failures(self, service_and_bundle):
+        service, bundle = service_and_bundle
+        reg = service.registry
+        sensor = FaultySensor(
+            IPMISensor(service.spec, seed=41), seed=42, fail_first=2
+        )
+        service.register_node("obs-flaky", sensor=sensor)
+        result = service.observe_run("obs-flaky", bundle)
+        assert result.mode != "model_only"  # retries rescued the run
+        assert _counter_value(reg, "repro_monitor_retries_total",
+                              node="obs-flaky") == 2.0
+        assert _counter_value(reg, "repro_monitor_degraded_runs_total",
+                              node="obs-flaky") == 1.0
+        assert service.health("obs-flaky").retries == 2
+
+    def test_log_summary_matches_provenance(self, service_and_bundle):
+        service, bundle = service_and_bundle
+        service.register_node("obs-summary")
+        result = service.observe_run("obs-summary", bundle)
+        summary = service.log("obs-summary").summary()
+        assert summary["runs"] == 1
+        assert summary["samples"] == len(result)
+        assert summary["measured"] + summary["restored"] \
+            + summary["model_only"] == len(result)
+        assert summary["measured"] == int(
+            (result.provenance == PROV_MEASURED).sum()
+        )
+
+    def test_profiler_prices_the_run(self, service_and_bundle):
+        service, bundle = service_and_bundle
+        runs_before = service.profiler.runs
+        samples_before = service.profiler.samples
+        service.register_node("obs-profiled")
+        result = service.observe_run("obs-profiled", bundle)
+        assert service.profiler.runs == runs_before + 1
+        assert service.profiler.samples == samples_before + len(result)
+        # the service injects a real clock, so the run cost CPU time
+        assert service.profiler.clocked
+        assert service.profiler.seconds > 0.0
+        report = service.profiler.report()
+        assert report["budget_fraction"] == pytest.approx(
+            report["seconds_per_sample"] / report["sample_period_s"]
+        )
+
+    def test_pipeline_spans_recorded(self, service_and_bundle):
+        service, bundle = service_and_bundle
+        service.register_node("obs-spans")
+        service.observe_run("obs-spans", bundle)
+        stats = service.tracer.stats()
+        for span in ("monitor.observe_run", "monitor.im_sample",
+                     "monitor.gate", "monitor.restore",
+                     "monitor.log_append", "trr.dynamic", "srr.split"):
+            assert span in stats, span
+            assert stats[span].timed
+
+    def test_registry_exposition_round_trips(self, service_and_bundle):
+        service, bundle = service_and_bundle
+        service.register_node("obs-roundtrip")
+        service.observe_run("obs-roundtrip", bundle)
+        snap = service.registry.snapshot()
+        assert parse_prometheus(render_prometheus(service.registry)) == snap
+
+    def test_instrumentation_does_not_change_numerics(self, service_and_bundle):
+        service, bundle = service_and_bundle
+        service.register_node("obs-numerics-a")
+        service.register_node("obs-numerics-b")
+        a = service.observe_run("obs-numerics-a", bundle)
+        b = service.observe_run("obs-numerics-b", bundle)
+        # same trained model, same bundle, fresh sensors with distinct seeds
+        # produce *deterministic* per-node streams; the instrumented paths
+        # must not perturb them between calls.
+        assert a.p_node.shape == b.p_node.shape
+        assert np.isfinite(a.p_node).all()

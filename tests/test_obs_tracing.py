@@ -1,0 +1,159 @@
+"""Tracer nesting/aggregation and the self-overhead profiler arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    ManualClock,
+    MetricsRegistry,
+    OverheadProfiler,
+    Tracer,
+    current_tracer,
+    render_overhead,
+    use_tracer,
+)
+
+
+class TestTracer:
+    def test_nesting_parent_and_depth(self):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        by_name = {r.name: r for r in t.records}
+        assert by_name["outer"].parent is None
+        assert by_name["outer"].depth == 0
+        assert by_name["inner"].parent == "outer"
+        assert by_name["inner"].depth == 1
+
+    def test_unclocked_spans_have_no_duration(self):
+        t = Tracer()
+        with t.span("s"):
+            pass
+        assert t.records[0].duration_s is None
+        assert t.stats()["s"].timed is False
+
+    def test_clocked_durations_are_exact(self):
+        clock = ManualClock()
+        t = Tracer(clock=clock)
+        with t.span("outer"):
+            clock.advance(1.0)
+            with t.span("inner"):
+                clock.advance(0.25)
+        stats = t.stats()
+        assert stats["inner"].total_s == 0.25
+        assert stats["outer"].total_s == 1.25
+        assert stats["outer"].mean_s == 1.25
+
+    def test_stats_aggregate_and_survive_record_cap(self):
+        t = Tracer(max_records=2)
+        for _ in range(5):
+            with t.span("s"):
+                pass
+        assert len(t.records) == 2
+        assert t.stats()["s"].count == 5
+
+    def test_span_closes_on_exception(self):
+        t = Tracer()
+        with pytest.raises(RuntimeError):
+            with t.span("s"):
+                raise RuntimeError("boom")
+        assert t.stats()["s"].count == 1
+        # the stack unwound: a following span is top-level again
+        with t.span("after"):
+            pass
+        assert t.records[-1].parent is None
+
+    def test_registry_emission(self):
+        reg = MetricsRegistry()
+        clock = ManualClock()
+        t = Tracer(clock=clock, registry=reg)
+        with t.span("s"):
+            clock.advance(0.5)
+        total = reg.get("repro_span_total")
+        assert total.labels(span="s").value == 1.0
+        hist = reg.get("repro_span_seconds").labels(span="s")
+        assert hist.count == 1 and hist.sum == 0.5
+
+    def test_unclocked_tracer_emits_counts_only(self):
+        reg = MetricsRegistry()
+        t = Tracer(registry=reg)
+        with t.span("s"):
+            pass
+        assert reg.get("repro_span_total").labels(span="s").value == 1.0
+        assert reg.get("repro_span_seconds") is None
+
+    def test_render_lists_spans(self):
+        t = Tracer()
+        with t.span("alpha"):
+            pass
+        assert "alpha" in t.render()
+
+
+class TestAmbientTracer:
+    def test_default_is_null(self):
+        assert current_tracer() is NULL_TRACER
+        with NULL_TRACER.span("ignored"):
+            pass
+        assert NULL_TRACER.stats() == {}
+
+    def test_use_tracer_scopes_and_restores(self):
+        t = Tracer()
+        with use_tracer(t):
+            assert current_tracer() is t
+            with current_tracer().span("s"):
+                pass
+        assert current_tracer() is NULL_TRACER
+        assert t.stats()["s"].count == 1
+
+
+class TestOverheadProfiler:
+    def test_measure_accumulates(self):
+        clock = ManualClock()
+        p = OverheadProfiler(clock=clock, sample_period_s=1.0)
+        with p.measure() as cost:
+            clock.advance(0.3)
+            cost.samples = 150
+        assert p.runs == 1
+        assert p.samples == 150
+        assert p.seconds == 0.3
+        assert p.seconds_per_sample == pytest.approx(0.002)
+        assert p.budget_fraction == pytest.approx(0.002)
+
+    def test_budget_fraction_scales_with_period(self):
+        p = OverheadProfiler(clock=ManualClock(), sample_period_s=10.0)
+        p.record(samples=100, seconds=1.0)
+        assert p.seconds_per_sample == pytest.approx(0.01)
+        assert p.budget_fraction == pytest.approx(0.001)
+
+    def test_unclocked_counts_but_reports_zero_seconds(self):
+        p = OverheadProfiler()
+        with p.measure() as cost:
+            cost.samples = 10
+        report = p.report()
+        assert report["clocked"] is False
+        assert report["samples"] == 10
+        assert report["seconds_total"] == 0.0
+        assert "unclocked" in p.render()
+
+    def test_registry_emission(self):
+        reg = MetricsRegistry()
+        p = OverheadProfiler(clock=ManualClock(), registry=reg)
+        p.record(samples=200, seconds=1.0)
+        assert reg.get("repro_monitor_overhead_samples_total").value == 200
+        assert reg.get("repro_monitor_overhead_budget_fraction").value == \
+            pytest.approx(0.005)
+
+    def test_render_matches_report(self):
+        p = OverheadProfiler(clock=ManualClock())
+        p.record(samples=100, seconds=0.1)
+        assert p.render() == render_overhead(p.report())
+        assert "1.000 ms/sample" in p.render()
+
+    def test_reset(self):
+        p = OverheadProfiler(clock=ManualClock())
+        p.record(samples=5, seconds=0.5)
+        p.reset()
+        assert p.runs == 0 and p.samples == 0 and p.seconds == 0.0
