@@ -6,15 +6,25 @@ BMC (with its own noise/quantisation quirks), and the active-learning stage
 adapts the shared model with reinforcement samples from each node's
 unlabeled runs.
 
+The runs are observed through the :class:`FleetMonitor` front-end: all
+nodes advance chunk by chunk per tick and the cross-node model inference
+is batched through the compiled flat-array layer — bit-identical to
+sequential ``observe_run`` calls, cheaper per sample. A JSONL sink streams
+every chunk to disk as it is produced.
+
 Run with:  python examples/cluster_monitoring_service.py
 """
+
+import tempfile
+from pathlib import Path
 
 from repro.core import HighRPM, HighRPMConfig
 from repro.hardware import ARM_PLATFORM, NodeSimulator
 from repro.ml import mape
-from repro.monitor import PowerMonitorService
+from repro.monitor import FleetMonitor, PowerMonitorService
 from repro.obs import MetricsRegistry, render_prometheus
 from repro.sensors import IPMISensor
+from repro.stream import JsonlSink, iter_jsonl
 from repro.workloads import default_catalog
 
 
@@ -35,7 +45,11 @@ def main() -> None:
         p_upper=ARM_PLATFORM.max_node_power_w,
     )
     highrpm.fit_initial(train)
-    service = PowerMonitorService(highrpm, ARM_PLATFORM, registry=registry)
+    jsonl_path = Path(tempfile.mkstemp(suffix=".jsonl", prefix="cluster_")[1])
+    sink = JsonlSink(jsonl_path)
+    service = PowerMonitorService(
+        highrpm, ARM_PLATFORM, registry=registry, sinks=[sink]
+    )
 
     # ---- compute nodes: distinct hardware realisations --------------------
     node_sims = {
@@ -47,23 +61,31 @@ def main() -> None:
         )
 
     # ---- observe a mixed job stream per node ------------------------------
+    # Each wave schedules one job per node; the fleet monitor interleaves
+    # the three runs in 64-sample chunks and batches their ResModel/SRR
+    # predictions across nodes per tick.
     schedule = {
         "node-0": ["hpcg", "graph500_bfs"],
         "node-1": ["hpcc_fft", "spec_xz"],
         "node-2": ["smg2000", "parsec_canneal"],
     }
+    fleet = FleetMonitor(service, chunk_size=64)
     print(f"{'node':>7} | {'job':>15} | {'node W':>7} | {'CPU W':>6} | "
           f"{'MEM W':>6} | {'node MAPE%':>10}")
     print("-" * 66)
-    for node_id, jobs in schedule.items():
-        sim = node_sims[node_id]
-        for job in jobs:
-            bundle = sim.run(catalog.get(job), duration_s=200)
-            result = service.observe_run(node_id, bundle, online=True)
+    for wave in zip(*schedule.values()):
+        jobs = dict(zip(schedule, wave))
+        bundles = {
+            node_id: node_sims[node_id].run(catalog.get(job), duration_s=200)
+            for node_id, job in jobs.items()
+        }
+        results = fleet.observe_all(bundles, online=True)
+        for node_id, job in jobs.items():
+            result = results[node_id]
             print(
                 f"{node_id:>7} | {job:>15} | {result.p_node.mean():7.1f} | "
                 f"{result.p_cpu.mean():6.1f} | {result.p_mem.mean():6.1f} | "
-                f"{mape(bundle.node.values, result.p_node):10.2f}"
+                f"{mape(bundles[node_id].node.values, result.p_node):10.2f}"
             )
 
     # ---- active learning: adapt to one node's behaviour -------------------
@@ -78,6 +100,15 @@ def main() -> None:
     for node_id in service.node_ids:
         log = service.log(node_id)
         print(f"{node_id}: {len(log)} restored samples across runs {log.runs}")
+
+    # ---- the JSONL sink saw every chunk as it streamed ---------------------
+    sink.close()
+    records = list(iter_jsonl(jsonl_path))
+    chunks = [r for r in records if r["event"] == "chunk"]
+    ends = [r for r in records if r["event"] == "end_run"]
+    print(f"\nJSONL sink: {len(chunks)} chunk records, "
+          f"{len(ends)} run boundaries in {jsonl_path}")
+    jsonl_path.unlink()
 
     # ---- operator report for one node --------------------------------------
     from repro.monitor import render_node_report

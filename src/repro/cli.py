@@ -8,6 +8,8 @@ Usage (after ``pip install -e .``)::
     python -m repro ablation resmodel
     python -m repro campaign --out campaign.npz [--platform x86] [--seconds 120]
     python -m repro monitor --workload hpcg --out restored.csv
+    python -m repro monitor --workload hpcg --out fleet.csv --fleet 8 \
+        --chunk-size 64 --jsonl fleet.jsonl
 
 ``experiment`` regenerates one paper table/figure and prints it;
 ``campaign`` archives a full 96-benchmark measurement campaign;
@@ -105,6 +107,45 @@ def cmd_campaign(args) -> int:
     return 0
 
 
+def _monitor_fleet(args, hr, spec, catalog) -> int:
+    """Monitor one workload on N simulated nodes through the fleet path."""
+    from .monitor import FleetMonitor, PowerMonitorService
+    from .stream import JsonlSink
+
+    sinks = [JsonlSink(args.jsonl)] if args.jsonl else []
+    service = PowerMonitorService(hr, spec, sinks=sinks)
+    bundles = {}
+    for i in range(args.fleet):
+        node_id = f"node{i}"
+        service.register_node(
+            node_id,
+            sensor=IPMISensor(spec, interval_s=args.interval,
+                              seed=args.seed + i),
+        )
+        bundles[node_id] = NodeSimulator(spec, seed=args.seed + i).run(
+            catalog.get(args.workload), duration_s=args.seconds or 300
+        )
+    fleet = FleetMonitor(service, chunk_size=args.chunk_size or 256)
+    results = fleet.observe_all(bundles)
+    for sink in sinks:
+        sink.close()
+    first = next(iter(results))
+    repro_io.export_monitor_csv(
+        args.out, results[first].p_node, results[first].p_cpu,
+        results[first].p_mem,
+    )
+    total = sum(len(r) for r in results.values())
+    print(f"monitored {len(results)} nodes ({total} samples); "
+          f"wrote {first}'s restored run to {args.out}")
+    if args.jsonl:
+        print(f"streamed per-chunk records to {args.jsonl}")
+    for node_id, result in results.items():
+        truth = bundles[node_id].node.values
+        print(f"{node_id} [{result.mode}] "
+              f"node: {score_report(truth, result.p_node)}")
+    return 0
+
+
 def cmd_monitor(args) -> int:
     """Train a small model, monitor one workload, export CSV."""
     catalog = default_catalog(args.seed)
@@ -116,6 +157,8 @@ def cmd_monitor(args) -> int:
     hr = HighRPM(HighRPMConfig(miss_interval=args.interval),
                  p_bottom=spec.min_node_power_w, p_upper=spec.max_node_power_w)
     hr.fit_initial(train)
+    if args.fleet:
+        return _monitor_fleet(args, hr, spec, catalog)
     bundle = sim.run(catalog.get(args.workload), duration_s=args.seconds or 300)
     readings = IPMISensor(spec, interval_s=args.interval, seed=args.seed).sample(bundle)
     result = hr.monitor_online(bundle.pmcs.matrix, readings)
@@ -185,6 +228,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seconds", type=int)
     p.add_argument("--plot", action="store_true",
                    help="render terminal sparklines of the restored traces")
+    p.add_argument("--fleet", type=int, metavar="N",
+                   help="monitor N simulated nodes through the batched "
+                        "fleet front-end (exports the first node's CSV)")
+    p.add_argument("--chunk-size", type=int,
+                   help="streaming chunk size for the fleet path "
+                        "(default 256)")
+    p.add_argument("--jsonl", metavar="PATH",
+                   help="with --fleet: stream per-chunk JSONL records "
+                        "to this file")
     p.set_defaults(func=cmd_monitor)
     return parser
 

@@ -28,7 +28,7 @@ from .highrpm import (
     provenance_from_readings,
 )
 from .srr import SRR
-from .static_trr import StaticTRR, StaticTRRResult
+from .static_trr import StaticTRR, StaticTRRResult, StaticTRRStream
 from .uncertainty import DynamicTRREnsemble, UncertainRestoration
 
 __all__ = [
@@ -38,6 +38,7 @@ __all__ = [
     "build_windows",
     "StaticTRR",
     "StaticTRRResult",
+    "StaticTRRStream",
     "DynamicTRR",
     "OnlineTRRSession",
     "SRR",

@@ -22,6 +22,7 @@ a reduced learning rate — gentle enough not to erase offline training.
 from __future__ import annotations
 
 import copy
+from collections import deque
 
 import numpy as np
 
@@ -48,11 +49,19 @@ class OnlineTRRSession:
     #: (the model drifted unanchored and needs a stronger correction).
     RESYNC_BOOST = 3
 
-    def __init__(self, trr: "DynamicTRR") -> None:
+    def __init__(self, trr: "DynamicTRR", retain: bool = True) -> None:
         self._trr = trr
         self._model = copy.deepcopy(trr.model_)
-        self._pmcs: list[np.ndarray] = []
-        self._hold: list[float] = []  # hold-last-reading feature channel
+        # Session state is bounded: the window only ever looks back
+        # ``miss_interval`` steps, so the feature deques drop older rows.
+        w = trr.config.miss_interval
+        self._pmcs: "deque[np.ndarray]" = deque(maxlen=w)
+        self._hold: "deque[float]" = deque(maxlen=w)  # hold-last-reading channel
+        self._t = 0
+        #: retain=False keeps memory O(miss_interval) on arbitrarily long
+        #: runs: per-step estimates are returned but not accumulated (the
+        #: ``estimates``/``measured_mask`` properties stay empty).
+        self._retain = bool(retain)
         self._estimates: list[float] = []
         self._measured_mask: list[bool] = []
         self._buffer_X: list[np.ndarray] = []
@@ -60,6 +69,11 @@ class OnlineTRRSession:
         self._last_reading_t: "int | None" = None
         #: timestamps at which the feed recovered after an outage gap.
         self.resyncs: list[int] = []
+
+    @property
+    def t(self) -> int:
+        """Number of seconds processed so far."""
+        return self._t
 
     @property
     def estimates(self) -> np.ndarray:
@@ -72,11 +86,10 @@ class OnlineTRRSession:
         return np.asarray(self._measured_mask)
 
     def _window(self, t: int) -> np.ndarray:
+        # The deques hold exactly the last ``min(t+1, w)`` steps — the whole
+        # window; ``t`` must be the current step (kept for API familiarity).
         w = self._trr.config.miss_interval
-        rows = [
-            np.concatenate([self._pmcs[i], [self._hold[i]]])
-            for i in range(max(0, t - w + 1), t + 1)
-        ]
+        rows = [np.concatenate([p, [h]]) for p, h in zip(self._pmcs, self._hold)]
         while len(rows) < w:  # cold start: left-pad with the first row
             rows.insert(0, rows[0])
         return np.asarray(rows)[None, :, :]
@@ -124,7 +137,7 @@ class OnlineTRRSession:
             raise ValidationError(
                 f"expected {trr.n_pmcs_} PMCs per row, got {pmc_row.shape[0]}"
             )
-        t = len(self._pmcs)
+        t = self._t
         self._pmcs.append(pmc_row)
         prev_hold = self._hold[-1] if self._hold else (
             float(im_reading) if im_reading is not None else trr.train_power_mean_
@@ -153,8 +166,8 @@ class OnlineTRRSession:
             X = self._window(t)
             self._fine_tune(X, estimate - prev_hold,
                             boost=self.RESYNC_BOOST if recovered else 1)
-            self._hold[t] = estimate  # future windows hold the new reading
-            self._measured_mask.append(True)
+            self._hold[-1] = estimate  # future windows hold the new reading
+            measured = True
             self._last_reading_t = t
         else:
             self._hold.append(prev_hold)
@@ -163,9 +176,38 @@ class OnlineTRRSession:
             estimate = prev_hold + deviation
             # Physical clamping: a forecast cannot leave the platform range.
             estimate = float(np.clip(estimate, trr.p_bottom_, trr.p_upper_))
-            self._measured_mask.append(False)
-        self._estimates.append(estimate)
+            measured = False
+        self._t = t + 1
+        if self._retain:
+            self._measured_mask.append(measured)
+            self._estimates.append(estimate)
         return estimate
+
+    def run_chunk(
+        self, pmcs: np.ndarray, readings: "SparseReadings | None" = None
+    ) -> np.ndarray:
+        """Process the next chunk of a trace; returns its estimates.
+
+        ``readings`` is the run's full sparse stream (global indices); only
+        readings inside this chunk's span are consumed. Chunks must arrive
+        in order — the concatenated outputs are bit-identical to one
+        :meth:`run` over the whole trace.
+        """
+        pmcs = check_2d(pmcs, "pmcs")
+        start = self._t
+        stop = start + pmcs.shape[0]
+        if readings is None:
+            reading_at: "dict[int, float]" = {}
+        else:
+            lo = int(np.searchsorted(readings.indices, start, side="left"))
+            hi = int(np.searchsorted(readings.indices, stop, side="left"))
+            reading_at = dict(zip(readings.indices[lo:hi].tolist(),
+                                  readings.values[lo:hi].tolist()))
+        out = np.empty(pmcs.shape[0])
+        with current_tracer().span("trr.dynamic"):
+            for k in range(pmcs.shape[0]):
+                out[k] = self.step(pmcs[k], reading_at.get(start + k))
+        return out
 
     def run(self, pmcs: np.ndarray, readings: "SparseReadings | None") -> np.ndarray:
         """Process a whole trace given its sparse IM readings.
@@ -174,16 +216,7 @@ class OnlineTRRSession:
         second is a clamped forecast from the training-campaign power level
         — the degraded mode used during a full IM outage.
         """
-        pmcs = check_2d(pmcs, "pmcs")
-        reading_at = (
-            {}
-            if readings is None
-            else dict(zip(readings.indices.tolist(), readings.values.tolist()))
-        )
-        with current_tracer().span("trr.dynamic"):
-            for t in range(pmcs.shape[0]):
-                self.step(pmcs[t], reading_at.get(t))
-        return self.estimates
+        return self.run_chunk(pmcs, readings)
 
 
 class DynamicTRR:
@@ -244,14 +277,20 @@ class DynamicTRR:
         self.model_.fit(X_seq, Y_seq)
         return self
 
-    def session(self) -> OnlineTRRSession:
-        """A fresh streaming session with a private copy of the model."""
+    def session(self, retain: bool = True) -> OnlineTRRSession:
+        """A fresh streaming session with a private copy of the model.
+
+        ``retain=False`` keeps the session's memory bounded on arbitrarily
+        long runs (chunked callers collect ``run_chunk`` outputs instead of
+        reading ``session.estimates``).
+        """
         if self.model_ is None:
             raise NotFittedError("DynamicTRR.session before fit")
-        return OnlineTRRSession(self)
+        return OnlineTRRSession(self, retain=retain)
 
     def restore(
         self, pmcs: np.ndarray, readings: "SparseReadings | None"
     ) -> np.ndarray:
         """One-shot restoration of a full trace (runs a session over it)."""
+        pmcs = check_2d(pmcs, "pmcs")
         return self.session().run(pmcs, readings)

@@ -28,9 +28,9 @@ from ..utils.validation import check_2d
 from .active_learning import ReinforcementSampler, SamplePool
 from .config import HighRPMConfig
 from .dataset import build_flat_dataset
-from .dynamic_trr import DynamicTRR
+from .dynamic_trr import DynamicTRR, OnlineTRRSession
 from .srr import SRR
-from .static_trr import StaticTRR
+from .static_trr import StaticTRR, StaticTRRStream
 
 
 #: Per-sample provenance codes: the estimate is a direct IM measurement, a
@@ -55,6 +55,8 @@ def provenance_from_readings(
     readings: SparseReadings,
     interval_s: "int | None" = None,
     outage_factor: float = 2.0,
+    start: int = 0,
+    stop: "int | None" = None,
 ) -> np.ndarray:
     """Per-sample provenance codes for a restoration over ``readings``.
 
@@ -62,10 +64,15 @@ def provenance_from_readings(
     when the nearest reading is within ``outage_factor · interval_s``
     seconds (normal restoration reach), and ``PROV_MODEL_ONLY`` beyond that
     — inside an outage the estimator is extrapolating without an anchor.
+
+    ``start``/``stop`` restrict the output to the sample span ``[start,
+    stop)`` of the ``n``-sample trace (chunked callers); per-sample values
+    are identical to slicing the whole-trace result.
     """
     interval = int(readings.interval_s if interval_s is None else interval_s)
+    stop = n if stop is None else int(stop)
     idx = readings.indices
-    t = np.arange(n, dtype=np.int64)
+    t = np.arange(start, stop, dtype=np.int64)
     far = np.int64(n + 1)
     right_pos = np.searchsorted(idx, t, side="right")
     prev_dist = np.where(right_pos > 0, t - idx[np.maximum(right_pos - 1, 0)], far)
@@ -77,7 +84,8 @@ def provenance_from_readings(
     prov = np.where(
         nearest > outage_factor * interval, PROV_MODEL_ONLY, PROV_RESTORED
     ).astype(np.uint8)
-    prov[idx[idx < n]] = PROV_MEASURED
+    measured = idx[(idx >= start) & (idx < stop)]
+    prov[measured - start] = PROV_MEASURED
     return prov
 
 
@@ -243,6 +251,92 @@ class HighRPM:
         return MonitorResult(
             p_node=p_node, p_cpu=p_cpu, p_mem=p_mem, mode="model_only",
             provenance=np.full(pmcs.shape[0], PROV_MODEL_ONLY, dtype=np.uint8),
+        )
+
+    # ------------------------------------------------------------- streaming
+    def offline_stream(
+        self, pmcs_rows: np.ndarray, readings: SparseReadings
+    ) -> "StaticTRRStream":
+        """Fit a per-run StaticTRR and return its bounded-memory stream.
+
+        ``pmcs_rows`` are the PMC rows at the reading instants only —
+        streaming callers never need the dense matrix up front. Chunk
+        outputs concatenate bit-identically to :meth:`monitor_offline`'s
+        ``p_node``.
+        """
+        self._require_fitted()
+        pmcs_rows = check_2d(pmcs_rows, "pmcs_rows")
+        static = StaticTRR(self.config, p_upper=self.p_upper, p_bottom=self.p_bottom)
+        return static.fit_stream(pmcs_rows, readings)
+
+    def online_session(self, retain: bool = False) -> "OnlineTRRSession":
+        """A fresh bounded-memory DynamicTRR session for chunked feeding."""
+        self._require_fitted()
+        return self.dynamic_trr.session(retain=retain)
+
+    def monitor_stream(
+        self,
+        pmcs: np.ndarray,
+        readings: "SparseReadings | None",
+        online: bool = True,
+        chunk_size: int = 256,
+    ):
+        """Restore a run incrementally in fixed-size chunks (bounded state).
+
+        A generator of ``(start, MonitorResult)`` pieces in trace order.
+        ``readings=None`` selects model-only mode. The static path's output
+        chunks lag its input chunks by half a miss-interval (Algorithm-1
+        holds reach that far back), so pieces are not aligned with the
+        ``chunk_size`` grid — but they tile ``[0, n)`` exactly, and their
+        concatenation is bit-identical to the matching whole-run
+        ``monitor_online`` / ``monitor_offline`` / ``monitor_model_only``
+        call.
+        """
+        self._require_fitted()
+        pmcs = check_2d(pmcs, "pmcs")
+        n = pmcs.shape[0]
+        if chunk_size < 1:
+            raise ValidationError(f"chunk_size must be >= 1, got {chunk_size}")
+        if readings is not None and readings.n_dense != n:
+            raise ValidationError(
+                f"readings cover {readings.n_dense} samples but pmcs has {n}"
+            )
+        if readings is not None and not online:
+            stream = self.offline_stream(pmcs[readings.indices], readings)
+            for start in range(0, n, chunk_size):
+                out_start, part = stream.restore_chunk(pmcs[start:start + chunk_size])
+                piece = self._stream_piece(pmcs, readings, out_start, part, "static")
+                if piece is not None:
+                    yield piece
+            out_start, part = stream.finish()
+            piece = self._stream_piece(pmcs, readings, out_start, part, "static")
+            if piece is not None:
+                yield piece
+            return
+        mode = "dynamic" if readings is not None else "model_only"
+        session = self.dynamic_trr.session(retain=False)
+        for start in range(0, n, chunk_size):
+            p_node = session.run_chunk(pmcs[start:start + chunk_size], readings)
+            piece = self._stream_piece(pmcs, readings, start, p_node, mode)
+            if piece is not None:
+                yield piece
+
+    def _stream_piece(self, pmcs, readings, start, p_node, mode):
+        """SRR + provenance for one finalised span; None when it is empty."""
+        if p_node.shape[0] == 0:
+            return None
+        stop = start + p_node.shape[0]
+        p_cpu, p_mem = self.srr.predict(pmcs[start:stop], p_node)
+        if mode == "model_only":
+            prov = np.full(stop - start, PROV_MODEL_ONLY, dtype=np.uint8)
+        else:
+            prov = provenance_from_readings(
+                pmcs.shape[0], readings,
+                outage_factor=self.config.resync_gap_factor,
+                start=start, stop=stop,
+            )
+        return start, MonitorResult(
+            p_node=p_node, p_cpu=p_cpu, p_mem=p_mem, mode=mode, provenance=prov
         )
 
     def _provenance(self, n: int, readings: SparseReadings) -> np.ndarray:

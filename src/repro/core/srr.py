@@ -141,3 +141,37 @@ class SRR:
                 return share * budget, (1.0 - share) * budget
             out = self.model_.predict(pmcs)
             return np.maximum(out[:, 0], 0.0), np.maximum(out[:, 1], 0.0)
+
+    def predict_batched(
+        self, parts: "list[tuple[np.ndarray, np.ndarray | None]]"
+    ) -> "list[tuple[np.ndarray, np.ndarray]]":
+        """(P_CPU, P_MEM) for many runs' chunks in one forward pass.
+
+        ``parts`` holds ``(pmcs, p_node)`` pairs, one per pending chunk (a
+        fleet tick batches one chunk per node). The concatenated MLP
+        forward amortizes per-call overhead across the fleet; per-part
+        outputs are bit-identical to calling :meth:`predict` on each part
+        (the compiled forward is batch-size independent).
+        """
+        if self.model_ is None:
+            raise NotFittedError("SRR.predict before fit")
+        checked = [self._check_inputs(pmcs, p_node) for pmcs, p_node in parts]
+        if not checked:
+            return []
+        bounds = np.cumsum([pmcs.shape[0] for pmcs, _ in checked])[:-1]
+        with current_tracer().span("srr.split"):
+            if self.use_pnode:
+                X = np.concatenate(
+                    [np.column_stack([p_node, pmcs]) for pmcs, p_node in checked]
+                )
+                shares = np.split(self._sigmoid(self.model_.predict(X)), bounds)
+                out = []
+                for (_, p_node), share in zip(checked, shares):
+                    budget = np.maximum(p_node - self.other_w_, 0.0)
+                    out.append((share * budget, (1.0 - share) * budget))
+                return out
+            raw = self.model_.predict(np.concatenate([pmcs for pmcs, _ in checked]))
+            return [
+                (np.maximum(r[:, 0], 0.0), np.maximum(r[:, 1], 0.0))
+                for r in np.split(raw, bounds)
+            ]

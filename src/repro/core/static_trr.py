@@ -100,28 +100,17 @@ class StaticTRR:
             raise ValidationError(f"invalid power limits: [{lo}, {hi}]")
         return float(lo), float(hi)
 
-    def fit_restore(
-        self, pmcs: np.ndarray, readings: SparseReadings
-    ) -> StaticTRRResult:
-        """Fit on one trace's sparse readings and restore it to 1 Sa/s."""
-        pmcs = check_2d(pmcs, "pmcs")
-        n = pmcs.shape[0]
-        if readings.n_dense != n:
-            raise ValidationError(
-                f"readings cover {readings.n_dense} samples but pmcs has {n}"
-            )
-        if len(readings) < 4:
-            raise ValidationError("StaticTRR needs at least four IM readings")
+    def _fit_models(self, pmcs_rows: np.ndarray, readings: SparseReadings) -> None:
+        """Fit the spline and ResModel from the readings and the PMC rows at
+        the reading instants (steps 1 and 2 minus the dense predictions)."""
         idx = readings.indices
         vals = readings.values
         self._lo, self._hi = self._limits(readings)
-        t_all = np.arange(n, dtype=np.float64)
         tracer = current_tracer()
 
         # Step 1: trend from all readings.
         with tracer.span("trr.spline"):
             self.spline_ = self._trend_factory().fit(idx.astype(float), vals)
-            p_splined = self.spline_.predict(t_all)
 
         # Step 2: cross-fitted residual targets at the labeled points.
         with tracer.span("trr.resmodel"):
@@ -142,12 +131,38 @@ class StaticTRR:
                 residual_targets = np.abs(residual_targets)
 
             self.res_model_ = self._res_model_factory()
-            self.res_model_.fit(pmcs[idx], residual_targets)
+            self.res_model_.fit(pmcs_rows, residual_targets)
             # Flatten the freshly fitted ResModel eagerly: the dense
-            # prediction below (and any later re-restore) runs over the whole
-            # trace, which is exactly the batch shape the compiled descent is
-            # built for.
+            # prediction (and any later re-restore) runs over whole traces or
+            # fleet-stacked chunks, exactly the batch shapes the compiled
+            # descent is built for.
             precompile(self.res_model_)
+
+    def _check_trace(self, readings: SparseReadings, n: int) -> None:
+        if readings.n_dense != n:
+            raise ValidationError(
+                f"readings cover {readings.n_dense} samples but pmcs has {n}"
+            )
+        if len(readings) < 4:
+            raise ValidationError("StaticTRR needs at least four IM readings")
+
+    def fit_restore(
+        self, pmcs: np.ndarray, readings: SparseReadings
+    ) -> StaticTRRResult:
+        """Fit on one trace's sparse readings and restore it to 1 Sa/s."""
+        pmcs = check_2d(pmcs, "pmcs")
+        n = pmcs.shape[0]
+        self._check_trace(readings, n)
+        idx = readings.indices
+        vals = readings.values
+        self._fit_models(pmcs[idx], readings)
+        t_all = np.arange(n, dtype=np.float64)
+        tracer = current_tracer()
+
+        with tracer.span("trr.spline"):
+            p_splined = self.spline_.predict(t_all)
+
+        with tracer.span("trr.resmodel"):
             residual_hat = self.res_model_.predict(pmcs)
             if not self.config.residual_signed:
                 # Unsigned mode (the paper's ABS target): apply the magnitude
@@ -203,3 +218,223 @@ class StaticTRR:
     def restore(self, pmcs: np.ndarray, readings: SparseReadings) -> np.ndarray:
         """Convenience: fit_restore and return only the fused estimate."""
         return self.fit_restore(pmcs, readings).p_trr
+
+    # ------------------------------------------------------------- streaming
+    def fit_stream(
+        self, pmcs_rows: np.ndarray, readings: SparseReadings
+    ) -> "StaticTRRStream":
+        """Fit from the readings alone and return a bounded-memory stream.
+
+        ``pmcs_rows`` are the PMC rows *at the reading instants* (shape
+        ``(len(readings), d)``) — the only dense data the fit needs. The
+        returned stream restores the trace chunk by chunk; concatenating
+        its outputs is bit-identical to ``fit_restore(...).p_trr`` on the
+        same trace.
+        """
+        pmcs_rows = check_2d(pmcs_rows, "pmcs_rows")
+        self._check_trace(readings, int(readings.n_dense))
+        if pmcs_rows.shape[0] != len(readings):
+            raise ValidationError(
+                f"fit_stream needs one PMC row per reading: got "
+                f"{pmcs_rows.shape[0]} rows for {len(readings)} readings"
+            )
+        self._fit_models(pmcs_rows, readings)
+        return StaticTRRStream(self, readings)
+
+
+class _FusionScan:
+    """Streaming, bit-exact replay of :meth:`StaticTRR._post_process`.
+
+    Operation 1 is the only non-elementwise step of Algorithm 1: a hold at
+    sample ``i`` copies the (already mutated) spline level across the
+    window ``[i − half, i + half)``, and later holds read earlier holds'
+    writes. The scan keeps a working buffer of not-yet-final spline values
+    and applies holds in global ascending order — forward writes that spill
+    past the fed frontier are queued in ``_pending`` and land before the
+    next chunk's own holds. A position is final once every hold that can
+    reach it has been applied, i.e. with a lag of ``half`` samples behind
+    the feed. Operations 2/3, the agreement-band fusion, the clip and the
+    measured-sample override are elementwise and run at finalisation.
+    """
+
+    def __init__(self, config: HighRPMConfig, lo: float, hi: float,
+                 readings: SparseReadings) -> None:
+        self._half = config.miss_interval // 2
+        self._alpha = config.alpha
+        self._beta = config.beta
+        self._thresh = config.spike_fraction * (hi - lo)
+        self._lo = lo
+        self._hi = hi
+        self._idx = readings.indices
+        self._vals = readings.values
+        self.n = int(readings.n_dense)
+        self.fed = 0
+        self.emitted = 0
+        self._w = np.empty(0)  # working spline values for [emitted, fed)
+        self._res = np.empty(0)  # original residual estimates, same span
+        #: forward hold writes beyond the fed frontier, in hold order.
+        self._pending: "list[tuple[int, int, float]]" = []
+
+    # Hot path (called once per fed chunk): inputs are the stream's own
+    # spline/residual predictions, already shaped by StaticTRRStream which
+    # validated the caller's chunk at the boundary.
+    # repro-lint: disable=boundary-validation
+    def feed(self, p_splined: np.ndarray, p_residual: np.ndarray
+             ) -> tuple[int, np.ndarray]:
+        """Advance the scan by one chunk; returns the newly final span."""
+        start = self.fed
+        stop = start + p_splined.shape[0]
+        if stop > self.n:
+            raise ValidationError(
+                f"fed {stop} samples into a {self.n}-sample trace"
+            )
+        base = self.emitted
+        w = np.concatenate([self._w, p_splined])
+        res = np.concatenate([self._res, p_residual])
+        # Earlier chunks' holds whose windows spill into (or past) this span.
+        still_pending = []
+        for w_start, w_stop, v in self._pending:
+            w[w_start - base:min(w_stop, stop) - base] = v
+            if w_stop > stop:
+                still_pending.append((stop, w_stop, v))
+        self._pending = still_pending
+        # Operation 1 over the newly fed span, ascending — each hold reads
+        # the working buffer, so earlier holds' writes propagate exactly as
+        # in the in-place reference loop.
+        mutation = p_residual - p_splined
+        for i in np.flatnonzero(np.abs(mutation) >= self._thresh) + start:
+            v = w[i - base]
+            w_start = max(0, i - self._half)
+            w_stop = min(self.n, i + self._half)
+            w[w_start - base:min(w_stop, stop) - base] = v
+            if w_stop > stop:
+                self._pending.append((stop, w_stop, v))
+        self._w = w
+        self._res = res
+        self.fed = stop
+        return self._finalize(max(base, stop - self._half))
+
+    def flush(self) -> tuple[int, np.ndarray]:
+        """Finalise the trailing ``half`` samples once the trace is fed."""
+        if self.fed != self.n:
+            raise ValidationError(
+                f"flush before the trace is complete: fed {self.fed} of {self.n}"
+            )
+        return self._finalize(self.n)
+
+    def _finalize(self, to: int) -> tuple[int, np.ndarray]:
+        base = self.emitted
+        if to <= base:
+            return base, np.empty(0)
+        k = to - base
+        w = self._w[:k]
+        r = self._res[:k].copy()
+        # Operations 2 & 3: out-of-range ResModel output is distrusted.
+        out_of_range = (r >= self._hi) | (r <= self._lo)
+        r[out_of_range] = w[out_of_range]
+        # Fusion by agreement band (spline wins outside the mid band).
+        gap = np.abs(w - r)
+        floor = np.minimum(np.abs(w), np.abs(r))
+        mid = (gap > self._alpha * floor) & (gap <= self._beta * floor)
+        p_trr = np.where(mid, 0.5 * (w + r), w)
+        p_trr = np.clip(p_trr, self._lo, self._hi)
+        # Observed instants keep their readings — they are measurements.
+        sel_lo = int(np.searchsorted(self._idx, base, side="left"))
+        sel_hi = int(np.searchsorted(self._idx, to, side="left"))
+        p_trr[self._idx[sel_lo:sel_hi] - base] = self._vals[sel_lo:sel_hi]
+        self._w = self._w[k:]
+        self._res = self._res[k:]
+        self.emitted = to
+        return base, p_trr
+
+
+class StaticTRRStream:
+    """Bounded-memory chunked restoration from a fitted :class:`StaticTRR`.
+
+    Obtained via :meth:`StaticTRR.fit_stream`. Feed the trace's PMC rows in
+    order with :meth:`restore_chunk`; outputs lag inputs by half a
+    miss-interval (an Operation-1 hold at ``i`` rewrites ``[i − half,
+    i + half)``, so a sample is final only once the scan has advanced
+    ``half`` samples past it). :meth:`finish` flushes the tail. State is
+    O(chunk + miss_interval) regardless of trace length.
+    """
+
+    def __init__(self, trr: StaticTRR, readings: SparseReadings) -> None:
+        self._trr = trr
+        self.n = int(readings.n_dense)
+        self._scan = _FusionScan(trr.config, trr._lo, trr._hi, readings)
+
+    @property
+    def samples_fed(self) -> int:
+        return self._scan.fed
+
+    @property
+    def samples_emitted(self) -> int:
+        return self._scan.emitted
+
+    def restore_chunk(
+        self, pmc_chunk: np.ndarray, residual_hat: "np.ndarray | None" = None
+    ) -> tuple[int, np.ndarray]:
+        """Feed the next chunk; returns ``(start, p_trr_part)`` finalised.
+
+        ``residual_hat`` optionally supplies the raw ResModel prediction
+        for the chunk (the fleet monitor batches it across nodes); it must
+        equal ``res_model_.predict(pmc_chunk)``.
+        """
+        pmc_chunk = check_2d(pmc_chunk, "pmc_chunk")
+        trr = self._trr
+        start = self._scan.fed
+        stop = start + pmc_chunk.shape[0]
+        if stop > self.n:
+            raise ValidationError(
+                f"chunk [{start}, {stop}) overruns the {self.n}-sample trace"
+            )
+        tracer = current_tracer()
+        t = np.arange(start, stop, dtype=np.float64)
+        with tracer.span("trr.spline"):
+            p_splined = trr.spline_.predict(t)
+        with tracer.span("trr.resmodel"):
+            if residual_hat is None:
+                residual_hat = trr.res_model_.predict(pmc_chunk)
+            else:
+                residual_hat = np.asarray(residual_hat, dtype=np.float64)
+                if residual_hat.shape != (pmc_chunk.shape[0],):
+                    raise ValidationError(
+                        f"residual_hat has shape {residual_hat.shape}, "
+                        f"expected ({pmc_chunk.shape[0]},)"
+                    )
+            if not trr.config.residual_signed:
+                residual_hat = residual_hat * np.sign(
+                    self._trend_gradient(start, stop) + 1e-12
+                )
+            p_residual = p_splined + residual_hat
+        with tracer.span("trr.fusion"):
+            return self._scan.feed(p_splined, p_residual)
+
+    def finish(self) -> tuple[int, np.ndarray]:
+        """Flush the trailing half-window once the whole trace is fed."""
+        with current_tracer().span("trr.fusion"):
+            return self._scan.flush()
+
+    def _trend_gradient(self, start: int, stop: int) -> np.ndarray:
+        """``np.gradient`` of the dense spline trend, restricted to a span.
+
+        Bit-identical to ``np.gradient(spline.predict(arange(n)))[start:stop]``:
+        one extra spline point on each side supplies the centred differences,
+        and the trace edges fall back to the same one-sided differences.
+        """
+        if stop == start:
+            return np.empty(0)
+        n = self.n
+        a = max(0, start - 1)
+        b = min(n, stop + 1)
+        s = self._trr.spline_.predict(np.arange(a, b, dtype=np.float64))
+        pos = np.arange(start, stop) - a
+        left = np.maximum(pos - 1, 0)
+        right = np.minimum(pos + 1, b - 1 - a)
+        g = (s[right] - s[left]) / 2.0
+        if start == 0:
+            g[0] = s[1] - s[0]
+        if stop == n:
+            g[-1] = s[-1] - s[-2]
+        return g

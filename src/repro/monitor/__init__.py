@@ -11,10 +11,13 @@ from .assisted import AssistedCapController, run_assisted_capped
 from .budget import ClusterPowerBudget, NodeDemand
 from .capping import CappingPolicy, PowerCapController, run_capped
 from .energy import EnergyAccount, energy_of, peak_of
+from .fleet import FleetMonitor
+from .pipeline import ObservationContext, build_pipeline
 from .report import RunSummary, render_node_report, summarise_runs
 from .resilience import DEGRADED, HEALTHY, OUTAGE, NodeHealth, ResiliencePolicy
 from .scheduler import EnergyAwareScheduler, Job, ScheduleOutcome
 from .service import MonitorLog, PowerMonitorService
+from .sinks import MemoryLogSink
 
 __all__ = [
     "Anomaly",
@@ -29,6 +32,10 @@ __all__ = [
     "peak_of",
     "MonitorLog",
     "PowerMonitorService",
+    "ObservationContext",
+    "build_pipeline",
+    "MemoryLogSink",
+    "FleetMonitor",
     "NodeHealth",
     "ResiliencePolicy",
     "HEALTHY",

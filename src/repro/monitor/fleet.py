@@ -1,0 +1,181 @@
+"""Fleet front-end: many nodes, one shared model, batched inference.
+
+The paper's deployment is one HighRPM service shared by many computing
+nodes (§4.1). Observing the fleet one ``observe_run`` at a time pays every
+per-call inference overhead — the ResModel frontier setup, the SRR
+forward — once *per node per chunk*. :class:`FleetMonitor` interleaves the
+registered nodes' runs chunk by chunk and, per tick, batches the
+cross-node predict calls through the compiled flat-array layer:
+
+* static runs' per-run ResModel trees are fused into one
+  :class:`~repro.perf.TreeStack` frontier descent over every node's
+  pending chunk;
+* the shared SRR MLP attributes every node's restored chunk in one
+  concatenated forward pass.
+
+Both batched paths are bit-identical per node to the sequential
+``observe_run`` pipeline (the compiled predictors are batch-size
+independent), so fleet results equal single-node results exactly.
+"""
+
+from __future__ import annotations
+
+from ..core.highrpm import MonitorResult
+from ..errors import ValidationError
+from ..obs import use_registry, use_tracer
+from ..perf.batch import TreeStack, single_tree_of
+from ..types import TraceBundle
+from .pipeline import ObservationContext, input_chunks
+
+
+class _FleetRun:
+    """One node's in-flight run (context, chunk source, collected output)."""
+
+    __slots__ = ("ctx", "source", "chunks", "before", "exhausted")
+
+    def __init__(self, ctx, source, before) -> None:
+        self.ctx = ctx
+        self.source = source
+        self.chunks = []
+        self.before = before
+        self.exhausted = False
+
+
+class FleetMonitor:
+    """Interleaves runs from N registered nodes through one service.
+
+    ``submit`` opens a run per node (at most one in flight per node);
+    every ``tick`` advances each active run by one ``chunk_size`` chunk,
+    batching ResModel and SRR inference across the fleet. ``observe_all``
+    is the submit-and-drain convenience wrapper.
+    """
+
+    def __init__(self, service, chunk_size: int = 256) -> None:
+        if chunk_size < 1:
+            raise ValidationError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.service = service
+        self.chunk_size = int(chunk_size)
+        self._runs: "dict[str, _FleetRun]" = {}
+
+    @property
+    def active_nodes(self) -> tuple:
+        return tuple(self._runs)
+
+    def submit(self, node_id: str, bundle: TraceBundle, online: bool = True) -> None:
+        """Open one run for a node (ingest + gate happen here)."""
+        service = self.service
+        if node_id not in service._nodes:
+            raise ValidationError(f"unknown node {node_id!r}; register it first")
+        if node_id in self._runs:
+            raise ValidationError(f"node {node_id!r} already has an active run")
+        health = service._health[node_id]
+        before = (health.retries, health.gated_readings,
+                  health.outages, health.degraded_runs)
+        ctx = ObservationContext(service, node_id, bundle, online, self.chunk_size)
+        with use_registry(service.registry), use_tracer(service.tracer):
+            try:
+                with service.tracer.span("fleet.submit"):
+                    service._pipeline.open_run(ctx)
+            except Exception:
+                service.registry.counter(
+                    "repro_monitor_failed_runs_total",
+                    "observe_run calls that raised.", ("node",),
+                ).labels(node=node_id).inc()
+                raise
+        self._runs[node_id] = _FleetRun(ctx, input_chunks(ctx), before)
+
+    def tick(self) -> "dict[str, MonitorResult]":
+        """Advance every active run by one chunk; returns finished runs."""
+        service = self.service
+        pipeline = service._pipeline
+        if not self._runs:
+            return {}
+        completed: "list[tuple[str, _FleetRun]]" = []
+        with use_registry(service.registry), use_tracer(service.tracer), \
+                service.profiler.measure() as cost:
+            with service.tracer.span("fleet.tick"):
+                cost.samples = self._advance(pipeline)
+            for node_id in [nid for nid, r in self._runs.items() if r.exhausted]:
+                run = self._runs.pop(node_id)
+                pipeline.close_run(run.ctx)
+                result = service._assemble(run.ctx, run.chunks)
+                service._finish_run(run.ctx, result)
+                completed.append((node_id, result, run.before))
+        finished = {}
+        for node_id, result, before in completed:
+            service._emit_run_metrics(node_id, result, before)
+            finished[node_id] = result
+        return finished
+
+    def _advance(self, pipeline) -> int:
+        """One interleaved step: ingest/gate → batched restore → batched
+        attribute → sink for every active run. Returns samples processed."""
+        samples = 0
+        pending = []  # (run, chunk) ready for the restore stage
+        for run in self._runs.values():
+            chunk = next(run.source, None)
+            if chunk is None:  # defensive: empty source
+                run.exhausted = True
+                continue
+            samples += chunk.n_samples
+            run.exhausted = chunk.final
+            for c in pipeline.apply(run.ctx, chunk, 0):    # ingest
+                for c2 in pipeline.apply(run.ctx, c, 1):   # gate
+                    pending.append((run, c2))
+        self._batch_residuals(pending)
+        restored = []
+        for run, chunk in pending:
+            for c in pipeline.apply(run.ctx, chunk, 2):    # restore
+                restored.append((run, c))
+        self._batch_attribution(restored)
+        for run, chunk in restored:
+            for c in pipeline.apply(run.ctx, chunk, 3):    # attribute
+                for c2 in pipeline.apply(run.ctx, c, 4):   # sink
+                    run.chunks.append(c2)
+        return samples
+
+    def _batch_residuals(self, pending) -> None:
+        """Pre-fill static chunks' ResModel outputs with one TreeStack
+        descent across nodes (the restore stage then skips its own call)."""
+        static = [
+            (run, chunk) for run, chunk in pending
+            if run.ctx.mode == "static" and chunk.residual_hat is None
+        ]
+        trees = [
+            single_tree_of(run.ctx.restorer._trr.res_model_)
+            for run, _ in static
+        ]
+        batchable = [
+            (run, chunk, tree)
+            for (run, chunk), tree in zip(static, trees) if tree is not None
+        ]
+        if len(batchable) < 2:
+            return  # nothing to amortize; per-chunk predict is identical
+        stack = TreeStack([tree for _, _, tree in batchable])
+        parts = stack.predict([chunk.pmcs for _, chunk, _ in batchable])
+        for (_, chunk, _), residual_hat in zip(batchable, parts):
+            chunk.residual_hat = residual_hat
+
+    def _batch_attribution(self, restored) -> None:
+        """Pre-fill (P_CPU, P_MEM) with one SRR forward for the tick."""
+        todo = [(run, c) for run, c in restored if c.p_cpu is None]
+        if len(todo) < 2:
+            return
+        with self.service.tracer.span("monitor.attribute"):
+            splits = self.service.model.srr.predict_batched(
+                [(c.pmcs, c.p_node) for _, c in todo]
+            )
+        for (_, c), (p_cpu, p_mem) in zip(todo, splits):
+            c.p_cpu, c.p_mem = p_cpu, p_mem
+
+    def observe_all(
+        self, runs, online: bool = True
+    ) -> "dict[str, MonitorResult]":
+        """Submit ``{node_id: bundle}`` (or pairs) and tick until drained."""
+        items = runs.items() if hasattr(runs, "items") else runs
+        for node_id, bundle in items:
+            self.submit(node_id, bundle, online=online)
+        results: "dict[str, MonitorResult]" = {}
+        while self._runs:
+            results.update(self.tick())
+        return results

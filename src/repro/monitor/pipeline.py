@@ -1,0 +1,248 @@
+"""The observation pipeline: ingest → gate → restore → attribute → sink.
+
+This is ``PowerMonitorService._observe`` decomposed into reusable
+:class:`~repro.stream.Stage` objects. Stages are stateless; everything
+mutable for one observed run lives on the :class:`ObservationContext`, so
+the same stage instances serve many interleaved runs (the fleet front-end
+drives one context per node through the shared stages).
+
+Degradation policy is centralised in
+:meth:`ObservationContext.fail_or_degrade`: any stage that finds the IM
+feed unusable either raises (strict policies) or flags the whole run for
+model-only restoration — the bookkeeping that used to be duplicated
+between ``_observe`` and ``_observe_model_only``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.highrpm import PROV_MODEL_ONLY, provenance_from_readings
+from ..errors import SensorError, ValidationError
+from ..sensors.base import SparseReadings
+from ..stream import PowerChunk, RunContext, Stage, StreamPipeline, chunk_spans
+from .resilience import gate_readings, sample_with_retry
+
+
+class ObservationContext(RunContext):
+    """Per-run state for one node's observation through the pipeline."""
+
+    def __init__(self, service, node_id: str, bundle, online: bool,
+                 chunk_size: "int | None" = None) -> None:
+        super().__init__(node_id, bundle.workload, len(bundle))
+        self.service = service
+        self.bundle = bundle
+        self.online = bool(online)
+        self.chunk_size = chunk_size
+        self.sensor = service._nodes[node_id]
+        self.health = service._health[node_id]
+        self.policy = service.policy
+        self.mode = "dynamic" if online else "static"
+        self.readings: "SparseReadings | None" = None
+        self.gated = 0
+        self.transients_before = self.health.transient_failures
+        #: set when the run degraded to model-only; consumed by the
+        #: service's end-of-run health bookkeeping.
+        self.degrade_reason: "str | None" = None
+        #: bounded-memory restorer chosen by RestoreStage.open_run.
+        self.restorer = None
+        #: sinks receiving this run's finished chunks.
+        self.sinks = service.sinks_for(node_id)
+
+    def fail_or_degrade(self, degrade_reason: str, strict_record: str,
+                        strict_exc: Exception, cause: "Exception | None" = None):
+        """The single unusable-feed path.
+
+        Strict policies record the outage and raise ``strict_exc``; the
+        default policy flags the run for model-only restoration instead
+        (the outage is recorded once, at end of run).
+        """
+        if not self.policy.degrade_to_model_only:
+            self.health.record_outage_run(strict_record)
+            if cause is not None and cause is not strict_exc:
+                raise strict_exc from cause
+            raise strict_exc
+        self.degrade_reason = degrade_reason
+        self.mode = "model_only"
+        self.readings = None
+
+
+def input_chunks(ctx: ObservationContext):
+    """Source chunks for one run (bare spans; ingest attaches the data)."""
+    spans = chunk_spans(ctx.n_samples, ctx.chunk_size)
+    for seq, (start, stop) in enumerate(spans):
+        yield PowerChunk(
+            node_id=ctx.node_id, workload=ctx.workload,
+            start=start, stop=stop, seq=seq,
+            final=(stop == ctx.n_samples),
+        )
+
+
+class IngestStage(Stage):
+    """Sample the node's IM sensor (with retry/backoff) and attach PMCs."""
+
+    name = "ingest"
+    span = "monitor.im_sample"
+
+    def open_run(self, ctx: ObservationContext) -> None:
+        try:
+            ctx.readings = sample_with_retry(
+                ctx.sensor, ctx.bundle, ctx.policy, ctx.health
+            )
+        except SensorError as exc:
+            # Outage (possibly injected): retries exhausted or every
+            # reading dropped at the source.
+            ctx.fail_or_degrade(
+                f"sensor outage: {exc}", str(exc), exc, cause=exc
+            )
+        except ValidationError as exc:
+            # The sensor cannot cover this bundle at all (run shorter than
+            # the IM interval / readout delay).
+            ctx.fail_or_degrade(
+                f"run too short for the IM interval: {exc}",
+                str(exc),
+                ValidationError(
+                    f"bundle {ctx.bundle.workload!r} ({len(ctx.bundle)} "
+                    f"samples) is too short for node {ctx.node_id!r}'s IM "
+                    f"sensor (interval {ctx.sensor.interval_s} s): {exc}"
+                ),
+                cause=exc,
+            )
+
+    def process(self, ctx: ObservationContext, chunk: PowerChunk) -> PowerChunk:
+        chunk.pmcs = ctx.bundle.pmcs.matrix[chunk.start:chunk.stop]
+        return chunk
+
+
+class GateStage(Stage):
+    """Drop implausible readings; degrade when too few survive."""
+
+    name = "gate"
+    span = "monitor.gate"
+
+    def open_run(self, ctx: ObservationContext) -> None:
+        if ctx.degrade_reason is not None:
+            return  # the feed already failed upstream
+        gated = 0
+        if ctx.policy.gate_readings:
+            lo, hi = ctx.service._clamps()
+            ctx.readings, gated = gate_readings(
+                ctx.readings, lo, hi, ctx.policy.gate_margin_fraction
+            )
+            ctx.health.gated_readings += gated
+            ctx.gated = gated
+        floor = ctx.policy.min_readings(ctx.online)
+        if ctx.readings is None or len(ctx.readings) < floor:
+            n_left = 0 if ctx.readings is None else len(ctx.readings)
+            reason = (
+                f"only {n_left} plausible reading(s) survived "
+                f"({gated} gated); "
+                f"{'dynamic' if ctx.online else 'static'} restoration needs "
+                f">= {floor}"
+            )
+            ctx.fail_or_degrade(
+                reason, reason,
+                ValidationError(
+                    f"node {ctx.node_id!r}, run {ctx.bundle.workload!r}: "
+                    f"{reason}"
+                ),
+            )
+
+
+class RestoreStage(Stage):
+    """Restore dense node power with the mode's bounded-memory restorer.
+
+    Dynamic and model-only runs map chunks one-to-one through an
+    :class:`~repro.core.OnlineTRRSession`. Static runs feed a
+    :class:`~repro.core.StaticTRRStream`, whose output spans lag the input
+    by half a miss-interval (Algorithm-1 holds reach that far back) — the
+    emitted chunks are re-spanned accordingly and still tile the run
+    exactly.
+    """
+
+    name = "restore"
+    span = "monitor.restore"
+
+    def open_run(self, ctx: ObservationContext) -> None:
+        model = ctx.service.model
+        if ctx.mode == "static":
+            pmcs = ctx.bundle.pmcs.matrix
+            ctx.restorer = model.offline_stream(
+                pmcs[ctx.readings.indices], ctx.readings
+            )
+        else:  # dynamic, or model_only's anchorless forecast
+            ctx.restorer = model.online_session(retain=False)
+
+    def process(self, ctx: ObservationContext, chunk: PowerChunk):
+        if ctx.mode == "static":
+            return self._static(ctx, chunk)
+        readings = ctx.readings if ctx.mode == "dynamic" else None
+        chunk.p_node = ctx.restorer.run_chunk(chunk.pmcs, readings)
+        chunk.mode = ctx.mode
+        chunk.provenance = self._provenance(ctx, chunk.start, chunk.stop)
+        return chunk
+
+    def _static(self, ctx: ObservationContext, chunk: PowerChunk):
+        start, vals = ctx.restorer.restore_chunk(
+            chunk.pmcs, residual_hat=chunk.residual_hat
+        )
+        if chunk.final:
+            _, tail = ctx.restorer.finish()
+            vals = np.concatenate([vals, tail])
+        if vals.shape[0] == 0:
+            return None  # held back until the fusion window closes
+        stop = start + vals.shape[0]
+        return PowerChunk(
+            node_id=chunk.node_id, workload=chunk.workload,
+            start=start, stop=stop, seq=chunk.seq, final=chunk.final,
+            mode="static",
+            pmcs=ctx.bundle.pmcs.matrix[start:stop],
+            p_node=vals,
+            provenance=self._provenance(ctx, start, stop),
+        )
+
+    def _provenance(self, ctx: ObservationContext, start: int, stop: int):
+        if ctx.mode == "model_only":
+            return np.full(stop - start, PROV_MODEL_ONLY, dtype=np.uint8)
+        return provenance_from_readings(
+            ctx.n_samples, ctx.readings,
+            outage_factor=ctx.service.model.config.resync_gap_factor,
+            start=start, stop=stop,
+        )
+
+
+class AttributeStage(Stage):
+    """Distribute restored node power to (CPU, memory) with SRR."""
+
+    name = "attribute"
+    span = "monitor.attribute"
+
+    def process(self, ctx: ObservationContext, chunk: PowerChunk) -> PowerChunk:
+        if chunk.p_cpu is None:  # the fleet front-end pre-fills in batches
+            chunk.p_cpu, chunk.p_mem = ctx.service.model.srr.predict(
+                chunk.pmcs, chunk.p_node
+            )
+        return chunk
+
+
+class SinkStage(Stage):
+    """Persist finished chunks to every configured sink."""
+
+    name = "sink"
+    span = "monitor.log_append"
+
+    def process(self, ctx: ObservationContext, chunk: PowerChunk) -> PowerChunk:
+        for sink in ctx.sinks:
+            sink.write(chunk)
+        return chunk
+
+    def close_run(self, ctx: ObservationContext) -> None:
+        for sink in ctx.sinks:
+            sink.end_run(ctx.node_id, ctx.workload, ctx.mode)
+
+
+def build_pipeline() -> StreamPipeline:
+    """The service's standard five-stage observation pipeline."""
+    return StreamPipeline([
+        IngestStage(), GateStage(), RestoreStage(), AttributeStage(), SinkStage(),
+    ])

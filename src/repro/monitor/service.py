@@ -18,8 +18,6 @@ failing the run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
 from ..core.highrpm import (
@@ -29,7 +27,7 @@ from ..core.highrpm import (
     HighRPM,
     MonitorResult,
 )
-from ..errors import SensorError, ValidationError
+from ..errors import ValidationError
 from ..hardware.platform import PlatformSpec
 from ..obs import (
     DEFAULT_SAMPLE_PERIOD_S,
@@ -42,10 +40,12 @@ from ..obs import (
     use_tracer,
 )
 from ..perf import precompile
-from ..sensors.base import SparseReadings
 from ..sensors.ipmi import IPMISensor
+from ..stream import Sink
 from ..types import TraceBundle
-from .resilience import NodeHealth, ResiliencePolicy, gate_readings, sample_with_retry
+from .pipeline import ObservationContext, build_pipeline, input_chunks
+from .resilience import NodeHealth, ResiliencePolicy
+from .sinks import MemoryLogSink
 
 #: Human-readable provenance labels for the sample-mix counter.
 _PROV_LABELS = {
@@ -59,27 +59,54 @@ _PROV_LABELS = {
 _READINGS_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 1024.0)
 
 
-@dataclass
 class MonitorLog:
-    """Accumulated restored estimates for one node."""
+    """Accumulated restored estimates for one node.
 
-    node_id: str
-    p_node: np.ndarray = field(default_factory=lambda: np.empty(0))
-    p_cpu: np.ndarray = field(default_factory=lambda: np.empty(0))
-    p_mem: np.ndarray = field(default_factory=lambda: np.empty(0))
-    provenance: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.uint8))
-    runs: list[str] = field(default_factory=list)
-    modes: list[str] = field(default_factory=list)
+    Chunks are accumulated in per-channel lists and consolidated lazily on
+    first read, so logging R runs costs O(total samples) — the old
+    eager-concatenate append re-copied every logged sample per run
+    (O(R²) over a node's lifetime).
+    """
+
+    def __init__(self, node_id: str) -> None:
+        self.node_id = node_id
+        self.runs: list[str] = []
+        self.modes: list[str] = []
+        self._parts: "dict[str, list[np.ndarray]]" = {
+            "p_node": [], "p_cpu": [], "p_mem": [], "provenance": [],
+        }
+        self._n = 0
+
+    # ------------------------------------------------- chunked ingestion
+    def append_chunk(self, chunk) -> None:
+        """Append one restored chunk's channels (no run boundary).
+
+        The streaming pipeline's memory sink calls this per finished
+        chunk; :meth:`end_run` closes the run.
+        """
+        self._append_arrays(chunk.p_node, chunk.p_cpu, chunk.p_mem,
+                            chunk.provenance)
+
+    def end_run(self, workload: str, mode: str) -> None:
+        """Record a run boundary after its chunks were appended."""
+        self.runs.append(workload)
+        self.modes.append(mode)
 
     def append(self, result: MonitorResult, workload: str) -> None:
-        n = len(result)
-        for name in ("p_cpu", "p_mem"):
-            if getattr(result, name).shape[0] != n:
+        """Whole-run append (one implicit chunk plus the run boundary)."""
+        self._append_arrays(result.p_node, result.p_cpu, result.p_mem,
+                            result.provenance)
+        self.end_run(workload, result.mode)
+
+    def _append_arrays(self, p_node, p_cpu, p_mem, prov) -> None:
+        n = int(p_node.shape[0])
+        for name, arr in (("p_cpu", p_cpu), ("p_mem", p_mem)):
+            got = 0 if arr is None else int(arr.shape[0])
+            if got != n:
                 raise ValidationError(
                     f"monitor result is inconsistent: {name} has "
-                    f"{getattr(result, name).shape[0]} samples, p_node has {n}"
+                    f"{got} samples, p_node has {n}"
                 )
-        prov = result.provenance
         if prov is None:
             prov = np.full(n, PROV_RESTORED, dtype=np.uint8)
         elif prov.shape[0] != n:
@@ -87,15 +114,40 @@ class MonitorLog:
                 f"monitor result is inconsistent: provenance has "
                 f"{prov.shape[0]} samples, p_node has {n}"
             )
-        self.p_node = np.concatenate([self.p_node, result.p_node])
-        self.p_cpu = np.concatenate([self.p_cpu, result.p_cpu])
-        self.p_mem = np.concatenate([self.p_mem, result.p_mem])
-        self.provenance = np.concatenate([self.provenance, prov.astype(np.uint8)])
-        self.runs.append(workload)
-        self.modes.append(result.mode)
+        self._parts["p_node"].append(np.asarray(p_node, dtype=np.float64))
+        self._parts["p_cpu"].append(np.asarray(p_cpu, dtype=np.float64))
+        self._parts["p_mem"].append(np.asarray(p_mem, dtype=np.float64))
+        self._parts["provenance"].append(prov.astype(np.uint8))
+        self._n += n
+
+    # ---------------------------------------------------- lazy read side
+    def _channel(self, name: str) -> np.ndarray:
+        parts = self._parts[name]
+        if not parts:
+            return np.empty(0, dtype=np.uint8 if name == "provenance"
+                            else np.float64)
+        if len(parts) > 1:  # consolidate once; later appends re-extend
+            self._parts[name] = parts = [np.concatenate(parts)]
+        return parts[0]
+
+    @property
+    def p_node(self) -> np.ndarray:
+        return self._channel("p_node")
+
+    @property
+    def p_cpu(self) -> np.ndarray:
+        return self._channel("p_cpu")
+
+    @property
+    def p_mem(self) -> np.ndarray:
+        return self._channel("p_mem")
+
+    @property
+    def provenance(self) -> np.ndarray:
+        return self._channel("provenance")
 
     def __len__(self) -> int:
-        return int(self.p_node.shape[0])
+        return self._n
 
     @property
     def model_only_mask(self) -> np.ndarray:
@@ -139,6 +191,7 @@ class PowerMonitorService:
         policy: "ResiliencePolicy | None" = None,
         registry: "MetricsRegistry | None" = None,
         clock=None,
+        sinks: "list[Sink] | None" = None,
     ) -> None:
         model._require_fitted()
         self.model = model
@@ -164,6 +217,12 @@ class PowerMonitorService:
         self._nodes: dict[str, IPMISensor] = {}
         self._logs: dict[str, MonitorLog] = {}
         self._health: dict[str, NodeHealth] = {}
+        #: extra sinks shared by every node (each node's in-memory log is
+        #: always attached in front of these).
+        self._sinks: "list[Sink]" = list(sinks) if sinks else []
+        #: the staged observation pipeline; stages are stateless, per-run
+        #: state travels on an ObservationContext.
+        self._pipeline = build_pipeline()
 
     def register_node(self, node_id: str, sensor: "IPMISensor | None" = None,
                       seed: int = 0) -> None:
@@ -189,6 +248,10 @@ class PowerMonitorService:
         except KeyError:
             raise ValidationError(f"unknown node {node_id!r}") from None
 
+    def sinks_for(self, node_id: str) -> list:
+        """The sinks one node's finished chunks flow into (log first)."""
+        return [MemoryLogSink(self._logs[node_id]), *self._sinks]
+
     # ------------------------------------------------------------ clamps
     def _clamps(self) -> tuple[float, float]:
         """Physical power range used for plausibility gating."""
@@ -202,9 +265,14 @@ class PowerMonitorService:
 
     # --------------------------------------------------------- observation
     def observe_run(
-        self, node_id: str, bundle: TraceBundle, online: bool = True
+        self, node_id: str, bundle: TraceBundle, online: bool = True,
+        chunk_size: "int | None" = None,
     ) -> MonitorResult:
         """Ingest one run from a node; returns the restored estimates.
+
+        ``chunk_size`` streams the run through the pipeline in fixed-size
+        chunks (bounded restorer state; bit-identical output); the default
+        processes it as one chunk.
 
         Never raises for a *failing feed* under the default policy: sensor
         outages, short bundles, and fully-gated streams degrade to
@@ -227,7 +295,7 @@ class PowerMonitorService:
                 self.profiler.measure() as cost:
             try:
                 with self.tracer.span("monitor.observe_run"):
-                    result = self._observe(node_id, bundle, online)
+                    result = self._observe(node_id, bundle, online, chunk_size)
             except Exception:
                 self.registry.counter(
                     "repro_monitor_failed_runs_total",
@@ -239,93 +307,47 @@ class PowerMonitorService:
         return result
 
     def _observe(
-        self, node_id: str, bundle: TraceBundle, online: bool
+        self, node_id: str, bundle: TraceBundle, online: bool,
+        chunk_size: "int | None" = None,
     ) -> MonitorResult:
-        """The undecorated observation logic (retry → gate → restore)."""
-        sensor = self._nodes[node_id]
-        health = self._health[node_id]
-        policy = self.policy
-        tracer = self.tracer
+        """One run through the staged pipeline (ingest → … → sink)."""
+        ctx = ObservationContext(self, node_id, bundle, online, chunk_size)
+        chunks = self._pipeline.run(ctx, input_chunks(ctx))
+        result = self._assemble(ctx, chunks)
+        self._finish_run(ctx, result)
+        return result
 
-        readings: "SparseReadings | None"
-        transients_before = health.transient_failures
-        try:
-            with tracer.span("monitor.im_sample"):
-                readings = sample_with_retry(sensor, bundle, policy, health)
-        except SensorError as exc:
-            # Outage (possibly injected): retries exhausted or every
-            # reading dropped at the source.
-            if not policy.degrade_to_model_only:
-                health.record_outage_run(str(exc))
-                raise
-            return self._observe_model_only(
-                node_id, bundle, reason=f"sensor outage: {exc}"
+    @staticmethod
+    def _assemble(ctx: ObservationContext, chunks) -> MonitorResult:
+        """Concatenate the pipeline's finished chunks into one result."""
+        if not chunks:
+            return MonitorResult(
+                p_node=np.empty(0), p_cpu=np.empty(0), p_mem=np.empty(0),
+                mode=ctx.mode, provenance=np.empty(0, dtype=np.uint8),
             )
-        except ValidationError as exc:
-            # The sensor cannot cover this bundle at all (run shorter than
-            # the IM interval / readout delay).
-            if not policy.degrade_to_model_only:
-                health.record_outage_run(str(exc))
-                raise ValidationError(
-                    f"bundle {bundle.workload!r} ({len(bundle)} samples) is too "
-                    f"short for node {node_id!r}'s IM sensor "
-                    f"(interval {sensor.interval_s} s): {exc}"
-                ) from exc
-            return self._observe_model_only(
-                node_id, bundle,
-                reason=f"run too short for the IM interval: {exc}",
-            )
+        return MonitorResult(
+            p_node=np.concatenate([c.p_node for c in chunks]),
+            p_cpu=np.concatenate([c.p_cpu for c in chunks]),
+            p_mem=np.concatenate([c.p_mem for c in chunks]),
+            mode=ctx.mode,
+            provenance=np.concatenate([c.provenance for c in chunks]),
+        )
 
-        gated = 0
-        if policy.gate_readings:
-            lo, hi = self._clamps()
-            with tracer.span("monitor.gate"):
-                readings, gated = gate_readings(
-                    readings, lo, hi, policy.gate_margin_fraction
-                )
-            health.gated_readings += gated
-
-        if readings is None or len(readings) < policy.min_readings(online):
-            n_left = 0 if readings is None else len(readings)
-            reason = (
-                f"only {n_left} plausible reading(s) survived "
-                f"({gated} gated); "
-                f"{'dynamic' if online else 'static'} restoration needs "
-                f">= {policy.min_readings(online)}"
-            )
-            if not policy.degrade_to_model_only:
-                health.record_outage_run(reason)
-                raise ValidationError(
-                    f"node {node_id!r}, run {bundle.workload!r}: {reason}"
-                )
-            return self._observe_model_only(node_id, bundle, reason=reason)
-
-        monitor = self.model.monitor_online if online else self.model.monitor_offline
-        with tracer.span("monitor.restore"):
-            result = monitor(bundle.pmcs.matrix, readings)
-        with tracer.span("monitor.log_append"):
-            self._logs[node_id].append(result, bundle.workload)
-        retried = health.transient_failures - transients_before
+    def _finish_run(self, ctx: ObservationContext, result: MonitorResult) -> None:
+        """End-of-run health bookkeeping, shared by all modes."""
+        health = ctx.health
+        if ctx.degrade_reason is not None:
+            health.record_outage_run(ctx.degrade_reason)
+            return
+        retried = health.transient_failures - ctx.transients_before
         gap_samples = int(result.model_only_mask.sum())
-        if gated or retried or gap_samples:
+        if ctx.gated or retried or gap_samples:
             health.record_degraded_run(
-                f"{gated} reading(s) gated, {retried} transient failure(s) "
+                f"{ctx.gated} reading(s) gated, {retried} transient failure(s) "
                 f"retried, {gap_samples} sample(s) restored without an anchor"
             )
         else:
             health.record_healthy_run()
-        return result
-
-    def _observe_model_only(
-        self, node_id: str, bundle: TraceBundle, reason: str
-    ) -> MonitorResult:
-        """Degraded path: restore from the model alone and flag the log."""
-        with self.tracer.span("monitor.restore"):
-            result = self.model.monitor_model_only(bundle.pmcs.matrix)
-        with self.tracer.span("monitor.log_append"):
-            self._logs[node_id].append(result, bundle.workload)
-        self._health[node_id].record_outage_run(reason)
-        return result
 
     def _emit_run_metrics(
         self, node_id: str, result: MonitorResult, before: tuple

@@ -1,0 +1,22 @@
+"""Monitor-side sink implementations for the streaming pipeline."""
+
+from __future__ import annotations
+
+from ..stream import PowerChunk, Sink
+
+
+class MemoryLogSink(Sink):
+    """Appends finished chunks to a node's in-memory ``MonitorLog``.
+
+    This is the default sink the service attaches for every registered
+    node; extra sinks (e.g. :class:`~repro.stream.JsonlSink`) ride along.
+    """
+
+    def __init__(self, log) -> None:
+        self.log = log
+
+    def write(self, chunk: PowerChunk) -> None:
+        self.log.append_chunk(chunk)
+
+    def end_run(self, node_id: str, workload: str, mode: str) -> None:
+        self.log.end_run(workload, mode)

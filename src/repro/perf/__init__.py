@@ -18,6 +18,7 @@ See ``docs/performance.md`` for the cache-invalidation contract and the
 benchmark protocol.
 """
 
+from .batch import TreeStack, single_tree_of
 from .compile import (
     compile_boosting,
     compile_forest,
@@ -35,6 +36,8 @@ __all__ = [
     "CompiledMLP",
     "CompiledTree",
     "CompiledTreeEnsemble",
+    "TreeStack",
+    "single_tree_of",
     "compile_boosting",
     "compile_forest",
     "compile_mlp",

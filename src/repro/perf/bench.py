@@ -162,6 +162,72 @@ def measure_monitor_overhead() -> "dict[str, float | int | bool]":
     return service.profiler.report()
 
 
+def measure_fleet(
+    nodes: int = 8, repeats: int = 3, chunk_size: int = 32
+) -> "dict[str, float | int]":
+    """Fleet throughput: N sequential ``observe_run`` calls vs one batched
+    :class:`~repro.monitor.FleetMonitor` drain over the same runs.
+
+    Both paths stream the same chunk size; the fleet path fuses the
+    per-tick ResModel descents into one ``TreeStack`` call and the SRR
+    forwards into one concatenated MLP pass. Outputs are checked for
+    bit-identity before timing, so the recorded speedup is pure
+    per-call-overhead amortisation across the fleet.
+    """
+    # Upward imports (faults/monitor sit above perf): confined to this CLI
+    # probe, which nothing imports back.
+    from ..faults.chaos import ChaosSettings, reference_run  # repro-lint: disable=layering
+    from ..monitor.fleet import FleetMonitor  # repro-lint: disable=layering
+    from ..monitor.service import PowerMonitorService  # repro-lint: disable=layering
+    from ..obs import MetricsRegistry, use_registry
+
+    with use_registry(MetricsRegistry()):
+        service, bundle = reference_run(ChaosSettings.tiny())
+        node_ids = [f"fleet{i}" for i in range(nodes)]
+
+        def fresh() -> PowerMonitorService:
+            # Fresh same-seed sensors per phase: sensors consume RNG per
+            # sampled run, so fair comparisons never share a service.
+            svc = PowerMonitorService(service.model, service.spec)
+            for i, nid in enumerate(node_ids):
+                svc.register_node(nid, seed=100 + i)
+            return svc
+
+        def run_sequential(svc: PowerMonitorService) -> dict:
+            return {
+                nid: svc.observe_run(nid, bundle, online=False,
+                                     chunk_size=chunk_size)
+                for nid in node_ids
+            }
+
+        def run_fleet(svc: PowerMonitorService) -> dict:
+            fleet = FleetMonitor(svc, chunk_size=chunk_size)
+            return fleet.observe_all(
+                {nid: bundle for nid in node_ids}, online=False
+            )
+
+        seq_out, fleet_out = run_sequential(fresh()), run_fleet(fresh())
+        for nid in node_ids:
+            if not (np.array_equal(seq_out[nid].p_node, fleet_out[nid].p_node)
+                    and np.array_equal(seq_out[nid].p_cpu, fleet_out[nid].p_cpu)):
+                raise AssertionError(
+                    f"fleet path disagrees with sequential observe_run on {nid}"
+                )
+        seq_s = _best_of(lambda: run_sequential(fresh()), repeats)
+        fleet_s = _best_of(lambda: run_fleet(fresh()), repeats)
+    total = nodes * len(bundle)
+    return {
+        "nodes": nodes,
+        "samples": total,
+        "chunk_size": chunk_size,
+        "sequential_s": round(seq_s, 6),
+        "fleet_s": round(fleet_s, 6),
+        "speedup": round(seq_s / fleet_s, 2),
+        "samples_per_s": round(total / fleet_s, 1),
+        "repeats": repeats,
+    }
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -173,6 +239,10 @@ def main(argv: "list[str] | None" = None) -> int:
                         help="timing repeats per op (default: 3 smoke, 7 full)")
     parser.add_argument("--no-monitor", action="store_true",
                         help="skip the end-to-end monitor self-overhead probe")
+    parser.add_argument("--no-fleet", action="store_true",
+                        help="skip the fleet-throughput stage")
+    parser.add_argument("--fleet-nodes", type=int, default=8,
+                        help="node count for the fleet-throughput stage")
     parser.add_argument("--output", type=Path, default=Path(DEFAULT_OUTPUT),
                         help=f"output JSON path (default: {DEFAULT_OUTPUT})")
     args = parser.parse_args(argv)
@@ -190,6 +260,8 @@ def main(argv: "list[str] | None" = None) -> int:
     }
     if not args.no_monitor:
         payload["self_overhead"] = measure_monitor_overhead()
+    if not args.no_fleet:
+        payload["fleet"] = measure_fleet(nodes=args.fleet_nodes, repeats=repeats)
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
     width = max(len(name) for name in results)
@@ -203,6 +275,15 @@ def main(argv: "list[str] | None" = None) -> int:
         from ..obs import render_overhead
 
         print(render_overhead(payload["self_overhead"]))
+    if "fleet" in payload:
+        fleet = payload["fleet"]
+        print(
+            f"fleet: {fleet['nodes']} nodes x {fleet['samples'] // fleet['nodes']}"
+            f" samples, batched {fleet['fleet_s'] * 1e3:.1f} ms vs sequential"
+            f" {fleet['sequential_s'] * 1e3:.1f} ms "
+            f"(speedup {fleet['speedup']:.2f}x, "
+            f"{fleet['samples_per_s']:.0f} samples/s)"
+        )
     print(f"wrote {args.output}")
     return 0
 

@@ -10,9 +10,14 @@ pure overhead.
 matrix (``W0' = W0 / σx``, ``b0' = b0 − (µx/σx)·W0``) and the target
 de-standardisation into the last (``WL' = WL·σy``, ``bL' = bL·σy + µy``),
 then runs the forward pass through preallocated hidden-layer buffers with
-``np.matmul(..., out=...)`` and in-place activations. Buffers are keyed by
-batch size and rebuilt only when it changes — the steady-state monitor
-shape reuses them on every call.
+in-place activations. Buffers are keyed by batch size and rebuilt only
+when it changes — the steady-state monitor shape reuses them on every
+call. The matmuls run through unoptimised ``np.einsum`` rather than GEMM
+calls: einsum reduces the feature axis in fixed index order per output
+element, so per-row results are independent of the batch they arrive in —
+which the streaming/fleet paths rely on for bit-identical chunked and
+cross-node-batched inference (a GEMM's blocking, and therefore its
+summation order, varies with batch size).
 
 The output layer always writes to a *fresh* array (callers may keep or
 mutate predictions), so only hidden activations are recycled. Folding the
@@ -86,7 +91,14 @@ class CompiledMLP:
         last = len(self.weights) - 1
         for li, (w, bias) in enumerate(zip(self.weights, self.biases)):
             out = np.empty((X.shape[0], w.shape[1])) if li == last else bufs[li]
-            np.matmul(a, w, out=out)
+            # Unoptimised einsum instead of a GEMM: BLAS picks its blocking
+            # (and therefore its summation order) by batch size, so the
+            # same row can round differently in a 17-row chunk than in the
+            # full trace. einsum's sum-of-products loop reduces k in fixed
+            # index order per output element, which makes predictions
+            # bit-identical whether a trace is pushed through whole, in
+            # chunks, or batched across nodes.
+            np.einsum("nk,ko->no", a, w, out=out)
             out += bias
             if li < last:
                 self.activation(out)

@@ -1,0 +1,22 @@
+"""Streaming pipeline primitives: chunk records, stages, sinks.
+
+The monitoring layer composes these into its ingest → gate → restore →
+attribute → sink pipeline (``repro.monitor.pipeline``); they carry no
+monitor-specific state so other producers (the fleet front-end, replayed
+logs) can reuse them.
+"""
+
+from .chunks import PowerChunk, chunk_spans
+from .sinks import JsonlSink, Sink, iter_jsonl
+from .stages import RunContext, Stage, StreamPipeline
+
+__all__ = [
+    "PowerChunk",
+    "chunk_spans",
+    "RunContext",
+    "Stage",
+    "StreamPipeline",
+    "Sink",
+    "JsonlSink",
+    "iter_jsonl",
+]

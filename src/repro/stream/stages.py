@@ -1,0 +1,137 @@
+"""Stage protocol and pipeline driver for streaming power monitoring.
+
+A pipeline is an ordered list of stateless :class:`Stage` objects; all
+per-run state lives on the :class:`RunContext`, so one stage list can
+serve many interleaved runs (the fleet front-end drives one context per
+node through shared stages).
+
+Lifecycle per run: every stage's ``open_run`` fires in order, then each
+source chunk is pushed through ``process`` stage by stage, then stages are
+flushed in order (a flushed chunk still traverses the *downstream*
+stages), then every stage's ``close_run`` fires. ``process`` may return a
+chunk, a list of chunks, or None (absorbed — e.g. the static restorer
+holding samples back until its fusion window closes).
+
+The driver wraps every stage callback in the stage's tracer span and
+counts chunks/samples entering each stage, so per-stage latency and
+throughput come for free in the ambient observability stack.
+"""
+
+from __future__ import annotations
+
+from ..obs import current_tracer, get_registry
+from .chunks import PowerChunk
+
+
+class RunContext:
+    """Mutable per-run state shared by all stages of a pipeline."""
+
+    def __init__(self, node_id: str, workload: str, n_samples: int) -> None:
+        self.node_id = node_id
+        self.workload = workload
+        self.n_samples = int(n_samples)
+        #: restoration mode for the run; stages may update it (a failing IM
+        #: feed degrades the whole run to "model_only" before restoration).
+        self.mode = ""
+
+
+class Stage:
+    """One step of the monitoring pipeline. Subclasses override hooks.
+
+    Stages hold no per-run state — everything mutable goes on the
+    :class:`RunContext` so stage instances are reusable across concurrent
+    runs.
+    """
+
+    #: short identifier used in the per-stage metrics labels.
+    name: str = "stage"
+    #: tracer span wrapped around every callback; None disables tracing.
+    span: "str | None" = None
+
+    def open_run(self, ctx: RunContext) -> None:
+        """Run-scoped setup (may consume the whole-run inputs on ctx)."""
+
+    def process(self, ctx: RunContext, chunk: PowerChunk):
+        """Transform one chunk; return a chunk, a list of chunks, or None."""
+        return chunk
+
+    def flush(self, ctx: RunContext):
+        """Emit any held-back chunks once the source is exhausted."""
+        return []
+
+    def close_run(self, ctx: RunContext) -> None:
+        """Run-scoped teardown (sinks end the run here)."""
+
+
+class StreamPipeline:
+    """Drives chunks through an ordered list of stages."""
+
+    def __init__(self, stages: "list[Stage]") -> None:
+        self.stages = list(stages)
+
+    def _enter(self, stage: Stage, chunk: PowerChunk) -> None:
+        registry = get_registry()
+        registry.counter(
+            "repro_stream_chunks_total",
+            "Chunks entering each pipeline stage.", ("stage",),
+        ).labels(stage=stage.name).inc()
+        registry.counter(
+            "repro_stream_samples_total",
+            "Samples entering each pipeline stage.", ("stage",),
+        ).labels(stage=stage.name).inc(chunk.n_samples)
+
+    def _timed(self, stage: Stage, fn, *args):
+        if stage.span is None:
+            return fn(*args)
+        with current_tracer().span(stage.span):
+            return fn(*args)
+
+    def _push(self, ctx: RunContext, chunk: PowerChunk, i: int) -> "list[PowerChunk]":
+        """Send one chunk through stages ``i..end``; returns what survives."""
+        if i >= len(self.stages):
+            return [chunk]
+        stage = self.stages[i]
+        self._enter(stage, chunk)
+        emitted = self._timed(stage, stage.process, ctx, chunk)
+        if emitted is None:
+            return []
+        if isinstance(emitted, PowerChunk):
+            emitted = [emitted]
+        out: "list[PowerChunk]" = []
+        for c in emitted:
+            out.extend(self._push(ctx, c, i + 1))
+        return out
+
+    # Single-step entry points for external drivers (the fleet front-end
+    # interleaves many runs, pausing between stages to batch inference
+    # across them).
+    def open_run(self, ctx: RunContext) -> None:
+        for stage in self.stages:
+            self._timed(stage, stage.open_run, ctx)
+
+    def close_run(self, ctx: RunContext) -> None:
+        for stage in self.stages:
+            stage.close_run(ctx)
+
+    def apply(self, ctx: RunContext, chunk: PowerChunk, i: int) -> "list[PowerChunk]":
+        """Run exactly stage ``i`` on one chunk; returns what it emitted."""
+        stage = self.stages[i]
+        self._enter(stage, chunk)
+        emitted = self._timed(stage, stage.process, ctx, chunk)
+        if emitted is None:
+            return []
+        return [emitted] if isinstance(emitted, PowerChunk) else list(emitted)
+
+    def run(self, ctx: RunContext, chunks) -> "list[PowerChunk]":
+        """Process a whole run; returns the fully-processed chunks in order."""
+        self.open_run(ctx)
+        out: "list[PowerChunk]" = []
+        for chunk in chunks:
+            out.extend(self._push(ctx, chunk, 0))
+        # Flush in stage order: a chunk released by stage j still traverses
+        # stages j+1..end before those stages flush themselves.
+        for j, stage in enumerate(self.stages):
+            for c in self._timed(stage, stage.flush, ctx) or []:
+                out.extend(self._push(ctx, c, j + 1))
+        self.close_run(ctx)
+        return out

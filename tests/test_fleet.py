@@ -1,0 +1,207 @@
+"""FleetMonitor and the cross-node batched inference primitives.
+
+The fleet contract is strict: interleaving N nodes' runs and batching
+their ResModel/SRR predictions must be bit-identical, node for node, to N
+sequential ``observe_run`` calls — the batched compiled predictors are
+batch-size independent, so fusing work across nodes changes cost, never
+values.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError, ValidationError
+from repro.faults import FaultySensor, OutageWindow
+from repro.ml.tree import DecisionTreeRegressor
+from repro.monitor import FleetMonitor, PowerMonitorService
+from repro.perf import CompiledTree, TreeStack, single_tree_of
+from repro.sensors import IPMISensor
+
+
+@pytest.fixture(scope="module")
+def fitted_trees(rng_module):
+    trees, parts = [], []
+    for i, (n, depth, leaf) in enumerate([(200, 4, 4), (150, 8, 1), (60, 1, 60)]):
+        X = rng_module.normal(size=(n, 5))
+        y = rng_module.normal(size=n)
+        trees.append(
+            DecisionTreeRegressor(max_depth=depth, min_samples_leaf=leaf).fit(X, y)
+        )
+        parts.append(rng_module.normal(size=(17 + 13 * i, 5)))
+    return trees, parts
+
+
+@pytest.fixture(scope="module")
+def rng_module():
+    return np.random.default_rng(99)
+
+
+class TestTreeStack:
+    def test_matches_per_tree_predict_bitwise(self, fitted_trees):
+        trees, parts = fitted_trees
+        compiled = [single_tree_of(t) for t in trees]
+        assert all(isinstance(c, CompiledTree) for c in compiled)
+        outs = TreeStack(compiled).predict(parts)
+        for tree, X, out in zip(trees, parts, outs):
+            np.testing.assert_array_equal(out, tree.predict(X))
+
+    def test_handles_empty_parts(self, fitted_trees):
+        trees, _ = fitted_trees
+        stack = TreeStack([single_tree_of(t) for t in trees])
+        outs = stack.predict([np.empty((0, 5)) for _ in trees])
+        assert all(out.shape == (0,) for out in outs)
+
+    def test_part_count_must_match_tree_count(self, fitted_trees):
+        trees, parts = fitted_trees
+        stack = TreeStack([single_tree_of(t) for t in trees])
+        with pytest.raises(NotFittedError):
+            stack.predict(parts[:1])
+
+    def test_single_tree_of_rejects_non_trees(self):
+        assert single_tree_of(object()) is None
+
+
+class TestPredictBatched:
+    def test_matches_per_part_predict_bitwise(self, chaos_reference):
+        reference, bundle = chaos_reference
+        srr = reference.model.srr
+        pmcs, p_node = bundle.pmcs.matrix, bundle.node.values
+        parts = [(pmcs[:11], p_node[:11]), (pmcs[11:30], p_node[11:30]),
+                 (pmcs[30:], p_node[30:])]
+        for (pm, pn), (b_cpu, b_mem) in zip(parts, srr.predict_batched(parts)):
+            s_cpu, s_mem = srr.predict(pm, pn)
+            np.testing.assert_array_equal(b_cpu, s_cpu)
+            np.testing.assert_array_equal(b_mem, s_mem)
+
+    def test_empty_input(self, chaos_reference):
+        assert chaos_reference[0].model.srr.predict_batched([]) == []
+
+    def test_unfitted_raises(self):
+        from repro.core.srr import SRR
+
+        with pytest.raises(NotFittedError):
+            SRR().predict_batched([])
+
+
+def _twin_services(chaos_reference, node_ids, dead=()):
+    reference, _ = chaos_reference
+    services = []
+    for _ in range(2):
+        svc = PowerMonitorService(reference.model, reference.spec)
+        for i, nid in enumerate(node_ids):
+            if nid in dead:
+                svc.register_node(nid, sensor=FaultySensor(
+                    IPMISensor(reference.spec, seed=41),
+                    faults=[OutageWindow(0, 10_000_000)], seed=42,
+                ))
+            else:
+                svc.register_node(nid, seed=400 + i)
+        services.append(svc)
+    return services
+
+
+class TestFleetMonitor:
+    NODE_IDS = ("fl-a", "fl-b", "fl-c")
+
+    @pytest.mark.parametrize("online", [True, False],
+                             ids=["online", "offline"])
+    def test_fleet_equals_sequential_observe_run(self, chaos_reference, online):
+        _, bundle = chaos_reference
+        seq_svc, fleet_svc = _twin_services(chaos_reference, self.NODE_IDS)
+        seq = {
+            nid: seq_svc.observe_run(nid, bundle, online=online, chunk_size=16)
+            for nid in self.NODE_IDS
+        }
+        fleet = FleetMonitor(fleet_svc, chunk_size=16)
+        results = fleet.observe_all(
+            {nid: bundle for nid in self.NODE_IDS}, online=online
+        )
+        assert set(results) == set(self.NODE_IDS)
+        for nid in self.NODE_IDS:
+            np.testing.assert_array_equal(seq[nid].p_node, results[nid].p_node)
+            np.testing.assert_array_equal(seq[nid].p_cpu, results[nid].p_cpu)
+            np.testing.assert_array_equal(seq[nid].p_mem, results[nid].p_mem)
+            np.testing.assert_array_equal(seq[nid].provenance,
+                                          results[nid].provenance)
+            assert seq[nid].mode == results[nid].mode
+            np.testing.assert_array_equal(seq_svc.log(nid).p_node,
+                                          fleet_svc.log(nid).p_node)
+            assert seq_svc.health(nid).status == fleet_svc.health(nid).status
+
+    def test_dead_feed_node_degrades_without_poisoning_the_fleet(
+        self, chaos_reference
+    ):
+        _, bundle = chaos_reference
+        seq_svc, fleet_svc = _twin_services(
+            chaos_reference, self.NODE_IDS, dead={"fl-b"}
+        )
+        seq = {
+            nid: seq_svc.observe_run(nid, bundle, chunk_size=16)
+            for nid in self.NODE_IDS
+        }
+        results = FleetMonitor(fleet_svc, chunk_size=16).observe_all(
+            {nid: bundle for nid in self.NODE_IDS}
+        )
+        assert results["fl-b"].mode == "model_only"
+        assert fleet_svc.health("fl-b").outages == 1
+        for nid in self.NODE_IDS:
+            np.testing.assert_array_equal(seq[nid].p_node, results[nid].p_node)
+            assert seq[nid].mode == results[nid].mode
+
+    def test_tick_interleaves_and_finishes_in_order(self, chaos_reference):
+        _, bundle = chaos_reference
+        _, svc = _twin_services(chaos_reference, self.NODE_IDS)
+        fleet = FleetMonitor(svc, chunk_size=len(bundle) // 2 + 1)
+        fleet.submit("fl-a", bundle)
+        fleet.submit("fl-b", bundle)
+        assert set(fleet.active_nodes) == {"fl-a", "fl-b"}
+        assert fleet.tick() == {}  # first chunk of two is not final
+        finished = fleet.tick()
+        assert set(finished) == {"fl-a", "fl-b"}
+        assert fleet.active_nodes == ()
+        assert fleet.tick() == {}
+
+    def test_submit_validates_node_and_duplicates(self, chaos_reference):
+        _, bundle = chaos_reference
+        _, svc = _twin_services(chaos_reference, self.NODE_IDS)
+        fleet = FleetMonitor(svc, chunk_size=32)
+        with pytest.raises(ValidationError, match="unknown node"):
+            fleet.submit("nope", bundle)
+        fleet.submit("fl-a", bundle)
+        with pytest.raises(ValidationError, match="already has an active run"):
+            fleet.submit("fl-a", bundle)
+        fleet.observe_all([])  # drains the pending run
+        assert fleet.active_nodes == ()
+
+    def test_chunk_size_validated(self, chaos_reference):
+        _, svc = _twin_services(chaos_reference, self.NODE_IDS)
+        with pytest.raises(ValidationError, match="chunk_size must be >= 1"):
+            FleetMonitor(svc, chunk_size=0)
+
+    def test_fleet_spans_and_metrics_recorded(self, chaos_reference):
+        from repro.obs import MetricsRegistry
+
+        reference, bundle = chaos_reference
+        # Private registry: the services default to the ambient one, which
+        # the other tests in this module already incremented.
+        svc = PowerMonitorService(reference.model, reference.spec,
+                                  registry=MetricsRegistry())
+        for i, nid in enumerate(self.NODE_IDS):
+            svc.register_node(nid, seed=400 + i)
+        FleetMonitor(svc, chunk_size=64).observe_all(
+            {nid: bundle for nid in self.NODE_IDS}
+        )
+        stats = svc.tracer.stats()
+        for span in ("fleet.submit", "fleet.tick", "monitor.restore",
+                     "monitor.attribute", "monitor.log_append"):
+            assert span in stats, span
+            assert stats[span].timed
+        runs = svc.registry.counter(
+            "repro_monitor_runs_total", "", ("node", "mode")
+        )
+        for nid in self.NODE_IDS:
+            assert runs.labels(node=nid, mode="dynamic").value == 1.0
+        chunks = svc.registry.counter(
+            "repro_stream_chunks_total", "", ("stage",)
+        )
+        assert chunks.labels(stage="ingest").value >= len(self.NODE_IDS)

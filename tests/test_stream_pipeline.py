@@ -1,0 +1,228 @@
+"""Unit tests for the generic stream layer: chunks, stages, sinks.
+
+The monitor pipeline and the fleet front-end are built on these pieces;
+here they are exercised in isolation with toy stages.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.monitor import MemoryLogSink, MonitorLog
+from repro.obs import MetricsRegistry, use_registry
+from repro.stream import (
+    JsonlSink,
+    PowerChunk,
+    RunContext,
+    Stage,
+    StreamPipeline,
+    chunk_spans,
+    iter_jsonl,
+)
+
+
+class TestChunkSpans:
+    def test_tiles_the_range_exactly(self):
+        spans = chunk_spans(10, 3)
+        assert spans == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+    def test_none_chunk_size_is_one_whole_chunk(self):
+        assert chunk_spans(42, None) == [(0, 42)]
+
+    def test_empty_run_has_no_spans(self):
+        assert chunk_spans(0, 4) == []
+
+    def test_rejects_non_positive_chunk_size(self):
+        with pytest.raises(ValidationError, match="chunk_size must be >= 1"):
+            chunk_spans(10, 0)
+
+    def test_chunk_len_matches_span(self):
+        chunk = PowerChunk(node_id="n", workload="w", start=5, stop=9)
+        assert chunk.n_samples == 4
+        assert len(chunk) == 4
+
+
+class _Double(Stage):
+    """Toy stage: doubles p_node in place."""
+
+    name = "double"
+
+    def process(self, ctx, chunk):
+        chunk.p_node = chunk.p_node * 2.0
+        return chunk
+
+
+class _HoldOne(Stage):
+    """Toy stage with a one-chunk lag, flushed at end of run."""
+
+    name = "hold"
+
+    def open_run(self, ctx):
+        ctx.held = None
+
+    def process(self, ctx, chunk):
+        held, ctx.held = ctx.held, chunk
+        return held
+
+    def flush(self, ctx):
+        return [ctx.held] if ctx.held is not None else []
+
+
+class _Collect(Stage):
+    name = "collect"
+
+    def open_run(self, ctx):
+        ctx.collected = []
+
+    def process(self, ctx, chunk):
+        ctx.collected.append(chunk)
+        return chunk
+
+
+def _chunks(k, size=4):
+    return [
+        PowerChunk(node_id="n", workload="w", start=i * size,
+                   stop=(i + 1) * size, seq=i,
+                   p_node=np.full(size, float(i + 1)))
+        for i in range(k)
+    ]
+
+
+class TestStreamPipeline:
+    def test_chunks_traverse_stages_in_order(self):
+        pipe = StreamPipeline([_Double(), _Collect()])
+        ctx = RunContext("n", "w", 12)
+        out = pipe.run(ctx, _chunks(3))
+        assert [c.seq for c in out] == [0, 1, 2]
+        assert all(np.all(c.p_node == 2.0 * (c.seq + 1)) for c in out)
+        assert ctx.collected == out
+
+    def test_flushed_chunks_traverse_downstream_stages(self):
+        # The held-back final chunk must still pass through _Double, which
+        # sits *after* the holding stage.
+        pipe = StreamPipeline([_HoldOne(), _Double()])
+        out = pipe.run(RunContext("n", "w", 12), _chunks(3))
+        assert [c.seq for c in out] == [0, 1, 2]
+        assert all(np.all(c.p_node == 2.0 * (c.seq + 1)) for c in out)
+
+    def test_absorbed_chunk_stops_descending(self):
+        class Absorb(Stage):
+            name = "absorb"
+
+            def process(self, ctx, chunk):
+                return None
+
+        pipe = StreamPipeline([Absorb(), _Collect()])
+        ctx = RunContext("n", "w", 8)
+        assert pipe.run(ctx, _chunks(2)) == []
+        assert ctx.collected == []
+
+    def test_stage_metrics_count_chunks_and_samples(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            StreamPipeline([_Double()]).run(RunContext("n", "w", 12), _chunks(3))
+        chunks = registry.counter(
+            "repro_stream_chunks_total", "", ("stage",)
+        ).labels(stage="double")
+        samples = registry.counter(
+            "repro_stream_samples_total", "", ("stage",)
+        ).labels(stage="double")
+        assert chunks.value == 3.0
+        assert samples.value == 12.0
+
+    def test_apply_runs_exactly_one_stage(self):
+        pipe = StreamPipeline([_Double(), _Double()])
+        ctx = RunContext("n", "w", 4)
+        [chunk] = _chunks(1)
+        emitted = pipe.apply(ctx, chunk, 0)
+        assert len(emitted) == 1 and np.all(emitted[0].p_node == 2.0)
+
+    def test_run_equals_stepwise_apply(self):
+        whole = StreamPipeline([_HoldOne(), _Double()])
+        out_a = whole.run(RunContext("n", "w", 12), _chunks(3))
+        step = StreamPipeline([_HoldOne(), _Double()])
+        ctx = RunContext("n", "w", 12)
+        step.open_run(ctx)
+        out_b = []
+        for chunk in _chunks(3):
+            for c in step.apply(ctx, chunk, 0):
+                out_b.extend(step.apply(ctx, c, 1))
+        for j, stage in enumerate(step.stages):
+            for c in stage.flush(ctx):
+                out_b.extend(step._push(ctx, c, j + 1))
+        step.close_run(ctx)
+        assert [c.seq for c in out_a] == [c.seq for c in out_b]
+
+
+class TestJsonlSink:
+    def _chunk(self, start, stop, seq):
+        n = stop - start
+        return PowerChunk(
+            node_id="n0", workload="fft", start=start, stop=stop, seq=seq,
+            mode="dynamic", p_node=np.arange(n, dtype=float) + start,
+            p_cpu=np.ones(n), p_mem=np.zeros(n),
+            provenance=np.full(n, 2, dtype=np.uint8),
+        )
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with JsonlSink(path) as sink:
+            sink.write(self._chunk(0, 4, 0))
+            sink.write(self._chunk(4, 6, 1))
+            sink.end_run("n0", "fft", "dynamic")
+        records = list(iter_jsonl(path))
+        assert [r["event"] for r in records] == ["chunk", "chunk", "end_run"]
+        assert records[0]["p_node"] == [0.0, 1.0, 2.0, 3.0]
+        assert records[1]["start"] == 4 and records[1]["stop"] == 6
+        assert records[0]["provenance"] == [2, 2, 2, 2]
+        assert records[2] == {
+            "event": "end_run", "node_id": "n0", "workload": "fft",
+            "mode": "dynamic",
+        }
+
+    def test_appends_across_reopens(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with JsonlSink(path) as sink:
+            sink.write(self._chunk(0, 2, 0))
+        with JsonlSink(path) as sink:
+            sink.write(self._chunk(2, 4, 1))
+        assert len(list(iter_jsonl(path))) == 2
+
+
+class TestMemoryLogSink:
+    def test_feeds_monitor_log(self):
+        log = MonitorLog("n0")
+        sink = MemoryLogSink(log)
+        sink.write(PowerChunk(
+            node_id="n0", workload="fft", start=0, stop=3, seq=0,
+            mode="dynamic", p_node=np.array([1.0, 2.0, 3.0]),
+            p_cpu=np.zeros(3), p_mem=np.zeros(3),
+            provenance=np.full(3, 2, dtype=np.uint8),
+        ))
+        sink.end_run("n0", "fft", "dynamic")
+        assert log.runs == ["fft"] and log.modes == ["dynamic"]
+        assert len(log) == 3
+        np.testing.assert_array_equal(log.p_node, [1.0, 2.0, 3.0])
+
+
+class TestMonitorLogChunked:
+    def test_many_appends_consolidate_lazily(self):
+        log = MonitorLog("n0")
+        for i in range(50):
+            log._append_arrays(
+                np.full(2, float(i)), np.zeros(2), np.zeros(2),
+                np.full(2, 2, dtype=np.uint8),
+            )
+        assert len(log._parts["p_node"]) == 50
+        assert len(log) == 100
+        assert log.p_node.shape == (100,)
+        # Property access consolidated the chunk list down to one block.
+        assert len(log._parts["p_node"]) == 1
+        np.testing.assert_array_equal(log.p_node[:2], [0.0, 0.0])
+        np.testing.assert_array_equal(log.p_node[-2:], [49.0, 49.0])
+
+    def test_empty_log_channels(self):
+        log = MonitorLog("n0")
+        assert log.p_node.shape == (0,)
+        assert log.provenance.dtype == np.uint8
+        assert log.model_only_fraction() == 0.0

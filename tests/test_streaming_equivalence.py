@@ -1,0 +1,145 @@
+"""Chunked pipeline output is bit-identical to whole-run ``observe_run``.
+
+Exercised on the golden reference service (the anchor of
+``tests/fixtures/golden_monitor.npz``) for all three restoration modes:
+online (dynamic), offline (static) and model-only (dead IM feed). The
+sensors draw per-sample noise from their RNG, so every compared path gets
+its own same-seed service — identical inputs, so any output difference is
+the streaming decomposition's fault.
+"""
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.core import HighRPM
+from repro.faults import FaultySensor, OutageWindow
+from repro.monitor import PowerMonitorService
+from repro.sensors import IPMISensor
+from repro.stream import JsonlSink, iter_jsonl
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "fixtures" / "golden_monitor.npz"
+CHUNK_SIZES = [7, 64]
+
+
+def _twin_services(chaos_reference, n=2, dead=False):
+    """n fresh same-seed services over the shared trained model."""
+    reference, _ = chaos_reference
+    services = []
+    for _ in range(n):
+        svc = PowerMonitorService(reference.model, reference.spec)
+        if dead:
+            svc.register_node("eq-node", sensor=FaultySensor(
+                IPMISensor(reference.spec, seed=41),
+                faults=[OutageWindow(0, 10_000_000)], seed=42,
+            ))
+        else:
+            svc.register_node("eq-node", seed=33)
+        services.append(svc)
+    return services
+
+
+def _assert_identical(a, b):
+    np.testing.assert_array_equal(a.p_node, b.p_node)
+    np.testing.assert_array_equal(a.p_cpu, b.p_cpu)
+    np.testing.assert_array_equal(a.p_mem, b.p_mem)
+    np.testing.assert_array_equal(a.provenance, b.provenance)
+    assert a.mode == b.mode
+
+
+@pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+@pytest.mark.parametrize(
+    "online,dead", [(True, False), (False, False), (True, True)],
+    ids=["online", "offline", "model_only"],
+)
+def test_chunked_equals_whole_run(chaos_reference, online, dead, chunk_size):
+    _, bundle = chaos_reference
+    whole_svc, chunk_svc = _twin_services(chaos_reference, dead=dead)
+    whole = whole_svc.observe_run("eq-node", bundle, online=online)
+    chunked = chunk_svc.observe_run(
+        "eq-node", bundle, online=online, chunk_size=chunk_size
+    )
+    if dead:
+        assert whole.mode == "model_only"
+    _assert_identical(whole, chunked)
+    np.testing.assert_array_equal(
+        whole_svc.log("eq-node").p_node, chunk_svc.log("eq-node").p_node
+    )
+    assert whole_svc.log("eq-node").modes == chunk_svc.log("eq-node").modes
+    assert (whole_svc.health("eq-node").status
+            == chunk_svc.health("eq-node").status)
+
+
+def test_chunked_healthy_run_matches_golden_fixture(chaos_reference):
+    """The streamed path reproduces the pinned golden traces, not just the
+    current whole-run behaviour."""
+    assert GOLDEN_PATH.exists(), (
+        f"{GOLDEN_PATH} missing - run scripts/make_golden_monitor.py"
+    )
+    with np.load(GOLDEN_PATH) as data:
+        golden = {k: data[k] for k in data.files}
+    reference, bundle = chaos_reference
+    svc = PowerMonitorService(reference.model, reference.spec)
+    # Same sensor seed as the fixture's healthy run (repro.faults.golden).
+    from repro.faults.golden import _HEALTHY_SENSOR_SEED
+
+    svc.register_node(
+        "golden-chunked",
+        sensor=IPMISensor(reference.spec,
+                          seed=7 + _HEALTHY_SENSOR_SEED),
+    )
+    result = svc.observe_run("golden-chunked", bundle, chunk_size=32)
+    for channel in ("p_node", "p_cpu", "p_mem"):
+        np.testing.assert_allclose(
+            getattr(result, channel), golden[f"healthy_{channel}"],
+            rtol=1e-3, atol=1e-2,
+        )
+    np.testing.assert_array_equal(result.provenance,
+                                  golden["healthy_provenance"])
+
+
+@pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+def test_monitor_stream_pieces_tile_and_match(chaos_reference, chunk_size):
+    """Core-level generator: pieces tile [0, n) and concatenate exactly."""
+    reference, bundle = chaos_reference
+    model: HighRPM = reference.model
+    readings = IPMISensor(reference.spec, seed=17).sample(bundle)
+    pmcs = bundle.pmcs.matrix
+    for online in (True, False):
+        whole = (model.monitor_online if online else model.monitor_offline)(
+            pmcs, readings
+        )
+        expected_start = 0
+        parts = []
+        for start, piece in model.monitor_stream(
+            pmcs, readings, online=online, chunk_size=chunk_size
+        ):
+            assert start == expected_start
+            expected_start += len(piece)
+            parts.append(piece)
+        assert expected_start == pmcs.shape[0]
+        np.testing.assert_array_equal(
+            np.concatenate([p.p_node for p in parts]), whole.p_node
+        )
+        np.testing.assert_array_equal(
+            np.concatenate([p.p_cpu for p in parts]), whole.p_cpu
+        )
+        np.testing.assert_array_equal(
+            np.concatenate([p.provenance for p in parts]), whole.provenance
+        )
+
+
+def test_jsonl_sink_mirrors_the_memory_log(chaos_reference, tmp_path):
+    reference, bundle = chaos_reference
+    path = tmp_path / "chunks.jsonl"
+    svc = PowerMonitorService(reference.model, reference.spec,
+                              sinks=[JsonlSink(path)])
+    svc.register_node("eq-node", seed=33)
+    svc.observe_run("eq-node", bundle, chunk_size=50)
+    records = list(iter_jsonl(path))
+    chunks = [r for r in records if r["event"] == "chunk"]
+    assert records[-1]["event"] == "end_run"
+    assert [r["start"] for r in chunks] == sorted(r["start"] for r in chunks)
+    streamed = np.concatenate([r["p_node"] for r in chunks])
+    np.testing.assert_array_equal(streamed, svc.log("eq-node").p_node)
