@@ -1,12 +1,19 @@
 """``repro-lint`` command line (also ``python -m repro.analysis``).
 
 Exit codes: 0 clean, 1 findings, 2 usage/config error.
+
+``--changed`` lints only files touched relative to ``--diff-base``
+(default ``HEAD``) plus uncommitted/untracked files — the fast CI
+pre-gate. The project symbol index still covers the *whole* path set,
+so cross-file rules (Stage subclassing, imported globals) see full
+context even on a partial run; the full lint remains the tier-1 gate.
 """
 
 from __future__ import annotations
 
 import argparse
 import os
+import subprocess
 import sys
 from pathlib import Path
 
@@ -14,9 +21,11 @@ from . import rules as _rules  # noqa: F401  (import registers the rule set)
 from .config import load_config
 from .engine import LintEngine, iter_python_files
 from .registry import all_rules, normalize_rule_keys
-from .reporters import render_json, render_text
+from .reporters import render_json, render_sarif, render_text
 
 DEFAULT_PATHS = ("src", "examples", "benchmarks", "scripts")
+
+_RENDERERS = {"text": render_text, "json": render_json, "sarif": render_sarif}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -28,7 +37,20 @@ def build_parser() -> argparse.ArgumentParser:
         "paths", nargs="*",
         help="files or directories to lint (default: src examples benchmarks scripts)",
     )
-    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--format", choices=("text", "json", "sarif"), default="text")
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help="write the report to this file instead of stdout",
+    )
+    parser.add_argument(
+        "--changed", action="store_true",
+        help="lint only files changed vs --diff-base (plus uncommitted and "
+        "untracked files); the symbol index still spans all paths",
+    )
+    parser.add_argument(
+        "--diff-base", default="HEAD",
+        help="git ref to diff against for --changed (default: HEAD)",
+    )
     parser.add_argument(
         "--select", help="comma-separated rule ids/names to run exclusively"
     )
@@ -44,12 +66,30 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def changed_files(base: str) -> "set[Path]":
+    """Python files changed vs ``base``: committed diff, working tree, untracked."""
+    out: "set[Path]" = set()
+    commands = [
+        ["git", "diff", "--name-only", "--diff-filter=d", base],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ]
+    for cmd in commands:
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, check=True
+        )
+        for line in proc.stdout.splitlines():
+            line = line.strip()
+            if line.endswith(".py"):
+                out.add(Path(line).resolve())
+    return out
+
+
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.list_rules:
         for cls in all_rules():
-            print(f"{cls.id}  {cls.name:<20} {cls.description}")
+            print(f"{cls.id}  {cls.name:<24} {cls.description}")
         return 0
 
     config = load_config(args.config_root)
@@ -77,22 +117,39 @@ def main(argv: "list[str] | None" = None) -> int:
         print("repro-lint: nothing to lint", file=sys.stderr)
         return 2
 
+    only: "set[Path] | None" = None
+    if args.changed:
+        try:
+            only = changed_files(args.diff_base)
+        except (OSError, subprocess.CalledProcessError) as exc:
+            detail = getattr(exc, "stderr", "") or str(exc)
+            print(
+                f"repro-lint: --changed needs a git checkout: {detail.strip()}",
+                file=sys.stderr,
+            )
+            return 2
+
     engine = LintEngine(config)
     files = iter_python_files(paths, config)
-    diagnostics = []
-    for f in files:
-        diagnostics.extend(engine.lint_file(f))
-    diagnostics.sort()
+    if only is not None:
+        checked = [f for f in files if f.resolve() in only]
+    else:
+        checked = files
+    diagnostics = sorted(engine.lint_paths(paths, only=only))
 
-    render = render_json if args.format == "json" else render_text
-    try:
-        print(render(diagnostics, len(files)))
-    except BrokenPipeError:
-        # Downstream pager/head closed the pipe; exit with the right code
-        # instead of a traceback. Detach stdout so interpreter shutdown
-        # doesn't trip over the closed descriptor.
-        devnull = os.open(os.devnull, os.O_WRONLY)
-        os.dup2(devnull, sys.stdout.fileno())
+    render = _RENDERERS[args.format]
+    report = render(diagnostics, len(checked))
+    if args.output is not None:
+        args.output.write_text(report + "\n", encoding="utf-8")
+    else:
+        try:
+            print(report)
+        except BrokenPipeError:
+            # Downstream pager/head closed the pipe; exit with the right code
+            # instead of a traceback. Detach stdout so interpreter shutdown
+            # doesn't trip over the closed descriptor.
+            devnull = os.open(os.devnull, os.O_WRONLY)
+            os.dup2(devnull, sys.stdout.fileno())
     return 1 if diagnostics else 0
 
 

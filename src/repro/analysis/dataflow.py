@@ -1,0 +1,473 @@
+"""Intraprocedural dataflow for lint rules.
+
+The six seed rules are pure AST pattern matchers; the RL2xx/RL3xx/RL4xx
+families need to *reason about values*: is this name an ndarray, does this
+``for`` loop walk a trace sample by sample, is this subscript invariant
+under the loop around it? This module supplies that reasoning as a small,
+deliberately bounded dataflow layer:
+
+* **value provenance** — a flat lattice tagging each name ``ndarray`` /
+  ``scalar`` / ``list`` / ``dict`` / ``set`` / ``unknown``, inferred from
+  literals, known numpy constructors, annotations, and one-hop def-use
+  chains (``n = pmcs.shape[0]`` also records *which* array ``n`` measures);
+* **loop context** — every ``for``/``while`` statement knows its enclosing
+  loops, its loop variables, and the set of names assigned anywhere in its
+  body (the write set loop-invariance is checked against);
+* **sample-loop classification** — a ``for`` loop is a *sample loop* when
+  it walks an ndarray element by element: ``for i in range(len(x))`` /
+  ``range(x.shape[0])`` (directly or through a recorded length alias),
+  ``for v in x``, ``for i in np.flatnonzero(...)``, ``enumerate(x)``, or
+  ``zip(..., x, ...)`` with ``x`` an ndarray. A stepped
+  ``range(0, n, chunk)`` is a *chunk* loop and is never classified as
+  per-sample.
+
+Scope and limits (also documented in ``docs/static_analysis.md``): the
+analysis is intraprocedural and flow-insensitive (a name's tag is the join
+over all its assignments; conflicting tags join to ``unknown``), performs
+no aliasing (``b = a`` copies ``a``'s tag once, at the def-use hop), and
+does not classify comprehensions as loops. Rules built on it therefore
+under-approximate: they stay silent when unsure.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+#: Provenance tags (a flat lattice: anything joined with a different tag
+#: becomes UNKNOWN).
+NDARRAY = "ndarray"
+SCALAR = "scalar"
+LIST = "list"
+DICT = "dict"
+SET = "set"
+UNKNOWN = "unknown"
+
+#: Tags whose values are mutable containers.
+MUTABLE_TAGS = frozenset((LIST, DICT, SET))
+
+#: numpy module-level callables that return ndarrays. Curated rather than
+#: exhaustive: under-approximation keeps rules quiet when unsure.
+NUMPY_ARRAY_FUNCS = frozenset({
+    "array", "asarray", "ascontiguousarray", "asfortranarray", "atleast_1d",
+    "atleast_2d", "zeros", "zeros_like", "ones", "ones_like", "empty",
+    "empty_like", "full", "full_like", "arange", "linspace", "logspace",
+    "concatenate", "stack", "vstack", "hstack", "column_stack", "where",
+    "clip", "abs", "minimum", "maximum", "sqrt", "exp", "log", "sign",
+    "gradient", "diff", "cumsum", "sort", "argsort", "unique", "searchsorted",
+    "flatnonzero", "nonzero", "interp", "pad", "repeat", "tile", "take",
+    "einsum", "choose", "select", "round", "floor", "ceil", "square",
+    "frombuffer", "fromiter", "copy",
+})
+
+#: ndarray methods that return ndarrays (receiver must already be ndarray).
+NDARRAY_METHODS = frozenset({
+    "copy", "astype", "reshape", "ravel", "flatten", "clip", "cumsum",
+    "round", "take", "repeat", "transpose", "squeeze", "view",
+})
+
+#: Callables returning scalars regardless of input.
+SCALAR_FUNCS = frozenset({"len", "int", "float", "bool", "abs", "min", "max", "sum", "round"})
+
+#: Annotation spellings accepted as "this parameter is an ndarray".
+_NDARRAY_ANNOTATIONS = frozenset({
+    "np.ndarray", "numpy.ndarray", "ndarray", "npt.NDArray", "NDArray",
+})
+
+
+def _annotation_tag(text: "str | None") -> str:
+    """Provenance tag implied by an annotation's text, UNKNOWN if none."""
+    if text is None:
+        return UNKNOWN
+    if text in _NDARRAY_ANNOTATIONS:
+        return NDARRAY
+    head = text.split("[", 1)[0].strip().lower()
+    return {
+        "set": SET, "frozenset": SET,
+        "list": LIST,
+        "dict": DICT,
+    }.get(head, UNKNOWN)
+
+
+@dataclass(frozen=True)
+class ValueInfo:
+    """Provenance of one assigned value."""
+
+    tag: str = UNKNOWN
+    #: for SCALAR values derived from an array's extent (``len(x)``,
+    #: ``x.shape[0]``): the measured array's name.
+    length_of: "str | None" = None
+
+
+def _dotted(node: ast.AST) -> "str | None":
+    """``a.b.c`` -> ``"a.b.c"``; None for non-name/attribute expressions."""
+    parts: "list[str]" = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _annotation_text(node: "ast.AST | None") -> "str | None":
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.strip().strip('"')
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse failure on exotic nodes
+        return None
+
+
+def names_read(node: ast.AST) -> "set[str]":
+    """All plain names loaded anywhere under ``node`` (incl. attr roots)."""
+    out: "set[str]" = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            out.add(sub.id)
+    return out
+
+
+def _target_names(target: ast.AST) -> "set[str]":
+    """Names bound by an assignment/loop target (tuple targets flattened)."""
+    out: "set[str]" = set()
+    for sub in ast.walk(target):
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, (ast.Store, ast.Del)):
+            out.add(sub.id)
+    return out
+
+
+def names_assigned_under(node: ast.AST) -> "set[str]":
+    """Every name assigned anywhere in the subtree (writes, aug-writes,
+    loop targets, with-as bindings) — the write set for invariance checks.
+    Attribute/subscript writes contribute their *root* name (``x[i] = v``
+    writes ``x``)."""
+    out: "set[str]" = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+            for t in targets:
+                out |= _target_names(t)
+                root = t
+                while isinstance(root, (ast.Attribute, ast.Subscript)):
+                    root = root.value
+                if isinstance(root, ast.Name):
+                    out.add(root.id)
+        elif isinstance(sub, ast.For):
+            out |= _target_names(sub.target)
+        elif isinstance(sub, ast.withitem) and sub.optional_vars is not None:
+            out |= _target_names(sub.optional_vars)
+        elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            out.add(sub.name)
+    return out
+
+
+class ScopeDataflow:
+    """Assignment tracking and provenance for one function (or the module).
+
+    ``assignments`` maps each name to the :class:`ValueInfo` of every value
+    assigned to it in this scope; :meth:`provenance` joins them.
+    """
+
+    def __init__(self, node: ast.AST, parent: "ScopeDataflow | None" = None) -> None:
+        self.node = node
+        self.parent = parent
+        self.assignments: "dict[str, list[ValueInfo]]" = {}
+        self._collect()
+
+    # ------------------------------------------------------------ collection
+    def _collect(self) -> None:
+        if isinstance(self.node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = self.node.args
+            for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+                tag = _annotation_tag(_annotation_text(a.annotation))
+                self.assignments.setdefault(a.arg, []).append(ValueInfo(tag))
+        for stmt in self._own_statements(self.node):
+            if isinstance(stmt, ast.Assign):
+                info = self.infer(stmt.value)
+                for t in stmt.targets:
+                    for name in _target_names(t):
+                        self.assignments.setdefault(name, []).append(info)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                if stmt.value is not None:
+                    info = self.infer(stmt.value)
+                else:
+                    info = ValueInfo(
+                        _annotation_tag(_annotation_text(stmt.annotation))
+                    )
+                self.assignments.setdefault(stmt.target.id, []).append(info)
+            elif isinstance(stmt, ast.AugAssign) and isinstance(stmt.target, ast.Name):
+                # x += ... keeps x's tag; record as unknown-preserving noop.
+                self.assignments.setdefault(stmt.target.id, [])
+            elif isinstance(stmt, ast.For):
+                info = self._element_info(stmt.iter)
+                for name in _target_names(stmt.target):
+                    self.assignments.setdefault(name, []).append(info)
+
+    def _own_statements(self, root: ast.AST):
+        """Statements of this scope, descending into control flow but not
+        into nested function/class scopes."""
+        stack = list(ast.iter_child_nodes(root))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    # ------------------------------------------------------------- inference
+    def provenance(self, name: str, _depth: int = 0) -> str:
+        """Joined tag of every value assigned to ``name`` in this scope
+        (falling back to enclosing scopes for free variables)."""
+        infos = self.assignments.get(name)
+        if infos is None:
+            if self.parent is not None and _depth < 8:
+                return self.parent.provenance(name, _depth + 1)
+            return UNKNOWN
+        tags = {i.tag for i in infos} or {UNKNOWN}
+        if len(tags) == 1:
+            return next(iter(tags))
+        tags.discard(UNKNOWN)
+        return next(iter(tags)) if len(tags) == 1 else UNKNOWN
+
+    def length_source(self, name: str) -> "str | None":
+        """The array whose extent ``name`` records, if unambiguous."""
+        sources = {
+            i.length_of for i in self.assignments.get(name, []) if i.length_of
+        }
+        return next(iter(sources)) if len(sources) == 1 else None
+
+    def infer(self, expr: ast.AST, _depth: int = 0) -> ValueInfo:
+        """Provenance of an expression (one-hop def-use through names)."""
+        if isinstance(expr, ast.Constant):
+            if isinstance(expr.value, (int, float, complex, bool)):
+                return ValueInfo(SCALAR)
+            return ValueInfo(UNKNOWN)
+        if isinstance(expr, (ast.List, ast.ListComp)):
+            return ValueInfo(LIST)
+        if isinstance(expr, (ast.Dict, ast.DictComp)):
+            return ValueInfo(DICT)
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return ValueInfo(SET)
+        if isinstance(expr, ast.Name):
+            if _depth >= 4:
+                return ValueInfo(UNKNOWN)
+            return ValueInfo(
+                self.provenance(expr.id), self.length_source(expr.id)
+            )
+        if isinstance(expr, ast.IfExp):
+            a = self.infer(expr.body, _depth + 1)
+            b = self.infer(expr.orelse, _depth + 1)
+            return a if a.tag == b.tag else ValueInfo(UNKNOWN)
+        if isinstance(expr, ast.BinOp):
+            left = self.infer(expr.left, _depth + 1)
+            right = self.infer(expr.right, _depth + 1)
+            if NDARRAY in (left.tag, right.tag):
+                return ValueInfo(NDARRAY)
+            if left.tag == right.tag == SCALAR:
+                return ValueInfo(SCALAR)
+            return ValueInfo(UNKNOWN)
+        if isinstance(expr, ast.UnaryOp):
+            return self.infer(expr.operand, _depth + 1)
+        if isinstance(expr, ast.Compare):
+            # Elementwise comparisons keep array-ness (boolean masks).
+            if self.infer(expr.left, _depth + 1).tag == NDARRAY or any(
+                self.infer(c, _depth + 1).tag == NDARRAY for c in expr.comparators
+            ):
+                return ValueInfo(NDARRAY)
+            return ValueInfo(SCALAR)
+        if isinstance(expr, ast.Subscript):
+            return self._infer_subscript(expr, _depth)
+        if isinstance(expr, ast.Call):
+            return self._infer_call(expr, _depth)
+        if isinstance(expr, ast.Attribute):
+            # Frozen trace fields are ndarrays by construction (repro.types
+            # stores them read-only); ``.indices``/``.values`` of
+            # SparseReadings likewise.
+            if expr.attr in ("values", "matrix", "indices"):
+                return ValueInfo(NDARRAY)
+            return ValueInfo(UNKNOWN)
+        return ValueInfo(UNKNOWN)
+
+    def _infer_subscript(self, expr: ast.Subscript, depth: int) -> ValueInfo:
+        # shape access: ``x.shape[0]`` is a length scalar. Accessing
+        # ``.shape`` at all is strong evidence ``x`` is an ndarray, so this
+        # does not require the base name's provenance to resolve.
+        if (
+            isinstance(expr.value, ast.Attribute)
+            and expr.value.attr == "shape"
+        ):
+            idx = expr.slice
+            if isinstance(idx, ast.Constant) and idx.value == 0:
+                return ValueInfo(SCALAR, length_of=_dotted(expr.value.value))
+            return ValueInfo(SCALAR)
+        base = self.infer(expr.value, depth + 1)
+        if base.tag != NDARRAY:
+            return ValueInfo(UNKNOWN)
+        if isinstance(expr.slice, ast.Slice):
+            return ValueInfo(NDARRAY)
+        idx = self.infer(expr.slice, depth + 1)
+        if idx.tag == NDARRAY:  # fancy indexing keeps array-ness
+            return ValueInfo(NDARRAY)
+        return ValueInfo(UNKNOWN)  # scalar index: row or element, unknown
+
+    def _infer_call(self, expr: ast.Call, depth: int) -> ValueInfo:
+        fn = expr.func
+        if isinstance(fn, ast.Name):
+            if fn.id == "len" and expr.args:
+                target = _dotted(expr.args[0])
+                return ValueInfo(SCALAR, length_of=target)
+            if fn.id in ("list", "sorted"):
+                return ValueInfo(LIST)
+            if fn.id == "dict":
+                return ValueInfo(DICT)
+            if fn.id in ("set", "frozenset"):
+                return ValueInfo(SET)
+            if fn.id in SCALAR_FUNCS:
+                return ValueInfo(SCALAR)
+            return ValueInfo(UNKNOWN)
+        if isinstance(fn, ast.Attribute):
+            owner = _dotted(fn.value)
+            if owner in ("np", "numpy"):
+                if fn.attr in NUMPY_ARRAY_FUNCS:
+                    return ValueInfo(NDARRAY)
+                return ValueInfo(UNKNOWN)
+            if fn.attr in NDARRAY_METHODS:
+                if self.infer(fn.value, depth + 1).tag == NDARRAY:
+                    return ValueInfo(NDARRAY)
+            if fn.attr == "keys":
+                return ValueInfo(UNKNOWN)
+        return ValueInfo(UNKNOWN)
+
+    # ------------------------------------------------------ shape reasoning
+    def is_array_extent(self, expr: ast.AST) -> bool:
+        """True when ``expr`` is the element count of an ndarray:
+        ``len(x)``, ``x.shape[0]``, or a name recorded as either."""
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name) \
+                and expr.func.id == "len" and expr.args:
+            return self.infer(expr.args[0]).tag == NDARRAY
+        if (
+            isinstance(expr, ast.Subscript)
+            and isinstance(expr.value, ast.Attribute)
+            and expr.value.attr == "shape"
+        ):
+            # ``.shape`` access is itself an ndarray signal; do not demand
+            # the base name's provenance to resolve.
+            return True
+        if isinstance(expr, ast.Name):
+            return self.length_source(expr.id) is not None
+        return False
+
+    def _element_info(self, iter_expr: ast.AST) -> ValueInfo:
+        """Provenance of a loop variable given the iterable."""
+        tag = self.infer(iter_expr).tag
+        if tag == NDARRAY:
+            return ValueInfo(UNKNOWN)  # rows or elements — unknown
+        return ValueInfo(UNKNOWN)
+
+    # --------------------------------------------------- loop classification
+    def is_sample_loop(self, loop: ast.For) -> bool:
+        """True when the loop walks an ndarray one element at a time."""
+        it = loop.iter
+        if isinstance(it, ast.Call) and isinstance(it.func, ast.Name):
+            if it.func.id == "range":
+                if len(it.args) == 1:
+                    return self.is_array_extent(it.args[0])
+                if len(it.args) == 2:
+                    return self.is_array_extent(it.args[1])
+                return False  # stepped range = chunk loop, not per-sample
+            if it.func.id == "enumerate" and it.args:
+                return self.infer(it.args[0]).tag == NDARRAY
+            if it.func.id == "zip":
+                return any(self.infer(a).tag == NDARRAY for a in it.args)
+            if it.func.id == "reversed" and it.args:
+                return self.infer(it.args[0]).tag == NDARRAY
+        return self.infer(it).tag == NDARRAY
+
+
+class ModuleDataflow:
+    """Per-module dataflow: one :class:`ScopeDataflow` per function scope,
+    a parent map, and loop-context queries shared by every rule."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.tree = tree
+        self.parents: "dict[ast.AST, ast.AST]" = {}
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                self.parents[child] = node
+        self.module_scope = ScopeDataflow(tree)
+        self.scopes: "dict[ast.AST, ScopeDataflow]" = {tree: self.module_scope}
+        self._build_scopes(tree, self.module_scope)
+        self._write_sets: "dict[ast.AST, set[str]]" = {}
+
+    def _build_scopes(self, node: ast.AST, parent: ScopeDataflow) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scope = ScopeDataflow(child, parent=parent)
+                self.scopes[child] = scope
+                self._build_scopes(child, scope)
+            else:
+                self._build_scopes(child, parent)
+
+    # ---------------------------------------------------------------- lookup
+    def scope_for(self, node: ast.AST) -> ScopeDataflow:
+        """The function scope whose body contains ``node``."""
+        cur: "ast.AST | None" = node
+        while cur is not None:
+            if cur in self.scopes:
+                # A function *definition* node belongs to the enclosing
+                # scope; its body belongs to its own.
+                if cur is node and isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    return self.scopes[cur]
+                return self.scopes[cur]
+            cur = self.parents.get(cur)
+        return self.module_scope
+
+    def enclosing_loops(self, node: ast.AST) -> "list[ast.AST]":
+        """For/while statements around ``node``, innermost first, stopping
+        at the function boundary."""
+        out: "list[ast.AST]" = []
+        cur = self.parents.get(node)
+        while cur is not None:
+            if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                break
+            if isinstance(cur, (ast.For, ast.While)):
+                out.append(cur)
+            cur = self.parents.get(cur)
+        return out
+
+    def enclosing_class(self, node: ast.AST) -> "ast.ClassDef | None":
+        cur = self.parents.get(node)
+        while cur is not None:
+            if isinstance(cur, ast.ClassDef):
+                return cur
+            cur = self.parents.get(cur)
+        return None
+
+    def write_set(self, loop: ast.AST) -> "set[str]":
+        """Names assigned anywhere inside ``loop`` (cached)."""
+        if loop not in self._write_sets:
+            names = names_assigned_under(loop)
+            if isinstance(loop, ast.For):
+                names |= _target_names(loop.target)
+            self._write_sets[loop] = names
+        return self._write_sets[loop]
+
+    def is_loop_invariant(self, expr: ast.AST, loop: ast.AST) -> bool:
+        """No name the expression reads is written inside the loop."""
+        return not (names_read(expr) & self.write_set(loop))
+
+    def sample_loops(self) -> "list[tuple[ast.For, ScopeDataflow]]":
+        """Every for-loop classified as per-sample, with its scope."""
+        out: "list[tuple[ast.For, ScopeDataflow]]" = []
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.For):
+                scope = self.scope_for(node)
+                if scope.is_sample_loop(node):
+                    out.append((node, scope))
+        return out

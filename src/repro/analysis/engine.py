@@ -3,11 +3,20 @@
 Suppression grammar (comments, matched with the ``tokenize`` module so
 strings containing the marker are never misread):
 
-* ``# repro-lint: disable=RL001,layering`` — suppress those rules on the
-  physical line carrying the comment (trailing comment) or, for a comment
-  on its own line, on the next code line;
-* ``# repro-lint: disable-file=RL005`` — suppress for the whole file;
-* rule names and ids are interchangeable; ``all`` suppresses every rule.
+* ``# repro-lint: disable=RL001,layering — why it is safe here`` —
+  suppress those rules on the physical line carrying the comment (trailing
+  comment) or, for a comment on its own line, on the next code line;
+* ``# repro-lint: disable-file=RL005 — why`` — suppress for the whole file;
+* rule names and ids are interchangeable; ``all`` suppresses every rule;
+* the trailing free text is the suppression's *reason* and is mandatory:
+  RL007 flags any directive without one (and any directive naming an
+  unknown rule, which would otherwise silently suppress nothing).
+
+Project-wide linting (``lint_paths``) parses every file up front and
+builds a :class:`~repro.analysis.symbols.ProjectIndex` over the trees, so
+cross-file rules (Stage subclassing, imported mutable globals) see the
+whole project; ``lint_file`` on a single path degrades to a one-file
+index.
 """
 
 from __future__ import annotations
@@ -21,12 +30,43 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from .config import LintConfig, load_config
+from .dataflow import ModuleDataflow
 from .diagnostics import Diagnostic
 from .registry import RuleContext, all_rules, normalize_rule_keys
+from .symbols import ProjectIndex
 
+#: Rule tokens are ids/names (``RL001``, ``rng-discipline``, ``all``);
+#: anything after the comma-separated list is the human reason.
 _SUPPRESS_RE = re.compile(
-    r"#\s*repro-lint:\s*(?P<kind>disable(?:-file)?)\s*=\s*(?P<rules>[\w\-, ]+)"
+    r"#\s*repro-lint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_][A-Za-z0-9_-]*(?:\s*,\s*[A-Za-z0-9_][A-Za-z0-9_-]*)*)"
+    r"(?P<rest>.*)$"
 )
+
+#: Leading separators allowed between the rule list and the reason text.
+_REASON_STRIP = " \t-—:;,.()"
+
+
+@dataclass(frozen=True)
+class SuppressionDirective:
+    """One parsed ``# repro-lint: disable...`` comment."""
+
+    line: int
+    kind: str  # "disable" | "disable-file"
+    #: raw rule tokens as written (ids/names/"all"), before normalisation.
+    raw_rules: "tuple[str, ...]"
+    #: normalised rule ids; empty when some token named an unknown rule.
+    rule_ids: "frozenset[str]"
+    #: free text after the rule list (the justification).
+    reason: str
+
+    @property
+    def has_reason(self) -> bool:
+        return bool(self.reason)
+
+    @property
+    def known(self) -> bool:
+        return bool(self.rule_ids)
 
 
 @dataclass
@@ -36,6 +76,8 @@ class Suppressions:
     file_level: "set[str]" = field(default_factory=set)
     #: line number -> set of rule ids suppressed on that line
     by_line: "dict[int, set[str]]" = field(default_factory=dict)
+    #: every directive found, in file order (consumed by RL007).
+    directives: "list[SuppressionDirective]" = field(default_factory=list)
 
     def allows(self, diag: Diagnostic) -> bool:
         """True when ``diag`` survives (is *not* suppressed)."""
@@ -57,10 +99,17 @@ def parse_suppressions(source: str) -> Suppressions:
             m = _SUPPRESS_RE.search(tok.string)
             if not m:
                 continue
+            raw = tuple(r.strip() for r in m.group("rules").split(",") if r.strip())
             try:
-                ids = normalize_rule_keys([r for r in m.group("rules").split(",") if r.strip()])
+                ids = frozenset(normalize_rule_keys(list(raw)))
             except KeyError:
-                continue  # unknown rule in directive: ignore rather than crash
+                ids = frozenset()  # unknown rule: suppress nothing, RL007 flags it
+            sup.directives.append(SuppressionDirective(
+                line=tok.start[0], kind=m.group("kind"), raw_rules=raw,
+                rule_ids=ids, reason=m.group("rest").strip(_REASON_STRIP),
+            ))
+            if not ids:
+                continue
             if m.group("kind") == "disable-file":
                 sup.file_level.update(ids)
             else:
@@ -122,37 +171,77 @@ class LintEngine:
             enabled = [r for r in enabled if r.id not in drop]
         self.rules = [cls() for cls in enabled]
 
-    def lint_file(self, path: Path) -> "list[Diagnostic]":
-        path = Path(path)
+    def _load(self, path: Path):
+        """Read and parse one file.
+
+        Returns ``(source, tree, None)`` on success or ``(None, None,
+        diagnostic)`` when the file cannot be read/parsed.
+        """
         try:
             source = path.read_text(encoding="utf-8")
         except (OSError, UnicodeDecodeError) as exc:
-            return [
-                Diagnostic(str(path), 1, 1, "RL000", "unreadable", f"cannot read file: {exc}")
-            ]
+            return None, None, Diagnostic(
+                str(path), 1, 1, "RL000", "unreadable", f"cannot read file: {exc}"
+            )
         try:
             tree = ast.parse(source, filename=str(path))
         except SyntaxError as exc:
-            return [
-                Diagnostic(
-                    str(path), exc.lineno or 1, (exc.offset or 0) + 1,
-                    "RL000", "syntax-error", f"cannot parse file: {exc.msg}",
-                )
-            ]
+            return None, None, Diagnostic(
+                str(path), exc.lineno or 1, (exc.offset or 0) + 1,
+                "RL000", "syntax-error", f"cannot parse file: {exc.msg}",
+            )
+        return source, tree, None
+
+    def _lint_parsed(
+        self, path: Path, source: str, tree: ast.Module, index: ProjectIndex
+    ) -> "list[Diagnostic]":
         sup = parse_suppressions(source)
         ctx_base = dict(path=path, module=module_name_for(path), tree=tree,
-                        source=source, config=self.config)
+                        source=source, config=self.config,
+                        index=index, dataflow=ModuleDataflow(tree))
         found: "list[Diagnostic]" = []
         for rule in self.rules:
             ctx = RuleContext(options=self.config.options_for(rule.name), **ctx_base)
             found.extend(d for d in rule.check(ctx) if sup.allows(d))
         return sorted(found)
 
-    def lint_paths(self, paths: "Iterable[Path | str]") -> "list[Diagnostic]":
+    def lint_file(self, path: Path, index: "ProjectIndex | None" = None) -> "list[Diagnostic]":
+        """Lint one file (building a single-file symbol index if needed)."""
+        path = Path(path)
+        source, tree, err = self._load(path)
+        if err is not None:
+            return [err]
+        if index is None:
+            index = ProjectIndex.build([(module_name_for(path), tree)])
+        return self._lint_parsed(path, source, tree, index)
+
+    def lint_paths(
+        self, paths: "Iterable[Path | str]", only: "set[Path] | None" = None
+    ) -> "list[Diagnostic]":
+        """Lint every python file under ``paths``.
+
+        The symbol index always covers the *whole* file set; ``only``
+        optionally restricts which files are actually checked (the
+        ``--changed`` fast path), so cross-file rules keep full context.
+        ``only`` is compared on resolved paths.
+        """
         files = iter_python_files([Path(p) for p in paths], self.config)
+        selected = {Path(p).resolve() for p in only} if only is not None else None
         out: "list[Diagnostic]" = []
+        parsed: "list[tuple[Path, str, ast.Module]]" = []
+        index = ProjectIndex()
         for f in files:
-            out.extend(self.lint_file(f))
+            source, tree, err = self._load(f)
+            if err is not None:
+                if selected is None or f.resolve() in selected:
+                    out.append(err)
+                continue
+            index.add_module(module_name_for(f), tree)
+            parsed.append((f, source, tree))
+        for f, source, tree in parsed:
+            if selected is not None and f.resolve() not in selected:
+                continue
+            out.extend(self._lint_parsed(f, source, tree, index))
         return out
 
 

@@ -32,6 +32,13 @@ class RuleContext:
     config: LintConfig
     #: Per-rule option mapping from ``[tool.repro-lint.rules.<name>]``.
     options: dict = field(default_factory=dict)
+    #: Project-wide symbol index (classes, imports, mutable globals). The
+    #: engine always supplies one; it covers just this file when the rule
+    #: runs through ``lint_file`` on a single path.
+    index: "object | None" = None
+    #: Shared per-file dataflow (:class:`~repro.analysis.dataflow
+    #: .ModuleDataflow`); built once by the engine and reused across rules.
+    dataflow: "object | None" = None
 
     @property
     def relpath(self) -> str:
@@ -39,6 +46,22 @@ class RuleContext:
             return str(self.path.relative_to(Path.cwd()))
         except ValueError:
             return str(self.path)
+
+    def flow(self):
+        """The file's :class:`ModuleDataflow`, built lazily if absent."""
+        if self.dataflow is None:
+            from .dataflow import ModuleDataflow
+            self.dataflow = ModuleDataflow(self.tree)
+        return self.dataflow
+
+    def in_packages(self, prefixes) -> bool:
+        """True when this file's module sits under any dotted prefix."""
+        if self.module is None:
+            return False
+        return any(
+            self.module == p or self.module.startswith(p + ".")
+            for p in prefixes
+        )
 
 
 class Rule:

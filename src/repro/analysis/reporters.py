@@ -1,4 +1,4 @@
-"""Text and JSON reporters for lint diagnostics."""
+"""Text, JSON, and SARIF reporters for lint diagnostics."""
 
 from __future__ import annotations
 
@@ -10,6 +10,13 @@ from .diagnostics import Diagnostic
 
 #: Stable schema version for the JSON reporter; bump on breaking changes.
 JSON_SCHEMA_VERSION = 1
+
+#: SARIF spec level pinned by the GitHub code-scanning ingester.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def render_text(diagnostics: Sequence[Diagnostic], files_checked: int) -> str:
@@ -39,5 +46,70 @@ def render_json(diagnostics: Sequence[Diagnostic], files_checked: int) -> str:
             "by_rule": dict(sorted(by_rule.items())),
         },
         "diagnostics": [d.to_dict() for d in diagnostics],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif(diagnostics: Sequence[Diagnostic], files_checked: int) -> str:
+    """SARIF 2.1.0 report for GitHub code-scanning upload.
+
+    Rule metadata is taken from the live registry so the ``rules`` array
+    always matches what actually ran; rules with no findings are included
+    too, which lets the code-scanning UI show them as "passing".
+    """
+    from .registry import all_rules
+
+    rules_meta = []
+    rule_index: "dict[str, int]" = {}
+    for i, cls in enumerate(all_rules()):
+        rule_index[cls.id] = i
+        rules_meta.append({
+            "id": cls.id,
+            "name": cls.name,
+            "shortDescription": {"text": cls.description or cls.name},
+            "defaultConfiguration": {"level": "error"},
+        })
+
+    results = []
+    for d in diagnostics:
+        result = {
+            "ruleId": d.rule_id,
+            "level": "error",
+            "message": {"text": f"{d.rule_name}: {d.message}"},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": d.path.replace("\\", "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(d.line, 1),
+                        "startColumn": max(d.col, 1),
+                    },
+                },
+            }],
+        }
+        if d.rule_id in rule_index:
+            result["ruleIndex"] = rule_index[d.rule_id]
+        results.append(result)
+
+    payload = {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri": (
+                        "https://example.invalid/highrpm-repro/docs/"
+                        "static_analysis.md"
+                    ),
+                    "rules": rules_meta,
+                },
+            },
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "properties": {"filesChecked": files_checked},
+            "results": results,
+        }],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,18 +1,59 @@
 """Built-in rule set; importing this package registers every rule.
 
-| id    | name                | summary                                         |
-|-------|---------------------|-------------------------------------------------|
-| RL001 | rng-discipline      | no global-state RNG outside ``utils/rng.py``    |
-| RL002 | layering            | imports must respect the declared layer DAG     |
-| RL003 | wall-clock          | no wall-clock reads inside numeric packages     |
-| RL004 | frozen-mutation     | no in-place writes to frozen trace attributes   |
-| RL005 | boundary-validation | array params of public core/sensors functions   |
-|       |                     | must be validated                               |
-| RL006 | swallowed-error     | no bare/blanket excepts that swallow errors     |
+| id    | name                     | summary                                      |
+|-------|--------------------------|----------------------------------------------|
+| RL001 | rng-discipline           | no global-state RNG outside ``utils/rng.py`` |
+| RL002 | layering                 | imports must respect the declared layer DAG  |
+| RL003 | wall-clock               | no wall-clock reads inside numeric packages  |
+| RL004 | frozen-mutation          | no in-place writes to frozen trace attrs     |
+| RL005 | boundary-validation      | array params of public core/sensors          |
+|       |                          | functions must be validated                  |
+| RL006 | swallowed-error          | no bare/blanket excepts that swallow errors  |
+| RL007 | undocumented-suppression | suppressions need a reason + known rules     |
+| RL201 | bit-identity-matmul      | no BLAS-order-dependent products in          |
+|       |                          | bit-identity-contract modules                |
+| RL202 | unordered-accumulation   | no numeric accumulation over set iteration   |
+|       |                          | in bit-identity modules                      |
+| RL301 | per-sample-loop          | no per-sample Python loops over ndarrays in  |
+|       |                          | hot-path packages                            |
+| RL302 | append-accumulation      | no list.append growth inside sample loops    |
+| RL303 | hoistable-indexing       | no loop-invariant ndarray gathers in loops   |
+| RL401 | stage-state              | Stage subclasses write self.* only in        |
+|       |                          | ``__init__`` (stateless protocol)            |
+| RL402 | global-mutation          | no mutation of module-level containers from  |
+|       |                          | monitor/stream/faults function bodies        |
+| RL403 | registry-capture         | no freezing ambient registry/tracer into     |
+|       |                          | attributes or globals                        |
+
+RL2xx guards the bit-identity contract, RL3xx the hot path, RL4xx the
+worker-safety conventions — see :mod:`repro.analysis.dataflow` for the
+provenance machinery they share.
 """
 
 from __future__ import annotations
 
-from . import boundaries, exceptions, layering, mutation, rng, wallclock
+from . import (
+    boundaries,
+    concurrency,
+    determinism,
+    exceptions,
+    hotpath,
+    layering,
+    mutation,
+    rng,
+    suppressions,
+    wallclock,
+)
 
-__all__ = ["boundaries", "exceptions", "layering", "mutation", "rng", "wallclock"]
+__all__ = [
+    "boundaries",
+    "concurrency",
+    "determinism",
+    "exceptions",
+    "hotpath",
+    "layering",
+    "mutation",
+    "rng",
+    "suppressions",
+    "wallclock",
+]

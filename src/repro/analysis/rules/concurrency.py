@@ -1,0 +1,263 @@
+"""RL401/RL402/RL403 — shared-state safety for the sharded fleet.
+
+The ROADMAP's next step runs the streaming pipeline inside worker
+processes (per-shard ``StreamPipeline``\\ s behind a service daemon). That
+deployment shape is only safe because of three conventions the code
+relies on today but nothing enforces:
+
+* **RL401 stage-state** — :class:`repro.stream.Stage` objects are shared
+  by every concurrently interleaved run (the fleet front-end drives one
+  ``RunContext`` per node through *one* stage list). A stage that assigns
+  ``self.<attr>`` outside ``__init__`` smuggles per-run state onto the
+  shared instance; two interleaved runs then race on it. All per-run
+  state belongs on the ``RunContext``. Subclasses are resolved through
+  the project symbol index, so hierarchies spanning files are seen.
+* **RL402 global-mutation** — mutating a module-level mutable container
+  (list/dict/set) from ``monitor``/``stream``/``faults`` code is invisible
+  cross-shard state: each worker process mutates its own copy and the
+  merge step sees none of it. Module-level constants stay readable;
+  mutation from function bodies is flagged (imports of another linted
+  module's globals are resolved through the index).
+* **RL403 registry-capture** — ``get_registry()``/``current_tracer()``
+  return whatever is *ambient at call time*; that is the whole point
+  (``use_registry`` swaps a per-shard registry in around worker code).
+  Capturing the result into ``self.<attr>`` or a module global freezes
+  the registry of whichever context happened to be active at
+  construction, defeating per-shard injection. Read it at call time, or
+  accept an explicitly injected registry. Direct ``GLOBAL_REGISTRY`` use
+  outside ``repro.obs`` is flagged for the same reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..diagnostics import Diagnostic
+from ..registry import Rule, RuleContext, register
+from ..symbols import ProjectIndex
+
+#: Packages whose code is worker-eligible under the sharded fleet plan.
+WORKER_PACKAGES = ("repro.monitor", "repro.stream")
+
+#: Packages checked for module-global mutation.
+GLOBAL_MUTATION_PACKAGES = ("repro.monitor", "repro.stream", "repro.faults")
+
+#: Methods that mutate a list/dict/set in place.
+_CONTAINER_MUTATORS = frozenset({
+    "append", "extend", "insert", "remove", "pop", "clear", "add",
+    "discard", "update", "setdefault", "popitem", "sort", "reverse",
+    "difference_update", "intersection_update", "symmetric_difference_update",
+})
+
+#: Ambient-accessor names whose results must not be captured (RL403).
+_AMBIENT_ACCESSORS = ("get_registry", "current_tracer")
+
+
+def _self_attr(node: ast.AST) -> "str | None":
+    """``self.x`` -> ``"x"`` (only one attribute level)."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+@register
+class StageStateRule(Rule):
+    id = "RL401"
+    name = "stage-state"
+    description = (
+        "Stage subclasses must stay stateless: no self.<attr> writes "
+        "outside __init__ — per-run state belongs on the RunContext."
+    )
+
+    _ALLOWED_METHODS = ("__init__", "__init_subclass__", "__new__", "__set_name__")
+
+    def check(self, ctx: RuleContext) -> Iterator[Diagnostic]:
+        root = str(ctx.options.get("base_class", "Stage"))
+        index = ctx.index if isinstance(ctx.index, ProjectIndex) else None
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not self._is_stage(node, root, index, ctx.module):
+                continue
+            for method in node.body:
+                if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if method.name in self._ALLOWED_METHODS:
+                    continue
+                yield from self._check_method(ctx, node, method)
+
+    def _is_stage(self, node: ast.ClassDef, root: str,
+                  index: "ProjectIndex | None", module: "str | None") -> bool:
+        if index is not None and index.is_subclass_of(node, root, module):
+            return True
+        # Single-file fallback: a base literally named ``root``.
+        for b in node.bases:
+            name = b.id if isinstance(b, ast.Name) else (
+                b.attr if isinstance(b, ast.Attribute) else None
+            )
+            if name == root:
+                return True
+        return False
+
+    def _check_method(self, ctx, cls: ast.ClassDef, method) -> Iterator[Diagnostic]:
+        for sub in ast.walk(method):
+            if isinstance(sub, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+                )
+                for t in targets:
+                    attr = _self_attr(t)
+                    if attr is None and isinstance(t, ast.Subscript):
+                        attr = _self_attr(t.value)
+                    if attr is not None:
+                        yield self.diagnostic(
+                            ctx, sub,
+                            f"stage {cls.name}.{method.name} writes "
+                            f"'self.{attr}': stages are shared across "
+                            "interleaved runs, so per-run state must live "
+                            "on the RunContext, not the stage instance.",
+                        )
+            elif (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in _CONTAINER_MUTATORS
+            ):
+                attr = _self_attr(sub.func.value)
+                if attr is not None:
+                    yield self.diagnostic(
+                        ctx, sub,
+                        f"stage {cls.name}.{method.name} mutates "
+                        f"'self.{attr}.{sub.func.attr}(...)' in place; "
+                        "shared stage instances must not accumulate "
+                        "per-run state — move it to the RunContext.",
+                    )
+
+
+@register
+class GlobalMutationRule(Rule):
+    id = "RL402"
+    name = "global-mutation"
+    description = (
+        "No mutation of module-level mutable containers from monitor/"
+        "stream/faults code: worker processes each mutate their own copy."
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Diagnostic]:
+        packages = tuple(ctx.options.get("packages", GLOBAL_MUTATION_PACKAGES))
+        if not ctx.in_packages(packages):
+            return
+        index = ctx.index if isinstance(ctx.index, ProjectIndex) else None
+        if index is None:
+            return
+        flow = ctx.flow()
+        for node in ast.walk(ctx.tree):
+            scope = flow.scope_for(node)
+            if scope.node is ctx.tree:
+                continue  # module-level construction/initialisation is fine
+            name = self._mutated_name(node, scope)
+            if name is None:
+                continue
+            origin = index.mutable_global_origin(ctx.module, name)
+            if origin is None:
+                continue
+            where, tag = origin
+            owner = f" of {where}" if where and where != ctx.module else ""
+            yield self.diagnostic(
+                ctx, node,
+                f"mutates module-level {tag} '{name}'{owner} from a "
+                "function body; under the sharded fleet each worker "
+                "process mutates its own copy and the state silently "
+                "diverges — pass the container explicitly or move it onto "
+                "a context object.",
+            )
+
+    def _mutated_name(self, node: ast.AST, scope) -> "str | None":
+        """The bare name a statement/call mutates, if any."""
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _CONTAINER_MUTATORS and isinstance(
+                node.func.value, ast.Name
+            ):
+                name = node.func.value.id
+                if name not in scope.assignments:  # not shadowed locally
+                    return name
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for t in targets:
+                if isinstance(t, ast.Subscript) and isinstance(t.value, ast.Name):
+                    name = t.value.id
+                    if name not in scope.assignments:
+                        return name
+        elif isinstance(node, ast.Delete):
+            for t in node.targets:
+                if isinstance(t, ast.Subscript) and isinstance(t.value, ast.Name):
+                    name = t.value.id
+                    if name not in scope.assignments:
+                        return name
+        return None
+
+
+@register
+class RegistryCaptureRule(Rule):
+    id = "RL403"
+    name = "registry-capture"
+    description = (
+        "No capturing get_registry()/current_tracer() into attributes or "
+        "globals in worker-eligible code; read the ambient one at call "
+        "time so per-shard injection keeps working."
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Diagnostic]:
+        packages = tuple(ctx.options.get("packages", WORKER_PACKAGES))
+        if not ctx.in_packages(packages):
+            return
+        flow = ctx.flow()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                yield from self._check_assign(ctx, flow, node)
+            elif isinstance(node, ast.Name) and node.id == "GLOBAL_REGISTRY":
+                yield self.diagnostic(
+                    ctx, node,
+                    "direct GLOBAL_REGISTRY use bypasses use_registry() "
+                    "scoping; call get_registry() at the point of use (or "
+                    "accept an injected MetricsRegistry).",
+                )
+
+    def _check_assign(self, ctx, flow, node) -> Iterator[Diagnostic]:
+        value = node.value
+        if value is None:
+            return
+        accessor = self._ambient_call_in(value)
+        if accessor is None:
+            return
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for t in targets:
+            attr = _self_attr(t)
+            is_module_level = (
+                isinstance(t, ast.Name) and flow.scope_for(node).node is ctx.tree
+            )
+            if attr is not None or is_module_level:
+                where = f"self.{attr}" if attr is not None else "a module global"
+                yield self.diagnostic(
+                    ctx, node,
+                    f"captures {accessor}() into {where}: this freezes "
+                    "whichever registry/tracer was ambient at construction "
+                    "and defeats per-shard use_registry()/use_tracer() "
+                    "injection — read the accessor at call time or accept "
+                    "an explicit instance.",
+                )
+
+    def _ambient_call_in(self, expr: ast.AST) -> "str | None":
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Call):
+                fn = sub.func
+                name = fn.id if isinstance(fn, ast.Name) else (
+                    fn.attr if isinstance(fn, ast.Attribute) else None
+                )
+                if name in _AMBIENT_ACCESSORS:
+                    return name
+        return None

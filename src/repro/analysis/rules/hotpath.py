@@ -1,0 +1,178 @@
+"""RL301/RL302/RL303 — hot-path performance in the streaming monitor.
+
+A monitor that runs as a long-lived service must keep its own hot path
+cheap (SmartWatts; the RAPL-overhead study) — and the profiled truth of
+this repo is that the compiled kernels are fast while the remaining
+per-sample Python in the pipeline stages caps end-to-end throughput
+(ROADMAP: "kill per-sample Python in the pipeline"). These rules turn
+that roadmap item into a worklist:
+
+* **RL301 per-sample-loop** — a ``for`` loop classified as *per-sample*
+  (``range(len(x))`` / ``range(x.shape[0])`` / direct ndarray iteration;
+  see :mod:`repro.analysis.dataflow`) that indexes ndarrays with the loop
+  variable pays interpreter dispatch per sample. One diagnostic per loop.
+* **RL302 append-accumulation** — ``list.append``/``extend`` inside a
+  per-sample loop grows a Python list sample by sample; preallocate with
+  ``np.empty`` or build the result with one vectorised expression.
+* **RL303 hoistable-indexing** — a slice / fancy-index of an ndarray
+  inside a loop whose every input is loop-invariant re-gathers the same
+  data every iteration; hoist it above the loop.
+
+Scope: the packages on the service's hot path (``core``, ``perf``,
+``stream``, ``monitor`` by default; override via ``[tool.repro-lint.rules
+.<name>] packages``). Chunk loops (``range(0, n, chunk_size)``) are never
+per-sample; comprehensions are not classified (documented limit).
+Inherently sequential loops (LSTM steps, Algorithm-1 holds) carry
+suppressions whose reasons point at the vectorisation roadmap item.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..dataflow import LIST, NDARRAY, names_read
+from ..diagnostics import Diagnostic
+from ..registry import Rule, RuleContext, register
+
+#: Default hot-path packages (prefix match on the dotted module name).
+HOT_PACKAGES = ("repro.core", "repro.perf", "repro.stream", "repro.monitor")
+
+
+def _loop_vars(loop: ast.For) -> "set[str]":
+    out: "set[str]" = set()
+    for sub in ast.walk(loop.target):
+        if isinstance(sub, ast.Name):
+            out.add(sub.id)
+    return out
+
+
+def _subscripts_under(node: ast.AST):
+    yield from (s for s in ast.walk(node) if isinstance(s, ast.Subscript))
+
+
+@register
+class PerSampleLoopRule(Rule):
+    id = "RL301"
+    name = "per-sample-loop"
+    description = (
+        "No per-sample Python loops over trace/chunk ndarrays in hot-path "
+        "packages; vectorise over the whole chunk."
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Diagnostic]:
+        packages = tuple(ctx.options.get("packages", HOT_PACKAGES))
+        if not ctx.in_packages(packages):
+            return
+        flow = ctx.flow()
+        for loop, scope in flow.sample_loops():
+            offenders = []
+            lvars = _loop_vars(loop)
+            for sub in _subscripts_under(loop):
+                if not (names_read(sub.slice) & lvars):
+                    continue  # index does not move with the loop
+                if scope.infer(sub.value).tag != NDARRAY:
+                    continue
+                offenders.append(sub)
+            if offenders:
+                first = offenders[0]
+                where = f"line {first.lineno}"
+                yield self.diagnostic(
+                    ctx, loop,
+                    f"per-sample Python loop: {len(offenders)} ndarray "
+                    f"subscript(s) move with the loop variable (first at "
+                    f"{where}); each iteration pays interpreter dispatch — "
+                    "vectorise over the chunk (see ROADMAP: kill per-sample "
+                    "Python in the pipeline).",
+                )
+
+
+@register
+class AppendAccumulationRule(Rule):
+    id = "RL302"
+    name = "append-accumulation"
+    description = (
+        "No list.append accumulation inside per-sample loops; preallocate "
+        "an array or build the result with one vectorised expression."
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Diagnostic]:
+        packages = tuple(ctx.options.get("packages", HOT_PACKAGES))
+        if not ctx.in_packages(packages):
+            return
+        flow = ctx.flow()
+        for loop, scope in flow.sample_loops():
+            for sub in ast.walk(loop):
+                if not (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in ("append", "extend")
+                ):
+                    continue
+                recv = sub.func.value
+                if isinstance(recv, ast.Name) and scope.provenance(recv.id) == LIST:
+                    yield self.diagnostic(
+                        ctx, sub,
+                        f"'{recv.id}.{sub.func.attr}' grows a Python list "
+                        "one sample at a time inside a per-sample loop; "
+                        "preallocate with np.empty(n) and fill by index, or "
+                        "compute the whole chunk vectorised.",
+                    )
+
+
+@register
+class HoistableIndexingRule(Rule):
+    id = "RL303"
+    name = "hoistable-indexing"
+    description = (
+        "No loop-invariant ndarray slicing/fancy-indexing inside loops; "
+        "hoist the gather above the loop."
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Diagnostic]:
+        packages = tuple(ctx.options.get("packages", HOT_PACKAGES))
+        if not ctx.in_packages(packages):
+            return
+        flow = ctx.flow()
+        seen: "set[tuple[int, str]]" = set()
+        for sub in _subscripts_under(ctx.tree):
+            if not isinstance(sub.ctx, ast.Load):
+                continue
+            loops = flow.enclosing_loops(sub)
+            if not loops:
+                continue
+            inner = loops[0]  # judge against the innermost enclosing loop
+            scope = flow.scope_for(sub)
+            if not self._is_gather(sub, scope):
+                continue
+            if not flow.is_loop_invariant(sub, inner):
+                continue
+            # Anchor once per distinct expression per loop.
+            key = (inner.lineno, ast.dump(sub))
+            if key in seen:
+                continue
+            seen.add(key)
+            try:
+                text = ast.unparse(sub)
+            except Exception:  # pragma: no cover - unparse of exotic nodes
+                text = "<subscript>"
+            yield self.diagnostic(
+                ctx, sub,
+                f"'{text}' gathers the same ndarray data every iteration "
+                "(all of its inputs are loop-invariant); hoist it above "
+                f"the loop at line {inner.lineno}.",
+            )
+
+    def _is_gather(self, sub: ast.Subscript, scope) -> bool:
+        """Slice or fancy-index of an ndarray (scalar loads are cheap and
+        often deliberate — constants like W[0] stay silent)."""
+        if scope.infer(sub.value).tag != NDARRAY:
+            return False
+        sl = sub.slice
+        if isinstance(sl, ast.Slice):
+            return True
+        if isinstance(sl, ast.Tuple) and any(
+            isinstance(e, ast.Slice) for e in sl.elts
+        ):
+            return True
+        return scope.infer(sl).tag == NDARRAY  # boolean mask / index array

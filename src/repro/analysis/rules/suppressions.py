@@ -1,0 +1,57 @@
+"""RL007 — suppression hygiene.
+
+A suppression is a debt marker: it must say *why* the rule does not apply
+(``# repro-lint: disable=RL301 — LSTM recurrence is inherently
+sequential``). RL007 flags
+
+* directives with no trailing reason text — an undocumented suppression
+  reads as "trust me" and rots silently, and
+* directives naming an unknown rule id/name — a typo there would
+  otherwise suppress nothing while *looking* like it suppresses
+  something.
+
+This keeps ``--strict`` CI honest: every hole punched in the rule set is
+annotated at the punch site.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..diagnostics import Diagnostic
+from ..engine import parse_suppressions
+from ..registry import Rule, RuleContext, register
+
+
+@register
+class SuppressionHygieneRule(Rule):
+    id = "RL007"
+    name = "undocumented-suppression"
+    description = (
+        "Every repro-lint suppression must carry a trailing reason and "
+        "name only known rules."
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Diagnostic]:
+        for d in parse_suppressions(ctx.source).directives:
+            if not d.known:
+                rules = ", ".join(d.raw_rules)
+                yield Diagnostic(
+                    path=ctx.relpath, line=d.line, col=1,
+                    rule_id=self.id, rule_name=self.name,
+                    message=(
+                        f"suppression names unknown rule(s) '{rules}' and "
+                        "therefore suppresses nothing; fix the id/name."
+                    ),
+                )
+            elif not d.has_reason:
+                rules = ", ".join(d.raw_rules)
+                yield Diagnostic(
+                    path=ctx.relpath, line=d.line, col=1,
+                    rule_id=self.id, rule_name=self.name,
+                    message=(
+                        f"suppression of {rules} has no reason; append one "
+                        "after the rule list, e.g. '# repro-lint: "
+                        f"disable={rules} — <why the rule does not apply>'."
+                    ),
+                )

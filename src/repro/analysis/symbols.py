@@ -1,0 +1,197 @@
+"""Project-wide symbol index for cross-file lint rules.
+
+The RL4xx concurrency rules need two facts no single file can answer:
+
+* is this class a (transitive) ``Stage`` subclass, when the base was
+  imported from another module and the hierarchy spans files?
+* is this name a *module-level mutable global* of some ``repro`` module,
+  when the mutation site imported it from elsewhere?
+
+:class:`ProjectIndex` answers both from one pass over the parsed trees the
+engine already holds. Resolution is name-based where dotted resolution
+runs out (re-exports through ``__init__`` make fully-qualified tracking
+unreliable without executing imports): a class is considered a subclass of
+``Stage`` when a chain of recorded bases ends in a class *named* ``Stage``.
+That is an over-approximation only if an unrelated class reuses the name —
+acceptable for a project linter, and documented in the rule catalogue.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .dataflow import MUTABLE_TAGS, ScopeDataflow, _target_names
+
+
+@dataclass(frozen=True)
+class ClassInfo:
+    """One class definition somewhere in the linted tree."""
+
+    module: "str | None"
+    name: str
+    #: base-class spellings, resolved through the module's import aliases
+    #: to dotted paths where possible (``Stage`` -> ``repro.stream.Stage``).
+    bases: "tuple[str, ...]"
+    lineno: int
+
+
+@dataclass
+class ModuleSymbols:
+    """Per-module slice of the index."""
+
+    module: "str | None"
+    #: import alias -> dotted target (``Stage`` -> ``repro.stream.Stage``).
+    imports: "dict[str, str]" = field(default_factory=dict)
+    #: module-level names with mutable-container provenance.
+    mutable_globals: "dict[str, str]" = field(default_factory=dict)
+    classes: "list[ClassInfo]" = field(default_factory=list)
+
+
+def _resolve_relative(module: "str | None", node: ast.ImportFrom) -> "str | None":
+    """Absolute dotted module an ``ImportFrom`` pulls from, or None."""
+    if node.level == 0:
+        return node.module
+    if module is None:
+        return None
+    parts = module.split(".")
+    # ``from . import x`` inside package module a.b.c refers to a.b.
+    if len(parts) < node.level:
+        return None
+    base = parts[: len(parts) - node.level]
+    if node.module:
+        base.append(node.module)
+    return ".".join(base) if base else None
+
+
+class ProjectIndex:
+    """Classes, imports, and module-level globals across the linted files."""
+
+    def __init__(self) -> None:
+        self.modules: "dict[str, ModuleSymbols]" = {}
+        #: class name -> every ClassInfo carrying it (name collisions kept).
+        self.classes_by_name: "dict[str, list[ClassInfo]]" = {}
+
+    # ------------------------------------------------------------------ build
+    @classmethod
+    def build(cls, items) -> "ProjectIndex":
+        """``items``: iterable of ``(module_name_or_None, ast.Module)``."""
+        index = cls()
+        for module, tree in items:
+            index.add_module(module, tree)
+        return index
+
+    def add_module(self, module: "str | None", tree: ast.Module) -> None:
+        syms = ModuleSymbols(module=module)
+        scope = ScopeDataflow(tree)
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    syms.imports[alias.asname or alias.name.split(".")[0]] = alias.name
+            elif isinstance(stmt, ast.ImportFrom):
+                src = _resolve_relative(module, stmt)
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        continue
+                    target = f"{src}.{alias.name}" if src else alias.name
+                    syms.imports[alias.asname or alias.name] = target
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                )
+                value = stmt.value
+                if value is None:
+                    continue
+                tag = scope.infer(value).tag
+                if tag in MUTABLE_TAGS:
+                    for t in targets:
+                        for name in _target_names(t):
+                            syms.mutable_globals[name] = tag
+            elif isinstance(stmt, ast.ClassDef):
+                self._add_class(syms, stmt)
+        if module is not None:
+            self.modules[module] = syms
+        else:
+            self.modules.setdefault(f"<file:{id(tree)}>", syms)
+
+    def _add_class(self, syms: ModuleSymbols, node: ast.ClassDef) -> None:
+        bases = []
+        for b in node.bases:
+            if isinstance(b, ast.Name):
+                bases.append(syms.imports.get(b.id, b.id))
+            elif isinstance(b, ast.Attribute):
+                parts = []
+                cur: ast.AST = b
+                while isinstance(cur, ast.Attribute):
+                    parts.append(cur.attr)
+                    cur = cur.value
+                if isinstance(cur, ast.Name):
+                    root = syms.imports.get(cur.id, cur.id)
+                    bases.append(".".join([root, *reversed(parts)]))
+        info = ClassInfo(
+            module=syms.module, name=node.name,
+            bases=tuple(bases), lineno=node.lineno,
+        )
+        syms.classes.append(info)
+        self.classes_by_name.setdefault(node.name, []).append(info)
+
+    # ------------------------------------------------------------- queries
+    def is_subclass_of(self, cls_node: ast.ClassDef, root_name: str,
+                       module: "str | None" = None) -> bool:
+        """Transitive subclass check by base-name chains.
+
+        ``root_name`` is the bare class name (``"Stage"``). A class
+        qualifies when some chain of recorded bases reaches a base whose
+        final dotted component is ``root_name``.
+        """
+        syms = self.modules.get(module or "", ModuleSymbols(module))
+        seen: "set[str]" = set()
+        frontier: "list[str]" = []
+        for b in cls_node.bases:
+            dotted = None
+            if isinstance(b, ast.Name):
+                dotted = syms.imports.get(b.id, b.id)
+            elif isinstance(b, ast.Attribute):
+                parts = []
+                cur: ast.AST = b
+                while isinstance(cur, ast.Attribute):
+                    parts.append(cur.attr)
+                    cur = cur.value
+                if isinstance(cur, ast.Name):
+                    root = syms.imports.get(cur.id, cur.id)
+                    dotted = ".".join([root, *reversed(parts)])
+            if dotted:
+                frontier.append(dotted)
+        while frontier:
+            dotted = frontier.pop()
+            if dotted in seen:
+                continue
+            seen.add(dotted)
+            leaf = dotted.rsplit(".", 1)[-1]
+            if leaf == root_name:
+                return True
+            for info in self.classes_by_name.get(leaf, []):
+                frontier.extend(info.bases)
+        return False
+
+    def mutable_global_origin(
+        self, module: "str | None", name: str
+    ) -> "tuple[str | None, str] | None":
+        """Resolve ``name`` in ``module`` to a module-level mutable global.
+
+        Returns ``(defining_module, tag)`` when the name is a mutable
+        global of the module itself, or was imported from a linted module
+        that defines it as one; None otherwise.
+        """
+        syms = self.modules.get(module or "")
+        if syms is None:
+            return None
+        if name in syms.mutable_globals:
+            return syms.module, syms.mutable_globals[name]
+        dotted = syms.imports.get(name)
+        if dotted and "." in dotted:
+            src_module, src_name = dotted.rsplit(".", 1)
+            src = self.modules.get(src_module)
+            if src is not None and src_name in src.mutable_globals:
+                return src_module, src.mutable_globals[src_name]
+        return None

@@ -121,10 +121,9 @@ class OnlineTRRSession:
         finally:
             self._model.lr = old_lr
 
-    # Hot path (called once per monitored second): shape-checked inline
-    # against the fitted n_pmcs_ below; whole-trace entry points validate
-    # via check_2d in run().
-    # repro-lint: disable=boundary-validation
+    # repro-lint: disable=boundary-validation — hot path (called once per
+    # monitored second): shape-checked inline against the fitted n_pmcs_
+    # below; whole-trace entry points validate via check_2d in run().
     def step(self, pmc_row: np.ndarray, im_reading: "float | None" = None) -> float:
         """Process one second; returns the node-power estimate for it.
 
@@ -205,6 +204,9 @@ class OnlineTRRSession:
                                   readings.values[lo:hi].tolist()))
         out = np.empty(pmcs.shape[0])
         with current_tracer().span("trr.dynamic"):
+            # repro-lint: disable=per-sample-loop — the LSTM recurrence is
+            # inherently sequential (h_t depends on h_{t-1}); batching the
+            # gate matmuls across time is the ROADMAP vectorisation item.
             for k in range(pmcs.shape[0]):
                 out[k] = self.step(pmcs[k], reading_at.get(start + k))
         return out

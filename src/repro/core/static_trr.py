@@ -197,6 +197,9 @@ class StaticTRR:
         # hold the mutated level across the half-window (see module note).
         mutation = p_residual - p_splined
         big = np.flatnonzero(np.abs(mutation) >= cfg.spike_fraction * (hi - lo))
+        # repro-lint: disable=per-sample-loop — holds overlap and later holds
+        # must read earlier holds' writes (in-place propagation is the
+        # reference semantics); iterations are O(spikes), not O(samples).
         for i in big:
             start, stop = max(0, i - half), min(n, i + half)
             p_splined[start:stop] = p_splined[i]
@@ -275,10 +278,9 @@ class _FusionScan:
         #: forward hold writes beyond the fed frontier, in hold order.
         self._pending: "list[tuple[int, int, float]]" = []
 
-    # Hot path (called once per fed chunk): inputs are the stream's own
-    # spline/residual predictions, already shaped by StaticTRRStream which
-    # validated the caller's chunk at the boundary.
-    # repro-lint: disable=boundary-validation
+    # repro-lint: disable=boundary-validation — hot path (called once per
+    # fed chunk): inputs are the stream's own spline/residual predictions,
+    # already shaped by StaticTRRStream which validated the caller's chunk.
     def feed(self, p_splined: np.ndarray, p_residual: np.ndarray
              ) -> tuple[int, np.ndarray]:
         """Advance the scan by one chunk; returns the newly final span."""
@@ -302,6 +304,9 @@ class _FusionScan:
         # the working buffer, so earlier holds' writes propagate exactly as
         # in the in-place reference loop.
         mutation = p_residual - p_splined
+        # repro-lint: disable=per-sample-loop — ascending in-place hold
+        # propagation is the bit-identity reference semantics (overlapping
+        # holds must see earlier writes); O(spikes) per chunk, not O(samples).
         for i in np.flatnonzero(np.abs(mutation) >= self._thresh) + start:
             v = w[i - base]
             w_start = max(0, i - self._half)

@@ -118,6 +118,9 @@ def run_assisted_capped(
 
     pmcs = np.zeros((n, len(PMC_EVENTS)))
     pmc_rng = sim._seeds.generator(rng_name + ".pmc")
+    # repro-lint: disable=per-sample-loop — closed loop by construction: the
+    # governor's frequency choice at second t feeds the power/PMC synthesis
+    # at t+1, so the timestep recurrence cannot be batched.
     for t in range(n):
         freq[t] = current_freq
         p_cpu[t] = stepper.step(float(cpu_act[t]), current_freq, float(condition[t]))

@@ -202,7 +202,7 @@ class PowerMonitorService:
         # the given clock (default: the process monotonic clock; tests pass
         # a ManualClock), and the profiler prices each observe_run against
         # the paper's 1 Sa/s sampling budget.
-        self.registry = registry if registry is not None else get_registry()
+        self.registry = registry if registry is not None else get_registry()  # repro-lint: disable=registry-capture — the service is the injection boundary: callers pass an explicit registry (tests do), and the ambient fallback is the documented single-process default; per-shard workers receive the service's registry explicitly
         self.clock = clock if clock is not None else system_clock()
         self.tracer = Tracer(clock=self.clock, registry=self.registry)
         self.profiler = OverheadProfiler(

@@ -41,9 +41,9 @@ def demo_payload() -> "dict[str, object]":
     """Run the tiny instrumented demo and return its wrapped payload."""
     # Upward imports (monitor/faults sit above obs in the layer DAG) are
     # confined to this CLI entry point, which nothing imports back.
-    from ..faults.chaos import ChaosSettings, reference_run  # repro-lint: disable=layering
-    from ..faults.inject import FaultySensor  # repro-lint: disable=layering
-    from ..sensors.ipmi import IPMISensor  # repro-lint: disable=layering
+    from ..faults.chaos import ChaosSettings, reference_run  # repro-lint: disable=layering — CLI-only upward import, nothing imports back
+    from ..faults.inject import FaultySensor  # repro-lint: disable=layering — CLI-only upward import, nothing imports back
+    from ..sensors.ipmi import IPMISensor  # repro-lint: disable=layering — CLI-only upward import, nothing imports back
 
     registry = MetricsRegistry()
     with use_registry(registry):

@@ -152,7 +152,7 @@ def measure_monitor_overhead() -> "dict[str, float | int | bool]":
     """
     # Upward import (faults sits above perf): confined to this CLI probe,
     # which nothing imports back.
-    from ..faults.chaos import ChaosSettings, reference_run  # repro-lint: disable=layering
+    from ..faults.chaos import ChaosSettings, reference_run  # repro-lint: disable=layering — CLI-only upward import, nothing imports back
     from ..obs import MetricsRegistry, use_registry
 
     with use_registry(MetricsRegistry()):
@@ -176,9 +176,9 @@ def measure_fleet(
     """
     # Upward imports (faults/monitor sit above perf): confined to this CLI
     # probe, which nothing imports back.
-    from ..faults.chaos import ChaosSettings, reference_run  # repro-lint: disable=layering
-    from ..monitor.fleet import FleetMonitor  # repro-lint: disable=layering
-    from ..monitor.service import PowerMonitorService  # repro-lint: disable=layering
+    from ..faults.chaos import ChaosSettings, reference_run  # repro-lint: disable=layering — CLI-only upward import, nothing imports back
+    from ..monitor.fleet import FleetMonitor  # repro-lint: disable=layering — CLI-only upward import, nothing imports back
+    from ..monitor.service import PowerMonitorService  # repro-lint: disable=layering — CLI-only upward import, nothing imports back
     from ..obs import MetricsRegistry, use_registry
 
     with use_registry(MetricsRegistry()):

@@ -67,6 +67,10 @@ class CompiledMLP:
         inv = 1.0 / np.asarray(x_scale, dtype=np.float64)
         W = [np.array(w, dtype=np.float64) for w in weights]
         b = [np.array(v, dtype=np.float64) for v in biases]
+        # repro-lint: disable=bit-identity-matmul — one-shot compile-time
+        # constant fold: it runs once with fixed operand shapes, so the BLAS
+        # blocking cannot vary across chunk shapes; every chunked forward
+        # then reuses the identical folded bias (fast_math does not apply).
         b[0] = b[0] - (np.asarray(x_mean) * inv) @ W[0]
         W[0] = W[0] * inv[:, None]
         W[-1] = W[-1] * np.asarray(y_scale)[None, :]

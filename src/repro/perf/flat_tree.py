@@ -51,6 +51,9 @@ def _node_depths(feature: np.ndarray, left: np.ndarray, right: np.ndarray) -> np
     """Depth of every node. Children are appended after their parent by the
     grower, so one forward pass suffices."""
     depth = np.zeros(feature.shape[0], dtype=np.intp)
+    # repro-lint: disable=per-sample-loop — runs once per tree *compile*
+    # (O(nodes), not O(samples)); the per-chunk hot path is the vectorised
+    # predict below and never re-enters this.
     for i in range(feature.shape[0]):
         if feature[i] >= 0:
             depth[left[i]] = depth[i] + 1

@@ -1,0 +1,14 @@
+"""Fixture: RL302 append-accumulation violations (1 expected in monitor/)."""
+
+import numpy as np
+
+
+def collect(power: np.ndarray) -> "list[float]":
+    out = []
+    for value in power:  # direct ndarray iteration: per-sample
+        out.append(value * 2.0)  # RL302: list grows one sample at a time
+    return out
+
+
+def collect_vec(power: np.ndarray) -> np.ndarray:
+    return power * 2.0  # allowed: one vectorised expression

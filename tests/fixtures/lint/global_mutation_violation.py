@@ -1,0 +1,21 @@
+"""Fixture: RL402 global-mutation violations (2 expected in faults/)."""
+
+_RESULTS = {}
+_HISTORY = []
+
+_LIMITS = {"power_w": 250.0}  # read-only below: allowed
+
+
+def record(run_id: str, value: float) -> None:
+    _RESULTS[run_id] = value  # RL402: per-process divergence under workers
+    _HISTORY.append(run_id)  # RL402: in-place mutation of a module global
+
+
+def lookup(run_id: str) -> float:
+    return _RESULTS.get(run_id, _LIMITS["power_w"])  # allowed: read only
+
+
+def local_ok(run_id: str) -> "dict[str, float]":
+    results = {}
+    results[run_id] = 1.0  # allowed: function-local container
+    return results

@@ -1,0 +1,18 @@
+"""Fixture: RL303 hoistable-indexing violation (1 expected in monitor/)."""
+
+import numpy as np
+
+
+def repeat_gather(weights: np.ndarray, repeats: int) -> float:
+    total = 0.0
+    for _ in range(repeats):
+        total += float(np.sum(weights[0:3]))  # RL303: loop-invariant gather
+    return total
+
+
+def hoisted(weights: np.ndarray, repeats: int) -> float:
+    head = weights[0:3]  # allowed: gathered once, outside the loop
+    total = 0.0
+    for _ in range(repeats):
+        total += float(np.sum(head))
+    return total

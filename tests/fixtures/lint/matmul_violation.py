@@ -1,0 +1,19 @@
+"""Fixture: RL201 bit-identity matmul violations (3 expected in perf/)."""
+
+import numpy as np
+
+
+def forward(a: np.ndarray, w: np.ndarray) -> np.ndarray:
+    return a @ w  # RL201: GEMM reduction order varies with call shape
+
+
+def forward_dot(a: np.ndarray, w: np.ndarray) -> np.ndarray:
+    return np.dot(a, w)  # RL201: np.dot spelling
+
+
+def forward_optimized(a: np.ndarray, w: np.ndarray) -> np.ndarray:
+    return np.einsum("nk,ko->no", a, w, optimize=True)  # RL201: optimized
+
+
+def forward_fixed(a: np.ndarray, w: np.ndarray) -> np.ndarray:
+    return np.einsum("nk,ko->no", a, w)  # allowed: fixed contraction order

@@ -1,0 +1,14 @@
+"""Fixture: RL403 registry-capture violations (3 expected in monitor/)."""
+
+from ..obs import GLOBAL_REGISTRY, get_registry
+
+_METRICS = get_registry()  # RL403: module-global capture
+
+
+class Probe:
+    def __init__(self) -> None:
+        self.registry = get_registry()  # RL403: frozen at construction
+
+    def tick(self) -> None:
+        get_registry().counter("ticks").inc()  # allowed: call-time read
+        GLOBAL_REGISTRY.counter("raw").inc()  # RL403: bypasses use_registry

@@ -1,0 +1,29 @@
+"""Fixture: RL301 per-sample-loop violations (2 expected in monitor/)."""
+
+import numpy as np
+
+
+def scale(power: np.ndarray) -> np.ndarray:
+    out = np.empty_like(power)
+    for i in range(power.shape[0]):  # RL301: per-sample indexed loop
+        out[i] = power[i] * 2.0
+    return out
+
+
+def scale_len(power: np.ndarray) -> np.ndarray:
+    n = len(power)
+    out = np.empty(n)
+    for i in range(n):  # RL301: extent recorded through n = len(power)
+        out[i] = power[i] + 1.0
+    return out
+
+
+def scale_vec(power: np.ndarray) -> np.ndarray:
+    return power * 2.0  # allowed: whole-chunk vectorised
+
+
+def chunked(power: np.ndarray, chunk: int) -> float:
+    total = 0.0
+    for start in range(0, power.shape[0], chunk):  # allowed: chunk loop
+        total += float(np.sum(power[start:start + chunk]))
+    return total

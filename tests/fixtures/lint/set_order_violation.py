@@ -1,0 +1,20 @@
+"""Fixture: RL202 unordered-accumulation violations (2 expected in perf/)."""
+
+
+def total_power(readings: "set[float]") -> float:
+    total = 0.0
+    for r in readings:  # RL202: hash-order iteration feeds +=
+        total += r
+    return total
+
+
+def total_builtin(readings: "set[float]") -> float:
+    watts = {1.0, 2.0, 3.0}
+    return sum(watts)  # RL202: sum() reduces a set in hash order
+
+
+def total_sorted(readings: "set[float]") -> float:
+    total = 0.0
+    for r in sorted(readings):  # allowed: explicit deterministic order
+        total += r
+    return total

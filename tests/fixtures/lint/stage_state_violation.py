@@ -1,0 +1,22 @@
+"""Fixture: RL401 stage-state violations (2 expected in stream/)."""
+
+
+class Stage:
+    """Stand-in for repro.stream.Stage (resolved by name)."""
+
+
+class CountingStage(Stage):
+    def __init__(self) -> None:
+        self.count = 0  # allowed: construction-time configuration
+        self.seen = []
+
+    def run(self, ctx):
+        self.count = self.count + 1  # RL401: per-run state on the stage
+        self.seen.append(ctx)  # RL401: in-place accumulation on the stage
+        return ctx
+
+
+class StatelessStage(Stage):
+    def run(self, ctx):
+        ctx.count = ctx.count + 1  # allowed: state travels on the context
+        return ctx

@@ -4,13 +4,13 @@ import numpy as np
 
 
 def sampler():
-    np.random.seed(0)  # repro-lint: disable=RL001
-    # repro-lint: disable=rng-discipline
+    np.random.seed(0)  # repro-lint: disable=RL001 — fixture exercises inline suppression
+    # repro-lint: disable=rng-discipline — fixture exercises own-line suppression
     return np.random.rand(2)
 
 
 def swallow():
     try:
         return 1
-    except Exception:  # repro-lint: disable=swallowed-error
+    except Exception:  # repro-lint: disable=swallowed-error — fixture exercises name-based suppression
         pass

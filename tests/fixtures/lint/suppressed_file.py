@@ -1,6 +1,6 @@
 """Fixture: file-level suppression (0 expected)."""
 
-# repro-lint: disable-file=swallowed-error
+# repro-lint: disable-file=swallowed-error — fixture exercises file-level suppression
 
 
 def a():

@@ -1,0 +1,6 @@
+"""Fixture: RL007 suppression-hygiene violations (2 expected)."""
+
+x = 1  # repro-lint: disable=frozen-mutation
+y = 2  # repro-lint: disable=RL999 — no such rule, suppresses nothing
+
+z = 3  # repro-lint: disable=frozen-mutation — documented, allowed

@@ -1,0 +1,321 @@
+"""Tests for the dataflow layer, the project symbol index, and the lint
+front-end features built on them (SARIF output, ``--changed``)."""
+
+from __future__ import annotations
+
+import ast
+import json
+import shutil
+import subprocess
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import LintConfig, LintEngine
+from repro.analysis.cli import main as lint_main
+from repro.analysis.dataflow import (
+    DICT,
+    LIST,
+    NDARRAY,
+    SCALAR,
+    SET,
+    UNKNOWN,
+    ModuleDataflow,
+)
+from repro.analysis.engine import parse_suppressions
+from repro.analysis.reporters import SARIF_VERSION, render_sarif
+from repro.analysis.symbols import ProjectIndex
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+
+
+def flow_of(src: str) -> ModuleDataflow:
+    return ModuleDataflow(ast.parse(textwrap.dedent(src)))
+
+
+def func_scope(flow: ModuleDataflow, name: str):
+    for node, scope in flow.scopes.items():
+        if getattr(node, "name", None) == name:
+            return scope
+    raise AssertionError(f"no scope {name!r}")
+
+
+class TestProvenance:
+    def test_container_literals_and_builtins(self):
+        flow = flow_of(
+            """
+            def f():
+                a = []
+                b = {}
+                c = {1, 2}
+                d = set()
+                e = sorted(c)
+                n = 3
+            """
+        )
+        scope = func_scope(flow, "f")
+        assert scope.provenance("a") == LIST
+        assert scope.provenance("b") == DICT
+        assert scope.provenance("c") == SET
+        assert scope.provenance("d") == SET
+        assert scope.provenance("e") == LIST
+        assert scope.provenance("n") == SCALAR
+
+    def test_numpy_calls_and_contagion(self):
+        flow = flow_of(
+            """
+            import numpy as np
+
+            def f(x: np.ndarray):
+                y = np.zeros(4)
+                z = x * 2.0 + y
+                mask = x > 0.5
+                view = x[1:3]
+                row = x[0]
+            """
+        )
+        scope = func_scope(flow, "f")
+        assert scope.provenance("x") == NDARRAY
+        assert scope.provenance("y") == NDARRAY
+        assert scope.provenance("z") == NDARRAY
+        assert scope.provenance("mask") == NDARRAY
+        assert scope.provenance("view") == NDARRAY
+        assert scope.provenance("row") == UNKNOWN  # row or element: unknown
+
+    def test_annotation_tags_for_containers(self):
+        flow = flow_of(
+            """
+            def f(readings: "set[float]", order: "list[int]"):
+                pass
+            """
+        )
+        scope = func_scope(flow, "f")
+        assert scope.provenance("readings") == SET
+        assert scope.provenance("order") == LIST
+
+    def test_conflicting_assignments_join_to_unknown(self):
+        flow = flow_of(
+            """
+            import numpy as np
+
+            def f(flag):
+                x = np.zeros(3)
+                if flag:
+                    x = [1, 2, 3]
+            """
+        )
+        assert func_scope(flow, "f").provenance("x") == UNKNOWN
+
+    def test_length_tracking_through_names(self):
+        flow = flow_of(
+            """
+            import numpy as np
+
+            def f(pmcs: np.ndarray):
+                n = pmcs.shape[0]
+                m = len(pmcs)
+            """
+        )
+        scope = func_scope(flow, "f")
+        assert scope.length_source("n") == "pmcs"
+        assert scope.length_source("m") == "pmcs"
+
+
+class TestLoopClassification:
+    def classify(self, src: str) -> "list[bool]":
+        flow = flow_of(src)
+        loops = [n for n in ast.walk(flow.tree) if isinstance(n, ast.For)]
+        return [flow.scope_for(lp).is_sample_loop(lp) for lp in loops]
+
+    def test_range_over_extent_is_per_sample(self):
+        assert self.classify(
+            """
+            import numpy as np
+
+            def f(x: np.ndarray):
+                for i in range(x.shape[0]):
+                    pass
+                for i in range(len(x)):
+                    pass
+            """
+        ) == [True, True]
+
+    def test_stepped_range_is_a_chunk_loop(self):
+        assert self.classify(
+            """
+            import numpy as np
+
+            def f(x: np.ndarray, chunk: int):
+                for start in range(0, x.shape[0], chunk):
+                    pass
+            """
+        ) == [False]
+
+    def test_direct_and_wrapped_ndarray_iteration(self):
+        assert self.classify(
+            """
+            import numpy as np
+
+            def f(x: np.ndarray, items):
+                for v in x:
+                    pass
+                for i, v in enumerate(x):
+                    pass
+                for v in items:
+                    pass
+            """
+        ) == [True, True, False]
+
+    def test_loop_invariance_uses_the_loop_write_set(self):
+        flow = flow_of(
+            """
+            import numpy as np
+
+            def f(w: np.ndarray, reps: int):
+                acc = 0.0
+                for i in range(reps):
+                    acc += float(np.sum(w[0:3]))
+                    moving = w[i:i + 2]
+            """
+        )
+        loop = next(n for n in ast.walk(flow.tree) if isinstance(n, ast.For))
+        subs = {
+            ast.unparse(n): n
+            for n in ast.walk(loop) if isinstance(n, ast.Subscript)
+        }
+        invariant, moving = subs["w[0:3]"], subs["w[i:i + 2]"]
+        assert flow.is_loop_invariant(invariant, loop)
+        assert not flow.is_loop_invariant(moving, loop)
+
+
+class TestProjectIndex:
+    def test_cross_file_stage_resolution(self):
+        base = ast.parse("class Stage:\n    pass\n")
+        mid = ast.parse("from repro.stream.stages import Stage\n\nclass Mid(Stage):\n    pass\n")
+        leaf = ast.parse("from repro.stream.mid import Mid\n\nclass Leaf(Mid):\n    pass\n")
+        index = ProjectIndex.build([
+            ("repro.stream.stages", base),
+            ("repro.stream.mid", mid),
+            ("repro.monitor.custom", leaf),
+        ])
+        leaf_cls = next(n for n in ast.walk(leaf) if isinstance(n, ast.ClassDef))
+        assert index.is_subclass_of(leaf_cls, "Stage", "repro.monitor.custom")
+        assert not index.is_subclass_of(leaf_cls, "Sink", "repro.monitor.custom")
+
+    def test_imported_mutable_global_resolves_to_origin(self):
+        owner = ast.parse("_CACHE = {}\nLIMIT = 3\n")
+        user = ast.parse("from repro.faults.state import _CACHE\n")
+        index = ProjectIndex.build([
+            ("repro.faults.state", owner),
+            ("repro.monitor.user", user),
+        ])
+        origin = index.mutable_global_origin("repro.monitor.user", "_CACHE")
+        assert origin == ("repro.faults.state", "dict")
+        # scalars are not mutable state
+        assert index.mutable_global_origin("repro.faults.state", "LIMIT") is None
+
+
+class TestSuppressionDirectives:
+    def test_reason_and_unknown_flags(self):
+        sup = parse_suppressions(
+            "x = 1  # repro-lint: disable=RL004 — frozen copy, never shared\n"
+            "y = 2  # repro-lint: disable=RL004\n"
+            "z = 3  # repro-lint: disable=RL999 — typo\n"
+        )
+        assert [d.has_reason for d in sup.directives] == [True, False, True]
+        assert [d.known for d in sup.directives] == [True, True, False]
+        assert sup.directives[0].reason == "frozen copy, never shared"
+
+    def test_unknown_rule_suppresses_nothing(self):
+        sup = parse_suppressions("x = 1  # repro-lint: disable=RL999 — typo\n")
+        assert sup.by_line == {}
+        assert sup.file_level == set()
+
+
+class TestBitIdentityConfig:
+    def test_module_list_is_overridable(self, tmp_path):
+        dest = tmp_path / "repro" / "attribution" / "bad_matmul.py"
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copy(FIXTURES / "matmul_violation.py", dest)
+        # attribution is outside the default contract surface...
+        assert LintEngine(LintConfig()).lint_file(dest) == []
+        # ...and inside it once the option pulls the module in.
+        cfg = LintConfig(rule_options={
+            "bit-identity-matmul": {"modules": ["repro.attribution"]},
+        })
+        diags = LintEngine(cfg).lint_file(dest)
+        assert [d.rule_id for d in diags] == ["RL201"] * 3
+
+
+class TestSarif:
+    def test_schema_shape(self, tmp_path):
+        dest = tmp_path / "repro" / "perf" / "bad_matmul.py"
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copy(FIXTURES / "matmul_violation.py", dest)
+        diags = LintEngine(LintConfig()).lint_file(dest)
+        payload = json.loads(render_sarif(diags, files_checked=1))
+        assert payload["version"] == SARIF_VERSION
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert "RL201" in rule_ids and "RL001" in rule_ids
+        assert len(run["results"]) == len(diags) == 3
+        for res in run["results"]:
+            assert res["ruleId"] == "RL201"
+            loc = res["locations"][0]["physicalLocation"]
+            assert loc["artifactLocation"]["uri"].endswith("bad_matmul.py")
+            assert loc["region"]["startLine"] > 0
+
+    def test_cli_writes_sarif_to_output_file(self, tmp_path, capsys):
+        dest = tmp_path / "repro" / "perf" / "bad_matmul.py"
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copy(FIXTURES / "matmul_violation.py", dest)
+        out = tmp_path / "lint.sarif"
+        rc = lint_main([str(tmp_path), "--format", "sarif", "--output", str(out)])
+        assert rc == 1
+        payload = json.loads(out.read_text())
+        assert payload["version"] == SARIF_VERSION
+        assert capsys.readouterr().out == ""
+
+
+@pytest.mark.skipif(shutil.which("git") is None, reason="git unavailable")
+class TestChangedMode:
+    def _init_repo(self, root: Path) -> None:
+        def git(*argv: str) -> None:
+            subprocess.run(
+                ["git", *argv], cwd=root, check=True, capture_output=True,
+                env={"GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+                     "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t",
+                     "HOME": str(root), "PATH": "/usr/bin:/bin:/usr/local/bin"},
+            )
+        git("init", "-q")
+        git("add", "-A")
+        git("commit", "-q", "-m", "seed")
+
+    def test_changed_limits_findings_to_touched_files(self, tmp_path, capsys, monkeypatch):
+        pkg = tmp_path / "repro" / "perf"
+        pkg.mkdir(parents=True)
+        shutil.copy(FIXTURES / "matmul_violation.py", pkg / "committed.py")
+        self._init_repo(tmp_path)
+        shutil.copy(FIXTURES / "set_order_violation.py", pkg / "fresh.py")
+        monkeypatch.chdir(tmp_path)
+
+        rc = lint_main([str(tmp_path), "--changed"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "RL202" in out  # the untracked file is linted
+        assert "RL201" not in out  # the committed one is skipped
+
+        rc = lint_main([str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "RL201" in out and "RL202" in out  # full run sees both
+
+    def test_changed_outside_git_is_a_usage_error(self, tmp_path, capsys, monkeypatch):
+        (tmp_path / "clean.py").write_text("x = 1\n")
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv("GIT_DIR", str(tmp_path / "absent-git"))
+        rc = lint_main([str(tmp_path), "--changed"])
+        assert rc == 2
+        assert "--changed" in capsys.readouterr().err

@@ -29,6 +29,15 @@ PLACEMENTS = {
     "mutation_violation.py": ("repro/monitor/bad_mutation.py", "RL004", 5),
     "boundary_violation.py": ("repro/core/bad_boundary.py", "RL005", 1),
     "swallowed_violation.py": ("repro/eval/bad_except.py", "RL006", 2),
+    "undocumented_suppression.py": ("repro/workloads/bad_suppress.py", "RL007", 2),
+    "matmul_violation.py": ("repro/perf/bad_matmul.py", "RL201", 3),
+    "set_order_violation.py": ("repro/perf/bad_order.py", "RL202", 2),
+    "sample_loop_violation.py": ("repro/monitor/bad_loop.py", "RL301", 2),
+    "append_loop_violation.py": ("repro/monitor/bad_append.py", "RL302", 1),
+    "hoistable_violation.py": ("repro/monitor/bad_hoist.py", "RL303", 1),
+    "stage_state_violation.py": ("repro/stream/bad_stage.py", "RL401", 2),
+    "global_mutation_violation.py": ("repro/faults/bad_globals.py", "RL402", 2),
+    "registry_capture_violation.py": ("repro/monitor/bad_registry.py", "RL403", 3),
 }
 
 
@@ -99,7 +108,7 @@ class TestSuppressions:
         dest.write_text(
             "import numpy as np\n\n"
             "def f():\n"
-            "    np.random.seed(0)  # repro-lint: disable=swallowed-error\n"
+            "    np.random.seed(0)  # repro-lint: disable=swallowed-error — wrong rule on purpose\n"
         )
         diags = engine.lint_file(dest)
         assert [d.rule_id for d in diags] == ["RL001"]

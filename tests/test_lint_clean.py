@@ -1,9 +1,11 @@
 """Tier-1 gate: the codebase must satisfy its own static-analysis suite.
 
 Every future PR runs through here — a new global-RNG call, upward import,
-wall-clock read in numerics, frozen-trace mutation, unvalidated boundary, or
-swallowed exception fails this test with the offending file:line in the
-assertion message.
+wall-clock read in numerics, frozen-trace mutation, unvalidated boundary,
+swallowed exception, BLAS-order matmul in a bit-identity module, per-sample
+Python loop on the hot path, stateful Stage, module-global mutation from
+worker-eligible code, frozen ambient registry, or undocumented suppression
+fails this test with the offending file:line in the assertion message.
 """
 
 from __future__ import annotations
