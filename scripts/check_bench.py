@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Gate a `repro-bench` trajectory against a committed baseline.
+
+Compares two `BENCH_*.json` payloads (schema `repro-bench/1`) and fails
+if any stage recorded in *both* regressed by more than the threshold:
+
+* per-op `results` entries compare `ns_per_sample` (lower is better) —
+  only when both payloads ran the same protocol mode (smoke op sizes are
+  not comparable to full-protocol sizes);
+* the end-to-end `fleet` / `fleet_fast_math` stages compare
+  `samples_per_s` (higher is better). Protocol fields (nodes, chunk size,
+  trace seconds) are printed with each comparison; a trace-length change
+  is reported but still gated — the steady-state protocol only amortises
+  run-open costs, so throughput must not *drop* across it.
+
+Usage:
+    python scripts/check_bench.py CURRENT.json [--baseline BENCH_PR2.json]
+                                  [--max-regression 0.20]
+
+Exit status 1 on any regression beyond the threshold, 0 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+FLEET_STAGES = ("fleet", "fleet_fast_math")
+
+
+def _fleet_protocol(stage: dict) -> tuple:
+    """(nodes, chunk_size, test_seconds); older payloads lack the trace
+    length and recorded 60 s traces — derive it from the sample count."""
+    nodes = stage.get("nodes")
+    seconds = stage.get("test_seconds")
+    if seconds is None and nodes:
+        seconds = stage.get("samples", 0) // nodes
+    return (nodes, stage.get("chunk_size"), seconds)
+
+
+def compare(current: dict, baseline: dict, max_regression: float) -> list[str]:
+    """Human-readable regression messages (empty = gate passes)."""
+    failures: list[str] = []
+    cur_mode = current.get("protocol", {}).get("mode")
+    base_mode = baseline.get("protocol", {}).get("mode")
+    if cur_mode == base_mode:
+        cur_ops = current.get("results", {})
+        base_ops = baseline.get("results", {})
+        for op in sorted(set(cur_ops) & set(base_ops)):
+            cur_ns = cur_ops[op].get("ns_per_sample")
+            base_ns = base_ops[op].get("ns_per_sample")
+            if not cur_ns or not base_ns:
+                continue
+            ratio = cur_ns / base_ns
+            verdict = "REGRESSED" if ratio > 1.0 + max_regression else "ok"
+            print(f"{op:<20} {base_ns:>10.1f} -> {cur_ns:>10.1f} ns/sample "
+                  f"({ratio:+.0%} of baseline) {verdict}")
+            if verdict == "REGRESSED":
+                failures.append(
+                    f"{op}: {base_ns:.1f} -> {cur_ns:.1f} ns/sample "
+                    f"(+{(ratio - 1.0):.0%} > {max_regression:.0%} allowed)"
+                )
+    else:
+        print(f"per-op comparison skipped: protocol modes differ "
+              f"({base_mode!r} baseline vs {cur_mode!r} current)")
+    for name in FLEET_STAGES:
+        cur = current.get(name)
+        base = baseline.get(name)
+        if not cur or not base:
+            continue
+        cur_tp = cur.get("samples_per_s")
+        base_tp = base.get("samples_per_s")
+        if not cur_tp or not base_tp:
+            continue
+        cur_proto = _fleet_protocol(cur)
+        base_proto = _fleet_protocol(base)
+        note = ""
+        if cur_proto != base_proto:
+            note = (f"  [protocol changed: {base_proto} -> {cur_proto} "
+                    f"(nodes, chunk, seconds)]")
+        ratio = cur_tp / base_tp
+        verdict = "REGRESSED" if ratio < 1.0 - max_regression else "ok"
+        print(f"{name:<20} {base_tp:>10.0f} -> {cur_tp:>10.0f} samples/s "
+              f"({ratio:.2f}x baseline) {verdict}{note}")
+        if verdict == "REGRESSED":
+            failures.append(
+                f"{name}: {base_tp:.0f} -> {cur_tp:.0f} samples/s "
+                f"({(1.0 - ratio):.0%} drop > {max_regression:.0%} allowed)"
+            )
+    return failures
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when a BENCH_*.json regressed vs the baseline.")
+    parser.add_argument("current", type=Path,
+                        help="freshly generated or committed BENCH_*.json")
+    parser.add_argument("--baseline", type=Path,
+                        default=Path("BENCH_PR2.json"),
+                        help="baseline trajectory (default: BENCH_PR2.json)")
+    parser.add_argument("--max-regression", type=float, default=0.20,
+                        help="allowed fractional regression (default: 0.20)")
+    args = parser.parse_args(argv)
+
+    current = json.loads(args.current.read_text())
+    baseline = json.loads(args.baseline.read_text())
+    for payload, path in ((current, args.current), (baseline, args.baseline)):
+        if payload.get("schema") != "repro-bench/1":
+            print(f"error: {path} is not a repro-bench/1 payload",
+                  file=sys.stderr)
+            return 2
+
+    failures = compare(current, baseline, args.max_regression)
+    if failures:
+        print(f"\n{len(failures)} benchmark regression(s) vs "
+              f"{args.baseline}:", file=sys.stderr)
+        for line in failures:
+            print(f"  - {line}", file=sys.stderr)
+        return 1
+    print(f"\nbench gate passed ({args.current} vs {args.baseline})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

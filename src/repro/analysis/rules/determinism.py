@@ -64,6 +64,13 @@ class BitIdentityMatmulRule(Rule):
         modules = tuple(ctx.options.get("modules", BIT_IDENTITY_MODULES))
         if not ctx.in_packages(modules):
             return
+        # Reasoned allowances: modules implementing the opt-in fast_math
+        # tolerance tier (declared via [tool.repro-lint.rules.<name>]
+        # exempt_modules) host BLAS products by design; everything else
+        # under the contract stays policed.
+        exempt = tuple(ctx.options.get("exempt_modules", ()))
+        if exempt and ctx.in_packages(exempt):
+            return
         flow = ctx.flow()
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.BinOp) and isinstance(node.op, ast.MatMult):

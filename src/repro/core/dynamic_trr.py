@@ -29,6 +29,7 @@ import numpy as np
 from ..errors import NotFittedError, ValidationError
 from ..ml.recurrent import LSTMRegressor
 from ..obs import current_tracer, get_registry
+from ..perf import compile_lstm
 from ..sensors.base import SparseReadings
 from ..utils.validation import check_2d
 from .config import HighRPMConfig
@@ -69,6 +70,10 @@ class OnlineTRRSession:
         self._last_reading_t: "int | None" = None
         #: timestamps at which the feed recovered after an outage gap.
         self.resyncs: list[int] = []
+        #: segment forecaster, built lazily from the session's model copy
+        #: and invalidated after every fine-tune (partial_fit mutates the
+        #: parameters the kernel folded at build time).
+        self._kernel: "object | None" = None
 
     @property
     def t(self) -> int:
@@ -120,6 +125,98 @@ class OnlineTRRSession:
                 )
         finally:
             self._model.lr = old_lr
+        # partial_fit mutated the parameters the kernel folded — rebuild
+        # lazily on the next forecast.
+        self._kernel = None
+
+    def _reading_step(self, pmc_row: np.ndarray, value: float) -> float:
+        """Consume one measured second: anchor, fine-tune, re-sync check."""
+        trr = self._trr
+        t = self._t
+        self._pmcs.append(pmc_row)
+        prev_hold = self._hold[-1] if self._hold else value
+        # Re-sync: a reading after an outage-length silence means the
+        # feed recovered; the session drifted unanchored meanwhile, so
+        # fine-tune harder to pull the model back onto the feed.
+        gap_limit = trr.config.resync_gap_factor * trr.config.miss_interval
+        recovered = (
+            self._last_reading_t is not None
+            and t - self._last_reading_t > gap_limit
+        )
+        if recovered:
+            self.resyncs.append(t)
+            get_registry().counter(
+                "repro_online_resyncs_total",
+                "IM-feed recoveries after an outage-length gap.",
+            ).inc()
+        # Anchor BEFORE updating the hold channel: the fine-tune label is
+        # the deviation of this reading from the previous anchor, which
+        # is exactly what the model predicts at gap-end positions.
+        self._hold.append(prev_hold)
+        X = self._window(t)
+        self._fine_tune(X, value - prev_hold,
+                        boost=self.RESYNC_BOOST if recovered else 1)
+        self._hold[-1] = value  # future windows hold the new reading
+        self._last_reading_t = t
+        self._t = t + 1
+        if self._retain:
+            self._measured_mask.append(True)
+            self._estimates.append(value)
+        return value
+
+    def _segment_rows(self, pmcs_seg: np.ndarray, prev_hold: float) -> np.ndarray:
+        """Distinct feature rows covering a segment's sliding windows.
+
+        Returns ``(w − 1 + m, d + 1)``: up to ``w − 1`` rows of history from
+        the deques (left-padded with the oldest available row on cold start,
+        matching :meth:`_window`), then the segment's rows with the hold
+        channel pinned at the anchor — forecasts never feed back into it.
+        """
+        w = self._trr.config.miss_interval
+        m, d = pmcs_seg.shape
+        L = len(self._pmcs)
+        hist = min(L, w - 1)
+        pad = w - 1 - hist
+        rows = np.empty((w - 1 + m, d + 1))
+        if hist:
+            rows[pad:w - 1, :d] = list(self._pmcs)[L - hist:]
+            rows[pad:w - 1, d] = list(self._hold)[L - hist:]
+        rows[w - 1:, :d] = pmcs_seg
+        rows[w - 1:, d] = prev_hold
+        if pad:
+            # Cold start: padding only happens while the deques still hold
+            # the whole run, so the oldest available row *is* global row 0.
+            rows[:pad] = rows[pad]
+        return rows
+
+    def _forecast_segment(self, pmcs_seg: np.ndarray) -> np.ndarray:
+        """Forecast a run of consecutive unmeasured seconds in one batch.
+
+        The hold anchor is constant across the segment (only readings move
+        it), so the ``m`` windows share ``m + w − 1`` rows and one kernel
+        call covers them all. The kernel's fixed-order math makes the
+        result independent of how the trace was cut into segments.
+        """
+        trr = self._trr
+        m = pmcs_seg.shape[0]
+        prev_hold = self._hold[-1] if self._hold else trr.train_power_mean_
+        rows = self._segment_rows(pmcs_seg, prev_hold)
+        kernel = self._kernel
+        if kernel is None:
+            kernel = self._kernel = compile_lstm(
+                self._model, trr.config.miss_interval,
+                fast_math=trr.config.fast_math,
+            )
+        deviations = kernel.forecast(rows, m)
+        # Physical clamping: a forecast cannot leave the platform range.
+        estimates = np.clip(prev_hold + deviations, trr.p_bottom_, trr.p_upper_)
+        self._pmcs.extend(pmcs_seg)
+        self._hold.extend([prev_hold] * m)
+        self._t += m
+        if self._retain:
+            self._estimates.extend(estimates.tolist())
+            self._measured_mask.extend([False] * m)
+        return estimates
 
     # repro-lint: disable=boundary-validation — hot path (called once per
     # monitored second): shape-checked inline against the fitted n_pmcs_
@@ -136,51 +233,11 @@ class OnlineTRRSession:
             raise ValidationError(
                 f"expected {trr.n_pmcs_} PMCs per row, got {pmc_row.shape[0]}"
             )
-        t = self._t
-        self._pmcs.append(pmc_row)
-        prev_hold = self._hold[-1] if self._hold else (
-            float(im_reading) if im_reading is not None else trr.train_power_mean_
-        )
-
         if im_reading is not None:
-            estimate = float(im_reading)
-            # Re-sync: a reading after an outage-length silence means the
-            # feed recovered; the session drifted unanchored meanwhile, so
-            # fine-tune harder to pull the model back onto the feed.
-            gap_limit = trr.config.resync_gap_factor * trr.config.miss_interval
-            recovered = (
-                self._last_reading_t is not None
-                and t - self._last_reading_t > gap_limit
-            )
-            if recovered:
-                self.resyncs.append(t)
-                get_registry().counter(
-                    "repro_online_resyncs_total",
-                    "IM-feed recoveries after an outage-length gap.",
-                ).inc()
-            # Anchor BEFORE updating the hold channel: the fine-tune label is
-            # the deviation of this reading from the previous anchor, which
-            # is exactly what the model predicts at gap-end positions.
-            self._hold.append(prev_hold)
-            X = self._window(t)
-            self._fine_tune(X, estimate - prev_hold,
-                            boost=self.RESYNC_BOOST if recovered else 1)
-            self._hold[-1] = estimate  # future windows hold the new reading
-            measured = True
-            self._last_reading_t = t
-        else:
-            self._hold.append(prev_hold)
-            X = self._window(t)
-            deviation = float(self._model.predict(X)[0])
-            estimate = prev_hold + deviation
-            # Physical clamping: a forecast cannot leave the platform range.
-            estimate = float(np.clip(estimate, trr.p_bottom_, trr.p_upper_))
-            measured = False
-        self._t = t + 1
-        if self._retain:
-            self._measured_mask.append(measured)
-            self._estimates.append(estimate)
-        return estimate
+            return self._reading_step(pmc_row, float(im_reading))
+        # Forecasts route through the same segment kernel as run_chunk
+        # (a segment of one), so both entry points produce identical bits.
+        return float(self._forecast_segment(pmc_row[None, :])[0])
 
     def run_chunk(
         self, pmcs: np.ndarray, readings: "SparseReadings | None" = None
@@ -192,23 +249,35 @@ class OnlineTRRSession:
         in order — the concatenated outputs are bit-identical to one
         :meth:`run` over the whole trace.
         """
+        trr = self._trr
         pmcs = check_2d(pmcs, "pmcs")
+        if pmcs.shape[1] != trr.n_pmcs_:
+            raise ValidationError(
+                f"expected {trr.n_pmcs_} PMCs per row, got {pmcs.shape[1]}"
+            )
+        pmcs = np.ascontiguousarray(pmcs, dtype=np.float64)
         start = self._t
-        stop = start + pmcs.shape[0]
+        n = pmcs.shape[0]
         if readings is None:
-            reading_at: "dict[int, float]" = {}
+            r_pos = r_val = ()
         else:
             lo = int(np.searchsorted(readings.indices, start, side="left"))
-            hi = int(np.searchsorted(readings.indices, stop, side="left"))
-            reading_at = dict(zip(readings.indices[lo:hi].tolist(),
-                                  readings.values[lo:hi].tolist()))
-        out = np.empty(pmcs.shape[0])
+            hi = int(np.searchsorted(readings.indices, start + n, side="left"))
+            r_pos = (readings.indices[lo:hi] - start).tolist()
+            r_val = readings.values[lo:hi].tolist()
+        out = np.empty(n)
         with current_tracer().span("trr.dynamic"):
-            # repro-lint: disable=per-sample-loop — the LSTM recurrence is
-            # inherently sequential (h_t depends on h_{t-1}); batching the
-            # gate matmuls across time is the ROADMAP vectorisation item.
-            for k in range(pmcs.shape[0]):
-                out[k] = self.step(pmcs[k], reading_at.get(start + k))
+            # Segment the chunk at reading instants: each inter-reading run
+            # of forecasts is one batched kernel call; each reading keeps
+            # the sequential anchor/fine-tune semantics.
+            k = 0
+            for pos, val in zip(r_pos, r_val):
+                if pos > k:
+                    out[k:pos] = self._forecast_segment(pmcs[k:pos])
+                out[pos] = self._reading_step(pmcs[pos], float(val))
+                k = pos + 1
+            if k < n:
+                out[k:] = self._forecast_segment(pmcs[k:])
         return out
 
     def run(self, pmcs: np.ndarray, readings: "SparseReadings | None") -> np.ndarray:

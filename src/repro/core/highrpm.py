@@ -16,7 +16,7 @@ the restored node power to components with SRR.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 import numpy as np
@@ -74,17 +74,18 @@ def provenance_from_readings(
     idx = readings.indices
     t = np.arange(start, stop, dtype=np.int64)
     far = np.int64(n + 1)
-    right_pos = np.searchsorted(idx, t, side="right")
-    prev_dist = np.where(right_pos > 0, t - idx[np.maximum(right_pos - 1, 0)], far)
-    left_pos = np.searchsorted(idx, t, side="left")
-    next_dist = np.where(
-        left_pos < idx.size, idx[np.minimum(left_pos, idx.size - 1)] - t, far
-    )
+    # One searchsorted serves both neighbour distances: left/right insertion
+    # points only differ at exact reading instants, whose provenance is
+    # overwritten with PROV_MEASURED below anyway (prev_dist is 0 there, so
+    # the nearest-reading distance is unchanged too).
+    pos = idx.searchsorted(t, side="right")
+    prev_dist = np.where(pos > 0, t - idx[np.maximum(pos - 1, 0)], far)
+    next_dist = np.where(pos < idx.size, idx[np.minimum(pos, idx.size - 1)] - t, far)
     nearest = np.minimum(prev_dist, next_dist)
-    prov = np.where(
-        nearest > outage_factor * interval, PROV_MODEL_ONLY, PROV_RESTORED
-    ).astype(np.uint8)
-    measured = idx[(idx >= start) & (idx < stop)]
+    prov = np.full(stop - start, PROV_RESTORED)
+    prov[nearest > outage_factor * interval] = PROV_MODEL_ONLY
+    sel = idx.searchsorted(np.array((start, stop)), side="left")
+    measured = idx[sel[0]:sel[1]]
     prov[measured - start] = PROV_MEASURED
     return prov
 
@@ -141,6 +142,29 @@ class HighRPM:
         self.srr = SRR(self.config)
         self._initial_pool: "SamplePool | None" = None
         self._fitted = False
+
+    def set_fast_math(self, flag: bool) -> "HighRPM":
+        """Switch the inference tier (see ``HighRPMConfig.fast_math``).
+
+        ``True`` routes the compiled kernels (SRR MLP forward, DynamicTRR
+        segment forecaster) through BLAS ``matmul``; results then match the
+        exact tier only within :data:`repro.perf.FAST_MATH_RTOL` /
+        ``FAST_MATH_ATOL``. The config is frozen, so the switch installs a
+        replaced config on this model and its sub-models; kernels built
+        afterwards pick up the tier, and an already-compiled SRR forward is
+        re-flagged in place. Online sessions opened *before* the switch
+        keep the tier they were opened under.
+        """
+        flag = bool(flag)
+        if flag != self.config.fast_math:
+            cfg = replace(self.config, fast_math=flag)
+            self.config = cfg
+            self.dynamic_trr.config = cfg
+            self.srr.config = cfg
+        compiled = getattr(self.srr.model_, "_compiled", None)
+        if compiled is not None and hasattr(compiled, "fast_math"):
+            compiled.fast_math = flag
+        return self
 
     # ---------------------------------------------------------------- stage 1
     def fit_initial(self, bundles: Sequence[TraceBundle]) -> "HighRPM":

@@ -208,13 +208,14 @@ class StaticTRR:
         out_of_range = (p_residual >= hi) | (p_residual <= lo)
         p_residual[out_of_range] = p_splined[out_of_range]
 
-        # Fusion by agreement band.
+        # Fusion by agreement band. Within the α band the estimators agree
+        # and the spline is kept; beyond the β band the ResModel is
+        # distrusted and the spline is kept too — so the spline is the
+        # default on both sides and only the mid band blends the two.
         gap = np.abs(p_splined - p_residual)
         floor = np.minimum(np.abs(p_splined), np.abs(p_residual))
-        p_trr = np.where(gap <= cfg.alpha * floor, p_splined, p_splined)
         mid = (gap > cfg.alpha * floor) & (gap <= cfg.beta * floor)
-        p_trr = np.where(mid, 0.5 * (p_splined + p_residual), p_trr)
-        # gap > beta·floor keeps the spline (already the default above).
+        p_trr = np.where(mid, 0.5 * (p_splined + p_residual), p_splined)
         return np.clip(p_trr, lo, hi)
 
     # -------------------------------------------------------------- predict
@@ -273,8 +274,14 @@ class _FusionScan:
         self.n = int(readings.n_dense)
         self.fed = 0
         self.emitted = 0
-        self._w = np.empty(0)  # working spline values for [emitted, fed)
-        self._res = np.empty(0)  # original residual estimates, same span
+        # Preallocated working buffers for the span [emitted, fed): index 0
+        # maps to ``emitted``. Sized to chunk + half on first feed and then
+        # sliced, never reallocated, per feed (the span never exceeds the
+        # finalisation lag ``half`` plus one chunk); only a larger chunk
+        # forces a regrow.
+        self._buf_len = 0  # valid prefix of the working buffers
+        self._w_buf = np.empty(0)  # working spline values
+        self._res_buf = np.empty(0)  # original residual estimates
         #: forward hold writes beyond the fed frontier, in hold order.
         self._pending: "list[tuple[int, int, float]]" = []
 
@@ -291,8 +298,19 @@ class _FusionScan:
                 f"fed {stop} samples into a {self.n}-sample trace"
             )
         base = self.emitted
-        w = np.concatenate([self._w, p_splined])
-        res = np.concatenate([self._res, p_residual])
+        m = p_splined.shape[0]
+        need = self._buf_len + m
+        if need > self._w_buf.shape[0]:
+            grown = max(need, m + self._half)
+            w_new = np.empty(grown)
+            res_new = np.empty(grown)
+            w_new[:self._buf_len] = self._w_buf[:self._buf_len]
+            res_new[:self._buf_len] = self._res_buf[:self._buf_len]
+            self._w_buf, self._res_buf = w_new, res_new
+        w = self._w_buf
+        w[self._buf_len:need] = p_splined
+        self._res_buf[self._buf_len:need] = p_residual
+        self._buf_len = need
         # Earlier chunks' holds whose windows spill into (or past) this span.
         still_pending = []
         for w_start, w_stop, v in self._pending:
@@ -314,8 +332,6 @@ class _FusionScan:
             w[w_start - base:min(w_stop, stop) - base] = v
             if w_stop > stop:
                 self._pending.append((stop, w_stop, v))
-        self._w = w
-        self._res = res
         self.fed = stop
         return self._finalize(max(base, stop - self._half))
 
@@ -332,8 +348,8 @@ class _FusionScan:
         if to <= base:
             return base, np.empty(0)
         k = to - base
-        w = self._w[:k]
-        r = self._res[:k].copy()
+        w = self._w_buf[:k]
+        r = self._res_buf[:k].copy()
         # Operations 2 & 3: out-of-range ResModel output is distrusted.
         out_of_range = (r >= self._hi) | (r <= self._lo)
         r[out_of_range] = w[out_of_range]
@@ -342,13 +358,20 @@ class _FusionScan:
         floor = np.minimum(np.abs(w), np.abs(r))
         mid = (gap > self._alpha * floor) & (gap <= self._beta * floor)
         p_trr = np.where(mid, 0.5 * (w + r), w)
-        p_trr = np.clip(p_trr, self._lo, self._hi)
+        # In-place two-sided clamp (ufuncs directly; same result as np.clip
+        # for lo <= hi, without the dispatch wrapper on the per-chunk path).
+        np.minimum(p_trr, self._hi, out=p_trr)
+        np.maximum(p_trr, self._lo, out=p_trr)
         # Observed instants keep their readings — they are measurements.
-        sel_lo = int(np.searchsorted(self._idx, base, side="left"))
-        sel_hi = int(np.searchsorted(self._idx, to, side="left"))
+        sel_lo = int(self._idx.searchsorted(base, side="left"))
+        sel_hi = int(self._idx.searchsorted(to, side="left"))
         p_trr[self._idx[sel_lo:sel_hi] - base] = self._vals[sel_lo:sel_hi]
-        self._w = self._w[k:]
-        self._res = self._res[k:]
+        # Shift the unfinalised tail to the buffer head (overlap-safe
+        # left-moving copy) instead of reallocating.
+        tail = self._buf_len - k
+        self._w_buf[:tail] = self._w_buf[k:self._buf_len]
+        self._res_buf[:tail] = self._res_buf[k:self._buf_len]
+        self._buf_len = tail
         self.emitted = to
         return base, p_trr
 
@@ -368,6 +391,13 @@ class StaticTRRStream:
         self._trr = trr
         self.n = int(readings.n_dense)
         self._scan = _FusionScan(trr.config, trr._lo, trr._hi, readings)
+        # Bind the trend model's compiled evaluator once per run: every
+        # chunk evaluates the same fitted spline at indices this stream
+        # generates itself, so the per-call validation in ``predict`` is
+        # pure overhead. Pluggable trend models without a compiled
+        # evaluator fall back to their public predict.
+        get_eval = getattr(trr.spline_, "evaluator", None)
+        self._trend_eval = get_eval() if get_eval is not None else trr.spline_.predict
 
     @property
     def samples_fed(self) -> int:
@@ -397,7 +427,7 @@ class StaticTRRStream:
         tracer = current_tracer()
         t = np.arange(start, stop, dtype=np.float64)
         with tracer.span("trr.spline"):
-            p_splined = trr.spline_.predict(t)
+            p_splined = self._trend_eval(t)
         with tracer.span("trr.resmodel"):
             if residual_hat is None:
                 residual_hat = trr.res_model_.predict(pmc_chunk)
@@ -433,7 +463,7 @@ class StaticTRRStream:
         n = self.n
         a = max(0, start - 1)
         b = min(n, stop + 1)
-        s = self._trr.spline_.predict(np.arange(a, b, dtype=np.float64))
+        s = self._trend_eval(np.arange(a, b, dtype=np.float64))
         pos = np.arange(start, stop) - a
         left = np.maximum(pos - 1, 0)
         right = np.minimum(pos + 1, b - 1 - a)

@@ -61,6 +61,13 @@ class CubicSplineInterpolator:
         self._x: np.ndarray | None = None
         self._y: np.ndarray | None = None
         self._m: np.ndarray | None = None  # second derivatives at the knots
+        # Per-interval polynomial coefficients, compiled at fit time so
+        # evaluation is one searchsorted + Horner (no a/b/h re-derivation).
+        self._c0: np.ndarray | None = None
+        self._c1: np.ndarray | None = None
+        self._c2: np.ndarray | None = None
+        self._c3: np.ndarray | None = None
+        self._x_inner: np.ndarray | None = None  # knots sans x_0 (interval lookup)
 
     @property
     def is_fitted(self) -> bool:
@@ -73,14 +80,18 @@ class CubicSplineInterpolator:
         check_consistent_length(x, y, names=("x", "y"))
         if x.shape[0] < 2:
             raise ValidationError("spline needs at least two knots")
-        order = np.argsort(x)
-        x, y = x[order], y[order]
-        if np.any(np.diff(x) <= 0):
-            raise ValidationError("spline knots must have distinct x values")
+        h = np.diff(x)
+        if np.any(h <= 0):
+            # Slow path: callers with unsorted knots (the common case —
+            # reading indices — arrives already ascending and skips the sort).
+            order = np.argsort(x)
+            x, y = x[order], y[order]
+            h = np.diff(x)
+            if np.any(h <= 0):
+                raise ValidationError("spline knots must have distinct x values")
         n = x.shape[0]
         m = np.zeros(n)
         if n > 2:
-            h = np.diff(x)
             # Interior rows of the tridiagonal system for second derivatives:
             # row k (knot i=k+1): h[k]·M_k + 2(h[k]+h[k+1])·M_{k+1} + h[k+1]·M_{k+2}.
             lower = np.concatenate(([0.0], h[1:-1]))
@@ -89,34 +100,77 @@ class CubicSplineInterpolator:
             rhs = 6.0 * ((y[2:] - y[1:-1]) / h[1:] - (y[1:-1] - y[:-2]) / h[:-1])
             m[1:-1] = _thomas_solve(lower, diag, upper, rhs)
         self._x, self._y, self._m = x, y, m
+        self._compile(h)
         return self
+
+    def _compile(self, h: np.ndarray) -> None:
+        """Precompute per-interval Horner coefficients.
+
+        Interval ``k < n-1`` covers ``[x_k, x_{k+1})`` with the cubic
+        ``c0 + dx·(c1 + dx·(c2 + dx·c3))`` in ``dx = xq − x_k``. Slot
+        ``n-1`` is a boundary sentinel for ``xq ≥ x_{n-1}``: constant
+        ``y_{n-1}`` under clamp extrapolation, the right-tangent line under
+        linear — so knot queries land at ``dx = 0`` and reproduce ``y``
+        exactly, and above-range queries need no separate mask.
+        """
+        x, y, m = self._x, self._y, self._m
+        n = x.shape[0]
+        c0 = np.empty(n)
+        c1 = np.empty(n)
+        c2 = np.empty(n)
+        c3 = np.empty(n)
+        c0[:-1] = y[:-1]
+        c1[:-1] = (y[1:] - y[:-1]) / h - h * (2.0 * m[:-1] + m[1:]) / 6.0
+        c2[:-1] = m[:-1] / 2.0
+        c3[:-1] = (m[1:] - m[:-1]) / (6.0 * h)
+        c0[-1] = y[-1]
+        c1[-1] = 0.0 if self.extrapolate == "clamp" else self._slope_at(n - 1)
+        c2[-1] = 0.0
+        c3[-1] = 0.0
+        self._c0, self._c1, self._c2, self._c3 = c0, c1, c2, c3
+        # Searching the knots without x_0 maps xq directly to its interval
+        # (count of interior knots ≤ xq), replacing the searchsorted−1 plus
+        # clip of the naive lookup with a single call.
+        self._x_inner = x[1:]
 
     def predict(self, xq) -> np.ndarray:
         """Evaluate the spline at query points ``xq`` (vectorised)."""
         if self._x is None:
             raise NotFittedError("CubicSplineInterpolator.predict before fit")
         xq = check_1d(np.atleast_1d(xq), "xq")
-        x, y, m = self._x, self._y, self._m
-        n = x.shape[0]
-        idx = np.clip(np.searchsorted(x, xq) - 1, 0, n - 2)
-        h = x[idx + 1] - x[idx]
-        a = (x[idx + 1] - xq) / h
-        b = (xq - x[idx]) / h
-        out = (
-            a * y[idx]
-            + b * y[idx + 1]
-            + ((a**3 - a) * m[idx] + (b**3 - b) * m[idx + 1]) * h**2 / 6.0
+        return self._eval_compiled(xq)
+
+    def _eval_compiled(self, xq: np.ndarray) -> np.ndarray:
+        """Validation-free Horner evaluation over the compiled coefficients.
+
+        Above-range queries fall into the sentinel interval (see
+        :meth:`_compile`); only below-range queries need a mask.
+        """
+        x = self._x
+        idx = self._x_inner.searchsorted(xq, side="right")
+        dx = xq - x[idx]
+        out = self._c0[idx] + dx * (
+            self._c1[idx] + dx * (self._c2[idx] + dx * self._c3[idx])
         )
         below = xq < x[0]
-        above = xq > x[-1]
-        if below.any() or above.any():
+        if below.any():
+            y = self._y
             if self.extrapolate == "clamp":
                 out[below] = y[0]
-                out[above] = y[-1]
             else:
                 out[below] = y[0] + self._slope_at(0) * (xq[below] - x[0])
-                out[above] = y[-1] + self._slope_at(n - 1) * (xq[above] - x[-1])
         return out
+
+    def evaluator(self):
+        """The validation-free compiled evaluator, for trusted hot callers.
+
+        Chunked restoration (:class:`repro.core.static_trr.StaticTRRStream`)
+        calls the spline once per chunk with indices it generated itself;
+        binding the evaluator once per run skips the per-call validation.
+        """
+        if self._x is None:
+            raise NotFittedError("CubicSplineInterpolator.evaluator before fit")
+        return self._eval_compiled
 
     def fit_predict(self, x, y, xq) -> np.ndarray:
         return self.fit(x, y).predict(xq)

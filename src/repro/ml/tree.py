@@ -38,7 +38,10 @@ def _best_split_for_feature(
 
     Returns ``(weighted_sse, threshold)`` where weighted_sse is the sum of
     child SSEs (lower is better), or ``(inf, nan)`` when no valid split
-    exists. Uses the identity SSE = Σy² − (Σy)²/n over prefix sums.
+    exists. Reference implementation: :func:`_best_split` scans all
+    candidate features in one vectorised pass with identical arithmetic;
+    this single-feature form is kept as the ground truth it is verified
+    against (tests/test_ml_tree.py).
     """
     order = np.argsort(x, kind="stable")
     xs, ys = x[order], y[order]
@@ -59,6 +62,47 @@ def _best_split_for_feature(
     best = int(np.argmin(sse))
     threshold = 0.5 * (xs[best] + xs[best + 1])
     return float(sse[best]), float(threshold)
+
+
+def _best_split(
+    X_node: np.ndarray, y: np.ndarray, feats: np.ndarray, min_leaf: int
+) -> tuple[float, int, float]:
+    """Best ``(weighted_sse, feature, threshold)`` over candidate features.
+
+    One vectorised pass: every candidate feature's column is sorted and
+    prefix-summed side by side, so a node's whole split search is a handful
+    of ``(n, d)`` array ops instead of ``d`` Python-level scans. Column
+    ``j`` sees exactly the arithmetic of
+    ``_best_split_for_feature(X_node[:, feats[j]], y, min_leaf)`` — same
+    stable sort, same prefix sums, same SSE identity — and ties across
+    features resolve to the earliest candidate, matching the sequential
+    strict-``<`` scan. Returns ``(inf, -1, nan)`` when no feature splits.
+    """
+    Xf = X_node[:, feats]
+    n = Xf.shape[0]
+    order = np.argsort(Xf, axis=0, kind="stable")
+    xs = np.take_along_axis(Xf, order, axis=0)
+    ys = y[order]
+    csum = np.cumsum(ys, axis=0)
+    csum_sq = np.cumsum(ys * ys, axis=0)
+    total, total_sq = csum[-1], csum_sq[-1]
+    k = np.arange(1, n)[:, None]
+    valid = (xs[1:] != xs[:-1]) & (k >= min_leaf) & ((n - k) >= min_leaf)
+    left_sum, left_sq = csum[:-1], csum_sq[:-1]
+    right_sum, right_sq = total - left_sum, total_sq - left_sq
+    sse = (left_sq - left_sum**2 / k) + (right_sq - right_sum**2 / (n - k))
+    sse = np.where(valid, sse, np.inf)
+    best_rows = np.argmin(sse, axis=0)
+    best_vals = sse[best_rows, np.arange(sse.shape[1])]
+    # NaN scores (degenerate labels) lose to every finite split, exactly as
+    # the sequential scan's strict < comparison skipped them.
+    best_vals = np.where(np.isnan(best_vals), np.inf, best_vals)
+    j = int(np.argmin(best_vals))
+    if not best_vals[j] < np.inf:
+        return np.inf, -1, np.nan
+    row = int(best_rows[j])
+    threshold = 0.5 * (xs[row, j] + xs[row + 1, j])
+    return float(best_vals[j]), int(feats[j]), float(threshold)
 
 
 class DecisionTreeRegressor(Regressor):
@@ -129,13 +173,11 @@ class DecisionTreeRegressor(Regressor):
                 or np.ptp(y_node) == 0.0
             ):
                 return node_id
-            best_sse, best_feat, best_thr = np.inf, -1, np.nan
-            for j in self._n_split_features(self.n_features_, rng):
-                sse, thr = _best_split_for_feature(
-                    X_node[:, j], y_node, self.min_samples_leaf
-                )
-                if sse < best_sse:
-                    best_sse, best_feat, best_thr = sse, int(j), thr
+            _, best_feat, best_thr = _best_split(
+                X_node, y_node,
+                self._n_split_features(self.n_features_, rng),
+                self.min_samples_leaf,
+            )
             if best_feat < 0:
                 return node_id
             mask = X_node[:, best_feat] <= best_thr

@@ -56,6 +56,12 @@ class FleetMonitor:
         self.service = service
         self.chunk_size = int(chunk_size)
         self._runs: "dict[str, _FleetRun]" = {}
+        #: (member trees, stack) from the previous tick — the per-run trees
+        #: are fixed for a run's whole lifetime, so consecutive ticks reuse
+        #: one concatenated slot pool instead of rebuilding it. Keyed by
+        #: identity (CompiledTree has no __eq__); holding the refs also
+        #: pins the objects, so identity cannot be recycled.
+        self._stack_cache: "tuple[tuple, TreeStack] | None" = None
 
     @property
     def active_nodes(self) -> tuple:
@@ -151,7 +157,13 @@ class FleetMonitor:
         ]
         if len(batchable) < 2:
             return  # nothing to amortize; per-chunk predict is identical
-        stack = TreeStack([tree for _, _, tree in batchable])
+        members = tuple(tree for _, _, tree in batchable)
+        cached = self._stack_cache
+        if cached is not None and cached[0] == members:
+            stack = cached[1]
+        else:
+            stack = TreeStack(list(members))
+            self._stack_cache = (members, stack)
         parts = stack.predict([chunk.pmcs for _, chunk, _ in batchable])
         for (_, chunk, _), residual_hat in zip(batchable, parts):
             chunk.residual_hat = residual_hat

@@ -46,6 +46,9 @@ class ObservationContext(RunContext):
         self.degrade_reason: "str | None" = None
         #: bounded-memory restorer chosen by RestoreStage.open_run.
         self.restorer = None
+        #: whole-run provenance flags, computed once at RestoreStage.open_run
+        #: and sliced per chunk (None until then / for model-only runs).
+        self.provenance_full: "np.ndarray | None" = None
         #: sinks receiving this run's finished chunks.
         self.sinks = service.sinks_for(node_id)
 
@@ -172,6 +175,15 @@ class RestoreStage(Stage):
             )
         else:  # dynamic, or model_only's anchorless forecast
             ctx.restorer = model.online_session(retain=False)
+        # Provenance depends only on the run's reading positions, which are
+        # fixed once the gate has passed — flag the whole trace here and
+        # slice per chunk instead of re-deriving neighbour distances for
+        # every chunk of every node.
+        if ctx.mode != "model_only":
+            ctx.provenance_full = provenance_from_readings(
+                ctx.n_samples, ctx.readings,
+                outage_factor=ctx.service.model.config.resync_gap_factor,
+            )
 
     def process(self, ctx: ObservationContext, chunk: PowerChunk):
         if ctx.mode == "static":
@@ -204,11 +216,7 @@ class RestoreStage(Stage):
     def _provenance(self, ctx: ObservationContext, start: int, stop: int):
         if ctx.mode == "model_only":
             return np.full(stop - start, PROV_MODEL_ONLY, dtype=np.uint8)
-        return provenance_from_readings(
-            ctx.n_samples, ctx.readings,
-            outage_factor=ctx.service.model.config.resync_gap_factor,
-            start=start, stop=stop,
-        )
+        return ctx.provenance_full[start:stop]
 
 
 class AttributeStage(Stage):

@@ -192,11 +192,19 @@ class PowerMonitorService:
         registry: "MetricsRegistry | None" = None,
         clock=None,
         sinks: "list[Sink] | None" = None,
+        fast_math: "bool | None" = None,
     ) -> None:
         model._require_fitted()
         self.model = model
         self.spec = spec
         self.policy = policy or ResiliencePolicy()
+        # Opt-in fast-math tier: an explicit flag switches the model's
+        # inference tier (HighRPM.set_fast_math); None inherits whatever
+        # tier the model config already selects. See docs/performance.md
+        # ("The fast-math contract") for the tolerance semantics.
+        if fast_math is not None:
+            model.set_fast_math(fast_math)
+        self.fast_math = model.config.fast_math
         # Observability: metrics land in the given registry (default: the
         # ambient one at construction time), pipeline spans are timed with
         # the given clock (default: the process monotonic clock; tests pass
@@ -212,8 +220,9 @@ class PowerMonitorService:
         )
         # Compile the SRR forward pass up front: it serves every observe_run
         # on every node, so the one-time flatten cost should not land on the
-        # first monitored trace.
-        precompile(model.srr.model_)
+        # first monitored trace. The compiled forward carries the service's
+        # resolved inference tier.
+        precompile(model.srr.model_, fast_math=self.fast_math)
         self._nodes: dict[str, IPMISensor] = {}
         self._logs: dict[str, MonitorLog] = {}
         self._health: dict[str, NodeHealth] = {}

@@ -150,12 +150,20 @@ class MetricFamily:
     # ------------------------------------------------------------- children
     def labels(self, **label_values: str):
         """The child for one label-value combination (created on first use)."""
-        if tuple(sorted(label_values)) != tuple(sorted(self.label_names)):
+        # Kwargs keys are unique, so "same length and every declared name
+        # present" is exactly the multiset equality the slow sorted-tuple
+        # comparison checked — without the two sorts per call.
+        key = None
+        if len(label_values) == len(self.label_names):
+            try:
+                key = tuple(str(label_values[n]) for n in self.label_names)
+            except KeyError:
+                key = None
+        if key is None:
             raise ValidationError(
                 f"metric {self.name!r} declares labels {self.label_names}, "
                 f"got {tuple(sorted(label_values))}"
             )
-        key = tuple(str(label_values[n]) for n in self.label_names)
         child = self._children.get(key)
         if child is None:
             child = self._new_child()

@@ -65,20 +65,70 @@ class SpanStats:
         return self.total_s / self.count if self.count else 0.0
 
 
+class _NullSpan:
+    """A reusable no-op context manager (one shared instance, no per-span
+    allocation — the null tracer sits on every hot path)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
 class NullTracer:
     """The ambient default: spans cost one dict-free context switch."""
 
     records: "tuple[SpanRecord, ...]" = ()
 
-    @contextmanager
-    def span(self, name: str):
-        yield
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
 
     def stats(self) -> "dict[str, SpanStats]":
         return {}
 
 
 NULL_TRACER = NullTracer()
+
+
+class _Span:
+    """One live span of a :class:`Tracer`.
+
+    A plain context-manager class rather than ``@contextmanager``: spans
+    wrap every pipeline stage of every chunk, and the generator protocol's
+    frame suspension costs several times the bookkeeping itself.
+    """
+
+    __slots__ = ("_tracer", "_name", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._start = None
+
+    def __enter__(self) -> None:
+        tracer = self._tracer
+        tracer._stack.append(self._name)
+        if tracer.clock is not None:
+            self._start = tracer.clock()
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self._tracer
+        duration = (
+            tracer.clock() - self._start if self._start is not None else None
+        )
+        stack = tracer._stack
+        stack.pop()
+        tracer._close(self._name, stack[-1] if stack else None, len(stack),
+                      duration)
+        tracer._pool.append(self)
+        return False
 
 
 class Tracer:
@@ -107,34 +157,62 @@ class Tracer:
         self.clock = clock
         self.registry = registry
         self.max_records = int(max_records)
-        self.records: "list[SpanRecord]" = []
         self._stack: "list[str]" = []
         self._stats: "dict[str, SpanStats]" = {}
+        #: raw (name, parent, depth, duration) tuples; materialised into
+        #: SpanRecord objects only when ``records`` is read — span close is
+        #: on the per-chunk hot path and a frozen-dataclass construction
+        #: per span costs more than the rest of the bookkeeping combined.
+        self._records_raw: "list[tuple]" = []
+        #: per-span-name metric children, resolved once — the registry and
+        #: label set are fixed per tracer, so the family lookup and label
+        #: validation need not repeat on every closed span.
+        self._span_metrics: "dict[str, list]" = {}
+        #: closed _Span objects, reused by the next ``span`` call (spans are
+        #: strictly LIFO, so a closed one can never still be live).
+        self._pool: "list[_Span]" = []
 
-    @contextmanager
-    def span(self, name: str):
-        parent = self._stack[-1] if self._stack else None
-        depth = len(self._stack)
-        self._stack.append(name)
-        start = self.clock() if self.clock is not None else None
-        try:
-            yield
-        finally:
-            self._stack.pop()
-            duration = self.clock() - start if start is not None else None
-            record = SpanRecord(name=name, parent=parent, depth=depth,
-                                duration_s=duration)
-            if len(self.records) < self.max_records:
-                self.records.append(record)
-            self._stats.setdefault(name, SpanStats()).add(duration)
-            if self.registry is not None:
-                self.registry.counter(
-                    "repro_span_total", "Closed pipeline spans.", ("span",)
-                ).labels(span=name).inc()
-                if duration is not None:
-                    self.registry.histogram(
+    @property
+    def records(self) -> "list[SpanRecord]":
+        """Closed spans in order (capped at ``max_records``)."""
+        return [SpanRecord(name=n, parent=p, depth=d, duration_s=s)
+                for n, p, d, s in self._records_raw]
+
+    def span(self, name: str) -> _Span:
+        pool = self._pool
+        if pool:
+            span = pool.pop()
+            span._name = name
+            span._start = None
+            return span
+        return _Span(self, name)
+
+    def _close(self, name: str, parent: "str | None", depth: int,
+               duration: "float | None") -> None:
+        raw = self._records_raw
+        if len(raw) < self.max_records:
+            raw.append((name, parent, depth, duration))
+        stats = self._stats.get(name)
+        if stats is None:
+            stats = self._stats[name] = SpanStats()
+        stats.add(duration)
+        if self.registry is not None:
+            entry = self._span_metrics.get(name)
+            if entry is None:
+                entry = self._span_metrics[name] = [
+                    self.registry.counter(
+                        "repro_span_total", "Closed pipeline spans.", ("span",)
+                    ).labels(span=name),
+                    None,  # histogram child, declared on first timed close
+                ]
+            entry[0].inc()
+            if duration is not None:
+                hist = entry[1]
+                if hist is None:
+                    hist = entry[1] = self.registry.histogram(
                         "repro_span_seconds", "Span durations.", ("span",)
-                    ).labels(span=name).observe(duration)
+                    ).labels(span=name)
+                hist.observe(duration)
 
     # ------------------------------------------------------------- reading
     def stats(self) -> "dict[str, SpanStats]":
@@ -169,8 +247,11 @@ class Tracer:
         return "\n".join(lines)
 
     def reset(self) -> None:
-        self.records.clear()
+        self._records_raw.clear()
         self._stats.clear()
+        # Drop cached metric children too: a harness that resets the tracer
+        # may also have reset the registry, orphaning the old children.
+        self._span_metrics.clear()
 
 
 # --------------------------------------------------------------- ambient

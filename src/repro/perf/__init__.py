@@ -27,18 +27,24 @@ from .compile import (
     compile_tree,
     precompile,
 )
+from .fastmath import FAST_MATH_ATOL, FAST_MATH_RTOL
+from .flat_lstm import CompiledLSTM, compile_lstm
 from .flat_mlp import CompiledMLP
 from .flat_tree import CompiledBoosting, CompiledForest, CompiledTree, CompiledTreeEnsemble
 
 __all__ = [
     "CompiledBoosting",
     "CompiledForest",
+    "CompiledLSTM",
     "CompiledMLP",
     "CompiledTree",
     "CompiledTreeEnsemble",
+    "FAST_MATH_ATOL",
+    "FAST_MATH_RTOL",
     "TreeStack",
     "single_tree_of",
     "compile_boosting",
+    "compile_lstm",
     "compile_forest",
     "compile_mlp",
     "compile_model",

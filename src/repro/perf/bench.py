@@ -36,7 +36,14 @@ from ..ml.neural import MLPRegressor
 from ..ml.tree import DecisionTreeRegressor
 
 SCHEMA = "repro-bench/1"
-DEFAULT_OUTPUT = "BENCH_PR2.json"
+DEFAULT_OUTPUT = "BENCH_PR7.json"
+
+#: Fleet-stage trace length (seconds of 1 Sa/s samples per node). The
+#: steady-state protocol amortises per-run setup (model fits, sensor
+#: sampling) over a campaign-length trace, so the recorded samples/s
+#: reflects the monitoring hot path rather than run-open costs. The
+#: BENCH_PR2 baseline used the 60 s smoke trace; see docs/performance.md.
+FLEET_TEST_SECONDS = 1200
 
 
 @dataclass(frozen=True)
@@ -163,32 +170,45 @@ def measure_monitor_overhead() -> "dict[str, float | int | bool]":
 
 
 def measure_fleet(
-    nodes: int = 8, repeats: int = 3, chunk_size: int = 32
-) -> "dict[str, float | int]":
+    nodes: int = 8, repeats: int = 3, chunk_size: int = 32,
+    test_seconds: int = FLEET_TEST_SECONDS, fast_math: bool = False,
+) -> "dict[str, float | int | bool]":
     """Fleet throughput: N sequential ``observe_run`` calls vs one batched
     :class:`~repro.monitor.FleetMonitor` drain over the same runs.
 
     Both paths stream the same chunk size; the fleet path fuses the
     per-tick ResModel descents into one ``TreeStack`` call and the SRR
-    forwards into one concatenated MLP pass. Outputs are checked for
-    bit-identity before timing, so the recorded speedup is pure
-    per-call-overhead amortisation across the fleet.
+    forwards into one concatenated MLP pass. On the default tier the two
+    paths are checked for bit-identity before timing; under ``fast_math``
+    the BLAS forwards are batch-shape dependent, so the check relaxes to
+    the documented allclose contract (:data:`FAST_MATH_RTOL` /
+    ``FAST_MATH_ATOL``) — the recorded speedup still compares paths with
+    (tolerance-)identical outputs.
     """
     # Upward imports (faults/monitor sit above perf): confined to this CLI
     # probe, which nothing imports back.
+    import dataclasses
+
     from ..faults.chaos import ChaosSettings, reference_run  # repro-lint: disable=layering — CLI-only upward import, nothing imports back
     from ..monitor.fleet import FleetMonitor  # repro-lint: disable=layering — CLI-only upward import, nothing imports back
     from ..monitor.service import PowerMonitorService  # repro-lint: disable=layering — CLI-only upward import, nothing imports back
     from ..obs import MetricsRegistry, use_registry
+    from .fastmath import FAST_MATH_ATOL, FAST_MATH_RTOL
 
+    settings = dataclasses.replace(
+        ChaosSettings.tiny(), test_seconds=int(test_seconds)
+    )
     with use_registry(MetricsRegistry()):
-        service, bundle = reference_run(ChaosSettings.tiny())
+        service, bundle = reference_run(settings)
         node_ids = [f"fleet{i}" for i in range(nodes)]
 
         def fresh() -> PowerMonitorService:
             # Fresh same-seed sensors per phase: sensors consume RNG per
-            # sampled run, so fair comparisons never share a service.
-            svc = PowerMonitorService(service.model, service.spec)
+            # sampled run, so fair comparisons never share a service. The
+            # explicit tier flag also resets the shared model's tier in
+            # case a previous stage switched it.
+            svc = PowerMonitorService(service.model, service.spec,
+                                      fast_math=fast_math)
             for i, nid in enumerate(node_ids):
                 svc.register_node(nid, seed=100 + i)
             return svc
@@ -206,10 +226,16 @@ def measure_fleet(
                 {nid: bundle for nid in node_ids}, online=False
             )
 
+        if fast_math:
+            def agrees(a, b):
+                return np.allclose(a, b, rtol=FAST_MATH_RTOL,
+                                   atol=FAST_MATH_ATOL)
+        else:
+            agrees = np.array_equal
         seq_out, fleet_out = run_sequential(fresh()), run_fleet(fresh())
         for nid in node_ids:
-            if not (np.array_equal(seq_out[nid].p_node, fleet_out[nid].p_node)
-                    and np.array_equal(seq_out[nid].p_cpu, fleet_out[nid].p_cpu)):
+            if not (agrees(seq_out[nid].p_node, fleet_out[nid].p_node)
+                    and agrees(seq_out[nid].p_cpu, fleet_out[nid].p_cpu)):
                 raise AssertionError(
                     f"fleet path disagrees with sequential observe_run on {nid}"
                 )
@@ -220,6 +246,8 @@ def measure_fleet(
         "nodes": nodes,
         "samples": total,
         "chunk_size": chunk_size,
+        "test_seconds": int(test_seconds),
+        "fast_math": bool(fast_math),
         "sequential_s": round(seq_s, 6),
         "fleet_s": round(fleet_s, 6),
         "speedup": round(seq_s / fleet_s, 2),
@@ -243,6 +271,9 @@ def main(argv: "list[str] | None" = None) -> int:
                         help="skip the fleet-throughput stage")
     parser.add_argument("--fleet-nodes", type=int, default=8,
                         help="node count for the fleet-throughput stage")
+    parser.add_argument("--fast-math", action="store_true",
+                        help="also record the fleet stage on the opt-in "
+                             "fast-math tier (fleet_fast_math)")
     parser.add_argument("--output", type=Path, default=Path(DEFAULT_OUTPUT),
                         help=f"output JSON path (default: {DEFAULT_OUTPUT})")
     args = parser.parse_args(argv)
@@ -261,7 +292,16 @@ def main(argv: "list[str] | None" = None) -> int:
     if not args.no_monitor:
         payload["self_overhead"] = measure_monitor_overhead()
     if not args.no_fleet:
-        payload["fleet"] = measure_fleet(nodes=args.fleet_nodes, repeats=repeats)
+        fleet_seconds = 60 if args.smoke else FLEET_TEST_SECONDS
+        payload["fleet"] = measure_fleet(
+            nodes=args.fleet_nodes, repeats=repeats,
+            test_seconds=fleet_seconds,
+        )
+        if args.fast_math:
+            payload["fleet_fast_math"] = measure_fleet(
+                nodes=args.fleet_nodes, repeats=repeats,
+                test_seconds=fleet_seconds, fast_math=True,
+            )
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
     width = max(len(name) for name in results)
@@ -275,10 +315,13 @@ def main(argv: "list[str] | None" = None) -> int:
         from ..obs import render_overhead
 
         print(render_overhead(payload["self_overhead"]))
-    if "fleet" in payload:
-        fleet = payload["fleet"]
+    for stage in ("fleet", "fleet_fast_math"):
+        if stage not in payload:
+            continue
+        fleet = payload[stage]
         print(
-            f"fleet: {fleet['nodes']} nodes x {fleet['samples'] // fleet['nodes']}"
+            f"{stage}: {fleet['nodes']} nodes x "
+            f"{fleet['samples'] // fleet['nodes']}"
             f" samples, batched {fleet['fleet_s'] * 1e3:.1f} ms vs sequential"
             f" {fleet['sequential_s'] * 1e3:.1f} ms "
             f"(speedup {fleet['speedup']:.2f}x, "

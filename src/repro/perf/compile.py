@@ -20,6 +20,7 @@ Cache-invalidation contract (honoured by every integrated estimator):
 from __future__ import annotations
 
 from ..errors import NotFittedError
+from .flat_lstm import compile_lstm as compile_lstm  # re-export: window-parameterised
 from .flat_mlp import CompiledMLP
 from .flat_tree import CompiledBoosting, CompiledForest, CompiledTree
 
@@ -70,7 +71,9 @@ def compile_mlp(mlp) -> CompiledMLP:
 
 def _compiler_for(est):
     """The matching compiler, or None for estimator types with no flat form
-    (linear models and the RNNs are already vectorised)."""
+    (linear models are already vectorised; the LSTM's segment kernel is
+    window-parameterised, so sessions build it via :func:`compile_lstm`
+    rather than through this shape-only dispatch)."""
     if getattr(est, "_nodes", None) is not None:
         return compile_tree
     if getattr(est, "estimators_", None) is not None:
@@ -91,12 +94,18 @@ def compile_model(est):
     return compiler(est)
 
 
-def precompile(*estimators) -> int:
+def precompile(*estimators, fast_math: "bool | None" = None) -> int:
     """Eagerly build and cache the compiled form of each supported estimator.
 
     Unsupported or unfitted estimators are skipped (capability-checked, not
     caught), so callers can pass whatever models they hold. Returns the
     number of predictors built.
+
+    ``fast_math`` selects the inference tier for predictors that have one
+    (currently the MLP): ``True`` routes their matmuls through BLAS and
+    relaxes bit-identity to the :data:`repro.perf.FAST_MATH_RTOL` /
+    ``FAST_MATH_ATOL`` allclose contract. ``None`` keeps each predictor's
+    default (the exact tier).
     """
     built = 0
     for est in estimators:
@@ -104,5 +113,7 @@ def precompile(*estimators) -> int:
         if compiler is None:
             continue
         est._compiled = compiler(est)
+        if fast_math is not None and hasattr(est._compiled, "fast_math"):
+            est._compiled.fast_math = bool(fast_math)
         built += 1
     return built

@@ -1,0 +1,61 @@
+"""Opt-in fast-math GEMM tier: BLAS products under a tolerance contract.
+
+The default inference path keeps every large dense product on unoptimised
+``np.einsum``: it reduces the contraction axis in fixed index order per
+output element, so per-row results are independent of the batch they
+arrive in — the property the streaming-equivalence suite pins as
+*bit-identical* chunked / whole-run / fleet-batched outputs.
+
+``fast_math`` (``HighRPMConfig.fast_math``, ``repro-bench --fast-math``)
+routes those products through BLAS ``np.matmul`` instead. BLAS picks its
+reduction blocking per operand shape, so the same row may round
+differently in a 32-row chunk than in a 480-row fleet batch — results are
+no longer bit-identical across chunkings, only equivalent within the
+documented tolerances below. Everything else about the computation is
+unchanged: same folded weights, same activations, same clamps.
+
+Equivalence contract
+--------------------
+For float64 operands of the sizes this library ships (feature axes up to
+a few hundred), reassociating the reduction perturbs each output element
+by at most a few ulps. The guaranteed envelope, enforced by the property
+suite in ``tests/test_fast_math.py`` and used by ``repro-bench`` when
+comparing fast-math outputs against the default path:
+
+* relative: :data:`FAST_MATH_RTOL` (``1e-9``)
+* absolute: :data:`FAST_MATH_ATOL` (``1e-9``)
+
+Both are ~5 orders of magnitude below IPMI sensor quantisation, so the
+tier changes no scientific conclusion — only the bitwise reproducibility
+guarantee. Modules must never import this one on the default path's
+behalf: callers branch on an explicit ``fast_math`` flag so the default
+stays einsum.
+
+This module carries the repository's single reasoned RL201 allowance
+(``[tool.repro-lint.rules.bit-identity-matmul] exempt_modules`` in
+``pyproject.toml``): the determinism lint keeps flagging BLAS products
+everywhere else under the bit-identity contract, and the only sanctioned
+escape hatch is calling :func:`gemm` behind a ``fast_math`` check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Maximum relative deviation of a fast-math product from the fixed-order
+#: einsum result (see the module docstring for the derivation).
+FAST_MATH_RTOL = 1e-9
+
+#: Maximum absolute deviation, in the operands' units (watts for power
+#: paths); dominates only when outputs are near zero.
+FAST_MATH_ATOL = 1e-9
+
+
+def gemm(a: np.ndarray, w: np.ndarray, out: "np.ndarray | None" = None) -> np.ndarray:
+    """``a @ w`` through BLAS — batch-shape-dependent rounding, fast.
+
+    Drop-in for ``np.einsum("nk,ko->no", a, w, out=out)`` on the fast-math
+    tier; results agree with the einsum path within
+    :data:`FAST_MATH_RTOL`/:data:`FAST_MATH_ATOL`.
+    """
+    return np.matmul(a, w, out=out)

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .fastmath import gemm
 from .telemetry import record_predict
 
 
@@ -51,7 +52,8 @@ class CompiledMLP:
     input checking, exactly as with the compiled trees.
     """
 
-    __slots__ = ("weights", "biases", "activation", "single_output", "_buf_n", "_bufs")
+    __slots__ = ("weights", "biases", "activation", "single_output", "_buf_n",
+                 "_bufs", "fast_math")
 
     def __init__(
         self,
@@ -63,6 +65,7 @@ class CompiledMLP:
         y_scale: np.ndarray,
         activation: str,
         single_output: bool,
+        fast_math: bool = False,
     ) -> None:
         inv = 1.0 / np.asarray(x_scale, dtype=np.float64)
         W = [np.array(w, dtype=np.float64) for w in weights]
@@ -81,6 +84,10 @@ class CompiledMLP:
         self.single_output = bool(single_output)
         self._buf_n = -1
         self._bufs: "list[np.ndarray]" = []
+        #: opt-in tolerance tier: route the layer products through BLAS
+        #: (see repro.perf.fastmath). Mutable so a service can flip one
+        #: shared compiled model; False keeps the bit-identical einsum path.
+        self.fast_math = bool(fast_math)
 
     def _buffers(self, n: int) -> "list[np.ndarray]":
         if self._buf_n != n:
@@ -89,20 +96,26 @@ class CompiledMLP:
         return self._bufs
 
     def predict(self, X: np.ndarray) -> np.ndarray:
-        record_predict("mlp", "compiled", X.shape[0])
+        fast = self.fast_math
+        record_predict("mlp", "fast" if fast else "compiled", X.shape[0])
         bufs = self._buffers(X.shape[0])
         a = X
         last = len(self.weights) - 1
         for li, (w, bias) in enumerate(zip(self.weights, self.biases)):
             out = np.empty((X.shape[0], w.shape[1])) if li == last else bufs[li]
-            # Unoptimised einsum instead of a GEMM: BLAS picks its blocking
-            # (and therefore its summation order) by batch size, so the
-            # same row can round differently in a 17-row chunk than in the
-            # full trace. einsum's sum-of-products loop reduces k in fixed
-            # index order per output element, which makes predictions
-            # bit-identical whether a trace is pushed through whole, in
-            # chunks, or batched across nodes.
-            np.einsum("nk,ko->no", a, w, out=out)
+            if fast:
+                # Opt-in fast-math tier: BLAS GEMM under the tolerance
+                # contract in repro.perf.fastmath.
+                gemm(a, w, out=out)
+            else:
+                # Unoptimised einsum instead of a GEMM: BLAS picks its
+                # blocking (and therefore its summation order) by batch
+                # size, so the same row can round differently in a 17-row
+                # chunk than in the full trace. einsum's sum-of-products
+                # loop reduces k in fixed index order per output element,
+                # which makes predictions bit-identical whether a trace is
+                # pushed through whole, in chunks, or batched across nodes.
+                np.einsum("nk,ko->no", a, w, out=out)
             out += bias
             if li < last:
                 self.activation(out)

@@ -68,17 +68,33 @@ class StreamPipeline:
 
     def __init__(self, stages: "list[Stage]") -> None:
         self.stages = list(stages)
+        #: per-registry cache of the two per-stage counter children, so the
+        #: per-chunk hot path skips family lookup and label validation. A
+        #: pipeline normally runs under exactly one ambient registry; the
+        #: size guard keeps pathological registry churn bounded.
+        self._enter_cache: "dict[object, dict[str, tuple]]" = {}
 
     def _enter(self, stage: Stage, chunk: PowerChunk) -> None:
         registry = get_registry()
-        registry.counter(
-            "repro_stream_chunks_total",
-            "Chunks entering each pipeline stage.", ("stage",),
-        ).labels(stage=stage.name).inc()
-        registry.counter(
-            "repro_stream_samples_total",
-            "Samples entering each pipeline stage.", ("stage",),
-        ).labels(stage=stage.name).inc(chunk.n_samples)
+        per_registry = self._enter_cache.get(registry)
+        if per_registry is None:
+            if len(self._enter_cache) >= 8:
+                self._enter_cache.clear()
+            per_registry = self._enter_cache[registry] = {}
+        pair = per_registry.get(stage.name)
+        if pair is None:
+            pair = per_registry[stage.name] = (
+                registry.counter(
+                    "repro_stream_chunks_total",
+                    "Chunks entering each pipeline stage.", ("stage",),
+                ).labels(stage=stage.name),
+                registry.counter(
+                    "repro_stream_samples_total",
+                    "Samples entering each pipeline stage.", ("stage",),
+                ).labels(stage=stage.name),
+            )
+        pair[0].inc()
+        pair[1].inc(chunk.n_samples)
 
     def _timed(self, stage: Stage, fn, *args):
         if stage.span is None:

@@ -1,0 +1,274 @@
+"""The opt-in fast-math tier: tolerance contract and plumbing.
+
+Two halves:
+
+* property suites (hypothesis) pinning the contract itself — for random
+  compiled MLPs and LSTM segment kernels, the BLAS tier agrees with the
+  default einsum tier within ``FAST_MATH_RTOL`` / ``FAST_MATH_ATOL``, for
+  every batch size and every chunking of the same inputs;
+* regression pins for the *default* tier — with ``fast_math=False`` the
+  kernels stay bitwise chunking-invariant (the streaming contract), so
+  turning the tier off restores exact reproducibility.
+
+The kernels are built directly from random parameters (no training): the
+contract is about the forward-pass float ordering, not about fits.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import HighRPM, HighRPMConfig
+from repro.perf import (
+    FAST_MATH_ATOL,
+    FAST_MATH_RTOL,
+    CompiledLSTM,
+    CompiledMLP,
+    precompile,
+)
+
+
+def _close(a, b):
+    return np.allclose(a, b, rtol=FAST_MATH_RTOL, atol=FAST_MATH_ATOL)
+
+
+def _make_mlp(rng, d, hidden, n_out, fast_math):
+    """A compiled MLP with random folded parameters."""
+    dims = [d, *hidden, n_out]
+    weights = [rng.normal(0.0, 0.7, size=(a, b))
+               for a, b in zip(dims[:-1], dims[1:])]
+    biases = [rng.normal(0.0, 0.3, size=b) for b in dims[1:]]
+    return CompiledMLP(
+        weights=weights, biases=biases,
+        x_mean=rng.normal(0.0, 1.0, size=d),
+        x_scale=rng.uniform(0.5, 2.0, size=d),
+        y_mean=rng.normal(0.0, 5.0, size=n_out),
+        y_scale=rng.uniform(0.5, 3.0, size=n_out),
+        activation="relu", single_output=(n_out == 1),
+        fast_math=fast_math,
+    )
+
+
+def _make_lstm(rng, d, hidden, layers, window, fast_math):
+    """A compiled LSTM segment kernel with random folded parameters."""
+    params = []
+    for layer in range(layers):
+        d_in = d if layer == 0 else hidden
+        params.append({
+            "W": rng.normal(0.0, 0.5, size=(d_in, 4 * hidden)),
+            "U": rng.normal(0.0, 0.5, size=(hidden, 4 * hidden)),
+            "b": rng.normal(0.0, 0.1, size=4 * hidden),
+        })
+    return CompiledLSTM(
+        params=params,
+        head_w=rng.normal(0.0, 0.5, size=hidden),
+        head_b=float(rng.normal(0.0, 1.0)),
+        x_mean=rng.normal(0.0, 1.0, size=d),
+        x_scale=rng.uniform(0.5, 2.0, size=d),
+        y_mean=float(rng.normal(50.0, 5.0)),
+        y_scale=float(rng.uniform(0.5, 3.0)),
+        window=window,
+        fast_math=fast_math,
+    )
+
+
+@st.composite
+def mlp_cases(draw):
+    seed = draw(st.integers(0, 2**31 - 1))
+    d = draw(st.integers(1, 8))
+    hidden = draw(st.lists(st.integers(1, 12), min_size=1, max_size=3))
+    n_out = draw(st.integers(1, 3))
+    n = draw(st.integers(1, 64))
+    cut = draw(st.integers(0, n))
+    return seed, d, hidden, n_out, n, cut
+
+
+@st.composite
+def lstm_cases(draw):
+    seed = draw(st.integers(0, 2**31 - 1))
+    d = draw(st.integers(1, 6))
+    hidden = draw(st.integers(1, 10))
+    layers = draw(st.integers(1, 2))
+    window = draw(st.integers(2, 8))
+    m = draw(st.integers(1, 24))
+    cut = draw(st.integers(1, m))
+    return seed, d, hidden, layers, window, m, cut
+
+
+class TestFastMathMLP:
+    @settings(max_examples=60, deadline=None)
+    @given(mlp_cases())
+    def test_fast_tier_within_tolerance(self, case):
+        """BLAS forward agrees with the einsum forward per the contract."""
+        seed, d, hidden, n_out, n, _ = case
+        rng = np.random.default_rng(seed)
+        exact = _make_mlp(rng, d, hidden, n_out, fast_math=False)
+        fast = _make_mlp(np.random.default_rng(seed), d, hidden, n_out,
+                         fast_math=True)
+        X = rng.normal(0.0, 1.5, size=(n, d))
+        assert _close(exact.predict(X), fast.predict(X))
+
+    @settings(max_examples=60, deadline=None)
+    @given(mlp_cases())
+    def test_fast_tier_chunking_within_tolerance(self, case):
+        """Any chunking of a batch stays inside the tolerance contract."""
+        seed, d, hidden, n_out, n, cut = case
+        rng = np.random.default_rng(seed)
+        fast = _make_mlp(rng, d, hidden, n_out, fast_math=True)
+        X = rng.normal(0.0, 1.5, size=(n, d))
+        whole = fast.predict(X)
+        parts = [p for p in (X[:cut], X[cut:]) if p.shape[0]]
+        chunked = np.concatenate([fast.predict(p) for p in parts])
+        assert _close(whole, chunked)
+
+    @settings(max_examples=40, deadline=None)
+    @given(mlp_cases())
+    def test_default_tier_chunking_bitwise(self, case):
+        """Regression pin: fast_math=False keeps chunking bit-identical."""
+        seed, d, hidden, n_out, n, cut = case
+        rng = np.random.default_rng(seed)
+        exact = _make_mlp(rng, d, hidden, n_out, fast_math=False)
+        X = rng.normal(0.0, 1.5, size=(n, d))
+        whole = exact.predict(X)
+        parts = [p for p in (X[:cut], X[cut:]) if p.shape[0]]
+        chunked = np.concatenate([exact.predict(p) for p in parts])
+        assert np.array_equal(whole, chunked)
+
+
+class TestFastMathLSTM:
+    @settings(max_examples=40, deadline=None)
+    @given(lstm_cases())
+    def test_fast_tier_within_tolerance(self, case):
+        seed, d, hidden, layers, window, m, _ = case
+        rng = np.random.default_rng(seed)
+        exact = _make_lstm(rng, d, hidden, layers, window, fast_math=False)
+        fast = _make_lstm(np.random.default_rng(seed), d, hidden, layers,
+                          window, fast_math=True)
+        rows = rng.normal(0.0, 1.0, size=(m + window - 1, d))
+        assert _close(exact.forecast(rows, m), fast.forecast(rows, m))
+
+    @settings(max_examples=40, deadline=None)
+    @given(lstm_cases())
+    def test_fast_tier_segment_split_within_tolerance(self, case):
+        """Splitting a segment at any point stays inside the contract.
+
+        Windows ``[0, cut)`` and ``[cut, m)`` share ``window − 1`` rows at
+        the boundary, exactly how ``run_chunk`` re-segments a trace.
+        """
+        seed, d, hidden, layers, window, m, cut = case
+        rng = np.random.default_rng(seed)
+        fast = _make_lstm(rng, d, hidden, layers, window, fast_math=True)
+        rows = rng.normal(0.0, 1.0, size=(m + window - 1, d))
+        whole = fast.forecast(rows, m)
+        first = fast.forecast(rows[:cut + window - 1], cut)
+        parts = [first]
+        if cut < m:
+            parts.append(fast.forecast(rows[cut:], m - cut))
+        assert _close(whole, np.concatenate(parts))
+
+    @settings(max_examples=40, deadline=None)
+    @given(lstm_cases())
+    def test_default_tier_segment_split_bitwise(self, case):
+        """Regression pin: the einsum tier is bitwise segment-invariant —
+        the property ``run_chunk`` vs ``step`` bit-identity rests on."""
+        seed, d, hidden, layers, window, m, cut = case
+        rng = np.random.default_rng(seed)
+        exact = _make_lstm(rng, d, hidden, layers, window, fast_math=False)
+        rows = rng.normal(0.0, 1.0, size=(m + window - 1, d))
+        whole = exact.forecast(rows, m)
+        first = exact.forecast(rows[:cut + window - 1], cut)
+        parts = [first]
+        if cut < m:
+            parts.append(exact.forecast(rows[cut:], m - cut))
+        assert np.array_equal(whole, np.concatenate(parts))
+
+
+class TestFastMathPlumbing:
+    def test_config_default_off(self):
+        assert HighRPMConfig().fast_math is False
+
+    def test_set_fast_math_replaces_config_everywhere(self):
+        hr = HighRPM()
+        hr.set_fast_math(True)
+        assert hr.config.fast_math is True
+        assert hr.dynamic_trr.config is hr.config
+        assert hr.srr.config is hr.config
+        hr.set_fast_math(False)
+        assert hr.config.fast_math is False
+        assert hr.dynamic_trr.config is hr.config
+
+    def test_precompile_sets_tier_flag(self):
+        from repro.ml import MLPRegressor
+
+        rng = np.random.default_rng(0)
+        mlp = MLPRegressor(hidden_layer_sizes=(4,), max_iter=5).fit(
+            rng.normal(size=(20, 3)), rng.normal(size=20)
+        )
+        precompile(mlp, fast_math=True)
+        assert mlp._compiled.fast_math is True
+        precompile(mlp, fast_math=False)
+        assert mlp._compiled.fast_math is False
+        # None keeps the predictor default (exact tier).
+        precompile(mlp)
+        assert mlp._compiled.fast_math is False
+
+    def test_service_fast_math_flag(self, chaos_reference):
+        """The service knob switches the shared model's tier end to end."""
+        from repro.monitor.service import PowerMonitorService
+
+        service, bundle = chaos_reference
+        try:
+            fast_svc = PowerMonitorService(service.model, service.spec,
+                                           fast_math=True)
+            assert fast_svc.fast_math is True
+            assert service.model.config.fast_math is True
+            assert service.model.srr.model_._compiled.fast_math is True
+            fast_svc.register_node("fm-on", seed=9)
+            fast = fast_svc.observe_run("fm-on", bundle, online=False)
+        finally:
+            exact_svc = PowerMonitorService(service.model, service.spec,
+                                            fast_math=False)
+        assert exact_svc.fast_math is False
+        assert service.model.config.fast_math is False
+        assert service.model.srr.model_._compiled.fast_math is False
+        exact_svc.register_node("fm-off", seed=9)
+        exact = exact_svc.observe_run("fm-off", bundle, online=False)
+        # Same sensor seed, same trace: the two tiers agree within the
+        # documented tolerances (node power is tier-independent here —
+        # the static restorer has no matmul — and the SRR split is the
+        # tier-sensitive half).
+        assert np.array_equal(fast.p_node, exact.p_node)
+        assert _close(fast.p_cpu, exact.p_cpu)
+        assert _close(fast.p_mem, exact.p_mem)
+
+    def test_service_inherits_model_tier(self, chaos_reference):
+        from repro.monitor.service import PowerMonitorService
+
+        service, _ = chaos_reference
+        svc = PowerMonitorService(service.model, service.spec)
+        assert svc.fast_math is service.model.config.fast_math
+
+
+class TestFastMathDynamicSession:
+    """The dynamic-session kernel honours the config tier."""
+
+    @pytest.fixture(scope="class")
+    def fitted(self, train_bundles):
+        cfg = HighRPMConfig(lstm_iters=60, srr_iters=300, seed=3)
+        return HighRPM(cfg).fit_initial(train_bundles[:2])
+
+    def test_tiers_agree_within_tolerance(self, fitted, ipmi_readings,
+                                          small_bundle):
+        pmcs = small_bundle.pmcs.matrix
+        exact = fitted.set_fast_math(False).online_session()
+        out_exact = exact.run_chunk(pmcs, ipmi_readings)
+        try:
+            fast = fitted.set_fast_math(True).online_session()
+            out_fast = fast.run_chunk(pmcs, ipmi_readings)
+        finally:
+            fitted.set_fast_math(False)
+        # Fine-tunes at reading instants compound tier differences through
+        # the model parameters, so the end-to-end gap is looser than one
+        # kernel call's — but the forecasts must stay numerically close.
+        np.testing.assert_allclose(out_fast, out_exact, rtol=1e-5, atol=1e-5)
