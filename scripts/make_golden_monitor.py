@@ -1,18 +1,28 @@
-"""Regenerate the golden monitor-service regression fixture.
+"""Regenerate the golden monitor-service regression fixtures.
 
 Usage:  PYTHONPATH=src python scripts/make_golden_monitor.py
 
-Runs the chaos harness's fixed-seed reference service (smoke sizes) over
-two observations of the same test run — one through a healthy IM feed,
-one through a feed with a mid-run outage — and stores the restored
-``p_node``/``p_cpu``/``p_mem`` traces plus provenance under
-``tests/fixtures/golden_monitor.npz``. ``tests/test_golden_monitor.py``
-replays the identical construction and compares against this file, so any
-behavioural drift in the sensor, fault, restoration, or service layers
-shows up as a diff in the golden traces.
+Runs the chaos harness's fixed-seed reference service (smoke sizes) and
+stores two fixtures:
 
-Only rerun this script when a change *intends* to alter restoration
-output; commit the refreshed fixture together with that change.
+* ``tests/fixtures/golden_monitor.npz`` — restored
+  ``p_node``/``p_cpu``/``p_mem`` traces plus provenance for one healthy
+  and one mid-run-outage observation (``tests/test_golden_monitor.py``);
+* ``tests/fixtures/golden_calib.npz`` — the calibration path's
+  fingerprint: a structurally-faulted feed, the drift-fitted
+  :class:`~repro.calib.CompensationTransform`, its bitwise compensated
+  readings, and the compensated observation's restored traces
+  (``tests/test_golden_calib.py``).
+
+Both tests replay the identical construction and compare against these
+files, so any behavioural drift in the sensor, fault, calibration,
+restoration, or service layers shows up as a diff in the golden traces.
+The trained reference service is shared between the two fixtures, exactly
+as the test suite shares its session-scoped ``chaos_reference``.
+
+Only rerun this script when a change *intends* to alter restoration or
+calibration output; commit the refreshed fixtures together with that
+change.
 """
 
 from __future__ import annotations
@@ -23,21 +33,30 @@ import sys
 import numpy as np
 
 REPO = pathlib.Path(__file__).resolve().parents[1]
-GOLDEN_PATH = REPO / "tests" / "fixtures" / "golden_monitor.npz"
+FIXTURES = REPO / "tests" / "fixtures"
+GOLDEN_PATH = FIXTURES / "golden_monitor.npz"
+GOLDEN_CALIB_PATH = FIXTURES / "golden_calib.npz"
 
 sys.path.insert(0, str(REPO / "src"))
 
+from repro.calib.golden import golden_calib_traces  # noqa: E402
+from repro.faults.chaos import ChaosSettings, reference_run  # noqa: E402
 from repro.faults.golden import golden_traces  # noqa: E402
 
 
-def main() -> int:
-    traces = golden_traces()
-    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(GOLDEN_PATH, **traces)
-    size = GOLDEN_PATH.stat().st_size
-    print(f"wrote {GOLDEN_PATH} ({size} bytes):")
+def _write(path: pathlib.Path, traces: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **traces)
+    size = path.stat().st_size
+    print(f"wrote {path} ({size} bytes):")
     for key, arr in traces.items():
         print(f"  {key}: shape={arr.shape} dtype={arr.dtype}")
+
+
+def main() -> int:
+    reference = reference_run(ChaosSettings.smoke())
+    _write(GOLDEN_PATH, golden_traces(reference=reference))
+    _write(GOLDEN_CALIB_PATH, golden_calib_traces(reference=reference))
     return 0
 
 

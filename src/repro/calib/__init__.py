@@ -1,0 +1,51 @@
+"""Sensor calibration & drift layer: estimate and undo structured IM error.
+
+HighRPM anchors its restoration on the integrated-measurement feed, so a
+miscalibrated feed — clock lag, affine gain/bias, slow drift — bounds the
+restoration quality from below. The OCC-evaluation and RAPL-overhead
+literature shows this error is *structured*, not i.i.d. noise, which
+means it can be estimated against the jumper-wire direct channel and
+compensated upstream of TRR instead of merely survived by the resilience
+policies (:mod:`repro.monitor.resilience`).
+
+* :mod:`repro.calib.estimators` — lag via normalized cross-correlation,
+  affine scale/offset via least squares, composed by
+  :func:`estimate_calibration`;
+* :mod:`repro.calib.transform` — :class:`CompensationTransform`: lag
+  shift plus (possibly scheduled) affine correction, applied by the
+  monitor pipeline's ``calibrate`` stage
+  (:class:`repro.monitor.pipeline.CalibrateStage`);
+* :mod:`repro.calib.drift` — :class:`DriftTracker`: windowed
+  re-estimation with an error-percentile trigger, producing piecewise
+  correction schedules for drifting feeds;
+* :mod:`repro.calib.check` — the verification harness
+  (``python -m repro.calib.check``): sweeps fault scenarios and reports
+  fault-window MAPE with vs without compensation. (Imported lazily —
+  not re-exported here — because it drives the monitor service.)
+
+The compensation contract, estimator math, and harness output format are
+documented in ``docs/calibration.md``.
+"""
+
+from .drift import DriftConfig, DriftTracker, estimate_drift_calibration
+from .estimators import (
+    CalibrationEstimate,
+    estimate_affine,
+    estimate_calibration,
+    estimate_lag,
+    normalized_cross_correlation,
+)
+from .transform import IDENTITY, CompensationTransform
+
+__all__ = [
+    "CompensationTransform",
+    "IDENTITY",
+    "CalibrationEstimate",
+    "estimate_calibration",
+    "estimate_lag",
+    "estimate_affine",
+    "normalized_cross_correlation",
+    "DriftConfig",
+    "DriftTracker",
+    "estimate_drift_calibration",
+]

@@ -1,0 +1,240 @@
+"""Online drift tracking: windowed re-estimation of the affine correction.
+
+A statically-calibrated feed can still wander — thermal gain drift, a
+firmware update shifting the bias — so the calibration layer re-checks
+itself in windows. The :class:`DriftTracker` consumes lag-aligned
+``(index, sensor value, reference value)`` pairs in arrival order; each
+time a window's worth has accumulated it prices the *current* correction
+on that window and, when the error percentile crosses the configured
+trigger, refits the affine correction on exactly that window. The fitted
+windows become the knots of a piecewise-linear
+:class:`~repro.calib.CompensationTransform` schedule, so a drifting gain
+is tracked rather than averaged away.
+
+The tracker is deliberately RNG-free: re-estimation is pure least
+squares, so identical inputs yield bit-identical schedules (the same
+determinism discipline RL001 enforces on the stochastic layers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..sensors.base import SparseReadings
+from ..utils.validation import check_1d, check_positive
+from .estimators import (
+    CalibrationEstimate,
+    aligned_pairs,
+    estimate_affine,
+    estimate_lag,
+)
+from .transform import CompensationTransform
+
+#: Relative-error floor (watts) guarding the percentile against division
+#: by a near-zero reference sample.
+_REF_FLOOR_W = 1e-9
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Knobs for windowed drift re-estimation.
+
+    Parameters
+    ----------
+    window_s:
+        Dense-timebase span one re-estimation window covers.
+    min_pairs:
+        Fewest aligned pairs a window needs before it is evaluated; a
+        sparser window is merged into the next one.
+    trigger_percentile:
+        Percentile of the window's relative compensation error that is
+        compared against the trigger (default P90: a sustained drift
+        fires it, a lone glitch does not).
+    trigger_fraction:
+        Relative error at the trigger percentile above which the window
+        is refit (0.04 = 4 %).
+    max_lag_s:
+        Lag search range handed to :func:`~repro.calib.estimate_lag`
+        by :func:`estimate_drift_calibration`; ``None`` uses one nominal
+        reading interval.
+    """
+
+    window_s: int = 50
+    min_pairs: int = 4
+    trigger_percentile: float = 90.0
+    trigger_fraction: float = 0.04
+    max_lag_s: "int | None" = None
+
+    def __post_init__(self) -> None:
+        check_positive(self.window_s, "window_s")
+        check_positive(self.min_pairs, "min_pairs")
+        if not 0.0 < self.trigger_percentile <= 100.0:
+            raise ValidationError("trigger_percentile must lie in (0, 100]")
+        if self.trigger_fraction < 0.0:
+            raise ValidationError("trigger_fraction must be >= 0")
+
+
+class DriftTracker:
+    """Windowed affine re-estimation with an error-percentile trigger.
+
+    Feed pairs with :meth:`observe` (any batch size, in index order),
+    then :meth:`finish` once the stream ends. :attr:`refits` counts
+    trigger firings after the initial fit; :meth:`schedule` returns the
+    fitted ``(knots_s, scales, offsets_w)`` arrays for a
+    :class:`~repro.calib.CompensationTransform`.
+    """
+
+    def __init__(self, config: "DriftConfig | None" = None) -> None:
+        self.config = config or DriftConfig()
+        #: correction currently believed in (identity until the first fit).
+        self.scale = 1.0
+        self.offset_w = 0.0
+        #: fitted windows: (mid index, scale, offset_w).
+        self.knots: "list[tuple[float, float, float]]" = []
+        #: windows whose trigger fired after the initial fit.
+        self.refits = 0
+        #: windows evaluated (fit or skipped).
+        self.windows = 0
+        #: trigger-percentile relative error of the latest window.
+        self.last_error_fraction = 0.0
+        self._buf_idx: "list[np.ndarray]" = []
+        self._buf_val: "list[np.ndarray]" = []
+        self._buf_ref: "list[np.ndarray]" = []
+        self._buf_n = 0
+        self._fitted = False
+
+    def observe(
+        self,
+        indices: np.ndarray,
+        values: np.ndarray,
+        reference_values: np.ndarray,
+    ) -> int:
+        """Ingest aligned pairs; returns refits triggered by this batch."""
+        idx = check_1d(np.asarray(indices, dtype=np.float64), "indices")
+        val = check_1d(np.asarray(values, dtype=np.float64), "values")
+        ref = check_1d(np.asarray(reference_values, dtype=np.float64),
+                       "reference_values")
+        if not idx.shape[0] == val.shape[0] == ref.shape[0]:
+            raise ValidationError("indices, values and reference_values must "
+                                  "be equal length")
+        before = self.refits
+        self._buf_idx.append(idx)
+        self._buf_val.append(val)
+        self._buf_ref.append(ref)
+        self._buf_n += idx.shape[0]
+        self._drain(final=False)
+        return self.refits - before
+
+    def finish(self) -> "tuple[float, float]":
+        """Close the stream (fits any residual window); returns the
+        current ``(scale, offset_w)`` correction."""
+        self._drain(final=True)
+        return self.scale, self.offset_w
+
+    def schedule(self) -> "tuple[tuple, tuple, tuple]":
+        """``(knots_s, scales, offsets_w)`` of every fitted window."""
+        if not self.knots:
+            return (), (), ()
+        knots, scales, offsets = zip(*self.knots)
+        return tuple(knots), tuple(scales), tuple(offsets)
+
+    # ------------------------------------------------------------ internals
+    def _drain(self, final: bool) -> None:
+        """Evaluate every complete window currently buffered."""
+        while self._buf_n > 0:
+            idx = np.concatenate(self._buf_idx)
+            span = idx[-1] - idx[0]
+            if span < self.config.window_s and not final:
+                return
+            cut = idx[0] + self.config.window_s
+            in_window = idx < cut
+            if final and (~in_window).sum() < self.config.min_pairs:
+                in_window = np.ones(idx.shape[0], dtype=bool)  # merge tail
+            val = np.concatenate(self._buf_val)
+            ref = np.concatenate(self._buf_ref)
+            n_window = int(in_window.sum())
+            rest = ~in_window
+            self._buf_idx = [idx[rest]]
+            self._buf_val = [val[rest]]
+            self._buf_ref = [ref[rest]]
+            self._buf_n = int(rest.sum())
+            if n_window >= self.config.min_pairs:
+                self._evaluate(idx[in_window], val[in_window], ref[in_window])
+            if final and self._buf_n == 0:
+                return
+
+    def _evaluate(self, idx: np.ndarray, val: np.ndarray, ref: np.ndarray) -> None:
+        """Price the current correction on one window; refit on trigger."""
+        self.windows += 1
+        resid = np.abs(self.scale * val + self.offset_w - ref)
+        rel = resid / np.maximum(np.abs(ref), _REF_FLOOR_W)
+        err = float(np.percentile(rel, self.config.trigger_percentile))
+        self.last_error_fraction = err
+        if self._fitted and err <= self.config.trigger_fraction:
+            return
+        scale, offset_w = estimate_affine(val, ref)
+        if self._fitted:
+            self.refits += 1
+        self._fitted = True
+        self.scale, self.offset_w = scale, offset_w
+        self.knots.append((float(idx.mean()), scale, offset_w))
+
+
+def estimate_drift_calibration(
+    readings: SparseReadings,
+    reference: np.ndarray,
+    config: "DriftConfig | None" = None,
+) -> "tuple[CalibrationEstimate, DriftTracker]":
+    """Drift-aware calibration of one feed against a dense reference.
+
+    Estimates the lag globally (NCC is drift-tolerant), then runs the
+    lag-aligned pairs through a :class:`DriftTracker` to fit the windowed
+    affine schedule. Returns the estimate (scalar coefficients = whole-run
+    fit, schedule = fitted windows) plus the tracker for its counters.
+    """
+    config = config or DriftConfig()
+    reference = check_1d(reference, "reference")
+    if reference.shape[0] != readings.n_dense:
+        raise ValidationError(
+            f"reference has {reference.shape[0]} samples but the readings "
+            f"cover a {readings.n_dense}-sample run"
+        )
+    lag_s, correlation = estimate_lag(
+        readings, reference, max_lag_s=config.max_lag_s
+    )
+    idx, values, ref_vals = aligned_pairs(readings, reference, lag_s)
+    scale, offset_w = estimate_affine(values, ref_vals)
+    tracker = DriftTracker(config)
+    tracker.observe(idx, values, ref_vals)
+    tracker.finish()
+    knots_s, scales, offsets_w = tracker.schedule()
+    estimate = CalibrationEstimate(
+        lag_s=lag_s,
+        scale=scale,
+        offset_w=offset_w,
+        correlation=correlation,
+        residual_rmse_w=_schedule_rmse(
+            lag_s, knots_s, scales, offsets_w, scale, offset_w,
+            idx, values, ref_vals,
+        ),
+        n_readings=int(values.shape[0]),
+        knots_s=knots_s,
+        scales=scales,
+        offsets_w=offsets_w,
+    )
+    return estimate, tracker
+
+
+def _schedule_rmse(
+    lag_s, knots_s, scales, offsets_w, scale, offset_w, idx, values, ref_vals
+) -> float:
+    transform = CompensationTransform(
+        lag_s=lag_s, scale=scale, offset_w=offset_w,
+        knots_s=knots_s, scales=scales, offsets_w=offsets_w,
+    )
+    s, o = transform.coefficients_at(idx)
+    resid = s * values + o - ref_vals
+    return float(np.sqrt((resid * resid).mean()))

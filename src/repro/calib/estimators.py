@@ -1,0 +1,266 @@
+"""Calibration estimators: clock lag, affine gain/bias, residual stats.
+
+The IM feed's error is *structured*, not i.i.d. — the OCC/RAPL-overhead
+literature reports clock lag, affine bias and slow drift as the dominant
+modes — so it can be estimated against a ground-truth channel and
+compensated (see :mod:`repro.calib.transform`). The reference channel is
+the jumper-wire direct measurement
+(:meth:`~repro.sensors.DirectPowerSensor.measure_node`), available on the
+calibration bench exactly the way the paper's §5.2 ground truth is.
+
+Two estimators, composed by :func:`estimate_calibration`:
+
+* **lag** — normalized cross-correlation between the sparse readings and
+  the dense reference evaluated at every candidate shift in
+  ``[-max_lag_s, +max_lag_s]``; NCC is invariant under affine value
+  error, so the lag estimate is unbiased even on a badly miscalibrated
+  feed, which is why lag is estimated *first*;
+* **affine** — ordinary least squares of the reference on the lag-aligned
+  readings, giving the correction ``truth ≈ scale * value + offset_w``
+  directly (the inverse of the sensor's ``gain``/``bias`` error model).
+
+Everything here is pure ``numpy`` with no RNG at all: the same inputs
+produce bit-identical estimates (the property suite pins this), which is
+the calibration layer's half of the project's seeded-determinism
+contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..sensors.base import SparseReadings
+from ..utils.validation import check_1d, check_positive
+from .transform import CompensationTransform
+
+#: Fewest lag-aligned reading/reference pairs a candidate lag needs before
+#: its correlation is trusted (fewer pairs correlate spuriously).
+MIN_OVERLAP = 4
+
+#: Variance floor below which a stream is treated as constant (no affine
+#: gain is identifiable from a flat signal).
+_VAR_FLOOR = 1e-12
+
+#: Residual-trimmed refit: with at least this many pairs, the affine fit
+#: drops its worst-residual quartile and refits on the rest. Residual
+#: clock jitter misaligns a few pairs across steep power transitions and
+#: those leverage points tilt a plain OLS slope; trimming is the
+#: deterministic (RNG-free) robustification.
+_TRIM_MIN_PAIRS = 8
+_TRIM_FRACTION = 0.25
+
+
+def normalized_cross_correlation(a: np.ndarray, b: np.ndarray) -> float:
+    """Pearson correlation of two equal-length 1-D arrays (0 if either is
+    constant — a flat stream carries no alignment information)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    da = a - a.mean()
+    db = b - b.mean()
+    denom = float(np.sqrt((da * da).sum() * (db * db).sum()))
+    if denom <= _VAR_FLOOR:
+        return 0.0
+    return float((da * db).sum() / denom)
+
+
+def aligned_pairs(
+    readings: SparseReadings, reference: np.ndarray, lag_s: int
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """``(indices, values, reference_values)`` for readings whose
+    lag-shifted timestamp still falls inside the reference trace."""
+    shifted = readings.indices - int(lag_s)
+    valid = (shifted >= 0) & (shifted < reference.shape[0])
+    idx = readings.indices[valid]
+    return idx, readings.values[valid], reference[shifted[valid]]
+
+
+def estimate_lag(
+    readings: SparseReadings,
+    reference: np.ndarray,
+    max_lag_s: "int | None" = None,
+    min_overlap: int = MIN_OVERLAP,
+) -> "tuple[int, float]":
+    """Clock lag of a feed against the dense reference, via NCC.
+
+    Scans every integer shift in ``[-max_lag_s, +max_lag_s]`` (default:
+    one nominal reading interval) and returns ``(lag_s, correlation)``
+    for the candidate with the highest normalized cross-correlation.
+    Ties break toward the smallest ``|lag|`` (then the earlier lag), so
+    an uninformative reference yields lag 0, not an arbitrary shift.
+    A positive lag means the feed reports *late*: the value stamped at
+    tick ``t`` belongs to tick ``t - lag_s``.
+    """
+    reference = check_1d(reference, "reference")
+    if max_lag_s is None:
+        max_lag_s = int(readings.interval_s)
+    max_lag_s = int(check_positive(max_lag_s, "max_lag_s"))
+    check_positive(min_overlap, "min_overlap")
+    best_lag, best_score = 0, -np.inf
+    # Visit candidates nearest-first so strict improvement implements the
+    # smallest-|lag| tie-break deterministically.
+    for lag in sorted(range(-max_lag_s, max_lag_s + 1), key=lambda L: (abs(L), L)):
+        _, values, ref_vals = aligned_pairs(readings, reference, lag)
+        if values.shape[0] < min_overlap:
+            continue
+        score = normalized_cross_correlation(values, ref_vals)
+        if score > best_score:
+            best_lag, best_score = lag, score
+    if not np.isfinite(best_score):
+        raise ValidationError(
+            f"no candidate lag kept >= {min_overlap} reading(s) inside the "
+            f"reference; shorten max_lag_s ({max_lag_s}) or lengthen the run"
+        )
+    return best_lag, best_score
+
+
+def _ols_affine(v: np.ndarray, r: np.ndarray) -> "tuple[float, float, bool]":
+    """One OLS pass with the degenerate-input fallbacks (see below).
+
+    The third element is False when a fallback fired — a degenerate fit's
+    residuals carry no outlier information, so the caller must not trim on
+    them.
+    """
+    v_mean = float(v.mean())
+    r_mean = float(r.mean())
+    dv = v - v_mean
+    var = float((dv * dv).sum())
+    if var > _VAR_FLOOR:
+        scale = float((dv * (r - r_mean)).sum() / var)
+        if scale > 0.0:
+            return scale, r_mean - scale * v_mean, True
+    return 1.0, r_mean - v_mean, False
+
+
+def estimate_affine(
+    values: np.ndarray, reference_values: np.ndarray
+) -> "tuple[float, float]":
+    """Least-squares correction ``reference ≈ scale * value + offset_w``.
+
+    With :data:`_TRIM_MIN_PAIRS` or more pairs the fit is residual-trimmed:
+    one OLS pass, drop the worst-|residual| :data:`_TRIM_FRACTION` of
+    pairs, refit on the remainder. The dropped pairs are the ones residual
+    clock jitter misaligned across steep power transitions (or a locally
+    stuck feed corrupted); on an exactly-affine feed every residual is
+    zero and the refit reproduces the plain OLS answer bit for bit.
+
+    Degenerate inputs fall back to a pure offset: a constant feed (no
+    identifiable gain) or a negative fitted gain (anti-correlated noise,
+    never a physical sensor response) yields ``scale = 1`` with the mean
+    bias as offset.
+    """
+    v = check_1d(values, "values").astype(np.float64)
+    r = check_1d(reference_values, "reference_values").astype(np.float64)
+    if v.shape[0] != r.shape[0]:
+        raise ValidationError("values and reference_values must be equal length")
+    if v.shape[0] == 0:
+        raise ValidationError("cannot fit an affine correction to zero pairs")
+    scale, offset_w, fitted = _ols_affine(v, r)
+    if fitted and v.shape[0] >= _TRIM_MIN_PAIRS:
+        resid = np.abs(scale * v + offset_w - r)
+        keep = resid <= float(np.quantile(resid, 1.0 - _TRIM_FRACTION))
+        if MIN_OVERLAP <= int(keep.sum()) < v.shape[0]:
+            scale, offset_w, _ = _ols_affine(v[keep], r[keep])
+    return scale, offset_w
+
+
+@dataclass(frozen=True)
+class CalibrationEstimate:
+    """One feed's fitted error model plus its goodness-of-fit evidence.
+
+    ``scale``/``offset_w`` are the *correction* coefficients
+    (``truth ≈ scale * value + offset_w``); the sensor's own error in the
+    forward direction is exposed as :attr:`sensor_gain` /
+    :attr:`sensor_bias_w`. ``knots_s``/``scales``/``offsets_w`` carry the
+    windowed drift schedule when the estimate came from a
+    :class:`~repro.calib.DriftTracker`.
+    """
+
+    lag_s: int
+    scale: float
+    offset_w: float
+    correlation: float
+    residual_rmse_w: float
+    n_readings: int
+    knots_s: "tuple[float, ...]" = field(default=())
+    scales: "tuple[float, ...]" = field(default=())
+    offsets_w: "tuple[float, ...]" = field(default=())
+
+    @property
+    def sensor_gain(self) -> float:
+        """The fitted *forward* gain (``reported = gain * truth + bias``)."""
+        return 1.0 / self.scale
+
+    @property
+    def sensor_bias_w(self) -> float:
+        """The fitted forward bias in watts."""
+        return -self.offset_w / self.scale
+
+    def transform(self) -> CompensationTransform:
+        """The compensation this estimate prescribes."""
+        return CompensationTransform(
+            lag_s=self.lag_s,
+            scale=self.scale,
+            offset_w=self.offset_w,
+            knots_s=self.knots_s,
+            scales=self.scales,
+            offsets_w=self.offsets_w,
+        )
+
+    def as_dict(self) -> "dict[str, object]":
+        return {
+            "lag_s": self.lag_s,
+            "scale": self.scale,
+            "offset_w": self.offset_w,
+            "sensor_gain": self.sensor_gain,
+            "sensor_bias_w": self.sensor_bias_w,
+            "correlation": self.correlation,
+            "residual_rmse_w": self.residual_rmse_w,
+            "n_readings": self.n_readings,
+            "n_drift_knots": len(self.knots_s),
+        }
+
+
+def residual_rmse(
+    transform: CompensationTransform,
+    indices: np.ndarray,
+    values: np.ndarray,
+    reference_values: np.ndarray,
+) -> float:
+    """RMSE (watts) of the compensated values against the reference."""
+    scales, offsets = transform.coefficients_at(indices)
+    resid = scales * values + offsets - reference_values
+    return float(np.sqrt((resid * resid).mean()))
+
+
+def estimate_calibration(
+    readings: SparseReadings,
+    reference: np.ndarray,
+    max_lag_s: "int | None" = None,
+) -> CalibrationEstimate:
+    """Full static calibration of one feed: lag first, then affine.
+
+    ``reference`` is the dense ground-truth node power over the same run
+    (the direct-measurement channel). For a drift-tracking variant see
+    :func:`repro.calib.drift.estimate_drift_calibration`.
+    """
+    reference = check_1d(reference, "reference")
+    if reference.shape[0] != readings.n_dense:
+        raise ValidationError(
+            f"reference has {reference.shape[0]} samples but the readings "
+            f"cover a {readings.n_dense}-sample run"
+        )
+    lag_s, correlation = estimate_lag(readings, reference, max_lag_s=max_lag_s)
+    idx, values, ref_vals = aligned_pairs(readings, reference, lag_s)
+    scale, offset_w = estimate_affine(values, ref_vals)
+    resid = scale * values + offset_w - ref_vals
+    return CalibrationEstimate(
+        lag_s=lag_s,
+        scale=scale,
+        offset_w=offset_w,
+        correlation=correlation,
+        residual_rmse_w=float(np.sqrt((resid * resid).mean())),
+        n_readings=int(values.shape[0]),
+    )

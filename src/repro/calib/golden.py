@@ -1,0 +1,102 @@
+"""Golden traces for the calibration regression fixture.
+
+One fixed-seed reference service (the chaos harness's smoke-sized
+``reference_run``) calibrates a twin of a structurally-faulted IM feed —
+systematic clock skew plus drifting affine miscalibration — against the
+direct-measurement node channel, then observes the test run through the
+compensated twin. Everything downstream of the seeds is deterministic, so
+the fitted transform, the compensated readings and the restored traces are
+a behavioural fingerprint of the whole calibration path: estimator, drift
+tracker, transform arithmetic, calibrate stage.
+
+``scripts/make_golden_monitor.py`` stores them under
+``tests/fixtures/golden_calib.npz``; ``tests/test_golden_calib.py``
+regenerates and compares — the compensated readings bitwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..faults.chaos import ChaosSettings, reference_run
+from ..faults.inject import FaultySensor
+from ..faults.models import ClockJitter, GainDrift
+from ..hardware.platform import get_platform
+from ..sensors.direct import DirectPowerSensor
+from ..sensors.ipmi import IPMISensor
+
+#: Seed offsets relative to ``settings.seed``; disjoint from the chaos
+#: (100/200), calib-check (300+) and golden-monitor (500-502) ranges.
+_SENSOR_SEED = 510
+_CHAIN_SEED = 511
+_REFERENCE_SEED = 512
+
+#: The fixture's structured error: 6 s systematic clock skew with unit
+#: random wander, on top of a gain/bias ramp across the run.
+GOLDEN_FAULTS = (
+    ClockJitter(1, drift_s=6),
+    GainDrift(gain_start=1.0, gain_end=1.25, bias_start_w=0.0, bias_end_w=6.0),
+)
+
+
+def _twin(spec, settings: ChaosSettings) -> FaultySensor:
+    """One of the fixture's identically-seeded sensor twins.
+
+    Each twin serves exactly one ``sample()`` call, so the per-call-keyed
+    fault chain yields the same faulted feed on every one of them.
+    """
+    return FaultySensor(
+        IPMISensor(spec, seed=settings.seed + _SENSOR_SEED),
+        faults=GOLDEN_FAULTS,
+        seed=settings.seed + _CHAIN_SEED,
+    )
+
+
+def golden_calib_traces(reference=None) -> dict[str, np.ndarray]:
+    """Compute the golden calibration traces (smoke-sized settings).
+
+    ``reference`` may carry an existing ``(service, bundle)`` pair from
+    :func:`~repro.faults.chaos.reference_run` with smoke settings — the
+    test suite passes its shared one to skip retraining. Node names are
+    chosen to not collide with the chaos, golden-monitor or resilience
+    suites.
+    """
+    settings = ChaosSettings.smoke()
+    service, bundle = reference if reference is not None else reference_run(settings)
+    spec = get_platform(settings.platform)
+    reference_p_node = DirectPowerSensor(
+        spec, seed=settings.seed + _REFERENCE_SEED
+    ).measure_node(bundle).values
+
+    service.register_node("golden-calib-fit", sensor=_twin(spec, settings))
+    service.register_node("golden-calib-comp", sensor=_twin(spec, settings))
+    estimate = service.calibrate_node(
+        "golden-calib-fit", bundle, reference_p_node, drift=True
+    )
+    transform = estimate.transform()
+    service.set_calibration("golden-calib-comp", transform)
+
+    # The faulted feed itself (a third twin, sampled directly) and its
+    # compensated form — the calibrate stage's exact input and output.
+    faulted = _twin(spec, settings).sample(bundle)
+    compensated = transform.apply(faulted)
+    result = service.observe_run("golden-calib-comp", bundle, online=True)
+
+    return {
+        "truth_p_node": bundle.node.values,
+        "reference_p_node": reference_p_node,
+        "faulted_indices": faulted.indices,
+        "faulted_values": faulted.values,
+        "compensated_indices": compensated.indices,
+        "compensated_values": compensated.values,
+        "transform_lag_s": np.array(transform.lag_s, dtype=np.int64),
+        "transform_scale": np.array(transform.scale),
+        "transform_offset_w": np.array(transform.offset_w),
+        "transform_knots_s": np.asarray(transform.knots_s, dtype=np.int64),
+        "transform_scales": np.asarray(transform.scales, dtype=np.float64),
+        "transform_offsets_w": np.asarray(transform.offsets_w, dtype=np.float64),
+        "comp_p_node": result.p_node,
+        "comp_p_cpu": result.p_cpu,
+        "comp_p_mem": result.p_mem,
+        "comp_provenance": result.provenance,
+    }

@@ -1,0 +1,145 @@
+"""Compensation transforms: undo structured IM error upstream of TRR.
+
+A :class:`CompensationTransform` is the *correction* direction of a sensor
+error model — it maps what the sensor reported back toward what the power
+actually was. It composes the two structured error families the
+calibration layer estimates (see :mod:`repro.calib.estimators`):
+
+* **clock lag** — the sensor attributes its readings ``lag_s`` ticks too
+  late (BMC readout delay, clock skew, delayed arrival); compensation
+  shifts every timestamp back by ``lag_s``;
+* **affine miscalibration** — the reported value is ``gain * truth +
+  bias``; compensation applies the inverse affine ``scale * value +
+  offset_w``. A piecewise-linear schedule (``knots_s``/``scales``/
+  ``offsets_w``) covers *drifting* gain and bias: per-reading
+  coefficients are interpolated over the dense timebase, so a correction
+  learned window-by-window by the :class:`~repro.calib.DriftTracker`
+  tracks the drift instead of averaging it away.
+
+Contract: ``apply`` never mutates its input — it returns **new** arrays
+(or, for the identity transform, the *same* :class:`SparseReadings`
+object untouched, which is what keeps the pipeline's calibrate stage
+bit-identity-neutral when no calibration is registered).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SensorOutageError, ValidationError
+from ..sensors.base import SparseReadings
+
+
+@dataclass(frozen=True)
+class CompensationTransform:
+    """Lag shift plus (possibly scheduled) affine correction.
+
+    Parameters
+    ----------
+    lag_s:
+        Ticks by which the feed's timestamps run late; compensation moves
+        every reading ``lag_s`` ticks earlier (negative values shift
+        later). Readings shifted outside the run are dropped.
+    scale / offset_w:
+        Constant affine correction ``compensated = scale * value +
+        offset_w``, used when no schedule is given.
+    knots_s / scales / offsets_w:
+        Optional piecewise-linear schedule over the dense timebase: the
+        correction at reading index ``i`` interpolates linearly between
+        the knots (constant extrapolation outside), overriding the scalar
+        ``scale``/``offset_w``.
+    """
+
+    lag_s: int = 0
+    scale: float = 1.0
+    offset_w: float = 0.0
+    knots_s: "tuple[float, ...]" = field(default=())
+    scales: "tuple[float, ...]" = field(default=())
+    offsets_w: "tuple[float, ...]" = field(default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "lag_s", int(self.lag_s))
+        object.__setattr__(self, "scale", float(self.scale))
+        object.__setattr__(self, "offset_w", float(self.offset_w))
+        object.__setattr__(self, "knots_s", tuple(float(k) for k in self.knots_s))
+        object.__setattr__(self, "scales", tuple(float(s) for s in self.scales))
+        object.__setattr__(self, "offsets_w", tuple(float(o) for o in self.offsets_w))
+        if self.scale <= 0.0:
+            raise ValidationError("correction scale must be > 0")
+        if not (len(self.knots_s) == len(self.scales) == len(self.offsets_w)):
+            raise ValidationError(
+                "knots_s, scales and offsets_w must have equal length"
+            )
+        if any(s <= 0.0 for s in self.scales):
+            raise ValidationError("every scheduled scale must be > 0")
+        if len(self.knots_s) > 1 and (np.diff(self.knots_s) <= 0).any():
+            raise ValidationError("knots_s must be strictly increasing")
+
+    @property
+    def is_identity(self) -> bool:
+        """True when applying the transform is a guaranteed no-op."""
+        return (
+            self.lag_s == 0
+            and not self.knots_s
+            and self.scale == 1.0
+            and self.offset_w == 0.0
+        )
+
+    def coefficients_at(self, indices: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+        """Per-reading ``(scale, offset)`` arrays for the given indices."""
+        t = np.asarray(indices, dtype=np.float64)
+        if self.knots_s:
+            knots = np.asarray(self.knots_s, dtype=np.float64)
+            scales = np.interp(t, knots, np.asarray(self.scales, dtype=np.float64))
+            offsets = np.interp(t, knots, np.asarray(self.offsets_w, dtype=np.float64))
+            return scales, offsets
+        return (
+            np.full(t.shape[0], self.scale),
+            np.full(t.shape[0], self.offset_w),
+        )
+
+    def apply(self, readings: SparseReadings) -> SparseReadings:
+        """Compensated copy of ``readings`` (or ``readings`` itself if
+        the transform is the identity).
+
+        Raises :class:`~repro.errors.SensorOutageError` when the lag
+        shift moves every reading outside the run — for the consumer
+        that is indistinguishable from a dead feed.
+        """
+        if self.is_identity:
+            return readings
+        scales, offsets = self.coefficients_at(readings.indices)
+        values = np.maximum(scales * readings.values + offsets, 0.0)
+        indices = readings.indices - self.lag_s
+        keep = (indices >= 0) & (indices < readings.n_dense)
+        if not keep.all():
+            indices = indices[keep]
+            values = values[keep]
+        if indices.shape[0] == 0:
+            raise SensorOutageError(
+                f"lag compensation ({self.lag_s} s) shifted every reading "
+                "outside the run"
+            )
+        return SparseReadings(
+            indices=indices,
+            values=values,
+            interval_s=readings.interval_s,
+            n_dense=readings.n_dense,
+        )
+
+    def as_dict(self) -> "dict[str, object]":
+        """JSON-friendly parameter dump for reports and fixtures."""
+        return {
+            "lag_s": self.lag_s,
+            "scale": self.scale,
+            "offset_w": self.offset_w,
+            "knots_s": list(self.knots_s),
+            "scales": list(self.scales),
+            "offsets_w": list(self.offsets_w),
+        }
+
+
+#: The do-nothing transform (``apply`` returns its input object).
+IDENTITY = CompensationTransform()

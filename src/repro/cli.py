@@ -47,6 +47,7 @@ EXPERIMENTS: dict[str, Callable] = {
     "overhead": fg.overhead,
     "per-suite": ex.per_suite_breakdown,
     "chaos": ex.chaos_robustness,
+    "calib": ex.calib_compensation,
 }
 
 ABLATIONS: dict[str, Callable] = {

@@ -10,7 +10,7 @@ output *after* the fact — the wrapped sensor and the underlying
 
 * :mod:`repro.faults.models` — the fault vocabulary (:class:`OutageWindow`,
   :class:`RandomDropout`, :class:`StuckAt`, :class:`SpikeOutlier`,
-  :class:`ClockJitter`, :class:`DelayedArrival`);
+  :class:`ClockJitter`, :class:`DelayedArrival`, :class:`GainDrift`);
 * :mod:`repro.faults.inject` — :class:`FaultInjector` composes models over
   :class:`~repro.sensors.SparseReadings`; :class:`FaultySensor`,
   :class:`FaultyPMCCollector` and :class:`FaultyRAPLEmulator` wrap the
@@ -30,6 +30,7 @@ from .models import (
     ClockJitter,
     DelayedArrival,
     FaultModel,
+    GainDrift,
     OutageWindow,
     RandomDropout,
     SpikeOutlier,
@@ -44,6 +45,7 @@ __all__ = [
     "SpikeOutlier",
     "ClockJitter",
     "DelayedArrival",
+    "GainDrift",
     "FaultInjector",
     "FaultySensor",
     "FaultyPMCCollector",

@@ -18,9 +18,14 @@ The vocabulary covers the failure modes reported for real IM channels:
   window while timestamps keep advancing;
 * :class:`SpikeOutlier` — occasional wild values from readout glitches
   (caught downstream by plausibility gating);
-* :class:`ClockJitter` — reading timestamps wander around the nominal tick;
+* :class:`ClockJitter` — reading timestamps wander around the nominal
+  tick, optionally on top of a systematic clock skew;
 * :class:`DelayedArrival` — readings arrive late and are attributed to a
-  later tick (stale value at a shifted timestamp).
+  later tick (stale value at a shifted timestamp);
+* :class:`GainDrift` — an affine miscalibration (gain × truth + bias)
+  whose coefficients may drift linearly across the run — the structured
+  error the calibration layer (:mod:`repro.calib`) estimates and
+  corrects.
 """
 
 from __future__ import annotations
@@ -147,20 +152,74 @@ class SpikeOutlier(FaultModel):
 class ClockJitter(FaultModel):
     """Shift each reading's timestamp by up to ``± max_shift_s`` ticks.
 
-    Shifted indices are clipped to the trace and de-duplicated (first
-    reading at a tick wins), so the output is always a valid stream.
+    ``drift_s`` adds a *systematic* clock skew on top of the random
+    wander: every timestamp lands ``drift_s`` ticks late (negative =
+    early) — the stale-clock error the calibration layer's lag estimator
+    exists to recover. Shifted indices are clipped to the trace and
+    de-duplicated (first reading at a tick wins), so the output is always
+    a valid stream.
     """
 
     name = "jitter"
 
-    def __init__(self, max_shift_s: int) -> None:
+    def __init__(self, max_shift_s: int, drift_s: int = 0) -> None:
         self.max_shift_s = int(max_shift_s)
         check_positive(self.max_shift_s, "max_shift_s")
+        self.drift_s = int(drift_s)
 
     def apply(self, indices, values, rng, n_dense):
         shift = rng.integers(-self.max_shift_s, self.max_shift_s + 1, size=indices.shape[0])
-        idx = np.clip(indices + shift, 0, n_dense - 1)
+        idx = np.clip(indices + shift + self.drift_s, 0, n_dense - 1)
         return _dedupe_sorted(idx, values.copy())
+
+
+class GainDrift(FaultModel):
+    """Affine sensor miscalibration, optionally drifting across the run.
+
+    Reported values become ``gain(i) * value + bias_w(i)`` (floored at
+    zero like any physical readout) where the coefficients interpolate
+    linearly from their ``*_start`` to ``*_end`` values across the dense
+    timebase ``[0, n_dense)``. With the ``*_end`` parameters omitted the
+    coefficients are constant — a pure affine bias (mis-set shunt gain,
+    offset error); with them, a slow drift (thermal gain wander, ageing).
+
+    Deterministic by construction: the schedule depends only on the
+    parameters and the reading timestamps, so the harness can inject
+    exactly the error the calibrator (:mod:`repro.calib`) claims to
+    correct and check the recovered coefficients against these.
+    """
+
+    name = "gain_drift"
+
+    def __init__(
+        self,
+        gain_start: float = 1.0,
+        gain_end: "float | None" = None,
+        bias_start_w: float = 0.0,
+        bias_end_w: "float | None" = None,
+    ) -> None:
+        self.gain_start = float(gain_start)
+        self.gain_end = float(gain_end if gain_end is not None else gain_start)
+        check_positive(self.gain_start, "gain_start")
+        check_positive(self.gain_end, "gain_end")
+        self.bias_start_w = float(bias_start_w)
+        self.bias_end_w = float(
+            bias_end_w if bias_end_w is not None else bias_start_w
+        )
+
+    def coefficients_at(
+        self, indices: np.ndarray, n_dense: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The ``(gain, bias)`` schedule at the given dense indices."""
+        span = max(int(n_dense) - 1, 1)
+        frac = np.asarray(indices, dtype=np.float64) / span
+        gain = self.gain_start + (self.gain_end - self.gain_start) * frac
+        bias = self.bias_start_w + (self.bias_end_w - self.bias_start_w) * frac
+        return gain, bias
+
+    def apply(self, indices, values, rng, n_dense):
+        gain, bias = self.coefficients_at(indices, n_dense)
+        return indices.copy(), np.maximum(gain * values + bias, 0.0)
 
 
 class DelayedArrival(FaultModel):

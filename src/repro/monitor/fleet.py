@@ -56,6 +56,12 @@ class FleetMonitor:
         self.service = service
         self.chunk_size = int(chunk_size)
         self._runs: "dict[str, _FleetRun]" = {}
+        #: stage positions resolved by name once, so inserting a stage in
+        #: build_pipeline (e.g. calibrate) cannot silently skew the
+        #: interleaved per-stage apply() calls below.
+        names = [s.name for s in service._pipeline.stages]
+        self._restore_i = names.index("restore")
+        self._attribute_i = names.index("attribute")
         #: (member trees, stack) from the previous tick — the per-run trees
         #: are fixed for a run's whole lifetime, so consecutive ticks reuse
         #: one concatenated slot pool instead of rebuilding it. Keyed by
@@ -114,9 +120,11 @@ class FleetMonitor:
         return finished
 
     def _advance(self, pipeline) -> int:
-        """One interleaved step: ingest/gate → batched restore → batched
-        attribute → sink for every active run. Returns samples processed."""
+        """One interleaved step: pre-restore stages → batched restore →
+        batched attribute → post-attribute stages for every active run.
+        Returns samples processed."""
         samples = 0
+        n_stages = len(pipeline.stages)
         pending = []  # (run, chunk) ready for the restore stage
         for run in self._runs.values():
             chunk = next(run.source, None)
@@ -125,19 +133,23 @@ class FleetMonitor:
                 continue
             samples += chunk.n_samples
             run.exhausted = chunk.final
-            for c in pipeline.apply(run.ctx, chunk, 0):    # ingest
-                for c2 in pipeline.apply(run.ctx, c, 1):   # gate
-                    pending.append((run, c2))
+            chunks = [chunk]
+            for i in range(self._restore_i):  # ingest, calibrate, gate
+                chunks = [c2 for c in chunks
+                          for c2 in pipeline.apply(run.ctx, c, i)]
+            pending.extend((run, c) for c in chunks)
         self._batch_residuals(pending)
         restored = []
         for run, chunk in pending:
-            for c in pipeline.apply(run.ctx, chunk, 2):    # restore
+            for c in pipeline.apply(run.ctx, chunk, self._restore_i):
                 restored.append((run, c))
         self._batch_attribution(restored)
         for run, chunk in restored:
-            for c in pipeline.apply(run.ctx, chunk, 3):    # attribute
-                for c2 in pipeline.apply(run.ctx, c, 4):   # sink
-                    run.chunks.append(c2)
+            chunks = [chunk]
+            for i in range(self._attribute_i, n_stages):  # attribute, sink
+                chunks = [c2 for c in chunks
+                          for c2 in pipeline.apply(run.ctx, c, i)]
+            run.chunks.extend(chunks)
         return samples
 
     def _batch_residuals(self, pending) -> None:

@@ -1,4 +1,5 @@
-"""The observation pipeline: ingest → gate → restore → attribute → sink.
+"""The observation pipeline: ingest → calibrate → gate → restore →
+attribute → sink.
 
 This is ``PowerMonitorService._observe`` decomposed into reusable
 :class:`~repro.stream.Stage` objects. Stages are stateless; everything
@@ -37,6 +38,11 @@ class ObservationContext(RunContext):
         self.sensor = service._nodes[node_id]
         self.health = service._health[node_id]
         self.policy = service.policy
+        #: compensation registered for this node (None = uncalibrated);
+        #: consumed by CalibrateStage.open_run before the gate sees the feed.
+        self.transform = service.calibration_for(node_id)
+        #: set once CalibrateStage actually rewrote the readings.
+        self.calibrated = False
         self.mode = "dynamic" if online else "static"
         self.readings: "SparseReadings | None" = None
         self.gated = 0
@@ -115,6 +121,57 @@ class IngestStage(Stage):
     def process(self, ctx: ObservationContext, chunk: PowerChunk) -> PowerChunk:
         chunk.pmcs = ctx.bundle.pmcs.matrix[chunk.start:chunk.stop]
         return chunk
+
+
+class CalibrateStage(Stage):
+    """Apply the node's registered compensation before the gate.
+
+    Uncalibrated nodes (no transform, or the identity) pass through
+    untouched — ``CompensationTransform.apply`` returns the *same*
+    readings object for the identity, so the stage is bit-identity
+    neutral when calibration is disabled. A non-identity transform
+    rewrites the whole readings stream once per run (lag shift + affine
+    correction; see ``docs/calibration.md``) and publishes the
+    ``repro_calib_*`` counters.
+    """
+
+    name = "calibrate"
+    span = "monitor.calibrate"
+
+    def open_run(self, ctx: ObservationContext) -> None:
+        if ctx.degrade_reason is not None or ctx.readings is None:
+            return  # the feed already failed upstream
+        transform = ctx.transform
+        if transform is None or transform.is_identity:
+            return
+        try:
+            compensated = transform.apply(ctx.readings)
+        except SensorError as exc:
+            # Lag compensation shifted every reading outside the run —
+            # for the consumer that is a dead feed.
+            ctx.fail_or_degrade(
+                f"calibration emptied the feed: {exc}", str(exc), exc,
+                cause=exc,
+            )
+            return
+        dropped = len(ctx.readings) - len(compensated)
+        ctx.readings = compensated
+        ctx.calibrated = True
+        registry = ctx.service.registry
+        registry.counter(
+            "repro_calib_runs_total",
+            "Observed runs whose IM feed was compensated.", ("node",),
+        ).labels(node=ctx.node_id).inc()
+        registry.counter(
+            "repro_calib_compensated_readings_total",
+            "IM readings rewritten by the calibrate stage.", ("node",),
+        ).labels(node=ctx.node_id).inc(len(compensated))
+        if dropped:
+            registry.counter(
+                "repro_calib_dropped_readings_total",
+                "IM readings shifted outside the run by lag compensation.",
+                ("node",),
+            ).labels(node=ctx.node_id).inc(dropped)
 
 
 class GateStage(Stage):
@@ -250,7 +307,8 @@ class SinkStage(Stage):
 
 
 def build_pipeline() -> StreamPipeline:
-    """The service's standard five-stage observation pipeline."""
+    """The service's standard six-stage observation pipeline."""
     return StreamPipeline([
-        IngestStage(), GateStage(), RestoreStage(), AttributeStage(), SinkStage(),
+        IngestStage(), CalibrateStage(), GateStage(), RestoreStage(),
+        AttributeStage(), SinkStage(),
     ])

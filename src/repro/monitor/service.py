@@ -20,6 +20,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..calib import (
+    CalibrationEstimate,
+    CompensationTransform,
+    DriftConfig,
+    estimate_calibration,
+    estimate_drift_calibration,
+)
 from ..core.highrpm import (
     PROV_MEASURED,
     PROV_MODEL_ONLY,
@@ -44,7 +51,7 @@ from ..sensors.ipmi import IPMISensor
 from ..stream import Sink
 from ..types import TraceBundle
 from .pipeline import ObservationContext, build_pipeline, input_chunks
-from .resilience import NodeHealth, ResiliencePolicy
+from .resilience import NodeHealth, ResiliencePolicy, sample_with_retry
 from .sinks import MemoryLogSink
 
 #: Human-readable provenance labels for the sample-mix counter.
@@ -226,6 +233,9 @@ class PowerMonitorService:
         self._nodes: dict[str, IPMISensor] = {}
         self._logs: dict[str, MonitorLog] = {}
         self._health: dict[str, NodeHealth] = {}
+        #: per-node compensation transforms (absent = uncalibrated feed);
+        #: applied by the pipeline's calibrate stage before the gate.
+        self._calibration: "dict[str, CompensationTransform]" = {}
         #: extra sinks shared by every node (each node's in-memory log is
         #: always attached in front of these).
         self._sinks: "list[Sink]" = list(sinks) if sinks else []
@@ -260,6 +270,94 @@ class PowerMonitorService:
     def sinks_for(self, node_id: str) -> list:
         """The sinks one node's finished chunks flow into (log first)."""
         return [MemoryLogSink(self._logs[node_id]), *self._sinks]
+
+    # -------------------------------------------------------- calibration
+    def set_calibration(
+        self, node_id: str, transform: "CompensationTransform | None"
+    ) -> None:
+        """Register (or clear, with ``None``) a node's compensation.
+
+        The transform is applied by the pipeline's calibrate stage to
+        every subsequent run's IM readings, upstream of gating and
+        restoration. Publishes the fitted coefficients as gauges so a
+        drifting fleet is visible on the scrape surface.
+        """
+        if node_id not in self._nodes:
+            raise ValidationError(f"unknown node {node_id!r}; register it first")
+        if transform is None:
+            self._calibration.pop(node_id, None)
+            return
+        if not isinstance(transform, CompensationTransform):
+            raise ValidationError(
+                f"not a CompensationTransform: {transform!r}"
+            )
+        self._calibration[node_id] = transform
+        registry = self.registry
+        for name, help_text, value in (
+            ("repro_calib_lag_seconds",
+             "Registered clock-lag compensation per node.",
+             float(transform.lag_s)),
+            ("repro_calib_scale",
+             "Registered affine correction gain per node.", transform.scale),
+            ("repro_calib_offset_watts",
+             "Registered affine correction offset per node.",
+             transform.offset_w),
+        ):
+            registry.gauge(name, help_text, ("node",)).labels(
+                node=node_id
+            ).set(value)
+
+    def calibration_for(self, node_id: str) -> "CompensationTransform | None":
+        """The node's registered compensation, or None when uncalibrated."""
+        return self._calibration.get(node_id)
+
+    def calibrate_node(
+        self,
+        node_id: str,
+        bundle: TraceBundle,
+        reference: np.ndarray,
+        max_lag_s: "int | None" = None,
+        drift: "DriftConfig | bool | None" = None,
+    ) -> CalibrationEstimate:
+        """Calibrate one node's feed against a dense reference channel.
+
+        Samples the node's sensor over the calibration ``bundle``
+        (with the policy's transient retry), fits the error model against
+        ``reference`` (the direct-measurement node power of the same run,
+        :meth:`~repro.sensors.DirectPowerSensor.measure_node`), registers
+        the resulting compensation, and returns the estimate. Pass
+        ``drift=True`` (or a :class:`~repro.calib.DriftConfig`) for
+        windowed drift tracking instead of a single static fit.
+        """
+        if node_id not in self._nodes:
+            raise ValidationError(f"unknown node {node_id!r}; register it first")
+        with use_registry(self.registry), use_tracer(self.tracer):
+            with self.tracer.span("calib.estimate"):
+                readings = sample_with_retry(
+                    self._nodes[node_id], bundle, self.policy,
+                    self._health[node_id],
+                )
+                if drift:
+                    config = drift if isinstance(drift, DriftConfig) \
+                        else DriftConfig(max_lag_s=max_lag_s)
+                    estimate, tracker = estimate_drift_calibration(
+                        readings, reference, config
+                    )
+                    self.registry.counter(
+                        "repro_calib_drift_refits_total",
+                        "Drift-tracker windows whose trigger fired.",
+                        ("node",),
+                    ).labels(node=node_id).inc(tracker.refits)
+                else:
+                    estimate = estimate_calibration(
+                        readings, reference, max_lag_s=max_lag_s
+                    )
+        self.registry.counter(
+            "repro_calib_estimates_total",
+            "Calibration estimates fitted per node.", ("node",),
+        ).labels(node=node_id).inc()
+        self.set_calibration(node_id, estimate.transform())
+        return estimate
 
     # ------------------------------------------------------------ clamps
     def _clamps(self) -> tuple[float, float]:

@@ -42,6 +42,17 @@ class DirectPowerSensor:
         """P_MEM at 1 Sa/s with the register-read error."""
         return self._measure(bundle.mem)
 
+    def measure_node(self, bundle: TraceBundle) -> PowerTrace:
+        """P_NODE at 1 Sa/s with the register-read error.
+
+        The whole-node ground-truth channel the calibration layer
+        (:mod:`repro.calib`) fits IM feeds against: on the calibration
+        bench the jumper wire sits on the node supply rail, so node
+        power is readable at full rate with the same 0.1 W-class error
+        as the per-domain channels.
+        """
+        return self._measure(bundle.node)
+
     def measure(self, bundle: TraceBundle) -> tuple[PowerTrace, PowerTrace]:
         """(P_CPU, P_MEM) measured traces."""
         return self.measure_cpu(bundle), self.measure_mem(bundle)

@@ -1,9 +1,9 @@
 """Streaming pipeline primitives: chunk records, stages, sinks.
 
-The monitoring layer composes these into its ingest → gate → restore →
-attribute → sink pipeline (``repro.monitor.pipeline``); they carry no
-monitor-specific state so other producers (the fleet front-end, replayed
-logs) can reuse them.
+The monitoring layer composes these into its ingest → calibrate → gate →
+restore → attribute → sink pipeline (``repro.monitor.pipeline``); they
+carry no monitor-specific state so other producers (the fleet front-end,
+replayed logs) can reuse them.
 """
 
 from .chunks import PowerChunk, chunk_spans

@@ -1,0 +1,125 @@
+"""Property-based tests for the calibration layer.
+
+Three contracts, checked over generated error models rather than a few
+hand-picked cases:
+
+* **recovery** — on a noise-free feed the estimators recover the injected
+  (lag, gain, bias) within tight tolerance, schedule included;
+* **determinism** — the estimators and the drift tracker are RNG-free, so
+  identical inputs produce bit-identical estimates;
+* **neutrality** — compensating an unfaulted feed is (near-)identity, the
+  identity transform returns the *same* object, and ``apply`` never
+  mutates its input, even when the arrays are frozen.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calib import (
+    IDENTITY,
+    CompensationTransform,
+    DriftConfig,
+    estimate_calibration,
+    estimate_drift_calibration,
+)
+from repro.sensors import SparseReadings
+
+N_DENSE = 400
+INTERVAL = 10
+
+
+def make_truth(seed: int) -> np.ndarray:
+    """A wiggly but reproducible ground-truth power trace."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(N_DENSE, dtype=np.float64)
+    return (
+        90.0
+        + 25.0 * np.sin(t / (8.0 + (seed % 7)))
+        + 8.0 * np.sin(t / 31.0)
+        + rng.normal(0.0, 1.5, size=N_DENSE)
+    )
+
+
+def make_feed(truth, lag=0, gain=1.0, bias=0.0):
+    """The forward error model: report ``gain*truth+bias``, ``lag`` late."""
+    stamped = np.arange(0, N_DENSE, INTERVAL, dtype=np.int64)
+    source = stamped - lag
+    keep = (source >= 0) & (source < N_DENSE)
+    vals = gain * truth[source[keep]] + bias
+    return SparseReadings(stamped[keep], vals, INTERVAL, N_DENSE)
+
+
+error_models = st.tuples(
+    st.integers(min_value=-8, max_value=8),              # lag_s
+    st.floats(min_value=0.5, max_value=2.0),             # gain
+    st.floats(min_value=-15.0, max_value=15.0),          # bias_w
+    st.integers(min_value=0, max_value=50),              # truth seed
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(error_models)
+def test_estimators_recover_injected_error(model):
+    lag, gain, bias, seed = model
+    truth = make_truth(seed)
+    feed = make_feed(truth, lag=lag, gain=gain, bias=bias)
+    est = estimate_calibration(feed, truth, max_lag_s=10)
+    assert est.lag_s == lag
+    assert est.sensor_gain == pytest.approx(gain, rel=1e-6)
+    assert est.sensor_bias_w == pytest.approx(bias, abs=1e-6 * max(1.0, abs(bias)))
+    # Compensation inverts the error model on the surviving readings.
+    out = est.transform().apply(feed)
+    np.testing.assert_allclose(out.values, truth[out.indices], atol=1e-8)
+
+
+@settings(max_examples=25, deadline=None)
+@given(error_models)
+def test_same_inputs_bit_identical_estimates(model):
+    lag, gain, bias, seed = model
+    truth = make_truth(seed)
+    feed = make_feed(truth, lag=lag, gain=gain, bias=bias)
+    a = estimate_calibration(feed, truth, max_lag_s=10)
+    b = estimate_calibration(feed, truth, max_lag_s=10)
+    assert a == b  # frozen dataclass equality == field-wise bit identity
+    da, _ = estimate_drift_calibration(feed, truth, DriftConfig(window_s=80))
+    db, _ = estimate_drift_calibration(feed, truth, DriftConfig(window_s=80))
+    assert da == db
+    out_a = a.transform().apply(feed)
+    out_b = b.transform().apply(feed)
+    np.testing.assert_array_equal(out_a.values, out_b.values)
+    np.testing.assert_array_equal(out_a.indices, out_b.indices)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=50))
+def test_unfaulted_feed_compensates_to_near_identity(seed):
+    truth = make_truth(seed)
+    feed = make_feed(truth)  # lag 0, gain 1, bias 0
+    est = estimate_calibration(feed, truth, max_lag_s=10)
+    assert est.lag_s == 0
+    assert est.scale == pytest.approx(1.0, rel=1e-9)
+    assert est.offset_w == pytest.approx(0.0, abs=1e-7)
+    out = est.transform().apply(feed)
+    np.testing.assert_allclose(out.values, feed.values, rtol=1e-9, atol=1e-9)
+    np.testing.assert_array_equal(out.indices, feed.indices)
+
+
+@settings(max_examples=25, deadline=None)
+@given(error_models)
+def test_identity_is_same_object_and_apply_never_mutates(model):
+    lag, gain, bias, seed = model
+    truth = make_truth(seed)
+    feed = make_feed(truth, lag=lag, gain=gain, bias=bias)
+    # Freeze the arrays: any in-place write inside apply would raise.
+    feed.indices.setflags(write=False)
+    feed.values.setflags(write=False)
+    assert IDENTITY.apply(feed) is feed
+    idx_before = feed.indices.copy()
+    val_before = feed.values.copy()
+    t = CompensationTransform(lag_s=lag, scale=1.0 / gain, offset_w=-bias / gain)
+    out = t.apply(feed)
+    assert out is not feed
+    np.testing.assert_array_equal(feed.indices, idx_before)
+    np.testing.assert_array_equal(feed.values, val_before)

@@ -11,6 +11,7 @@ from repro.faults import (
     FaultyPMCCollector,
     FaultyRAPLEmulator,
     FaultySensor,
+    GainDrift,
     OutageWindow,
     RandomDropout,
     SpikeOutlier,
@@ -201,3 +202,80 @@ class TestDenseWrappers:
         pkg, ram = wrapped.measure(small_bundle)
         assert len(pkg) == len(base[0]) and len(ram) == len(base[1])
         assert (pkg.values >= 0).all() and (ram.values >= 0).all()
+
+
+class TestGainDrift:
+    def test_constant_affine_bias(self):
+        r = stream()
+        idx, vals = GainDrift(gain_start=1.2, bias_start_w=5.0).apply(
+            r.indices, r.values, rng(), r.n_dense
+        )
+        np.testing.assert_array_equal(idx, r.indices)
+        np.testing.assert_allclose(vals, 1.2 * r.values + 5.0)
+
+    def test_drifting_coefficients_interpolate_linearly(self):
+        r = stream()
+        model = GainDrift(gain_start=1.0, gain_end=1.5,
+                          bias_start_w=0.0, bias_end_w=10.0)
+        idx, vals = model.apply(r.indices, r.values, rng(), r.n_dense)
+        frac = r.indices / (r.n_dense - 1)
+        gain = 1.0 + 0.5 * frac
+        bias = 10.0 * frac
+        np.testing.assert_allclose(vals, gain * r.values + bias)
+
+    def test_values_floored_at_zero(self):
+        r = stream()
+        _, vals = GainDrift(gain_start=1.0, bias_start_w=-1e6).apply(
+            r.indices, r.values, rng(), r.n_dense
+        )
+        assert (vals == 0.0).all()
+
+    def test_deterministic_without_rng(self):
+        r = stream()
+        model = GainDrift(gain_start=1.1, gain_end=1.4, bias_start_w=2.0)
+        a = model.apply(r.indices, r.values, np.random.default_rng(1), r.n_dense)
+        b = model.apply(r.indices, r.values, np.random.default_rng(999), r.n_dense)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_never_mutates_inputs(self):
+        r = stream()
+        idx_copy, val_copy = r.indices.copy(), r.values.copy()
+        GainDrift(gain_start=0.8, gain_end=1.6, bias_start_w=-3.0).apply(
+            r.indices, r.values, rng(), r.n_dense
+        )
+        np.testing.assert_array_equal(r.indices, idx_copy)
+        np.testing.assert_array_equal(r.values, val_copy)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            GainDrift(gain_start=0.0)
+        with pytest.raises(ValidationError):
+            GainDrift(gain_start=1.0, gain_end=-0.5)
+
+
+class TestClockJitterDrift:
+    def test_systematic_skew_shifts_every_reading(self):
+        r = stream(n_dense=500)
+        # max_shift 1 with drift 6: every index lands 5..7 ticks late.
+        idx, _ = ClockJitter(1, drift_s=6).apply(r.indices, r.values, rng(), r.n_dense)
+        shifts = idx - r.indices[: idx.shape[0]]
+        assert (shifts >= 5).all() and (shifts <= 7).all()
+
+    def test_negative_drift_shifts_early(self):
+        r = stream(n_dense=500)
+        idx, _ = ClockJitter(1, drift_s=-6).apply(r.indices, r.values, rng(), r.n_dense)
+        shifts = idx - r.indices[: idx.shape[0]]
+        assert (shifts <= -5).all() and (shifts >= -7).all()
+
+    def test_default_drift_is_zero(self):
+        assert ClockJitter(3).drift_s == 0
+
+    def test_large_drift_clips_and_dedupes(self):
+        r = stream()
+        idx, vals = ClockJitter(1, drift_s=150).apply(
+            r.indices, r.values, rng(), r.n_dense
+        )
+        assert (np.diff(idx) > 0).all()
+        assert idx[-1] == r.n_dense - 1
+        assert idx.shape == vals.shape

@@ -1,0 +1,101 @@
+"""Golden calibration regression: fixed-seed compensation vs stored traces.
+
+The fixture (``tests/fixtures/golden_calib.npz``, written by
+``scripts/make_golden_monitor.py``) pins the full calibration path on one
+structurally-faulted feed: the faulted readings, the drift-fitted
+transform, the compensated readings (**bitwise** — transform arithmetic is
+pure elementwise numpy), and the compensated observation's restored
+traces. Any behavioural change in the estimators, drift tracker, transform
+or calibrate stage moves these numbers. If a change *intends* to move
+them, regenerate the fixture with the script and commit both together.
+"""
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.calib.golden import golden_calib_traces
+from repro.ml.metrics import mape
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "fixtures" / "golden_calib.npz"
+
+# Restored traces run through the LSTM/MLP stack, so they get the same
+# BLAS-tolerant bounds as the golden monitor fixture; the calibration
+# arithmetic itself is pinned exactly.
+RTOL, ATOL = 1e-3, 1e-2
+
+#: Keys whose regenerated values must match the fixture bit-for-bit.
+BITWISE_KEYS = (
+    "faulted_indices", "faulted_values",
+    "compensated_indices", "compensated_values",
+    "transform_lag_s", "transform_scale", "transform_offset_w",
+    "transform_knots_s", "transform_scales", "transform_offsets_w",
+)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    assert GOLDEN_PATH.exists(), (
+        f"{GOLDEN_PATH} missing - run scripts/make_golden_monitor.py"
+    )
+    with np.load(GOLDEN_PATH) as data:
+        return {k: data[k] for k in data.files}
+
+
+@pytest.fixture(scope="module")
+def regenerated(chaos_reference):
+    return golden_calib_traces(reference=chaos_reference)
+
+
+def test_fixture_is_complete(golden):
+    expected = set(BITWISE_KEYS) | {
+        "truth_p_node", "reference_p_node",
+        "comp_p_node", "comp_p_cpu", "comp_p_mem", "comp_provenance",
+    }
+    assert set(golden) == expected
+
+
+@pytest.mark.parametrize("key", BITWISE_KEYS)
+def test_calibration_path_is_bitwise_stable(golden, regenerated, key):
+    np.testing.assert_array_equal(
+        regenerated[key], golden[key],
+        err_msg=f"{key} drifted bitwise from the golden fixture "
+                "(regenerate via scripts/make_golden_monitor.py if intended)",
+    )
+
+
+@pytest.mark.parametrize("channel", ["p_node", "p_cpu", "p_mem"])
+def test_compensated_restoration_matches(golden, regenerated, channel):
+    np.testing.assert_allclose(
+        regenerated[f"comp_{channel}"], golden[f"comp_{channel}"],
+        rtol=RTOL, atol=ATOL,
+    )
+
+
+def test_provenance_matches_exactly(golden, regenerated):
+    np.testing.assert_array_equal(
+        regenerated["comp_provenance"], golden["comp_provenance"]
+    )
+
+
+def test_fixture_semantics(golden):
+    # The injected error was 6 s skew + 1 s IPMI readout delay; the unit
+    # random jitter can bias the NCC peak by one tick either way.
+    lag = int(golden["transform_lag_s"])
+    assert 6 <= lag <= 8
+    # Drift tracking fitted at least one window.
+    assert golden["transform_knots_s"].shape[0] >= 1
+    # Compensation moved every surviving timestamp ``lag`` ticks earlier.
+    n_dropped = golden["faulted_indices"].shape[0] \
+        - golden["compensated_indices"].shape[0]
+    assert 0 <= n_dropped <= 2
+    kept = golden["faulted_indices"][n_dropped:]
+    np.testing.assert_array_equal(golden["compensated_indices"], kept - lag)
+    # Compensated readings sit closer to the truth than the faulted ones.
+    truth = golden["truth_p_node"]
+    err_faulted = mape(truth[golden["faulted_indices"]],
+                       golden["faulted_values"])
+    err_comp = mape(truth[golden["compensated_indices"]],
+                    golden["compensated_values"])
+    assert err_comp < 0.5 * err_faulted

@@ -13,18 +13,31 @@ import pathlib
 import numpy as np
 import pytest
 
+from repro.calib import IDENTITY, CompensationTransform
 from repro.core import HighRPM
-from repro.faults import FaultySensor, OutageWindow
-from repro.monitor import PowerMonitorService
+from repro.faults import FaultySensor, GainDrift, OutageWindow
+from repro.monitor import FleetMonitor, PowerMonitorService
 from repro.sensors import IPMISensor
 from repro.stream import JsonlSink, iter_jsonl
 
 GOLDEN_PATH = pathlib.Path(__file__).parent / "fixtures" / "golden_monitor.npz"
 CHUNK_SIZES = [7, 64]
 
+#: A non-trivial compensation for the calibrated equivalence runs: lag
+#: shift plus a two-knot schedule, so every transform code path streams.
+EQ_TRANSFORM = CompensationTransform(
+    lag_s=2, knots_s=(0, 140), scales=(1.0 / 1.15, 1.0 / 1.25),
+    offsets_w=(-3.0, -6.0),
+)
 
-def _twin_services(chaos_reference, n=2, dead=False):
-    """n fresh same-seed services over the shared trained model."""
+
+def _twin_services(chaos_reference, n=2, dead=False, calibrate=None):
+    """n fresh same-seed services over the shared trained model.
+
+    ``calibrate`` registers the same transform (a faulted feed underneath,
+    so the compensation has something to undo) on every twin; pass
+    ``IDENTITY`` to exercise the disabled-stage path explicitly.
+    """
     reference, _ = chaos_reference
     services = []
     for _ in range(n):
@@ -34,6 +47,14 @@ def _twin_services(chaos_reference, n=2, dead=False):
                 IPMISensor(reference.spec, seed=41),
                 faults=[OutageWindow(0, 10_000_000)], seed=42,
             ))
+        elif calibrate is not None:
+            svc.register_node("eq-node", sensor=FaultySensor(
+                IPMISensor(reference.spec, seed=43),
+                faults=[GainDrift(gain_start=1.15, gain_end=1.25,
+                                  bias_start_w=3.0, bias_end_w=6.0)],
+                seed=44,
+            ))
+            svc.set_calibration("eq-node", calibrate)
         else:
             svc.register_node("eq-node", seed=33)
         services.append(svc)
@@ -69,6 +90,50 @@ def test_chunked_equals_whole_run(chaos_reference, online, dead, chunk_size):
     assert whole_svc.log("eq-node").modes == chunk_svc.log("eq-node").modes
     assert (whole_svc.health("eq-node").status
             == chunk_svc.health("eq-node").status)
+
+
+@pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+@pytest.mark.parametrize(
+    "transform", [EQ_TRANSFORM, IDENTITY], ids=["compensated", "identity"]
+)
+@pytest.mark.parametrize("online", [True, False], ids=["online", "offline"])
+def test_calibrated_chunked_and_fleet_equal_whole_run(
+    chaos_reference, online, transform, chunk_size
+):
+    """With the calibrate stage enabled (real transform or identity), the
+    whole-run, chunked, and fleet-batched paths stay bit-identical."""
+    _, bundle = chaos_reference
+    whole_svc, chunk_svc, fleet_svc = _twin_services(
+        chaos_reference, n=3, calibrate=transform
+    )
+    whole = whole_svc.observe_run("eq-node", bundle, online=online)
+    chunked = chunk_svc.observe_run(
+        "eq-node", bundle, online=online, chunk_size=chunk_size
+    )
+    fleet = FleetMonitor(fleet_svc, chunk_size=chunk_size).observe_all(
+        {"eq-node": bundle}, online=online
+    )["eq-node"]
+    _assert_identical(whole, chunked)
+    _assert_identical(whole, fleet)
+
+
+def test_identity_calibration_equals_uncalibrated_bitwise(chaos_reference):
+    """A registered identity transform must be a guaranteed no-op — same
+    bits as a node with no calibration at all."""
+    from repro.obs import MetricsRegistry
+
+    reference, bundle = chaos_reference
+    plain_svc, = _twin_services(chaos_reference, n=1)
+    ident_svc = PowerMonitorService(
+        reference.model, reference.spec, registry=MetricsRegistry()
+    )
+    ident_svc.register_node("eq-node", seed=33)
+    ident_svc.set_calibration("eq-node", IDENTITY)
+    plain = plain_svc.observe_run("eq-node", bundle)
+    ident = ident_svc.observe_run("eq-node", bundle)
+    _assert_identical(plain, ident)
+    snap = ident_svc.registry.snapshot()
+    assert "repro_calib_runs_total" not in snap  # the stage never fired
 
 
 def test_chunked_healthy_run_matches_golden_fixture(chaos_reference):
