@@ -11,11 +11,21 @@ if any stage recorded in *both* regressed by more than the threshold:
   `samples_per_s` (higher is better). Protocol fields (nodes, chunk size,
   trace seconds) are printed with each comparison; a trace-length change
   is reported but still gated — the steady-state protocol only amortises
-  run-open costs, so throughput must not *drop* across it.
+  run-open costs, so throughput must not *drop* across it;
+* `serve_scaling` rungs (the daemon curve from `python -m
+  repro.serve.bench`, committed as `BENCH_PR9.json`) compare
+  `samples_per_s` per matching rung — matched on the full rung protocol
+  (nodes, shards, run seconds, chunk size, hosts, mode), unmatched rungs
+  pass through.
+
+`--require-scaling 8,64,512,4096` additionally fails unless the *current*
+payload carries a `serve_scaling` rung (with positive throughput) for
+every listed node count — the CI shape-check for the committed curve.
 
 Usage:
     python scripts/check_bench.py CURRENT.json [--baseline BENCH_PR2.json]
                                   [--max-regression 0.20]
+                                  [--require-scaling 8,64,512,4096]
 
 Exit status 1 on any regression beyond the threshold, 0 otherwise.
 """
@@ -38,6 +48,61 @@ def _fleet_protocol(stage: dict) -> tuple:
     if seconds is None and nodes:
         seconds = stage.get("samples", 0) // nodes
     return (nodes, stage.get("chunk_size"), seconds)
+
+
+def _rung_key(entry: dict) -> tuple:
+    """Full protocol identity of one serve_scaling rung."""
+    return (
+        entry.get("nodes"), entry.get("shards"), entry.get("run_seconds"),
+        entry.get("chunk_size"), entry.get("processes"), entry.get("online"),
+    )
+
+
+def compare_scaling(current: dict, baseline: dict,
+                    max_regression: float) -> list[str]:
+    """Gate matching serve_scaling rungs on samples/s (higher is better)."""
+    failures: list[str] = []
+    base_rungs = {
+        _rung_key(e): e for e in baseline.get("serve_scaling", [])
+    }
+    for entry in current.get("serve_scaling", []):
+        base = base_rungs.get(_rung_key(entry))
+        label = f"serve {entry.get('nodes')}x{entry.get('shards')}"
+        cur_tp = entry.get("samples_per_s")
+        if not base or not cur_tp or not base.get("samples_per_s"):
+            continue
+        base_tp = base["samples_per_s"]
+        ratio = cur_tp / base_tp
+        verdict = "REGRESSED" if ratio < 1.0 - max_regression else "ok"
+        print(f"{label:<20} {base_tp:>10.0f} -> {cur_tp:>10.0f} samples/s "
+              f"({ratio:.2f}x baseline) {verdict}")
+        if verdict == "REGRESSED":
+            failures.append(
+                f"{label}: {base_tp:.0f} -> {cur_tp:.0f} samples/s "
+                f"({(1.0 - ratio):.0%} drop > {max_regression:.0%} allowed)"
+            )
+    return failures
+
+
+def check_required_rungs(current: dict, required: "list[int]") -> list[str]:
+    """Every required node count must have a rung with real throughput."""
+    failures: list[str] = []
+    by_nodes: dict[int, dict] = {}
+    for entry in current.get("serve_scaling", []):
+        by_nodes.setdefault(entry.get("nodes"), entry)
+    for nodes in required:
+        entry = by_nodes.get(nodes)
+        if entry is None:
+            failures.append(f"serve_scaling misses the {nodes}-node rung")
+        elif not entry.get("samples_per_s", 0) > 0:
+            failures.append(
+                f"serve_scaling {nodes}-node rung has no throughput: {entry}"
+            )
+        else:
+            print(f"serve {nodes:>5} nodes: "
+                  f"{entry['samples_per_s']:.0f} samples/s "
+                  f"({entry.get('per_node_ms', '?')} ms/node) present")
+    return failures
 
 
 def compare(current: dict, baseline: dict, max_regression: float) -> list[str]:
@@ -102,6 +167,9 @@ def main(argv: "list[str] | None" = None) -> int:
                         help="baseline trajectory (default: BENCH_PR2.json)")
     parser.add_argument("--max-regression", type=float, default=0.20,
                         help="allowed fractional regression (default: 0.20)")
+    parser.add_argument("--require-scaling", default=None, metavar="N,N,...",
+                        help="fail unless the current payload has a "
+                             "serve_scaling rung per listed node count")
     args = parser.parse_args(argv)
 
     current = json.loads(args.current.read_text())
@@ -113,6 +181,10 @@ def main(argv: "list[str] | None" = None) -> int:
             return 2
 
     failures = compare(current, baseline, args.max_regression)
+    failures += compare_scaling(current, baseline, args.max_regression)
+    if args.require_scaling:
+        required = [int(n) for n in args.require_scaling.split(",")]
+        failures += check_required_rungs(current, required)
     if failures:
         print(f"\n{len(failures)} benchmark regression(s) vs "
               f"{args.baseline}:", file=sys.stderr)

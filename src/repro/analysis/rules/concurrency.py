@@ -38,10 +38,12 @@ from ..registry import Rule, RuleContext, register
 from ..symbols import ProjectIndex
 
 #: Packages whose code is worker-eligible under the sharded fleet plan.
-WORKER_PACKAGES = ("repro.monitor", "repro.stream")
+WORKER_PACKAGES = ("repro.monitor", "repro.stream", "repro.serve")
 
 #: Packages checked for module-global mutation.
-GLOBAL_MUTATION_PACKAGES = ("repro.monitor", "repro.stream", "repro.faults")
+GLOBAL_MUTATION_PACKAGES = (
+    "repro.monitor", "repro.stream", "repro.faults", "repro.serve",
+)
 
 #: Methods that mutate a list/dict/set in place.
 _CONTAINER_MUTATORS = frozenset({

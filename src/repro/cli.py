@@ -147,6 +147,75 @@ def _monitor_fleet(args, hr, spec, catalog) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Boot the sharded fleet daemon with an HTTP scrape surface."""
+    import signal
+
+    from .serve import FleetDaemon, ServeConfig
+
+    fault_nodes = {}
+    for item in args.fault or []:
+        node_id, _, preset = item.partition("=")
+        if not preset:
+            print(f"--fault expects NODE=PRESET, got {item!r}", file=sys.stderr)
+            return 2
+        fault_nodes[node_id] = preset
+    config = ServeConfig(
+        nodes=args.nodes,
+        shards=args.shards,
+        port=args.port,
+        host=args.host,
+        chunk_size=args.chunk_size,
+        runs=args.runs,
+        run_seconds=args.seconds,
+        workload=args.workload,
+        platform=args.platform or "arm",
+        interval_s=args.interval,
+        seed=args.seed,
+        online=not args.offline,
+        processes=args.processes,
+        ndjson=args.ndjson,
+        gauges=args.gauges,
+        label_shards=args.label_shards,
+        fault_nodes=fault_nodes,
+        train_seconds=args.train_seconds,
+        lstm_iters=args.lstm_iters,
+        srr_iters=args.srr_iters,
+    )
+    daemon = FleetDaemon(config)
+    # Handlers go in before start(): a SIGTERM that lands while the model
+    # is still training becomes a zero-round drain, not a dead process.
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: daemon.request_stop())
+    print(f"training model ({config.train_seconds}s traces, "
+          f"{config.lstm_iters} LSTM iters)...")
+    daemon.start()
+    host, port = daemon.address
+    print(f"serving {config.nodes} node(s) across {config.shards} shard(s) "
+          f"({'processes' if config.processes else 'threads'}) "
+          f"on http://{host}:{port}")
+    print("  GET /metrics   merged Prometheus exposition")
+    print("  GET /healthz   per-shard health JSON")
+    print("  GET /stream    live ndjson chunk records")
+    try:
+        # Bounded runs drain on their own; runs=0 serves until a signal
+        # requests the drain. Either way wait() returns on full drain.
+        while not daemon.wait(timeout=1.0):
+            pass
+    finally:
+        daemon.stop()
+    health = daemon.healthz()
+    print(f"drained: status={health['status']} "
+          f"shards={[s['state'] for s in health['shards'].values()]}")
+    if args.snapshot:
+        with open(args.snapshot, "w", encoding="utf-8") as fh:
+            fh.write(daemon.metrics_text())
+        print(f"final merged exposition written to {args.snapshot}")
+    if config.ndjson:
+        print(f"streamed records persisted to {config.ndjson}")
+    return 0 if health["status"] != "failed" else 1
+
+
 def cmd_monitor(args) -> int:
     """Train a small model, monitor one workload, export CSV."""
     catalog = default_catalog(args.seed)
@@ -239,6 +308,51 @@ def build_parser() -> argparse.ArgumentParser:
                    help="with --fleet: stream per-chunk JSONL records "
                         "to this file")
     p.set_defaults(func=cmd_monitor)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the sharded fleet daemon (/metrics /healthz /stream)",
+    )
+    p.add_argument("--nodes", type=int, default=8,
+                   help="simulated fleet size (default 8)")
+    p.add_argument("--shards", type=int, default=2,
+                   help="shard workers to split the fleet across (default 2)")
+    p.add_argument("--port", type=int, default=9411,
+                   help="HTTP bind port; 0 picks an ephemeral port "
+                        "(default 9411)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--chunk-size", type=int, default=64,
+                   help="streaming chunk size per shard (default 64)")
+    p.add_argument("--runs", type=int, default=0,
+                   help="observation rounds per node; 0 serves until "
+                        "SIGTERM (default)")
+    p.add_argument("--seconds", type=int, default=60,
+                   help="simulated seconds per run (default 60)")
+    p.add_argument("--workload", default="hpcc_fft")
+    p.add_argument("--platform", choices=("arm", "x86"))
+    p.add_argument("--interval", type=int, default=10,
+                   help="IM sampling interval in seconds (default 10)")
+    p.add_argument("--offline", action="store_true",
+                   help="StaticTRR observation instead of DynamicTRR")
+    p.add_argument("--processes", action="store_true",
+                   help="host shards in worker processes instead of threads")
+    p.add_argument("--ndjson", metavar="PATH",
+                   help="persist every stream record to this JSONL file")
+    p.add_argument("--gauges", choices=("last", "sum", "max"), default="last",
+                   help="gauge collision policy for the /metrics merge")
+    p.add_argument("--label-shards", action="store_true",
+                   help="tag merged samples with shard=\"sK\" instead of "
+                        "folding collisions into fleet totals")
+    p.add_argument("--fault", action="append", metavar="NODE=PRESET",
+                   help="wrap a node's sensor in a fault preset "
+                        "(dead-feed, flaky-reads, dropout); repeatable")
+    p.add_argument("--snapshot", metavar="PATH",
+                   help="write the final merged exposition here on exit")
+    p.add_argument("--train-seconds", type=int, default=60,
+                   help="training trace length (default 60)")
+    p.add_argument("--lstm-iters", type=int, default=20)
+    p.add_argument("--srr-iters", type=int, default=100)
+    p.set_defaults(func=cmd_serve)
     return parser
 
 

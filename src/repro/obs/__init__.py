@@ -29,6 +29,7 @@ from .metrics import (
     get_registry,
     use_registry,
 )
+from .merge import GAUGE_POLICIES, merge_snapshots
 from .overhead import DEFAULT_SAMPLE_PERIOD_S, OverheadProfiler, render_overhead
 from .tracing import (
     NULL_TRACER,
@@ -55,6 +56,8 @@ __all__ = [
     "use_registry",
     "render_prometheus",
     "parse_prometheus",
+    "merge_snapshots",
+    "GAUGE_POLICIES",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",

@@ -1,9 +1,10 @@
 """Render collected observability data from the command line.
 
-Two modes::
+Three modes::
 
     python -m repro.obs.dump                     # live demo
     python -m repro.obs.dump report.json         # re-render saved data
+    python -m repro.obs.dump s0.json s1.json     # merge shard snapshots
 
 With no input file the tool trains a deliberately tiny monitor service
 (:meth:`~repro.faults.chaos.ChaosSettings.tiny` — seconds of work, useless
@@ -12,11 +13,20 @@ the instrumentation saw: the Prometheus exposition, the span table, and
 the self-overhead line. That is the fastest way to see every metric name
 in ``docs/observability.md`` with real values attached.
 
-With an input file it re-renders saved data without running anything: the
+With input files it re-renders saved data without running anything: each
 file may be a bare ``MetricsRegistry.snapshot()`` dict, a wrapped
 ``repro-obs/1`` payload (what ``--output`` writes), or a chaos report
 (``python -m repro.faults.chaos --output``), whose embedded ``metrics``
 snapshot is used.
+
+With *several* input files their metric snapshots are merged through
+:func:`repro.obs.merge_snapshots` — the registry-merge contract the
+sharded service daemon's ``/metrics`` endpoint uses (counters and
+histograms sum across inputs, colliding gauges follow ``--gauges``, see
+``docs/observability.md``). ``--label-by-source`` tags every sample with
+``source="<file stem>"`` first, turning the merged exposition into a
+per-input view with no collisions at all. Spans and self-overhead are
+only rendered for single-input payloads (they have no merge semantics).
 
 ``--format prom`` (default) prints text exposition; ``--format json``
 prints the wrapped JSON payload. ``--output PATH`` writes instead of
@@ -28,8 +38,10 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
 from .exposition import render_prometheus
+from .merge import GAUGE_POLICIES, merge_snapshots
 from .metrics import MetricsRegistry, use_registry
 from .overhead import render_overhead
 
@@ -110,22 +122,54 @@ def render_text(payload: "dict[str, object]") -> str:
     return "\n".join(parts)
 
 
+def merged_payload(paths: "list[str]", gauges: str,
+                   label_by_source: bool) -> "dict[str, object]":
+    """Load every input and merge their metric snapshots into one payload.
+
+    Single inputs pass through unchanged (spans/self-overhead kept);
+    merged outputs carry only the merged ``metrics`` — spans and overhead
+    reports have no cross-registry merge semantics.
+    """
+    payloads = [load_payload(p) for p in paths]
+    if len(payloads) == 1:
+        return payloads[0]
+    labels = None
+    if label_by_source:
+        labels = [{"source": Path(p).stem} for p in paths]
+    metrics = merge_snapshots(
+        [p["metrics"] for p in payloads], gauges=gauges, labels=labels
+    )
+    return {"schema": SCHEMA, "metrics": metrics, "spans": {},
+            "self_overhead": {}, "merged_from": len(payloads)}
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.dump",
         description="Render collected metrics/spans/self-overhead "
-                    "(live demo when no input file is given).",
+                    "(live demo when no input file is given; several "
+                    "inputs are merged shard-style).",
     )
-    parser.add_argument("snapshot", nargs="?", default=None, metavar="PATH",
-                        help="saved payload, registry snapshot, or chaos "
-                             "report JSON (omit to run the live demo)")
+    parser.add_argument("snapshots", nargs="*", default=[], metavar="PATH",
+                        help="saved payloads, registry snapshots, or chaos "
+                             "report JSON (omit to run the live demo; "
+                             "several files are merged)")
     parser.add_argument("--format", choices=("prom", "json"), default="prom",
                         help="text exposition (default) or wrapped JSON")
+    parser.add_argument("--gauges", choices=GAUGE_POLICIES, default="last",
+                        help="gauge collision policy when merging several "
+                             "inputs (default: last)")
+    parser.add_argument("--label-by-source", action="store_true",
+                        help="tag each input's samples with "
+                             "source=\"<file stem>\" before merging")
     parser.add_argument("--output", default=None, metavar="PATH",
                         help="write instead of printing")
     args = parser.parse_args(argv)
 
-    payload = load_payload(args.snapshot) if args.snapshot else demo_payload()
+    payload = (
+        merged_payload(args.snapshots, args.gauges, args.label_by_source)
+        if args.snapshots else demo_payload()
+    )
     if args.format == "json":
         text = json.dumps(payload, indent=2) + "\n"
     else:

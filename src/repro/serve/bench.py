@@ -1,0 +1,158 @@
+"""Daemon scaling bench: samples/s, per-node overhead, merge latency.
+
+Runs the sharded daemon end to end — worker startup, per-node simulator
+and sensor construction, one full observation round, drain — at a ladder
+of fleet sizes (8/64/512/4096 nodes by default, shards scaling 1/2/4/8)
+and records the curve into a ``repro-bench/1`` payload under
+``serve_scaling``::
+
+    python -m repro.serve.bench --output BENCH_PR9.json
+    python -m repro.serve.bench --sizes 8:1,64:2 --processes
+
+Per rung it reports end-to-end ``samples_per_s`` (restored samples over
+daemon wall time), ``per_node_ms`` (wall time spread across the fleet),
+and the merge-sink latency distribution (mean / p95 out of the
+``repro_serve_merge_latency_seconds`` histogram). The curve is gated by
+``scripts/check_bench.py --require-scaling`` in CI; ``docs/deployment.md``
+turns it into the capacity-planning table.
+
+Observation runs offline (StaticTRR) so the rung cost is the steady-state
+pipeline, not the per-run DynamicTRR fine-tune; the HTTP server is up
+throughout (it is part of the daemon being priced) but never scraped.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from time import perf_counter
+
+from .config import ServeConfig
+from .daemon import FleetDaemon, train_model
+
+SCHEMA = "repro-bench/1"
+DEFAULT_OUTPUT = "BENCH_PR9.json"
+
+#: (nodes, shards) ladder: shard count grows with the fleet the way a
+#: deployment would scale workers, keeping nodes-per-shard sublinear.
+DEFAULT_SIZES = ((8, 1), (64, 2), (512, 4), (4096, 8))
+
+
+def _latency_stats(registry) -> "dict[str, float]":
+    """Mean / p95 (ms) from the merge-latency histogram snapshot."""
+    snapshot = registry.snapshot().get("repro_serve_merge_latency_seconds")
+    if not snapshot or not snapshot["samples"]:
+        return {"mean_ms": 0.0, "p95_ms": 0.0, "events": 0}
+    (sample,) = snapshot["samples"]
+    count = int(sample["count"])
+    if count == 0:
+        return {"mean_ms": 0.0, "p95_ms": 0.0, "events": 0}
+    target = 0.95 * count
+    p95_s = sample["buckets"][-1][0]
+    for le, cumulative in sample["buckets"]:
+        if cumulative >= target:
+            p95_s = le
+            break
+    if p95_s == float("inf"):  # fell past the last finite bucket
+        p95_s = sample["buckets"][-2][0] if len(sample["buckets"]) > 1 else 0.0
+    return {
+        "mean_ms": round(1e3 * float(sample["sum"]) / count, 4),
+        "p95_ms": round(1e3 * float(p95_s), 4),
+        "events": count,
+    }
+
+
+def measure_serve(
+    model, nodes: int, shards: int, run_seconds: int = 40,
+    chunk_size: int = 32, processes: bool = False,
+) -> "dict[str, object]":
+    """One rung: boot the daemon, drain one round, price the wall time."""
+    config = ServeConfig(
+        nodes=nodes, shards=shards, runs=1, run_seconds=run_seconds,
+        chunk_size=chunk_size, processes=processes, online=False, port=0,
+    )
+    daemon = FleetDaemon(config, model=model)
+    start = perf_counter()
+    daemon.start()
+    if not daemon.wait(timeout=3600):
+        raise RuntimeError(f"rung {nodes}x{shards} failed to drain")
+    wall_s = perf_counter() - start
+    daemon.stop()
+    health = daemon.healthz()
+    if health["status"] == "failed":
+        raise RuntimeError(f"rung {nodes}x{shards} failed: {health}")
+    samples = nodes * run_seconds  # 1 Sa/s restored resolution
+    entry = {
+        "nodes": nodes,
+        "shards": shards,
+        "run_seconds": run_seconds,
+        "chunk_size": chunk_size,
+        "processes": bool(processes),
+        "online": False,
+        "samples": samples,
+        "wall_s": round(wall_s, 3),
+        "samples_per_s": round(samples / wall_s, 1),
+        "per_node_ms": round(1e3 * wall_s / nodes, 3),
+        "merge_latency": _latency_stats(daemon.registry),
+    }
+    return entry
+
+
+def _parse_sizes(text: str) -> "tuple[tuple[int, int], ...]":
+    """``"8:1,64:2"`` → ((8, 1), (64, 2)); bare counts default shards."""
+    sizes = []
+    for part in text.split(","):
+        nodes, _, shards = part.partition(":")
+        sizes.append((int(nodes), int(shards) if shards else 1))
+    return tuple(sizes)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.bench",
+        description="Record the daemon's fleet-scaling curve "
+                    "(BENCH_PR9.json).",
+    )
+    parser.add_argument("--sizes", type=_parse_sizes, default=DEFAULT_SIZES,
+                        metavar="N:K,...",
+                        help="nodes:shards rungs "
+                             "(default 8:1,64:2,512:4,4096:8)")
+    parser.add_argument("--run-seconds", type=int, default=40,
+                        help="simulated seconds per run (default 40)")
+    parser.add_argument("--chunk-size", type=int, default=32)
+    parser.add_argument("--processes", action="store_true",
+                        help="host shards in worker processes")
+    parser.add_argument("--output", type=Path, default=Path(DEFAULT_OUTPUT))
+    args = parser.parse_args(argv)
+
+    model = train_model(ServeConfig())
+    curve = []
+    for nodes, shards in args.sizes:
+        entry = measure_serve(
+            model, nodes, shards, run_seconds=args.run_seconds,
+            chunk_size=args.chunk_size, processes=args.processes,
+        )
+        curve.append(entry)
+        lat = entry["merge_latency"]
+        print(f"{nodes:>5} nodes x {shards} shard(s): "
+              f"{entry['samples_per_s']:>9.0f} samples/s, "
+              f"{entry['per_node_ms']:>8.2f} ms/node, "
+              f"merge {lat['mean_ms']:.2f} ms mean / {lat['p95_ms']:.2f} ms p95")
+    payload = {
+        "schema": SCHEMA,
+        "protocol": {
+            "mode": "serve-scaling",
+            "timer": "single end-to-end daemon wall time (perf_counter)",
+            "hosts": "processes" if args.processes else "threads",
+        },
+        "serve_scaling": curve,
+    }
+    args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

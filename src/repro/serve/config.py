@@ -1,0 +1,153 @@
+"""Configuration and node/shard planning for the service daemon.
+
+:class:`ServeConfig` is a picklable value object: worker processes receive
+it (plus the trained model) as their entire world description and rebuild
+sensors, simulators, and bundles locally from seeds. The planning helpers
+pin the **shard-layout independence** rule: everything that seeds a node —
+its IPMI sensor, its workload simulator, its fault injector — derives from
+the node's *global index* alone, never from the shard it landed on, so
+re-sharding a fleet cannot change a single restored bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ValidationError
+
+#: Fault presets a node can be pinned to via ``fault_nodes`` (a subset of
+#: the chaos-scenario vocabulary that is meaningful for a daemon demo).
+FAULT_PRESETS = ("dead-feed", "flaky-reads", "dropout")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything a daemon run needs, shippable to worker processes.
+
+    Parameters
+    ----------
+    nodes / shards:
+        Fleet size and how many shard workers to split it across.
+    port / host:
+        HTTP scrape surface bind address (``port=0`` picks an ephemeral
+        port — tests use this).
+    chunk_size:
+        Streaming chunk size inside each shard's
+        :class:`~repro.monitor.fleet.FleetMonitor`.
+    runs:
+        Observation rounds per node; ``0`` means run until stopped
+        (SIGTERM / :meth:`~repro.serve.daemon.FleetDaemon.request_stop`).
+    run_seconds:
+        Simulated duration of each node's workload run.
+    workload:
+        Workload name from the catalog every node runs.
+    platform:
+        Platform spec name (``arm`` / ``x86``).
+    interval_s:
+        IM sampling interval of each node's IPMI sensor.
+    seed:
+        Base seed; node ``i`` uses ``seed + i`` for sensor and simulator.
+    online:
+        Observe with DynamicTRR (per-run fine-tune on a deep copy) rather
+        than StaticTRR.
+    processes:
+        Host each shard in its own worker process (the deployment shape);
+        ``False`` runs shards on threads in-process (tests, benchmarks).
+    ndjson:
+        Optional path: the merge sink persists every stream record there
+        (``JsonlSink``-compatible file).
+    gauges / label_shards:
+        Registry-merge knobs for ``/metrics``
+        (see :func:`repro.obs.merge_snapshots`): gauge collision policy,
+        and whether to tag every shard's samples with ``shard="sK"``
+        instead of folding collisions into fleet totals.
+    keep_results:
+        Collect every finished run's :class:`~repro.core.MonitorResult`
+        on the daemon (bit-identity tests); leave off for long-lived
+        daemons — it grows without bound.
+    fault_nodes:
+        ``{node_id: preset}`` fault injection (see :data:`FAULT_PRESETS`);
+        the named nodes' sensors are wrapped in a
+        :class:`~repro.faults.FaultySensor` seeded by global node index.
+    train_seconds / lstm_iters / srr_iters:
+        Sizing for the daemon-trained model when no model is injected.
+    """
+
+    nodes: int = 8
+    shards: int = 2
+    port: int = 0
+    host: str = "127.0.0.1"
+    chunk_size: int = 64
+    runs: int = 1
+    run_seconds: int = 60
+    workload: str = "hpcc_fft"
+    platform: str = "arm"
+    interval_s: int = 10
+    seed: int = 2023
+    online: bool = True
+    processes: bool = False
+    ndjson: "str | None" = None
+    gauges: str = "last"
+    label_shards: bool = False
+    keep_results: bool = False
+    fault_nodes: "dict[str, str]" = field(default_factory=dict)
+    train_seconds: int = 60
+    lstm_iters: int = 20
+    srr_iters: int = 100
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValidationError(f"nodes must be >= 1, got {self.nodes}")
+        if not 1 <= self.shards <= self.nodes:
+            raise ValidationError(
+                f"shards must lie in [1, nodes], got {self.shards} "
+                f"for {self.nodes} node(s)"
+            )
+        if self.runs < 0:
+            raise ValidationError(f"runs must be >= 0, got {self.runs}")
+        if self.chunk_size < 1:
+            raise ValidationError(
+                f"chunk_size must be >= 1, got {self.chunk_size}"
+            )
+        if self.run_seconds < 1:
+            raise ValidationError(
+                f"run_seconds must be >= 1, got {self.run_seconds}"
+            )
+        known = {node_id for node_id, _ in self.node_plan()}
+        for node_id, preset in self.fault_nodes.items():
+            if node_id not in known:
+                raise ValidationError(
+                    f"fault_nodes names unknown node {node_id!r} "
+                    f"(fleet has {self.nodes} node(s): node0..node{self.nodes - 1})"
+                )
+            if preset not in FAULT_PRESETS:
+                raise ValidationError(
+                    f"unknown fault preset {preset!r} for {node_id!r}; "
+                    f"expected one of {FAULT_PRESETS}"
+                )
+
+    # ---------------------------------------------------------- planning
+    def node_plan(self) -> "list[tuple[str, int]]":
+        """Every fleet node as ``(node_id, global_index)``."""
+        return [(f"node{i}", i) for i in range(self.nodes)]
+
+    def shard_layout(self) -> "list[list[int]]":
+        """Global node indices per shard (contiguous, near-even blocks).
+
+        Layout only decides *where* a node runs; all per-node seeds come
+        from the global index, so any layout yields identical outputs.
+        """
+        base, extra = divmod(self.nodes, self.shards)
+        layout, start = [], 0
+        for s in range(self.shards):
+            size = base + (1 if s < extra else 0)
+            layout.append(list(range(start, start + size)))
+            start += size
+        return layout
+
+    def shard_of(self, index: int) -> int:
+        """Which shard hosts global node ``index``."""
+        for s, members in enumerate(self.shard_layout()):
+            if index in members:
+                return s
+        raise ValidationError(f"node index {index} outside fleet of {self.nodes}")

@@ -1,0 +1,281 @@
+"""The fleet daemon: shard hosts, merge collector, HTTP surface, drain.
+
+:class:`FleetDaemon` turns a :class:`~repro.serve.config.ServeConfig` into
+a running service: it trains (or receives) one HighRPM model, hosts each
+shard's :class:`~repro.serve.shard.ShardRunner` on a worker process
+(``processes=True``, the deployment shape) or an in-process thread
+(tests/benchmarks), drains their event queue through a
+:class:`~repro.serve.merge.EventCollector`, and serves
+``/metrics`` / ``/healthz`` / ``/stream`` from the merged state
+(:mod:`repro.serve.http`).
+
+Shutdown is a *drain*, not a kill: ``request_stop()`` (the SIGTERM
+handler's job) sets a shared stop event; every shard finishes its
+in-flight round, pushes a final state, and reports ``done``; the collector
+then closes the ndjson file and end-of-streams every ``/stream`` client.
+``repro_serve_drain_seconds`` records how long that took.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+import time
+
+from ..core import HighRPM, HighRPMConfig
+from ..errors import ValidationError
+from ..hardware.node import NodeSimulator
+from ..hardware.platform import get_platform
+from ..monitor.resilience import HEALTHY, OUTAGE
+from ..obs import MetricsRegistry, merge_snapshots, render_prometheus
+from ..workloads.catalog import default_catalog
+from .config import ServeConfig
+from .http import ServeHTTPServer
+from .merge import EventCollector, StreamHub
+from .shard import run_worker
+
+#: Fixed training mix for daemon-trained models (compute-bound, memory-
+#: bound, and mixed workloads — the same spread ``repro monitor`` uses).
+TRAIN_BENCHMARKS = ("spec_gcc", "hpcc_hpl", "hpcc_stream")
+
+
+def train_model(config: ServeConfig) -> HighRPM:
+    """Train a daemon-sized HighRPM from the config's seeds and sizing."""
+    spec = get_platform(config.platform)
+    catalog = default_catalog(config.seed)
+    sim = NodeSimulator(spec, seed=config.seed)
+    train = [
+        sim.run(catalog.get(name), duration_s=config.train_seconds)
+        for name in TRAIN_BENCHMARKS
+    ]
+    model = HighRPM(
+        HighRPMConfig(
+            miss_interval=config.interval_s,
+            lstm_iters=config.lstm_iters,
+            srr_iters=config.srr_iters,
+            seed=config.seed,
+        ),
+        p_bottom=spec.min_node_power_w,
+        p_upper=spec.max_node_power_w,
+    )
+    model.fit_initial(train)
+    return model
+
+
+def _fork_context():
+    """Fork keeps worker startup cheap; fall back where it is missing."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return multiprocessing.get_context()
+
+
+class FleetDaemon:
+    """Sharded always-on monitoring service with an HTTP scrape surface.
+
+    Lifecycle::
+
+        daemon = FleetDaemon(config, model=trained)   # model optional
+        daemon.start()          # workers + collector + HTTP all running
+        ...                     # scrape daemon.address, tail /stream
+        daemon.request_stop()   # begin the drain (SIGTERM calls this)
+        daemon.stop()           # drain, join, shut the HTTP server down
+
+    With bounded ``config.runs``, :meth:`wait` returns once every shard
+    drained on its own — no stop request needed.
+    """
+
+    def __init__(self, config: ServeConfig, model: "HighRPM | None" = None) -> None:
+        self.config = config
+        self.model = model
+        self.registry = MetricsRegistry()
+        self.hub = StreamHub(self.registry)
+        self.collector = EventCollector(
+            self.registry, self.hub, config.shards,
+            ndjson=config.ndjson, keep_results=config.keep_results,
+        )
+        self._workers: list = []
+        self._collector_thread: "threading.Thread | None" = None
+        self._http: "ServeHTTPServer | None" = None
+        self._http_thread: "threading.Thread | None" = None
+        self._stop = None
+        self._stop_early = False
+        self._stop_requested_at: "float | None" = None
+        self._started = False
+
+    # ----------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Train if needed, launch shards, collector, and HTTP server."""
+        if self._started:
+            raise ValidationError("daemon already started")
+        self._started = True
+        config = self.config
+        if self.model is None:
+            self.model = train_model(config)
+        if config.processes:
+            ctx = _fork_context()
+            events = ctx.Queue()
+            self._stop = ctx.Event()
+            self._workers = [
+                ctx.Process(
+                    target=run_worker,
+                    args=(s, config, self.model, events, self._stop),
+                    daemon=True, name=f"repro-serve-shard{s}",
+                )
+                for s in range(config.shards)
+            ]
+        else:
+            events = queue.Queue()
+            self._stop = threading.Event()
+            self._workers = [
+                threading.Thread(
+                    target=run_worker,
+                    args=(s, config, self.model, events, self._stop),
+                    daemon=True, name=f"repro-serve-shard{s}",
+                )
+                for s in range(config.shards)
+            ]
+        if self._stop_early:
+            self._stop.set()
+        # Workers first (fork before daemon-side threads exist), then the
+        # collector that consumes them, then the scrape surface.
+        for worker in self._workers:
+            worker.start()
+        self._collector_thread = threading.Thread(
+            target=self.collector.run, args=(events,),
+            daemon=True, name="repro-serve-collector",
+        )
+        self._collector_thread.start()
+        self._http = ServeHTTPServer((config.host, config.port), self)
+        self._http_thread = threading.Thread(
+            target=self._http.serve_forever,
+            daemon=True, name="repro-serve-http",
+        )
+        self._http_thread.start()
+        self.registry.gauge(
+            "repro_serve_shards", "Shard workers launched."
+        ).set(float(config.shards))
+        self.registry.gauge(
+            "repro_serve_nodes", "Fleet nodes monitored."
+        ).set(float(config.nodes))
+
+    @property
+    def address(self) -> "tuple[str, int]":
+        """Bound (host, port) — resolves ``port=0`` to the real port."""
+        if self._http is None:
+            raise ValidationError("daemon not started")
+        return self._http.server_address[:2]
+
+    def request_stop(self) -> None:
+        """Begin the drain: shards finish their round, then exit.
+
+        Safe before :meth:`start` (e.g. SIGTERM while the model is still
+        training): the request is remembered and the shards drain after
+        zero rounds instead of the signal killing the process.
+        """
+        if self._stop is None:
+            self._stop_requested_at = time.monotonic()
+            self._stop_early = True
+            return
+        if not self._stop.is_set():
+            self._stop_requested_at = time.monotonic()
+            self._stop.set()
+
+    def wait(self, timeout: "float | None" = None) -> bool:
+        """Block until every shard drained; True when fully drained."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for worker in self._workers:
+            worker.join(
+                None if deadline is None
+                else max(deadline - time.monotonic(), 0.0)
+            )
+        if self._collector_thread is not None:
+            self._collector_thread.join(
+                None if deadline is None
+                else max(deadline - time.monotonic(), 0.0)
+            )
+            if not self._collector_thread.is_alive() \
+                    and self._stop_requested_at is not None:
+                self.registry.gauge(
+                    "repro_serve_drain_seconds",
+                    "Stop-request to fully-drained latency.",
+                ).set(time.monotonic() - self._stop_requested_at)
+        return not any(w.is_alive() for w in self._workers) and (
+            self._collector_thread is None
+            or not self._collector_thread.is_alive()
+        )
+
+    def stop(self, timeout: "float | None" = None) -> bool:
+        """Drain, join, and shut down the HTTP server."""
+        self.request_stop()
+        drained = self.wait(timeout)
+        if self._http is not None:
+            self._http.shutdown()
+            self._http.server_close()
+            if self._http_thread is not None:
+                self._http_thread.join(timeout=5.0)
+        return drained
+
+    # ------------------------------------------------------------- surface
+    @property
+    def results(self) -> "dict[str, list]":
+        """Collected per-node MonitorResults (``keep_results`` only)."""
+        return self.collector.results
+
+    def metrics_text(self) -> str:
+        """Merged Prometheus exposition across shards + the daemon."""
+        states = self.collector.shard_states
+        shard_ids = sorted(states)
+        snapshots = [states[s]["metrics"] for s in shard_ids]
+        labels = None
+        if self.config.label_shards:
+            labels = [{"shard": f"s{s}"} for s in shard_ids]
+        snapshots.append(self.registry.snapshot())
+        if labels is not None:
+            labels.append(None)  # daemon metrics carry no shard label
+        merged = merge_snapshots(
+            snapshots, gauges=self.config.gauges, labels=labels
+        )
+        return render_prometheus(merged)
+
+    def healthz(self) -> dict:
+        """Daemon + per-shard + per-node health as a JSON-safe dict.
+
+        ``status`` is ``failed`` when a shard raised, ``degraded`` when
+        any node left the healthy state, else ``ok``.
+        """
+        collector = self.collector
+        shards = {}
+        for s in range(self.config.shards):
+            state = collector.shard_states.get(s)
+            if s in collector.errors:
+                shard_state = "failed"
+            elif s in collector.done:
+                shard_state = "drained"
+            else:
+                shard_state = "running" if state is not None else "starting"
+            shards[f"s{s}"] = {
+                "state": shard_state,
+                "error": collector.errors.get(s),
+                "rounds": 0 if state is None else state["rounds"],
+                "nodes": {} if state is None else state["health"],
+            }
+        node_states = [
+            node["status"]
+            for shard in shards.values()
+            for node in shard["nodes"].values()
+        ]
+        if collector.errors:
+            status = "failed"
+        elif any(state != HEALTHY for state in node_states):
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "nodes": self.config.nodes,
+            "shards": shards,
+            "outage_nodes": sum(1 for s in node_states if s == OUTAGE),
+            "drained": len(collector.done) == self.config.shards,
+        }

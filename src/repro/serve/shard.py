@@ -1,0 +1,174 @@
+"""Shard workers: one FleetMonitor tick loop per shard, events out a queue.
+
+A shard hosts a contiguous block of the fleet (see
+:meth:`~repro.serve.config.ServeConfig.shard_layout`) behind its own
+:class:`~repro.monitor.PowerMonitorService` with an **explicit, private**
+:class:`~repro.obs.MetricsRegistry` — ambient registries do not cross
+process boundaries, and the daemon merges the per-shard snapshots for
+``/metrics`` (:mod:`repro.obs.merge`).
+
+:func:`run_worker` is the process/thread entry point. Everything it emits
+travels one way over the event queue as plain tuples::
+
+    ("chunk",   shard, t_emit, record)   # JsonlSink-shaped chunk record
+    ("end_run", shard, t_emit, record)   # run-boundary record
+    ("result",  shard, node_id, round, MonitorResult)   # keep_results only
+    ("state",   shard, t_emit, {"metrics": ..., "health": ..., ...})
+    ("error",   shard, "ExcType: message")
+    ("done",    shard, t_emit)           # always the shard's last event
+
+``t_emit`` is ``time.monotonic()`` — on Linux that is ``CLOCK_MONOTONIC``,
+comparable across processes, so the collector can price the merge-sink
+latency. The loop drains at *round* boundaries: a stop request lets every
+in-flight run finish, so downstream ndjson never ends mid-run.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..faults.inject import FaultySensor
+from ..faults.models import OutageWindow, RandomDropout
+from ..hardware.node import NodeSimulator
+from ..hardware.platform import get_platform
+from ..monitor import FleetMonitor, PowerMonitorService
+from ..obs import MetricsRegistry
+from ..sensors.ipmi import IPMISensor
+from ..stream import Sink, chunk_record, end_run_record
+from ..workloads.catalog import default_catalog
+from .config import ServeConfig
+
+
+class QueueSink(Sink):
+    """Stream every finished chunk / run boundary onto the event queue.
+
+    Records are the :func:`~repro.stream.chunk_record` wire shape — the
+    exact lines a :class:`~repro.stream.JsonlSink` would write — so the
+    daemon's ``/stream`` endpoint and ndjson file need no re-encoding.
+    """
+
+    def __init__(self, shard_id: int, events) -> None:
+        self.shard_id = shard_id
+        self.events = events
+
+    def write(self, chunk) -> None:
+        self.events.put(
+            ("chunk", self.shard_id, time.monotonic(), chunk_record(chunk))
+        )
+
+    def end_run(self, node_id: str, workload: str, mode: str) -> None:
+        self.events.put(
+            ("end_run", self.shard_id, time.monotonic(),
+             end_run_record(node_id, workload, mode))
+        )
+
+
+def _faulted_sensor(sensor, preset: str, index: int, config: ServeConfig):
+    """Wrap a node's sensor per its configured fault preset.
+
+    Seeded by global node index — same rule as every other per-node seed.
+    """
+    if preset == "dead-feed":
+        return FaultySensor(
+            sensor, faults=(OutageWindow(0, 10 * config.run_seconds),),
+            seed=config.seed + index,
+        )
+    if preset == "flaky-reads":
+        return FaultySensor(sensor, seed=config.seed + index, fail_first=2)
+    # "dropout" — ServeConfig validated membership already
+    return FaultySensor(
+        sensor, faults=(RandomDropout(0.3),), seed=config.seed + index
+    )
+
+
+class ShardRunner:
+    """One shard's service, fleet front-end, and tick loop."""
+
+    def __init__(self, shard_id: int, config: ServeConfig, model,
+                 events) -> None:
+        self.shard_id = shard_id
+        self.config = config
+        self.events = events
+        self.rounds = 0
+        spec = get_platform(config.platform)
+        self.registry = MetricsRegistry()
+        self.service = PowerMonitorService(
+            model, spec, registry=self.registry,
+            sinks=[QueueSink(shard_id, events)],
+        )
+        catalog = default_catalog(config.seed)
+        workload = catalog.get(config.workload)
+        self.bundles = {}
+        for index in config.shard_layout()[shard_id]:
+            node_id = f"node{index}"
+            sensor = IPMISensor(
+                spec, interval_s=config.interval_s, seed=config.seed + index
+            )
+            preset = config.fault_nodes.get(node_id)
+            if preset is not None:
+                sensor = _faulted_sensor(sensor, preset, index, config)
+            self.service.register_node(node_id, sensor=sensor)
+            self.bundles[node_id] = NodeSimulator(
+                spec, seed=config.seed + index
+            ).run(workload, duration_s=config.run_seconds)
+        self.fleet = FleetMonitor(self.service, chunk_size=config.chunk_size)
+
+    def push_state(self) -> None:
+        """Publish this shard's registry snapshot + per-node health."""
+        health = {
+            node_id: {
+                "status": h.status,
+                "runs": h.runs,
+                "degraded_runs": h.degraded_runs,
+                "outages": h.outages,
+                "last_error": h.last_error,
+            }
+            for node_id, h in (
+                (n, self.service.health(n)) for n in self.bundles
+            )
+        }
+        self.events.put(("state", self.shard_id, time.monotonic(), {
+            "metrics": self.registry.snapshot(),
+            "health": health,
+            "rounds": self.rounds,
+            "nodes": list(self.bundles),
+        }))
+
+    def run_round(self) -> None:
+        """Submit one run per node and tick the shard until drained."""
+        config = self.config
+        for node_id, bundle in self.bundles.items():
+            self.fleet.submit(node_id, bundle, online=config.online)
+        while self.fleet.active_nodes:
+            finished = self.fleet.tick()
+            if config.keep_results:
+                for node_id, result in finished.items():
+                    self.events.put(
+                        ("result", self.shard_id, node_id, self.rounds, result)
+                    )
+        self.rounds += 1
+
+    def loop(self, stop) -> None:
+        """Rounds until ``config.runs`` is reached or ``stop`` is set.
+
+        The stop check sits at the round boundary: an in-flight round
+        always drains completely (the SIGTERM contract).
+        """
+        self.push_state()  # /healthz answers before the first round lands
+        config = self.config
+        while not stop.is_set() and (
+            config.runs == 0 or self.rounds < config.runs
+        ):
+            self.run_round()
+            self.push_state()
+
+
+def run_worker(shard_id: int, config: ServeConfig, model, events,
+               stop) -> None:
+    """Process/thread entry: build the shard, loop, always emit ``done``."""
+    try:
+        ShardRunner(shard_id, config, model, events).loop(stop)
+    except Exception as exc:  # surfaced via /healthz, not a silent death
+        events.put(("error", shard_id, f"{type(exc).__name__}: {exc}"))
+    finally:
+        events.put(("done", shard_id, time.monotonic()))

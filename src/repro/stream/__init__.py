@@ -7,7 +7,7 @@ replayed logs) can reuse them.
 """
 
 from .chunks import PowerChunk, chunk_spans
-from .sinks import JsonlSink, Sink, iter_jsonl
+from .sinks import JsonlSink, Sink, chunk_record, end_run_record, iter_jsonl
 from .stages import RunContext, Stage, StreamPipeline
 
 __all__ = [
@@ -19,4 +19,6 @@ __all__ = [
     "Sink",
     "JsonlSink",
     "iter_jsonl",
+    "chunk_record",
+    "end_run_record",
 ]

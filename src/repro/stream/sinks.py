@@ -16,6 +16,41 @@ from pathlib import Path
 from .chunks import PowerChunk
 
 
+def chunk_record(chunk: PowerChunk) -> dict:
+    """The canonical JSON-safe record for one finished chunk.
+
+    This is the wire shape shared by :class:`JsonlSink` files and the
+    service daemon's ``/stream`` ndjson endpoint — float lists round-trip
+    ``float64`` bitwise through ``repr``-based JSON encoding.
+    """
+    return {
+        "event": "chunk",
+        "node_id": chunk.node_id,
+        "workload": chunk.workload,
+        "start": int(chunk.start),
+        "stop": int(chunk.stop),
+        "seq": int(chunk.seq),
+        "mode": chunk.mode,
+        "p_node": [] if chunk.p_node is None else chunk.p_node.tolist(),
+        "p_cpu": [] if chunk.p_cpu is None else chunk.p_cpu.tolist(),
+        "p_mem": [] if chunk.p_mem is None else chunk.p_mem.tolist(),
+        "provenance": (
+            [] if chunk.provenance is None
+            else chunk.provenance.astype(int).tolist()
+        ),
+    }
+
+
+def end_run_record(node_id: str, workload: str, mode: str) -> dict:
+    """The canonical run-boundary record (follows a run's last chunk)."""
+    return {
+        "event": "end_run",
+        "node_id": node_id,
+        "workload": workload,
+        "mode": mode,
+    }
+
+
 class Sink:
     """Receives fully-processed chunks from the pipeline's sink stage."""
 
@@ -64,30 +99,10 @@ class JsonlSink(Sink):
         fh.flush()
 
     def write(self, chunk: PowerChunk) -> None:
-        self._emit({
-            "event": "chunk",
-            "node_id": chunk.node_id,
-            "workload": chunk.workload,
-            "start": int(chunk.start),
-            "stop": int(chunk.stop),
-            "seq": int(chunk.seq),
-            "mode": chunk.mode,
-            "p_node": [] if chunk.p_node is None else chunk.p_node.tolist(),
-            "p_cpu": [] if chunk.p_cpu is None else chunk.p_cpu.tolist(),
-            "p_mem": [] if chunk.p_mem is None else chunk.p_mem.tolist(),
-            "provenance": (
-                [] if chunk.provenance is None
-                else chunk.provenance.astype(int).tolist()
-            ),
-        })
+        self._emit(chunk_record(chunk))
 
     def end_run(self, node_id: str, workload: str, mode: str) -> None:
-        self._emit({
-            "event": "end_run",
-            "node_id": node_id,
-            "workload": workload,
-            "mode": mode,
-        })
+        self._emit(end_run_record(node_id, workload, mode))
 
     def close(self) -> None:
         if self._fh is not None:

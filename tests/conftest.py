@@ -63,6 +63,20 @@ def chaos_reference():
     return reference_run(ChaosSettings.smoke())
 
 
+@pytest.fixture(scope="session")
+def serve_model():
+    """A daemon-sized trained HighRPM shared by the serve suites.
+
+    Uses :func:`repro.serve.daemon.train_model` with the default
+    :class:`~repro.serve.ServeConfig` sizing (seconds of training), so the
+    daemon tests exercise exactly the model the CLI would train. Tests
+    must only observe with it — never ``adapt``/``fit``.
+    """
+    from repro.serve import ServeConfig, train_model
+
+    return train_model(ServeConfig())
+
+
 @pytest.fixture()
 def rng():
     return np.random.default_rng(123)

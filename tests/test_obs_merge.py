@@ -1,0 +1,144 @@
+"""Registry-merge contract: many shard snapshots -> one exposition.
+
+The sharded service daemon serves ``/metrics`` by folding per-shard
+registry snapshots through :func:`repro.obs.merge_snapshots`; these tests
+pin the collision semantics that ``docs/observability.md`` documents.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs import (
+    MetricsRegistry,
+    merge_snapshots,
+    parse_prometheus,
+    render_prometheus,
+)
+from repro.obs.dump import main as dump_main
+
+
+def _shard_registry(shard: int, runs: int) -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("repro_monitor_runs_total", "Observed runs.",
+                ("node", "mode")).labels(
+        node=f"node{shard}", mode="static").inc(runs)
+    reg.counter("repro_stream_chunks_total", "Chunks per stage.",
+                ("stage",)).labels(stage="ingest").inc(10 * (shard + 1))
+    reg.gauge("repro_overhead_budget_fraction",
+              "Self-overhead share.").set(0.01 * (shard + 1))
+    reg.histogram("repro_monitor_readings_per_run", "Readings.",
+                  buckets=(1.0, 8.0)).observe(float(shard + 2))
+    return reg
+
+
+def test_disjoint_labels_pass_through():
+    merged = merge_snapshots([
+        _shard_registry(0, 3).snapshot(), _shard_registry(1, 5).snapshot(),
+    ])
+    samples = merged["repro_monitor_runs_total"]["samples"]
+    by_node = {s["labels"]["node"]: s["value"] for s in samples}
+    assert by_node == {"node0": 3.0, "node1": 5.0}
+
+
+def test_colliding_counters_sum():
+    merged = merge_snapshots([
+        _shard_registry(0, 3).snapshot(), _shard_registry(1, 5).snapshot(),
+    ])
+    (sample,) = merged["repro_stream_chunks_total"]["samples"]
+    assert sample["labels"] == {"stage": "ingest"}
+    assert sample["value"] == 30.0  # 10 + 20
+
+
+def test_colliding_histograms_sum_bucketwise():
+    merged = merge_snapshots([
+        _shard_registry(0, 1).snapshot(), _shard_registry(1, 1).snapshot(),
+    ])
+    (sample,) = merged["repro_monitor_readings_per_run"]["samples"]
+    # shard 0 observed 2.0 (<=8 bucket), shard 1 observed 3.0 (<=8 bucket)
+    assert sample["count"] == 2
+    assert sample["sum"] == 5.0
+    les = {le: n for le, n in sample["buckets"]}
+    assert les[8.0] == 2 and les[float("inf")] == 2
+
+
+@pytest.mark.parametrize("policy,expected", [
+    ("last", 0.02), ("sum", pytest.approx(0.03)), ("max", 0.02),
+])
+def test_gauge_collision_policies(policy, expected):
+    merged = merge_snapshots(
+        [_shard_registry(0, 1).snapshot(), _shard_registry(1, 1).snapshot()],
+        gauges=policy,
+    )
+    (sample,) = merged["repro_overhead_budget_fraction"]["samples"]
+    assert sample["value"] == expected
+
+
+def test_unknown_gauge_policy_rejected():
+    with pytest.raises(ValidationError):
+        merge_snapshots([_shard_registry(0, 1).snapshot()], gauges="mean")
+
+
+def test_type_collision_rejected():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("repro_thing_total").inc()
+    b.gauge("repro_thing_total").set(1.0)
+    with pytest.raises(ValidationError):
+        merge_snapshots([a.snapshot(), b.snapshot()])
+
+
+def test_label_name_collision_rejected():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("repro_thing_total", labels=("node",)).labels(node="x").inc()
+    b.counter("repro_thing_total").inc()
+    with pytest.raises(ValidationError):
+        merge_snapshots([a.snapshot(), b.snapshot()])
+
+
+def test_histogram_bucket_mismatch_rejected():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.histogram("repro_h", buckets=(1.0, 2.0)).observe(0.5)
+    b.histogram("repro_h", buckets=(1.0, 4.0)).observe(0.5)
+    with pytest.raises(ValidationError):
+        merge_snapshots([a.snapshot(), b.snapshot()])
+
+
+def test_per_source_labels_avoid_collisions():
+    merged = merge_snapshots(
+        [_shard_registry(0, 1).snapshot(), _shard_registry(1, 1).snapshot()],
+        labels=[{"shard": "s0"}, {"shard": "s1"}],
+    )
+    samples = merged["repro_stream_chunks_total"]["samples"]
+    by_shard = {s["labels"]["shard"]: s["value"] for s in samples}
+    assert by_shard == {"s0": 10.0, "s1": 20.0}
+    assert "shard" in merged["repro_stream_chunks_total"]["label_names"]
+
+
+def test_merged_snapshot_round_trips_through_exposition():
+    merged = merge_snapshots([
+        _shard_registry(0, 3).snapshot(), _shard_registry(1, 5).snapshot(),
+    ])
+    assert parse_prometheus(render_prometheus(merged)) == merged
+
+
+def test_dump_cli_merges_multiple_snapshots(tmp_path, capsys):
+    paths = []
+    for shard in range(2):
+        path = tmp_path / f"shard{shard}.json"
+        path.write_text(json.dumps(_shard_registry(shard, 2).snapshot()))
+        paths.append(str(path))
+    assert dump_main(paths) == 0
+    out = capsys.readouterr().out
+    families = parse_prometheus(out)
+    (sample,) = families["repro_stream_chunks_total"]["samples"]
+    assert sample["value"] == 30.0
+
+    assert dump_main(paths + ["--label-by-source"]) == 0
+    out = capsys.readouterr().out
+    families = parse_prometheus(out)
+    sources = {
+        s["labels"]["source"]
+        for s in families["repro_stream_chunks_total"]["samples"]
+    }
+    assert sources == {"shard0", "shard1"}

@@ -1,0 +1,226 @@
+"""HTTP surface of the fleet daemon: /metrics, /healthz, /stream, drain.
+
+One module-scoped daemon (threads, ephemeral port, one injected dead-feed
+node, bounded runs) serves most tests; the SIGTERM drain contract gets its
+own subprocess running the real ``python -m repro serve`` entry point.
+"""
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs import parse_prometheus
+from repro.serve import FleetDaemon, ServeConfig
+from repro.stream import iter_jsonl
+
+FAULT_NODE = "node3"
+
+
+@pytest.fixture(scope="module")
+def daemon(serve_model, tmp_path_factory):
+    """A drained 4-node / 2-shard daemon whose HTTP surface is still up."""
+    ndjson = tmp_path_factory.mktemp("serve") / "stream.jsonl"
+    config = ServeConfig(
+        nodes=4, shards=2, runs=1, run_seconds=40, chunk_size=16,
+        keep_results=True, port=0, ndjson=str(ndjson),
+        fault_nodes={FAULT_NODE: "dead-feed"},
+    )
+    d = FleetDaemon(config, model=serve_model)
+    d.start()
+    assert d.wait(timeout=180), "daemon failed to drain"
+    yield d
+    d.stop()
+
+
+def _get(daemon, path: str):
+    host, port = daemon.address
+    return urllib.request.urlopen(f"http://{host}:{port}{path}", timeout=30)
+
+
+def test_metrics_parses_and_merges_shard_registries(daemon):
+    with _get(daemon, "/metrics") as resp:
+        assert resp.status == 200
+        assert resp.headers["Content-Type"].startswith("text/plain")
+        families = parse_prometheus(resp.read().decode())
+    runs = {s["labels"]["node"]: s["value"]
+            for s in families["repro_monitor_runs_total"]["samples"]}
+    # every node reported one run, across both shard registries
+    assert set(runs) == {"node0", "node1", "node2", FAULT_NODE}
+    assert all(v == 1.0 for v in runs.values())
+    # colliding per-provenance counters summed into fleet totals
+    assert "repro_monitor_samples_total" in families
+    # the daemon's own registry rides along in the merge
+    assert "repro_serve_events_total" in families
+    assert "repro_serve_merge_latency_seconds" in families
+    kinds = {s["labels"]["kind"]
+             for s in families["repro_serve_events_total"]["samples"]}
+    assert {"chunk", "end_run", "state", "done"} <= kinds
+
+
+def test_healthz_reflects_injected_shard_fault(daemon):
+    with _get(daemon, "/healthz") as resp:
+        assert resp.status == 200
+        payload = json.load(resp)
+    assert payload["status"] == "degraded"
+    assert payload["drained"] is True
+    assert payload["outage_nodes"] == 1
+    shard = f"s{daemon.config.shard_of(3)}"
+    nodes = payload["shards"][shard]["nodes"]
+    assert nodes[FAULT_NODE]["status"] == "outage"
+    healthy = {
+        node_id: state
+        for info in payload["shards"].values()
+        for node_id, state in info["nodes"].items()
+        if node_id != FAULT_NODE
+    }
+    assert all(state["status"] == "healthy" for state in healthy.values())
+    assert all(info["state"] == "drained"
+               for info in payload["shards"].values())
+
+
+def test_stream_ndjson_round_trips_to_monitor_results(daemon):
+    """Replayed /stream lines reassemble bitwise to the MonitorResults."""
+    host, port = daemon.address
+    conn = http.client.HTTPConnection(host, port, timeout=60)
+    conn.request("GET", "/stream")
+    resp = conn.getresponse()
+    assert resp.status == 200
+    assert resp.getheader("Content-Type") == "application/x-ndjson"
+    records = [json.loads(line) for line in resp.read().splitlines()]
+    conn.close()
+    assert {r["event"] for r in records} == {"chunk", "end_run"}
+    for node_id, (result,) in daemon.results.items():
+        chunks = sorted(
+            (r for r in records
+             if r["event"] == "chunk" and r["node_id"] == node_id),
+            key=lambda r: r["seq"],
+        )
+        assert [r["start"] for r in chunks] == \
+            list(range(0, len(result), daemon.config.chunk_size))
+        for channel in ("p_node", "p_cpu", "p_mem"):
+            streamed = np.concatenate(
+                [np.asarray(r[channel], dtype=np.float64) for r in chunks]
+            )
+            np.testing.assert_array_equal(
+                streamed, getattr(result, channel), err_msg=f"{node_id} {channel}"
+            )
+        provenance = np.concatenate(
+            [np.asarray(r["provenance"]) for r in chunks]
+        )
+        np.testing.assert_array_equal(provenance, result.provenance)
+        assert chunks[-1]["mode"] == result.mode
+
+
+def test_ndjson_file_matches_the_stream_contract(daemon):
+    records = list(iter_jsonl(daemon.config.ndjson))
+    assert records, "merge sink wrote no ndjson"
+    last_by_node = {}
+    for record in records:
+        last_by_node[record["node_id"]] = record["event"]
+    # drained at a round boundary: every node's stream ends on end_run
+    assert set(last_by_node.values()) == {"end_run"}
+    assert len(last_by_node) == daemon.config.nodes
+
+
+def test_unknown_endpoint_is_404(daemon):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _get(daemon, "/nope")
+    assert excinfo.value.code == 404
+
+
+def test_label_shards_mode_splits_fleet_totals(daemon):
+    """label_shards turns the merged view per-shard instead of totals."""
+    from dataclasses import replace
+
+    relabelled = FleetDaemon.__new__(FleetDaemon)
+    relabelled.config = replace(daemon.config, label_shards=True)
+    relabelled.collector = daemon.collector
+    relabelled.registry = daemon.registry
+    families = parse_prometheus(relabelled.metrics_text())
+    shards = {s["labels"].get("shard")
+              for s in families["repro_monitor_samples_total"]["samples"]}
+    assert shards == {"s0", "s1"}
+
+
+# ------------------------------------------------------------- config plan
+def test_shard_layout_partitions_the_fleet():
+    config = ServeConfig(nodes=11, shards=3)
+    layout = config.shard_layout()
+    assert [len(block) for block in layout] == [4, 4, 3]
+    flat = [i for block in layout for i in block]
+    assert flat == list(range(11))
+    for index in range(11):
+        assert index in layout[config.shard_of(index)]
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"nodes": 0},
+    {"nodes": 2, "shards": 3},
+    {"runs": -1},
+    {"chunk_size": 0},
+    {"fault_nodes": {"node99": "dead-feed"}},
+    {"fault_nodes": {"node0": "explode"}},
+])
+def test_config_validation(kwargs):
+    with pytest.raises(ValidationError):
+        ServeConfig(**kwargs)
+
+
+def test_serve_cli_parser_wires_the_subcommand():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args([
+        "serve", "--nodes", "16", "--shards", "4", "--port", "0",
+        "--runs", "1", "--fault", "node2=dropout", "--processes",
+    ])
+    assert args.func.__name__ == "cmd_serve"
+    assert (args.nodes, args.shards, args.processes) == (16, 4, True)
+    assert args.fault == ["node2=dropout"]
+
+
+# ---------------------------------------------------------------- SIGTERM
+def test_sigterm_drains_without_truncating_ndjson(tmp_path):
+    """SIGTERM on a runs=0 daemon finishes the in-flight round: every
+    ndjson line parses and every node's stream ends on a run boundary."""
+    ndjson = tmp_path / "drain.jsonl"
+    env = dict(os.environ, PYTHONPATH="src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--nodes", "2",
+         "--shards", "2", "--runs", "0", "--seconds", "30",
+         "--chunk-size", "8", "--port", "0", "--ndjson", str(ndjson)],
+        cwd=Path(__file__).resolve().parent.parent,
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if ndjson.exists() and "end_run" in ndjson.read_text():
+                break
+            time.sleep(0.2)
+        else:
+            pytest.fail("daemon produced no complete run before timeout")
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=120)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    assert proc.returncode == 0, out
+    assert "drained: status=ok" in out
+    records = list(iter_jsonl(ndjson))  # json.loads raises on truncation
+    last_by_node = {}
+    for record in records:
+        last_by_node[record["node_id"]] = record["event"]
+    assert set(last_by_node.values()) == {"end_run"}

@@ -195,6 +195,54 @@ def test_monitor_stream_pieces_tile_and_match(chaos_reference, chunk_size):
         )
 
 
+@pytest.mark.parametrize("shards,processes", [(1, False), (3, False), (2, True)],
+                         ids=["one-shard", "three-shards", "two-procs"])
+def test_sharded_daemon_equals_single_process_fleet(
+    serve_model, shards, processes
+):
+    """The daemon's sharded outputs are bitwise-equal to one FleetMonitor.
+
+    Sharding is a layout, not a semantic: node seeds derive from global
+    indices and observation never mutates the shared model, so any shard
+    count — threads or worker processes — yields the same bits as a
+    single-process fleet over the same nodes.
+    """
+    from repro.hardware import NodeSimulator, get_platform
+    from repro.obs import MetricsRegistry
+    from repro.serve import FleetDaemon, ServeConfig
+    from repro.workloads import default_catalog
+
+    config = ServeConfig(nodes=5, shards=shards, processes=processes,
+                         runs=1, run_seconds=40, chunk_size=16,
+                         keep_results=True, port=0)
+    daemon = FleetDaemon(config, model=serve_model)
+    daemon.start()
+    assert daemon.wait(timeout=180)
+    daemon.stop()
+
+    spec = get_platform(config.platform)
+    workload = default_catalog(config.seed).get(config.workload)
+    reference = PowerMonitorService(serve_model, spec,
+                                    registry=MetricsRegistry())
+    bundles = {}
+    for i in range(config.nodes):
+        node_id = f"node{i}"
+        reference.register_node(node_id, sensor=IPMISensor(
+            spec, interval_s=config.interval_s, seed=config.seed + i
+        ))
+        bundles[node_id] = NodeSimulator(spec, seed=config.seed + i).run(
+            workload, duration_s=config.run_seconds
+        )
+    expected = FleetMonitor(
+        reference, chunk_size=config.chunk_size
+    ).observe_all(bundles)
+
+    assert sorted(daemon.results) == sorted(expected)
+    for node_id, want in expected.items():
+        (got,) = daemon.results[node_id]
+        _assert_identical(want, got)
+
+
 def test_jsonl_sink_mirrors_the_memory_log(chaos_reference, tmp_path):
     reference, bundle = chaos_reference
     path = tmp_path / "chunks.jsonl"
