@@ -16,11 +16,17 @@ if any stage recorded in *both* regressed by more than the threshold:
   repro.serve.bench`, committed as `BENCH_PR9.json`) compare
   `samples_per_s` per matching rung — matched on the full rung protocol
   (nodes, shards, run seconds, chunk size, hosts, mode), unmatched rungs
-  pass through.
+  pass through. A payload may carry both the thread- and process-hosted
+  ladder (`--hosts both`); rungs differ in their `processes` flag and
+  are matched independently. Rungs annotated with `merge_latency_before`
+  (recorded via `--before OLD.json`) print their merge-latency
+  before/after alongside the throughput gate.
 
 `--require-scaling 8,64,512,4096` additionally fails unless the *current*
 payload carries a `serve_scaling` rung (with positive throughput) for
 every listed node count — the CI shape-check for the committed curve.
+When a node count has both a thread- and a process-hosted rung, the
+process one (the deployment shape) is the one checked and reported.
 
 Usage:
     python scripts/check_bench.py CURRENT.json [--baseline BENCH_PR2.json]
@@ -67,14 +73,21 @@ def compare_scaling(current: dict, baseline: dict,
     }
     for entry in current.get("serve_scaling", []):
         base = base_rungs.get(_rung_key(entry))
-        label = f"serve {entry.get('nodes')}x{entry.get('shards')}"
+        host = "processes" if entry.get("processes") else "threads"
+        label = f"serve {entry.get('nodes')}x{entry.get('shards')} [{host}]"
+        before = entry.get("merge_latency_before")
+        after = entry.get("merge_latency")
+        if before and after:
+            print(f"{label:<28} merge latency "
+                  f"{before.get('mean_ms', 0):.2f} -> "
+                  f"{after.get('mean_ms', 0):.2f} ms mean")
         cur_tp = entry.get("samples_per_s")
         if not base or not cur_tp or not base.get("samples_per_s"):
             continue
         base_tp = base["samples_per_s"]
         ratio = cur_tp / base_tp
         verdict = "REGRESSED" if ratio < 1.0 - max_regression else "ok"
-        print(f"{label:<20} {base_tp:>10.0f} -> {cur_tp:>10.0f} samples/s "
+        print(f"{label:<28} {base_tp:>10.0f} -> {cur_tp:>10.0f} samples/s "
               f"({ratio:.2f}x baseline) {verdict}")
         if verdict == "REGRESSED":
             failures.append(
@@ -89,7 +102,11 @@ def check_required_rungs(current: dict, required: "list[int]") -> list[str]:
     failures: list[str] = []
     by_nodes: dict[int, dict] = {}
     for entry in current.get("serve_scaling", []):
-        by_nodes.setdefault(entry.get("nodes"), entry)
+        nodes = entry.get("nodes")
+        # Prefer the process-hosted rung — the deployment shape — when a
+        # node count was recorded under both hosting modes.
+        if nodes not in by_nodes or entry.get("processes"):
+            by_nodes[nodes] = entry
     for nodes in required:
         entry = by_nodes.get(nodes)
         if entry is None:

@@ -18,6 +18,7 @@ import time
 from repro.eval import ablations as ab
 from repro.eval import experiments as ex
 from repro.eval import figures as fg
+from repro.eval import frontier as fr
 from repro.eval import limitations as lim
 from repro.eval.harness import EvalSettings
 
@@ -34,6 +35,7 @@ PAPER_NOTES = {
     "fig9": "Higher frequency, lower accuracy; worst case 10 % CPU / 14 % MEM, still below other methods.",
     "overhead": "Offline training < 10 min; fine-tune < 2 s; prediction < 1 ms.",
     "limitations": "Ragged miss_intervals degrade DynamicTRR (windows may lack a measured P_node).",
+    "frontier": "Extension of the §6.3 overhead story: HighRPM prices monitoring at a fixed sampling rate; the governor makes it adaptive (§6.4.4 generalisation, heterogeneous CPU+GPU fleet).",
 }
 
 HEADER = """# EXPERIMENTS — paper vs. measured
@@ -87,6 +89,8 @@ def build_markdown(full: bool = False) -> str:
         ("overhead", "§6.4.5 — overhead", fg.overhead),
         ("limitations", "§6.4.6 — ragged intervals (failure injection)",
          lim.jitter_robustness),
+        ("frontier", "Accuracy-vs-overhead frontier (adaptive sampling)",
+         fr.frontier_experiment),
     ]
     ablation_sections = [
         ("ResModel learner choice", ab.ablation_resmodel),

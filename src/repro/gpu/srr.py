@@ -12,6 +12,7 @@ import numpy as np
 from ..core.config import HighRPMConfig
 from ..errors import NotFittedError
 from ..ml.neural import MLPRegressor
+from ..obs import current_tracer
 from ..utils.validation import check_1d, check_2d, check_consistent_length
 
 
@@ -62,11 +63,53 @@ class GPUSRR:
         pmcs = check_2d(pmcs, "pmcs")
         p_node = check_1d(p_node, "p_node")
         check_consistent_length(pmcs, p_node, names=("pmcs", "p_node"))
-        X = np.column_stack([p_node, pmcs])
-        shares = self._softmax(self.model_.predict(X))
-        budget = np.maximum(p_node - self.other_w_, 0.0)
-        return (
-            shares[:, 0] * budget,
-            shares[:, 1] * budget,
-            shares[:, 2] * budget,
-        )
+        with current_tracer().span("srr.split"):
+            X = np.column_stack([p_node, pmcs])
+            shares = self._softmax(self.model_.predict(X))
+            budget = np.maximum(p_node - self.other_w_, 0.0)
+            return (
+                shares[:, 0] * budget,
+                shares[:, 1] * budget,
+                shares[:, 2] * budget,
+            )
+
+    def predict_batched(
+        self, parts: "list[tuple[np.ndarray, np.ndarray]]"
+    ) -> "list[tuple[np.ndarray, np.ndarray, np.ndarray]]":
+        """(P_CPU, P_MEM, P_GPU) for many runs' chunks in one forward pass.
+
+        ``parts`` holds ``(pmcs, p_node)`` pairs, one per pending chunk of
+        an accelerated node. Mirrors :meth:`repro.core.srr.SRR.predict_batched`:
+        one concatenated MLP forward, per-part outputs bit-identical to
+        :meth:`predict` because the compiled forward and the row-wise
+        softmax are batch-size independent.
+        """
+        if self.model_ is None:
+            raise NotFittedError("GPUSRR.predict before fit")
+        checked = []
+        for pmcs, p_node in parts:
+            pmcs = check_2d(pmcs, "pmcs")
+            p_node = check_1d(p_node, "p_node")
+            check_consistent_length(pmcs, p_node, names=("pmcs", "p_node"))
+            checked.append((pmcs, p_node))
+        if not checked:
+            return []
+        sizes = [pmcs.shape[0] for pmcs, _ in checked]
+        bounds = np.cumsum(sizes)[:-1]
+        with current_tracer().span("srr.split"):
+            X = np.empty((int(sum(sizes)), checked[0][0].shape[1] + 1))
+            ofs = 0
+            for (pmcs, p_node), k in zip(checked, sizes):
+                X[ofs:ofs + k, 0] = p_node
+                X[ofs:ofs + k, 1:] = pmcs
+                ofs += k
+            shares = np.split(self._softmax(self.model_.predict(X)), bounds)
+            out = []
+            for (_, p_node), share in zip(checked, shares):
+                budget = np.maximum(p_node - self.other_w_, 0.0)
+                out.append((
+                    share[:, 0] * budget,
+                    share[:, 1] * budget,
+                    share[:, 2] * budget,
+                ))
+            return out

@@ -13,9 +13,28 @@ from .capping import CappingPolicy, PowerCapController, run_capped
 from .energy import EnergyAccount, energy_of, peak_of
 from .fleet import FleetMonitor
 from .pipeline import ObservationContext, build_pipeline
+from .profile import (
+    DEFAULT_DEVICE_CLASS,
+    AttributionHead,
+    DeviceClass,
+    GPUSRRHead,
+    NodeProfile,
+    SRRHead,
+)
 from .report import RunSummary, render_node_report, summarise_runs
 from .resilience import DEGRADED, HEALTHY, OUTAGE, NodeHealth, ResiliencePolicy
-from .scheduler import EnergyAwareScheduler, Job, ScheduleOutcome
+from .scheduler import (
+    EnergyAwareScheduler,
+    GovernorPolicy,
+    Job,
+    SamplingDecision,
+    SamplingGovernor,
+    ScheduleOutcome,
+    decide_offset,
+    decide_stride,
+    node_phase,
+    thin_readings,
+)
 from .service import MonitorLog, PowerMonitorService
 from .sinks import MemoryLogSink
 
@@ -46,6 +65,19 @@ __all__ = [
     "EnergyAwareScheduler",
     "Job",
     "ScheduleOutcome",
+    "DEFAULT_DEVICE_CLASS",
+    "AttributionHead",
+    "DeviceClass",
+    "GPUSRRHead",
+    "NodeProfile",
+    "SRRHead",
+    "GovernorPolicy",
+    "SamplingDecision",
+    "SamplingGovernor",
+    "decide_offset",
+    "decide_stride",
+    "node_phase",
+    "thin_readings",
     "RunSummary",
     "render_node_report",
     "summarise_runs",

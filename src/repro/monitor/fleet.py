@@ -7,15 +7,18 @@ forward — once *per node per chunk*. :class:`FleetMonitor` interleaves the
 registered nodes' runs chunk by chunk and, per tick, batches the
 cross-node predict calls through the compiled flat-array layer:
 
-* static runs' per-run ResModel trees are fused into one
-  :class:`~repro.perf.TreeStack` frontier descent over every node's
-  pending chunk;
-* the shared SRR MLP attributes every node's restored chunk in one
-  concatenated forward pass.
+* static runs' per-run ResModel trees are fused into
+  :class:`~repro.perf.TreeStack` frontier descents over every node's
+  pending chunk — one stack per PMC width, so CPU trees (10 counter
+  columns) and GPU trees (16) each batch among themselves;
+* each device class's attribution head maps every member node's restored
+  chunk in one concatenated forward pass (two-way SRR for CPU classes,
+  three-way GPUSRR for accelerated ones).
 
 Both batched paths are bit-identical per node to the sequential
 ``observe_run`` pipeline (the compiled predictors are batch-size
-independent), so fleet results equal single-node results exactly.
+independent), so fleet results equal single-node results exactly —
+including on heterogeneous fleets.
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ from ..obs import use_registry, use_tracer
 from ..perf.batch import TreeStack, single_tree_of
 from ..types import TraceBundle
 from .pipeline import ObservationContext, input_chunks
+from .profile import apply_attribution
 
 
 class _FleetRun:
@@ -62,12 +66,13 @@ class FleetMonitor:
         names = [s.name for s in service._pipeline.stages]
         self._restore_i = names.index("restore")
         self._attribute_i = names.index("attribute")
-        #: (member trees, stack) from the previous tick — the per-run trees
-        #: are fixed for a run's whole lifetime, so consecutive ticks reuse
-        #: one concatenated slot pool instead of rebuilding it. Keyed by
-        #: identity (CompiledTree has no __eq__); holding the refs also
-        #: pins the objects, so identity cannot be recycled.
-        self._stack_cache: "tuple[tuple, TreeStack] | None" = None
+        #: per-PMC-width (member trees, stack) from the previous tick — the
+        #: per-run trees are fixed for a run's whole lifetime, so
+        #: consecutive ticks reuse one concatenated slot pool per width
+        #: instead of rebuilding it. Keyed by identity (CompiledTree has no
+        #: __eq__); holding the refs also pins the objects, so identity
+        #: cannot be recycled.
+        self._stack_cache: "dict[int, tuple[tuple, TreeStack]]" = {}
 
     @property
     def active_nodes(self) -> tuple:
@@ -153,44 +158,60 @@ class FleetMonitor:
         return samples
 
     def _batch_residuals(self, pending) -> None:
-        """Pre-fill static chunks' ResModel outputs with one TreeStack
-        descent across nodes (the restore stage then skips its own call)."""
-        static = [
-            (run, chunk) for run, chunk in pending
-            if run.ctx.mode == "static" and chunk.residual_hat is None
-        ]
-        trees = [
-            single_tree_of(run.ctx.restorer._trr.res_model_)
-            for run, _ in static
-        ]
-        batchable = [
-            (run, chunk, tree)
-            for (run, chunk), tree in zip(static, trees) if tree is not None
-        ]
-        if len(batchable) < 2:
-            return  # nothing to amortize; per-chunk predict is identical
-        members = tuple(tree for _, _, tree in batchable)
-        cached = self._stack_cache
-        if cached is not None and cached[0] == members:
-            stack = cached[1]
-        else:
-            stack = TreeStack(list(members))
-            self._stack_cache = (members, stack)
-        parts = stack.predict([chunk.pmcs for _, chunk, _ in batchable])
-        for (_, chunk, _), residual_hat in zip(batchable, parts):
-            chunk.residual_hat = residual_hat
+        """Pre-fill static chunks' ResModel outputs with TreeStack descents
+        across nodes (the restore stage then skips its own call).
+
+        A :class:`~repro.perf.TreeStack` concatenates its members' feature
+        slots, so only trees over the same PMC width can fuse — chunks are
+        grouped by ``pmcs.shape[1]`` and each width gets its own stack
+        (CPU hosts batch with CPU hosts, GPU nodes with GPU nodes)."""
+        groups: "dict[int, list]" = {}
+        for run, chunk in pending:
+            if run.ctx.mode != "static" or chunk.residual_hat is not None:
+                continue
+            tree = single_tree_of(run.ctx.restorer._trr.res_model_)
+            if tree is None:
+                continue
+            groups.setdefault(chunk.pmcs.shape[1], []).append(
+                (run, chunk, tree)
+            )
+        for width, batchable in groups.items():
+            if len(batchable) < 2:
+                continue  # nothing to amortize; per-chunk predict is identical
+            members = tuple(tree for _, _, tree in batchable)
+            cached = self._stack_cache.get(width)
+            if cached is not None and cached[0] == members:
+                stack = cached[1]
+            else:
+                stack = TreeStack(list(members))
+                self._stack_cache[width] = (members, stack)
+            parts = stack.predict([chunk.pmcs for _, chunk, _ in batchable])
+            for (_, chunk, _), residual_hat in zip(batchable, parts):
+                chunk.residual_hat = residual_hat
 
     def _batch_attribution(self, restored) -> None:
-        """Pre-fill (P_CPU, P_MEM) with one SRR forward for the tick."""
-        todo = [(run, c) for run, c in restored if c.p_cpu is None]
-        if len(todo) < 2:
-            return
-        with self.service.tracer.span("monitor.attribute"):
-            splits = self.service.model.srr.predict_batched(
-                [(c.pmcs, c.p_node) for _, c in todo]
-            )
-        for (_, c), (p_cpu, p_mem) in zip(todo, splits):
-            c.p_cpu, c.p_mem = p_cpu, p_mem
+        """Pre-fill component splits with one forward per attribution head.
+
+        Chunks are grouped by their run's head (i.e. by device class) and
+        each head maps its group in a single ``predict_batched`` call —
+        two-way heads fill (P_CPU, P_MEM), three-way heads also P_GPU."""
+        groups: "dict[int, list]" = {}
+        heads: "dict[int, object]" = {}
+        for run, c in restored:
+            if c.p_cpu is not None:
+                continue
+            key = id(run.ctx.head)
+            heads[key] = run.ctx.head
+            groups.setdefault(key, []).append((run, c))
+        for key, todo in groups.items():
+            if len(todo) < 2:
+                continue
+            with self.service.tracer.span("monitor.attribute"):
+                splits = heads[key].predict_batched(
+                    [(c.pmcs, c.p_node) for _, c in todo]
+                )
+            for (_, c), parts in zip(todo, splits):
+                apply_attribution(c, parts)
 
     def observe_all(
         self, runs, online: bool = True

@@ -22,7 +22,9 @@ from ..core.highrpm import PROV_MODEL_ONLY, provenance_from_readings
 from ..errors import SensorError, ValidationError
 from ..sensors.base import SparseReadings
 from ..stream import PowerChunk, RunContext, Stage, StreamPipeline, chunk_spans
+from .profile import apply_attribution
 from .resilience import gate_readings, sample_with_retry
+from .scheduler import thin_readings
 
 
 class ObservationContext(RunContext):
@@ -38,6 +40,12 @@ class ObservationContext(RunContext):
         self.sensor = service._nodes[node_id]
         self.health = service._health[node_id]
         self.policy = service.policy
+        #: the node's device class resolves which restoration model,
+        #: attribution head, and plausibility clamps serve this run.
+        self.device_class = service.device_class_of(node_id)
+        self.model = self.device_class.model
+        self.head = self.device_class.head
+        self.clamps = self.device_class.clamps
         #: compensation registered for this node (None = uncalibrated);
         #: consumed by CalibrateStage.open_run before the gate sees the feed.
         self.transform = service.calibration_for(node_id)
@@ -98,6 +106,7 @@ class IngestStage(Stage):
             ctx.readings = sample_with_retry(
                 ctx.sensor, ctx.bundle, ctx.policy, ctx.health
             )
+            self._thin(ctx)
         except SensorError as exc:
             # Outage (possibly injected): retries exhausted or every
             # reading dropped at the source.
@@ -117,6 +126,29 @@ class IngestStage(Stage):
                 ),
                 cause=exc,
             )
+
+    @staticmethod
+    def _thin(ctx: ObservationContext) -> None:
+        """Apply the sampling governor's stride to the sampled feed.
+
+        Thinning happens at the source — before calibration and gating —
+        so every downstream stage sees exactly the feed a sparser sensor
+        would have produced. The stride is clamped inside
+        :func:`~repro.monitor.scheduler.thin_readings` so the gate's
+        minimum-readings floor always survives.
+        """
+        stride = ctx.service.sampling_stride(ctx.node_id)
+        if stride <= 1 or ctx.readings is None:
+            return
+        ctx.readings, dropped = thin_readings(
+            ctx.readings, stride, ctx.policy.min_readings(ctx.online),
+            offset=ctx.service.sampling_offset(ctx.node_id),
+        )
+        if dropped:
+            ctx.service.registry.counter(
+                "repro_sched_thinned_readings_total",
+                "IM readings skipped by the sampling governor.", ("node",),
+            ).labels(node=ctx.node_id).inc(dropped)
 
     def process(self, ctx: ObservationContext, chunk: PowerChunk) -> PowerChunk:
         chunk.pmcs = ctx.bundle.pmcs.matrix[chunk.start:chunk.stop]
@@ -185,7 +217,7 @@ class GateStage(Stage):
             return  # the feed already failed upstream
         gated = 0
         if ctx.policy.gate_readings:
-            lo, hi = ctx.service._clamps()
+            lo, hi = ctx.clamps
             ctx.readings, gated = gate_readings(
                 ctx.readings, lo, hi, ctx.policy.gate_margin_fraction
             )
@@ -224,7 +256,7 @@ class RestoreStage(Stage):
     span = "monitor.restore"
 
     def open_run(self, ctx: ObservationContext) -> None:
-        model = ctx.service.model
+        model = ctx.model
         if ctx.mode == "static":
             pmcs = ctx.bundle.pmcs.matrix
             ctx.restorer = model.offline_stream(
@@ -239,7 +271,7 @@ class RestoreStage(Stage):
         if ctx.mode != "model_only":
             ctx.provenance_full = provenance_from_readings(
                 ctx.n_samples, ctx.readings,
-                outage_factor=ctx.service.model.config.resync_gap_factor,
+                outage_factor=ctx.model.config.resync_gap_factor,
             )
 
     def process(self, ctx: ObservationContext, chunk: PowerChunk):
@@ -277,15 +309,21 @@ class RestoreStage(Stage):
 
 
 class AttributeStage(Stage):
-    """Distribute restored node power to (CPU, memory) with SRR."""
+    """Distribute restored node power via the node's attribution head.
+
+    CPU-only classes split two ways (SRR); accelerated classes split
+    three ways (GPUSRR), filling ``chunk.p_gpu`` as well. The head is
+    resolved per run from the node's device class, so one pipeline serves
+    a heterogeneous fleet.
+    """
 
     name = "attribute"
     span = "monitor.attribute"
 
     def process(self, ctx: ObservationContext, chunk: PowerChunk) -> PowerChunk:
         if chunk.p_cpu is None:  # the fleet front-end pre-fills in batches
-            chunk.p_cpu, chunk.p_mem = ctx.service.model.srr.predict(
-                chunk.pmcs, chunk.p_node
+            apply_attribution(
+                chunk, ctx.head.predict(chunk.pmcs, chunk.p_node)
             )
         return chunk
 

@@ -1,0 +1,150 @@
+"""Node profiles and device classes: heterogeneous fleets, one service.
+
+The paper's §6.4.4 argues the HighRPM methodology generalises to any
+counter-bearing peripheral. This module is the monitor-side half of that
+claim: a fleet is a collection of :class:`NodeProfile`\\ s, each naming a
+**device class** — a (restoration model, attribution head, power clamps)
+triple registered once on the :class:`~repro.monitor.PowerMonitorService`.
+CPU-only nodes use the classic two-way :class:`~repro.core.srr.SRR` head;
+accelerated nodes use the three-way :class:`~repro.gpu.GPUSRR` head over
+a HighRPM trained on the 16-column (host + GPU) counter matrix.
+
+Heads are *dispatchable*: the pipeline's attribute stage calls whichever
+head the node's class names, and the fleet front-end batches chunks **per
+head** through ``predict_batched`` — per-node outputs stay bit-identical
+to the sequential path because every compiled forward is batch-size
+independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.highrpm import HighRPM
+from ..core.srr import SRR
+from ..errors import ValidationError
+from ..gpu.srr import GPUSRR
+
+#: The implicit device class of every node registered without a profile —
+#: the service's constructor model/spec pair.
+DEFAULT_DEVICE_CLASS = "cpu"
+
+
+@dataclass(frozen=True)
+class NodeProfile:
+    """Per-node registration facts: class membership, seeding, sampling.
+
+    Parameters
+    ----------
+    device_class:
+        Name of a class previously registered via
+        :meth:`~repro.monitor.PowerMonitorService.register_device_class`
+        (the constructor registers :data:`DEFAULT_DEVICE_CLASS`).
+    seed:
+        Seed for the node's default IM sensor when none is injected.
+    interval_s:
+        IM sampling interval override for the default sensor (None keeps
+        the platform's nominal BMC interval).
+    """
+
+    device_class: str = DEFAULT_DEVICE_CLASS
+    seed: int = 0
+    interval_s: "int | None" = None
+
+
+class AttributionHead:
+    """Distributes restored node power over a class's components.
+
+    Concrete heads wrap a fitted spatial-restoration model and expose a
+    uniform surface: ``components`` names the output channels in order,
+    ``predict`` maps one chunk, ``predict_batched`` maps many chunks in a
+    single forward pass with per-chunk outputs bit-identical to
+    ``predict`` (the fleet front-end's batching contract).
+    """
+
+    components: "tuple[str, ...]" = ()
+
+    @property
+    def mlp(self):
+        """The underlying fitted MLP (precompiled by the service)."""
+        raise NotImplementedError
+
+    def predict(self, pmcs, p_node) -> "tuple[np.ndarray, ...]":
+        raise NotImplementedError
+
+    def predict_batched(self, parts) -> "list[tuple[np.ndarray, ...]]":
+        raise NotImplementedError
+
+
+class SRRHead(AttributionHead):
+    """The classic two-way (CPU, DRAM) budget split."""
+
+    components = ("cpu", "mem")
+
+    def __init__(self, srr: SRR) -> None:
+        self.srr = srr
+
+    @property
+    def mlp(self):
+        return self.srr.model_
+
+    def predict(self, pmcs, p_node):
+        return self.srr.predict(pmcs, p_node)
+
+    def predict_batched(self, parts):
+        return self.srr.predict_batched(parts)
+
+
+class GPUSRRHead(AttributionHead):
+    """Three-way (CPU, DRAM, GPU) softmax-share split for accelerated nodes."""
+
+    components = ("cpu", "mem", "gpu")
+
+    def __init__(self, srr: GPUSRR) -> None:
+        self.srr = srr
+
+    @property
+    def mlp(self):
+        return self.srr.model_
+
+    def predict(self, pmcs, p_node):
+        return self.srr.predict(pmcs, p_node)
+
+    def predict_batched(self, parts):
+        return self.srr.predict_batched(parts)
+
+
+def apply_attribution(chunk, parts: "tuple[np.ndarray, ...]") -> None:
+    """Write one head output tuple onto a chunk's component channels."""
+    chunk.p_cpu = parts[0]
+    chunk.p_mem = parts[1]
+    chunk.p_gpu = parts[2] if len(parts) > 2 else None
+
+
+@dataclass(frozen=True)
+class DeviceClass:
+    """One registered device class: model, head, and physical power range.
+
+    ``p_bottom`` / ``p_upper`` are the class's plausibility clamps — the
+    gate stage drops IM readings outside them, and the cluster budget uses
+    them as each member node's floor and ceiling.
+    """
+
+    name: str
+    model: HighRPM
+    head: AttributionHead
+    p_bottom: float
+    p_upper: float
+
+    def __post_init__(self) -> None:
+        if not self.p_upper > self.p_bottom:
+            raise ValidationError(
+                f"device class {self.name!r}: p_upper ({self.p_upper}) must "
+                f"exceed p_bottom ({self.p_bottom})"
+            )
+
+    @property
+    def clamps(self) -> "tuple[float, float]":
+        return (self.p_bottom, self.p_upper)

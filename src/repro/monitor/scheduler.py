@@ -1,8 +1,9 @@
-"""Energy-aware job scheduling under a cluster power cap.
+"""Scheduling: energy-aware job placement and overhead-adaptive sampling.
 
-The end application the paper's introduction gestures at: a facility cap
-must be enforced while jobs make progress, and the enforcement quality
-depends on how current each node's power picture is. The scheduler here:
+Two schedulers live here. :class:`EnergyAwareScheduler` is the end
+application the paper's introduction gestures at: a facility cap must be
+enforced while jobs make progress, and the enforcement quality depends on
+how current each node's power picture is. The scheduler:
 
 * assigns queued jobs to idle nodes (first fit);
 * every second, collects each node's power *demand* — either the true
@@ -15,15 +16,25 @@ depends on how current each node's power picture is. The scheduler here:
 
 The accompanying bench compares demand sources: better power information
 ⇒ less unnecessary throttling ⇒ shorter makespan at equal cap compliance.
+
+:class:`SamplingGovernor` schedules the *monitor itself*: per node, per
+run, it trades IM sampling density against monitoring overhead. Where a
+node's restoration confidence is high the governor thins the IM feed (the
+spline holds between sparser anchors); where confidence drops — outages,
+gated readings, model-only stretches — it snaps back to dense sampling.
+Decisions are pure functions of ``(seed, node id, confidence, budget)``,
+so a sharded deployment reproduces the single-process schedule bitwise.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..errors import ValidationError
+from ..sensors.base import SparseReadings
 from ..types import TraceBundle
 from ..utils.validation import check_positive
 from .budget import ClusterPowerBudget, NodeDemand
@@ -206,3 +217,221 @@ class EnergyAwareScheduler:
             f"schedule did not finish within {max_seconds} s "
             f"({len(queue)} queued, {len(running)} running)"
         )
+
+
+# --------------------------------------------------------------------------
+# Overhead-adaptive sampling: the governor that schedules the monitor itself.
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GovernorPolicy:
+    """Tuning knobs for :class:`SamplingGovernor`.
+
+    Parameters
+    ----------
+    aggressiveness:
+        How hard to chase overhead savings, in ``[0, 1]``. 0 disables the
+        governor (every node stays dense); 1 thins confident nodes all the
+        way to ``max_stride``.
+    max_stride:
+        Densest-to-sparsest ratio: a stride of k keeps every k-th IM
+        reading and scales the nominal interval by k.
+    confidence_floor:
+        Restoration confidence below which a node is always sampled dense
+        (model-only stretches score 0.4, well under the default).
+    target_budget_fraction:
+        The overhead budget the governor steers around — the paper's
+        "small fraction of one 1 Sa/s sampling period". Spending above it
+        raises thinning pressure; below it relaxes pressure.
+    pinned_budget_fraction:
+        When set, used *instead of* the live profiler reading. Pin this in
+        sharded deployments: the wall-clock profiler differs across
+        processes, and a pinned value keeps governor decisions — hence
+        every downstream restored sample — bitwise reproducible.
+    seed:
+        Dealigns the per-node rounding phase so fleet-wide stride jumps do
+        not synchronise; part of the decision function's determinism key.
+    """
+
+    aggressiveness: float = 0.5
+    max_stride: int = 4
+    confidence_floor: float = 0.6
+    target_budget_fraction: float = 0.05
+    pinned_budget_fraction: "float | None" = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.aggressiveness <= 1.0:
+            raise ValidationError(
+                f"aggressiveness must be in [0, 1], got {self.aggressiveness}"
+            )
+        if self.max_stride < 1:
+            raise ValidationError(
+                f"max_stride must be >= 1, got {self.max_stride}"
+            )
+        if not 0.0 <= self.confidence_floor < 1.0:
+            raise ValidationError(
+                f"confidence_floor must be in [0, 1), got {self.confidence_floor}"
+            )
+        check_positive(self.target_budget_fraction, "target_budget_fraction")
+        if self.pinned_budget_fraction is not None \
+                and self.pinned_budget_fraction < 0:
+            raise ValidationError("pinned_budget_fraction must be >= 0")
+
+
+@dataclass(frozen=True)
+class SamplingDecision:
+    """One governor decision for one node (applies to its *next* run)."""
+
+    node_id: str
+    stride: int
+    confidence: float
+    budget_fraction: float
+    #: "denser" / "sparser" / "hold" relative to the node's previous stride.
+    direction: str
+    #: Which residue class of readings survives (``indices[offset::stride]``).
+    offset: int = 0
+
+
+def node_phase(seed: int, node_id: str) -> float:
+    """Deterministic per-node rounding phase in ``[0, 0.5)``.
+
+    Hash-derived (not RNG-derived) so it is a pure function of the policy
+    seed and the node id — independent of call order and shard layout.
+    """
+    digest = hashlib.sha256(f"{seed}:{node_id}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**65
+
+
+def decide_stride(
+    policy: GovernorPolicy, node_id: str, confidence: float,
+    budget_fraction: float,
+) -> int:
+    """The governor's decision function — pure and deterministic.
+
+    ``stride = 1 + ⌊drive · (max_stride − 1) + phase⌋`` where ``drive``
+    is aggressiveness × confidence headroom × budget pressure. Confidence
+    at or below the floor always yields stride 1 (dense), as does
+    ``aggressiveness == 0``.
+    """
+    p = policy
+    if p.aggressiveness <= 0.0 or p.max_stride <= 1:
+        return 1
+    headroom = (confidence - p.confidence_floor) / (1.0 - p.confidence_floor)
+    headroom = float(np.clip(headroom, 0.0, 1.0))
+    if headroom <= 0.0:
+        return 1
+    # Budget pressure in [0.5, 1.5]: spending at the target is neutral,
+    # double the target maximises thinning, a free budget halves it.
+    pressure = 0.5 + float(
+        np.clip(budget_fraction / p.target_budget_fraction, 0.0, 2.0)
+    ) / 2.0
+    drive = float(np.clip(p.aggressiveness * headroom * pressure, 0.0, 1.0))
+    stride = 1 + int(drive * (p.max_stride - 1) + node_phase(p.seed, node_id))
+    return min(stride, p.max_stride)
+
+
+def decide_offset(policy: GovernorPolicy, node_id: str, stride: int) -> int:
+    """Which residue class of anchors a thinned node keeps — also pure.
+
+    Spreading offsets across the fleet staggers the surviving IM instants
+    (no thundering-herd BMC polling) and, on average, keeps the fleet-wide
+    reading count at ``n/stride`` instead of every node paying the
+    ``ceil`` — both a deterministic function of (seed, node id, stride).
+    """
+    if stride <= 1:
+        return 0
+    return int(node_phase(policy.seed, node_id) * 2.0 * stride) % stride
+
+
+def thin_readings(
+    readings: SparseReadings, stride: int, floor: int = 1, offset: int = 0
+) -> "tuple[SparseReadings, int]":
+    """Keep every ``stride``-th IM reading; returns ``(thinned, dropped)``.
+
+    The effective stride is clamped so at least ``max(floor, 1)`` readings
+    survive — thinning may never push a run below the gate's minimum-
+    readings floor. ``offset`` selects which residue class survives
+    (``indices[offset::stride]``; see :func:`decide_offset`). The nominal
+    interval scales with the stride so the provenance reach of each
+    surviving anchor grows proportionally.
+    """
+    n = len(readings)
+    floor = max(int(floor), 1)
+    if stride <= 1 or n <= floor:
+        return readings, 0
+    eff = max(1, min(int(stride), n // floor))
+    if eff <= 1:
+        return readings, 0
+    # The first reading is always kept: the spline's start boundary anchor.
+    # Dropping it trades a cheap interior interpolation for an expensive
+    # extrapolation over the trace's setup phase. The offset then phases
+    # the rest of the comb. kept = 1 + floor((n - 1 - off) / eff) >= floor
+    # for any off < eff (eff <= n // floor), so the offset can never thin
+    # past the floor the clamp guaranteed.
+    off = int(offset) % eff
+    keep = np.concatenate(([0], np.arange(eff + off, n, eff)))
+    indices = readings.indices[keep]
+    thinned = SparseReadings(
+        indices=indices,
+        values=readings.values[keep],
+        interval_s=readings.interval_s * eff,
+        n_dense=readings.n_dense,
+    )
+    return thinned, n - int(indices.shape[0])
+
+
+class SamplingGovernor:
+    """Per-node sampling-interval controller (overhead-adaptive monitoring).
+
+    The service consults :meth:`stride_for` when ingesting a node's run
+    (the ingest stage thins the IM feed accordingly) and calls
+    :meth:`update` when the run finishes, feeding back the run's restored
+    confidence and the current overhead budget fraction. State is strictly
+    per node, so fleet sharding cannot reorder or couple decisions.
+    """
+
+    def __init__(self, policy: "GovernorPolicy | None" = None) -> None:
+        self.policy = policy or GovernorPolicy()
+        self._strides: "dict[str, int]" = {}
+        self._decisions: "dict[str, SamplingDecision]" = {}
+
+    def stride_for(self, node_id: str) -> int:
+        """The stride the node's next run should be sampled at (1 = dense)."""
+        return self._strides.get(node_id, 1)
+
+    def offset_for(self, node_id: str) -> int:
+        """The surviving residue class for the node's next run (0 = aligned)."""
+        decision = self._decisions.get(node_id)
+        return 0 if decision is None else decision.offset
+
+    def last_decision(self, node_id: str) -> "SamplingDecision | None":
+        return self._decisions.get(node_id)
+
+    def schedule(self) -> "dict[str, int]":
+        """Snapshot of every node's current stride."""
+        return dict(self._strides)
+
+    def update(
+        self, node_id: str, confidence: float, budget_fraction: float
+    ) -> SamplingDecision:
+        """Fold one finished run's feedback into the node's schedule."""
+        previous = self.stride_for(node_id)
+        stride = decide_stride(self.policy, node_id, confidence, budget_fraction)
+        if stride > previous:
+            direction = "sparser"
+        elif stride < previous:
+            direction = "denser"
+        else:
+            direction = "hold"
+        decision = SamplingDecision(
+            node_id=node_id,
+            stride=stride,
+            confidence=float(confidence),
+            budget_fraction=float(budget_fraction),
+            direction=direction,
+            offset=decide_offset(self.policy, node_id, stride),
+        )
+        self._strides[node_id] = stride
+        self._decisions[node_id] = decision
+        return decision

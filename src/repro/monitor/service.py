@@ -50,8 +50,17 @@ from ..perf import precompile
 from ..sensors.ipmi import IPMISensor
 from ..stream import Sink
 from ..types import TraceBundle
+from .budget import ClusterPowerBudget, NodeDemand
 from .pipeline import ObservationContext, build_pipeline, input_chunks
+from .profile import (
+    DEFAULT_DEVICE_CLASS,
+    AttributionHead,
+    DeviceClass,
+    NodeProfile,
+    SRRHead,
+)
 from .resilience import NodeHealth, ResiliencePolicy, sample_with_retry
+from .scheduler import SamplingGovernor
 from .sinks import MemoryLogSink
 
 #: Human-readable provenance labels for the sample-mix counter.
@@ -80,7 +89,8 @@ class MonitorLog:
         self.runs: list[str] = []
         self.modes: list[str] = []
         self._parts: "dict[str, list[np.ndarray]]" = {
-            "p_node": [], "p_cpu": [], "p_mem": [], "provenance": [],
+            "p_node": [], "p_cpu": [], "p_mem": [], "p_gpu": [],
+            "provenance": [],
         }
         self._n = 0
 
@@ -92,7 +102,7 @@ class MonitorLog:
         chunk; :meth:`end_run` closes the run.
         """
         self._append_arrays(chunk.p_node, chunk.p_cpu, chunk.p_mem,
-                            chunk.provenance)
+                            chunk.provenance, chunk.p_gpu)
 
     def end_run(self, workload: str, mode: str) -> None:
         """Record a run boundary after its chunks were appended."""
@@ -102,12 +112,15 @@ class MonitorLog:
     def append(self, result: MonitorResult, workload: str) -> None:
         """Whole-run append (one implicit chunk plus the run boundary)."""
         self._append_arrays(result.p_node, result.p_cpu, result.p_mem,
-                            result.provenance)
+                            result.provenance, result.p_gpu)
         self.end_run(workload, result.mode)
 
-    def _append_arrays(self, p_node, p_cpu, p_mem, prov) -> None:
+    def _append_arrays(self, p_node, p_cpu, p_mem, prov, p_gpu=None) -> None:
         n = int(p_node.shape[0])
-        for name, arr in (("p_cpu", p_cpu), ("p_mem", p_mem)):
+        checks = [("p_cpu", p_cpu), ("p_mem", p_mem)]
+        if p_gpu is not None:
+            checks.append(("p_gpu", p_gpu))
+        for name, arr in checks:
             got = 0 if arr is None else int(arr.shape[0])
             if got != n:
                 raise ValidationError(
@@ -124,6 +137,12 @@ class MonitorLog:
         self._parts["p_node"].append(np.asarray(p_node, dtype=np.float64))
         self._parts["p_cpu"].append(np.asarray(p_cpu, dtype=np.float64))
         self._parts["p_mem"].append(np.asarray(p_mem, dtype=np.float64))
+        # CPU-only chunks log zero accelerator power, keeping every channel
+        # aligned sample-for-sample across heterogeneous fleets.
+        self._parts["p_gpu"].append(
+            np.zeros(n) if p_gpu is None
+            else np.asarray(p_gpu, dtype=np.float64)
+        )
         self._parts["provenance"].append(prov.astype(np.uint8))
         self._n += n
 
@@ -148,6 +167,11 @@ class MonitorLog:
     @property
     def p_mem(self) -> np.ndarray:
         return self._channel("p_mem")
+
+    @property
+    def p_gpu(self) -> np.ndarray:
+        """Accelerator channel (all-zero for CPU-only device classes)."""
+        return self._channel("p_gpu")
 
     @property
     def provenance(self) -> np.ndarray:
@@ -225,14 +249,17 @@ class PowerMonitorService:
             sample_period_s=DEFAULT_SAMPLE_PERIOD_S,
             registry=self.registry,
         )
-        # Compile the SRR forward pass up front: it serves every observe_run
-        # on every node, so the one-time flatten cost should not land on the
-        # first monitored trace. The compiled forward carries the service's
-        # resolved inference tier.
-        precompile(model.srr.model_, fast_math=self.fast_math)
+        #: registered device classes; the constructor model/spec pair is the
+        #: implicit default class, further classes (e.g. GPU nodes) attach
+        #: their own restoration model and attribution head.
+        self._classes: "dict[str, DeviceClass]" = {}
+        self.register_device_class(DEFAULT_DEVICE_CLASS, model)
         self._nodes: dict[str, IPMISensor] = {}
+        self._profiles: "dict[str, NodeProfile]" = {}
         self._logs: dict[str, MonitorLog] = {}
         self._health: dict[str, NodeHealth] = {}
+        #: optional overhead-adaptive sampling controller (see set_governor).
+        self._governor: "SamplingGovernor | None" = None
         #: per-node compensation transforms (absent = uncalibrated feed);
         #: applied by the pipeline's calibrate stage before the gate.
         self._calibration: "dict[str, CompensationTransform]" = {}
@@ -243,11 +270,85 @@ class PowerMonitorService:
         #: state travels on an ObservationContext.
         self._pipeline = build_pipeline()
 
+    # ------------------------------------------------------ device classes
+    def register_device_class(
+        self,
+        name: str,
+        model: HighRPM,
+        head: "AttributionHead | None" = None,
+        p_bottom: "float | None" = None,
+        p_upper: "float | None" = None,
+    ) -> DeviceClass:
+        """Register a device class: restoration model + attribution head.
+
+        ``head`` defaults to the model's own two-way SRR; GPU classes pass
+        a :class:`~repro.monitor.profile.GPUSRRHead`. Clamps default to
+        the model's fitted power range (the constructor's default class
+        additionally falls back to the platform spec). The head's forward
+        is precompiled at the service's inference tier, same as the
+        default class.
+        """
+        if name in self._classes:
+            raise ValidationError(f"device class {name!r} already registered")
+        model._require_fitted()
+        if model.config.fast_math != self.fast_math:
+            model.set_fast_math(self.fast_math)
+        if head is None:
+            head = SRRHead(model.srr)
+        lo = model.p_bottom if p_bottom is None else p_bottom
+        hi = model.p_upper if p_upper is None else p_upper
+        if name == DEFAULT_DEVICE_CLASS:
+            lo = self.spec.min_node_power_w if lo is None else lo
+            hi = self.spec.max_node_power_w if hi is None else hi
+        if lo is None or hi is None:
+            raise ValidationError(
+                f"device class {name!r} needs power clamps: fit the model "
+                f"with p_bottom/p_upper or pass them explicitly"
+            )
+        precompile(head.mlp, fast_math=self.fast_math)
+        cls = DeviceClass(name, model, head, float(lo), float(hi))
+        self._classes[name] = cls
+        return cls
+
+    @property
+    def device_classes(self) -> tuple[str, ...]:
+        return tuple(self._classes)
+
+    def device_class(self, name: str) -> DeviceClass:
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise ValidationError(f"unknown device class {name!r}") from None
+
+    def device_class_of(self, node_id: str) -> DeviceClass:
+        """The registered class of one node (its model/head/clamps)."""
+        return self.device_class(self.profile_of(node_id).device_class)
+
+    def profile_of(self, node_id: str) -> NodeProfile:
+        try:
+            return self._profiles[node_id]
+        except KeyError:
+            raise ValidationError(f"unknown node {node_id!r}") from None
+
+    # --------------------------------------------------------- registration
     def register_node(self, node_id: str, sensor: "IPMISensor | None" = None,
-                      seed: int = 0) -> None:
+                      seed: int = 0,
+                      profile: "NodeProfile | None" = None) -> None:
         if node_id in self._nodes:
             raise ValidationError(f"node {node_id!r} already registered")
-        self._nodes[node_id] = sensor or IPMISensor(self.spec, seed=seed)
+        profile = profile or NodeProfile(seed=seed)
+        if profile.device_class not in self._classes:
+            raise ValidationError(
+                f"node {node_id!r} names unregistered device class "
+                f"{profile.device_class!r}; register_device_class it first"
+            )
+        if sensor is None:
+            sensor = IPMISensor(
+                self.spec, interval_s=profile.interval_s,
+                seed=profile.seed if profile.seed else seed,
+            )
+        self._nodes[node_id] = sensor
+        self._profiles[node_id] = profile
         self._logs[node_id] = MonitorLog(node_id)
         self._health[node_id] = NodeHealth(node_id)
 
@@ -361,14 +462,61 @@ class PowerMonitorService:
 
     # ------------------------------------------------------------ clamps
     def _clamps(self) -> tuple[float, float]:
-        """Physical power range used for plausibility gating."""
-        lo = self.model.p_bottom
-        hi = self.model.p_upper
-        if lo is None:
-            lo = self.spec.min_node_power_w
-        if hi is None:
-            hi = self.spec.max_node_power_w
-        return float(lo), float(hi)
+        """Default-class power range (per-node gating uses the node's class)."""
+        return self._classes[DEFAULT_DEVICE_CLASS].clamps
+
+    # ----------------------------------------------------- cluster budget
+    def cluster_allocations(
+        self, cap_w: float, demands: "dict[str, float] | None" = None
+    ) -> dict[str, float]:
+        """Water-fill one facility cap across the registered (mixed) fleet.
+
+        Each node's floor and ceiling come from its device class's power
+        clamps, so a 340 W GPU node and a 90 W CPU node compete for the
+        same budget on honest terms. ``demands`` overrides per-node demand
+        in watts; nodes not named default to their latest restored power
+        (their class floor when nothing has been logged yet).
+        """
+        if not self._nodes:
+            raise ValidationError("no nodes registered")
+        entries = []
+        for node_id in self._nodes:
+            lo, hi = self.device_class_of(node_id).clamps
+            if demands is not None and node_id in demands:
+                want = float(demands[node_id])
+            else:
+                log = self._logs[node_id]
+                want = float(log.p_node[-1]) if len(log) else lo
+            entries.append(NodeDemand(node_id, min(max(want, lo), hi), lo, hi))
+        return ClusterPowerBudget(cap_w).allocate(entries)
+
+    # ----------------------------------------------------------- governor
+    def set_governor(self, governor: "SamplingGovernor | None") -> None:
+        """Attach (or detach, with ``None``) the adaptive-sampling governor.
+
+        With a governor attached, the ingest stage thins each node's IM
+        feed at the node's current stride and every finished run feeds its
+        restored confidence back into the schedule.
+        """
+        if governor is not None and not isinstance(governor, SamplingGovernor):
+            raise ValidationError(f"not a SamplingGovernor: {governor!r}")
+        self._governor = governor
+
+    @property
+    def governor(self) -> "SamplingGovernor | None":
+        return self._governor
+
+    def sampling_stride(self, node_id: str) -> int:
+        """The IM thinning stride for a node's next run (1 = dense)."""
+        if self._governor is None:
+            return 1
+        return self._governor.stride_for(node_id)
+
+    def sampling_offset(self, node_id: str) -> int:
+        """The surviving residue class for a node's next run (0 = aligned)."""
+        if self._governor is None:
+            return 0
+        return self._governor.offset_for(node_id)
 
     # --------------------------------------------------------- observation
     def observe_run(
@@ -438,6 +586,10 @@ class PowerMonitorService:
             p_mem=np.concatenate([c.p_mem for c in chunks]),
             mode=ctx.mode,
             provenance=np.concatenate([c.provenance for c in chunks]),
+            p_gpu=(
+                np.concatenate([c.p_gpu for c in chunks])
+                if chunks[0].p_gpu is not None else None
+            ),
         )
 
     def _finish_run(self, ctx: ObservationContext, result: MonitorResult) -> None:
@@ -445,16 +597,51 @@ class PowerMonitorService:
         health = ctx.health
         if ctx.degrade_reason is not None:
             health.record_outage_run(ctx.degrade_reason)
-            return
-        retried = health.transient_failures - ctx.transients_before
-        gap_samples = int(result.model_only_mask.sum())
-        if ctx.gated or retried or gap_samples:
-            health.record_degraded_run(
-                f"{ctx.gated} reading(s) gated, {retried} transient failure(s) "
-                f"retried, {gap_samples} sample(s) restored without an anchor"
-            )
         else:
-            health.record_healthy_run()
+            retried = health.transient_failures - ctx.transients_before
+            gap_samples = int(result.model_only_mask.sum())
+            if ctx.gated or retried or gap_samples:
+                health.record_degraded_run(
+                    f"{ctx.gated} reading(s) gated, {retried} transient "
+                    f"failure(s) retried, {gap_samples} sample(s) restored "
+                    f"without an anchor"
+                )
+            else:
+                health.record_healthy_run()
+        self._apply_governor(ctx, result)
+
+    def _apply_governor(
+        self, ctx: ObservationContext, result: MonitorResult
+    ) -> None:
+        """Feed one finished run back into the sampling schedule."""
+        governor = self._governor
+        if governor is None or len(result) == 0:
+            return
+        budget = governor.policy.pinned_budget_fraction
+        if budget is None:
+            budget = self.profiler.budget_fraction
+        with self.tracer.span("sched.decide"):
+            decision = governor.update(
+                ctx.node_id, float(result.confidence().mean()), float(budget)
+            )
+        registry = self.registry
+        registry.gauge(
+            "repro_sched_stride",
+            "Sampling-governor IM reading stride per node (1 = dense).",
+            ("node",),
+        ).labels(node=ctx.node_id).set(decision.stride)
+        registry.gauge(
+            "repro_sched_interval_seconds",
+            "Effective IM sampling interval per node under the governor.",
+            ("node",),
+        ).labels(node=ctx.node_id).set(
+            float(ctx.sensor.interval_s * decision.stride)
+        )
+        registry.counter(
+            "repro_sched_decisions_total",
+            "Governor decisions by node and direction.",
+            ("node", "direction"),
+        ).labels(node=ctx.node_id, direction=decision.direction).inc()
 
     def _emit_run_metrics(
         self, node_id: str, result: MonitorResult, before: tuple
@@ -499,6 +686,16 @@ class PowerMonitorService:
             "Measured IM readings surviving per observed run.",
             buckets=_READINGS_BUCKETS,
         ).observe(int(counts[PROV_MEASURED]))
+        energy = registry.counter(
+            "repro_monitor_component_energy_joules_total",
+            "Attributed component energy by node (1 Sa/s: watts sum to "
+            "joules).",
+            ("node", "component"),
+        )
+        for component, series in result.components.items():
+            total = float(series.sum())
+            if total > 0.0:
+                energy.labels(node=node_id, component=component).inc(total)
 
     def adapt(self, node_id: str, bundle: TraceBundle) -> None:
         """Active-learning round on one node's unlabeled run (§4.1)."""

@@ -8,13 +8,18 @@ and records the curve into a ``repro-bench/1`` payload under
 
     python -m repro.serve.bench --output BENCH_PR9.json
     python -m repro.serve.bench --sizes 8:1,64:2 --processes
+    python -m repro.serve.bench --hosts both --before BENCH_PR9.json
 
 Per rung it reports end-to-end ``samples_per_s`` (restored samples over
 daemon wall time), ``per_node_ms`` (wall time spread across the fleet),
 and the merge-sink latency distribution (mean / p95 out of the
-``repro_serve_merge_latency_seconds`` histogram). The curve is gated by
-``scripts/check_bench.py --require-scaling`` in CI; ``docs/deployment.md``
-turns it into the capacity-planning table.
+``repro_serve_merge_latency_seconds`` histogram). ``--hosts both``
+records the thread ladder *and* the process ladder into one payload
+(each rung carries its ``processes`` flag); ``--before OLD.json`` copies
+the matching rung's old merge latency into ``merge_latency_before``, so
+a collector change ships its before/after in the committed file. The
+curve is gated by ``scripts/check_bench.py --require-scaling`` in CI;
+``docs/deployment.md`` turns it into the capacity-planning table.
 
 Observation runs offline (StaticTRR) so the rung cost is the steady-state
 pipeline, not the per-run DynamicTRR fine-tune; the HTTP server is up
@@ -38,6 +43,14 @@ DEFAULT_OUTPUT = "BENCH_PR9.json"
 #: (nodes, shards) ladder: shard count grows with the fleet the way a
 #: deployment would scale workers, keeping nodes-per-shard sublinear.
 DEFAULT_SIZES = ((8, 1), (64, 2), (512, 4), (4096, 8))
+
+
+def _rung_key(entry: dict) -> tuple:
+    """Full protocol identity of one rung (mirrors scripts/check_bench.py)."""
+    return (
+        entry.get("nodes"), entry.get("shards"), entry.get("run_seconds"),
+        entry.get("chunk_size"), entry.get("processes"), entry.get("online"),
+    )
 
 
 def _latency_stats(registry) -> "dict[str, float]":
@@ -123,29 +136,66 @@ def main(argv: "list[str] | None" = None) -> int:
                         help="simulated seconds per run (default 40)")
     parser.add_argument("--chunk-size", type=int, default=32)
     parser.add_argument("--processes", action="store_true",
-                        help="host shards in worker processes")
+                        help="host shards in worker processes "
+                             "(same as --hosts processes)")
+    parser.add_argument("--hosts", choices=("threads", "processes", "both"),
+                        default=None,
+                        help="which shard-hosting ladder(s) to record "
+                             "(default threads; 'both' records each rung "
+                             "twice, thread- then process-hosted)")
+    parser.add_argument("--before", type=Path, default=None, metavar="OLD",
+                        help="previous payload: matching rungs get their "
+                             "old merge latency as merge_latency_before")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="daemon boots per rung; the best one (highest "
+                             "samples/s) is recorded, mirroring the per-op "
+                             "bench's minimum-over-repeats discipline "
+                             "(default 1)")
     parser.add_argument("--output", type=Path, default=Path(DEFAULT_OUTPUT))
     args = parser.parse_args(argv)
 
+    hosts = args.hosts or ("processes" if args.processes else "threads")
+    process_arms = {"threads": (False,), "processes": (True,),
+                    "both": (False, True)}[hosts]
+    before_rungs: "dict[tuple, dict]" = {}
+    if args.before is not None:
+        old = json.loads(args.before.read_text())
+        before_rungs = {
+            _rung_key(e): e for e in old.get("serve_scaling", [])
+        }
+
     model = train_model(ServeConfig())
     curve = []
+    repeats = max(1, args.repeats)
     for nodes, shards in args.sizes:
-        entry = measure_serve(
-            model, nodes, shards, run_seconds=args.run_seconds,
-            chunk_size=args.chunk_size, processes=args.processes,
-        )
-        curve.append(entry)
-        lat = entry["merge_latency"]
-        print(f"{nodes:>5} nodes x {shards} shard(s): "
-              f"{entry['samples_per_s']:>9.0f} samples/s, "
-              f"{entry['per_node_ms']:>8.2f} ms/node, "
-              f"merge {lat['mean_ms']:.2f} ms mean / {lat['p95_ms']:.2f} ms p95")
+        for processes in process_arms:
+            entry = max(
+                (measure_serve(
+                    model, nodes, shards, run_seconds=args.run_seconds,
+                    chunk_size=args.chunk_size, processes=processes,
+                ) for _ in range(repeats)),
+                key=lambda e: e["samples_per_s"],
+            )
+            if repeats > 1:
+                entry["repeats"] = repeats
+            previous = before_rungs.get(_rung_key(entry))
+            if previous and previous.get("merge_latency"):
+                entry["merge_latency_before"] = previous["merge_latency"]
+            curve.append(entry)
+            lat = entry["merge_latency"]
+            host = "processes" if processes else "threads"
+            print(f"{nodes:>5} nodes x {shards} shard(s) [{host}]: "
+                  f"{entry['samples_per_s']:>9.0f} samples/s, "
+                  f"{entry['per_node_ms']:>8.2f} ms/node, "
+                  f"merge {lat['mean_ms']:.2f} ms mean / "
+                  f"{lat['p95_ms']:.2f} ms p95")
     payload = {
         "schema": SCHEMA,
         "protocol": {
             "mode": "serve-scaling",
             "timer": "single end-to-end daemon wall time (perf_counter)",
-            "hosts": "processes" if args.processes else "threads",
+            "hosts": "threads+processes" if hosts == "both" else hosts,
+            "repeats": repeats,
         },
         "serve_scaling": curve,
     }

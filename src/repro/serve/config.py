@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import ValidationError
+from ..gpu.workloads import GPU_WORKLOAD_NAMES
+from ..monitor.scheduler import GovernorPolicy
 
 #: Fault presets a node can be pinned to via ``fault_nodes`` (a subset of
 #: the chaos-scenario vocabulary that is meaningful for a daemon demo).
@@ -71,6 +73,20 @@ class ServeConfig:
         :class:`~repro.faults.FaultySensor` seeded by global node index.
     train_seconds / lstm_iters / srr_iters:
         Sizing for the daemon-trained model when no model is injected.
+    gpu_nodes / gpu_workload:
+        Heterogeneous fleets: the **last** ``gpu_nodes`` global indices
+        are accelerated nodes (GPU device class, three-way attribution,
+        16-column counter matrix) running ``gpu_workload`` from
+        :data:`~repro.gpu.GPU_WORKLOAD_NAMES`. Membership derives from
+        the global index alone, so sharding stays layout-independent.
+    governor / governor_aggressiveness / governor_max_stride /
+    governor_budget_fraction:
+        Overhead-adaptive sampling: each shard attaches a
+        :class:`~repro.monitor.SamplingGovernor` that thins confident
+        nodes' IM feeds. The budget fraction is **pinned** (not read from
+        the live profiler) so governor decisions — and every downstream
+        restored bit — stay identical across shard layouts and process
+        counts.
     """
 
     nodes: int = 8
@@ -94,6 +110,12 @@ class ServeConfig:
     train_seconds: int = 60
     lstm_iters: int = 20
     srr_iters: int = 100
+    gpu_nodes: int = 0
+    gpu_workload: str = "gemm"
+    governor: bool = False
+    governor_aggressiveness: float = 0.5
+    governor_max_stride: int = 4
+    governor_budget_fraction: float = 0.05
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
@@ -112,6 +134,28 @@ class ServeConfig:
         if self.run_seconds < 1:
             raise ValidationError(
                 f"run_seconds must be >= 1, got {self.run_seconds}"
+            )
+        if not 0 <= self.gpu_nodes <= self.nodes:
+            raise ValidationError(
+                f"gpu_nodes must lie in [0, nodes], got {self.gpu_nodes} "
+                f"for {self.nodes} node(s)"
+            )
+        if self.gpu_workload not in GPU_WORKLOAD_NAMES:
+            raise ValidationError(
+                f"unknown GPU workload {self.gpu_workload!r}; "
+                f"expected one of {GPU_WORKLOAD_NAMES}"
+            )
+        # GovernorPolicy re-validates, but fail at config time with the
+        # daemon-flag vocabulary rather than deep in a shard worker.
+        if not 0.0 <= self.governor_aggressiveness <= 1.0:
+            raise ValidationError(
+                f"governor_aggressiveness must be in [0, 1], "
+                f"got {self.governor_aggressiveness}"
+            )
+        if self.governor_max_stride < 1:
+            raise ValidationError(
+                f"governor_max_stride must be >= 1, "
+                f"got {self.governor_max_stride}"
             )
         known = {node_id for node_id, _ in self.node_plan()}
         for node_id, preset in self.fault_nodes.items():
@@ -151,3 +195,31 @@ class ServeConfig:
             if index in members:
                 return s
         raise ValidationError(f"node index {index} outside fleet of {self.nodes}")
+
+    def device_class_of_index(self, index: int) -> str:
+        """The device class of global node ``index``.
+
+        The last ``gpu_nodes`` indices are accelerated — a pure function
+        of the global index, like every other per-node fact.
+        """
+        if not 0 <= index < self.nodes:
+            raise ValidationError(
+                f"node index {index} outside fleet of {self.nodes}"
+            )
+        return "gpu" if index >= self.nodes - self.gpu_nodes else "cpu"
+
+    def governor_policy(self) -> "GovernorPolicy | None":
+        """The shards' sampling-governor policy (None when disabled).
+
+        The budget fraction is pinned so the decision function is a pure
+        function of (seed, node id, confidence) — required for sharded ==
+        single-process bit identity.
+        """
+        if not self.governor:
+            return None
+        return GovernorPolicy(
+            aggressiveness=self.governor_aggressiveness,
+            max_stride=self.governor_max_stride,
+            pinned_budget_fraction=self.governor_budget_fraction,
+            seed=self.seed,
+        )

@@ -23,8 +23,11 @@ import queue
 import threading
 import time
 
+import numpy as np
+
 from ..core import HighRPM, HighRPMConfig
 from ..errors import ValidationError
+from ..gpu import GPUSRR, AcceleratedNodeSimulator, gpu_workload
 from ..hardware.node import NodeSimulator
 from ..hardware.platform import get_platform
 from ..monitor.resilience import HEALTHY, OUTAGE
@@ -38,6 +41,10 @@ from .shard import run_worker
 #: Fixed training mix for daemon-trained models (compute-bound, memory-
 #: bound, and mixed workloads — the same spread ``repro monitor`` uses).
 TRAIN_BENCHMARKS = ("spec_gcc", "hpcc_hpl", "hpcc_stream")
+
+#: Training mix for the GPU device class (compute-bound, balanced, and
+#: steady-loop accelerated workloads).
+GPU_TRAIN_WORKLOADS = ("gemm", "stencil", "training_loop")
 
 
 def train_model(config: ServeConfig) -> HighRPM:
@@ -63,6 +70,44 @@ def train_model(config: ServeConfig) -> HighRPM:
     return model
 
 
+def train_gpu_models(config: ServeConfig) -> "tuple[HighRPM, GPUSRR]":
+    """Train the GPU device class: a 16-column HighRPM plus its 3-way head.
+
+    The restoration model trains directly on accelerated bundles (TRR is
+    component-agnostic — node power is node power — and
+    ``fit_initial`` duck-types the bundle shape); the separately-fitted
+    :class:`~repro.gpu.GPUSRR` becomes the class's attribution head.
+    """
+    spec = get_platform(config.platform)
+    sim = AcceleratedNodeSimulator(host_spec=spec, seed=config.seed)
+    train = [
+        sim.run(gpu_workload(name, seed=config.seed),
+                duration_s=config.train_seconds)
+        for name in GPU_TRAIN_WORKLOADS
+    ]
+    gpu_config = HighRPMConfig(
+        miss_interval=config.interval_s,
+        lstm_iters=config.lstm_iters,
+        srr_iters=config.srr_iters,
+        seed=config.seed,
+    )
+    model = HighRPM(
+        gpu_config,
+        p_bottom=sim.min_node_power_w,
+        p_upper=sim.max_node_power_w,
+    )
+    model.fit_initial(train)
+    head = GPUSRR(gpu_config)
+    head.fit(
+        np.vstack([b.pmcs.matrix for b in train]),
+        np.concatenate([b.node.values for b in train]),
+        np.concatenate([b.cpu.values for b in train]),
+        np.concatenate([b.mem.values for b in train]),
+        np.concatenate([b.gpu.values for b in train]),
+    )
+    return model, head
+
+
 def _fork_context():
     """Fork keeps worker startup cheap; fall back where it is missing."""
     try:
@@ -86,9 +131,14 @@ class FleetDaemon:
     drained on its own — no stop request needed.
     """
 
-    def __init__(self, config: ServeConfig, model: "HighRPM | None" = None) -> None:
+    def __init__(self, config: ServeConfig, model: "HighRPM | None" = None,
+                 gpu: "tuple[HighRPM, GPUSRR] | None" = None) -> None:
         self.config = config
         self.model = model
+        #: the GPU device class's (restoration model, attribution head)
+        #: pair; trained at start() when the fleet has GPU nodes and none
+        #: was injected.
+        self.gpu = gpu
         self.registry = MetricsRegistry()
         self.hub = StreamHub(self.registry)
         self.collector = EventCollector(
@@ -113,6 +163,8 @@ class FleetDaemon:
         config = self.config
         if self.model is None:
             self.model = train_model(config)
+        if config.gpu_nodes and self.gpu is None:
+            self.gpu = train_gpu_models(config)
         if config.processes:
             ctx = _fork_context()
             events = ctx.Queue()
@@ -120,7 +172,8 @@ class FleetDaemon:
             self._workers = [
                 ctx.Process(
                     target=run_worker,
-                    args=(s, config, self.model, events, self._stop),
+                    args=(s, config, self.model, events, self._stop,
+                          self.gpu),
                     daemon=True, name=f"repro-serve-shard{s}",
                 )
                 for s in range(config.shards)
@@ -131,7 +184,8 @@ class FleetDaemon:
             self._workers = [
                 threading.Thread(
                     target=run_worker,
-                    args=(s, config, self.model, events, self._stop),
+                    args=(s, config, self.model, events, self._stop,
+                          self.gpu),
                     daemon=True, name=f"repro-serve-shard{s}",
                 )
                 for s in range(config.shards)

@@ -27,11 +27,19 @@ from __future__ import annotations
 
 import time
 
+from ..errors import ValidationError
 from ..faults.inject import FaultySensor
 from ..faults.models import OutageWindow, RandomDropout
+from ..gpu import AcceleratedNodeSimulator, gpu_workload
 from ..hardware.node import NodeSimulator
 from ..hardware.platform import get_platform
-from ..monitor import FleetMonitor, PowerMonitorService
+from ..monitor import (
+    FleetMonitor,
+    GPUSRRHead,
+    NodeProfile,
+    PowerMonitorService,
+    SamplingGovernor,
+)
 from ..obs import MetricsRegistry
 from ..sensors.ipmi import IPMISensor
 from ..stream import Sink, chunk_record, end_run_record
@@ -82,10 +90,16 @@ def _faulted_sensor(sensor, preset: str, index: int, config: ServeConfig):
 
 
 class ShardRunner:
-    """One shard's service, fleet front-end, and tick loop."""
+    """One shard's service, fleet front-end, and tick loop.
+
+    ``gpu`` ships the GPU device class's trained pair
+    ``(HighRPM, GPUSRR)`` when the fleet has accelerated nodes — every
+    shard registers the class (harmless for shards hosting none) so the
+    fleet front-end's per-head batching works wherever GPU nodes land.
+    """
 
     def __init__(self, shard_id: int, config: ServeConfig, model,
-                 events) -> None:
+                 events, gpu=None) -> None:
         self.shard_id = shard_id
         self.config = config
         self.events = events
@@ -96,21 +110,47 @@ class ShardRunner:
             model, spec, registry=self.registry,
             sinks=[QueueSink(shard_id, events)],
         )
+        if config.gpu_nodes and gpu is None:
+            raise ValidationError(
+                f"shard {shard_id}: config names {config.gpu_nodes} GPU "
+                f"node(s) but no GPU models were shipped"
+            )
+        if gpu is not None:
+            gpu_model, gpu_srr = gpu
+            self.service.register_device_class(
+                "gpu", gpu_model, head=GPUSRRHead(gpu_srr)
+            )
+        policy = config.governor_policy()
+        if policy is not None:
+            self.service.set_governor(SamplingGovernor(policy))
         catalog = default_catalog(config.seed)
         workload = catalog.get(config.workload)
+        accel_workload = gpu_workload(config.gpu_workload, seed=config.seed) \
+            if config.gpu_nodes else None
         self.bundles = {}
         for index in config.shard_layout()[shard_id]:
             node_id = f"node{index}"
+            device_class = config.device_class_of_index(index)
             sensor = IPMISensor(
                 spec, interval_s=config.interval_s, seed=config.seed + index
             )
             preset = config.fault_nodes.get(node_id)
             if preset is not None:
                 sensor = _faulted_sensor(sensor, preset, index, config)
-            self.service.register_node(node_id, sensor=sensor)
-            self.bundles[node_id] = NodeSimulator(
-                spec, seed=config.seed + index
-            ).run(workload, duration_s=config.run_seconds)
+            self.service.register_node(
+                node_id, sensor=sensor,
+                profile=NodeProfile(device_class=device_class,
+                                    seed=config.seed + index,
+                                    interval_s=config.interval_s),
+            )
+            if device_class == "gpu":
+                self.bundles[node_id] = AcceleratedNodeSimulator(
+                    host_spec=spec, seed=config.seed + index
+                ).run(accel_workload, duration_s=config.run_seconds)
+            else:
+                self.bundles[node_id] = NodeSimulator(
+                    spec, seed=config.seed + index
+                ).run(workload, duration_s=config.run_seconds)
         self.fleet = FleetMonitor(self.service, chunk_size=config.chunk_size)
 
     def push_state(self) -> None:
@@ -164,10 +204,10 @@ class ShardRunner:
 
 
 def run_worker(shard_id: int, config: ServeConfig, model, events,
-               stop) -> None:
+               stop, gpu=None) -> None:
     """Process/thread entry: build the shard, loop, always emit ``done``."""
     try:
-        ShardRunner(shard_id, config, model, events).loop(stop)
+        ShardRunner(shard_id, config, model, events, gpu=gpu).loop(stop)
     except Exception as exc:  # surfaced via /healthz, not a silent death
         events.put(("error", shard_id, f"{type(exc).__name__}: {exc}"))
     finally:

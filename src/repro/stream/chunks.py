@@ -37,6 +37,9 @@ class PowerChunk:
     p_node: "np.ndarray | None" = None
     p_cpu: "np.ndarray | None" = None
     p_mem: "np.ndarray | None" = None
+    #: accelerator component power; only filled by three-way attribution
+    #: heads (GPU device classes), None on CPU-only nodes.
+    p_gpu: "np.ndarray | None" = None
     provenance: "np.ndarray | None" = None
     #: optional pre-computed ResModel output for the static path (the fleet
     #: front-end batches these across nodes before feeding the pipeline).

@@ -34,6 +34,7 @@ def chunk_record(chunk: PowerChunk) -> dict:
         "p_node": [] if chunk.p_node is None else chunk.p_node.tolist(),
         "p_cpu": [] if chunk.p_cpu is None else chunk.p_cpu.tolist(),
         "p_mem": [] if chunk.p_mem is None else chunk.p_mem.tolist(),
+        "p_gpu": [] if chunk.p_gpu is None else chunk.p_gpu.tolist(),
         "provenance": (
             [] if chunk.provenance is None
             else chunk.provenance.astype(int).tolist()

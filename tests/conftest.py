@@ -77,6 +77,20 @@ def serve_model():
     return train_model(ServeConfig())
 
 
+@pytest.fixture(scope="session")
+def serve_gpu_models():
+    """The GPU device class's daemon-trained (HighRPM, GPUSRR) pair.
+
+    Trained with :func:`repro.serve.daemon.train_gpu_models` under the
+    default :class:`~repro.serve.ServeConfig` sizing, so heterogeneous
+    daemon tests ship exactly the pair the CLI would train. Observe only.
+    """
+    from repro.serve import ServeConfig
+    from repro.serve.daemon import train_gpu_models
+
+    return train_gpu_models(ServeConfig())
+
+
 @pytest.fixture()
 def rng():
     return np.random.default_rng(123)

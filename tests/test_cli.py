@@ -9,7 +9,7 @@ class TestParser:
     def test_all_experiments_registered(self):
         expected = {"table5", "table6", "table7", "table8", "table9",
                     "fig1", "fig2", "fig7", "fig8", "fig9", "overhead",
-                    "per-suite", "chaos", "calib"}
+                    "per-suite", "chaos", "calib", "frontier"}
         assert set(EXPERIMENTS) == expected
 
     def test_all_ablations_registered(self):

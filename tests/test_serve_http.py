@@ -153,6 +153,46 @@ def test_label_shards_mode_splits_fleet_totals(daemon):
     assert shards == {"s0", "s1"}
 
 
+@pytest.fixture(scope="module")
+def hetero_daemon(serve_model, serve_gpu_models):
+    """A drained mixed CPU+GPU daemon with the sampling governor on."""
+    config = ServeConfig(
+        nodes=8, gpu_nodes=2, shards=2, governor=True,
+        runs=2, run_seconds=30, chunk_size=16, port=0,
+    )
+    d = FleetDaemon(config, model=serve_model, gpu=serve_gpu_models)
+    d.start()
+    assert d.wait(timeout=300), "heterogeneous daemon failed to drain"
+    yield d
+    d.stop()
+
+
+def test_mixed_fleet_metrics_export_gpu_attribution(hetero_daemon):
+    """/metrics carries per-component (CPU/DRAM/GPU) energy for the mixed
+    fleet, and the governor's repro_sched_* series for every node."""
+    with _get(hetero_daemon, "/metrics") as resp:
+        assert resp.status == 200
+        families = parse_prometheus(resp.read().decode())
+    energy = families["repro_monitor_component_energy_joules_total"]
+    by_component = {}
+    for sample in energy["samples"]:
+        labels = sample["labels"]
+        by_component.setdefault(labels["component"], set()).add(labels["node"])
+    assert {"cpu", "mem", "gpu"} <= set(by_component)
+    # the accelerated tail of the fleet, and only it, logs GPU energy
+    assert by_component["gpu"] == {"node6", "node7"}
+    assert by_component["cpu"] == {f"node{i}" for i in range(8)}
+    # governor surface: one stride/interval gauge per node, decisions count
+    strides = {s["labels"]["node"]: s["value"]
+               for s in families["repro_sched_stride"]["samples"]}
+    assert set(strides) == {f"node{i}" for i in range(8)}
+    assert all(v >= 1.0 for v in strides.values())
+    assert any(v > 1.0 for v in strides.values()), \
+        "governor never thinned a confident node"
+    assert "repro_sched_interval_seconds" in families
+    assert "repro_sched_decisions_total" in families
+
+
 # ------------------------------------------------------------- config plan
 def test_shard_layout_partitions_the_fleet():
     config = ServeConfig(nodes=11, shards=3)

@@ -66,6 +66,9 @@ def _assert_identical(a, b):
     np.testing.assert_array_equal(a.p_cpu, b.p_cpu)
     np.testing.assert_array_equal(a.p_mem, b.p_mem)
     np.testing.assert_array_equal(a.provenance, b.provenance)
+    assert (a.p_gpu is None) == (b.p_gpu is None)
+    if a.p_gpu is not None:
+        np.testing.assert_array_equal(a.p_gpu, b.p_gpu)
     assert a.mode == b.mode
 
 
@@ -241,6 +244,82 @@ def test_sharded_daemon_equals_single_process_fleet(
     for node_id, want in expected.items():
         (got,) = daemon.results[node_id]
         _assert_identical(want, got)
+
+
+@pytest.mark.parametrize("shards,processes", [(3, False), (2, True)],
+                         ids=["three-shards", "two-procs"])
+def test_mixed_fleet_sharded_equals_single_process(
+    serve_model, serve_gpu_models, shards, processes
+):
+    """Heterogeneous bit-identity: a governed mixed CPU+GPU fleet yields
+    the same bits sharded as in one process, across two governed rounds.
+
+    Round 0 runs dense and feeds the governor; round 1 runs under the
+    resulting per-node strides — so the comparison covers the full loop:
+    device-class dispatch (two-way and three-way heads), per-head fleet
+    batching, governor thinning, and the shard/merge transport.
+    """
+    from repro.gpu import AcceleratedNodeSimulator, gpu_workload
+    from repro.hardware import NodeSimulator, get_platform
+    from repro.monitor import GPUSRRHead, NodeProfile, SamplingGovernor
+    from repro.obs import MetricsRegistry
+    from repro.serve import FleetDaemon, ServeConfig
+    from repro.workloads import default_catalog
+
+    config = ServeConfig(nodes=8, gpu_nodes=2, shards=shards,
+                         processes=processes, governor=True,
+                         runs=2, run_seconds=40, chunk_size=16,
+                         keep_results=True, port=0)
+    daemon = FleetDaemon(config, model=serve_model, gpu=serve_gpu_models)
+    daemon.start()
+    assert daemon.wait(timeout=300)
+    daemon.stop()
+
+    spec = get_platform(config.platform)
+    catalog = default_catalog(config.seed)
+    workload = catalog.get(config.workload)
+    accel_workload = gpu_workload(config.gpu_workload, seed=config.seed)
+    gpu_model, gpu_srr = serve_gpu_models
+    reference = PowerMonitorService(serve_model, spec,
+                                    registry=MetricsRegistry())
+    reference.register_device_class("gpu", gpu_model,
+                                    head=GPUSRRHead(gpu_srr))
+    reference.set_governor(SamplingGovernor(config.governor_policy()))
+    bundles = {}
+    for node_id, index in config.node_plan():
+        device_class = config.device_class_of_index(index)
+        reference.register_node(node_id, sensor=IPMISensor(
+            spec, interval_s=config.interval_s, seed=config.seed + index
+        ), profile=NodeProfile(device_class=device_class,
+                               seed=config.seed + index,
+                               interval_s=config.interval_s))
+        if device_class == "gpu":
+            bundles[node_id] = AcceleratedNodeSimulator(
+                host_spec=spec, seed=config.seed + index
+            ).run(accel_workload, duration_s=config.run_seconds)
+        else:
+            bundles[node_id] = NodeSimulator(
+                spec, seed=config.seed + index
+            ).run(workload, duration_s=config.run_seconds)
+    fleet = FleetMonitor(reference, chunk_size=config.chunk_size)
+    expected = [fleet.observe_all(bundles, online=config.online)
+                for _ in range(config.runs)]
+
+    # The governor actually thinned someone in round 1, and the GPU nodes
+    # carry a real accelerator channel — otherwise this test proves less
+    # than it claims.
+    assert any(reference.sampling_stride(n) > 1 for n in bundles)
+    assert sorted(daemon.results) == sorted(bundles)
+    for node_id in bundles:
+        got_rounds = daemon.results[node_id]
+        assert len(got_rounds) == config.runs
+        for round_i, got in enumerate(got_rounds):
+            want = expected[round_i][node_id]
+            _assert_identical(want, got)
+        if config.device_class_of_index(int(node_id.removeprefix("node"))) \
+                == "gpu":
+            assert got_rounds[0].p_gpu is not None
+            assert float(got_rounds[0].p_gpu.sum()) > 0.0
 
 
 def test_jsonl_sink_mirrors_the_memory_log(chaos_reference, tmp_path):
